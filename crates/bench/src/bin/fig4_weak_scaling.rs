@@ -1,0 +1,97 @@
+//! Figure 4: weak scaling of eight FusedMM algorithm variants.
+//!
+//! Setup 1: side `BASE_SIDE·p`, constant nonzeros/row (φ constant).
+//! Setup 2: side and nonzeros/row scale with √p (φ doubles per step).
+//! Each point is the best observed replication factor (c ≤ 8 in setup
+//! runs, as the paper's memory limit), timing `CALLS` FusedMM calls.
+//!
+//! Expected shape (paper §VI-B): under setup 1 the sparse-shifting 1.5D
+//! algorithm wins (low constant φ = 1/8) and 1.5D communication scales
+//! as √p; under setup 2 the dense-shifting algorithm with local kernel
+//! fusion progressively overtakes as φ grows. Elision beats the
+//! unoptimized sequences nearly everywhere.
+
+use std::sync::Arc;
+
+use dsk_bench::harness::{maybe_dump_json, print_rows, quick_mode, run_fused_best_c};
+use dsk_bench::workloads;
+use dsk_comm::MachineModel;
+use dsk_core::theory::Algorithm;
+
+const CALLS: usize = 5;
+
+fn main() {
+    let quick = quick_mode();
+    let model = MachineModel::cori_knl();
+    let setups: Vec<(&str, fn(usize, u64) -> dsk_core::GlobalProblem, Vec<usize>)> = vec![
+        (
+            "Weak scaling setup 1 (φ constant = 1/8)",
+            workloads::weak_setup1,
+            if quick {
+                vec![1, 4, 16]
+            } else {
+                vec![1, 4, 16, 64, 256]
+            },
+        ),
+        (
+            "Weak scaling setup 2 (φ doubles per step)",
+            workloads::weak_setup2,
+            if quick {
+                vec![1, 4, 16]
+            } else {
+                vec![1, 4, 16, 64, 256]
+            },
+        ),
+    ];
+
+    for (title, build, ps) in setups {
+        let mut rows = Vec::new();
+        for &p in &ps {
+            let prob = Arc::new(build(p, 42));
+            eprintln!(
+                "[fig4] {title}: p={p} n={} nnz={} φ={:.4}",
+                prob.dims.n,
+                prob.nnz(),
+                prob.phi()
+            );
+            for alg in Algorithm::all_benchmarked() {
+                if let Some(row) = run_fused_best_c(&prob, model, p, alg, 8, CALLS) {
+                    rows.push(row);
+                }
+            }
+        }
+        print_rows(title, &rows);
+        maybe_dump_json(&rows);
+
+        // The paper's headline comparisons at the largest p.
+        let &p_max = ps.last().unwrap();
+        let at = |label: &str| {
+            rows.iter()
+                .find(|r| r.p == p_max && r.algorithm == label)
+                .cloned()
+        };
+        if let (Some(none), Some(reuse), Some(lkf)) = (
+            at("1.5D Dense Shift, No Elision"),
+            at("1.5D Dense Shift, Repl. Reuse"),
+            at("1.5D Dense Shift, Local Kernel Fusion"),
+        ) {
+            println!(
+                "\n1.5D dense-shift communication-time savings at p={p_max}: \
+                 replication reuse {:.0}%, local kernel fusion {:.0}% \
+                 (paper: ≥30% at 256 nodes)",
+                100.0 * (1.0 - reuse.comm_s() / none.comm_s()),
+                100.0 * (1.0 - lkf.comm_s() / none.comm_s())
+            );
+        }
+        if let (Some(none), Some(reuse)) = (
+            at("2.5D Dense Repl., No Elision"),
+            at("2.5D Dense Repl., Repl. Reuse"),
+        ) {
+            println!(
+                "2.5D dense-replicating communication-time savings at p={p_max}: \
+                 {:.0}% (paper: 21%)",
+                100.0 * (1.0 - reuse.comm_s() / none.comm_s())
+            );
+        }
+    }
+}

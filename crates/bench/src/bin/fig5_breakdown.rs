@@ -1,0 +1,78 @@
+//! Figure 5: weak-scaling (setup 1) time breakdown into replication,
+//! propagation, and computation, for the five elision-bearing
+//! algorithms across doubling rank counts.
+//!
+//! Expected shape (paper §VI-B): communication grows roughly as √p for
+//! 1.5D algorithms and ∛p for 2.5D algorithms while per-rank
+//! computation stays constant, so communication progressively
+//! dominates.
+
+use std::sync::Arc;
+
+use dsk_bench::harness::{maybe_dump_json, quick_mode, run_fused_best_c, FusedRow};
+use dsk_bench::workloads;
+use dsk_comm::MachineModel;
+use dsk_core::common::{AlgorithmFamily, Elision};
+use dsk_core::theory::Algorithm;
+
+const CALLS: usize = 5;
+
+fn main() {
+    let quick = quick_mode();
+    let model = MachineModel::cori_knl();
+    let ps: Vec<usize> = if quick {
+        vec![2, 4, 8, 16]
+    } else {
+        vec![2, 4, 8, 16, 32, 64, 128, 256]
+    };
+    let algs = [
+        Algorithm::new(AlgorithmFamily::DenseShift15, Elision::ReplicationReuse),
+        Algorithm::new(AlgorithmFamily::DenseShift15, Elision::LocalKernelFusion),
+        Algorithm::new(AlgorithmFamily::SparseShift15, Elision::ReplicationReuse),
+        Algorithm::new(AlgorithmFamily::DenseRepl25, Elision::ReplicationReuse),
+        Algorithm::new(AlgorithmFamily::SparseRepl25, Elision::None),
+    ];
+
+    let mut all: Vec<FusedRow> = Vec::new();
+    for &p in &ps {
+        let prob = Arc::new(workloads::weak_setup1(p, 42));
+        eprintln!("[fig5] p={p} n={} nnz={}", prob.dims.n, prob.nnz());
+        for alg in algs {
+            if let Some(row) = run_fused_best_c(&prob, model, p, alg, 8, CALLS) {
+                all.push(row);
+            }
+        }
+    }
+
+    println!("\n### Figure 5 — weak scaling setup 1 time breakdown\n");
+    for alg in algs {
+        println!("#### {}\n", alg.label());
+        println!(
+            "| {:>4} | {:>2} | {:>12} | {:>12} | {:>12} | {:>7} |",
+            "p", "c", "repl (s)", "prop (s)", "comp (s)", "comm %"
+        );
+        println!("|{:-<6}|{:-<4}|{:-<14}|{:-<14}|{:-<14}|{:-<9}|", "", "", "", "", "", "");
+        for r in all.iter().filter(|r| r.algorithm == alg.label()) {
+            println!(
+                "| {:>4} | {:>2} | {:>12.4} | {:>12.4} | {:>12.4} | {:>6.1}% |",
+                r.p,
+                r.c,
+                r.repl_s,
+                r.prop_s,
+                r.comp_s,
+                100.0 * r.comm_s() / r.total_s
+            );
+        }
+        // Communication scaling exponent between the end points
+        // (expected ≈ 0.5 for 1.5D, ≈ 0.33 for 2.5D, per the paper).
+        let series: Vec<&FusedRow> = all.iter().filter(|r| r.algorithm == alg.label()).collect();
+        if series.len() >= 2 {
+            let (a, b) = (series[0], series[series.len() - 1]);
+            if a.comm_s() > 0.0 && b.p > a.p {
+                let exp = (b.comm_s() / a.comm_s()).ln() / ((b.p as f64 / a.p as f64).ln());
+                println!("\ncommunication-time scaling ≈ p^{exp:.2}\n");
+            }
+        }
+    }
+    maybe_dump_json(&all);
+}

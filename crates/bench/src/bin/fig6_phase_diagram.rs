@@ -1,0 +1,93 @@
+//! Figure 6: predicted vs observed fastest algorithm over a grid of
+//! embedding widths `r` and sparse-matrix densities (nonzeros per row),
+//! at fixed `p = 32`.
+//!
+//! Expected shape (paper §VI-C): the plane splits along a φ = nnz/(n·r)
+//! diagonal — 1.5D **sparse shifting** (with replication reuse) wins in
+//! the low-φ corner (wide `r`, few nonzeros), 1.5D **dense shifting**
+//! (with local kernel fusion) wins at high φ; the prediction from the
+//! Table III word counts matches observation almost everywhere.
+
+use std::sync::Arc;
+
+use dsk_bench::harness::{quick_mode, run_fused_best_c};
+use dsk_bench::workloads::fig6_grid;
+use dsk_comm::MachineModel;
+use dsk_core::common::{AlgorithmFamily, Elision};
+use dsk_core::theory::{self, Algorithm};
+use dsk_core::GlobalProblem;
+
+const P: usize = 32;
+const C_MAX: usize = 16;
+
+fn main() {
+    let quick = quick_mode();
+    let model = MachineModel::cori_knl();
+    let (m, rs, nnzs) = fig6_grid(quick);
+    let candidates = [
+        Algorithm::new(AlgorithmFamily::DenseShift15, Elision::LocalKernelFusion),
+        Algorithm::new(AlgorithmFamily::SparseShift15, Elision::ReplicationReuse),
+    ];
+
+    let mut predicted = vec![vec![' '; rs.len()]; nnzs.len()];
+    let mut observed = vec![vec![' '; rs.len()]; nnzs.len()];
+    let mut agree = 0usize;
+    let mut total = 0usize;
+
+    for (yi, &nnz_row) in nnzs.iter().enumerate() {
+        for (xi, &r) in rs.iter().enumerate() {
+            let dims = dsk_core::ProblemDims::new(m, m, r);
+            let nnz = m * nnz_row;
+            let pred = theory::predict_best(&model, &candidates, P, dims, nnz, C_MAX);
+            predicted[yi][xi] = glyph(pred.algorithm.family);
+
+            let prob = Arc::new(GlobalProblem::erdos_renyi(m, m, r, nnz_row, 4242));
+            let mut best: Option<(char, f64)> = None;
+            for alg in candidates {
+                if let Some(row) = run_fused_best_c(&prob, model, P, alg, C_MAX, 1) {
+                    if best.is_none_or(|(_, t)| row.total_s < t) {
+                        best = Some((glyph(alg.family), row.total_s));
+                    }
+                }
+            }
+            observed[yi][xi] = best.map(|(g, _)| g).unwrap_or('?');
+            total += 1;
+            if predicted[yi][xi] == observed[yi][xi] {
+                agree += 1;
+            }
+            eprintln!(
+                "[fig6] r={r} nnz/row={nnz_row}: predicted {} observed {}",
+                predicted[yi][xi], observed[yi][xi]
+            );
+        }
+    }
+
+    println!("\n### Figure 6 — fastest algorithm over (r, nnz/row), p = {P}, m = {m}\n");
+    println!("D = 1.5D Dense Shift w/ Local Kernel Fusion");
+    println!("S = 1.5D Sparse Shift w/ Replication Reuse\n");
+    for (name, grid) in [("Predicted", &predicted), ("Observed", &observed)] {
+        println!("{name}:");
+        println!(
+            "  nnz/row ↓ · r → {}",
+            rs.iter().map(|r| format!("{r:>4}")).collect::<String>()
+        );
+        for (yi, &nnz_row) in nnzs.iter().enumerate().rev() {
+            let cells: String = grid[yi].iter().map(|g| format!("{g:>4}")).collect();
+            println!("  {nnz_row:>14} {cells}");
+        }
+        println!();
+    }
+    println!(
+        "prediction/observation agreement: {agree}/{total} ({:.0}%)",
+        100.0 * agree as f64 / total as f64
+    );
+}
+
+fn glyph(f: AlgorithmFamily) -> char {
+    match f {
+        AlgorithmFamily::DenseShift15 => 'D',
+        AlgorithmFamily::SparseShift15 => 'S',
+        AlgorithmFamily::DenseRepl25 => 'd',
+        AlgorithmFamily::SparseRepl25 => 's',
+    }
+}

@@ -1,0 +1,77 @@
+//! Figure 7: predicted vs observed optimal replication factor for the
+//! 1.5D dense-shifting algorithm under its three FusedMM strategies,
+//! across the weak-scaling (setup 1) processor counts.
+//!
+//! Expected shape (paper §VI-C): c*(replication reuse) ≥ c*(no elision)
+//! ≥ c*(local kernel fusion) at every p — the elision strategies shift
+//! the replication/propagation balance in opposite directions — with
+//! predictions √(2p), √p, √(p/2) respectively (capped by the tested
+//! range, as in the paper's memory-limited sweep).
+
+use std::sync::Arc;
+
+use dsk_bench::harness::{quick_mode, run_fused};
+use dsk_bench::workloads;
+use dsk_comm::MachineModel;
+use dsk_core::common::{AlgorithmFamily, Elision};
+use dsk_core::theory::{self, Algorithm};
+
+const C_MAX: usize = 16;
+const CALLS: usize = 1;
+
+fn main() {
+    let quick = quick_mode();
+    let model = MachineModel::cori_knl();
+    let ps: Vec<usize> = if quick {
+        vec![2, 4, 8, 16]
+    } else {
+        vec![2, 4, 8, 16, 32, 64, 128, 256]
+    };
+    let variants = [
+        Elision::LocalKernelFusion,
+        Elision::None,
+        Elision::ReplicationReuse,
+    ];
+
+    println!("\n### Figure 7 — optimal replication factor, 1.5D dense shifting\n");
+    println!(
+        "| {:>4} | {:<22} | {:>11} | {:>10} |",
+        "p", "variant", "predicted c*", "observed c*"
+    );
+    println!("|{:-<6}|{:-<24}|{:-<13}|{:-<12}|", "", "", "", "");
+
+    let mut ordering_ok = true;
+    for &p in &ps {
+        let prob = Arc::new(workloads::weak_setup1(p, 42));
+        let phi = prob.phi();
+        let mut observed = Vec::new();
+        for elision in variants {
+            let alg = Algorithm::new(AlgorithmFamily::DenseShift15, elision);
+            let pred = theory::optimal_c_formula(alg, p, phi).clamp(1.0, C_MAX as f64);
+            let mut best: Option<(usize, f64)> = None;
+            for c in theory::valid_replication_factors(alg, p, C_MAX) {
+                let row = run_fused(&prob, model, p, alg, c, CALLS);
+                if best.is_none_or(|(_, t)| row.total_s < t) {
+                    best = Some((c, row.total_s));
+                }
+            }
+            let (c_obs, _) = best.unwrap();
+            observed.push(c_obs);
+            println!(
+                "| {:>4} | {:<22} | {:>11.1} | {:>10} |",
+                p,
+                elision.label(),
+                pred,
+                c_obs
+            );
+        }
+        // Ordering check: c*(LKF) ≤ c*(None) ≤ c*(Reuse).
+        if !(observed[0] <= observed[1] && observed[1] <= observed[2]) {
+            ordering_ok = false;
+        }
+    }
+    println!(
+        "\noptimal-c ordering LKF ≤ None ≤ Reuse observed at every p: {}",
+        if ordering_ok { "yes (as predicted)" } else { "no" }
+    );
+}

@@ -1,0 +1,135 @@
+//! Figure 9: end-to-end application benchmarks — ALS collaborative
+//! filtering (20 batched-CG iterations: 10 for each factor) and a
+//! multi-head GAT forward pass — on the amazon-large surrogate.
+//!
+//! Time is broken into the kernels' replication / propagation /
+//! computation plus communication and computation *outside* the fused
+//! kernels (distribution shifts, CG dot products, softmax reductions,
+//! dense transforms).
+//!
+//! Expected shape (paper §VI-E): outside-kernel time is a visible but
+//! minor fraction; the sparse-shifting and sparse-replicating variants
+//! pay more for the distributed dot products (their rows are split
+//! across ranks), and the 1.5D local-kernel-fusion variant is absent
+//! from GAT because softmax needs the materialized SDDMM.
+
+use std::sync::Arc;
+
+use dsk_apps::{run_als, AlsConfig, AppEngine, GatConfig, GatEngine, GatHead};
+use dsk_bench::harness::quick_mode;
+use dsk_bench::workloads::strong_surrogate;
+use dsk_comm::{AggregateStats, MachineModel, Phase, SimWorld};
+use dsk_core::common::{AlgorithmFamily, Elision};
+use dsk_core::theory::{self, Algorithm};
+use dsk_core::StagedProblem;
+use dsk_sparse::gen::PAPER_MATRICES;
+
+fn breakdown_row(label: &str, c: usize, agg: &AggregateStats) {
+    println!(
+        "| {:<40} | {:>2} | {:>9.4} | {:>9.4} | {:>9.4} | {:>9.4} | {:>9.4} |",
+        label,
+        c,
+        agg.modeled_s(Phase::Replication),
+        agg.modeled_s(Phase::Propagation),
+        agg.modeled_s(Phase::Computation),
+        agg.modeled_s(Phase::OutsideComm),
+        agg.modeled_s(Phase::OutsideCompute),
+    );
+}
+
+fn header(title: &str) {
+    println!("\n### {title}\n");
+    println!(
+        "| {:<40} | {:>2} | {:>9} | {:>9} | {:>9} | {:>9} | {:>9} |",
+        "algorithm", "c", "repl", "prop", "comp", "out-comm", "out-comp"
+    );
+    println!(
+        "|{:-<42}|{:-<4}|{:-<11}|{:-<11}|{:-<11}|{:-<11}|{:-<11}|",
+        "", "", "", "", "", "", ""
+    );
+}
+
+fn main() {
+    let quick = quick_mode();
+    let model = MachineModel::cori_knl();
+    let p: usize = if quick { 16 } else { 64 };
+    // amazon-large surrogate (the paper's Fig. 9 matrix).
+    let scale = if quick { 12 } else { 15 };
+    let prob = Arc::new(strong_surrogate(&PAPER_MATRICES[0], scale, 7));
+    let dims = prob.dims;
+    let nnz = prob.nnz();
+    eprintln!("[fig9] amazon-surrogate n={} nnz={nnz} p={p}", dims.n);
+
+    let pick_c = |alg: Algorithm| theory::optimal_c_search(alg, p, dims, nnz, 16).unwrap_or(1);
+
+    // --- ALS ----------------------------------------------------------
+    let als_algs = [
+        Algorithm::new(AlgorithmFamily::SparseShift15, Elision::ReplicationReuse),
+        Algorithm::new(AlgorithmFamily::SparseRepl25, Elision::None),
+        Algorithm::new(AlgorithmFamily::DenseShift15, Elision::LocalKernelFusion),
+        Algorithm::new(AlgorithmFamily::DenseRepl25, Elision::ReplicationReuse),
+        Algorithm::new(AlgorithmFamily::DenseShift15, Elision::ReplicationReuse),
+    ];
+    header(&format!(
+        "Figure 9 (ALS) — 20 CG iterations on amazon-surrogate, p={p}, r={}",
+        dims.r
+    ));
+    for alg in als_algs {
+        let c = pick_c(alg);
+        let staged = Arc::new(StagedProblem::new(Arc::clone(&prob)));
+        let world = SimWorld::new(p, model);
+        let outcomes = world.run(|comm| {
+            let mut eng = AppEngine::from_staged(comm, alg.family, c, alg.elision, &staged);
+            run_als(
+                &mut eng,
+                &AlsConfig {
+                    lambda: 0.05,
+                    cg_iters: 10,
+                    sweeps: 1,
+                    track_loss: false,
+                },
+            )
+        });
+        let stats: Vec<_> = outcomes.into_iter().map(|o| o.stats).collect();
+        breakdown_row(&alg.label(), c, &AggregateStats::from_ranks(&stats));
+    }
+
+    // --- GAT ----------------------------------------------------------
+    let gat_algs = [
+        Algorithm::new(AlgorithmFamily::SparseShift15, Elision::ReplicationReuse),
+        Algorithm::new(AlgorithmFamily::SparseRepl25, Elision::None),
+        Algorithm::new(AlgorithmFamily::DenseRepl25, Elision::ReplicationReuse),
+        Algorithm::new(AlgorithmFamily::DenseShift15, Elision::ReplicationReuse),
+    ];
+    // GAT needs A == B == H: reuse the surrogate's sparsity with shared
+    // embeddings.
+    let h = prob.a.clone();
+    let gat_prob = Arc::new(dsk_core::GlobalProblem::new(prob.s.clone(), h.clone(), h));
+    let cfg = GatConfig {
+        heads: 2,
+        negative_slope: 0.2,
+    };
+    let heads: Vec<GatHead> = (0..cfg.heads as u64)
+        .map(|i| GatHead::random(dims.r, 900 + i))
+        .collect();
+    header(&format!(
+        "Figure 9 (GAT) — {}-head forward pass on amazon-surrogate, p={p}, r={}",
+        cfg.heads, dims.r
+    ));
+    for alg in gat_algs {
+        let c = pick_c(alg);
+        let staged = Arc::new(StagedProblem::new(Arc::clone(&gat_prob)));
+        let heads = heads.clone();
+        let world = SimWorld::new(p, model);
+        let outcomes = world.run(|comm| {
+            let mut eng = GatEngine::from_staged(comm, alg.family, c, &staged);
+            let _ = eng.forward(&heads, &cfg);
+        });
+        let stats: Vec<_> = outcomes.into_iter().map(|o| o.stats).collect();
+        breakdown_row(alg.family.label(), c, &AggregateStats::from_ranks(&stats));
+    }
+    println!(
+        "\n(1.5D Local Kernel Fusion is not benchmarked for GAT — incompatible \
+         with softmax regularization of learned edge weights, as in the paper.)"
+    );
+}

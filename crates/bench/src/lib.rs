@@ -1,0 +1,28 @@
+//! # dsk-bench — the paper's experimental campaign
+//!
+//! One binary per table/figure of the evaluation section, each printing
+//! the same rows/series the paper reports (at the scaled-down problem
+//! sizes documented in `EXPERIMENTS.md`):
+//!
+//! | binary | reproduces |
+//! |--------|------------|
+//! | `table3_validation` | Table III — measured vs analytic words & messages |
+//! | `table4_optimal_c` | Table IV — formula vs observed optimal replication factors |
+//! | `fig4_weak_scaling` | Fig. 4 — weak scaling, setups 1 & 2, eight algorithms |
+//! | `fig5_breakdown` | Fig. 5 — replication/propagation/computation breakdown |
+//! | `fig6_phase_diagram` | Fig. 6 — predicted & observed best algorithm over (r, nnz/row) |
+//! | `fig7_replication_factors` | Fig. 7 — predicted vs observed optimal c |
+//! | `fig8_strong_scaling` | Fig. 8 — strong scaling on real-matrix surrogates + PETSc-like baseline |
+//! | `fig9_applications` | Fig. 9 — ALS and GAT time breakdowns |
+//!
+//! Criterion micro-benchmarks for the local kernels, the collectives,
+//! and small distributed runs live under `benches/`.
+//!
+//! Reported times are **modeled** (α-β-γ with Cori-like constants)
+//! computed from message/word/flop counts measured during real execution
+//! of the distributed algorithms over threads; see `DESIGN.md` §3.
+
+pub mod harness;
+pub mod workloads;
+
+pub use harness::{run_baseline, run_fused, run_fused_best_c, FusedRow};

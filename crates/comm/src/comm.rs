@@ -1,0 +1,354 @@
+//! The per-rank communicator handle: point-to-point messaging, phase
+//! accounting, compute metering, and communicator splitting.
+//!
+//! A [`Comm`] is what a distributed algorithm receives instead of an MPI
+//! communicator. All traffic it generates is charged to the rank's
+//! [`RankStats`] under the currently active [`Phase`], using the world's
+//! [`MachineModel`] for modeled time.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::model::MachineModel;
+use crate::payload::Payload;
+use crate::stats::{Phase, RankStats};
+use crate::transport::Transport;
+
+/// Reserved tag base for internal collective operations; user tags must be
+/// below this value.
+pub const COLLECTIVE_TAG_BASE: u32 = 0xFFFF_0000;
+
+/// Shared per-rank state: the stats ledger and the wall-clock anchor used
+/// to partition real time across phases.
+pub(crate) struct RankShared {
+    pub(crate) stats: Mutex<RankStats>,
+    pub(crate) wall_anchor: Mutex<Instant>,
+}
+
+impl RankShared {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(RankShared {
+            stats: Mutex::new(RankStats::default()),
+            wall_anchor: Mutex::new(Instant::now()),
+        })
+    }
+}
+
+/// A communicator: a named, ordered group of ranks with its own isolated
+/// tag space. Cheap to clone; clones share the rank's statistics ledger.
+pub struct Comm {
+    transport: Arc<Transport>,
+    model: MachineModel,
+    shared: Arc<RankShared>,
+    /// Global (world) ranks of the members, indexed by communicator rank.
+    members: Arc<Vec<usize>>,
+    /// This rank's position within `members`.
+    rank: usize,
+    /// Context id isolating this communicator's messages from others.
+    context: u64,
+    /// Number of splits performed on this communicator so far (must
+    /// advance identically on all members).
+    split_seq: Cell<u64>,
+}
+
+impl Comm {
+    /// Construct the world communicator for `global_rank`. Used by
+    /// [`SimWorld`](crate::SimWorld); algorithms obtain sub-communicators
+    /// via [`Comm::split_by`].
+    pub(crate) fn world(
+        transport: Arc<Transport>,
+        model: MachineModel,
+        shared: Arc<RankShared>,
+        global_rank: usize,
+    ) -> Self {
+        let n = transport.nranks();
+        Comm {
+            transport,
+            model,
+            shared,
+            members: Arc::new((0..n).collect()),
+            rank: global_rank,
+            context: 0x9E37_79B9_7F4A_7C15,
+            split_seq: Cell::new(0),
+        }
+    }
+
+    /// Rank of this process within this communicator.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in this communicator.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Global (world) rank of the member with communicator rank `r`.
+    #[inline]
+    pub fn global_rank_of(&self, r: usize) -> usize {
+        self.members[r]
+    }
+
+    /// This process's global (world) rank.
+    #[inline]
+    pub fn my_global_rank(&self) -> usize {
+        self.members[self.rank]
+    }
+
+    /// The machine model used for time accounting.
+    #[inline]
+    pub fn model(&self) -> &MachineModel {
+        &self.model
+    }
+
+    // ------------------------------------------------------------------
+    // Phase and statistics management
+    // ------------------------------------------------------------------
+
+    /// Flush wall-clock time since the last transition into the currently
+    /// active phase and reset the anchor.
+    fn flush_wall(&self) {
+        let mut anchor = self.shared.wall_anchor.lock();
+        let now = Instant::now();
+        let elapsed = now.duration_since(*anchor).as_secs_f64();
+        *anchor = now;
+        let mut stats = self.shared.stats.lock();
+        let cur = stats.current_phase();
+        stats.record_wall(cur, elapsed);
+    }
+
+    /// Switch the active accounting phase, returning the previous one.
+    /// Prefer the RAII [`Comm::phase`] guard.
+    pub fn set_phase(&self, p: Phase) -> Phase {
+        self.flush_wall();
+        self.shared.stats.lock().set_phase(p)
+    }
+
+    /// RAII guard: activates `p` until dropped, then restores the
+    /// previous phase. Wall time is partitioned exactly at transitions.
+    pub fn phase(&self, p: Phase) -> PhaseGuard<'_> {
+        let prev = self.set_phase(p);
+        PhaseGuard { comm: self, prev }
+    }
+
+    /// Run `f` as metered local computation: charges `flops` (and the
+    /// corresponding γ-modeled time) to the [`Phase::Computation`] bucket
+    /// and confines the wall time of `f` to that bucket too.
+    pub fn compute<R>(&self, flops: u64, f: impl FnOnce() -> R) -> R {
+        let _g = self.phase(Phase::Computation);
+        let t = self.model.flop_time(flops);
+        self.shared.stats.lock().record_flops(flops, t);
+        f()
+    }
+
+    /// Charge flops to the current phase without switching phases (for
+    /// callers that manage phases themselves).
+    pub fn record_flops(&self, flops: u64) {
+        let t = self.model.flop_time(flops);
+        self.shared.stats.lock().record_flops(flops, t);
+    }
+
+    /// Pause statistics (verification / data-staging traffic). Returns a
+    /// guard; accounting resumes when it drops.
+    pub fn paused_stats(&self) -> PauseGuard<'_> {
+        self.flush_wall();
+        let prev = self.shared.stats.lock().set_paused(true);
+        PauseGuard { comm: self, prev }
+    }
+
+    /// Snapshot of this rank's statistics.
+    pub fn stats_snapshot(&self) -> RankStats {
+        self.shared.stats.lock().clone()
+    }
+
+    /// Reset this rank's statistics to zero (keeps the current phase).
+    pub fn reset_stats(&self) {
+        self.flush_wall();
+        let mut stats = self.shared.stats.lock();
+        let phase = stats.current_phase();
+        let paused = stats.is_paused();
+        *stats = RankStats::default();
+        stats.set_phase(phase);
+        stats.set_paused(paused);
+    }
+
+    pub(crate) fn finish(&self) {
+        self.flush_wall();
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn key_from(&self, src_comm_rank: usize, tag: u32) -> (usize, u64, u32) {
+        (self.members[src_comm_rank], self.context, tag)
+    }
+
+    fn post_to(&self, dst: usize, tag: u32, value: Box<dyn Any + Send>) {
+        let key = (self.my_global_rank(), self.context, tag);
+        self.transport.post(self.members[dst], key, value);
+    }
+
+    /// Send `value` to communicator rank `dst`. Charges `α + β·words` to
+    /// the sender (an un-overlapped, one-directional transfer).
+    pub fn send<T: Payload>(&self, dst: usize, tag: u32, value: T) {
+        let words = value.words() as u64;
+        let t = self.model.msg_time(words);
+        self.shared.stats.lock().record_send(words, t);
+        self.post_to(dst, tag, Box::new(value));
+    }
+
+    /// Blocking receive from communicator rank `src`. Charges
+    /// `α + β·words` to the receiver.
+    pub fn recv<T: Payload>(&self, src: usize, tag: u32) -> T {
+        let v = self.recv_uncharged::<T>(src, tag);
+        let words = v.words() as u64;
+        let t = self.model.msg_time(words);
+        self.shared.stats.lock().record_recv(words, t);
+        v
+    }
+
+    fn recv_uncharged<T: Payload>(&self, src: usize, tag: u32) -> T {
+        let msg = self.transport.take(self.my_global_rank(), self.key_from(src, tag));
+        match msg.downcast::<T>() {
+            Ok(b) => *b,
+            Err(_) => panic!(
+                "rank {} (comm size {}): type mismatch receiving tag {} from rank {}: \
+                 expected {}",
+                self.rank,
+                self.size(),
+                tag,
+                src,
+                std::any::type_name::<T>()
+            ),
+        }
+    }
+
+    /// Simultaneous send to `dst` and receive from `src` (both
+    /// communicator ranks) — the building block of cyclic shifts and
+    /// pairwise-exchange collectives. Following the model's assumption
+    /// that sends and receives progress independently, the modeled cost is
+    /// `α + β·max(words_out, words_in)` charged once.
+    pub fn sendrecv<T: Payload>(&self, dst: usize, src: usize, tag: u32, value: T) -> T {
+        let words_out = value.words() as u64;
+        self.post_to(dst, tag, Box::new(value));
+        let v = self.recv_uncharged::<T>(src, tag);
+        let words_in = v.words() as u64;
+        let t = self.model.msg_time(words_out.max(words_in));
+        let mut stats = self.shared.stats.lock();
+        stats.record_send(words_out, 0.0);
+        stats.record_recv(words_in, t);
+        v
+    }
+
+    /// Cyclic shift by `disp`: send to `(rank + disp) mod size`, receive
+    /// from `(rank - disp) mod size`.
+    pub fn shift<T: Payload>(&self, disp: usize, tag: u32, value: T) -> T {
+        let p = self.size();
+        if p == 1 {
+            return value;
+        }
+        let dst = (self.rank + disp) % p;
+        let src = (self.rank + p - disp % p) % p;
+        self.sendrecv(dst, src, tag, value)
+    }
+
+    // ------------------------------------------------------------------
+    // Splitting
+    // ------------------------------------------------------------------
+
+    /// Split into sub-communicators by color, **without communication**:
+    /// `color` must be a pure function of the communicator rank that every
+    /// member evaluates identically (true for all grid decompositions in
+    /// this workspace). Members keep their relative order.
+    pub fn split_by(&self, color: impl Fn(usize) -> u64) -> Comm {
+        let my_color = color(self.rank);
+        let mut members = Vec::new();
+        let mut my_new_rank = usize::MAX;
+        for r in 0..self.size() {
+            if color(r) == my_color {
+                if r == self.rank {
+                    my_new_rank = members.len();
+                }
+                members.push(self.members[r]);
+            }
+        }
+        debug_assert_ne!(my_new_rank, usize::MAX);
+        let seq = self.split_seq.get();
+        self.split_seq.set(seq + 1);
+        Comm {
+            transport: Arc::clone(&self.transport),
+            model: self.model,
+            shared: Arc::clone(&self.shared),
+            members: Arc::new(members),
+            rank: my_new_rank,
+            context: mix_context(self.context, seq, my_color),
+            split_seq: Cell::new(0),
+        }
+    }
+
+    /// A new communicator with the same members but an isolated tag space.
+    pub fn dup(&self) -> Comm {
+        self.split_by(|_| 0)
+    }
+}
+
+/// RAII guard restoring the previous [`Phase`] on drop.
+pub struct PhaseGuard<'a> {
+    comm: &'a Comm,
+    prev: Phase,
+}
+
+impl Drop for PhaseGuard<'_> {
+    fn drop(&mut self) {
+        self.comm.set_phase(self.prev);
+    }
+}
+
+/// RAII guard resuming statistics collection on drop.
+pub struct PauseGuard<'a> {
+    comm: &'a Comm,
+    prev: bool,
+}
+
+impl Drop for PauseGuard<'_> {
+    fn drop(&mut self) {
+        self.comm.flush_wall();
+        self.comm.shared.stats.lock().set_paused(self.prev);
+        // Reset the anchor so paused wall time is not charged later.
+        *self.comm.shared.wall_anchor.lock() = Instant::now();
+    }
+}
+
+/// SplitMix64-style mixing of (parent context, split sequence, color) into
+/// a new context id. Collision probability is negligible for the handful
+/// of communicators an algorithm creates.
+fn mix_context(parent: u64, seq: u64, color: u64) -> u64 {
+    let mut z = parent ^ seq.rotate_left(17) ^ color.rotate_left(41);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_context_separates_colors_and_seqs() {
+        let a = mix_context(1, 0, 0);
+        let b = mix_context(1, 0, 1);
+        let c = mix_context(1, 1, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+}

@@ -1,0 +1,53 @@
+//! # dsk-comm — simulated distributed-memory runtime
+//!
+//! This crate provides the message-passing substrate used by every
+//! distributed algorithm in the workspace. It plays the role MPI plays in
+//! the paper (*Distributed-Memory Sparse Kernels for Machine Learning*,
+//! IPDPS 2022): ranks, point-to-point messages, collectives, communicator
+//! splitting, and cartesian process grids.
+//!
+//! Ranks are OS threads inside one process. Each rank owns its data
+//! privately and may interact with other ranks **only** through a
+//! [`Comm`] handle, so algorithm code is structured exactly as it would be
+//! on a real distributed-memory machine. Every message is counted, and a
+//! configurable [`MachineModel`] (α per-message latency, β inverse
+//! bandwidth, γ per-flop cost) converts the measured message/word/flop
+//! counts into a *modeled* execution time with Cray-XC40-like constants.
+//! Real wall-clock time is recorded alongside.
+//!
+//! The accounting is phase-tagged ([`Phase`]): the paper's experiments
+//! break time into *replication* (fiber-axis collectives), *propagation*
+//! (cyclic shifts), and *computation* (local kernels), plus
+//! application-level time outside the fused kernels.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dsk_comm::{SimWorld, MachineModel, Phase};
+//!
+//! let world = SimWorld::new(4, MachineModel::cori_knl());
+//! let outcomes = world.run(|comm| {
+//!     let _g = comm.phase(Phase::Propagation);
+//!     // Everyone contributes rank*1.0; the ring all-gather returns all
+//!     // contributions ordered by rank.
+//!     let all = comm.allgather(vec![comm.rank() as f64]);
+//!     all.iter().map(|v| v[0]).sum::<f64>()
+//! });
+//! assert!(outcomes.iter().all(|o| o.value == 6.0));
+//! ```
+
+pub mod collectives;
+pub mod comm;
+pub mod grid;
+pub mod model;
+pub mod payload;
+pub mod stats;
+pub mod transport;
+pub mod world;
+
+pub use comm::Comm;
+pub use grid::{Grid15, Grid25, GridComms15, GridComms25};
+pub use model::MachineModel;
+pub use payload::Payload;
+pub use stats::{AggregateStats, Phase, PhaseCounters, RankStats, N_PHASES};
+pub use world::{RankOutcome, SimWorld};

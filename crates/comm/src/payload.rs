@@ -1,0 +1,121 @@
+//! Word accounting for message payloads.
+//!
+//! The paper counts communication in *words*: one `f64` value is one word,
+//! and a COO nonzero in flight costs three words (row, column, value).
+//! Every type sent through a [`Comm`](crate::Comm) implements [`Payload`]
+//! so the runtime can count traffic without serializing anything — ranks
+//! live in one address space and messages move by ownership transfer.
+
+/// A value that can be sent between ranks, with a well-defined size in
+/// 8-byte words for communication accounting.
+pub trait Payload: Send + 'static {
+    /// Number of 8-byte words this value occupies on the (modeled) wire.
+    fn words(&self) -> usize;
+}
+
+impl Payload for () {
+    fn words(&self) -> usize {
+        0
+    }
+}
+
+impl Payload for bool {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl Payload for u64 {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl Payload for usize {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl Payload for f64 {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl Payload for Vec<f64> {
+    fn words(&self) -> usize {
+        self.len()
+    }
+}
+
+impl Payload for Vec<u64> {
+    fn words(&self) -> usize {
+        self.len()
+    }
+}
+
+/// Indices are counted as one word each, matching the paper's 3-words-per-
+/// COO-nonzero accounting even when stored as `u32` in memory.
+impl Payload for Vec<u32> {
+    fn words(&self) -> usize {
+        self.len()
+    }
+}
+
+impl Payload for Vec<usize> {
+    fn words(&self) -> usize {
+        self.len()
+    }
+}
+
+impl<A: Payload, B: Payload> Payload for (A, B) {
+    fn words(&self) -> usize {
+        self.0.words() + self.1.words()
+    }
+}
+
+impl<A: Payload, B: Payload, C: Payload> Payload for (A, B, C) {
+    fn words(&self) -> usize {
+        self.0.words() + self.1.words() + self.2.words()
+    }
+}
+
+impl<T: Payload> Payload for Option<T> {
+    fn words(&self) -> usize {
+        self.as_ref().map_or(0, Payload::words)
+    }
+}
+
+impl<T: Payload> Payload for Box<T> {
+    fn words(&self) -> usize {
+        (**self).words()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_words() {
+        assert_eq!(().words(), 0);
+        assert_eq!(1u64.words(), 1);
+        assert_eq!(1.5f64.words(), 1);
+        assert_eq!(true.words(), 1);
+    }
+
+    #[test]
+    fn vector_words_equal_length() {
+        assert_eq!(vec![0.0f64; 17].words(), 17);
+        assert_eq!(vec![0u32; 9].words(), 9);
+    }
+
+    #[test]
+    fn composite_words_sum() {
+        let coo_like = (vec![0u32; 5], vec![0u32; 5], vec![0.0f64; 5]);
+        assert_eq!(coo_like.words(), 15);
+        assert_eq!(Some(vec![1.0f64; 3]).words(), 3);
+        assert_eq!(None::<Vec<f64>>.words(), 0);
+    }
+}

@@ -1,0 +1,416 @@
+//! Phase-tagged per-rank accounting of messages, words, flops, and time.
+//!
+//! The paper reports time broken into *replication* (all-gather /
+//! reduce-scatter along the fiber axis), *propagation* (cyclic shifts
+//! within a layer), and *computation* (local kernels); its application
+//! study (Fig. 9) additionally separates communication and computation
+//! occurring outside the FusedMM kernels. [`Phase`] mirrors exactly that
+//! taxonomy, and every [`Comm`](crate::Comm) operation charges the
+//! currently-active phase.
+
+use serde::{Deserialize, Serialize};
+
+/// Which part of a distributed kernel (or application) time is charged to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Fiber-axis collectives that create or merge replicas of a matrix
+    /// (all-gather of inputs, reduce-scatter of outputs).
+    Replication,
+    /// Cyclic shifts of matrix blocks within a grid layer.
+    Propagation,
+    /// Local SpMM / SDDMM / fused kernel execution.
+    Computation,
+    /// Application-level communication outside the distributed kernels
+    /// (e.g. distributed dot products in a CG solver).
+    OutsideComm,
+    /// Application-level computation outside the distributed kernels.
+    OutsideCompute,
+    /// Anything not meant to be timed (data distribution, verification).
+    /// This is the phase a fresh rank starts in.
+    Setup,
+}
+
+/// Number of distinct [`Phase`] values (array-backed accounting).
+pub const N_PHASES: usize = 6;
+
+impl Phase {
+    /// Dense index for array-backed per-phase counters.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Phase::Replication => 0,
+            Phase::Propagation => 1,
+            Phase::Computation => 2,
+            Phase::OutsideComm => 3,
+            Phase::OutsideCompute => 4,
+            Phase::Setup => 5,
+        }
+    }
+
+    /// All phases, in `index` order.
+    pub const ALL: [Phase; N_PHASES] = [
+        Phase::Replication,
+        Phase::Propagation,
+        Phase::Computation,
+        Phase::OutsideComm,
+        Phase::OutsideCompute,
+        Phase::Setup,
+    ];
+
+    /// Short human-readable label used in benchmark tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Replication => "replication",
+            Phase::Propagation => "propagation",
+            Phase::Computation => "computation",
+            Phase::OutsideComm => "outside-comm",
+            Phase::OutsideCompute => "outside-compute",
+            Phase::Setup => "setup",
+        }
+    }
+}
+
+/// Counters accumulated for a single phase on a single rank.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseCounters {
+    /// Messages sent by this rank.
+    pub msgs_sent: u64,
+    /// Words (8-byte units) sent by this rank.
+    pub words_sent: u64,
+    /// Messages received by this rank.
+    pub msgs_recv: u64,
+    /// Words received by this rank.
+    pub words_recv: u64,
+    /// Floating-point operations executed locally.
+    pub flops: u64,
+    /// Modeled time (seconds) under the α-β-γ machine model.
+    pub modeled_s: f64,
+    /// Real wall-clock time (seconds) spent while this phase was active.
+    pub wall_s: f64,
+}
+
+impl PhaseCounters {
+    /// Element-wise accumulate `other` into `self`.
+    pub fn merge(&mut self, other: &PhaseCounters) {
+        self.msgs_sent += other.msgs_sent;
+        self.words_sent += other.words_sent;
+        self.msgs_recv += other.msgs_recv;
+        self.words_recv += other.words_recv;
+        self.flops += other.flops;
+        self.modeled_s += other.modeled_s;
+        self.wall_s += other.wall_s;
+    }
+}
+
+/// All per-phase counters for one rank, plus the currently active phase.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RankStats {
+    per_phase: [PhaseCounters; N_PHASES],
+    current: Phase,
+    paused: bool,
+}
+
+impl Default for RankStats {
+    fn default() -> Self {
+        RankStats {
+            per_phase: [PhaseCounters::default(); N_PHASES],
+            current: Phase::Setup,
+            paused: false,
+        }
+    }
+}
+
+impl RankStats {
+    /// Counters for one phase.
+    pub fn phase(&self, p: Phase) -> &PhaseCounters {
+        &self.per_phase[p.index()]
+    }
+
+    /// Mutable counters for one phase.
+    pub fn phase_mut(&mut self, p: Phase) -> &mut PhaseCounters {
+        &mut self.per_phase[p.index()]
+    }
+
+    /// The phase that operations are currently charged to.
+    pub fn current_phase(&self) -> Phase {
+        self.current
+    }
+
+    /// Switch the active phase, returning the previous one.
+    pub fn set_phase(&mut self, p: Phase) -> Phase {
+        std::mem::replace(&mut self.current, p)
+    }
+
+    /// While paused, message/flop accounting is suppressed (used for
+    /// verification traffic like result gathering that a real run would
+    /// not perform).
+    pub fn set_paused(&mut self, paused: bool) -> bool {
+        std::mem::replace(&mut self.paused, paused)
+    }
+
+    /// Whether accounting is currently suppressed.
+    pub fn is_paused(&self) -> bool {
+        self.paused
+    }
+
+    /// Charge a sent message to the current phase.
+    pub fn record_send(&mut self, words: u64, modeled_s: f64) {
+        if self.paused {
+            return;
+        }
+        let c = &mut self.per_phase[self.current.index()];
+        c.msgs_sent += 1;
+        c.words_sent += words;
+        c.modeled_s += modeled_s;
+    }
+
+    /// Charge a received message to the current phase. `modeled_s` may be
+    /// zero when the cost was already charged on the matching send (e.g.
+    /// inside a send-receive pair that overlaps both directions).
+    pub fn record_recv(&mut self, words: u64, modeled_s: f64) {
+        if self.paused {
+            return;
+        }
+        let c = &mut self.per_phase[self.current.index()];
+        c.msgs_recv += 1;
+        c.words_recv += words;
+        c.modeled_s += modeled_s;
+    }
+
+    /// Charge local computation to the current phase.
+    pub fn record_flops(&mut self, flops: u64, modeled_s: f64) {
+        if self.paused {
+            return;
+        }
+        let c = &mut self.per_phase[self.current.index()];
+        c.flops += flops;
+        c.modeled_s += modeled_s;
+    }
+
+    /// Charge wall-clock seconds to a specific phase (used by the RAII
+    /// phase guard on drop).
+    pub fn record_wall(&mut self, phase: Phase, seconds: f64) {
+        if self.paused {
+            return;
+        }
+        self.per_phase[phase.index()].wall_s += seconds;
+    }
+
+    /// Extra modeled seconds charged directly (used by collectives whose
+    /// cost formula is not a plain sum of their constituent messages).
+    pub fn record_modeled(&mut self, seconds: f64) {
+        if self.paused {
+            return;
+        }
+        self.per_phase[self.current.index()].modeled_s += seconds;
+    }
+
+    /// Total across all phases except `Setup`.
+    pub fn total(&self) -> PhaseCounters {
+        let mut t = PhaseCounters::default();
+        for p in Phase::ALL {
+            if p != Phase::Setup {
+                t.merge(&self.per_phase[p.index()]);
+            }
+        }
+        t
+    }
+
+    /// Modeled communication time: everything except computation phases.
+    pub fn modeled_comm_s(&self) -> f64 {
+        self.phase(Phase::Replication).modeled_s
+            + self.phase(Phase::Propagation).modeled_s
+            + self.phase(Phase::OutsideComm).modeled_s
+    }
+
+    /// Modeled computation time.
+    pub fn modeled_comp_s(&self) -> f64 {
+        self.phase(Phase::Computation).modeled_s + self.phase(Phase::OutsideCompute).modeled_s
+    }
+}
+
+/// Cross-rank aggregation of [`RankStats`]: the paper's "communication
+/// cost" is the *maximum* over processors of time spent communicating,
+/// while volumes are usually reported as totals.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AggregateStats {
+    /// Number of ranks aggregated.
+    pub nranks: usize,
+    /// Per-phase: maximum modeled seconds over ranks.
+    pub max_modeled_s: [f64; N_PHASES],
+    /// Per-phase: maximum wall seconds over ranks.
+    pub max_wall_s: [f64; N_PHASES],
+    /// Per-phase: total words sent across all ranks.
+    pub total_words_sent: [u64; N_PHASES],
+    /// Per-phase: total messages sent across all ranks.
+    pub total_msgs_sent: [u64; N_PHASES],
+    /// Per-phase: maximum words sent by any single rank.
+    pub max_words_sent: [u64; N_PHASES],
+    /// Per-phase: maximum messages sent by any single rank.
+    pub max_msgs_sent: [u64; N_PHASES],
+    /// Per-phase: total flops across all ranks.
+    pub total_flops: [u64; N_PHASES],
+}
+
+impl AggregateStats {
+    /// Aggregate a slice of per-rank stats.
+    pub fn from_ranks(ranks: &[RankStats]) -> Self {
+        let mut a = AggregateStats {
+            nranks: ranks.len(),
+            ..Default::default()
+        };
+        for r in ranks {
+            for p in Phase::ALL {
+                let i = p.index();
+                let c = r.phase(p);
+                a.max_modeled_s[i] = a.max_modeled_s[i].max(c.modeled_s);
+                a.max_wall_s[i] = a.max_wall_s[i].max(c.wall_s);
+                a.total_words_sent[i] += c.words_sent;
+                a.total_msgs_sent[i] += c.msgs_sent;
+                a.max_words_sent[i] = a.max_words_sent[i].max(c.words_sent);
+                a.max_msgs_sent[i] = a.max_msgs_sent[i].max(c.msgs_sent);
+                a.total_flops[i] += c.flops;
+            }
+        }
+        a
+    }
+
+    /// Modeled time for one phase (max over ranks).
+    pub fn modeled_s(&self, p: Phase) -> f64 {
+        self.max_modeled_s[p.index()]
+    }
+
+    /// Modeled communication time (replication + propagation +
+    /// outside-kernel communication), max-over-ranks per phase summed.
+    pub fn modeled_comm_s(&self) -> f64 {
+        self.modeled_s(Phase::Replication)
+            + self.modeled_s(Phase::Propagation)
+            + self.modeled_s(Phase::OutsideComm)
+    }
+
+    /// Modeled computation time.
+    pub fn modeled_comp_s(&self) -> f64 {
+        self.modeled_s(Phase::Computation) + self.modeled_s(Phase::OutsideCompute)
+    }
+
+    /// Total modeled time excluding setup.
+    pub fn modeled_total_s(&self) -> f64 {
+        self.modeled_comm_s() + self.modeled_comp_s()
+    }
+
+    /// Lower bound on the modeled total under *perfect*
+    /// communication/computation overlap in the propagation phase — the
+    /// optimization the paper's §VII suggests via one-sided MPI/RDMA.
+    /// Replication collectives are synchronization points and cannot be
+    /// hidden, so the bound is
+    /// `replication + max(propagation, computation) + outside`.
+    pub fn modeled_total_overlapped_s(&self) -> f64 {
+        self.modeled_s(Phase::Replication)
+            + self
+                .modeled_s(Phase::Propagation)
+                .max(self.modeled_s(Phase::Computation))
+            + self.modeled_s(Phase::OutsideComm)
+            + self.modeled_s(Phase::OutsideCompute)
+    }
+
+    /// Total words sent across ranks and non-setup phases.
+    pub fn words_total(&self) -> u64 {
+        Phase::ALL
+            .iter()
+            .filter(|p| **p != Phase::Setup)
+            .map(|p| self.total_words_sent[p.index()])
+            .sum()
+    }
+
+    /// Maximum words sent by any rank in one phase.
+    pub fn max_words(&self, p: Phase) -> u64 {
+        self.max_words_sent[p.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_index_roundtrip() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+    }
+
+    #[test]
+    fn record_send_charges_current_phase() {
+        let mut s = RankStats::default();
+        s.set_phase(Phase::Propagation);
+        s.record_send(10, 0.5);
+        assert_eq!(s.phase(Phase::Propagation).words_sent, 10);
+        assert_eq!(s.phase(Phase::Propagation).msgs_sent, 1);
+        assert_eq!(s.phase(Phase::Replication).words_sent, 0);
+        assert!((s.phase(Phase::Propagation).modeled_s - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paused_stats_record_nothing() {
+        let mut s = RankStats::default();
+        s.set_phase(Phase::Propagation);
+        s.set_paused(true);
+        s.record_send(10, 0.5);
+        s.record_recv(10, 0.5);
+        s.record_flops(10, 0.5);
+        assert_eq!(s.total().words_sent, 0);
+        assert_eq!(s.total().flops, 0);
+    }
+
+    #[test]
+    fn setup_phase_excluded_from_total() {
+        let mut s = RankStats::default();
+        // Default phase is Setup.
+        s.record_send(100, 1.0);
+        assert_eq!(s.total().words_sent, 0);
+        s.set_phase(Phase::Replication);
+        s.record_send(7, 0.1);
+        assert_eq!(s.total().words_sent, 7);
+    }
+
+    #[test]
+    fn aggregate_takes_max_and_sum() {
+        let mut a = RankStats::default();
+        a.set_phase(Phase::Propagation);
+        a.record_send(10, 1.0);
+        let mut b = RankStats::default();
+        b.set_phase(Phase::Propagation);
+        b.record_send(30, 3.0);
+        let agg = AggregateStats::from_ranks(&[a, b]);
+        let i = Phase::Propagation.index();
+        assert_eq!(agg.total_words_sent[i], 40);
+        assert_eq!(agg.max_words_sent[i], 30);
+        assert!((agg.max_modeled_s[i] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_bound_hides_the_smaller_of_prop_and_comp() {
+        let mut a = RankStats::default();
+        a.set_phase(Phase::Replication);
+        a.record_send(1, 1.0);
+        a.set_phase(Phase::Propagation);
+        a.record_send(1, 4.0);
+        a.set_phase(Phase::Computation);
+        a.record_flops(1, 3.0);
+        let agg = AggregateStats::from_ranks(&[a]);
+        assert!((agg.modeled_total_s() - 8.0).abs() < 1e-12);
+        // Overlap hides computation behind the longer propagation.
+        assert!((agg.modeled_total_overlapped_s() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comm_and_comp_split() {
+        let mut s = RankStats::default();
+        s.set_phase(Phase::Replication);
+        s.record_send(1, 2.0);
+        s.set_phase(Phase::Computation);
+        s.record_flops(100, 4.0);
+        assert!((s.modeled_comm_s() - 2.0).abs() < 1e-12);
+        assert!((s.modeled_comp_s() - 4.0).abs() < 1e-12);
+    }
+}

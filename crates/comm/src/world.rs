@@ -1,0 +1,355 @@
+//! The simulated world: spawns one thread per rank and runs a distributed
+//! program to completion.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::comm::{Comm, RankShared};
+use crate::model::MachineModel;
+use crate::stats::RankStats;
+use crate::transport::Transport;
+
+/// Result of one rank's execution: its return value and statistics.
+#[derive(Debug)]
+pub struct RankOutcome<T> {
+    /// The rank that produced this outcome.
+    pub rank: usize,
+    /// The value returned by the rank's closure.
+    pub value: T,
+    /// The rank's phase-tagged communication/computation statistics.
+    pub stats: RankStats,
+}
+
+/// A simulated distributed-memory machine of `nranks` ranks.
+///
+/// Each call to [`SimWorld::run`] executes the given closure once per rank
+/// on its own OS thread. Ranks may only interact through the provided
+/// [`Comm`]; the world checks that every message sent was also received
+/// (a leaked message indicates a protocol bug).
+pub struct SimWorld {
+    nranks: usize,
+    model: MachineModel,
+    recv_timeout: Duration,
+}
+
+impl SimWorld {
+    /// A world of `nranks` ranks with machine model `model` and the
+    /// default 300 s receive watchdog.
+    pub fn new(nranks: usize, model: MachineModel) -> Self {
+        SimWorld {
+            nranks,
+            model,
+            recv_timeout: Duration::from_secs(300),
+        }
+    }
+
+    /// Override the receive watchdog (tests of failure modes use short
+    /// timeouts).
+    pub fn with_recv_timeout(mut self, timeout: Duration) -> Self {
+        self.recv_timeout = timeout;
+        self
+    }
+
+    /// Number of ranks.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// The machine model in use.
+    pub fn model(&self) -> &MachineModel {
+        &self.model
+    }
+
+    /// Run `f` on every rank; blocks until all ranks return. Outcomes are
+    /// ordered by rank.
+    ///
+    /// # Panics
+    ///
+    /// Propagates any rank's panic (annotated with the rank id), and
+    /// panics if messages were sent but never received.
+    pub fn run<T, F>(&self, f: F) -> Vec<RankOutcome<T>>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Sync,
+    {
+        let transport = Transport::new(self.nranks, self.recv_timeout);
+        let model = self.model;
+        let f = &f;
+        let mut outcomes: Vec<RankOutcome<T>> = Vec::with_capacity(self.nranks);
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.nranks);
+            for rank in 0..self.nranks {
+                let transport = Arc::clone(&transport);
+                handles.push(scope.spawn(move || {
+                    let shared = RankShared::new();
+                    let mut comm = Comm::world(transport, model, Arc::clone(&shared), rank);
+                    let value = f(&mut comm);
+                    comm.finish();
+                    let stats = comm.stats_snapshot();
+                    (value, stats)
+                }));
+            }
+            for (rank, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok((value, stats)) => outcomes.push(RankOutcome { rank, value, stats }),
+                    Err(e) => {
+                        let msg = e
+                            .downcast_ref::<String>()
+                            .map(String::as_str)
+                            .or_else(|| e.downcast_ref::<&str>().copied())
+                            .unwrap_or("<non-string panic>");
+                        panic!("rank {rank} panicked: {msg}");
+                    }
+                }
+            }
+        });
+
+        let leaked = transport.pending_messages();
+        assert_eq!(
+            leaked, 0,
+            "{leaked} message(s) were sent but never received — protocol bug"
+        );
+        outcomes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Phase;
+
+    #[test]
+    fn single_rank_world_runs() {
+        let w = SimWorld::new(1, MachineModel::bandwidth_only());
+        let out = w.run(|c| c.rank() + c.size());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].value, 1);
+    }
+
+    #[test]
+    fn ranks_see_distinct_ids() {
+        let w = SimWorld::new(4, MachineModel::bandwidth_only());
+        let out = w.run(|c| c.rank());
+        let ids: Vec<usize> = out.iter().map(|o| o.value).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn ring_shift_delivers_neighbor_value() {
+        let w = SimWorld::new(5, MachineModel::bandwidth_only());
+        let out = w.run(|c| {
+            let _g = c.phase(Phase::Propagation);
+            c.shift(1, 0, vec![c.rank() as f64])
+        });
+        for o in &out {
+            let expected = (o.rank + 5 - 1) % 5;
+            assert_eq!(o.value, vec![expected as f64]);
+        }
+    }
+
+    #[test]
+    fn shift_counts_one_message_per_rank() {
+        let w = SimWorld::new(4, MachineModel::bandwidth_only());
+        let out = w.run(|c| {
+            let _g = c.phase(Phase::Propagation);
+            let _ = c.shift(1, 0, vec![0.0f64; 10]);
+        });
+        for o in &out {
+            let c = o.stats.phase(Phase::Propagation);
+            assert_eq!(c.msgs_sent, 1);
+            assert_eq!(c.words_sent, 10);
+            assert_eq!(c.words_recv, 10);
+            // Overlapped sendrecv: charged once at β·max(10,10) = 10.
+            assert!((c.modeled_s - 10.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 1 panicked")]
+    fn rank_panic_is_propagated_with_rank_id() {
+        let w = SimWorld::new(2, MachineModel::bandwidth_only());
+        let _ = w.run(|c| {
+            if c.rank() == 1 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "never received")]
+    fn leaked_message_is_detected() {
+        let w = SimWorld::new(2, MachineModel::bandwidth_only());
+        let _ = w.run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 0, vec![1.0f64]);
+            }
+            // Rank 1 never receives.
+        });
+    }
+
+    #[test]
+    fn allgather_returns_contributions_in_rank_order() {
+        let w = SimWorld::new(6, MachineModel::bandwidth_only());
+        let out = w.run(|c| c.allgather(vec![c.rank() as f64 * 2.0]));
+        for o in &out {
+            let got: Vec<f64> = o.value.iter().map(|v| v[0]).collect();
+            assert_eq!(got, vec![0.0, 2.0, 4.0, 6.0, 8.0, 10.0]);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_sums_blocks() {
+        let p = 4;
+        let w = SimWorld::new(p, MachineModel::bandwidth_only());
+        let out = w.run(|c| {
+            // Every rank contributes [0, 1, 2, ..., 7].
+            let buf: Vec<f64> = (0..8).map(|i| i as f64).collect();
+            c.reduce_scatter_sum(&buf)
+        });
+        for o in &out {
+            // p ranks summed: block of 2 per rank.
+            let base = (o.rank * 2) as f64;
+            assert_eq!(o.value, vec![base * p as f64, (base + 1.0) * p as f64]);
+        }
+    }
+
+    #[test]
+    fn allreduce_matches_serial_sum() {
+        let p = 3;
+        let w = SimWorld::new(p, MachineModel::bandwidth_only());
+        let out = w.run(|c| {
+            let mut buf: Vec<f64> = (0..7).map(|i| (i + c.rank()) as f64).collect();
+            c.allreduce_sum(&mut buf);
+            buf
+        });
+        let expect: Vec<f64> = (0..7)
+            .map(|i| (0..p).map(|r| (i + r) as f64).sum())
+            .collect();
+        for o in &out {
+            assert_eq!(o.value, expect);
+        }
+    }
+
+    #[test]
+    fn broadcast_from_each_root() {
+        for root in 0..5 {
+            let w = SimWorld::new(5, MachineModel::bandwidth_only());
+            let out = w.run(|c| {
+                let v = if c.rank() == root {
+                    Some(vec![root as f64; 3])
+                } else {
+                    None
+                };
+                c.broadcast(root, v)
+            });
+            for o in &out {
+                assert_eq!(o.value, vec![root as f64; 3]);
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_routes_personalized_payloads() {
+        let p = 4;
+        let w = SimWorld::new(p, MachineModel::bandwidth_only());
+        let out = w.run(|c| {
+            let outgoing: Vec<Vec<f64>> = (0..p)
+                .map(|dst| vec![(c.rank() * 10 + dst) as f64])
+                .collect();
+            c.alltoallv_f64(outgoing)
+        });
+        for o in &out {
+            for (src, v) in o.value.iter().enumerate() {
+                assert_eq!(v, &vec![(src * 10 + o.rank) as f64]);
+            }
+        }
+    }
+
+    #[test]
+    fn gather_collects_at_root() {
+        let w = SimWorld::new(4, MachineModel::bandwidth_only());
+        let out = w.run(|c| c.gather(2, vec![c.rank() as f64]));
+        for o in &out {
+            if o.rank == 2 {
+                let flat: Vec<f64> = o.value.iter().map(|v| v[0]).collect();
+                assert_eq!(flat, vec![0.0, 1.0, 2.0, 3.0]);
+            } else {
+                assert!(o.value.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn split_by_creates_independent_groups() {
+        let w = SimWorld::new(6, MachineModel::bandwidth_only());
+        let out = w.run(|c| {
+            // Two groups: evens and odds.
+            let sub = c.split_by(|r| (r % 2) as u64);
+            let vals = sub.allgather(vec![c.rank() as f64]);
+            vals.iter().map(|v| v[0]).sum::<f64>()
+        });
+        for o in &out {
+            let expected: f64 = if o.rank % 2 == 0 {
+                0.0 + 2.0 + 4.0
+            } else {
+                1.0 + 3.0 + 5.0
+            };
+            assert_eq!(o.value, expected);
+        }
+    }
+
+    #[test]
+    fn paused_stats_suppress_accounting() {
+        let w = SimWorld::new(2, MachineModel::bandwidth_only());
+        let out = w.run(|c| {
+            let _p = c.phase(Phase::Propagation);
+            {
+                let _g = c.paused_stats();
+                let _ = c.shift(1, 0, vec![0.0f64; 100]);
+            }
+            let _ = c.shift(1, 1, vec![0.0f64; 5]);
+        });
+        for o in &out {
+            assert_eq!(o.stats.phase(Phase::Propagation).words_sent, 5);
+        }
+    }
+
+    #[test]
+    fn barrier_completes_on_odd_sizes() {
+        let w = SimWorld::new(7, MachineModel::bandwidth_only());
+        let _ = w.run(|c| c.barrier());
+    }
+
+    #[test]
+    fn compute_records_flops_and_gamma_time() {
+        let model = MachineModel {
+            alpha_s: 0.0,
+            beta_s_per_word: 0.0,
+            gamma_s_per_flop: 2.0,
+        };
+        let w = SimWorld::new(1, model);
+        let out = w.run(|c| c.compute(50, || 7));
+        assert_eq!(out[0].value, 7);
+        let comp = out[0].stats.phase(Phase::Computation);
+        assert_eq!(comp.flops, 50);
+        assert!((comp.modeled_s - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn allgather_word_count_matches_theory() {
+        // p-1 blocks of b words each per rank.
+        let (p, b) = (8usize, 12usize);
+        let w = SimWorld::new(p, MachineModel::bandwidth_only());
+        let out = w.run(|c| {
+            let _g = c.phase(Phase::Replication);
+            let _ = c.allgather(vec![1.0f64; b]);
+        });
+        for o in &out {
+            let s = o.stats.phase(Phase::Replication);
+            assert_eq!(s.words_sent, ((p - 1) * b) as u64);
+            // Modeled: (p-1) overlapped exchanges of b words.
+            assert!((s.modeled_s - ((p - 1) * b) as f64).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests of the collectives: correctness over random
+//! world sizes, payload lengths, and roots, plus accounting invariants.
+
+use proptest::prelude::*;
+
+use dsk_comm::{MachineModel, Phase, SimWorld};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Broadcast delivers the root's value to everyone, for any root.
+    #[test]
+    fn broadcast_any_root(p in 1usize..10, root in 0usize..10, len in 0usize..40) {
+        let root = root % p;
+        let w = SimWorld::new(p, MachineModel::bandwidth_only());
+        let out = w.run(move |comm| {
+            let v = (comm.rank() == root).then(|| vec![root as f64; len]);
+            comm.broadcast(root, v)
+        });
+        for o in &out {
+            prop_assert_eq!(&o.value, &vec![root as f64; len]);
+        }
+    }
+
+    /// All-gather returns contributions in rank order for ragged
+    /// payloads.
+    #[test]
+    fn allgather_ragged(p in 1usize..9, seed in 0u64..100) {
+        let w = SimWorld::new(p, MachineModel::bandwidth_only());
+        let out = w.run(move |comm| {
+            let len = ((seed as usize + comm.rank() * 7) % 5) + 1;
+            let mine = vec![comm.rank() as f64; len];
+            comm.allgather(mine)
+        });
+        for o in &out {
+            prop_assert_eq!(o.value.len(), p);
+            for (rk, part) in o.value.iter().enumerate() {
+                let len = ((seed as usize + rk * 7) % 5) + 1;
+                prop_assert_eq!(part, &vec![rk as f64; len]);
+            }
+        }
+    }
+
+    /// Reduce-scatter equals the serial sum restricted to each rank's
+    /// block, for any buffer length (including lengths smaller than p).
+    #[test]
+    fn reduce_scatter_any_length(p in 1usize..9, len in 0usize..30) {
+        let w = SimWorld::new(p, MachineModel::bandwidth_only());
+        let out = w.run(move |comm| {
+            let buf: Vec<f64> = (0..len).map(|i| (i + comm.rank()) as f64).collect();
+            comm.reduce_scatter_sum(&buf)
+        });
+        let serial: Vec<f64> = (0..len)
+            .map(|i| (0..p).map(|rk| (i + rk) as f64).sum())
+            .collect();
+        let mut reassembled = Vec::new();
+        for o in &out {
+            reassembled.extend_from_slice(&o.value);
+        }
+        prop_assert_eq!(reassembled, serial);
+    }
+
+    /// All-to-all routes every personalized payload to its addressee.
+    #[test]
+    fn alltoallv_routes(p in 1usize..8, base in 0usize..5) {
+        let w = SimWorld::new(p, MachineModel::bandwidth_only());
+        let out = w.run(move |comm| {
+            let me = comm.rank();
+            let outgoing: Vec<Vec<f64>> = (0..p)
+                .map(|dst| vec![(me * 100 + dst) as f64; base + (dst % 3)])
+                .collect();
+            comm.alltoallv_f64(outgoing)
+        });
+        for o in &out {
+            for (src, payload) in o.value.iter().enumerate() {
+                prop_assert_eq!(payload, &vec![(src * 100 + o.rank) as f64; base + (o.rank % 3)]);
+            }
+        }
+    }
+
+    /// Sends always balance receives globally, whatever the traffic
+    /// pattern.
+    #[test]
+    fn accounting_balances(p in 2usize..8, rounds in 1usize..4) {
+        let w = SimWorld::new(p, MachineModel::bandwidth_only());
+        let out = w.run(move |comm| {
+            let _g = comm.phase(Phase::Propagation);
+            for t in 0..rounds {
+                let _ = comm.shift(1 + t % (p - 1).max(1), t as u32, vec![1.0f64; 3 + t]);
+            }
+            comm.barrier();
+        });
+        let sent: u64 = out.iter().map(|o| o.stats.total().words_sent).sum();
+        let recvd: u64 = out.iter().map(|o| o.stats.total().words_recv).sum();
+        prop_assert_eq!(sent, recvd);
+    }
+
+    /// Nested splits produce consistent sub-groups: splitting a split
+    /// yields the expected memberships and working collectives.
+    #[test]
+    fn nested_splits_work(p in 4usize..9) {
+        let w = SimWorld::new(p, MachineModel::bandwidth_only());
+        let out = w.run(move |comm| {
+            let half = comm.split_by(|r| (r % 2) as u64);
+            let quarter = half.split_by(|r| (r % 2) as u64);
+            let vals = quarter.allgather(vec![comm.rank() as f64]);
+            vals.iter().map(|v| v[0] as usize).collect::<Vec<_>>()
+        });
+        for o in &out {
+            // Members of my quarter group: same rank mod 2, and same
+            // position-parity within the half group.
+            for &m in &o.value {
+                prop_assert_eq!(m % 2, o.rank % 2);
+            }
+            prop_assert!(o.value.contains(&o.rank));
+        }
+    }
+}

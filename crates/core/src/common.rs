@@ -1,0 +1,196 @@
+//! Shared vocabulary types for the distributed algorithms.
+
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// Global problem dimensions: `S: m×n` sparse, `A: m×r`, `B: n×r` dense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProblemDims {
+    /// Rows of `S` and `A`.
+    pub m: usize,
+    /// Columns of `S`, rows of `B`.
+    pub n: usize,
+    /// Width of the dense (embedding) matrices.
+    pub r: usize,
+}
+
+impl ProblemDims {
+    /// Convenience constructor.
+    pub fn new(m: usize, n: usize, r: usize) -> Self {
+        ProblemDims { m, n, r }
+    }
+
+    /// The paper's φ = nnz(S) / (n·r): the ratio of sparse-matrix
+    /// nonzeros to dense-matrix entries that governs which algorithm
+    /// family wins.
+    pub fn phi(&self, nnz: usize) -> f64 {
+        nnz as f64 / (self.n as f64 * self.r as f64)
+    }
+}
+
+/// The four sparsity-agnostic algorithm families of the paper's Fig. 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AlgorithmFamily {
+    /// 1.5D dense-shifting, dense-replicating (Algorithm 1).
+    DenseShift15,
+    /// 1.5D sparse-shifting, dense-replicating.
+    SparseShift15,
+    /// 2.5D dense-replicating (Algorithm 2).
+    DenseRepl25,
+    /// 2.5D sparse-replicating.
+    SparseRepl25,
+}
+
+impl AlgorithmFamily {
+    /// All families, in the paper's presentation order.
+    pub const ALL: [AlgorithmFamily; 4] = [
+        AlgorithmFamily::DenseShift15,
+        AlgorithmFamily::SparseShift15,
+        AlgorithmFamily::DenseRepl25,
+        AlgorithmFamily::SparseRepl25,
+    ];
+
+    /// Short label used in benchmark tables (matches the paper's legend).
+    pub fn label(&self) -> &'static str {
+        match self {
+            AlgorithmFamily::DenseShift15 => "1.5D Dense Shift",
+            AlgorithmFamily::SparseShift15 => "1.5D Sparse Shift",
+            AlgorithmFamily::DenseRepl25 => "2.5D Dense Repl.",
+            AlgorithmFamily::SparseRepl25 => "2.5D Sparse Repl.",
+        }
+    }
+
+    /// Which elision strategies this family admits (paper §IV-B, §V):
+    /// local kernel fusion requires full rows of both dense matrices on
+    /// one rank (only 1.5D dense shifting); the 2.5D sparse-replicating
+    /// algorithm replicates no dense matrix, so nothing can be elided.
+    pub fn supports(&self, e: Elision) -> bool {
+        match (self, e) {
+            (_, Elision::None) => true,
+            (AlgorithmFamily::DenseShift15, _) => true,
+            (AlgorithmFamily::SparseShift15, Elision::ReplicationReuse) => true,
+            (AlgorithmFamily::DenseRepl25, Elision::ReplicationReuse) => true,
+            _ => false,
+        }
+    }
+
+    /// Valid replication factors for `p` ranks (2.5D needs square
+    /// layers).
+    pub fn valid_c(&self, p: usize, c: usize) -> bool {
+        if c == 0 || !p.is_multiple_of(c) {
+            return false;
+        }
+        match self {
+            AlgorithmFamily::DenseShift15 | AlgorithmFamily::SparseShift15 => true,
+            AlgorithmFamily::DenseRepl25 | AlgorithmFamily::SparseRepl25 => {
+                let layer = p / c;
+                let q = (layer as f64).sqrt().round() as usize;
+                q * q == layer
+            }
+        }
+    }
+}
+
+/// Communication-eliding strategy for a FusedMM call (paper §IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Elision {
+    /// Two back-to-back kernel calls, no elision.
+    None,
+    /// Replicate one dense input once and reuse it for both kernels;
+    /// raises the optimal replication factor.
+    ReplicationReuse,
+    /// One propagation round running the fused local kernel; lowers the
+    /// optimal replication factor. 1.5D dense shifting only.
+    LocalKernelFusion,
+}
+
+impl Elision {
+    /// All strategies.
+    pub const ALL: [Elision; 3] = [
+        Elision::None,
+        Elision::ReplicationReuse,
+        Elision::LocalKernelFusion,
+    ];
+
+    /// Label matching the paper's figure legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Elision::None => "No Elision",
+            Elision::ReplicationReuse => "Repl. Reuse",
+            Elision::LocalKernelFusion => "Local Kernel Fusion",
+        }
+    }
+}
+
+/// Which values an SDDMM samples with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sampling {
+    /// Multiply dot products by the stored values of `S` (standard
+    /// SDDMM).
+    Values,
+    /// Treat `S` as a 0/1 pattern (used by the ALS normal-equation
+    /// matvec, where only the sparsity pattern masks the products).
+    Ones,
+}
+
+/// The contiguous sub-range of `0..total` forming block `idx` of
+/// `parts` (near-equal; first `total % parts` blocks get the extra
+/// element). Identical to `dsk_sparse::partition::block_range`;
+/// re-exported here because every distribution uses it.
+pub fn block_range(total: usize, parts: usize, idx: usize) -> Range<usize> {
+    dsk_sparse::partition::block_range(total, parts, idx)
+}
+
+/// Union of blocks `first..first+count` of the `parts`-way
+/// decomposition (a *macro* block: e.g. an S block row spanning `c`
+/// consecutive A block rows).
+pub fn union_range(total: usize, parts: usize, first: usize, count: usize) -> Range<usize> {
+    let a = block_range(total, parts, first);
+    let b = block_range(total, parts, first + count - 1);
+    a.start..b.end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phi_matches_definition() {
+        let d = ProblemDims::new(100, 200, 8);
+        assert!((d.phi(400) - 400.0 / 1600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn elision_support_matches_paper() {
+        use AlgorithmFamily::*;
+        use Elision::*;
+        assert!(DenseShift15.supports(LocalKernelFusion));
+        assert!(DenseShift15.supports(ReplicationReuse));
+        assert!(SparseShift15.supports(ReplicationReuse));
+        assert!(!SparseShift15.supports(LocalKernelFusion));
+        assert!(DenseRepl25.supports(ReplicationReuse));
+        assert!(!DenseRepl25.supports(LocalKernelFusion));
+        assert!(!SparseRepl25.supports(ReplicationReuse));
+        assert!(!SparseRepl25.supports(LocalKernelFusion));
+        assert!(SparseRepl25.supports(None));
+    }
+
+    #[test]
+    fn valid_c_checks_square_layers() {
+        use AlgorithmFamily::*;
+        assert!(DenseShift15.valid_c(8, 4));
+        assert!(!DenseShift15.valid_c(8, 3));
+        assert!(DenseRepl25.valid_c(8, 2)); // 4 = 2²
+        assert!(!DenseRepl25.valid_c(8, 1)); // 8 not square
+        assert!(SparseRepl25.valid_c(32, 2)); // 16 = 4²
+        assert!(!SparseRepl25.valid_c(32, 4)); // 8 not square
+    }
+
+    #[test]
+    fn union_range_spans_blocks() {
+        // 10 elements in 4 parts: [0..3), [3..6), [6..8), [8..10)
+        assert_eq!(union_range(10, 4, 0, 2), 0..6);
+        assert_eq!(union_range(10, 4, 2, 2), 6..10);
+        assert_eq!(union_range(10, 4, 1, 1), block_range(10, 4, 1));
+    }
+}

@@ -1,0 +1,672 @@
+//! The 2.5D dense-replicating algorithm (Algorithm 2 of the paper).
+//!
+//! Grid `q × q × c` with `q = √(p/c)` ([`GridComms25`]). Each of the `c`
+//! layers runs a Cannon-style schedule on its `q × q` face:
+//!
+//! * `S` is cut into `q` macro block rows × `q·c` column blocks; layer
+//!   `w` owns the column blocks `j ≡ w (mod c)` — together the layers
+//!   partition `S`, so SDDMM outputs need no reduction and each layer
+//!   sums a disjoint `1/c` of the `n`-contraction for SpMMA;
+//! * `B` is cut into `q·c` block rows (aligned with `S`'s column
+//!   blocks) × `q` r-slices;
+//! * `A` is **replicated**: rank `(u, v, w)` owns the `w`-th sub-block
+//!   of macro row `u` restricted to slice `v`; an all-gather along the
+//!   fiber materializes `T = A[macro u, slice v]` (or `T` starts at
+//!   zero and is reduce-scattered when `A` is the output).
+//!
+//! At step `t`, rank `(u, v, w)` holds the `S` block with column index
+//! `σ·c + w` and the `B` block with row index `σ·c + w`, where
+//! `σ = (u + v + t) mod q`; `S` shifts within grid rows and `B` within
+//! grid columns. Blocks are **stored pre-skewed** (the paper notes the
+//! initial alignment shift can be elided by filling buffers
+//! appropriately, and excludes it from its analysis).
+//!
+//! A traveling SDDMM block accumulates slice-partial dot products
+//! (visiting all `q` slices as it crosses its grid row); for SpMMB the
+//! `B`-shaped output circulates as an accumulator alongside, completing
+//! the `m`-contraction with no fiber traffic.
+
+use dsk_comm::{Comm, Grid25, GridComms25, Phase};
+use dsk_dense::Mat;
+use dsk_kernels as kern;
+use dsk_sparse::CooMatrix;
+
+use crate::common::{block_range, Elision, ProblemDims, Sampling};
+use crate::global::GlobalProblem;
+use crate::staged::StagedProblem;
+use crate::layout::DenseLayout;
+use crate::ss15::CombineSpec;
+
+/// Tag for traveling sparse blocks (row-ring).
+const TAG_SPARSE: u32 = 120;
+/// Tag for traveling dense panels (column-ring).
+const TAG_DENSE: u32 = 121;
+
+/// One orientation (canonical `S` or transposed `Sᵀ`) of the worker's
+/// traveling data.
+struct Oriented {
+    /// Home (pre-skewed) sparse block: rows local to macro row `u`,
+    /// columns local to its column block; values = sampling values.
+    s_home: CooMatrix,
+    /// Home (pre-skewed) traveling dense block (the `B` role).
+    y_home: Mat,
+    /// This rank's fiber sub-block of the replicated matrix (the `A`
+    /// role).
+    x_fiber: Mat,
+    /// Total columns of the oriented sparse matrix (rows of the
+    /// traveling dense matrix) — needed to size incoming blocks.
+    cols_tot: usize,
+}
+
+/// Per-rank state of the 2.5D dense-replicating algorithm.
+pub struct DenseRepl25 {
+    /// Grid communicators (row ring, column ring, fiber).
+    pub gc: GridComms25,
+    dims: ProblemDims,
+    /// Canonical orientation (replicate `A`, travel `S` and `B`).
+    canon: Oriented,
+    /// Transposed orientation (replicate `B`, travel `Sᵀ` and `A`).
+    trans: Oriented,
+    /// SDDMM result values for the canonical home block.
+    r_vals: Option<Vec<f64>>,
+}
+
+impl DenseRepl25 {
+    /// Build this rank's state from a borrowed global problem (test
+    /// convenience; benchmark runs share staging via
+    /// [`DenseRepl25::from_staged`]).
+    pub fn from_global(comm: &Comm, c: usize, prob: &GlobalProblem) -> Self {
+        Self::from_staged(comm, c, &StagedProblem::ephemeral(prob))
+    }
+
+    /// Build this rank's state from shared staging (no communication,
+    /// statistics unaffected).
+    pub fn from_staged(comm: &Comm, c: usize, staged: &StagedProblem) -> Self {
+        let prob = &*staged.prob;
+        let grid = Grid25::new(comm.size(), c).expect("invalid 2.5D grid");
+        let gc = GridComms25::build(comm, grid);
+        let (m, n) = (prob.dims.m, prob.dims.n);
+        let q = grid.q;
+        assert!(m >= q * c && n >= q * c, "matrix sides too small for grid");
+        let canon = Self::orient(&gc, staged, false, &prob.a, &prob.b, m, n, prob.dims.r);
+        let trans = Self::orient(&gc, staged, true, &prob.b, &prob.a, n, m, prob.dims.r);
+        DenseRepl25 {
+            gc,
+            dims: prob.dims,
+            canon,
+            trans,
+            r_vals: None,
+        }
+    }
+
+    /// Build one orientation: `s: rows_tot × cols_tot`, `x: rows_tot × r`
+    /// replicated, `y: cols_tot × r` traveling.
+    #[allow(clippy::too_many_arguments)]
+    fn orient(
+        gc: &GridComms25,
+        staged: &StagedProblem,
+        transposed: bool,
+        x: &Mat,
+        y: &Mat,
+        rows_tot: usize,
+        cols_tot: usize,
+        r: usize,
+    ) -> Oriented {
+        let (q, c) = (gc.grid.q, gc.grid.c);
+        let (u, v, w) = (gc.u, gc.v, gc.w);
+        let sigma0 = (u + v) % q;
+
+        let macro_rows: Vec<_> = (0..q).map(|uu| block_range(rows_tot, q, uu)).collect();
+        let col_blocks: Vec<_> = (0..q * c).map(|j| block_range(cols_tot, q * c, j)).collect();
+        let grid_s = staged.partition(transposed, &macro_rows, &col_blocks);
+        let s_home = grid_s[u][sigma0 * c + w].clone();
+
+        let slice = block_range(r, q, v);
+        let y_home = y.block(col_blocks[sigma0 * c + w].clone(), slice.clone());
+
+        // Fiber sub-block of the replicated matrix: the w-th c-way split
+        // of macro row u, restricted to slice v.
+        let mac = &macro_rows[u];
+        let sub = block_range(mac.len(), c, w);
+        let x_fiber = x.block(mac.start + sub.start..mac.start + sub.end, slice);
+        Oriented {
+            s_home,
+            y_home,
+            x_fiber,
+            cols_tot,
+        }
+    }
+
+    /// Problem dimensions.
+    pub fn dims(&self) -> ProblemDims {
+        self.dims
+    }
+
+    fn q(&self) -> usize {
+        self.gc.grid.q
+    }
+
+    /// Length of this rank's macro row over `m` (canonical replicated
+    /// side).
+    fn macro_rows_canon(&self) -> usize {
+        block_range(self.dims.m, self.q(), self.gc.u).len()
+    }
+
+    /// Length of this rank's macro row over `n` (transposed replicated
+    /// side).
+    fn macro_rows_trans(&self) -> usize {
+        block_range(self.dims.n, self.q(), self.gc.u).len()
+    }
+
+    /// Row count of the traveling dense block this rank holds at step
+    /// `t` (block index `σ(t)·c + w` of the `q·c`-way split).
+    fn y_rows_at(&self, o: &Oriented, t: usize) -> usize {
+        let (q, c, w) = (self.q(), self.gc.grid.c, self.gc.w);
+        let sigma = (self.gc.u + self.gc.v + t) % q;
+        block_range(o.cols_tot, q * c, sigma * c + w).len()
+    }
+
+    /// Layout of the replicated-side fiber sub-blocks for a matrix with
+    /// `rows` rows (the `A` layout in the canonical orientation).
+    pub fn fiber_layout(
+        rows: usize,
+        r: usize,
+        p: usize,
+        c: usize,
+    ) -> impl Fn(usize) -> DenseLayout {
+        let grid = Grid25::new(p, c).expect("invalid 2.5D grid");
+        move |g| {
+            let (u, v, w) = (grid.row_pos(g), grid.col_pos(g), grid.fiber_pos(g));
+            let mac = block_range(rows, grid.q, u);
+            let sub = block_range(mac.len(), c, w);
+            DenseLayout::single(
+                mac.start + sub.start..mac.start + sub.end,
+                block_range(r, grid.q, v),
+            )
+        }
+    }
+
+    /// Layout of the traveling-side home blocks for a matrix with
+    /// `rows` rows (the `B` layout in the canonical orientation). Note
+    /// the Cannon pre-skew: rank `(u,v,w)` homes block
+    /// `((u+v) mod q)·c + w`.
+    pub fn travel_layout(
+        rows: usize,
+        r: usize,
+        p: usize,
+        c: usize,
+    ) -> impl Fn(usize) -> DenseLayout {
+        let grid = Grid25::new(p, c).expect("invalid 2.5D grid");
+        move |g| {
+            let (u, v, w) = (grid.row_pos(g), grid.col_pos(g), grid.fiber_pos(g));
+            let sigma0 = (u + v) % grid.q;
+            DenseLayout::single(
+                block_range(rows, grid.q * c, sigma0 * c + w),
+                block_range(r, grid.q, v),
+            )
+        }
+    }
+
+    /// All-gather the fiber sub-blocks into `T = X[macro u, slice v]`.
+    /// `total_rows` (the macro-row length) is passed explicitly so that
+    /// empty r-slices still yield a correctly-shaped panel.
+    fn replicate(&self, x_fiber: &Mat, total_rows: usize) -> Mat {
+        let _ph = self.gc.fiber.phase(Phase::Replication);
+        let width = x_fiber.ncols();
+        let parts = self.gc.fiber.allgather(x_fiber.as_slice().to_vec());
+        let mut data = Vec::new();
+        for p in parts {
+            data.extend_from_slice(&p);
+        }
+        debug_assert!(width == 0 || data.len() / width == total_rows);
+        Mat::from_vec(total_rows, width, data)
+    }
+
+    /// Reduce-scatter a macro-row accumulator along the fiber back to
+    /// this rank's sub-block.
+    fn reduce_to_fiber(&self, t_buf: &Mat) -> Mat {
+        let _ph = self.gc.fiber.phase(Phase::Replication);
+        let c = self.gc.grid.c;
+        let width = t_buf.ncols();
+        let ranges: Vec<std::ops::Range<usize>> = (0..c)
+            .map(|ww| {
+                let sub = block_range(t_buf.nrows(), c, ww);
+                sub.start * width..sub.end * width
+            })
+            .collect();
+        let mine = self
+            .gc
+            .fiber
+            .reduce_scatter_sum_ranges(t_buf.as_slice(), &ranges);
+        let rows = if width == 0 { 0 } else { mine.len() / width };
+        Mat::from_vec(rows, width, mine)
+    }
+
+    /// Shift a sparse block one step backward along the row ring (its
+    /// σ index advances by one).
+    fn shift_sparse(&self, blk: CooMatrix) -> CooMatrix {
+        let _ph = self.gc.row_ring.phase(Phase::Propagation);
+        let q = self.gc.row_ring.size();
+        self.gc.row_ring.shift(q - 1, TAG_SPARSE, blk)
+    }
+
+    /// Shift a dense panel one step backward along the column ring.
+    /// `next_rows` is the (schedule-known) row count of the incoming
+    /// block, needed when the r-slice is empty.
+    fn shift_dense(&self, y: Mat, next_rows: usize) -> Mat {
+        let _ph = self.gc.col_ring.phase(Phase::Propagation);
+        let q = self.gc.col_ring.size();
+        let width = y.ncols();
+        let data = self.gc.col_ring.shift(q - 1, TAG_DENSE, y.into_vec());
+        debug_assert!(width == 0 || data.len() / width == next_rows);
+        Mat::from_vec(next_rows, width, data)
+    }
+
+    /// SDDMM travel round: the sparse block accumulates slice-partial
+    /// combines as it crosses its grid row; `y` panels travel alongside.
+    /// Returns the home block's fully accumulated values (no sampling).
+    fn dots_round(&self, o: &Oriented, t_buf: &Mat, y0: &Mat, combine: &CombineSpec) -> Vec<f64> {
+        let q = self.q();
+        let slice = block_range(self.dims.r, q, self.gc.v);
+        let mut blk = o.s_home.clone();
+        blk.vals.fill(0.0);
+        let mut y = y0.clone();
+        for t in 0..q {
+            let mut vals = std::mem::take(&mut blk.vals);
+            let com = combine.for_slice(slice.clone());
+            self.gc
+                .row_ring
+                .compute(kern::sddmm_flops(blk.rows.len(), slice.len()), || {
+                    kern::sddmm::sddmm_coo_acc_with(&mut vals, &blk, t_buf, &y, com)
+                });
+            blk.vals = vals;
+            blk = self.shift_sparse(blk);
+            y = self.shift_dense(y, self.y_rows_at(o, t + 1));
+        }
+        debug_assert_eq!(blk.nnz(), o.s_home.nnz(), "block failed to return home");
+        blk.vals
+    }
+
+    /// SpMM travel round with a replicated accumulator (`T += S·y` per
+    /// step) — the SpMMA data flow; caller reduce-scatters.
+    fn spmm_out_round(&self, o: &Oriented, vals: Vec<f64>, y0: &Mat, t_rows: usize) -> Mat {
+        let q = self.q();
+        let width = y0.ncols();
+        let mut t_out = Mat::zeros(t_rows, width);
+        let mut blk = o.s_home.clone();
+        blk.vals = vals;
+        let mut y = y0.clone();
+        for t in 0..q {
+            self.gc
+                .row_ring
+                .compute(kern::spmm_flops(blk.nnz(), width), || {
+                    kern::spmm_coo_acc(&mut t_out, &blk, &y)
+                });
+            blk = self.shift_sparse(blk);
+            y = self.shift_dense(y, self.y_rows_at(o, t + 1));
+        }
+        t_out
+    }
+
+    /// SpMM travel round with a circulating output accumulator (`out +=
+    /// Sᵀ·T` per step, `out` traveling the column ring) — the SpMMB
+    /// data flow.
+    fn spmm_shift_acc_round(&self, o: &Oriented, vals: Vec<f64>, t_buf: &Mat) -> Mat {
+        let q = self.q();
+        let width = t_buf.ncols();
+        let mut blk = o.s_home.clone();
+        blk.vals = vals;
+        let mut out = Mat::zeros(o.y_home.nrows(), width);
+        for t in 0..q {
+            debug_assert_eq!(blk.ncols, out.nrows(), "block/accumulator misalignment");
+            self.gc
+                .row_ring
+                .compute(kern::spmm_flops(blk.nnz(), width), || {
+                    kern::spmm_coo_t_acc(&mut out, &blk, t_buf)
+                });
+            blk = self.shift_sparse(blk);
+            out = self.shift_dense(out, self.y_rows_at(o, t + 1));
+        }
+        out
+    }
+
+    fn finalize(home: &CooMatrix, mut vals: Vec<f64>, sampling: Sampling) -> Vec<f64> {
+        if let Sampling::Values = sampling {
+            kern::apply_sampling(&mut vals, &home.vals);
+        }
+        vals
+    }
+
+    // ------------------------------------------------------------------
+    // Public kernels
+    // ------------------------------------------------------------------
+
+    /// Distributed SDDMM (replicates `A`, travels `S` and `B`).
+    pub fn sddmm(&mut self) {
+        let t_buf = self.replicate(&self.canon.x_fiber, self.macro_rows_canon());
+        let dots = self.dots_round(&self.canon, &t_buf, &self.canon.y_home, &CombineSpec::Dot);
+        self.r_vals = Some(Self::finalize(&self.canon.s_home, dots, Sampling::Values));
+    }
+
+    /// Distributed SpMMA: `S·B` (or `R·B`), returned in the fiber `A`
+    /// layout.
+    pub fn spmm_a(&mut self, use_r: bool) -> Mat {
+        let vals = self.vals_for_travel(use_r);
+        let t_rows = block_range(self.dims.m, self.q(), self.gc.u).len();
+        let t_out = self.spmm_out_round(&self.canon, vals, &self.canon.y_home, t_rows);
+        self.reduce_to_fiber(&t_out)
+    }
+
+    /// Distributed SpMMB: `Sᵀ·A` (or `Rᵀ·A`), returned in the travel
+    /// `B` layout (pre-skewed home block).
+    pub fn spmm_b(&mut self, use_r: bool) -> Mat {
+        let vals = self.vals_for_travel(use_r);
+        let t_buf = self.replicate(&self.canon.x_fiber, self.macro_rows_canon());
+        self.spmm_shift_acc_round(&self.canon, vals, &t_buf)
+    }
+
+    fn vals_for_travel(&self, use_r: bool) -> Vec<f64> {
+        if use_r {
+            self.r_vals
+                .clone()
+                .expect("no SDDMM result available; call sddmm() first")
+        } else {
+            self.canon.s_home.vals.clone()
+        }
+    }
+
+    /// FusedMMB = `SpMMB(SDDMM(A, y, S), A)`. `y` (travel `B` layout)
+    /// defaults to the stored `B`; the result is in the same layout.
+    pub fn fused_mm_b(&mut self, y: Option<&Mat>, elision: Elision, sampling: Sampling) -> Mat {
+        let y0 = y.unwrap_or(&self.canon.y_home).clone();
+        match elision {
+            Elision::ReplicationReuse => {
+                let t_buf = self.replicate(&self.canon.x_fiber, self.macro_rows_canon());
+                let dots = self.dots_round(&self.canon, &t_buf, &y0, &CombineSpec::Dot);
+                let rvals = Self::finalize(&self.canon.s_home, dots, sampling);
+                self.spmm_shift_acc_round(&self.canon, rvals, &t_buf)
+            }
+            Elision::None => {
+                let t_buf = self.replicate(&self.canon.x_fiber, self.macro_rows_canon());
+                let dots = self.dots_round(&self.canon, &t_buf, &y0, &CombineSpec::Dot);
+                let rvals = Self::finalize(&self.canon.s_home, dots, sampling);
+                let t_buf2 = self.replicate(&self.canon.x_fiber, self.macro_rows_canon());
+                self.spmm_shift_acc_round(&self.canon, rvals, &t_buf2)
+            }
+            Elision::LocalKernelFusion => panic!(
+                "local kernel fusion requires co-located full rows; \
+                 unsupported for 2.5D dense replication"
+            ),
+        }
+    }
+
+    /// FusedMMA = `SpMMA(SDDMM(x, B, S), B)` via transposed roles
+    /// (replicate `B`, travel `Sᵀ` and `A`). `x` (travel layout over
+    /// `m`) defaults to the stored `A`; same layout out.
+    pub fn fused_mm_a(&mut self, x: Option<&Mat>, elision: Elision, sampling: Sampling) -> Mat {
+        let x0 = x.unwrap_or(&self.trans.y_home).clone();
+        match elision {
+            Elision::ReplicationReuse => {
+                let t_buf = self.replicate(&self.trans.x_fiber, self.macro_rows_trans());
+                let dots = self.dots_round(&self.trans, &t_buf, &x0, &CombineSpec::Dot);
+                let rvals = Self::finalize(&self.trans.s_home, dots, sampling);
+                self.spmm_shift_acc_round(&self.trans, rvals, &t_buf)
+            }
+            Elision::None => {
+                let t_buf = self.replicate(&self.trans.x_fiber, self.macro_rows_trans());
+                let dots = self.dots_round(&self.trans, &t_buf, &x0, &CombineSpec::Dot);
+                let rvals = Self::finalize(&self.trans.s_home, dots, sampling);
+                let t_buf2 = self.replicate(&self.trans.x_fiber, self.macro_rows_trans());
+                self.spmm_shift_acc_round(&self.trans, rvals, &t_buf2)
+            }
+            Elision::LocalKernelFusion => panic!(
+                "local kernel fusion requires co-located full rows; \
+                 unsupported for 2.5D dense replication"
+            ),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // GAT support and verification
+    // ------------------------------------------------------------------
+
+    /// Generalized SDDMM storing raw accumulations as R values.
+    pub fn sddmm_general(&mut self, combine: CombineSpec) {
+        let t_buf = self.replicate(&self.canon.x_fiber, self.macro_rows_canon());
+        let dots = self.dots_round(&self.canon, &t_buf, &self.canon.y_home, &combine);
+        self.r_vals = Some(dots);
+    }
+
+    /// Map every stored R value in place.
+    pub fn map_r(&mut self, mut f: impl FnMut(f64) -> f64) {
+        let r = self.r_vals.as_mut().expect("no R values");
+        for v in r.iter_mut() {
+            *v = f(*v);
+        }
+    }
+
+    /// Row sums of R over this rank's macro row (reduced across the
+    /// whole grid row plane; indices local to macro row `u`).
+    pub fn r_row_sums(&self, comm_phase: Phase) -> Vec<f64> {
+        let r = self.r_vals.as_ref().expect("no R values");
+        let rows = block_range(self.dims.m, self.q(), self.gc.u).len();
+        let mut sums = vec![0.0; rows];
+        for (k, (i, _, _)) in self.canon.s_home.iter().enumerate() {
+            sums[i] += r[k];
+        }
+        let _ph = self.gc.row_plane.phase(comm_phase);
+        self.gc.row_plane.allreduce_sum(&mut sums);
+        sums
+    }
+
+    /// Scale each R row by `scale[i]` (indices local to macro row `u`).
+    pub fn scale_r_rows(&mut self, scale: &[f64]) {
+        let r = self.r_vals.as_mut().expect("no R values");
+        for (k, (i, _, _)) in self.canon.s_home.iter().enumerate() {
+            r[k] *= scale[i];
+        }
+    }
+
+    /// SpMMA using the stored R values against an explicit travel-layout
+    /// operand (GAT: `S'·(H·W)`), returned in the fiber `A` layout.
+    pub fn spmm_a_with(&mut self, y: &Mat) -> Mat {
+        let vals = self.r_vals.clone().expect("no R values");
+        let t_rows = block_range(self.dims.m, self.q(), self.gc.u).len();
+        let t_out = self.spmm_out_round(&self.canon, vals, y, t_rows);
+        self.reduce_to_fiber(&t_out)
+    }
+
+    /// The stored `A` in the travel layout over `m` (the FusedMMA
+    /// iterate layout).
+    pub fn a_travel(&self) -> &Mat {
+        &self.trans.y_home
+    }
+
+    /// The stored `B` in the travel layout over `n` (the FusedMMB
+    /// iterate layout).
+    pub fn b_travel(&self) -> &Mat {
+        &self.canon.y_home
+    }
+
+    /// Replace the stored `A` operand: `fiber` in the fiber layout
+    /// (canonical replicated role), `travel` in the travel layout over
+    /// `m` (transposed traveling role).
+    pub fn set_a(&mut self, fiber: Mat, travel: Mat) {
+        self.canon.x_fiber = fiber;
+        self.trans.y_home = travel;
+    }
+
+    /// Replace the stored `B` operand: `fiber` in the fiber layout over
+    /// `n` (transposed replicated role), `travel` in the travel layout
+    /// over `n` (canonical traveling role).
+    pub fn set_b(&mut self, fiber: Mat, travel: Mat) {
+        self.trans.x_fiber = fiber;
+        self.canon.y_home = travel;
+    }
+
+    /// Local contribution to `‖S − dots‖²` after
+    /// [`DenseRepl25::sddmm_general`] (ALS squared loss).
+    pub fn sq_loss_local(&self) -> f64 {
+        let r = self.r_vals.as_ref().expect("no R values");
+        self.canon
+            .s_home
+            .vals
+            .iter()
+            .zip(r)
+            .map(|(s, d)| (s - d) * (s - d))
+            .sum()
+    }
+
+    /// Gather the SDDMM result to rank 0 in global coordinates.
+    pub fn gather_r(&self, comm: &Comm) -> Option<CooMatrix> {
+        let r_vals = self.r_vals.as_ref().expect("no SDDMM result");
+        let (q, c) = (self.gc.grid.q, self.gc.grid.c);
+        let (u, v, w) = (self.gc.u, self.gc.v, self.gc.w);
+        let (m, n) = (self.dims.m, self.dims.n);
+        let sigma0 = (u + v) % q;
+        let row_start = block_range(m, q, u).start;
+        let col_start = block_range(n, q * c, sigma0 * c + w).start;
+        let mut local = CooMatrix::empty(m, n);
+        for (k, (i, j, _)) in self.canon.s_home.iter().enumerate() {
+            local.push(row_start + i, col_start + j, r_vals[k]);
+        }
+        crate::layout::gather_coo(comm, 0, local, m, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsk_comm::{MachineModel, SimWorld};
+    use dsk_dense::ops::max_abs_diff;
+    use std::sync::Arc;
+
+    #[test]
+    fn sddmm_matches_reference() {
+        // (p, c): 4=2²·1, 8=2²·2, 18=3²·2, 16=4²·1
+        for (p, c) in [(4, 1), (8, 2), (18, 2), (16, 1), (16, 4)] {
+            let (m, n, r) = (26, 29, 8);
+            let prob = Arc::new(GlobalProblem::erdos_renyi(m, n, r, 3, 61));
+            let expect = prob.reference_sddmm().to_coo().to_dense();
+            let w = SimWorld::new(p, MachineModel::bandwidth_only());
+            let out = w.run(move |comm| {
+                let mut worker = DenseRepl25::from_global(comm, c, &prob);
+                worker.sddmm();
+                worker.gather_r(comm)
+            });
+            let got = out[0].value.as_ref().unwrap().to_dense();
+            for (g, e) in got.iter().zip(&expect) {
+                assert!((g - e).abs() < 1e-9, "sddmm mismatch p={p} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_b_matches_reference() {
+        for elision in [Elision::None, Elision::ReplicationReuse] {
+            let (p, c, m, n, r) = (8, 2, 24, 26, 7);
+            let prob = Arc::new(GlobalProblem::erdos_renyi(m, n, r, 3, 62));
+            let expect = prob.reference_fused_b();
+            let layout = DenseRepl25::travel_layout(n, r, p, c);
+            let w = SimWorld::new(p, MachineModel::bandwidth_only());
+            let out = w.run(move |comm| {
+                let mut worker = DenseRepl25::from_global(comm, c, &prob);
+                let got = worker.fused_mm_b(None, elision, Sampling::Values);
+                crate::layout::gather_dense(comm, 0, &got, &layout, n, r)
+            });
+            let got = out[0].value.as_ref().unwrap();
+            assert!(
+                max_abs_diff(got, &expect) < 1e-9,
+                "fused_mm_b mismatch elision={elision:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_a_matches_reference() {
+        for elision in [Elision::None, Elision::ReplicationReuse] {
+            let (p, c, m, n, r) = (18, 2, 30, 24, 9);
+            let prob = Arc::new(GlobalProblem::erdos_renyi(m, n, r, 4, 63));
+            let expect = prob.reference_fused_a();
+            let layout = DenseRepl25::travel_layout(m, r, p, c);
+            let w = SimWorld::new(p, MachineModel::bandwidth_only());
+            let out = w.run(move |comm| {
+                let mut worker = DenseRepl25::from_global(comm, c, &prob);
+                let got = worker.fused_mm_a(None, elision, Sampling::Values);
+                crate::layout::gather_dense(comm, 0, &got, &layout, m, r)
+            });
+            let got = out[0].value.as_ref().unwrap();
+            assert!(
+                max_abs_diff(got, &expect) < 1e-9,
+                "fused_mm_a mismatch elision={elision:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn spmm_kernels_match_reference() {
+        let (p, c, m, n, r) = (8, 2, 22, 21, 6);
+        let prob = Arc::new(GlobalProblem::erdos_renyi(m, n, r, 3, 64));
+        let ea = prob.reference_spmm_a();
+        let eb = prob.reference_spmm_b();
+        let la = DenseRepl25::fiber_layout(m, r, p, c);
+        let lb = DenseRepl25::travel_layout(n, r, p, c);
+        let w = SimWorld::new(p, MachineModel::bandwidth_only());
+        let out = w.run(move |comm| {
+            let mut worker = DenseRepl25::from_global(comm, c, &prob);
+            let ga = worker.spmm_a(false);
+            let gb = worker.spmm_b(false);
+            (
+                crate::layout::gather_dense(comm, 0, &ga, &la, m, r),
+                crate::layout::gather_dense(comm, 0, &gb, &lb, n, r),
+            )
+        });
+        let (ga, gb) = &out[0].value;
+        assert!(max_abs_diff(ga.as_ref().unwrap(), &ea) < 1e-9);
+        assert!(max_abs_diff(gb.as_ref().unwrap(), &eb) < 1e-9);
+    }
+
+    #[test]
+    fn reuse_saves_one_fiber_allgather() {
+        let (p, c, m, n, r) = (8, 2, 32, 32, 8);
+        let prob = Arc::new(GlobalProblem::erdos_renyi(m, n, r, 3, 65));
+        let mut repl = Vec::new();
+        for elision in [Elision::None, Elision::ReplicationReuse] {
+            let pr = Arc::clone(&prob);
+            let w = SimWorld::new(p, MachineModel::bandwidth_only());
+            let out = w.run(move |comm| {
+                let mut worker = DenseRepl25::from_global(comm, c, &pr);
+                let _ = worker.fused_mm_b(None, elision, Sampling::Values);
+            });
+            let total: u64 = out
+                .iter()
+                .map(|o| o.stats.phase(Phase::Replication).words_sent)
+                .sum();
+            repl.push(total);
+        }
+        assert_eq!(repl[0], 2 * repl[1]);
+    }
+
+    #[test]
+    fn propagation_carries_sparse_and_dense() {
+        // FusedMM runs two travel rounds; each step shifts one sparse
+        // block (3 words/nz) and one dense panel.
+        let (p, c, m, n, r) = (16, 4, 32, 32, 8);
+        let prob = Arc::new(GlobalProblem::erdos_renyi(m, n, r, 4, 66));
+        let nnz = prob.nnz() as u64;
+        let w = SimWorld::new(p, MachineModel::bandwidth_only());
+        let out = w.run(move |comm| {
+            let mut worker = DenseRepl25::from_global(comm, c, &prob);
+            let _ = worker.fused_mm_b(None, Elision::ReplicationReuse, Sampling::Values);
+        });
+        let q = 2; // √(16/4)
+        let total: u64 = out
+            .iter()
+            .map(|o| o.stats.phase(Phase::Propagation).words_sent)
+            .sum();
+        // Sparse: 2 rounds × q steps × 3·nnz total; dense: 2 rounds × q
+        // steps × (n·r) total words across ranks.
+        let expected = 2 * q * 3 * nnz + 2 * q * (n * r) as u64;
+        assert_eq!(total, expected);
+    }
+}

@@ -1,0 +1,669 @@
+//! The 1.5D dense-shifting, dense-replicating algorithm (Algorithm 1 of
+//! the paper) and its FusedMM variants.
+//!
+//! Grid: `(p/c) × c` ([`GridComms15`]). Per Table II:
+//!
+//! * `A` and `B` are split into `p` block rows; rank `g = (u, v)` owns
+//!   block `g` of each.
+//! * `S` is split into `p/c` macro block rows × `p` block columns; rank
+//!   `(u, v)` owns, within macro row `u`, the column blocks
+//!   `j ≡ v (mod c)` — these stay **stationary**.
+//!
+//! One dense matrix is **replicated**: all-gathered along the fiber into
+//! a buffer `T` covering macro row `u` (or zero-initialized when it is
+//! the output, then reduce-scattered at the end). The other dense matrix
+//! **propagates**: its block rows cyclically shift around the layer ring
+//! for `p/c` steps; at step `t` a rank holds the block homed at ring
+//! position `(u - t) mod (p/c)` and pairs it with the matching stationary
+//! `S` column block.
+//!
+//! FusedMM elision (paper §IV-B):
+//! * **replication reuse** — the all-gathered `T` serves the SDDMM and
+//!   the subsequent SpMM; the SpMM output circulates as a shifting
+//!   accumulator, so no terminal reduce-scatter is needed;
+//! * **local kernel fusion** — a single propagation round computes the
+//!   fused local SDDMM+SpMM per step (only possible here, where entire
+//!   rows of both dense matrices are co-located).
+
+use dsk_comm::{Comm, GridComms15, Grid15, Phase};
+use dsk_dense::Mat;
+use dsk_kernels as kern;
+use dsk_sparse::{CooMatrix, CsrMatrix};
+
+use crate::common::{block_range, union_range, Elision, ProblemDims, Sampling};
+use crate::global::GlobalProblem;
+use crate::staged::StagedProblem;
+use crate::layout::DenseLayout;
+
+/// Tag used for dense block shifts within a layer.
+const TAG_SHIFT: u32 = 100;
+
+/// Per-rank state of the 1.5D dense-shifting algorithm.
+pub struct DenseShift15 {
+    /// Grid communicators (layer ring + replication fiber).
+    pub gc: GridComms15,
+    dims: ProblemDims,
+    /// `S` blocks by slot `w` (column block `j = w·c + v` of macro row
+    /// `u`), values = sampling values.
+    s_blocks: Vec<CsrMatrix>,
+    /// `Sᵀ` blocks by slot `w` (column block over `m` of macro row `u`
+    /// of `n`), for the transposed-role (FusedMMA) paths.
+    st_blocks: Vec<CsrMatrix>,
+    /// Local block row `g` of `A`.
+    pub a_loc: Mat,
+    /// Local block row `g` of `B`.
+    pub b_loc: Mat,
+    /// SDDMM output values per slot (aligned with `s_blocks` nonzero
+    /// order), populated by [`DenseShift15::sddmm`].
+    r_vals: Option<Vec<Vec<f64>>>,
+}
+
+impl DenseShift15 {
+    /// Build this rank's state from a borrowed global problem (test
+    /// convenience; benchmark runs share staging via
+    /// [`DenseShift15::from_staged`]).
+    pub fn from_global(comm: &Comm, c: usize, prob: &GlobalProblem) -> Self {
+        Self::from_staged(comm, c, &StagedProblem::ephemeral(prob))
+    }
+
+    /// Build this rank's state from shared staging (no communication,
+    /// statistics unaffected).
+    pub fn from_staged(comm: &Comm, c: usize, staged: &StagedProblem) -> Self {
+        let prob = &*staged.prob;
+        let grid = Grid15::new(comm.size(), c).expect("invalid 1.5D grid");
+        let gc = GridComms15::build(comm, grid);
+        let p = grid.p;
+        let q = grid.layer_size();
+        let (m, n) = (prob.dims.m, prob.dims.n);
+        assert!(m >= p && n >= p, "matrix sides must be at least p");
+        let g = comm.rank();
+        let (u, v) = (gc.u, gc.v);
+
+        // S: macro rows (aligned to unions of A block rows) × p column
+        // blocks; keep column blocks ≡ v (mod c) of macro row u.
+        let macro_rows: Vec<_> = (0..q).map(|uu| union_range(m, p, uu * c, c)).collect();
+        let col_blocks: Vec<_> = (0..p).map(|j| block_range(n, p, j)).collect();
+        let grid_s = staged.partition(false, &macro_rows, &col_blocks);
+        let s_blocks: Vec<CsrMatrix> = (0..q)
+            .map(|w| CsrMatrix::from_coo(&grid_s[u][w * c + v]))
+            .collect();
+
+        let macro_rows_t: Vec<_> = (0..q).map(|uu| union_range(n, p, uu * c, c)).collect();
+        let col_blocks_t: Vec<_> = (0..p).map(|j| block_range(m, p, j)).collect();
+        let grid_st = staged.partition(true, &macro_rows_t, &col_blocks_t);
+        let st_blocks: Vec<CsrMatrix> = (0..q)
+            .map(|w| CsrMatrix::from_coo(&grid_st[u][w * c + v]))
+            .collect();
+
+        let a_loc = prob.a.rows_block(block_range(m, p, g));
+        let b_loc = prob.b.rows_block(block_range(n, p, g));
+        DenseShift15 {
+            gc,
+            dims: prob.dims,
+            s_blocks,
+            st_blocks,
+            a_loc,
+            b_loc,
+            r_vals: None,
+        }
+    }
+
+    /// Problem dimensions.
+    pub fn dims(&self) -> ProblemDims {
+        self.dims
+    }
+
+    /// Layout of `A` on rank `g` (identical for inputs and outputs).
+    pub fn a_layout(dims: ProblemDims, p: usize) -> impl Fn(usize) -> DenseLayout {
+        move |g| DenseLayout::single(block_range(dims.m, p, g), 0..dims.r)
+    }
+
+    /// Layout of `B` on rank `g` (identical for inputs and outputs).
+    pub fn b_layout(dims: ProblemDims, p: usize) -> impl Fn(usize) -> DenseLayout {
+        move |g| DenseLayout::single(block_range(dims.n, p, g), 0..dims.r)
+    }
+
+    fn q(&self) -> usize {
+        self.gc.grid.layer_size()
+    }
+
+    fn c(&self) -> usize {
+        self.gc.grid.c
+    }
+
+    // ------------------------------------------------------------------
+    // Building blocks
+    // ------------------------------------------------------------------
+
+    /// All-gather a block-row matrix along the fiber into the macro-row
+    /// buffer `T` (replication).
+    fn replicate(&self, comm_len_total: usize, x_loc: &Mat) -> Mat {
+        let _ph = self.gc.fiber.phase(Phase::Replication);
+        let r = x_loc.ncols();
+        let parts = self.gc.fiber.allgather(x_loc.as_slice().to_vec());
+        let mut rows = 0;
+        for p in &parts {
+            rows += p.len() / r.max(1);
+        }
+        debug_assert_eq!(rows, comm_len_total);
+        let mut data = Vec::with_capacity(rows * r);
+        for p in parts {
+            data.extend_from_slice(&p);
+        }
+        Mat::from_vec(rows, r, data)
+    }
+
+    /// Reduce-scatter a macro-row accumulator along the fiber back to
+    /// this rank's block row (`total`/`p`-grained ranges within macro
+    /// row `u`).
+    fn reduce_to_block(&self, total: usize, t_buf: &Mat) -> Mat {
+        let _ph = self.gc.fiber.phase(Phase::Replication);
+        let (p, c, u) = (self.gc.grid.p, self.c(), self.gc.u);
+        let r = t_buf.ncols();
+        let macro_start = union_range(total, p, u * c, c).start;
+        let ranges: Vec<std::ops::Range<usize>> = (0..c)
+            .map(|vv| {
+                let br = block_range(total, p, u * c + vv);
+                (br.start - macro_start) * r..(br.end - macro_start) * r
+            })
+            .collect();
+        let mine = self
+            .gc
+            .fiber
+            .reduce_scatter_sum_ranges(t_buf.as_slice(), &ranges);
+        Mat::from_vec(mine.len() / r.max(1), r, mine)
+    }
+
+    /// One propagation step: shift a dense block one position around the
+    /// layer ring.
+    fn shift_block(&self, y: Mat) -> Mat {
+        let _ph = self.gc.layer.phase(Phase::Propagation);
+        let r = y.ncols();
+        let data = self.gc.layer.shift(1, TAG_SHIFT, y.into_vec());
+        Mat::from_vec(data.len() / r.max(1), r, data)
+    }
+
+    /// The slot (stationary S column-block index) paired with the block
+    /// held at propagation step `t`.
+    #[inline]
+    fn slot(&self, t: usize) -> usize {
+        let q = self.q();
+        (self.gc.u + q - (t % q)) % q
+    }
+
+    /// SDDMM propagation round over the given oriented blocks: `y`
+    /// shifts, dot products accumulate per slot. Returns raw dots (no
+    /// sampling applied). `combine` generalizes the per-nonzero
+    /// interaction (GAT attention uses an affine combine).
+    fn sddmm_round(
+        &self,
+        blocks: &[CsrMatrix],
+        t_buf: &Mat,
+        y0: &Mat,
+        combine: kern::SddmmCombine<'_>,
+    ) -> Vec<Vec<f64>> {
+        let q = self.q();
+        let mut acc: Vec<Vec<f64>> = blocks.iter().map(|b| vec![0.0; b.nnz()]).collect();
+        let mut y = y0.clone();
+        for t in 0..q {
+            let w = self.slot(t);
+            let blk = &blocks[w];
+            debug_assert_eq!(blk.ncols(), y.nrows(), "block/panel misalignment");
+            self.gc.layer.compute(
+                kern::sddmm_flops(blk.nnz(), t_buf.ncols()),
+                || kern::sddmm::sddmm_csr_acc_with(&mut acc[w], blk, t_buf, &y, combine),
+            );
+            y = self.shift_block(y);
+        }
+        acc
+    }
+
+    /// SpMM propagation round with a replicated (macro-row) accumulator:
+    /// `T += R_w · y` per step, `y` shifting (the SpMMA data flow).
+    fn spmm_out_round(&self, blocks: &[CsrMatrix], vals: &[Vec<f64>], y0: &Mat) -> Mat {
+        let q = self.q();
+        let r = y0.ncols();
+        let mut t_buf = Mat::zeros(blocks[0].nrows(), r);
+        let mut y = y0.clone();
+        for t in 0..q {
+            let w = self.slot(t);
+            let mut blk = blocks[w].clone();
+            blk.set_vals(vals[w].clone());
+            self.gc.layer.compute(kern::spmm_flops(blk.nnz(), r), || {
+                kern::spmm_csr_acc(&mut t_buf, &blk, &y)
+            });
+            y = self.shift_block(y);
+        }
+        t_buf
+    }
+
+    /// SpMM propagation round with a *circulating* accumulator: the
+    /// output block rows shift around the ring, each rank adding
+    /// `R_wᵀ · T` for its stationary block (the SpMMB data flow, and the
+    /// second half of replication reuse).
+    fn spmm_shift_acc_round(
+        &self,
+        blocks: &[CsrMatrix],
+        vals: &[Vec<f64>],
+        t_buf: &Mat,
+        my_out_rows: usize,
+    ) -> Mat {
+        let q = self.q();
+        let r = t_buf.ncols();
+        let mut out = Mat::zeros(my_out_rows, r);
+        for t in 0..q {
+            let w = self.slot(t);
+            let mut blk = blocks[w].clone();
+            blk.set_vals(vals[w].clone());
+            debug_assert_eq!(blk.ncols(), out.nrows(), "block/accumulator misalignment");
+            self.gc.layer.compute(kern::spmm_flops(blk.nnz(), r), || {
+                kern::spmm_csr_t_acc(&mut out, &blk, t_buf)
+            });
+            out = self.shift_block(out);
+        }
+        out
+    }
+
+    /// Fused propagation round (local kernel fusion): one pass computing
+    /// the local fused SDDMM+SpMM per step.
+    fn fused_round(
+        &self,
+        blocks: &[CsrMatrix],
+        t_in: &Mat,
+        y0: &Mat,
+        sampling: Sampling,
+    ) -> Mat {
+        let q = self.q();
+        let r = y0.ncols();
+        let mut t_out = Mat::zeros(t_in.nrows(), r);
+        let mut y = y0.clone();
+        for t in 0..q {
+            let w = self.slot(t);
+            let blk = match sampling {
+                Sampling::Values => blocks[w].clone(),
+                Sampling::Ones => {
+                    let mut b = blocks[w].clone();
+                    b.set_vals(vec![1.0; b.nnz()]);
+                    b
+                }
+            };
+            self.gc.layer.compute(kern::fused_flops(blk.nnz(), r), || {
+                kern::fused_a_csr(&mut t_out, &blk, t_in, &y)
+            });
+            y = self.shift_block(y);
+        }
+        t_out
+    }
+
+    fn apply_sampling(
+        blocks: &[CsrMatrix],
+        mut acc: Vec<Vec<f64>>,
+        sampling: Sampling,
+    ) -> Vec<Vec<f64>> {
+        if let Sampling::Values = sampling {
+            for (a, b) in acc.iter_mut().zip(blocks) {
+                kern::apply_sampling(a, b.vals());
+            }
+        }
+        acc
+    }
+
+    // ------------------------------------------------------------------
+    // Public kernels
+    // ------------------------------------------------------------------
+
+    /// Distributed SDDMM: replicates `A`, shifts `B`, leaves
+    /// `R = S ∗ (A·Bᵀ)` distributed like `S` (retrievable via
+    /// [`DenseShift15::gather_r`]).
+    pub fn sddmm(&mut self) {
+        let t_buf = self.replicate(self.s_blocks[0].nrows(), &self.a_loc);
+        let acc = self.sddmm_round(&self.s_blocks, &t_buf, &self.b_loc, kern::SddmmCombine::Dot);
+        self.r_vals = Some(Self::apply_sampling(&self.s_blocks, acc, Sampling::Values));
+    }
+
+    /// Distributed SpMMA: `S·B` (or `R·B` when `use_r` and an SDDMM has
+    /// run), returned as this rank's `A`-shaped block row.
+    pub fn spmm_a(&mut self, use_r: bool) -> Mat {
+        let vals = self.current_vals(use_r);
+        let t_buf = self.spmm_out_round(&self.s_blocks, &vals, &self.b_loc);
+        self.reduce_to_block(self.dims.m, &t_buf)
+    }
+
+    /// Distributed SpMMB: `Sᵀ·A` (or `Rᵀ·A`), returned as this rank's
+    /// `B`-shaped block row.
+    pub fn spmm_b(&mut self, use_r: bool) -> Mat {
+        let vals = self.current_vals(use_r);
+        let t_buf = self.replicate(self.s_blocks[0].nrows(), &self.a_loc);
+        self.spmm_shift_acc_round(&self.s_blocks, &vals, &t_buf, self.b_loc.nrows())
+    }
+
+    fn current_vals(&self, use_r: bool) -> Vec<Vec<f64>> {
+        if use_r {
+            self.r_vals
+                .clone()
+                .expect("no SDDMM result available; call sddmm() first")
+        } else {
+            self.s_blocks.iter().map(|b| b.vals().to_vec()).collect()
+        }
+    }
+
+    /// FusedMMA = `SpMMA(SDDMM(x, B, S), B)`. `x` (defaults to the
+    /// stored `A`) is this rank's `A` block row; the result has the same
+    /// layout.
+    pub fn fused_mm_a(&mut self, x: Option<&Mat>, elision: Elision, sampling: Sampling) -> Mat {
+        let x = x.unwrap_or(&self.a_loc);
+        match elision {
+            Elision::None => {
+                // SDDMM: all-gather x, shift B.
+                let t_buf = self.replicate(self.s_blocks[0].nrows(), x);
+                let acc =
+                    self.sddmm_round(&self.s_blocks, &t_buf, &self.b_loc, kern::SddmmCombine::Dot);
+                let rvals = Self::apply_sampling(&self.s_blocks, acc, sampling);
+                // SpMMA: fresh zero accumulator, shift B again,
+                // reduce-scatter.
+                let t_out = self.spmm_out_round(&self.s_blocks, &rvals, &self.b_loc);
+                self.reduce_to_block(self.dims.m, &t_out)
+            }
+            Elision::LocalKernelFusion => {
+                let t_in = self.replicate(self.s_blocks[0].nrows(), x);
+                let t_out = self.fused_round(&self.s_blocks, &t_in, &self.b_loc, sampling);
+                self.reduce_to_block(self.dims.m, &t_out)
+            }
+            Elision::ReplicationReuse => {
+                // Transposed roles: replicate B once; travel Sᵀ for the
+                // SDDMM (x shifts), then circulate the A-shaped output
+                // accumulator reusing the same T.
+                let t_buf = self.replicate(self.st_blocks[0].nrows(), &self.b_loc);
+                let acc = self.sddmm_round(&self.st_blocks, &t_buf, x, kern::SddmmCombine::Dot);
+                let rvals = Self::apply_sampling(&self.st_blocks, acc, sampling);
+                self.spmm_shift_acc_round(&self.st_blocks, &rvals, &t_buf, x.nrows())
+            }
+        }
+    }
+
+    /// FusedMMB = `SpMMB(SDDMM(A, y, S), A)`. `y` (defaults to the
+    /// stored `B`) is this rank's `B` block row; the result has the same
+    /// layout.
+    pub fn fused_mm_b(&mut self, y: Option<&Mat>, elision: Elision, sampling: Sampling) -> Mat {
+        let y = y.unwrap_or(&self.b_loc);
+        match elision {
+            Elision::None => {
+                let t_buf = self.replicate(self.s_blocks[0].nrows(), &self.a_loc);
+                let acc = self.sddmm_round(&self.s_blocks, &t_buf, y, kern::SddmmCombine::Dot);
+                let rvals = Self::apply_sampling(&self.s_blocks, acc, sampling);
+                // Unoptimized back-to-back: the SpMMB call replicates A
+                // again.
+                let t2 = self.replicate(self.s_blocks[0].nrows(), &self.a_loc);
+                self.spmm_shift_acc_round(&self.s_blocks, &rvals, &t2, y.nrows())
+            }
+            Elision::ReplicationReuse => {
+                let t_buf = self.replicate(self.s_blocks[0].nrows(), &self.a_loc);
+                let acc = self.sddmm_round(&self.s_blocks, &t_buf, y, kern::SddmmCombine::Dot);
+                let rvals = Self::apply_sampling(&self.s_blocks, acc, sampling);
+                // Reuse T for the SpMMB.
+                self.spmm_shift_acc_round(&self.s_blocks, &rvals, &t_buf, y.nrows())
+            }
+            Elision::LocalKernelFusion => {
+                // Dual of the FusedMMA fused round: roles swapped, Sᵀ.
+                let t_in = self.replicate(self.st_blocks[0].nrows(), y);
+                let t_out = self.fused_round(&self.st_blocks, &t_in, &self.a_loc, sampling);
+                self.reduce_to_block(self.dims.n, &t_out)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // R-value access (GAT support) and verification
+    // ------------------------------------------------------------------
+
+    /// Run the SDDMM propagation with a generalized combine, storing raw
+    /// (un-sampled) accumulations as the R values.
+    pub fn sddmm_general(&mut self, combine: kern::SddmmCombine<'_>) {
+        let t_buf = self.replicate(self.s_blocks[0].nrows(), &self.a_loc);
+        let acc = self.sddmm_round(&self.s_blocks, &t_buf, &self.b_loc, combine);
+        self.r_vals = Some(acc);
+    }
+
+    /// Map every stored R value in place (local).
+    pub fn map_r(&mut self, mut f: impl FnMut(f64) -> f64) {
+        let r = self.r_vals.as_mut().expect("no R values");
+        for vs in r.iter_mut() {
+            for v in vs.iter_mut() {
+                *v = f(*v);
+            }
+        }
+    }
+
+    /// Row sums of R over this rank's macro row (globally reduced along
+    /// the fiber; indices local to macro row `u`).
+    pub fn r_row_sums(&self, comm_phase: Phase) -> Vec<f64> {
+        let r = self.r_vals.as_ref().expect("no R values");
+        let rows = self.s_blocks[0].nrows();
+        let mut sums = vec![0.0; rows];
+        for (blk, vals) in self.s_blocks.iter().zip(r) {
+            let indptr = blk.indptr();
+            for i in 0..rows {
+                for k in indptr[i]..indptr[i + 1] {
+                    sums[i] += vals[k];
+                }
+            }
+        }
+        let _ph = self.gc.fiber.phase(comm_phase);
+        self.gc.fiber.allreduce_sum(&mut sums);
+        sums
+    }
+
+    /// Scale each R row by `scale[i]` (indices local to macro row `u`).
+    pub fn scale_r_rows(&mut self, scale: &[f64]) {
+        let r = self.r_vals.as_mut().expect("no R values");
+        for (blk, vals) in self.s_blocks.iter().zip(r.iter_mut()) {
+            let indptr = blk.indptr();
+            for i in 0..blk.nrows() {
+                for k in indptr[i]..indptr[i + 1] {
+                    vals[k] *= scale[i];
+                }
+            }
+        }
+    }
+
+    /// SpMMA using the stored R values against an explicit `B`-layout
+    /// operand (GAT: `S'·(H·W)`).
+    pub fn spmm_a_with(&mut self, y: &Mat) -> Mat {
+        let vals = self.current_vals(true);
+        let t_buf = self.spmm_out_round(&self.s_blocks, &vals, y);
+        self.reduce_to_block(self.dims.m, &t_buf)
+    }
+
+    /// Local contribution to `‖S − dots‖²` where `dots` are the raw
+    /// accumulations of the last [`DenseShift15::sddmm_general`] call —
+    /// the ALS squared loss (sum across ranks covers each nonzero
+    /// once).
+    pub fn sq_loss_local(&self) -> f64 {
+        let r = self.r_vals.as_ref().expect("no R values");
+        let mut acc = 0.0;
+        for (blk, vals) in self.s_blocks.iter().zip(r) {
+            for (s, d) in blk.vals().iter().zip(vals) {
+                acc += (s - d) * (s - d);
+            }
+        }
+        acc
+    }
+
+    /// Gather the distributed SDDMM result to communicator rank 0 in
+    /// global coordinates (verification; statistics paused).
+    pub fn gather_r(&self, comm: &Comm) -> Option<CooMatrix> {
+        let r_vals = self.r_vals.as_ref().expect("no SDDMM result");
+        let (p, c, u, v) = (self.gc.grid.p, self.c(), self.gc.u, self.gc.v);
+        let (m, n) = (self.dims.m, self.dims.n);
+        let macro_start = union_range(m, p, u * c, c).start;
+        let mut local = CooMatrix::empty(m, n);
+        for (w, (blk, vals)) in self.s_blocks.iter().zip(r_vals).enumerate() {
+            let col_start = block_range(n, p, w * c + v).start;
+            let coo = blk.to_coo();
+            for (k, (i, j, _)) in coo.iter().enumerate() {
+                local.push(macro_start + i, col_start + j, vals[k]);
+            }
+        }
+        crate::layout::gather_coo(comm, 0, local, m, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsk_comm::{MachineModel, SimWorld};
+    use dsk_dense::ops::max_abs_diff;
+    use std::sync::Arc;
+
+    fn check_fused_a(p: usize, c: usize, m: usize, n: usize, r: usize, elision: Elision) {
+        let prob = Arc::new(GlobalProblem::erdos_renyi(m, n, r, 3, 42));
+        let expect = prob.reference_fused_a();
+        let w = SimWorld::new(p, MachineModel::bandwidth_only());
+        let layout = DenseShift15::a_layout(prob.dims, p);
+        let out = w.run(move |comm| {
+            let mut worker = DenseShift15::from_global(comm, c, &prob);
+            let got = worker.fused_mm_a(None, elision, Sampling::Values);
+            crate::layout::gather_dense(comm, 0, &got, &layout, m, r)
+        });
+        let got = out[0].value.as_ref().unwrap();
+        assert!(
+            max_abs_diff(got, &expect) < 1e-9,
+            "fused_mm_a mismatch p={p} c={c} elision={elision:?}"
+        );
+    }
+
+    #[test]
+    fn fused_a_all_elisions_match_reference() {
+        for elision in Elision::ALL {
+            check_fused_a(4, 2, 25, 19, 5, elision);
+            check_fused_a(6, 2, 24, 24, 4, elision);
+            check_fused_a(4, 1, 16, 20, 3, elision);
+            check_fused_a(4, 4, 17, 23, 3, elision);
+        }
+    }
+
+    #[test]
+    fn fused_b_all_elisions_match_reference() {
+        for elision in Elision::ALL {
+            let (p, c, m, n, r) = (6, 3, 22, 26, 4);
+            let prob = Arc::new(GlobalProblem::erdos_renyi(m, n, r, 3, 7));
+            let expect = prob.reference_fused_b();
+            let w = SimWorld::new(p, MachineModel::bandwidth_only());
+            let layout = DenseShift15::b_layout(prob.dims, p);
+            let out = w.run(move |comm| {
+                let mut worker = DenseShift15::from_global(comm, c, &prob);
+                let got = worker.fused_mm_b(None, elision, Sampling::Values);
+                crate::layout::gather_dense(comm, 0, &got, &layout, n, r)
+            });
+            let got = out[0].value.as_ref().unwrap();
+            assert!(
+                max_abs_diff(got, &expect) < 1e-9,
+                "fused_mm_b mismatch elision={elision:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sddmm_matches_reference() {
+        let (p, c, m, n, r) = (8, 2, 24, 32, 4);
+        let prob = Arc::new(GlobalProblem::erdos_renyi(m, n, r, 4, 11));
+        let expect = prob.reference_sddmm().to_coo().to_dense();
+        let w = SimWorld::new(p, MachineModel::bandwidth_only());
+        let out = w.run(move |comm| {
+            let mut worker = DenseShift15::from_global(comm, c, &prob);
+            worker.sddmm();
+            worker.gather_r(comm)
+        });
+        let got = out[0].value.as_ref().unwrap().to_dense();
+        for (g, e) in got.iter().zip(&expect) {
+            assert!((g - e).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn spmm_kernels_match_reference() {
+        let (p, c, m, n, r) = (4, 2, 21, 18, 3);
+        let prob = Arc::new(GlobalProblem::erdos_renyi(m, n, r, 3, 13));
+        let ea = prob.reference_spmm_a();
+        let eb = prob.reference_spmm_b();
+        let la = DenseShift15::a_layout(prob.dims, p);
+        let lb = DenseShift15::b_layout(prob.dims, p);
+        let w = SimWorld::new(p, MachineModel::bandwidth_only());
+        let out = w.run(move |comm| {
+            let mut worker = DenseShift15::from_global(comm, c, &prob);
+            let ga = worker.spmm_a(false);
+            let gb = worker.spmm_b(false);
+            (
+                crate::layout::gather_dense(comm, 0, &ga, &la, m, r),
+                crate::layout::gather_dense(comm, 0, &gb, &lb, n, r),
+            )
+        });
+        let (ga, gb) = &out[0].value;
+        assert!(max_abs_diff(ga.as_ref().unwrap(), &ea) < 1e-9);
+        assert!(max_abs_diff(gb.as_ref().unwrap(), &eb) < 1e-9);
+    }
+
+    #[test]
+    fn sampling_ones_ignores_s_values() {
+        // FusedMM with Sampling::Ones must equal the reference on a
+        // problem whose S values are all 1 — even though our S has
+        // random values.
+        let (p, c, m, n, r) = (4, 2, 16, 16, 3);
+        let prob = GlobalProblem::erdos_renyi(m, n, r, 2, 17);
+        let mut ones = prob.clone();
+        ones.s.fill_values(1.0);
+        let expect = ones.reference_fused_a();
+        let proba = Arc::new(prob);
+        let layout = DenseShift15::a_layout(proba.dims, p);
+        let w = SimWorld::new(p, MachineModel::bandwidth_only());
+        let out = w.run(move |comm| {
+            let mut worker = DenseShift15::from_global(comm, c, &proba);
+            let got = worker.fused_mm_a(None, Elision::LocalKernelFusion, Sampling::Ones);
+            crate::layout::gather_dense(comm, 0, &got, &layout, m, r)
+        });
+        assert!(max_abs_diff(out[0].value.as_ref().unwrap(), &expect) < 1e-9);
+    }
+
+    #[test]
+    fn replication_reuse_performs_single_fiber_collective() {
+        // Count replication-phase messages: reuse should perform one
+        // all-gather (c-1 sends per rank), no-elision FusedMMB two.
+        let (p, c, m, n, r) = (8, 4, 32, 32, 4);
+        let prob = Arc::new(GlobalProblem::erdos_renyi(m, n, r, 3, 23));
+        for (elision, expected_fiber_msgs) in
+            [(Elision::ReplicationReuse, (c - 1) as u64), (Elision::None, 2 * (c - 1) as u64)]
+        {
+            let pr = Arc::clone(&prob);
+            let w = SimWorld::new(p, MachineModel::bandwidth_only());
+            let out = w.run(move |comm| {
+                let mut worker = DenseShift15::from_global(comm, c, &pr);
+                let _ = worker.fused_mm_b(None, elision, Sampling::Values);
+            });
+            for o in &out {
+                let repl = o.stats.phase(Phase::Replication);
+                assert_eq!(
+                    repl.msgs_sent, expected_fiber_msgs,
+                    "elision={elision:?} rank={}",
+                    o.rank
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lkf_halves_propagation_words() {
+        let (p, c, m, n, r) = (8, 2, 32, 32, 4);
+        let prob = Arc::new(GlobalProblem::erdos_renyi(m, n, r, 3, 29));
+        let mut words = Vec::new();
+        for elision in [Elision::None, Elision::LocalKernelFusion] {
+            let pr = Arc::clone(&prob);
+            let w = SimWorld::new(p, MachineModel::bandwidth_only());
+            let out = w.run(move |comm| {
+                let mut worker = DenseShift15::from_global(comm, c, &pr);
+                let _ = worker.fused_mm_a(None, elision, Sampling::Values);
+            });
+            words.push(out[0].stats.phase(Phase::Propagation).words_sent);
+        }
+        assert_eq!(words[0], 2 * words[1], "LKF must halve propagation volume");
+    }
+}

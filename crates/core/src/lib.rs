@@ -1,0 +1,43 @@
+//! # dsk-core — distributed-memory SDDMM, SpMM, and FusedMM
+//!
+//! The paper's contribution, implemented end to end: sparsity-agnostic
+//! distributed algorithms for
+//!
+//! * **SDDMM** — `R = S ∗ (A·Bᵀ)`,
+//! * **SpMMA** — `S·B` (A-shaped output) and **SpMMB** — `Sᵀ·A`
+//!   (B-shaped output),
+//! * **FusedMM** — SDDMM immediately followed by an SpMM on its output,
+//!
+//! in the four algorithm families of the paper's Figure 2 / Table II:
+//!
+//! | module | family | replicates | propagates |
+//! |--------|--------|-----------|------------|
+//! | [`ds15`] | 1.5D dense-shifting  | one dense matrix | the other dense matrix |
+//! | [`ss15`] | 1.5D sparse-shifting | one dense matrix | the sparse matrix |
+//! | [`dr25`] | 2.5D dense-replicating | one dense matrix | sparse + other dense |
+//! | [`sr25`] | 2.5D sparse-replicating | sparse values | both dense matrices |
+//!
+//! Each family supports the communication-eliding strategies the paper
+//! allows for it ([`Elision`]): *replication reuse* (one replication
+//! serves both kernels) and — for 1.5D dense shifting only — *local
+//! kernel fusion* (one propagation round computing the fused kernel).
+//!
+//! [`baseline`] provides the PETSc-like 1D block-row SpMM used as the
+//! paper's baseline, and [`theory`] the closed-form communication costs
+//! (Tables III & IV) and the best-algorithm predictor behind Figure 6.
+
+pub mod baseline;
+pub mod common;
+pub mod dr25;
+pub mod ds15;
+pub mod global;
+pub mod layout;
+pub mod sr25;
+pub mod ss15;
+pub mod staged;
+pub mod theory;
+pub mod worker;
+
+pub use common::{AlgorithmFamily, Elision, ProblemDims, Sampling};
+pub use global::GlobalProblem;
+pub use staged::StagedProblem;

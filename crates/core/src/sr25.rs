@@ -1,0 +1,584 @@
+//! The 2.5D sparse-replicating algorithm.
+//!
+//! Grid `q × q × c` with `q = √(p/c)`. The dual of the dense-replicating
+//! 2.5D algorithm: here the **sparse matrix is replicated** along the
+//! fiber and **both dense matrices propagate**. Its attractive property
+//! (paper §V-D): only the sparse *values* ever cross the fiber — the
+//! coordinates are shared by all `c` layers — so replication traffic is
+//! proportional to `φ`, making the algorithm excellent for very sparse
+//! `S`.
+//!
+//! * `S` is cut into `q × q` blocks; block `(u, v)`'s *pattern* lives on
+//!   every fiber rank `(u, v, ·)`, its sampling *values* are split
+//!   `1/c` per layer (an all-gather assembles them when a kernel
+//!   starts).
+//! * The r-dimension is cut into `q·c` slices. `A` panels
+//!   `(macro row u) × slice` and `B` panels `(macro row v) × slice` are
+//!   placed pre-skewed: rank `(u, v, w)` homes slice `((u+v) mod q)·c + w`
+//!   of both; `A` travels the row ring, `B` the column ring, so the two
+//!   panels at a rank always carry the same slice.
+//! * SDDMM accumulates slice-partial dot products per layer over `q`
+//!   steps; an **all-reduce of the values along the fiber** completes
+//!   them (this is the only inter-layer traffic, `O(nnz/p)` words).
+//! * SpMM circulates zero-initialized output panels (along the row ring
+//!   for SpMMA, column ring for SpMMB) that accumulate the full
+//!   contraction with no fiber traffic at all.
+//!
+//! No communication elision applies: there is no dense replication to
+//! reuse and rows are sliced, so FusedMM is always two rounds.
+
+use dsk_comm::{Comm, Grid25, GridComms25, Phase};
+use dsk_dense::Mat;
+use dsk_kernels as kern;
+use dsk_sparse::{CooMatrix, CsrMatrix};
+
+use crate::common::{block_range, Elision, ProblemDims, Sampling};
+use crate::global::GlobalProblem;
+use crate::staged::StagedProblem;
+use crate::layout::DenseLayout;
+use crate::ss15::CombineSpec;
+
+/// Tag for `A` panels (row-ring traffic).
+const TAG_A: u32 = 130;
+/// Tag for `B` panels (column-ring traffic).
+const TAG_B: u32 = 131;
+
+/// Per-rank state of the 2.5D sparse-replicating algorithm.
+pub struct SparseRepl25 {
+    /// Grid communicators.
+    pub gc: GridComms25,
+    dims: ProblemDims,
+    /// The local `S` block's pattern (CSR, values unset — real values
+    /// are distributed along the fiber).
+    s_pattern: CsrMatrix,
+    /// This layer's `1/c` share of the sampling values (contiguous
+    /// range of the CSR nonzero order).
+    sampling_part: Vec<f64>,
+    /// Home (pre-skewed) `A` panel.
+    pub a_home: Mat,
+    /// Home (pre-skewed) `B` panel.
+    pub b_home: Mat,
+    /// Fully reduced SDDMM values (available on every layer after a
+    /// kernel).
+    r_vals: Option<Vec<f64>>,
+}
+
+impl SparseRepl25 {
+    /// Build this rank's state from a borrowed global problem (test
+    /// convenience; benchmark runs share staging via
+    /// [`SparseRepl25::from_staged`]).
+    pub fn from_global(comm: &Comm, c: usize, prob: &GlobalProblem) -> Self {
+        Self::from_staged(comm, c, &StagedProblem::ephemeral(prob))
+    }
+
+    /// Build this rank's state from shared staging (no communication,
+    /// statistics unaffected).
+    pub fn from_staged(comm: &Comm, c: usize, staged: &StagedProblem) -> Self {
+        let prob = &*staged.prob;
+        let grid = Grid25::new(comm.size(), c).expect("invalid 2.5D grid");
+        let gc = GridComms25::build(comm, grid);
+        let q = grid.q;
+        let (m, n, r) = (prob.dims.m, prob.dims.n, prob.dims.r);
+        assert!(m >= q && n >= q, "matrix sides too small for grid");
+        let (u, v, w) = (gc.u, gc.v, gc.w);
+
+        let rows: Vec<_> = (0..q).map(|uu| block_range(m, q, uu)).collect();
+        let cols: Vec<_> = (0..q).map(|vv| block_range(n, q, vv)).collect();
+        let grid_s = staged.partition(false, &rows, &cols);
+        let s_full = CsrMatrix::from_coo(&grid_s[u][v]);
+        let part = block_range(s_full.nnz(), c, w);
+        let sampling_part = s_full.vals()[part].to_vec();
+        let mut s_pattern = s_full;
+        s_pattern.vals_mut().fill(0.0);
+
+        let sigma0 = (u + v) % q;
+        let slice = block_range(r, q * c, sigma0 * c + w);
+        let a_home = prob.a.block(rows[u].clone(), slice.clone());
+        let b_home = prob.b.block(cols[v].clone(), slice);
+        SparseRepl25 {
+            gc,
+            dims: prob.dims,
+            s_pattern,
+            sampling_part,
+            a_home,
+            b_home,
+            r_vals: None,
+        }
+    }
+
+    /// Problem dimensions.
+    pub fn dims(&self) -> ProblemDims {
+        self.dims
+    }
+
+    fn q(&self) -> usize {
+        self.gc.grid.q
+    }
+
+    /// Layout of `A` panels (pre-skewed home slices).
+    pub fn a_layout(
+        dims: ProblemDims,
+        p: usize,
+        c: usize,
+    ) -> impl Fn(usize) -> DenseLayout {
+        let grid = Grid25::new(p, c).expect("invalid 2.5D grid");
+        move |g| {
+            let (u, v, w) = (grid.row_pos(g), grid.col_pos(g), grid.fiber_pos(g));
+            let sigma0 = (u + v) % grid.q;
+            DenseLayout::single(
+                block_range(dims.m, grid.q, u),
+                block_range(dims.r, grid.q * c, sigma0 * c + w),
+            )
+        }
+    }
+
+    /// Layout of `B` panels (pre-skewed home slices).
+    pub fn b_layout(
+        dims: ProblemDims,
+        p: usize,
+        c: usize,
+    ) -> impl Fn(usize) -> DenseLayout {
+        let grid = Grid25::new(p, c).expect("invalid 2.5D grid");
+        move |g| {
+            let (u, v, w) = (grid.row_pos(g), grid.col_pos(g), grid.fiber_pos(g));
+            let sigma0 = (u + v) % grid.q;
+            DenseLayout::single(
+                block_range(dims.n, grid.q, v),
+                block_range(dims.r, grid.q * c, sigma0 * c + w),
+            )
+        }
+    }
+
+    /// All-gather the distributed sampling values along the fiber
+    /// (replication traffic — the only fiber traffic besides the SDDMM
+    /// value all-reduce).
+    fn allgather_sampling(&self) -> Vec<f64> {
+        let _ph = self.gc.fiber.phase(Phase::Replication);
+        let parts = self.gc.fiber.allgather(self.sampling_part.clone());
+        let mut full = Vec::with_capacity(self.s_pattern.nnz());
+        for p in parts {
+            full.extend_from_slice(&p);
+        }
+        debug_assert_eq!(full.len(), self.s_pattern.nnz());
+        full
+    }
+
+    /// Shift an `A`-side panel one step backward along the row ring.
+    /// `next_width` is the (schedule-known) slice width of the incoming
+    /// panel — slices differ by one column when `q·c ∤ r`.
+    fn shift_a(&self, a: Mat, next_width: usize) -> Mat {
+        let _ph = self.gc.row_ring.phase(Phase::Propagation);
+        let q = self.gc.row_ring.size();
+        let data = self.gc.row_ring.shift(q - 1, TAG_A, a.into_vec());
+        let rows = if next_width == 0 {
+            0
+        } else {
+            data.len() / next_width
+        };
+        Mat::from_vec(rows, next_width, data)
+    }
+
+    /// Shift a `B`-side panel one step backward along the column ring
+    /// (see [`SparseRepl25::shift_a`] for `next_width`).
+    fn shift_b(&self, b: Mat, next_width: usize) -> Mat {
+        let _ph = self.gc.col_ring.phase(Phase::Propagation);
+        let q = self.gc.col_ring.size();
+        let data = self.gc.col_ring.shift(q - 1, TAG_B, b.into_vec());
+        let rows = if next_width == 0 {
+            0
+        } else {
+            data.len() / next_width
+        };
+        Mat::from_vec(rows, next_width, data)
+    }
+
+    /// Width of the r-slice carried at step `t` (slices can differ by
+    /// one column when `q·c ∤ r`).
+    fn slice_at(&self, t: usize) -> std::ops::Range<usize> {
+        let q = self.q();
+        let sigma = (self.gc.u + self.gc.v + t) % q;
+        block_range(self.dims.r, q * self.gc.grid.c, sigma * self.gc.grid.c + self.gc.w)
+    }
+
+    /// SDDMM travel round: both panels travel; this layer accumulates
+    /// partial combines over its `q` slices. Returns the layer-partial
+    /// values (caller all-reduces along the fiber).
+    fn dots_round(&self, combine: &CombineSpec) -> Vec<f64> {
+        let q = self.q();
+        let mut acc = vec![0.0; self.s_pattern.nnz()];
+        let mut a = self.a_home.clone();
+        let mut b = self.b_home.clone();
+        for t in 0..q {
+            let slice = self.slice_at(t);
+            debug_assert_eq!(a.ncols(), slice.len(), "panel slice misalignment");
+            let com = combine.for_slice(slice.clone());
+            self.gc
+                .row_ring
+                .compute(kern::sddmm_flops(self.s_pattern.nnz(), slice.len()), || {
+                    kern::sddmm::sddmm_csr_acc_with(&mut acc, &self.s_pattern, &a, &b, com)
+                });
+            let next = self.slice_at(t + 1).len();
+            a = self.shift_a(a, next);
+            b = self.shift_b(b, next);
+        }
+        acc
+    }
+
+    /// SpMMA travel round: `B` panels travel; a zero `A`-shaped panel
+    /// circulates the row ring accumulating `S·B` per slice.
+    fn spmm_a_round(&self, vals: &[f64], b0: &Mat) -> Mat {
+        let q = self.q();
+        let mut s = self.s_pattern.clone();
+        s.set_vals(vals.to_vec());
+        let mut out = Mat::zeros(self.a_home.nrows(), self.a_home.ncols());
+        let mut b = b0.clone();
+        for t in 0..q {
+            debug_assert_eq!(out.ncols(), b.ncols(), "panel slice misalignment");
+            self.gc
+                .row_ring
+                .compute(kern::spmm_flops(s.nnz(), b.ncols()), || {
+                    kern::spmm_csr_acc(&mut out, &s, &b)
+                });
+            let next = self.slice_at(t + 1).len();
+            out = self.shift_a(out, next);
+            b = self.shift_b(b, next);
+        }
+        out
+    }
+
+    /// SpMMB travel round: `A` panels travel; a zero `B`-shaped panel
+    /// circulates the column ring accumulating `Sᵀ·A` per slice.
+    fn spmm_b_round(&self, vals: &[f64], a0: &Mat) -> Mat {
+        let q = self.q();
+        let mut s = self.s_pattern.clone();
+        s.set_vals(vals.to_vec());
+        let mut out = Mat::zeros(self.b_home.nrows(), self.b_home.ncols());
+        let mut a = a0.clone();
+        for t in 0..q {
+            debug_assert_eq!(out.ncols(), a.ncols(), "panel slice misalignment");
+            self.gc
+                .row_ring
+                .compute(kern::spmm_flops(s.nnz(), a.ncols()), || {
+                    kern::spmm_csr_t_acc(&mut out, &s, &a)
+                });
+            let next = self.slice_at(t + 1).len();
+            out = self.shift_b(out, next);
+            a = self.shift_a(a, next);
+        }
+        out
+    }
+
+    /// All-reduce layer-partial SDDMM values along the fiber and apply
+    /// the sampling.
+    fn reduce_and_sample(&self, mut dots: Vec<f64>, sampling: Sampling) -> Vec<f64> {
+        {
+            let _ph = self.gc.fiber.phase(Phase::Replication);
+            self.gc.fiber.allreduce_sum(&mut dots);
+        }
+        if let Sampling::Values = sampling {
+            let full = self.allgather_sampling();
+            kern::apply_sampling(&mut dots, &full);
+        }
+        dots
+    }
+
+    // ------------------------------------------------------------------
+    // Public kernels
+    // ------------------------------------------------------------------
+
+    /// Distributed SDDMM; the result values end up replicated on every
+    /// layer of the fiber.
+    pub fn sddmm(&mut self) {
+        let dots = self.dots_round(&CombineSpec::Dot);
+        self.r_vals = Some(self.reduce_and_sample(dots, Sampling::Values));
+    }
+
+    /// Distributed SpMMA: `S·B` (or `R·B`), returned in the `A` panel
+    /// layout.
+    pub fn spmm_a(&mut self, use_r: bool) -> Mat {
+        let vals = self.vals_full(use_r);
+        let b0 = self.b_home.clone();
+        self.spmm_a_round(&vals, &b0)
+    }
+
+    /// Distributed SpMMB: `Sᵀ·A` (or `Rᵀ·A`), returned in the `B`
+    /// panel layout.
+    pub fn spmm_b(&mut self, use_r: bool) -> Mat {
+        let vals = self.vals_full(use_r);
+        let a0 = self.a_home.clone();
+        self.spmm_b_round(&vals, &a0)
+    }
+
+    fn vals_full(&self, use_r: bool) -> Vec<f64> {
+        if use_r {
+            self.r_vals
+                .clone()
+                .expect("no SDDMM result available; call sddmm() first")
+        } else {
+            self.allgather_sampling()
+        }
+    }
+
+    /// FusedMMA = `SpMMA(SDDMM(x, B, S), B)`. `x` (`A` panel layout)
+    /// defaults to the stored `A`; same layout out. Only
+    /// [`Elision::None`] is valid (paper §V-D).
+    pub fn fused_mm_a(&mut self, x: Option<&Mat>, elision: Elision, sampling: Sampling) -> Mat {
+        assert!(
+            matches!(elision, Elision::None),
+            "the 2.5D sparse-replicating algorithm admits no communication elision"
+        );
+        let saved;
+        let a_ref = match x {
+            Some(xm) => {
+                saved = std::mem::replace(&mut self.a_home, xm.clone());
+                Some(saved)
+            }
+            None => None,
+        };
+        let dots = self.dots_round(&CombineSpec::Dot);
+        let rvals = self.reduce_and_sample(dots, sampling);
+        self.r_vals = Some(rvals.clone());
+        let b0 = self.b_home.clone();
+        let out = self.spmm_a_round(&rvals, &b0);
+        if let Some(orig) = a_ref {
+            self.a_home = orig;
+        }
+        out
+    }
+
+    /// FusedMMB = `SpMMB(SDDMM(A, y, S), A)`. `y` (`B` panel layout)
+    /// defaults to the stored `B`; same layout out.
+    pub fn fused_mm_b(&mut self, y: Option<&Mat>, elision: Elision, sampling: Sampling) -> Mat {
+        assert!(
+            matches!(elision, Elision::None),
+            "the 2.5D sparse-replicating algorithm admits no communication elision"
+        );
+        let saved;
+        let b_ref = match y {
+            Some(ym) => {
+                saved = std::mem::replace(&mut self.b_home, ym.clone());
+                Some(saved)
+            }
+            None => None,
+        };
+        let dots = self.dots_round(&CombineSpec::Dot);
+        let rvals = self.reduce_and_sample(dots, sampling);
+        self.r_vals = Some(rvals.clone());
+        let a0 = self.a_home.clone();
+        let out = self.spmm_b_round(&rvals, &a0);
+        if let Some(orig) = b_ref {
+            self.b_home = orig;
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // GAT support and verification
+    // ------------------------------------------------------------------
+
+    /// Generalized SDDMM storing fully reduced raw accumulations as R
+    /// values.
+    pub fn sddmm_general(&mut self, combine: CombineSpec) {
+        let dots = self.dots_round(&combine);
+        self.r_vals = Some(self.reduce_and_sample(dots, Sampling::Ones));
+    }
+
+    /// Map every stored R value in place (all layers apply the same
+    /// deterministic map, preserving replication).
+    pub fn map_r(&mut self, mut f: impl FnMut(f64) -> f64) {
+        let r = self.r_vals.as_mut().expect("no R values");
+        for v in r.iter_mut() {
+            *v = f(*v);
+        }
+    }
+
+    /// Row sums of R over this rank's macro row (reduced across the row
+    /// ring; values are replicated along fibers so layers don't sum).
+    pub fn r_row_sums(&self, comm_phase: Phase) -> Vec<f64> {
+        let r = self.r_vals.as_ref().expect("no R values");
+        let rows = self.s_pattern.nrows();
+        let mut sums = vec![0.0; rows];
+        let indptr = self.s_pattern.indptr();
+        for i in 0..rows {
+            for k in indptr[i]..indptr[i + 1] {
+                sums[i] += r[k];
+            }
+        }
+        let _ph = self.gc.row_ring.phase(comm_phase);
+        self.gc.row_ring.allreduce_sum(&mut sums);
+        sums
+    }
+
+    /// Scale each R row by `scale[i]` (indices local to macro row `u`).
+    pub fn scale_r_rows(&mut self, scale: &[f64]) {
+        let r = self.r_vals.as_mut().expect("no R values");
+        let indptr = self.s_pattern.indptr();
+        for i in 0..self.s_pattern.nrows() {
+            for k in indptr[i]..indptr[i + 1] {
+                r[k] *= scale[i];
+            }
+        }
+    }
+
+    /// SpMMA using the stored R values against an explicit `B`-layout
+    /// operand (GAT), returned in the `A` panel layout.
+    pub fn spmm_a_with(&mut self, y: &Mat) -> Mat {
+        let vals = self.r_vals.clone().expect("no R values");
+        self.spmm_a_round(&vals, y)
+    }
+
+    /// Replace the stored `A` panel.
+    pub fn set_a(&mut self, panel: Mat) {
+        self.a_home = panel;
+    }
+
+    /// Replace the stored `B` panel.
+    pub fn set_b(&mut self, panel: Mat) {
+        self.b_home = panel;
+    }
+
+    /// Local contribution to `‖S − dots‖²` after
+    /// [`SparseRepl25::sddmm_general`] — only this layer's value share
+    /// is counted, so the sum across ranks covers each nonzero once.
+    pub fn sq_loss_local(&self) -> f64 {
+        let r = self.r_vals.as_ref().expect("no R values");
+        let part = block_range(self.s_pattern.nnz(), self.gc.grid.c, self.gc.w);
+        self.sampling_part
+            .iter()
+            .zip(&r[part])
+            .map(|(s, d)| (s - d) * (s - d))
+            .sum()
+    }
+
+    /// Gather the SDDMM result to rank 0 in global coordinates (layer 0
+    /// contributes; values are replicated across layers).
+    pub fn gather_r(&self, comm: &Comm) -> Option<CooMatrix> {
+        let r_vals = self.r_vals.as_ref().expect("no SDDMM result");
+        let (q, u, v, w) = (self.gc.grid.q, self.gc.u, self.gc.v, self.gc.w);
+        let (m, n) = (self.dims.m, self.dims.n);
+        let mut local = CooMatrix::empty(m, n);
+        if w == 0 {
+            let row_start = block_range(m, q, u).start;
+            let col_start = block_range(n, q, v).start;
+            let coo = self.s_pattern.to_coo();
+            for (k, (i, j, _)) in coo.iter().enumerate() {
+                local.push(row_start + i, col_start + j, r_vals[k]);
+            }
+        }
+        crate::layout::gather_coo(comm, 0, local, m, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsk_comm::{MachineModel, SimWorld};
+    use dsk_dense::ops::max_abs_diff;
+    use std::sync::Arc;
+
+    #[test]
+    fn sddmm_matches_reference() {
+        for (p, c) in [(4, 1), (8, 2), (18, 2), (16, 4), (27, 3)] {
+            let (m, n, r) = (27, 24, 13);
+            let prob = Arc::new(GlobalProblem::erdos_renyi(m, n, r, 3, 71));
+            let expect = prob.reference_sddmm().to_coo().to_dense();
+            let w = SimWorld::new(p, MachineModel::bandwidth_only());
+            let out = w.run(move |comm| {
+                let mut worker = SparseRepl25::from_global(comm, c, &prob);
+                worker.sddmm();
+                worker.gather_r(comm)
+            });
+            let got = out[0].value.as_ref().unwrap().to_dense();
+            for (g, e) in got.iter().zip(&expect) {
+                assert!((g - e).abs() < 1e-9, "sddmm mismatch p={p} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_kernels_match_reference() {
+        let (p, c, m, n, r) = (8, 2, 25, 22, 11);
+        let prob = Arc::new(GlobalProblem::erdos_renyi(m, n, r, 3, 72));
+        let ea = prob.reference_fused_a();
+        let eb = prob.reference_fused_b();
+        let la = SparseRepl25::a_layout(prob.dims, p, c);
+        let lb = SparseRepl25::b_layout(prob.dims, p, c);
+        let w = SimWorld::new(p, MachineModel::bandwidth_only());
+        let out = w.run(move |comm| {
+            let mut worker = SparseRepl25::from_global(comm, c, &prob);
+            let ga = worker.fused_mm_a(None, Elision::None, Sampling::Values);
+            let gb = worker.fused_mm_b(None, Elision::None, Sampling::Values);
+            (
+                crate::layout::gather_dense(comm, 0, &ga, &la, m, r),
+                crate::layout::gather_dense(comm, 0, &gb, &lb, n, r),
+            )
+        });
+        let (ga, gb) = &out[0].value;
+        assert!(max_abs_diff(ga.as_ref().unwrap(), &ea) < 1e-9);
+        assert!(max_abs_diff(gb.as_ref().unwrap(), &eb) < 1e-9);
+    }
+
+    #[test]
+    fn spmm_kernels_match_reference() {
+        let (p, c, m, n, r) = (18, 2, 24, 27, 12);
+        let prob = Arc::new(GlobalProblem::erdos_renyi(m, n, r, 4, 73));
+        let ea = prob.reference_spmm_a();
+        let eb = prob.reference_spmm_b();
+        let la = SparseRepl25::a_layout(prob.dims, p, c);
+        let lb = SparseRepl25::b_layout(prob.dims, p, c);
+        let w = SimWorld::new(p, MachineModel::bandwidth_only());
+        let out = w.run(move |comm| {
+            let mut worker = SparseRepl25::from_global(comm, c, &prob);
+            let ga = worker.spmm_a(false);
+            let gb = worker.spmm_b(false);
+            (
+                crate::layout::gather_dense(comm, 0, &ga, &la, m, r),
+                crate::layout::gather_dense(comm, 0, &gb, &lb, n, r),
+            )
+        });
+        let (ga, gb) = &out[0].value;
+        assert!(max_abs_diff(ga.as_ref().unwrap(), &ea) < 1e-9);
+        assert!(max_abs_diff(gb.as_ref().unwrap(), &eb) < 1e-9);
+    }
+
+    #[test]
+    fn elision_is_rejected() {
+        let (p, c) = (4, 1);
+        let prob = Arc::new(GlobalProblem::erdos_renyi(16, 16, 4, 2, 74));
+        let w = SimWorld::new(p, MachineModel::bandwidth_only());
+        let out = w.run(move |comm| {
+            let mut worker = SparseRepl25::from_global(comm, c, &prob);
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                worker.fused_mm_a(None, Elision::ReplicationReuse, Sampling::Values)
+            }))
+            .is_err()
+        });
+        assert!(out.iter().all(|o| o.value));
+    }
+
+    #[test]
+    fn fiber_traffic_is_values_only() {
+        // Replication traffic must be proportional to nnz, not to the
+        // dense matrices: allgather of values (c-1)/c·nnz_blk + one
+        // all-reduce ≈ 3·(c-1)/c·nnz_blk words per rank.
+        let (p, c, m, n, r) = (8, 2, 32, 32, 16);
+        let prob = Arc::new(GlobalProblem::erdos_renyi(m, n, r, 4, 75));
+        let nnz = prob.nnz() as u64;
+        let w = SimWorld::new(p, MachineModel::bandwidth_only());
+        let out = w.run(move |comm| {
+            let mut worker = SparseRepl25::from_global(comm, c, &prob);
+            let _ = worker.fused_mm_a(None, Elision::None, Sampling::Values);
+        });
+        let total: u64 = out
+            .iter()
+            .map(|o| o.stats.phase(Phase::Replication).words_sent)
+            .sum();
+        // Per fiber of c ranks and nnz_blk values: allgather (c-1)·nnz_blk/c
+        // + reduce-scatter (c-1)·nnz_blk/c + allgather (c-1)·nnz_blk/c,
+        // summed over the q² fibers (each block replicated on c ranks):
+        // 3·(c-1)/c·nnz total (< 3·nnz words; compare ≈ n·r dense words).
+        let expected_max = 3 * nnz; // upper bound independent of r
+        assert!(total <= expected_max, "fiber words {total} > {expected_max}");
+        assert!(total > 0);
+    }
+}

@@ -1,0 +1,705 @@
+//! The 1.5D sparse-shifting, dense-replicating algorithm.
+//!
+//! The paper's novel benchmark case: instead of shifting a dense matrix,
+//! the **sparse matrix propagates** while the dense matrices are divided
+//! by *block columns* (r-slices). Favorable when
+//! φ = nnz(S)/(n·r) is small — shifting `3·nnz/p` words per step beats
+//! shifting `n·r/p`.
+//!
+//! Grid `(p/c) × c`, rank `g = (u, v)` with `q = p/c`:
+//!
+//! * the r-dimension is cut into `q` slices; the ranks of fiber `u` all
+//!   work on slice `u`;
+//! * the **replicated** dense matrix: rank `(u, v)` holds rows
+//!   `block(m, c, v)` of slice `u`; an all-gather along the fiber yields
+//!   the full `m × slice` panel;
+//! * the **stationary** dense matrix: rank `(u, v)` holds the row blocks
+//!   `{j ≡ v (mod c)}` (of the `p`-way decomposition) of slice `u` —
+//!   exactly the rows addressed by the sparse column blocks that visit
+//!   this rank;
+//! * `S` is cut into `p` column blocks (full height); rank `(u, v)`'s
+//!   home block is `j = u·c + v`, and blocks cycle around the layer ring
+//!   carrying their values as *partial dot-product accumulators* (an
+//!   SDDMM completes after a block has visited all `q` slices). COO
+//!   blocks cost 3 words per nonzero on the wire.
+//!
+//! FusedMM with replication reuse performs one all-gather and two
+//! propagation rounds (dots, then SpMM scatter into the stationary
+//! output); without elision the second kernel re-replicates its input.
+//! Local kernel fusion is impossible: rows are split across ranks.
+
+use dsk_comm::{Comm, Grid15, GridComms15, Phase};
+use dsk_dense::Mat;
+use dsk_kernels as kern;
+use dsk_sparse::CooMatrix;
+
+use crate::common::{block_range, Elision, ProblemDims, Sampling};
+use crate::global::GlobalProblem;
+use crate::staged::StagedProblem;
+use crate::layout::DenseLayout;
+
+/// Tag for traveling sparse blocks.
+const TAG_SPARSE: u32 = 110;
+
+/// Per-rank state of the 1.5D sparse-shifting algorithm.
+pub struct SparseShift15 {
+    /// Grid communicators (layer ring + replication fiber).
+    pub gc: GridComms15,
+    dims: ProblemDims,
+    /// Home column block of `S`: rows global over `m`, columns local to
+    /// block `u·c+v`; values = sampling values.
+    s_home: CooMatrix,
+    /// Home column block of `Sᵀ` (rows global over `n`, columns local
+    /// to the `m`-block `u·c+v`) for the transposed (FusedMMA) paths.
+    st_home: CooMatrix,
+    /// Replicate-layout share of `A`: rows `block(m, c, v)` × slice `u`.
+    pub a_rep: Mat,
+    /// Replicate-layout share of `B`.
+    pub b_rep: Mat,
+    /// Stationary blocks of `A` by slot `w` (rows `block(m, p, w·c+v)` ×
+    /// slice `u`), for the transposed paths.
+    a_stat: Vec<Mat>,
+    /// Stationary blocks of `B` by slot `w`.
+    b_stat: Vec<Mat>,
+    /// SDDMM result values for the home block (aligned with `s_home`).
+    r_vals: Option<Vec<f64>>,
+}
+
+impl SparseShift15 {
+    /// Build this rank's state from a borrowed global problem (test
+    /// convenience; benchmark runs share staging via
+    /// [`SparseShift15::from_staged`]).
+    pub fn from_global(comm: &Comm, c: usize, prob: &GlobalProblem) -> Self {
+        Self::from_staged(comm, c, &StagedProblem::ephemeral(prob))
+    }
+
+    /// Build this rank's state from shared staging (no communication,
+    /// statistics unaffected).
+    pub fn from_staged(comm: &Comm, c: usize, staged: &StagedProblem) -> Self {
+        let prob = &*staged.prob;
+        let grid = Grid15::new(comm.size(), c).expect("invalid 1.5D grid");
+        let gc = GridComms15::build(comm, grid);
+        let p = grid.p;
+        let q = grid.layer_size();
+        let (m, n, r) = (prob.dims.m, prob.dims.n, prob.dims.r);
+        assert!(m >= p && n >= p, "matrix sides must be at least p");
+        let (u, v) = (gc.u, gc.v);
+        let slice = block_range(r, q, u);
+
+        // Home S column block (rows stay global).
+        let col_blocks: Vec<_> = (0..p).map(|j| block_range(n, p, j)).collect();
+        let s_cols = staged.partition(false, std::slice::from_ref(&(0..m)), &col_blocks);
+        let s_home = s_cols[0][u * c + v].clone();
+        let col_blocks_t: Vec<_> = (0..p).map(|j| block_range(m, p, j)).collect();
+        let st_cols = staged.partition(true, std::slice::from_ref(&(0..n)), &col_blocks_t);
+        let st_home = st_cols[0][u * c + v].clone();
+
+        let a_rep = prob.a.block(block_range(m, c, v), slice.clone());
+        let b_rep = prob.b.block(block_range(n, c, v), slice.clone());
+        let a_stat = (0..q)
+            .map(|w| prob.a.block(block_range(m, p, w * c + v), slice.clone()))
+            .collect();
+        let b_stat = (0..q)
+            .map(|w| prob.b.block(block_range(n, p, w * c + v), slice.clone()))
+            .collect();
+        SparseShift15 {
+            gc,
+            dims: prob.dims,
+            s_home,
+            st_home,
+            a_rep,
+            b_rep,
+            a_stat,
+            b_stat,
+            r_vals: None,
+        }
+    }
+
+    /// Problem dimensions.
+    pub fn dims(&self) -> ProblemDims {
+        self.dims
+    }
+
+    fn q(&self) -> usize {
+        self.gc.grid.layer_size()
+    }
+
+    /// Replicate layout of a `rows × r` matrix (the side that gets
+    /// all-gathered along fibers).
+    pub fn replicate_layout(
+        rows: usize,
+        r: usize,
+        p: usize,
+        c: usize,
+    ) -> impl Fn(usize) -> DenseLayout {
+        let q = p / c;
+        move |g| {
+            let (u, v) = (g / c, g % c);
+            DenseLayout::single(block_range(rows, c, v), block_range(r, q, u))
+        }
+    }
+
+    /// Stationary layout of a `rows × r` matrix (the side the traveling
+    /// sparse blocks address directly).
+    pub fn stationary_layout(
+        rows: usize,
+        r: usize,
+        p: usize,
+        c: usize,
+    ) -> impl Fn(usize) -> DenseLayout {
+        let q = p / c;
+        move |g| {
+            let (u, v) = (g / c, g % c);
+            DenseLayout {
+                row_ranges: (0..q).map(|w| block_range(rows, p, w * c + v)).collect(),
+                col_range: block_range(r, q, u),
+            }
+        }
+    }
+
+    /// Split a stacked stationary-layout matrix into its per-slot
+    /// blocks.
+    fn split_stationary(&self, total_rows: usize, stacked: &Mat) -> Vec<Mat> {
+        let (p, c, v) = (self.gc.grid.p, self.gc.grid.c, self.gc.v);
+        let mut out = Vec::with_capacity(self.q());
+        let mut off = 0;
+        for w in 0..self.q() {
+            let len = block_range(total_rows, p, w * c + v).len();
+            out.push(stacked.rows_block(off..off + len));
+            off += len;
+        }
+        debug_assert_eq!(off, stacked.nrows());
+        out
+    }
+
+    /// All-gather a replicate-layout panel along the fiber into the full
+    /// `total_rows × slice` panel. `total_rows` is passed explicitly so
+    /// that empty r-slices (possible when p/c > r) still produce a
+    /// correctly-shaped zero-width panel.
+    fn replicate(&self, x_rep: &Mat, total_rows: usize) -> Mat {
+        let _ph = self.gc.fiber.phase(Phase::Replication);
+        let w = x_rep.ncols();
+        let parts = self.gc.fiber.allgather(x_rep.as_slice().to_vec());
+        let mut data = Vec::new();
+        for p in parts {
+            data.extend_from_slice(&p);
+        }
+        debug_assert!(w == 0 || data.len() / w == total_rows);
+        Mat::from_vec(total_rows, w, data)
+    }
+
+    /// Shift a traveling COO block (3 words/nonzero) one step around the
+    /// layer ring.
+    fn shift_sparse(&self, blk: CooMatrix) -> CooMatrix {
+        let _ph = self.gc.layer.phase(Phase::Propagation);
+        self.gc.layer.shift(1, TAG_SPARSE, blk)
+    }
+
+    /// Home slot of the block held at step `t`.
+    #[inline]
+    fn slot(&self, t: usize) -> usize {
+        let q = self.q();
+        (self.gc.u + q - (t % q)) % q
+    }
+
+    /// SDDMM propagation round: the home block (values zeroed) travels
+    /// the ring accumulating per-slice partial combines; returns its
+    /// fully accumulated values (sampling not applied).
+    fn dots_round(
+        &self,
+        home: &CooMatrix,
+        x_full: &Mat,
+        y_stat: &[Mat],
+        combine: &CombineSpec,
+    ) -> Vec<f64> {
+        let q = self.q();
+        let mut blk = home.clone();
+        blk.vals.fill(0.0);
+        let slice = block_range(self.dims.r, q, self.gc.u);
+        for t in 0..q {
+            let w = self.slot(t);
+            // Detach the accumulating value array from the traveling
+            // block so the pattern can be borrowed alongside it.
+            let mut vals = std::mem::take(&mut blk.vals);
+            let com = combine.for_slice(slice.clone());
+            self.gc
+                .layer
+                .compute(kern::sddmm_flops(blk.rows.len(), slice.len()), || {
+                    kern::sddmm::sddmm_coo_acc_with(&mut vals, &blk, x_full, &y_stat[w], com)
+                });
+            blk.vals = vals;
+            blk = self.shift_sparse(blk);
+        }
+        debug_assert_eq!(blk.nnz(), home.nnz(), "block failed to return home");
+        blk.vals
+    }
+
+    /// SpMM propagation round: the home block travels with `vals`,
+    /// scattering `blkᵀ·X` into the stationary output blocks; returns
+    /// the stacked stationary-layout result.
+    fn scatter_round(
+        &self,
+        home: &CooMatrix,
+        vals: Vec<f64>,
+        x_full: &Mat,
+        out_rows_of: impl Fn(usize) -> usize,
+    ) -> Mat {
+        let q = self.q();
+        let slice_w = x_full.ncols();
+        let mut outs: Vec<Mat> = (0..q)
+            .map(|w| Mat::zeros(out_rows_of(w), slice_w))
+            .collect();
+        let mut blk = home.clone();
+        blk.vals = vals;
+        for t in 0..q {
+            let w = self.slot(t);
+            self.gc
+                .layer
+                .compute(kern::spmm_flops(blk.nnz(), slice_w), || {
+                    kern::spmm_coo_t_acc(&mut outs[w], &blk, x_full)
+                });
+            blk = self.shift_sparse(blk);
+        }
+        Mat::vstack(&outs)
+    }
+
+    fn finalize(home: &CooMatrix, mut vals: Vec<f64>, sampling: Sampling) -> Vec<f64> {
+        if let Sampling::Values = sampling {
+            kern::apply_sampling(&mut vals, &home.vals);
+        }
+        vals
+    }
+
+    // ------------------------------------------------------------------
+    // Public kernels
+    // ------------------------------------------------------------------
+
+    /// Distributed SDDMM (replicates `A`, travels `S`); the result stays
+    /// on the home block ([`SparseShift15::gather_r`] retrieves it).
+    pub fn sddmm(&mut self) {
+        let t_a = self.replicate(&self.a_rep, self.dims.m);
+        let dots = self.dots_round(&self.s_home, &t_a, &self.b_stat, &CombineSpec::Dot);
+        self.r_vals = Some(Self::finalize(&self.s_home, dots, Sampling::Values));
+    }
+
+    /// Distributed SpMMB: `Sᵀ·A` (or `Rᵀ·A`), returned in the
+    /// stationary `B` layout.
+    pub fn spmm_b(&mut self, use_r: bool) -> Mat {
+        let t_a = self.replicate(&self.a_rep, self.dims.m);
+        let vals = self.vals_for_travel(use_r);
+        let n = self.dims.n;
+        let (p, c, v) = (self.gc.grid.p, self.gc.grid.c, self.gc.v);
+        self.scatter_round(&self.s_home, vals, &t_a, |w| {
+            block_range(n, p, w * c + v).len()
+        })
+    }
+
+    /// Distributed SpMMA: `S·B` via the transposed roles (replicates
+    /// `B`, travels `Sᵀ`), returned in the stationary `A` layout.
+    pub fn spmm_a(&mut self) -> Mat {
+        let t_b = self.replicate(&self.b_rep, self.dims.n);
+        let vals = self.st_home.vals.clone();
+        let m = self.dims.m;
+        let (p, c, v) = (self.gc.grid.p, self.gc.grid.c, self.gc.v);
+        self.scatter_round(&self.st_home, vals, &t_b, |w| {
+            block_range(m, p, w * c + v).len()
+        })
+    }
+
+    fn vals_for_travel(&self, use_r: bool) -> Vec<f64> {
+        if use_r {
+            self.r_vals
+                .clone()
+                .expect("no SDDMM result available; call sddmm() first")
+        } else {
+            self.s_home.vals.clone()
+        }
+    }
+
+    /// FusedMMB = `SpMMB(SDDMM(A, y, S), A)`. `y` (stationary `B`
+    /// layout, stacked) defaults to the stored `B`; the result is in the
+    /// same stationary layout.
+    pub fn fused_mm_b(&mut self, y: Option<&Mat>, elision: Elision, sampling: Sampling) -> Mat {
+        let y_stat: Vec<Mat> = match y {
+            Some(st) => self.split_stationary(self.dims.n, st),
+            None => self.b_stat.clone(),
+        };
+        let n = self.dims.n;
+        let (p, c, v) = (self.gc.grid.p, self.gc.grid.c, self.gc.v);
+        match elision {
+            Elision::ReplicationReuse => {
+                let t_a = self.replicate(&self.a_rep, self.dims.m);
+                let dots = self.dots_round(&self.s_home, &t_a, &y_stat, &CombineSpec::Dot);
+                let rvals = Self::finalize(&self.s_home, dots, sampling);
+                self.scatter_round(&self.s_home, rvals, &t_a, |w| {
+                    block_range(n, p, w * c + v).len()
+                })
+            }
+            Elision::None => {
+                let t_a = self.replicate(&self.a_rep, self.dims.m);
+                let dots = self.dots_round(&self.s_home, &t_a, &y_stat, &CombineSpec::Dot);
+                let rvals = Self::finalize(&self.s_home, dots, sampling);
+                // Unoptimized: the SpMMB call replicates A again.
+                let t_a2 = self.replicate(&self.a_rep, self.dims.m);
+                self.scatter_round(&self.s_home, rvals, &t_a2, |w| {
+                    block_range(n, p, w * c + v).len()
+                })
+            }
+            Elision::LocalKernelFusion => {
+                panic!(
+                    "local kernel fusion requires co-located full rows; \
+                     unsupported for 1.5D sparse shifting"
+                )
+            }
+        }
+    }
+
+    /// FusedMMA = `SpMMA(SDDMM(x, B, S), B)` via transposed roles
+    /// (replicate `B`, travel `Sᵀ`). `x` (stationary `A` layout,
+    /// stacked) defaults to the stored `A`; same layout out.
+    pub fn fused_mm_a(&mut self, x: Option<&Mat>, elision: Elision, sampling: Sampling) -> Mat {
+        let x_stat: Vec<Mat> = match x {
+            Some(st) => self.split_stationary(self.dims.m, st),
+            None => self.a_stat.clone(),
+        };
+        let m = self.dims.m;
+        let (p, c, v) = (self.gc.grid.p, self.gc.grid.c, self.gc.v);
+        match elision {
+            Elision::ReplicationReuse => {
+                let t_b = self.replicate(&self.b_rep, self.dims.n);
+                let dots = self.dots_round(&self.st_home, &t_b, &x_stat, &CombineSpec::Dot);
+                let rvals = Self::finalize(&self.st_home, dots, sampling);
+                self.scatter_round(&self.st_home, rvals, &t_b, |w| {
+                    block_range(m, p, w * c + v).len()
+                })
+            }
+            Elision::None => {
+                let t_b = self.replicate(&self.b_rep, self.dims.n);
+                let dots = self.dots_round(&self.st_home, &t_b, &x_stat, &CombineSpec::Dot);
+                let rvals = Self::finalize(&self.st_home, dots, sampling);
+                let t_b2 = self.replicate(&self.b_rep, self.dims.n);
+                self.scatter_round(&self.st_home, rvals, &t_b2, |w| {
+                    block_range(m, p, w * c + v).len()
+                })
+            }
+            Elision::LocalKernelFusion => {
+                panic!(
+                    "local kernel fusion requires co-located full rows; \
+                     unsupported for 1.5D sparse shifting"
+                )
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // GAT support and verification
+    // ------------------------------------------------------------------
+
+    /// Generalized SDDMM storing raw accumulations as R values.
+    pub fn sddmm_general(&mut self, combine: CombineSpec) {
+        let t_a = self.replicate(&self.a_rep, self.dims.m);
+        let dots = self.dots_round(&self.s_home, &t_a, &self.b_stat, &combine);
+        self.r_vals = Some(dots);
+    }
+
+    /// Map every stored R value in place.
+    pub fn map_r(&mut self, mut f: impl FnMut(f64) -> f64) {
+        let r = self.r_vals.as_mut().expect("no R values");
+        for v in r.iter_mut() {
+            *v = f(*v);
+        }
+    }
+
+    /// Global row sums of R (length `m`; world all-reduce, charged to
+    /// `comm_phase`).
+    pub fn r_row_sums(&self, comm: &Comm, comm_phase: Phase) -> Vec<f64> {
+        let r = self.r_vals.as_ref().expect("no R values");
+        let mut sums = vec![0.0; self.dims.m];
+        for (k, (i, _, _)) in self.s_home.iter().enumerate() {
+            sums[i] += r[k];
+        }
+        let _ph = comm.phase(comm_phase);
+        comm.allreduce_sum(&mut sums);
+        sums
+    }
+
+    /// Scale R values by a per-global-row factor.
+    pub fn scale_r_rows(&mut self, scale: &[f64]) {
+        assert_eq!(scale.len(), self.dims.m, "need one factor per global row");
+        let r = self.r_vals.as_mut().expect("no R values");
+        for (k, (i, _, _)) in self.s_home.iter().enumerate() {
+            r[k] *= scale[i];
+        }
+    }
+
+    /// SpMMA with the stored R values against a stationary-layout
+    /// operand: accumulates the full `m × slice` panel locally, then
+    /// reduce-scatters along the fiber into the replicate `A` layout
+    /// (GAT's convolution step).
+    pub fn spmm_a_from_r(&mut self, y: Option<&Mat>) -> Mat {
+        let y_stat: Vec<Mat> = match y {
+            Some(st) => self.split_stationary(self.dims.n, st),
+            None => self.b_stat.clone(),
+        };
+        let q = self.q();
+        let slice = block_range(self.dims.r, q, self.gc.u);
+        let mut t_full = Mat::zeros(self.dims.m, slice.len());
+        let mut blk = self.s_home.clone();
+        blk.vals = self.r_vals.clone().expect("no R values");
+        for t in 0..q {
+            let w = self.slot(t);
+            self.gc
+                .layer
+                .compute(kern::spmm_flops(blk.nnz(), slice.len()), || {
+                    kern::spmm_coo_acc(&mut t_full, &blk, &y_stat[w])
+                });
+            blk = self.shift_sparse(blk);
+        }
+        // Fiber reduce-scatter into the replicate layout rows.
+        let _ph = self.gc.fiber.phase(Phase::Replication);
+        let c = self.gc.grid.c;
+        let w = slice.len();
+        let ranges: Vec<std::ops::Range<usize>> = (0..c)
+            .map(|vv| {
+                let rr = block_range(self.dims.m, c, vv);
+                rr.start * w..rr.end * w
+            })
+            .collect();
+        let mine = self
+            .gc
+            .fiber
+            .reduce_scatter_sum_ranges(t_full.as_slice(), &ranges);
+        let rows = block_range(self.dims.m, c, self.gc.v).len();
+        debug_assert!(w == 0 || mine.len() / w == rows);
+        Mat::from_vec(rows, w, mine)
+    }
+
+    /// The stored stationary-layout `A` as one stacked matrix.
+    pub fn a_stationary_stacked(&self) -> Mat {
+        Mat::vstack(&self.a_stat)
+    }
+
+    /// The stored stationary-layout `B` as one stacked matrix.
+    pub fn b_stationary_stacked(&self) -> Mat {
+        Mat::vstack(&self.b_stat)
+    }
+
+    /// Replace the stored `A` operand: `rep` in the replicate layout,
+    /// `stat_stacked` in the stationary layout (both must be supplied so
+    /// every code path sees the update).
+    pub fn set_a(&mut self, rep: Mat, stat_stacked: &Mat) {
+        self.a_rep = rep;
+        self.a_stat = self.split_stationary(self.dims.m, stat_stacked);
+    }
+
+    /// Replace the stored `B` operand (see [`SparseShift15::set_a`]).
+    pub fn set_b(&mut self, rep: Mat, stat_stacked: &Mat) {
+        self.b_rep = rep;
+        self.b_stat = self.split_stationary(self.dims.n, stat_stacked);
+    }
+
+    /// Local contribution to `‖S − dots‖²` after
+    /// [`SparseShift15::sddmm_general`] (ALS squared loss).
+    pub fn sq_loss_local(&self) -> f64 {
+        let r = self.r_vals.as_ref().expect("no R values");
+        self.s_home
+            .vals
+            .iter()
+            .zip(r)
+            .map(|(s, d)| (s - d) * (s - d))
+            .sum()
+    }
+
+    /// Gather the SDDMM result to rank 0 in global coordinates.
+    pub fn gather_r(&self, comm: &Comm) -> Option<CooMatrix> {
+        let r_vals = self.r_vals.as_ref().expect("no SDDMM result");
+        let (p, c, u, v) = (self.gc.grid.p, self.gc.grid.c, self.gc.u, self.gc.v);
+        let (m, n) = (self.dims.m, self.dims.n);
+        let col_start = block_range(n, p, u * c + v).start;
+        let mut local = CooMatrix::empty(m, n);
+        for (k, (i, j, _)) in self.s_home.iter().enumerate() {
+            local.push(i, col_start + j, r_vals[k]);
+        }
+        crate::layout::gather_coo(comm, 0, local, m, n)
+    }
+}
+
+/// Owned description of the per-nonzero combine, sliceable per r-slice
+/// (travel rounds on different fibers see different column slices).
+#[derive(Clone)]
+pub enum CombineSpec {
+    /// Standard dot product.
+    Dot,
+    /// GAT attention logits: full-width weight vectors, sliced to match
+    /// each panel.
+    Affine {
+        /// Source-side weights (length r).
+        w_src: Vec<f64>,
+        /// Destination-side weights (length r).
+        w_dst: Vec<f64>,
+    },
+}
+
+impl CombineSpec {
+    /// The kernel-level combine restricted to one r-slice.
+    pub fn for_slice(&self, slice: std::ops::Range<usize>) -> kern::SddmmCombine<'_> {
+        match self {
+            CombineSpec::Dot => kern::SddmmCombine::Dot,
+            CombineSpec::Affine { w_src, w_dst } => kern::SddmmCombine::AffinePair {
+                w_src: &w_src[slice.clone()],
+                w_dst: &w_dst[slice],
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsk_comm::{MachineModel, SimWorld};
+    use dsk_dense::ops::max_abs_diff;
+    use std::sync::Arc;
+
+    #[test]
+    fn sddmm_matches_reference() {
+        for (p, c) in [(4, 1), (4, 2), (8, 2), (6, 3), (8, 8)] {
+            let (m, n, r) = (26, 22, 8);
+            let prob = Arc::new(GlobalProblem::erdos_renyi(m, n, r, 3, 51));
+            let expect = prob.reference_sddmm().to_coo().to_dense();
+            let w = SimWorld::new(p, MachineModel::bandwidth_only());
+            let out = w.run(move |comm| {
+                let mut worker = SparseShift15::from_global(comm, c, &prob);
+                worker.sddmm();
+                worker.gather_r(comm)
+            });
+            let got = out[0].value.as_ref().unwrap().to_dense();
+            for (g, e) in got.iter().zip(&expect) {
+                assert!((g - e).abs() < 1e-9, "sddmm mismatch p={p} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_b_matches_reference() {
+        for elision in [Elision::None, Elision::ReplicationReuse] {
+            let (p, c, m, n, r) = (6, 2, 20, 24, 7);
+            let prob = Arc::new(GlobalProblem::erdos_renyi(m, n, r, 3, 52));
+            let expect = prob.reference_fused_b();
+            let layout = SparseShift15::stationary_layout(n, r, p, c);
+            let w = SimWorld::new(p, MachineModel::bandwidth_only());
+            let out = w.run(move |comm| {
+                let mut worker = SparseShift15::from_global(comm, c, &prob);
+                let got = worker.fused_mm_b(None, elision, Sampling::Values);
+                crate::layout::gather_dense(comm, 0, &got, &layout, n, r)
+            });
+            let got = out[0].value.as_ref().unwrap();
+            assert!(
+                max_abs_diff(got, &expect) < 1e-9,
+                "fused_mm_b mismatch elision={elision:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_a_matches_reference() {
+        for elision in [Elision::None, Elision::ReplicationReuse] {
+            let (p, c, m, n, r) = (8, 2, 26, 18, 8);
+            let prob = Arc::new(GlobalProblem::erdos_renyi(m, n, r, 4, 53));
+            let expect = prob.reference_fused_a();
+            let layout = SparseShift15::stationary_layout(m, r, p, c);
+            let w = SimWorld::new(p, MachineModel::bandwidth_only());
+            let out = w.run(move |comm| {
+                let mut worker = SparseShift15::from_global(comm, c, &prob);
+                let got = worker.fused_mm_a(None, elision, Sampling::Values);
+                crate::layout::gather_dense(comm, 0, &got, &layout, m, r)
+            });
+            let got = out[0].value.as_ref().unwrap();
+            assert!(
+                max_abs_diff(got, &expect) < 1e-9,
+                "fused_mm_a mismatch elision={elision:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn spmm_kernels_match_reference() {
+        let (p, c, m, n, r) = (4, 2, 17, 23, 6);
+        let prob = Arc::new(GlobalProblem::erdos_renyi(m, n, r, 3, 54));
+        let ea = prob.reference_spmm_a();
+        let eb = prob.reference_spmm_b();
+        let la = SparseShift15::stationary_layout(m, r, p, c);
+        let lb = SparseShift15::stationary_layout(n, r, p, c);
+        let w = SimWorld::new(p, MachineModel::bandwidth_only());
+        let out = w.run(move |comm| {
+            let mut worker = SparseShift15::from_global(comm, c, &prob);
+            let ga = worker.spmm_a();
+            let gb = worker.spmm_b(false);
+            (
+                crate::layout::gather_dense(comm, 0, &ga, &la, m, r),
+                crate::layout::gather_dense(comm, 0, &gb, &lb, n, r),
+            )
+        });
+        let (ga, gb) = &out[0].value;
+        assert!(max_abs_diff(ga.as_ref().unwrap(), &ea) < 1e-9);
+        assert!(max_abs_diff(gb.as_ref().unwrap(), &eb) < 1e-9);
+    }
+
+    #[test]
+    fn spmm_a_from_r_matches_reference() {
+        // R·B where R = SDDMM(A,B,S), output in the replicate A layout.
+        let (p, c, m, n, r) = (6, 3, 24, 21, 6);
+        let prob = Arc::new(GlobalProblem::erdos_renyi(m, n, r, 3, 55));
+        let expect = prob.reference_fused_a();
+        let layout = SparseShift15::replicate_layout(m, r, p, c);
+        let w = SimWorld::new(p, MachineModel::bandwidth_only());
+        let out = w.run(move |comm| {
+            let mut worker = SparseShift15::from_global(comm, c, &prob);
+            worker.sddmm();
+            let got = worker.spmm_a_from_r(None);
+            crate::layout::gather_dense(comm, 0, &got, &layout, m, r)
+        });
+        assert!(max_abs_diff(out[0].value.as_ref().unwrap(), &expect) < 1e-9);
+    }
+
+    #[test]
+    fn sparse_shift_words_are_3_per_nonzero() {
+        let (p, c, m, n, r) = (8, 2, 32, 32, 8);
+        let prob = Arc::new(GlobalProblem::erdos_renyi(m, n, r, 4, 56));
+        let nnz = prob.nnz();
+        let w = SimWorld::new(p, MachineModel::bandwidth_only());
+        let out = w.run(move |comm| {
+            let mut worker = SparseShift15::from_global(comm, c, &prob);
+            let _ = worker.fused_mm_b(None, Elision::ReplicationReuse, Sampling::Values);
+        });
+        // Two rounds of q shifts each; every shift carries one column
+        // block at 3 words per nonzero. Total across all ranks and
+        // steps: 2 · q · 3 · nnz.
+        let q = p / c;
+        let total: u64 = out
+            .iter()
+            .map(|o| o.stats.phase(Phase::Propagation).words_sent)
+            .sum();
+        assert_eq!(total, (2 * q * 3 * nnz) as u64);
+    }
+
+    #[test]
+    fn reuse_halves_replication_volume() {
+        let (p, c, m, n, r) = (8, 4, 32, 32, 8);
+        let prob = Arc::new(GlobalProblem::erdos_renyi(m, n, r, 3, 57));
+        let mut repl_words = Vec::new();
+        for elision in [Elision::None, Elision::ReplicationReuse] {
+            let pr = Arc::clone(&prob);
+            let w = SimWorld::new(p, MachineModel::bandwidth_only());
+            let out = w.run(move |comm| {
+                let mut worker = SparseShift15::from_global(comm, c, &pr);
+                let _ = worker.fused_mm_b(None, elision, Sampling::Values);
+            });
+            let total: u64 = out
+                .iter()
+                .map(|o| o.stats.phase(Phase::Replication).words_sent)
+                .sum();
+            repl_words.push(total);
+        }
+        assert_eq!(repl_words[0], 2 * repl_words[1]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Shared staging for distributed runs: a [`GlobalProblem`] plus a
+//! cache of its block partitions.
+//!
+//! Every rank of a simulated world builds its local blocks from the same
+//! global matrices. Having each of `p` ranks re-partition the sparse
+//! matrix would cost `O(p·nnz)` at staging time — negligible for tests,
+//! prohibitive for 256-rank benchmark runs. A [`StagedProblem`] is
+//! shared (via `Arc`) by all ranks of a world; the first rank to request
+//! a given partition geometry computes it once and every other rank
+//! reuses it. Staging happens in the `Setup` phase, so none of this
+//! affects measured communication.
+
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+
+use dsk_sparse::partition::partition_by_ranges;
+use dsk_sparse::CooMatrix;
+
+use crate::global::GlobalProblem;
+
+type Grid = Vec<Vec<CooMatrix>>;
+type Key = (bool, Vec<usize>, Vec<usize>);
+
+/// A global problem plus memoized sparse-matrix partitions, shared by
+/// all ranks of a simulated world.
+pub struct StagedProblem {
+    /// The underlying global problem.
+    pub prob: Arc<GlobalProblem>,
+    transpose: OnceLock<CooMatrix>,
+    partitions: Mutex<HashMap<Key, Arc<Grid>>>,
+}
+
+impl StagedProblem {
+    /// Stage a shared global problem.
+    pub fn new(prob: Arc<GlobalProblem>) -> Self {
+        StagedProblem {
+            prob,
+            transpose: OnceLock::new(),
+            partitions: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Stage a borrowed problem by cloning it (test convenience; no
+    /// cross-rank sharing).
+    pub fn ephemeral(prob: &GlobalProblem) -> Self {
+        Self::new(Arc::new(prob.clone()))
+    }
+
+    /// `Sᵀ`, computed once.
+    pub fn s_transposed(&self) -> &CooMatrix {
+        self.transpose.get_or_init(|| self.prob.s.transpose())
+    }
+
+    /// The block partition of `S` (or `Sᵀ` when `transposed`) by the
+    /// given row/column ranges, computed once per geometry and shared.
+    pub fn partition(
+        &self,
+        transposed: bool,
+        row_ranges: &[Range<usize>],
+        col_ranges: &[Range<usize>],
+    ) -> Arc<Grid> {
+        let key: Key = (
+            transposed,
+            row_ranges.iter().map(|r| r.start).collect(),
+            col_ranges.iter().map(|r| r.start).collect(),
+        );
+        if let Some(hit) = self.partitions.lock().get(&key) {
+            return Arc::clone(hit);
+        }
+        // Compute outside the lock (other geometries stay unblocked);
+        // a racing duplicate computation is harmless — last one wins.
+        let src = if transposed {
+            self.s_transposed()
+        } else {
+            &self.prob.s
+        };
+        let grid = Arc::new(partition_by_ranges(src, row_ranges, col_ranges));
+        self.partitions
+            .lock()
+            .entry(key)
+            .or_insert_with(|| Arc::clone(&grid))
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::block_range;
+
+    #[test]
+    fn partition_is_cached_and_correct() {
+        let prob = GlobalProblem::erdos_renyi(16, 16, 4, 3, 111);
+        let staged = StagedProblem::ephemeral(&prob);
+        let rows: Vec<_> = (0..4).map(|i| block_range(16, 4, i)).collect();
+        let cols: Vec<_> = (0..2).map(|i| block_range(16, 2, i)).collect();
+        let g1 = staged.partition(false, &rows, &cols);
+        let g2 = staged.partition(false, &rows, &cols);
+        assert!(Arc::ptr_eq(&g1, &g2), "second request must hit the cache");
+        let total: usize = g1.iter().flatten().map(CooMatrix::nnz).sum();
+        assert_eq!(total, prob.nnz());
+    }
+
+    #[test]
+    fn transposed_partition_uses_transpose() {
+        let prob = GlobalProblem::erdos_renyi(12, 20, 4, 3, 112);
+        let staged = StagedProblem::ephemeral(&prob);
+        let rows: Vec<_> = vec![0..20];
+        let cols: Vec<_> = (0..3).map(|i| block_range(12, 3, i)).collect();
+        let g = staged.partition(true, &rows, &cols);
+        let total: usize = g.iter().flatten().map(CooMatrix::nnz).sum();
+        assert_eq!(total, prob.nnz());
+        assert_eq!(g[0][0].nrows, 20);
+    }
+
+    #[test]
+    fn distinct_geometries_get_distinct_entries() {
+        let prob = GlobalProblem::erdos_renyi(16, 16, 4, 2, 113);
+        let staged = StagedProblem::ephemeral(&prob);
+        let r4: Vec<_> = (0..4).map(|i| block_range(16, 4, i)).collect();
+        let r2: Vec<_> = (0..2).map(|i| block_range(16, 2, i)).collect();
+        let g1 = staged.partition(false, &r4, &r2);
+        let g2 = staged.partition(false, &r2, &r4);
+        assert!(!Arc::ptr_eq(&g1, &g2));
+        assert_eq!(g1.len(), 4);
+        assert_eq!(g2.len(), 2);
+    }
+}

@@ -1,0 +1,346 @@
+//! The paper's communication theory: per-processor message and word
+//! counts for every FusedMM algorithm (Table III), the optimal
+//! replication factors (Table IV), and the best-algorithm predictor
+//! behind Figure 6.
+//!
+//! Conventions follow the paper's analysis section: `m ≈ n`, dense
+//! matrices hold `n·r` words, `φ = nnz(S)/(n·r)`, and a COO nonzero
+//! costs three words in flight. "Words" means the maximum number of
+//! words any processor sends while executing one FusedMM.
+
+use serde::{Deserialize, Serialize};
+
+use crate::common::{AlgorithmFamily, Elision, ProblemDims};
+use dsk_comm::MachineModel;
+
+/// An algorithm choice: family plus elision strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Algorithm {
+    /// The algorithm family (grid shape and what propagates).
+    pub family: AlgorithmFamily,
+    /// The FusedMM communication-eliding strategy.
+    pub elision: Elision,
+}
+
+impl Algorithm {
+    /// Construct, validating that the family admits the elision.
+    pub fn new(family: AlgorithmFamily, elision: Elision) -> Self {
+        assert!(
+            family.supports(elision),
+            "{family:?} does not support {elision:?}"
+        );
+        Algorithm { family, elision }
+    }
+
+    /// The eight algorithm variants benchmarked in the paper's Figure 4.
+    pub fn all_benchmarked() -> Vec<Algorithm> {
+        use AlgorithmFamily::*;
+        use Elision::*;
+        vec![
+            Algorithm::new(DenseShift15, None),
+            Algorithm::new(DenseShift15, ReplicationReuse),
+            Algorithm::new(DenseShift15, LocalKernelFusion),
+            Algorithm::new(SparseShift15, None),
+            Algorithm::new(SparseShift15, ReplicationReuse),
+            Algorithm::new(SparseRepl25, None),
+            Algorithm::new(DenseRepl25, ReplicationReuse),
+            Algorithm::new(DenseRepl25, None),
+        ]
+    }
+
+    /// Figure-legend label, e.g. "1.5D Dense Shift, Local Kernel
+    /// Fusion".
+    pub fn label(&self) -> String {
+        format!("{}, {}", self.family.label(), self.elision.label())
+    }
+}
+
+/// Words (8-byte units) the busiest processor communicates for one
+/// FusedMM call (Table III, with the unoptimized back-to-back variants
+/// from §V's analysis).
+pub fn words_per_processor(
+    alg: Algorithm,
+    p: usize,
+    c: usize,
+    dims: ProblemDims,
+    nnz: usize,
+) -> f64 {
+    let pf = p as f64;
+    let cf = c as f64;
+    let nr = dims.n as f64 * dims.r as f64;
+    let nnzf = nnz as f64;
+    use AlgorithmFamily::*;
+    use Elision::*;
+    match (alg.family, alg.elision) {
+        (DenseShift15, None) => nr * (2.0 / cf + 2.0 * (cf - 1.0) / pf),
+        (DenseShift15, ReplicationReuse) => nr * (2.0 / cf + (cf - 1.0) / pf),
+        (DenseShift15, LocalKernelFusion) => nr * (1.0 / cf + 2.0 * (cf - 1.0) / pf),
+        (SparseShift15, None) => 6.0 * nnzf / cf + 2.0 * nr * (cf - 1.0) / pf,
+        (SparseShift15, ReplicationReuse) => 6.0 * nnzf / cf + nr * (cf - 1.0) / pf,
+        (DenseRepl25, None) => (6.0 * nnzf + 2.0 * nr) / (pf * cf).sqrt() + 2.0 * nr * (cf - 1.0) / pf,
+        (DenseRepl25, ReplicationReuse) => {
+            (6.0 * nnzf + 2.0 * nr) / (pf * cf).sqrt() + nr * (cf - 1.0) / pf
+        }
+        (SparseRepl25, None) => 4.0 * nr / (pf * cf).sqrt() + 3.0 * nnzf * (cf - 1.0) / pf,
+        (f, e) => panic!("{f:?} does not support {e:?}"),
+    }
+}
+
+/// Messages the busiest processor sends for one FusedMM call
+/// (Table III).
+pub fn messages_per_processor(alg: Algorithm, p: usize, c: usize) -> f64 {
+    let pf = p as f64;
+    let cf = c as f64;
+    use AlgorithmFamily::*;
+    use Elision::*;
+    match (alg.family, alg.elision) {
+        (DenseShift15, None) => 2.0 * pf / cf + 2.0 * (cf - 1.0),
+        (DenseShift15, ReplicationReuse) => 2.0 * pf / cf + (cf - 1.0),
+        (DenseShift15, LocalKernelFusion) => pf / cf + 2.0 * (cf - 1.0),
+        (SparseShift15, None) => 2.0 * pf / cf + 2.0 * (cf - 1.0),
+        (SparseShift15, ReplicationReuse) => 2.0 * pf / cf + (cf - 1.0),
+        (DenseRepl25, None) => 4.0 * (pf / cf).sqrt() + 2.0 * (cf - 1.0),
+        (DenseRepl25, ReplicationReuse) => 4.0 * (pf / cf).sqrt() + (cf - 1.0),
+        (SparseRepl25, None) => 4.0 * (pf / cf).sqrt() + 3.0 * (cf - 1.0),
+        (f, e) => panic!("{f:?} does not support {e:?}"),
+    }
+}
+
+/// The paper's Table IV: real-valued optimal replication factor
+/// minimizing [`words_per_processor`].
+pub fn optimal_c_formula(alg: Algorithm, p: usize, phi: f64) -> f64 {
+    let pf = p as f64;
+    use AlgorithmFamily::*;
+    use Elision::*;
+    match (alg.family, alg.elision) {
+        (DenseShift15, None) => pf.sqrt(),
+        (DenseShift15, ReplicationReuse) => (2.0 * pf).sqrt(),
+        (DenseShift15, LocalKernelFusion) => (pf / 2.0).sqrt(),
+        (SparseShift15, ReplicationReuse) => (6.0 * pf * phi).sqrt(),
+        (SparseShift15, None) => (3.0 * pf * phi).sqrt(),
+        (DenseRepl25, None) => (pf * (1.0 + 3.0 * phi).powi(2) / 4.0).cbrt(),
+        (DenseRepl25, ReplicationReuse) => (pf * (1.0 + 3.0 * phi).powi(2)).cbrt(),
+        (SparseRepl25, None) => pf.cbrt() * (2.0 / (3.0 * phi)).powf(2.0 / 3.0),
+        (f, e) => panic!("{f:?} does not support {e:?}"),
+    }
+}
+
+/// Replication factors admissible for `alg` at `p` ranks, bounded by
+/// `c_max` (memory limit; the paper sweeps 1..16).
+pub fn valid_replication_factors(alg: Algorithm, p: usize, c_max: usize) -> Vec<usize> {
+    (1..=c_max.min(p))
+        .filter(|&c| alg.family.valid_c(p, c))
+        .collect()
+}
+
+/// The admissible replication factor minimizing the modeled word count.
+pub fn optimal_c_search(
+    alg: Algorithm,
+    p: usize,
+    dims: ProblemDims,
+    nnz: usize,
+    c_max: usize,
+) -> Option<usize> {
+    valid_replication_factors(alg, p, c_max)
+        .into_iter()
+        .min_by(|&a, &b| {
+            let wa = words_per_processor(alg, p, a, dims, nnz);
+            let wb = words_per_processor(alg, p, b, dims, nnz);
+            wa.partial_cmp(&wb).unwrap()
+        })
+}
+
+/// Modeled communication time of one FusedMM under the α-β model, at
+/// the given replication factor.
+pub fn predicted_comm_time(
+    model: &MachineModel,
+    alg: Algorithm,
+    p: usize,
+    c: usize,
+    dims: ProblemDims,
+    nnz: usize,
+) -> f64 {
+    model.alpha_s * messages_per_processor(alg, p, c)
+        + model.beta_s_per_word * words_per_processor(alg, p, c, dims, nnz)
+}
+
+/// Modeled computation time of one FusedMM (2·2·nnz·r/p flops for the
+/// two kernels, load-balanced).
+pub fn predicted_comp_time(model: &MachineModel, p: usize, dims: ProblemDims, nnz: usize) -> f64 {
+    let flops = 4.0 * nnz as f64 * dims.r as f64 / p as f64;
+    model.gamma_s_per_flop * flops
+}
+
+/// Outcome of the best-algorithm prediction (Figure 6's "Predicted"
+/// panel).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// The winning algorithm.
+    pub algorithm: Algorithm,
+    /// Its optimal admissible replication factor.
+    pub c: usize,
+    /// Its modeled communication time (seconds).
+    pub time_s: f64,
+}
+
+/// Predict the fastest algorithm among `candidates` for a problem, each
+/// at its own best admissible replication factor.
+pub fn predict_best(
+    model: &MachineModel,
+    candidates: &[Algorithm],
+    p: usize,
+    dims: ProblemDims,
+    nnz: usize,
+    c_max: usize,
+) -> Prediction {
+    let mut best: Option<Prediction> = None;
+    for &alg in candidates {
+        let Some(c) = optimal_c_search(alg, p, dims, nnz, c_max) else {
+            continue;
+        };
+        let time_s = predicted_comm_time(model, alg, p, c, dims, nnz);
+        if best.is_none_or(|b| time_s < b.time_s) {
+            best = Some(Prediction {
+                algorithm: alg,
+                c,
+                time_s,
+            });
+        }
+    }
+    best.expect("no admissible algorithm")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use AlgorithmFamily::*;
+    use Elision::*;
+
+    fn dims(n: usize, r: usize) -> ProblemDims {
+        ProblemDims::new(n, n, r)
+    }
+
+    #[test]
+    fn closed_form_optima_match_numeric_argmin() {
+        // Over a real-valued grid, the Table IV formula must sit at the
+        // minimum of the Table III word count.
+        let d = dims(1 << 20, 128);
+        for alg in Algorithm::all_benchmarked() {
+            for p in [64usize, 256, 1024] {
+                for nnz_per_row in [4usize, 32, 256] {
+                    let nnz = d.n * nnz_per_row;
+                    let phi = d.phi(nnz);
+                    let c_star = optimal_c_formula(alg, p, phi);
+                    if !(1.0..=p as f64).contains(&c_star) {
+                        continue; // outside the admissible range
+                    }
+                    let w_star = words_per_processor(alg, p, c_star.round().max(1.0) as usize, d, nnz);
+                    // Evaluate the continuous function at ±25%:
+                    let wf = |c: f64| {
+                        let alg_w = |cv: usize| words_per_processor(alg, p, cv, d, nnz);
+                        // linear interpolation on integers brackets the
+                        // continuous value well enough for this check
+                        let lo = c.floor().max(1.0) as usize;
+                        let hi = c.ceil() as usize;
+                        (alg_w(lo) + alg_w(hi)) / 2.0
+                    };
+                    assert!(
+                        w_star <= wf(c_star * 1.5) * 1.05 && w_star <= wf((c_star / 1.5).max(1.0)) * 1.05,
+                        "formula optimum not near argmin: {alg:?} p={p} φ={phi} c*={c_star}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reuse_beats_none_at_respective_optima() {
+        // The headline claim: at p → ∞ the ratio tends to 1/√2 ≈ 0.71,
+        // i.e. ≈30% savings for 1.5D dense shifting.
+        let d = dims(1 << 22, 256);
+        let nnz = d.n * 32;
+        let p = 65536;
+        let w = |alg: Algorithm| {
+            let c = optimal_c_formula(alg, p, d.phi(nnz)).round() as usize;
+            words_per_processor(alg, p, c.max(1), d, nnz)
+        };
+        let none = w(Algorithm::new(DenseShift15, None));
+        let reuse = w(Algorithm::new(DenseShift15, ReplicationReuse));
+        let lkf = w(Algorithm::new(DenseShift15, LocalKernelFusion));
+        let ratio_reuse = reuse / none;
+        let ratio_lkf = lkf / none;
+        assert!(
+            (ratio_reuse - 1.0 / 2.0f64.sqrt()).abs() < 0.02,
+            "reuse ratio {ratio_reuse}"
+        );
+        assert!(
+            (ratio_lkf - 1.0 / 2.0f64.sqrt()).abs() < 0.02,
+            "lkf ratio {ratio_lkf}"
+        );
+    }
+
+    #[test]
+    fn phi_governs_sparse_vs_dense_shift() {
+        // Low φ → sparse shifting wins; high φ → dense shifting wins
+        // (the paper's Figure 6 diagonal).
+        let model = MachineModel::bandwidth_only();
+        let p = 32;
+        let candidates = [
+            Algorithm::new(DenseShift15, LocalKernelFusion),
+            Algorithm::new(SparseShift15, ReplicationReuse),
+        ];
+        // φ = 4/256 ≪ 1: sparse shift should win.
+        let d1 = dims(1 << 18, 256);
+        let low = predict_best(&model, &candidates, p, d1, d1.n * 4, 16);
+        assert_eq!(low.algorithm.family, SparseShift15);
+        // φ = 256/64 = 4 ≫ 1: dense shift should win.
+        let d2 = dims(1 << 18, 64);
+        let high = predict_best(&model, &candidates, p, d2, d2.n * 256, 16);
+        assert_eq!(high.algorithm.family, DenseShift15);
+    }
+
+    #[test]
+    fn optimal_c_ordering_matches_figure7() {
+        // c*(reuse) ≥ c*(none) ≥ c*(lkf) for 1.5D dense shifting.
+        for p in [16usize, 64, 256] {
+            let reuse = optimal_c_formula(Algorithm::new(DenseShift15, ReplicationReuse), p, 0.1);
+            let none = optimal_c_formula(Algorithm::new(DenseShift15, None), p, 0.1);
+            let lkf = optimal_c_formula(Algorithm::new(DenseShift15, LocalKernelFusion), p, 0.1);
+            assert!(reuse > none && none > lkf);
+        }
+    }
+
+    #[test]
+    fn sparse_repl_likes_sparse_problems() {
+        // Table IV: the 2.5D sparse-replicating optimum grows as φ
+        // shrinks ("a sparser input S benefits from higher replication").
+        let alg = Algorithm::new(SparseRepl25, None);
+        let c_sparse = optimal_c_formula(alg, 512, 0.01);
+        let c_dense = optimal_c_formula(alg, 512, 1.0);
+        assert!(c_sparse > c_dense);
+    }
+
+    #[test]
+    fn search_respects_validity() {
+        let alg = Algorithm::new(DenseRepl25, None);
+        // p = 32: valid c are those with square layers: c=2 (16=4²),
+        // c=8 (4=2²), c=32 — the paper notes this constraint hurts 2.5D
+        // at p=32.
+        let valid = valid_replication_factors(alg, 32, 16);
+        assert_eq!(valid, vec![2, 8]);
+        let d = dims(1 << 16, 64);
+        let c = optimal_c_search(alg, 32, d, d.n * 8, 16).unwrap();
+        assert!(valid.contains(&c));
+    }
+
+    #[test]
+    fn messages_scale_with_grid_shape() {
+        let d15 = Algorithm::new(DenseShift15, None);
+        let d25 = Algorithm::new(DenseRepl25, None);
+        // 1.5D: O(p/c); 2.5D: O(√(p/c)).
+        assert!(
+            messages_per_processor(d15, 1024, 4) > messages_per_processor(d25, 1024, 4),
+            "2.5D must send fewer messages at scale"
+        );
+    }
+}

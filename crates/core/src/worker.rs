@@ -1,0 +1,164 @@
+//! Unified dispatch over the four algorithm families.
+//!
+//! [`DistWorker`] lets harness code construct and drive any of the
+//! paper's algorithms uniformly: the benchmark binaries iterate over
+//! [`theory::Algorithm`](crate::theory::Algorithm) values and need a
+//! single entry point per (family, c, elision) combination. Outputs are
+//! returned in each family's native layout (see the family modules for
+//! the layout contracts); use [`crate::layout`] to gather or convert.
+
+use dsk_comm::Comm;
+use dsk_dense::Mat;
+use dsk_sparse::CooMatrix;
+
+use crate::common::{AlgorithmFamily, Elision, ProblemDims, Sampling};
+use crate::dr25::DenseRepl25;
+use crate::ds15::DenseShift15;
+use crate::global::GlobalProblem;
+use crate::sr25::SparseRepl25;
+use crate::ss15::SparseShift15;
+
+/// A per-rank worker for any algorithm family.
+pub enum DistWorker {
+    /// 1.5D dense-shifting.
+    Ds15(DenseShift15),
+    /// 1.5D sparse-shifting.
+    Ss15(SparseShift15),
+    /// 2.5D dense-replicating.
+    Dr25(DenseRepl25),
+    /// 2.5D sparse-replicating.
+    Sr25(SparseRepl25),
+}
+
+impl DistWorker {
+    /// Build this rank's worker for `family` with replication factor
+    /// `c` from a borrowed global problem.
+    pub fn from_global(
+        comm: &Comm,
+        family: AlgorithmFamily,
+        c: usize,
+        prob: &GlobalProblem,
+    ) -> Self {
+        Self::from_staged(comm, family, c, &crate::staged::StagedProblem::ephemeral(prob))
+    }
+
+    /// Build from shared staging (the benchmark path: the expensive
+    /// sparse partition is computed once per world, not once per rank).
+    pub fn from_staged(
+        comm: &Comm,
+        family: AlgorithmFamily,
+        c: usize,
+        staged: &crate::staged::StagedProblem,
+    ) -> Self {
+        match family {
+            AlgorithmFamily::DenseShift15 => {
+                DistWorker::Ds15(DenseShift15::from_staged(comm, c, staged))
+            }
+            AlgorithmFamily::SparseShift15 => {
+                DistWorker::Ss15(SparseShift15::from_staged(comm, c, staged))
+            }
+            AlgorithmFamily::DenseRepl25 => {
+                DistWorker::Dr25(DenseRepl25::from_staged(comm, c, staged))
+            }
+            AlgorithmFamily::SparseRepl25 => {
+                DistWorker::Sr25(SparseRepl25::from_staged(comm, c, staged))
+            }
+        }
+    }
+
+    /// Which family this worker implements.
+    pub fn family(&self) -> AlgorithmFamily {
+        match self {
+            DistWorker::Ds15(_) => AlgorithmFamily::DenseShift15,
+            DistWorker::Ss15(_) => AlgorithmFamily::SparseShift15,
+            DistWorker::Dr25(_) => AlgorithmFamily::DenseRepl25,
+            DistWorker::Sr25(_) => AlgorithmFamily::SparseRepl25,
+        }
+    }
+
+    /// Problem dimensions.
+    pub fn dims(&self) -> ProblemDims {
+        match self {
+            DistWorker::Ds15(w) => w.dims(),
+            DistWorker::Ss15(w) => w.dims(),
+            DistWorker::Dr25(w) => w.dims(),
+            DistWorker::Sr25(w) => w.dims(),
+        }
+    }
+
+    /// Distributed SDDMM on the stored operands.
+    pub fn sddmm(&mut self) {
+        match self {
+            DistWorker::Ds15(w) => w.sddmm(),
+            DistWorker::Ss15(w) => w.sddmm(),
+            DistWorker::Dr25(w) => w.sddmm(),
+            DistWorker::Sr25(w) => w.sddmm(),
+        }
+    }
+
+    /// FusedMMA on the stored operands (native output layout).
+    pub fn fused_mm_a(&mut self, elision: Elision, sampling: Sampling) -> Mat {
+        match self {
+            DistWorker::Ds15(w) => w.fused_mm_a(None, elision, sampling),
+            DistWorker::Ss15(w) => w.fused_mm_a(None, elision, sampling),
+            DistWorker::Dr25(w) => w.fused_mm_a(None, elision, sampling),
+            DistWorker::Sr25(w) => w.fused_mm_a(None, elision, sampling),
+        }
+    }
+
+    /// FusedMMB on the stored operands (native output layout).
+    pub fn fused_mm_b(&mut self, elision: Elision, sampling: Sampling) -> Mat {
+        match self {
+            DistWorker::Ds15(w) => w.fused_mm_b(None, elision, sampling),
+            DistWorker::Ss15(w) => w.fused_mm_b(None, elision, sampling),
+            DistWorker::Dr25(w) => w.fused_mm_b(None, elision, sampling),
+            DistWorker::Sr25(w) => w.fused_mm_b(None, elision, sampling),
+        }
+    }
+
+    /// Gather the last SDDMM result to rank 0 (verification).
+    pub fn gather_r(&self, comm: &Comm) -> Option<CooMatrix> {
+        match self {
+            DistWorker::Ds15(w) => w.gather_r(comm),
+            DistWorker::Ss15(w) => w.gather_r(comm),
+            DistWorker::Dr25(w) => w.gather_r(comm),
+            DistWorker::Sr25(w) => w.gather_r(comm),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theory::Algorithm;
+    use dsk_comm::{MachineModel, SimWorld};
+    use std::sync::Arc;
+
+    #[test]
+    fn every_benchmarked_algorithm_runs_through_the_worker() {
+        // p = 8 admits every family (2.5D: c=2 gives 2×2 layers).
+        let prob = Arc::new(GlobalProblem::erdos_renyi(24, 24, 8, 3, 91));
+        let expect = prob.reference_fused_b();
+        for alg in Algorithm::all_benchmarked() {
+            let c = if alg.family.valid_c(8, 2) { 2 } else { 1 };
+            let pr = Arc::clone(&prob);
+            let w = SimWorld::new(8, MachineModel::bandwidth_only());
+            let out = w.run(move |comm| {
+                let mut worker = DistWorker::from_global(comm, alg.family, c, &pr);
+                let local = worker.fused_mm_b(alg.elision, Sampling::Values);
+                // Smoke invariant: every local piece is finite.
+                assert!(local.as_slice().iter().all(|v| v.is_finite()));
+                local.as_slice().iter().map(|v| v * v).sum::<f64>()
+            });
+            // The distributed Frobenius norm must match the reference
+            // regardless of layout (sum of squares is layout-invariant).
+            let total: f64 = out.iter().map(|o| o.value).sum();
+            let expect_sq: f64 = expect.as_slice().iter().map(|v| v * v).sum();
+            assert!(
+                (total - expect_sq).abs() <= 1e-6 * expect_sq.max(1.0),
+                "norm mismatch for {:?}",
+                alg
+            );
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! # dsk-dense — dense matrices for the sparse-kernel workspace
+//!
+//! A deliberately small row-major dense matrix type plus the handful of
+//! BLAS-like operations the distributed kernels need: panel extraction
+//! and assembly (matrices are constantly cut into block rows / block
+//! columns and re-assembled), GEMM for reference computations and the
+//! GAT weight transforms, row dot products for SDDMM, and norms for
+//! verification. The paper wraps Eigen for this role; we implement the
+//! equivalent functionality directly.
+
+pub mod mat;
+pub mod ops;
+
+pub use mat::Mat;

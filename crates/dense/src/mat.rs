@@ -1,0 +1,298 @@
+//! The row-major dense matrix type.
+
+use rand::distributions::{Distribution, Uniform};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense `nrows × ncols` matrix of `f64`, stored row-major.
+///
+/// Rows are the unit of distribution in every algorithm in this
+/// workspace (embedding matrices are tall and skinny), so row access is
+/// contiguous and free of bounds arithmetic surprises.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mat {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// An `nrows × ncols` matrix of zeros.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Mat {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
+    }
+
+    /// Build from a row-major buffer. `data.len()` must equal
+    /// `nrows * ncols`.
+    pub fn from_vec(nrows: usize, ncols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            nrows * ncols,
+            "buffer length {} does not match {nrows}x{ncols}",
+            data.len()
+        );
+        Mat { nrows, ncols, data }
+    }
+
+    /// Build by evaluating `f(i, j)` at every position.
+    pub fn from_fn(nrows: usize, ncols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for i in 0..nrows {
+            for j in 0..ncols {
+                data.push(f(i, j));
+            }
+        }
+        Mat { nrows, ncols, data }
+    }
+
+    /// Deterministic pseudo-random matrix with entries uniform in
+    /// `[-1, 1]`, fully determined by `seed`. Used so that each rank of a
+    /// distributed run can generate its own block of a global matrix
+    /// without communication.
+    pub fn random(nrows: usize, ncols: usize, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let dist = Uniform::new_inclusive(-1.0, 1.0);
+        let data = (0..nrows * ncols).map(|_| dist.sample(&mut rng)).collect();
+        Mat { nrows, ncols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// `nrows * ncols`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix has no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Entry `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        self.data[i * self.ncols + j]
+    }
+
+    /// Set entry `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        self.data[i * self.ncols + j] = v;
+    }
+
+    /// Row `i` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.nrows, "row {i} out of {}", self.nrows);
+        &self.data[i * self.ncols..(i + 1) * self.ncols]
+    }
+
+    /// Row `i` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.nrows, "row {i} out of {}", self.nrows);
+        &mut self.data[i * self.ncols..(i + 1) * self.ncols]
+    }
+
+    /// The whole buffer, row-major.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The whole buffer, mutable.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume into the underlying buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Set every entry to zero (reusing the allocation).
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Copy of the row range `rows` as a new matrix.
+    pub fn rows_block(&self, rows: std::ops::Range<usize>) -> Mat {
+        assert!(rows.end <= self.nrows, "row range out of bounds");
+        Mat {
+            nrows: rows.len(),
+            ncols: self.ncols,
+            data: self.data[rows.start * self.ncols..rows.end * self.ncols].to_vec(),
+        }
+    }
+
+    /// Copy of the column range `cols` as a new matrix.
+    pub fn cols_block(&self, cols: std::ops::Range<usize>) -> Mat {
+        assert!(cols.end <= self.ncols, "column range out of bounds");
+        let mut out = Mat::zeros(self.nrows, cols.len());
+        for i in 0..self.nrows {
+            out.row_mut(i)
+                .copy_from_slice(&self.row(i)[cols.start..cols.end]);
+        }
+        out
+    }
+
+    /// Copy of the intersection of a row range and a column range.
+    pub fn block(&self, rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> Mat {
+        assert!(rows.end <= self.nrows && cols.end <= self.ncols);
+        let mut out = Mat::zeros(rows.len(), cols.len());
+        for (oi, i) in rows.enumerate() {
+            out.row_mut(oi)
+                .copy_from_slice(&self.row(i)[cols.start..cols.end]);
+        }
+        out
+    }
+
+    /// Overwrite the row range starting at `row0` with `block`.
+    pub fn set_rows_block(&mut self, row0: usize, block: &Mat) {
+        assert_eq!(block.ncols, self.ncols, "column count mismatch");
+        assert!(row0 + block.nrows <= self.nrows, "row block out of bounds");
+        let start = row0 * self.ncols;
+        self.data[start..start + block.len()].copy_from_slice(&block.data);
+    }
+
+    /// Overwrite the sub-block with top-left corner `(row0, col0)`.
+    pub fn set_block(&mut self, row0: usize, col0: usize, block: &Mat) {
+        assert!(row0 + block.nrows <= self.nrows && col0 + block.ncols <= self.ncols);
+        for i in 0..block.nrows {
+            let dst = &mut self.row_mut(row0 + i)[col0..col0 + block.ncols];
+            dst.copy_from_slice(block.row(i));
+        }
+    }
+
+    /// Stack matrices vertically (all must share a column count).
+    pub fn vstack(blocks: &[Mat]) -> Mat {
+        assert!(!blocks.is_empty(), "vstack of nothing");
+        let ncols = blocks[0].ncols;
+        let nrows = blocks.iter().map(|b| b.nrows).sum();
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for b in blocks {
+            assert_eq!(b.ncols, ncols, "vstack column mismatch");
+            data.extend_from_slice(&b.data);
+        }
+        Mat { nrows, ncols, data }
+    }
+
+    /// Concatenate matrices horizontally (all must share a row count).
+    pub fn hstack(blocks: &[Mat]) -> Mat {
+        assert!(!blocks.is_empty(), "hstack of nothing");
+        let nrows = blocks[0].nrows;
+        let ncols = blocks.iter().map(|b| b.ncols).sum();
+        let mut out = Mat::zeros(nrows, ncols);
+        let mut col0 = 0;
+        for b in blocks {
+            assert_eq!(b.nrows, nrows, "hstack row mismatch");
+            out.set_block(0, col0, b);
+            col0 += b.ncols;
+        }
+        out
+    }
+
+    /// The transpose as a new matrix.
+    pub fn transpose(&self) -> Mat {
+        let mut out = Mat::zeros(self.ncols, self.nrows);
+        for i in 0..self.nrows {
+            for j in 0..self.ncols {
+                out.data[j * self.nrows + i] = self.data[i * self.ncols + j];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_indexing() {
+        let mut m = Mat::zeros(3, 2);
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.ncols(), 2);
+        m.set(2, 1, 5.0);
+        assert_eq!(m.get(2, 1), 5.0);
+        assert_eq!(m.row(2), &[0.0, 5.0]);
+    }
+
+    #[test]
+    fn from_fn_layout_is_row_major() {
+        let m = Mat::from_fn(2, 3, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let a = Mat::random(4, 4, 42);
+        let b = Mat::random(4, 4, 42);
+        let c = Mat::random(4, 4, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.as_slice().iter().all(|v| (-1.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn blocks_extract_and_set() {
+        let m = Mat::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        let b = m.block(1..3, 2..4);
+        assert_eq!(b.as_slice(), &[6.0, 7.0, 10.0, 11.0]);
+        let rb = m.rows_block(2..4);
+        assert_eq!(rb.row(0), m.row(2));
+        let cb = m.cols_block(1..2);
+        assert_eq!(cb.as_slice(), &[1.0, 5.0, 9.0, 13.0]);
+
+        let mut z = Mat::zeros(4, 4);
+        z.set_block(1, 2, &b);
+        assert_eq!(z.get(1, 2), 6.0);
+        assert_eq!(z.get(2, 3), 11.0);
+        let mut z2 = Mat::zeros(4, 4);
+        z2.set_rows_block(2, &rb);
+        assert_eq!(z2.row(2), m.row(2));
+        assert_eq!(z2.row(3), m.row(3));
+    }
+
+    #[test]
+    fn stack_roundtrips_blocks() {
+        let m = Mat::from_fn(4, 3, |i, j| (i * 3 + j) as f64);
+        let parts: Vec<Mat> = vec![m.rows_block(0..2), m.rows_block(2..4)];
+        assert_eq!(Mat::vstack(&parts), m);
+        let cparts: Vec<Mat> = vec![m.cols_block(0..1), m.cols_block(1..3)];
+        assert_eq!(Mat::hstack(&cparts), m);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Mat::random(5, 3, 7);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().get(2, 4), m.get(4, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_rejects_bad_length() {
+        let _ = Mat::from_vec(2, 2, vec![0.0; 3]);
+    }
+}

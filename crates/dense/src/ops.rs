@@ -1,0 +1,165 @@
+//! BLAS-like operations on [`Mat`].
+
+use crate::mat::Mat;
+
+/// `y += alpha * x`, element-wise over whole matrices of equal shape.
+pub fn axpy(alpha: f64, x: &Mat, y: &mut Mat) {
+    assert_eq!(x.nrows(), y.nrows(), "axpy shape mismatch");
+    assert_eq!(x.ncols(), y.ncols(), "axpy shape mismatch");
+    for (yv, xv) in y.as_mut_slice().iter_mut().zip(x.as_slice()) {
+        *yv += alpha * xv;
+    }
+}
+
+/// Scale every entry: `x *= alpha`.
+pub fn scale(x: &mut Mat, alpha: f64) {
+    for v in x.as_mut_slice() {
+        *v *= alpha;
+    }
+}
+
+/// Element-wise accumulate `y += x`.
+pub fn add_assign(y: &mut Mat, x: &Mat) {
+    axpy(1.0, x, y);
+}
+
+/// Frobenius inner product `⟨x, y⟩ = Σ xᵢⱼ yᵢⱼ`.
+pub fn frob_dot(x: &Mat, y: &Mat) -> f64 {
+    assert_eq!(x.len(), y.len(), "frob_dot shape mismatch");
+    x.as_slice()
+        .iter()
+        .zip(y.as_slice())
+        .map(|(a, b)| a * b)
+        .sum()
+}
+
+/// Frobenius norm `‖x‖_F`.
+pub fn frob_norm(x: &Mat) -> f64 {
+    frob_dot(x, x).sqrt()
+}
+
+/// Maximum absolute entry-wise difference between two equal-shaped
+/// matrices (the verification metric used throughout the test suite).
+pub fn max_abs_diff(x: &Mat, y: &Mat) -> f64 {
+    assert_eq!(x.nrows(), y.nrows(), "shape mismatch");
+    assert_eq!(x.ncols(), y.ncols(), "shape mismatch");
+    x.as_slice()
+        .iter()
+        .zip(y.as_slice())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Dot product of row `i` of `a` with row `j` of `b` (the SDDMM
+/// primitive). Both rows must have equal length.
+#[inline]
+pub fn row_dot(a: &Mat, i: usize, b: &Mat, j: usize) -> f64 {
+    debug_assert_eq!(a.ncols(), b.ncols());
+    let (ra, rb) = (a.row(i), b.row(j));
+    ra.iter().zip(rb).map(|(x, y)| x * y).sum()
+}
+
+/// `c += a · b` (plain GEMM, `a: m×k`, `b: k×n`, `c: m×n`), i-k-j loop
+/// order for streaming access to `b` and `c`.
+pub fn gemm_acc(c: &mut Mat, a: &Mat, b: &Mat) {
+    assert_eq!(a.ncols(), b.nrows(), "gemm inner dimension mismatch");
+    assert_eq!(c.nrows(), a.nrows(), "gemm output rows mismatch");
+    assert_eq!(c.ncols(), b.ncols(), "gemm output cols mismatch");
+    let n = b.ncols();
+    for i in 0..a.nrows() {
+        let arow = a.row(i);
+        // Split the borrow: c row i is disjoint from a and b.
+        let crow = c.row_mut(i);
+        for (k, &aik) in arow.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &b.as_slice()[k * n..(k + 1) * n];
+            for (cv, bv) in crow.iter_mut().zip(brow) {
+                *cv += aik * bv;
+            }
+        }
+    }
+}
+
+/// `c += a · bᵀ` (`a: m×k`, `b: n×k`, `c: m×n`) — the dense reference
+/// for SDDMM-style row-by-row dot products.
+pub fn gemm_abt_acc(c: &mut Mat, a: &Mat, b: &Mat) {
+    assert_eq!(a.ncols(), b.ncols(), "gemm_abt inner dimension mismatch");
+    assert_eq!(c.nrows(), a.nrows(), "gemm_abt output rows mismatch");
+    assert_eq!(c.ncols(), b.nrows(), "gemm_abt output cols mismatch");
+    for i in 0..a.nrows() {
+        for j in 0..b.nrows() {
+            let v = row_dot(a, i, b, j);
+            c.set(i, j, c.get(i, j) + v);
+        }
+    }
+}
+
+/// Flop count of `gemm_acc` with these operand shapes (2·m·k·n).
+pub fn gemm_flops(m: usize, k: usize, n: usize) -> u64 {
+    2 * (m as u64) * (k as u64) * (n as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> (Mat, Mat) {
+        let a = Mat::from_fn(2, 3, |i, j| (i * 3 + j + 1) as f64);
+        let b = Mat::from_fn(3, 2, |i, j| (i * 2 + j + 1) as f64);
+        (a, b)
+    }
+
+    #[test]
+    fn gemm_matches_hand_computation() {
+        let (a, b) = small();
+        let mut c = Mat::zeros(2, 2);
+        gemm_acc(&mut c, &a, &b);
+        // a = [1 2 3; 4 5 6], b = [1 2; 3 4; 5 6]
+        assert_eq!(c.as_slice(), &[22.0, 28.0, 49.0, 64.0]);
+    }
+
+    #[test]
+    fn gemm_abt_matches_gemm_with_transpose() {
+        let a = Mat::random(4, 3, 1);
+        let b = Mat::random(5, 3, 2);
+        let mut c1 = Mat::zeros(4, 5);
+        gemm_abt_acc(&mut c1, &a, &b);
+        let mut c2 = Mat::zeros(4, 5);
+        gemm_acc(&mut c2, &a, &b.transpose());
+        assert!(max_abs_diff(&c1, &c2) < 1e-12);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let x = Mat::from_fn(2, 2, |_, _| 1.0);
+        let mut y = Mat::from_fn(2, 2, |_, _| 2.0);
+        axpy(3.0, &x, &mut y);
+        assert_eq!(y.as_slice(), &[5.0; 4]);
+        scale(&mut y, 0.5);
+        assert_eq!(y.as_slice(), &[2.5; 4]);
+    }
+
+    #[test]
+    fn norms_and_dots() {
+        let x = Mat::from_vec(1, 2, vec![3.0, 4.0]);
+        assert!((frob_norm(&x) - 5.0).abs() < 1e-12);
+        let y = Mat::from_vec(1, 2, vec![1.0, 2.0]);
+        assert!((frob_dot(&x, &y) - 11.0).abs() < 1e-12);
+        assert!((max_abs_diff(&x, &y) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_dot_is_sddmm_primitive() {
+        let a = Mat::from_fn(2, 3, |i, j| (i + j) as f64);
+        let b = Mat::from_fn(2, 3, |i, j| (i * j) as f64);
+        // row 1 of a = [1,2,3], row 1 of b = [0,1,2] → 0+2+6
+        assert_eq!(row_dot(&a, 1, &b, 1), 8.0);
+    }
+
+    #[test]
+    fn gemm_flops_formula() {
+        assert_eq!(gemm_flops(2, 3, 4), 48);
+    }
+}

@@ -1,0 +1,252 @@
+//! Compressed sparse row storage — the format local kernels compute on.
+
+use crate::coo::CooMatrix;
+use serde::{Deserialize, Serialize};
+
+/// A sparse matrix in CSR form: `indptr[i]..indptr[i+1]` indexes the
+/// column/value arrays for row `i`. Columns within a row are sorted.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Convert from COO (duplicates are summed, columns sorted per row).
+    pub fn from_coo(coo: &CooMatrix) -> Self {
+        let nnz = coo.nnz();
+        let mut indptr = vec![0usize; coo.nrows + 1];
+        for &r in &coo.rows {
+            indptr[r as usize + 1] += 1;
+        }
+        for i in 0..coo.nrows {
+            indptr[i + 1] += indptr[i];
+        }
+        let mut indices = vec![0u32; nnz];
+        let mut vals = vec![0.0; nnz];
+        let mut next = indptr.clone();
+        for (i, j, v) in coo.iter() {
+            let k = next[i];
+            indices[k] = j as u32;
+            vals[k] = v;
+            next[i] += 1;
+        }
+        // Sort each row by column, then merge duplicates in place.
+        let mut out = CsrMatrix {
+            nrows: coo.nrows,
+            ncols: coo.ncols,
+            indptr,
+            indices,
+            vals,
+        };
+        out.sort_and_dedup_rows();
+        out
+    }
+
+    fn sort_and_dedup_rows(&mut self) {
+        let mut new_indptr = vec![0usize; self.nrows + 1];
+        let mut w = 0usize; // write cursor
+        for i in 0..self.nrows {
+            let (start, end) = (self.indptr[i], self.indptr[i + 1]);
+            // Sort this row's (col, val) pairs by column.
+            let mut pairs: Vec<(u32, f64)> = (start..end)
+                .map(|k| (self.indices[k], self.vals[k]))
+                .collect();
+            pairs.sort_unstable_by_key(|p| p.0);
+            new_indptr[i] = w;
+            for (c, v) in pairs {
+                if w > new_indptr[i] && self.indices[w - 1] == c {
+                    self.vals[w - 1] += v;
+                } else {
+                    self.indices[w] = c;
+                    self.vals[w] = v;
+                    w += 1;
+                }
+            }
+        }
+        new_indptr[self.nrows] = w;
+        self.indices.truncate(w);
+        self.vals.truncate(w);
+        self.indptr = new_indptr;
+    }
+
+    /// An empty (all-zero) matrix.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        CsrMatrix {
+            nrows,
+            ncols,
+            indptr: vec![0; nrows + 1],
+            indices: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Row-pointer array (`nrows + 1` entries).
+    #[inline]
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// Column indices, row-major.
+    #[inline]
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Stored values, aligned with [`CsrMatrix::indices`].
+    #[inline]
+    pub fn vals(&self) -> &[f64] {
+        &self.vals
+    }
+
+    /// Mutable stored values (SDDMM writes its output here).
+    #[inline]
+    pub fn vals_mut(&mut self) -> &mut [f64] {
+        &mut self.vals
+    }
+
+    /// Column indices and values of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[u32], &[f64]) {
+        let (s, e) = (self.indptr[i], self.indptr[i + 1]);
+        (&self.indices[s..e], &self.vals[s..e])
+    }
+
+    /// Convert back to COO (row-major, sorted, deduplicated order).
+    pub fn to_coo(&self) -> CooMatrix {
+        let mut out = CooMatrix::empty(self.nrows, self.ncols);
+        for i in 0..self.nrows {
+            let (cols, vals) = self.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                out.push(i, c as usize, v);
+            }
+        }
+        out
+    }
+
+    /// The transpose as a new CSR matrix (i.e. the CSC view of `self`,
+    /// materialized). `SpMMB`-style kernels (`Sᵀ · X`) run a plain SpMM
+    /// on this.
+    pub fn transpose(&self) -> CsrMatrix {
+        let nnz = self.nnz();
+        let mut indptr = vec![0usize; self.ncols + 1];
+        for &c in &self.indices {
+            indptr[c as usize + 1] += 1;
+        }
+        for j in 0..self.ncols {
+            indptr[j + 1] += indptr[j];
+        }
+        let mut indices = vec![0u32; nnz];
+        let mut vals = vec![0.0; nnz];
+        let mut next = indptr.clone();
+        for i in 0..self.nrows {
+            let (cols, rvals) = self.row(i);
+            for (&c, &v) in cols.iter().zip(rvals) {
+                let k = next[c as usize];
+                indices[k] = i as u32;
+                vals[k] = v;
+                next[c as usize] += 1;
+            }
+        }
+        CsrMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            indptr,
+            indices,
+            vals,
+        }
+    }
+
+    /// Replace the stored values with `vals` (same length/pattern).
+    pub fn set_vals(&mut self, vals: Vec<f64>) {
+        assert_eq!(vals.len(), self.nnz(), "value array length mismatch");
+        self.vals = vals;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_coo() -> CooMatrix {
+        // [ 0 1 0 ]
+        // [ 3 0 2 ]
+        CooMatrix::from_triplets(2, 3, vec![1, 0, 1], vec![2, 1, 0], vec![2.0, 1.0, 3.0])
+    }
+
+    #[test]
+    fn from_coo_sorts_rows() {
+        let m = CsrMatrix::from_coo(&sample_coo());
+        assert_eq!(m.indptr(), &[0, 1, 3]);
+        assert_eq!(m.row(1).0, &[0, 2]);
+        assert_eq!(m.row(1).1, &[3.0, 2.0]);
+    }
+
+    #[test]
+    fn coo_roundtrip_preserves_dense() {
+        let coo = sample_coo();
+        let rt = CsrMatrix::from_coo(&coo).to_coo();
+        assert_eq!(rt.to_dense(), coo.to_dense());
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let coo = CooMatrix::from_triplets(2, 2, vec![0, 0, 0], vec![1, 1, 0], vec![1.0, 4.0, 2.0]);
+        let m = CsrMatrix::from_coo(&coo);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.row(0).0, &[0, 1]);
+        assert_eq!(m.row(0).1, &[2.0, 5.0]);
+    }
+
+    #[test]
+    fn transpose_matches_dense_transpose() {
+        let coo = sample_coo();
+        let t = CsrMatrix::from_coo(&coo).transpose();
+        assert_eq!(t.nrows(), 3);
+        assert_eq!(t.ncols(), 2);
+        let td = t.to_coo().to_dense();
+        let d = coo.to_dense();
+        for i in 0..2 {
+            for j in 0..3 {
+                assert_eq!(td[j * 2 + i], d[i * 3 + j]);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = CsrMatrix::from_coo(&sample_coo());
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn zeros_has_no_entries() {
+        let z = CsrMatrix::zeros(4, 5);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.indptr().len(), 5);
+        for i in 0..4 {
+            assert!(z.row(i).0.is_empty());
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Matrix Market (`.mtx`) coordinate-format I/O.
+//!
+//! Supports the subset of the format the SuiteSparse collection uses for
+//! the paper's matrices: `matrix coordinate` with `real`, `integer`, or
+//! `pattern` fields and `general` or `symmetric` symmetry. Symmetric
+//! inputs are expanded (mirrored) on read.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::coo::CooMatrix;
+
+/// Errors from Matrix Market parsing.
+#[derive(Debug)]
+pub enum MmError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file violates the Matrix Market format.
+    Parse(String),
+}
+
+impl std::fmt::Display for MmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MmError::Io(e) => write!(f, "I/O error: {e}"),
+            MmError::Parse(m) => write!(f, "Matrix Market parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MmError {}
+
+impl From<io::Error> for MmError {
+    fn from(e: io::Error) -> Self {
+        MmError::Io(e)
+    }
+}
+
+fn parse_err(msg: impl Into<String>) -> MmError {
+    MmError::Parse(msg.into())
+}
+
+/// Read a Matrix Market coordinate file.
+pub fn read_matrix_market(path: impl AsRef<Path>) -> Result<CooMatrix, MmError> {
+    let f = File::open(path)?;
+    read_matrix_market_from(BufReader::new(f))
+}
+
+/// Read from any buffered reader (for in-memory tests).
+pub fn read_matrix_market_from(reader: impl BufRead) -> Result<CooMatrix, MmError> {
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| parse_err("empty file"))??
+        .to_lowercase();
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() < 5 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
+        return Err(parse_err(format!("bad header: {header}")));
+    }
+    if fields[2] != "coordinate" {
+        return Err(parse_err("only coordinate format is supported"));
+    }
+    let value_kind = fields[3];
+    if !matches!(value_kind, "real" | "integer" | "pattern") {
+        return Err(parse_err(format!("unsupported field type {value_kind}")));
+    }
+    let symmetry = fields[4];
+    if !matches!(symmetry, "general" | "symmetric") {
+        return Err(parse_err(format!("unsupported symmetry {symmetry}")));
+    }
+
+    // Skip comments, read the size line.
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        size_line = Some(t.to_string());
+        break;
+    }
+    let size_line = size_line.ok_or_else(|| parse_err("missing size line"))?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|_| parse_err("bad size line")))
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(parse_err("size line must have 3 numbers"));
+    }
+    let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut out = CooMatrix::empty(nrows, ncols);
+    let mut read = 0usize;
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let i: usize = it
+            .next()
+            .ok_or_else(|| parse_err("missing row index"))?
+            .parse()
+            .map_err(|_| parse_err("bad row index"))?;
+        let j: usize = it
+            .next()
+            .ok_or_else(|| parse_err("missing col index"))?
+            .parse()
+            .map_err(|_| parse_err("bad col index"))?;
+        let v: f64 = if value_kind == "pattern" {
+            1.0
+        } else {
+            it.next()
+                .ok_or_else(|| parse_err("missing value"))?
+                .parse()
+                .map_err(|_| parse_err("bad value"))?
+        };
+        if i == 0 || j == 0 || i > nrows || j > ncols {
+            return Err(parse_err(format!("index ({i}, {j}) out of bounds")));
+        }
+        out.push(i - 1, j - 1, v);
+        if symmetry == "symmetric" && i != j {
+            out.push(j - 1, i - 1, v);
+        }
+        read += 1;
+    }
+    if read != nnz {
+        return Err(parse_err(format!("expected {nnz} entries, found {read}")));
+    }
+    Ok(out)
+}
+
+/// Write a COO matrix as `matrix coordinate real general`.
+pub fn write_matrix_market(path: impl AsRef<Path>, m: &CooMatrix) -> Result<(), MmError> {
+    let f = File::create(path)?;
+    let mut w = BufWriter::new(f);
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "{} {} {}", m.nrows, m.ncols, m.nnz())?;
+    for (i, j, v) in m.iter() {
+        writeln!(w, "{} {} {:.17e}", i + 1, j + 1, v)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip_through_file() {
+        let m = crate::gen::erdos_renyi(10, 12, 3, 5);
+        let dir = std::env::temp_dir().join("dsk_sparse_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.mtx");
+        write_matrix_market(&path, &m).unwrap();
+        let back = read_matrix_market(&path).unwrap();
+        assert_eq!(back.nrows, 10);
+        assert_eq!(back.ncols, 12);
+        assert_eq!(back.to_dense(), m.to_dense());
+    }
+
+    #[test]
+    fn reads_pattern_matrices() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n% comment\n2 2 2\n1 1\n2 2\n";
+        let m = read_matrix_market_from(Cursor::new(text)).unwrap();
+        assert_eq!(m.to_dense(), vec![1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn expands_symmetric_matrices() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 5.0\n3 3 1.0\n";
+        let m = read_matrix_market_from(Cursor::new(text)).unwrap();
+        let d = m.to_dense();
+        assert_eq!(d[3], 5.0);
+        assert_eq!(d[1], 5.0);
+        assert_eq!(d[2 * 3 + 2], 1.0);
+        assert_eq!(m.nnz(), 3); // diagonal not mirrored
+    }
+
+    #[test]
+    fn rejects_malformed_headers() {
+        assert!(read_matrix_market_from(Cursor::new("nonsense\n1 1 0\n")).is_err());
+        assert!(read_matrix_market_from(Cursor::new(
+            "%%MatrixMarket matrix array real general\n1 1 0\n"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_indices() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix_market_from(Cursor::new(text)).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_entry_count() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(read_matrix_market_from(Cursor::new(text)).is_err());
+    }
+}

@@ -1,0 +1,19 @@
+//! # dsk-sparse — sparse matrices, generators, and partitioning
+//!
+//! The sparse-matrix substrate for the distributed kernels: COO and CSR
+//! storage, transposition, synthetic workload generators (Erdős–Rényi as
+//! in the paper's weak-scaling study, R-MAT as the stand-in for its
+//! SuiteSparse strong-scaling matrices), random row/column permutation
+//! for load balancing (applied by the paper to every matrix it reads),
+//! 1D/2D block partitioning used by the Table II data distributions, and
+//! Matrix Market I/O. The paper uses CombBLAS for this role.
+
+pub mod coo;
+pub mod csr;
+pub mod gen;
+pub mod io;
+pub mod partition;
+pub mod permute;
+
+pub use coo::CooMatrix;
+pub use csr::CsrMatrix;

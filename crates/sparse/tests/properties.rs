@@ -1,0 +1,131 @@
+//! Property-based tests for the sparse substrate: format round-trips,
+//! generator invariants, permutation group laws, and partition
+//! partition-of-unity.
+
+use proptest::prelude::*;
+
+use dsk_sparse::gen::{self, RmatParams};
+use dsk_sparse::io;
+use dsk_sparse::partition;
+use dsk_sparse::permute::{permute_coo, Permutation};
+use dsk_sparse::{CooMatrix, CsrMatrix};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Matrix Market write/read is lossless for arbitrary generated
+    /// matrices.
+    #[test]
+    fn matrix_market_roundtrip(m in 1usize..30, n in 1usize..30, seed in 0u64..500) {
+        let nnz_row = (1 + seed as usize % 4).min(n);
+        let coo = gen::erdos_renyi(m, n, nnz_row, seed);
+        let mut buf = Vec::new();
+        {
+            use std::io::Write;
+            writeln!(buf, "%%MatrixMarket matrix coordinate real general").unwrap();
+            writeln!(buf, "{} {} {}", coo.nrows, coo.ncols, coo.nnz()).unwrap();
+            for (i, j, v) in coo.iter() {
+                writeln!(buf, "{} {} {:.17e}", i + 1, j + 1, v).unwrap();
+            }
+        }
+        let back = io::read_matrix_market_from(std::io::Cursor::new(buf)).unwrap();
+        prop_assert_eq!(back.to_dense(), coo.to_dense());
+    }
+
+    /// Permutations form a group: (p⁻¹∘p) = id on matrices.
+    #[test]
+    fn permutation_inverse_restores(m in 1usize..30, seed in 0u64..500) {
+        let coo = gen::erdos_renyi(m, m, 2.min(m), seed);
+        let p = Permutation::random(m, seed + 1);
+        let forward = permute_coo(&coo, &p, &p);
+        let back = permute_coo(&forward, &p.inverse(), &p.inverse());
+        prop_assert_eq!(back.to_dense(), coo.to_dense());
+    }
+
+    /// Every partition owns each nonzero exactly once and re-assembles.
+    #[test]
+    fn partition_of_unity(m in 1usize..40, n in 1usize..40,
+                          rp in 1usize..6, cp in 1usize..6, seed in 0u64..500) {
+        let nnz_row = (1 + seed as usize % 3).min(n);
+        let coo = gen::erdos_renyi(m, n, nnz_row, seed);
+        let grid = partition::partition_2d(&coo, rp, cp);
+        let total: usize = grid.iter().flatten().map(CooMatrix::nnz).sum();
+        prop_assert_eq!(total, coo.nnz());
+        let back = partition::unpartition_2d(&grid, m, n);
+        prop_assert_eq!(back.to_dense(), coo.to_dense());
+    }
+
+    /// Uneven explicit ranges also form a partition of unity.
+    #[test]
+    fn ranged_partition_of_unity(m in 4usize..40, n in 4usize..40,
+                                 cut_r in 1usize..39, cut_c in 1usize..39,
+                                 seed in 0u64..500) {
+        let cut_r = 1 + cut_r % (m - 1);
+        let cut_c = 1 + cut_c % (n - 1);
+        let coo = gen::erdos_renyi(m, n, 2.min(n), seed);
+        let rows = vec![0..cut_r, cut_r..m];
+        let cols = vec![0..cut_c, cut_c..n];
+        let grid = partition::partition_by_ranges(&coo, &rows, &cols);
+        let total: usize = grid.iter().flatten().map(CooMatrix::nnz).sum();
+        prop_assert_eq!(total, coo.nnz());
+        // Local indices must be in bounds of their blocks.
+        for (bi, row) in grid.iter().enumerate() {
+            for (bj, blk) in row.iter().enumerate() {
+                prop_assert_eq!(blk.nrows, rows[bi].len());
+                prop_assert_eq!(blk.ncols, cols[bj].len());
+                for (i, j, _) in blk.iter() {
+                    prop_assert!(i < blk.nrows && j < blk.ncols);
+                }
+            }
+        }
+    }
+
+    /// CSR from shuffled COO equals CSR from sorted COO (order
+    /// independence).
+    #[test]
+    fn csr_is_order_independent(m in 1usize..20, n in 1usize..20, seed in 0u64..500) {
+        let nnz_row = (1 + seed as usize % 4).min(n);
+        let coo = gen::erdos_renyi(m, n, nnz_row, seed);
+        // Reverse the triplet order.
+        let rev = CooMatrix::from_triplets(
+            m,
+            n,
+            coo.rows.iter().rev().copied().collect(),
+            coo.cols.iter().rev().copied().collect(),
+            coo.vals.iter().rev().copied().collect(),
+        );
+        prop_assert_eq!(CsrMatrix::from_coo(&coo), CsrMatrix::from_coo(&rev));
+    }
+
+    /// R-MAT respects its shape contract and determinism.
+    #[test]
+    fn rmat_contract(scale in 4u32..9, ef in 1usize..8, seed in 0u64..200) {
+        let p = RmatParams::graph500(scale, ef, seed);
+        let m1 = gen::rmat(p);
+        let m2 = gen::rmat(p);
+        prop_assert_eq!(&m1, &m2);
+        prop_assert_eq!(m1.nrows, 1usize << scale);
+        prop_assert!(m1.nnz() <= ef << scale);
+        for (i, j, v) in m1.iter() {
+            prop_assert!(i < m1.nrows && j < m1.ncols);
+            prop_assert_eq!(v, 1.0);
+        }
+    }
+
+    /// Erdős–Rényi row decomposability holds for arbitrary split
+    /// points.
+    #[test]
+    fn er_row_decomposable(m in 2usize..40, n in 4usize..40, cut in 1usize..39,
+                           seed in 0u64..500) {
+        let cut = cut % m;
+        let nnz_row = 2.min(n);
+        let whole = gen::erdos_renyi(m, n, nnz_row, seed);
+        let top = gen::erdos_renyi_rows(0..cut, m, n, nnz_row, seed);
+        let bottom = gen::erdos_renyi_rows(cut..m, m, n, nnz_row, seed);
+        let mut merged = top;
+        merged.rows.extend_from_slice(&bottom.rows);
+        merged.cols.extend_from_slice(&bottom.cols);
+        merged.vals.extend_from_slice(&bottom.vals);
+        prop_assert_eq!(merged.to_dense(), whole.to_dense());
+    }
+}

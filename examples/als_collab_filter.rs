@@ -1,0 +1,94 @@
+//! Collaborative filtering demo: recover a low-rank ratings matrix from
+//! sparse observations with distributed alternating least squares.
+//!
+//! A planted rank-r factorization generates ratings; we observe a few
+//! entries per user, then run ALS (batched CG, one FusedMM per
+//! iteration) on a simulated 16-rank machine and watch the loss drop.
+//!
+//! ```text
+//! cargo run --release --example als_collab_filter
+//! ```
+
+use std::sync::Arc;
+
+use distributed_sparse_kernels::apps::{run_als, AlsConfig, AppEngine};
+use distributed_sparse_kernels::comm::{AggregateStats, MachineModel, Phase, SimWorld};
+use distributed_sparse_kernels::core::{AlgorithmFamily, Elision, GlobalProblem, StagedProblem};
+use distributed_sparse_kernels::dense::ops::row_dot;
+use distributed_sparse_kernels::dense::Mat;
+use distributed_sparse_kernels::sparse::gen;
+
+fn main() {
+    // Plant a rank-8 "taste" model: 2048 users × 2048 items.
+    let (users, items, rank) = (2048usize, 2048usize, 8usize);
+    let a_true = Mat::random(users, rank, 1);
+    let b_true = Mat::random(items, rank, 2);
+    // Observe 12 ratings per user.
+    let mut s = gen::erdos_renyi(users, items, 12, 3);
+    let ratings: Vec<f64> = s
+        .iter()
+        .map(|(i, j, _)| row_dot(&a_true, i, &b_true, j))
+        .collect();
+    s.vals = ratings;
+    // Fresh random factors to optimize.
+    let prob = Arc::new(GlobalProblem::new(
+        s,
+        Mat::random(users, rank, 4),
+        Mat::random(items, rank, 5),
+    ));
+    println!(
+        "observations: {} ratings of {}×{} (density {:.2}%)",
+        prob.nnz(),
+        users,
+        items,
+        100.0 * prob.nnz() as f64 / (users * items) as f64
+    );
+
+    for (family, elision, c) in [
+        (AlgorithmFamily::DenseShift15, Elision::LocalKernelFusion, 4),
+        (AlgorithmFamily::SparseShift15, Elision::ReplicationReuse, 4),
+    ] {
+        let staged = Arc::new(StagedProblem::new(Arc::clone(&prob)));
+        let world = SimWorld::new(16, MachineModel::cori_knl());
+        let outcomes = world.run(move |comm| {
+            let mut engine = AppEngine::from_staged(comm, family, c, elision, &staged);
+            run_als(
+                &mut engine,
+                &AlsConfig {
+                    lambda: 0.02,
+                    cg_iters: 10,
+                    sweeps: 2,
+                    track_loss: true,
+                },
+            )
+        });
+        let report = &outcomes[0].value;
+        let stats: Vec<_> = outcomes.iter().map(|o| o.stats.clone()).collect();
+        let agg = AggregateStats::from_ranks(&stats);
+        println!("\n== {family:?} / {elision:?} (c = {c}) ==");
+        println!(
+            "  squared loss: {:.4e} → {:.4e}  ({:.0}× reduction)",
+            report.initial_loss.unwrap(),
+            report.final_loss.unwrap(),
+            report.initial_loss.unwrap() / report.final_loss.unwrap().max(1e-30)
+        );
+        println!(
+            "  CG residuals per phase: {:?}",
+            report
+                .phase_residuals
+                .iter()
+                .map(|r| format!("{r:.2e}"))
+                .collect::<Vec<_>>()
+        );
+        println!(
+            "  modeled time: kernels (repl {:.3e} + prop {:.3e} + comp {:.3e}) s, \
+             outside (comm {:.3e} + comp {:.3e}) s",
+            agg.modeled_s(Phase::Replication),
+            agg.modeled_s(Phase::Propagation),
+            agg.modeled_s(Phase::Computation),
+            agg.modeled_s(Phase::OutsideComm),
+            agg.modeled_s(Phase::OutsideCompute),
+        );
+    }
+    println!("\nals_collab_filter OK");
+}

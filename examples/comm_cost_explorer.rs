@@ -1,0 +1,76 @@
+//! Communication-cost explorer: evaluate the paper's Table III/IV
+//! theory for a problem you describe, without running anything.
+//!
+//! ```text
+//! cargo run --release --example comm_cost_explorer -- [p] [n] [r] [nnz_per_row]
+//! ```
+//!
+//! Prints, for each FusedMM algorithm, the modeled words/messages per
+//! processor across replication factors, the optimum, and the overall
+//! predicted winner — the decision a user would make before a real run.
+
+use distributed_sparse_kernels::comm::MachineModel;
+use distributed_sparse_kernels::core::theory::{self, Algorithm};
+use distributed_sparse_kernels::core::ProblemDims;
+
+fn arg(idx: usize, default: usize) -> usize {
+    std::env::args()
+        .nth(idx)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let p = arg(1, 256);
+    let n = arg(2, 1 << 22);
+    let r = arg(3, 256);
+    let nnz_per_row = arg(4, 32);
+    let dims = ProblemDims::new(n, n, r);
+    let nnz = n * nnz_per_row;
+    let phi = dims.phi(nnz);
+    let model = MachineModel::cori_knl();
+
+    println!("p = {p}, n = {n}, r = {r}, nnz/row = {nnz_per_row}  →  φ = {phi:.4}\n");
+    println!(
+        "| {:<42} | {:>8} | {:>14} | {:>9} | {:>12} |",
+        "algorithm", "best c", "words/proc", "msgs/proc", "est. time (s)"
+    );
+    println!("|{:-<44}|{:-<10}|{:-<16}|{:-<11}|{:-<14}|", "", "", "", "", "");
+
+    for alg in Algorithm::all_benchmarked() {
+        let Some(c) = theory::optimal_c_search(alg, p, dims, nnz, 16) else {
+            continue;
+        };
+        let words = theory::words_per_processor(alg, p, c, dims, nnz);
+        let msgs = theory::messages_per_processor(alg, p, c);
+        let t = theory::predicted_comm_time(&model, alg, p, c, dims, nnz)
+            + theory::predicted_comp_time(&model, p, dims, nnz);
+        println!(
+            "| {:<42} | {:>8} | {:>14.0} | {:>9.0} | {:>12.5} |",
+            alg.label(),
+            c,
+            words,
+            msgs,
+            t
+        );
+    }
+
+    let best = theory::predict_best(
+        &model,
+        &Algorithm::all_benchmarked(),
+        p,
+        dims,
+        nnz,
+        16,
+    );
+    println!(
+        "\npredicted winner: {} at c = {} (comm {:.5} s)",
+        best.algorithm.label(),
+        best.c,
+        best.time_s
+    );
+    println!(
+        "rule of thumb from the paper: low φ → shift/replicate the sparse matrix; \
+         high φ → shift/replicate a dense matrix. Here φ = {phi:.3}."
+    );
+}

@@ -1,0 +1,76 @@
+//! Graph-attention-network inference on a power-law graph, distributed
+//! over 16 simulated ranks, verified against a serial reference.
+//!
+//! ```text
+//! cargo run --release --example gat_inference
+//! ```
+
+use std::sync::Arc;
+
+use distributed_sparse_kernels::apps::{gat::gat_forward_reference, GatConfig, GatEngine, GatHead};
+use distributed_sparse_kernels::comm::{AggregateStats, MachineModel, Phase, SimWorld};
+use distributed_sparse_kernels::core::{AlgorithmFamily, GlobalProblem, StagedProblem};
+use distributed_sparse_kernels::dense::Mat;
+use distributed_sparse_kernels::sparse::gen::{rmat, RmatParams};
+use distributed_sparse_kernels::sparse::permute::random_symmetric_permute;
+
+fn main() {
+    // A scale-12 R-MAT graph (4096 nodes, power-law degrees), randomly
+    // permuted for load balance, with 32-dimensional node embeddings.
+    let raw = rmat(RmatParams::graph500(12, 8, 11));
+    let (s, _) = random_symmetric_permute(&raw, 12);
+    let n = s.nrows;
+    let r = 32;
+    let h = Mat::random(n, r, 13);
+    let prob = Arc::new(GlobalProblem::new(s, h.clone(), h));
+    println!(
+        "graph: {} nodes, {} edges (max degree heavy-tailed), r = {r}",
+        n,
+        prob.nnz()
+    );
+
+    let cfg = GatConfig {
+        heads: 2,
+        negative_slope: 0.2,
+    };
+    let heads: Vec<GatHead> = (0..cfg.heads as u64)
+        .map(|i| GatHead::random(r, 500 + i))
+        .collect();
+    let reference = gat_forward_reference(&prob, &heads, &cfg);
+    let ref_sq: f64 = reference.as_slice().iter().map(|v| v * v).sum();
+
+    for (family, c) in [
+        (AlgorithmFamily::DenseShift15, 4usize),
+        (AlgorithmFamily::SparseRepl25, 4),
+    ] {
+        let staged = Arc::new(StagedProblem::new(Arc::clone(&prob)));
+        let heads = heads.clone();
+        let world = SimWorld::new(16, MachineModel::cori_knl());
+        let outcomes = world.run(move |comm| {
+            let mut engine = GatEngine::from_staged(comm, family, c, &staged);
+            let out = engine.forward(&heads, &cfg);
+            let sq: f64 = out.as_slice().iter().map(|v| v * v).sum();
+            comm.allreduce_scalar(sq)
+        });
+        let got_sq = outcomes[0].value;
+        let stats: Vec<_> = outcomes.iter().map(|o| o.stats.clone()).collect();
+        let agg = AggregateStats::from_ranks(&stats);
+        println!("\n== {family:?} (c = {c}) ==");
+        println!(
+            "  ‖output‖² distributed = {got_sq:.6e}, serial = {ref_sq:.6e} (diff {:.2e})",
+            (got_sq - ref_sq).abs()
+        );
+        println!(
+            "  modeled time: attention+convolution kernels \
+             (repl {:.3e} + prop {:.3e} + comp {:.3e}) s, \
+             softmax/transform outside (comm {:.3e} + comp {:.3e}) s",
+            agg.modeled_s(Phase::Replication),
+            agg.modeled_s(Phase::Propagation),
+            agg.modeled_s(Phase::Computation),
+            agg.modeled_s(Phase::OutsideComm),
+            agg.modeled_s(Phase::OutsideCompute),
+        );
+        assert!((got_sq - ref_sq).abs() < 1e-6 * ref_sq.max(1.0));
+    }
+    println!("\ngat_inference OK");
+}

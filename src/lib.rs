@@ -1,0 +1,32 @@
+//! # distributed-sparse-kernels
+//!
+//! A Rust reproduction of *Distributed-Memory Sparse Kernels for Machine
+//! Learning* (Bharadwaj, Buluç, Demmel — IPDPS 2022): communication-
+//! avoiding 1.5D and 2.5D distributed-memory algorithms for SDDMM, SpMM,
+//! and the fused SDDMM→SpMM sequence (FusedMM), together with the two
+//! communication-eliding strategies the paper introduces (replication
+//! reuse and local kernel fusion).
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`comm`] — simulated distributed-memory runtime (ranks as threads,
+//!   counted messages, α-β-γ machine model, process grids).
+//! * [`sparse`] — COO/CSR/CSC matrices, generators (Erdős–Rényi, R-MAT),
+//!   Matrix Market I/O, block partitioning.
+//! * [`dense`] — row-major dense matrices and the small set of BLAS-like
+//!   operations the kernels need.
+//! * [`kernels`] — shared-memory SpMM / SDDMM / fused local kernels.
+//! * [`core`] — the paper's contribution: distributed SDDMM / SpMM /
+//!   FusedMM algorithms, data distributions, communication theory, and
+//!   the PETSc-like 1D baseline.
+//! * [`apps`] — alternating-least-squares collaborative filtering and
+//!   graph-attention-network inference built on the distributed kernels.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use dsk_apps as apps;
+pub use dsk_comm as comm;
+pub use dsk_core as core;
+pub use dsk_dense as dense;
+pub use dsk_kernels as kernels;
+pub use dsk_sparse as sparse;

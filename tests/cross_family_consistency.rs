@@ -1,0 +1,171 @@
+//! Integration: every algorithm family × kernel × elision combination
+//! computes the same answer as the serial reference, across grid shapes
+//! and awkward (non-divisible) matrix sizes.
+
+use std::sync::Arc;
+
+use distributed_sparse_kernels::comm::{MachineModel, SimWorld};
+use distributed_sparse_kernels::core::theory::Algorithm;
+use distributed_sparse_kernels::core::worker::DistWorker;
+use distributed_sparse_kernels::core::{GlobalProblem, Sampling};
+
+/// Layout-independent fingerprint: the global sum of squares of the
+/// local outputs (every layout partitions the result exactly once).
+fn fused_b_norm_sq(prob: &Arc<GlobalProblem>, p: usize, alg: Algorithm, c: usize) -> f64 {
+    let prob2 = Arc::clone(prob);
+    let world = SimWorld::new(p, MachineModel::cori_knl());
+    let out = world.run(move |comm| {
+        let mut w = DistWorker::from_global(comm, alg.family, c, &prob2);
+        let local = w.fused_mm_b(alg.elision, Sampling::Values);
+        local.as_slice().iter().map(|v| v * v).sum::<f64>()
+    });
+    out.iter().map(|o| o.value).sum()
+}
+
+fn fused_a_norm_sq(prob: &Arc<GlobalProblem>, p: usize, alg: Algorithm, c: usize) -> f64 {
+    let prob2 = Arc::clone(prob);
+    let world = SimWorld::new(p, MachineModel::cori_knl());
+    let out = world.run(move |comm| {
+        let mut w = DistWorker::from_global(comm, alg.family, c, &prob2);
+        let local = match &mut w {
+            DistWorker::Ds15(x) => x.fused_mm_a(None, alg.elision, Sampling::Values),
+            DistWorker::Ss15(x) => x.fused_mm_a(None, alg.elision, Sampling::Values),
+            DistWorker::Dr25(x) => x.fused_mm_a(None, alg.elision, Sampling::Values),
+            DistWorker::Sr25(x) => x.fused_mm_a(None, alg.elision, Sampling::Values),
+        };
+        local.as_slice().iter().map(|v| v * v).sum::<f64>()
+    });
+    out.iter().map(|o| o.value).sum()
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-6 * b.abs().max(1.0)
+}
+
+#[test]
+fn all_algorithms_agree_on_fused_b() {
+    let prob = Arc::new(GlobalProblem::erdos_renyi(37, 41, 9, 4, 7001));
+    let expect: f64 = prob
+        .reference_fused_b()
+        .as_slice()
+        .iter()
+        .map(|v| v * v)
+        .sum();
+    for alg in Algorithm::all_benchmarked() {
+        for (p, c) in [(8usize, 2usize), (8, 4)] {
+            if !alg.family.valid_c(p, c) {
+                continue;
+            }
+            let got = fused_b_norm_sq(&prob, p, alg, c);
+            assert!(
+                close(got, expect),
+                "{} p={p} c={c}: {got} vs {expect}",
+                alg.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn all_algorithms_agree_on_fused_a() {
+    let prob = Arc::new(GlobalProblem::erdos_renyi(43, 33, 11, 3, 7002));
+    let expect: f64 = prob
+        .reference_fused_a()
+        .as_slice()
+        .iter()
+        .map(|v| v * v)
+        .sum();
+    for alg in Algorithm::all_benchmarked() {
+        let (p, c) = (8usize, 2usize);
+        if !alg.family.valid_c(p, c) {
+            continue;
+        }
+        let got = fused_a_norm_sq(&prob, p, alg, c);
+        assert!(
+            close(got, expect),
+            "{} p={p} c={c}: {got} vs {expect}",
+            alg.label()
+        );
+    }
+}
+
+#[test]
+fn extreme_replication_factors_work() {
+    // c = 1 (pure 1D/2D) and c = p (fully replicated fiber).
+    let prob = Arc::new(GlobalProblem::erdos_renyi(32, 32, 8, 3, 7003));
+    let expect: f64 = prob
+        .reference_fused_b()
+        .as_slice()
+        .iter()
+        .map(|v| v * v)
+        .sum();
+    for alg in Algorithm::all_benchmarked() {
+        for c in [1usize, 8] {
+            if !alg.family.valid_c(8, c) {
+                continue;
+            }
+            let got = fused_b_norm_sq(&prob, 8, alg, c);
+            assert!(close(got, expect), "{} c={c}", alg.label());
+        }
+    }
+}
+
+#[test]
+fn rectangular_problems_wide_and_tall() {
+    // m ≫ n and n ≫ m both work (the kernels never assume square S).
+    for (m, n) in [(96usize, 24usize), (24, 96)] {
+        let prob = Arc::new(GlobalProblem::erdos_renyi(m, n, 6, 3, 7004));
+        let expect: f64 = prob
+            .reference_fused_b()
+            .as_slice()
+            .iter()
+            .map(|v| v * v)
+            .sum();
+        for alg in Algorithm::all_benchmarked() {
+            let got = fused_b_norm_sq(&prob, 8, alg, 2);
+            assert!(close(got, expect), "{} m={m} n={n}", alg.label());
+        }
+    }
+}
+
+#[test]
+fn more_ranks_than_r_columns() {
+    // Regression: when p/c exceeds r, the sliced layouts contain empty
+    // r-slices; panels must keep their row counts (m × 0 matrices).
+    let prob = Arc::new(GlobalProblem::erdos_renyi(64, 64, 4, 3, 7006));
+    let expect: f64 = prob
+        .reference_fused_b()
+        .as_slice()
+        .iter()
+        .map(|v| v * v)
+        .sum();
+    for alg in Algorithm::all_benchmarked() {
+        for c in [1usize, 2] {
+            if !alg.family.valid_c(16, c) {
+                continue;
+            }
+            // p = 16, r = 4: 1.5D sparse shifting at c = 1 has 16 slices
+            // of a width-4 dimension — 12 of them empty.
+            let got = fused_b_norm_sq(&prob, 16, alg, c);
+            assert!(close(got, expect), "{} c={c}", alg.label());
+        }
+    }
+}
+
+#[test]
+fn single_rank_degenerates_to_serial() {
+    let prob = Arc::new(GlobalProblem::erdos_renyi(20, 20, 5, 3, 7005));
+    let expect: f64 = prob
+        .reference_fused_b()
+        .as_slice()
+        .iter()
+        .map(|v| v * v)
+        .sum();
+    for alg in Algorithm::all_benchmarked() {
+        if !alg.family.valid_c(1, 1) {
+            continue;
+        }
+        let got = fused_b_norm_sq(&prob, 1, alg, 1);
+        assert!(close(got, expect), "{}", alg.label());
+    }
+}

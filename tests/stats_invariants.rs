@@ -1,0 +1,136 @@
+//! Integration: accounting invariants of the simulated runtime that
+//! every experiment relies on.
+
+use std::sync::Arc;
+
+use distributed_sparse_kernels::comm::{MachineModel, Phase, SimWorld};
+use distributed_sparse_kernels::core::theory::Algorithm;
+use distributed_sparse_kernels::core::worker::DistWorker;
+use distributed_sparse_kernels::core::{GlobalProblem, Sampling};
+
+#[test]
+fn global_sends_equal_global_receives() {
+    let prob = Arc::new(GlobalProblem::erdos_renyi(32, 32, 8, 4, 9001));
+    for alg in Algorithm::all_benchmarked() {
+        let prob2 = Arc::clone(&prob);
+        let world = SimWorld::new(8, MachineModel::cori_knl());
+        let out = world.run(move |comm| {
+            let mut w = DistWorker::from_global(comm, alg.family, 2, &prob2);
+            let _ = w.fused_mm_b(alg.elision, Sampling::Values);
+        });
+        let (mut sent, mut recvd, mut msent, mut mrecvd) = (0u64, 0u64, 0u64, 0u64);
+        for o in &out {
+            let t = o.stats.total();
+            sent += t.words_sent;
+            recvd += t.words_recv;
+            msent += t.msgs_sent;
+            mrecvd += t.msgs_recv;
+        }
+        assert_eq!(sent, recvd, "{}", alg.label());
+        assert_eq!(msent, mrecvd, "{}", alg.label());
+        assert!(sent > 0, "{} must communicate at p=8", alg.label());
+    }
+}
+
+#[test]
+fn single_rank_sends_nothing() {
+    let prob = Arc::new(GlobalProblem::erdos_renyi(16, 16, 4, 3, 9002));
+    for alg in Algorithm::all_benchmarked() {
+        if !alg.family.valid_c(1, 1) {
+            continue;
+        }
+        let prob2 = Arc::clone(&prob);
+        let world = SimWorld::new(1, MachineModel::cori_knl());
+        let out = world.run(move |comm| {
+            let mut w = DistWorker::from_global(comm, alg.family, 1, &prob2);
+            let _ = w.fused_mm_b(alg.elision, Sampling::Values);
+        });
+        assert_eq!(out[0].stats.total().words_sent, 0, "{}", alg.label());
+        assert!(out[0].stats.phase(Phase::Computation).flops > 0);
+    }
+}
+
+#[test]
+fn setup_phase_is_never_charged() {
+    // Staging (partitioning, scattering) must not leak into measured
+    // phases: a worker that is built but never run reports zero.
+    let prob = Arc::new(GlobalProblem::erdos_renyi(32, 32, 8, 4, 9003));
+    let world = SimWorld::new(8, MachineModel::cori_knl());
+    let out = world.run(move |comm| {
+        use distributed_sparse_kernels::core::AlgorithmFamily;
+        let _w = DistWorker::from_global(comm, AlgorithmFamily::DenseShift15, 2, &prob);
+    });
+    for o in &out {
+        let t = o.stats.total(); // total() excludes Setup
+        assert_eq!(t.words_sent, 0);
+        assert_eq!(t.flops, 0);
+        assert_eq!(t.modeled_s, 0.0);
+    }
+}
+
+#[test]
+fn flop_totals_match_kernel_arithmetic() {
+    // FusedMM (no elision) = SDDMM + SpMM: 2nnz·r + nnz + 2nnz·r flops
+    // in total across ranks, exactly as counted by the kernels crate.
+    let prob = Arc::new(GlobalProblem::erdos_renyi(32, 32, 8, 4, 9004));
+    let nnz = prob.nnz();
+    let r = prob.dims.r;
+    use distributed_sparse_kernels::core::{AlgorithmFamily, Elision};
+    let alg = Algorithm::new(AlgorithmFamily::DenseShift15, Elision::None);
+    let world = SimWorld::new(8, MachineModel::cori_knl());
+    let out = world.run(move |comm| {
+        let mut w = DistWorker::from_global(comm, alg.family, 2, &prob);
+        let _ = w.fused_mm_b(alg.elision, Sampling::Values);
+    });
+    let flops: u64 = out.iter().map(|o| o.stats.total().flops).sum();
+    let expect = dsk_expected_fused_flops(nnz, r);
+    assert_eq!(flops, expect);
+}
+
+fn dsk_expected_fused_flops(nnz: usize, r: usize) -> u64 {
+    // sddmm: 2·nnz·r + nnz (sampling multiply); spmm: 2·nnz·r.
+    (2 * nnz * r + nnz + 2 * nnz * r) as u64
+}
+
+#[test]
+fn modeled_time_is_alpha_beta_consistent() {
+    // With α = 0 and β = 1, modeled comm time of a pairwise exchange
+    // equals max(words in, words out) summed over steps; a world-wide
+    // sanity check through a real algorithm.
+    let prob = Arc::new(GlobalProblem::erdos_renyi(32, 32, 8, 4, 9005));
+    use distributed_sparse_kernels::core::{AlgorithmFamily, Elision};
+    let alg = Algorithm::new(AlgorithmFamily::DenseShift15, Elision::ReplicationReuse);
+    let world = SimWorld::new(8, MachineModel::bandwidth_only());
+    let out = world.run(move |comm| {
+        let mut w = DistWorker::from_global(comm, alg.family, 2, &prob);
+        let _ = w.fused_mm_b(alg.elision, Sampling::Values);
+    });
+    for o in &out {
+        // All traffic here is symmetric pairwise exchange, so each
+        // rank's modeled seconds equal its words sent.
+        let words = o.stats.phase(Phase::Propagation).words_sent as f64
+            + o.stats.phase(Phase::Replication).words_sent as f64;
+        let modeled = o.stats.modeled_comm_s();
+        assert!(
+            (modeled - words).abs() < 1e-9 * words.max(1.0),
+            "rank {}: modeled {modeled} vs words {words}",
+            o.rank
+        );
+    }
+}
+
+#[test]
+fn watchdog_catches_mismatched_protocols() {
+    // A rank that receives a message nobody sent must fail loudly, not
+    // hang (failure-injection requirement from DESIGN.md).
+    let world = SimWorld::new(2, MachineModel::cori_knl())
+        .with_recv_timeout(std::time::Duration::from_millis(100));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = world.run(|comm| {
+            if comm.rank() == 0 {
+                let _: Vec<f64> = comm.recv(1, 42); // never sent
+            }
+        });
+    }));
+    assert!(result.is_err(), "mismatched receive must panic");
+}

@@ -1,0 +1,113 @@
+//! Integration: measured communication matches the paper's Table III
+//! analysis — the repository's strongest end-to-end check. Message
+//! counts must match exactly; word counts within a small load-imbalance
+//! tolerance (sparse-block sizes fluctuate around nnz/p).
+
+use std::sync::Arc;
+
+use distributed_sparse_kernels::comm::{AggregateStats, MachineModel, Phase, SimWorld};
+use distributed_sparse_kernels::core::theory::{self, Algorithm};
+use distributed_sparse_kernels::core::worker::DistWorker;
+use distributed_sparse_kernels::core::{GlobalProblem, Sampling};
+
+fn measure(prob: &Arc<GlobalProblem>, p: usize, alg: Algorithm, c: usize) -> (f64, f64) {
+    let prob2 = Arc::clone(prob);
+    let world = SimWorld::new(p, MachineModel::bandwidth_only());
+    let out = world.run(move |comm| {
+        let mut w = DistWorker::from_global(comm, alg.family, c, &prob2);
+        let _ = w.fused_mm_b(alg.elision, Sampling::Values);
+    });
+    let stats: Vec<_> = out.into_iter().map(|o| o.stats).collect();
+    let agg = AggregateStats::from_ranks(&stats);
+    let words = (agg.max_words(Phase::Replication) + agg.max_words(Phase::Propagation)) as f64;
+    let msgs = (agg.max_msgs_sent[Phase::Replication.index()]
+        + agg.max_msgs_sent[Phase::Propagation.index()]) as f64;
+    (words, msgs)
+}
+
+#[test]
+fn words_and_messages_match_table3() {
+    let n = 1 << 10;
+    let prob = Arc::new(GlobalProblem::erdos_renyi(n, n, 16, 8, 8001));
+    let nnz = prob.nnz();
+    let dims = prob.dims;
+    for alg in Algorithm::all_benchmarked() {
+        for (p, c) in [(16usize, 2usize), (16, 4)] {
+            if !alg.family.valid_c(p, c) {
+                continue;
+            }
+            let (words, msgs) = measure(&prob, p, alg, c);
+            let words_model = theory::words_per_processor(alg, p, c, dims, nnz);
+            let msgs_model = theory::messages_per_processor(alg, p, c);
+            assert_eq!(
+                msgs, msgs_model,
+                "message count mismatch for {} p={p} c={c}",
+                alg.label()
+            );
+            let ratio = words / words_model;
+            assert!(
+                (0.93..=1.07).contains(&ratio),
+                "word count off Table III for {} p={p} c={c}: measured {words}, \
+                 model {words_model} (ratio {ratio:.3})",
+                alg.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn elision_savings_match_theory_ratios() {
+    // At the respective optimal replication factors, reuse and LKF must
+    // save communication relative to no elision by the ratio theory
+    // predicts for this p (→ 1/√2 as p → ∞).
+    let n = 1 << 11;
+    let p = 64usize;
+    let prob = Arc::new(GlobalProblem::erdos_renyi(n, n, 16, 8, 8002));
+    let nnz = prob.nnz();
+    let dims = prob.dims;
+    use distributed_sparse_kernels::core::{AlgorithmFamily, Elision};
+    let mut meas = Vec::new();
+    let mut model = Vec::new();
+    for elision in [Elision::None, Elision::ReplicationReuse, Elision::LocalKernelFusion] {
+        let alg = Algorithm::new(AlgorithmFamily::DenseShift15, elision);
+        let c = theory::optimal_c_search(alg, p, dims, nnz, 16).unwrap();
+        let (words, _) = measure(&prob, p, alg, c);
+        meas.push(words);
+        model.push(theory::words_per_processor(alg, p, c, dims, nnz));
+    }
+    for k in 1..3 {
+        let meas_ratio = meas[k] / meas[0];
+        let model_ratio = model[k] / model[0];
+        assert!(
+            (meas_ratio - model_ratio).abs() < 0.02,
+            "elision saving mismatch: measured {meas_ratio:.3} vs model {model_ratio:.3}"
+        );
+        assert!(meas_ratio < 0.85, "elision must save communication");
+    }
+}
+
+#[test]
+fn sparse_shift_traffic_scales_with_nnz_not_nr() {
+    // Doubling r leaves 1.5D sparse-shift propagation unchanged;
+    // doubling nnz doubles it.
+    use distributed_sparse_kernels::core::{AlgorithmFamily, Elision};
+    let alg = Algorithm::new(AlgorithmFamily::SparseShift15, Elision::ReplicationReuse);
+    let n = 1 << 10;
+    let base = Arc::new(GlobalProblem::erdos_renyi(n, n, 8, 4, 8003));
+    let wide = Arc::new(GlobalProblem::erdos_renyi(n, n, 16, 4, 8003));
+    let dense = Arc::new(GlobalProblem::erdos_renyi(n, n, 8, 8, 8003));
+    let prop = |prob: &Arc<GlobalProblem>| {
+        let prob2 = Arc::clone(prob);
+        let world = SimWorld::new(8, MachineModel::bandwidth_only());
+        let out = world.run(move |comm| {
+            let mut w = DistWorker::from_global(comm, alg.family, 2, &prob2);
+            let _ = w.fused_mm_b(alg.elision, Sampling::Values);
+        });
+        out.iter()
+            .map(|o| o.stats.phase(Phase::Propagation).words_sent)
+            .sum::<u64>()
+    };
+    let (b, w, d) = (prop(&base), prop(&wide), prop(&dense));
+    assert_eq!(b, w, "sparse-shift propagation must not depend on r");
+    assert_eq!(2 * b, d, "sparse-shift propagation must scale with nnz");
+}
