@@ -24,12 +24,11 @@
 
 use dsk_comm::Phase;
 use dsk_dense::Mat;
-use serde::{Deserialize, Serialize};
 
 use crate::engine::AppEngine;
 
 /// ALS hyper-parameters.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct AlsConfig {
     /// Ridge regularization λ.
     pub lambda: f64,
@@ -54,7 +53,7 @@ impl Default for AlsConfig {
 }
 
 /// Outcome of an ALS run on one rank.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AlsReport {
     /// Squared loss over observed entries before optimization (if
     /// tracked).
@@ -226,10 +225,7 @@ mod tests {
         });
         let rep = &out[0].value;
         let (li, lf) = (rep.initial_loss.unwrap(), rep.final_loss.unwrap());
-        assert!(
-            lf < 0.05 * li,
-            "ALS failed to reduce loss: {li} -> {lf}"
-        );
+        assert!(lf < 0.05 * li, "ALS failed to reduce loss: {li} -> {lf}");
     }
 
     #[test]
@@ -293,6 +289,9 @@ mod tests {
             });
             resids.push(out[0].value.phase_residuals[0]);
         }
-        assert!(resids[1] < resids[0], "CG residual did not shrink: {resids:?}");
+        assert!(
+            resids[1] < resids[0],
+            "CG residual did not shrink: {resids:?}"
+        );
     }
 }

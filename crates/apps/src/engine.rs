@@ -2,28 +2,27 @@
 //! kernels.
 //!
 //! Applications iterate: the output of one FusedMM becomes an input of
-//! the next. Each algorithm family has its own input/output layouts, so
-//! the engine pins down, per family:
+//! the next. The [`DistKernel`] trait pins down, per kernel:
 //!
 //! * the **iterate layout** for `A`-shaped and `B`-shaped vectors (the
 //!   layout in which `fused_mm_*` consumes and produces them),
 //! * the **row-sharing group** — which ranks split a row of the iterate
 //!   (batched per-row dot products in CG need a reduction over exactly
-//!   that group; it is empty for 1.5D dense shifting, whose rows are
+//!   that group; it is trivial for 1.5D dense shifting, whose rows are
 //!   whole, and the paper observes precisely this extra dot-product
 //!   communication for the sparse-shifting/replicating variants),
 //! * the **distribution shifts** needed to commit an iterate back as a
 //!   kernel operand (2.5D and sparse-shifting algorithms re-partition;
 //!   1.5D dense shifting does not) — charged to
 //!   [`Phase::OutsideComm`], as in the paper's Fig. 9 accounting.
+//!
+//! The engine itself is therefore a thin veneer: construction goes
+//! through [`KernelBuilder`], and every operation is a [`DistKernel`]
+//! call — no per-family dispatch anywhere.
 
 use dsk_comm::{Comm, Phase};
 use dsk_core::common::{block_range, AlgorithmFamily, Elision, Sampling};
-use dsk_core::dr25::DenseRepl25;
-
-use dsk_core::layout::repartition_dense;
-
-use dsk_core::ss15::{CombineSpec, SparseShift15};
+use dsk_core::kernel::{CombineSpec, KernelBuilder};
 use dsk_core::worker::DistWorker;
 use dsk_core::GlobalProblem;
 use dsk_dense::Mat;
@@ -32,17 +31,15 @@ use dsk_dense::Mat;
 pub struct AppEngine {
     /// World communicator (duplicated; owned by the engine).
     pub comm: Comm,
-    /// The wrapped algorithm worker.
+    /// The wrapped kernel worker.
     pub worker: DistWorker,
     /// Elision strategy used for fused calls.
     pub elision: Elision,
-    p: usize,
-    c: usize,
-    /// Reduction group for per-row dots of `A`-shaped iterates
-    /// (`None` = rows are whole on one rank).
-    dots_a: Option<Comm>,
+    /// Reduction group for per-row dots of `A`-shaped iterates (size 1
+    /// when rows are whole).
+    dots_a: Comm,
     /// Reduction group for per-row dots of `B`-shaped iterates.
-    dots_b: Option<Comm>,
+    dots_b: Comm,
 }
 
 impl AppEngine {
@@ -54,12 +51,10 @@ impl AppEngine {
         elision: Elision,
         prob: &GlobalProblem,
     ) -> Self {
-        Self::from_staged(
+        Self::from_builder(
             comm,
-            family,
-            c,
-            elision,
-            &dsk_core::StagedProblem::ephemeral(prob),
+            &KernelBuilder::new(prob).family(family).replication(c),
+            Some(elision),
         )
     }
 
@@ -71,48 +66,43 @@ impl AppEngine {
         elision: Elision,
         staged: &dsk_core::StagedProblem,
     ) -> Self {
+        Self::from_builder(
+            comm,
+            &KernelBuilder::from_staged(staged)
+                .family(family)
+                .replication(c),
+            Some(elision),
+        )
+    }
+
+    /// Build the engine with the theory-planned algorithm, replication
+    /// factor, and elision for this problem shape (the Figure 6
+    /// decision applied to an application).
+    pub fn auto(comm: &Comm, prob: &GlobalProblem) -> Self {
+        Self::from_builder(comm, &KernelBuilder::new(prob), None)
+    }
+
+    /// Build the engine from a configured [`KernelBuilder`]. `elision`
+    /// overrides the plan's recommended elision for fused calls.
+    pub fn from_builder(
+        comm: &Comm,
+        builder: &KernelBuilder<'_>,
+        elision: Option<Elision>,
+    ) -> Self {
+        let worker = builder.build(comm);
+        let elision = elision.unwrap_or(worker.plan().elision);
         assert!(
-            family.supports(elision),
-            "{family:?} does not support {elision:?}"
+            worker.supports(elision),
+            "{:?} does not support {elision:?}",
+            worker.id()
         );
-        let p = comm.size();
-        let worker = DistWorker::from_staged(comm, family, c, staged);
-        let (dots_a, dots_b) = match &worker {
-            DistWorker::Ds15(_) => (None, None),
-            // Stationary layouts are shared by the layer (same fiber
-            // coordinate v = g % c).
-            DistWorker::Ss15(_) => (
-                Some(comm.split_by(move |g| (g % c) as u64)),
-                Some(comm.split_by(move |g| (g % c) as u64)),
-            ),
-            // Travel layouts are shared by the Cannon anti-diagonal
-            // {(u, v): u+v ≡ σ₀ (mod q)} within a layer w.
-            DistWorker::Dr25(w) => {
-                let q = w.gc.grid.q;
-                let diag = move |g: usize| {
-                    let u = g / (q * c);
-                    let v = (g / c) % q;
-                    let w_ = g % c;
-                    (((u + v) % q) * c + w_) as u64
-                };
-                (Some(comm.split_by(diag)), Some(comm.split_by(diag)))
-            }
-            // A panels are shared by the grid-row plane, B panels by the
-            // grid-column plane.
-            DistWorker::Sr25(w) => {
-                let q = w.gc.grid.q;
-                (
-                    Some(comm.split_by(move |g| (g / (q * c)) as u64)),
-                    Some(comm.split_by(move |g| ((g / c) % q) as u64)),
-                )
-            }
-        };
+        let k = worker.kernel();
+        let dots_a = comm.split_by(|g| k.row_group_a(g));
+        let dots_b = comm.split_by(|g| k.row_group_b(g));
         AppEngine {
             comm: comm.dup(),
             worker,
             elision,
-            p,
-            c,
             dots_a,
             dots_b,
         }
@@ -120,92 +110,49 @@ impl AppEngine {
 
     /// The stored `A` operand in the iterate layout.
     pub fn a_iterate(&self) -> Mat {
-        match &self.worker {
-            DistWorker::Ds15(w) => w.a_loc.clone(),
-            DistWorker::Ss15(w) => w.a_stationary_stacked(),
-            DistWorker::Dr25(w) => w.a_travel().clone(),
-            DistWorker::Sr25(w) => w.a_home.clone(),
-        }
+        self.worker.a_iterate()
     }
 
     /// The stored `B` operand in the iterate layout.
     pub fn b_iterate(&self) -> Mat {
-        match &self.worker {
-            DistWorker::Ds15(w) => w.b_loc.clone(),
-            DistWorker::Ss15(w) => w.b_stationary_stacked(),
-            DistWorker::Dr25(w) => w.b_travel().clone(),
-            DistWorker::Sr25(w) => w.b_home.clone(),
-        }
+        self.worker.b_iterate()
     }
 
     /// FusedMMA with pattern sampling — the ALS normal-equation matvec
     /// `qᵢ = Σ_{j∈Ωᵢ} ⟨xᵢ, b_j⟩ b_j` — on an `A`-iterate `x`.
     pub fn fused_a_ones(&mut self, x: &Mat) -> Mat {
-        let e = self.elision;
-        match &mut self.worker {
-            DistWorker::Ds15(w) => w.fused_mm_a(Some(x), e, Sampling::Ones),
-            DistWorker::Ss15(w) => w.fused_mm_a(Some(x), e, Sampling::Ones),
-            DistWorker::Dr25(w) => w.fused_mm_a(Some(x), e, Sampling::Ones),
-            DistWorker::Sr25(w) => w.fused_mm_a(Some(x), e, Sampling::Ones),
-        }
+        self.worker
+            .fused_mm_a(Some(x), self.elision, Sampling::Ones)
     }
 
     /// FusedMMB with pattern sampling on a `B`-iterate `y`.
     pub fn fused_b_ones(&mut self, y: &Mat) -> Mat {
-        let e = self.elision;
-        match &mut self.worker {
-            DistWorker::Ds15(w) => w.fused_mm_b(Some(y), e, Sampling::Ones),
-            DistWorker::Ss15(w) => w.fused_mm_b(Some(y), e, Sampling::Ones),
-            DistWorker::Dr25(w) => w.fused_mm_b(Some(y), e, Sampling::Ones),
-            DistWorker::Sr25(w) => w.fused_mm_b(Some(y), e, Sampling::Ones),
-        }
+        self.worker
+            .fused_mm_b(Some(y), self.elision, Sampling::Ones)
     }
 
     /// ALS right-hand side for the `A` phase: `S·B` (sampling values),
     /// delivered in the `A`-iterate layout (2.5D dense replication pays
     /// a distribution shift here).
     pub fn rhs_a(&mut self) -> Mat {
-        match &mut self.worker {
-            DistWorker::Ds15(w) => w.spmm_a(false),
-            DistWorker::Ss15(w) => w.spmm_a(),
-            DistWorker::Dr25(w) => {
-                let dims = w.dims();
-                let fiber = w.spmm_a(false);
-                let (p, c) = (self.p, self.c);
-                let _ph = self.comm.phase(Phase::OutsideComm);
-                repartition_dense(
-                    &self.comm,
-                    &fiber,
-                    DenseRepl25::fiber_layout(dims.m, dims.r, p, c),
-                    DenseRepl25::travel_layout(dims.m, dims.r, p, c),
-                )
-            }
-            DistWorker::Sr25(w) => w.spmm_a(false),
-        }
+        self.worker.rhs_a(&self.comm)
     }
 
     /// ALS right-hand side for the `B` phase: `Sᵀ·A`, in the
     /// `B`-iterate layout.
     pub fn rhs_b(&mut self) -> Mat {
-        match &mut self.worker {
-            DistWorker::Ds15(w) => w.spmm_b(false),
-            DistWorker::Ss15(w) => w.spmm_b(false),
-            DistWorker::Dr25(w) => w.spmm_b(false),
-            DistWorker::Sr25(w) => w.spmm_b(false),
-        }
+        self.worker.rhs_b(&self.comm)
     }
 
-    fn row_dots(comm: Option<&Comm>, x: &Mat, y: &Mat, phase: Phase) -> Vec<f64> {
+    fn row_dots(comm: &Comm, x: &Mat, y: &Mat, phase: Phase) -> Vec<f64> {
         assert_eq!(x.nrows(), y.nrows(), "row-dot shape mismatch");
         assert_eq!(x.ncols(), y.ncols(), "row-dot shape mismatch");
         let mut dots: Vec<f64> = (0..x.nrows())
             .map(|i| x.row(i).iter().zip(y.row(i)).map(|(a, b)| a * b).sum())
             .collect();
-        if let Some(c) = comm {
-            if c.size() > 1 {
-                let _ph = c.phase(phase);
-                c.allreduce_sum(&mut dots);
-            }
+        if comm.size() > 1 {
+            let _ph = comm.phase(phase);
+            comm.allreduce_sum(&mut dots);
         }
         dots
     }
@@ -213,117 +160,41 @@ impl AppEngine {
     /// How many ranks share each row of an `A`-iterate (1 when rows are
     /// whole).
     pub fn row_share_a(&self) -> usize {
-        self.dots_a.as_ref().map_or(1, |c| c.size())
+        self.dots_a.size()
     }
 
     /// How many ranks share each row of a `B`-iterate.
     pub fn row_share_b(&self) -> usize {
-        self.dots_b.as_ref().map_or(1, |c| c.size())
+        self.dots_b.size()
     }
 
     /// Global per-row dot products of two `A`-iterates (reduced over the
     /// row-sharing group; charged outside the fused kernels).
     pub fn row_dots_a(&self, x: &Mat, y: &Mat) -> Vec<f64> {
-        Self::row_dots(self.dots_a.as_ref(), x, y, Phase::OutsideComm)
+        Self::row_dots(&self.dots_a, x, y, Phase::OutsideComm)
     }
 
     /// Global per-row dot products of two `B`-iterates.
     pub fn row_dots_b(&self, x: &Mat, y: &Mat) -> Vec<f64> {
-        Self::row_dots(self.dots_b.as_ref(), x, y, Phase::OutsideComm)
+        Self::row_dots(&self.dots_b, x, y, Phase::OutsideComm)
     }
 
     /// Commit an `A`-iterate as the stored `A` operand, paying whatever
-    /// distribution shift the family requires.
+    /// distribution shift the kernel requires.
     pub fn commit_a(&mut self, x: &Mat) {
-        let (p, c) = (self.p, self.c);
-        match &mut self.worker {
-            DistWorker::Ds15(w) => w.a_loc = x.clone(),
-            DistWorker::Ss15(w) => {
-                let dims = w.dims();
-                let rep = {
-                    let _ph = self.comm.phase(Phase::OutsideComm);
-                    repartition_dense(
-                        &self.comm,
-                        x,
-                        SparseShift15::stationary_layout(dims.m, dims.r, p, c),
-                        SparseShift15::replicate_layout(dims.m, dims.r, p, c),
-                    )
-                };
-                w.set_a(rep, x);
-            }
-            DistWorker::Dr25(w) => {
-                let dims = w.dims();
-                let fiber = {
-                    let _ph = self.comm.phase(Phase::OutsideComm);
-                    repartition_dense(
-                        &self.comm,
-                        x,
-                        DenseRepl25::travel_layout(dims.m, dims.r, p, c),
-                        DenseRepl25::fiber_layout(dims.m, dims.r, p, c),
-                    )
-                };
-                w.set_a(fiber, x.clone());
-            }
-            DistWorker::Sr25(w) => w.set_a(x.clone()),
-        }
+        self.worker.set_a(&self.comm, x);
     }
 
     /// Commit a `B`-iterate as the stored `B` operand.
     pub fn commit_b(&mut self, y: &Mat) {
-        let (p, c) = (self.p, self.c);
-        match &mut self.worker {
-            DistWorker::Ds15(w) => w.b_loc = y.clone(),
-            DistWorker::Ss15(w) => {
-                let dims = w.dims();
-                let rep = {
-                    let _ph = self.comm.phase(Phase::OutsideComm);
-                    repartition_dense(
-                        &self.comm,
-                        y,
-                        SparseShift15::stationary_layout(dims.n, dims.r, p, c),
-                        SparseShift15::replicate_layout(dims.n, dims.r, p, c),
-                    )
-                };
-                w.set_b(rep, y);
-            }
-            DistWorker::Dr25(w) => {
-                let dims = w.dims();
-                let fiber = {
-                    let _ph = self.comm.phase(Phase::OutsideComm);
-                    repartition_dense(
-                        &self.comm,
-                        y,
-                        DenseRepl25::travel_layout(dims.n, dims.r, p, c),
-                        DenseRepl25::fiber_layout(dims.n, dims.r, p, c),
-                    )
-                };
-                w.set_b(fiber, y.clone());
-            }
-            DistWorker::Sr25(w) => w.set_b(y.clone()),
-        }
+        self.worker.set_b(&self.comm, y);
     }
 
     /// ALS squared loss `‖C̃ − mask(A·Bᵀ)‖²_F` over the observed
     /// entries (one generalized SDDMM plus a scalar all-reduce).
     pub fn loss(&mut self) -> f64 {
-        let local = match &mut self.worker {
-            DistWorker::Ds15(w) => {
-                w.sddmm_general(dsk_kernels::SddmmCombine::Dot);
-                w.sq_loss_local()
-            }
-            DistWorker::Ss15(w) => {
-                w.sddmm_general(CombineSpec::Dot);
-                w.sq_loss_local()
-            }
-            DistWorker::Dr25(w) => {
-                w.sddmm_general(CombineSpec::Dot);
-                w.sq_loss_local()
-            }
-            DistWorker::Sr25(w) => {
-                w.sddmm_general(CombineSpec::Dot);
-                w.sq_loss_local()
-            }
-        };
+        self.worker.sddmm_general(&CombineSpec::Dot);
+        let local = self.worker.sq_loss_local();
         let _ph = self.comm.phase(Phase::OutsideComm);
         self.comm.allreduce_scalar(local)
     }
@@ -418,7 +289,12 @@ mod tests {
                 dsk_dense::ops::max_abs_diff(&x, &x2)
             });
             for o in &out {
-                assert!(o.value < 1e-12, "{family:?} rank {} diff {}", o.rank, o.value);
+                assert!(
+                    o.value < 1e-12,
+                    "{family:?} rank {} diff {}",
+                    o.rank,
+                    o.value
+                );
             }
         }
     }
@@ -437,7 +313,36 @@ mod tests {
             losses.push(out[0].value);
         }
         for l in &losses[1..] {
-            assert!((l - losses[0]).abs() < 1e-6 * losses[0].max(1.0), "{losses:?}");
+            assert!(
+                (l - losses[0]).abs() < 1e-6 * losses[0].max(1.0),
+                "{losses:?}"
+            );
         }
+    }
+
+    #[test]
+    fn auto_engine_runs_end_to_end() {
+        // The planner-constructed engine must run the same loss path as
+        // an explicitly configured one.
+        let prob = Arc::new(GlobalProblem::erdos_renyi(32, 32, 8, 3, 105));
+        let pr = Arc::clone(&prob);
+        let w = SimWorld::new(8, MachineModel::bandwidth_only());
+        let out = w.run(move |comm| {
+            let mut eng = AppEngine::auto(comm, &pr);
+            eng.loss()
+        });
+        let pr = Arc::clone(&prob);
+        let w = SimWorld::new(8, MachineModel::bandwidth_only());
+        let reference = w.run(move |comm| {
+            let mut eng = AppEngine::new(
+                comm,
+                AlgorithmFamily::DenseShift15,
+                2,
+                Elision::ReplicationReuse,
+                &pr,
+            );
+            eng.loss()
+        });
+        assert!((out[0].value - reference[0].value).abs() < 1e-6 * reference[0].value.max(1.0));
     }
 }

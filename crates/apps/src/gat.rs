@@ -17,16 +17,21 @@
 //! communication), and the convolution is an SpMM with the attention
 //! values. A multi-head layer concatenates per-head outputs.
 //!
+//! Every step is a [`DistKernel`] call, so the engine is oblivious to
+//! which algorithm family (or the 1D baseline) runs underneath. The
+//! dense transform `H·W` stages through full-width row blocks using the
+//! kernel's iterate-layout descriptors; whole-row kernels pass through
+//! the identity fast path of
+//! [`repartition_dense`](dsk_core::layout::repartition_dense).
+//!
 //! Local kernel fusion is deliberately unsupported here: the softmax
 //! must observe the completed SDDMM before any aggregation, which is
 //! why the paper excludes the LKF variant from its GAT benchmark.
 
 use dsk_comm::{Comm, Phase};
 use dsk_core::common::AlgorithmFamily;
-use dsk_core::dr25::DenseRepl25;
+use dsk_core::kernel::{CombineSpec, KernelBuilder};
 use dsk_core::layout::repartition_dense;
-use dsk_core::sr25::SparseRepl25;
-use dsk_core::ss15::{CombineSpec, SparseShift15};
 use dsk_core::worker::DistWorker;
 use dsk_core::GlobalProblem;
 use dsk_dense::ops::gemm_acc;
@@ -72,21 +77,22 @@ impl Default for GatConfig {
     }
 }
 
-/// Per-rank GAT engine over any algorithm family (except LKF).
+/// Per-rank GAT engine over any distributed kernel (except LKF).
 pub struct GatEngine {
     /// World communicator.
     pub comm: Comm,
     /// The wrapped worker; its `A` and `B` operands are both the node
     /// embedding matrix `H` (the graph is square).
     pub worker: DistWorker,
-    p: usize,
-    c: usize,
 }
 
 impl GatEngine {
     /// Build the engine. `prob` must be square with `a == b == H`.
     pub fn new(comm: &Comm, family: AlgorithmFamily, c: usize, prob: &GlobalProblem) -> Self {
-        Self::from_staged(comm, family, c, &dsk_core::StagedProblem::ephemeral(prob))
+        Self::from_builder(
+            comm,
+            &KernelBuilder::new(prob).family(family).replication(c),
+        )
     }
 
     /// Build from shared staging (benchmark path).
@@ -96,145 +102,92 @@ impl GatEngine {
         c: usize,
         staged: &dsk_core::StagedProblem,
     ) -> Self {
-        let prob = &staged.prob;
-        assert_eq!(prob.dims.m, prob.dims.n, "GAT needs a square adjacency");
+        Self::from_builder(
+            comm,
+            &KernelBuilder::from_staged(staged)
+                .family(family)
+                .replication(c),
+        )
+    }
+
+    /// Build with the theory-planned kernel for this problem shape.
+    pub fn auto(comm: &Comm, prob: &GlobalProblem) -> Self {
+        Self::from_builder(comm, &KernelBuilder::new(prob))
+    }
+
+    /// Build from a configured [`KernelBuilder`].
+    pub fn from_builder(comm: &Comm, builder: &KernelBuilder<'_>) -> Self {
+        let worker = builder.build(comm);
+        let dims = worker.dims();
+        assert_eq!(dims.m, dims.n, "GAT needs a square adjacency");
         GatEngine {
             comm: comm.dup(),
-            worker: DistWorker::from_staged(comm, family, c, staged),
-            p: comm.size(),
-            c,
+            worker,
         }
     }
 
-    /// Compute `H·W` in the family's SpMM-operand (`B`-side) layout.
-    /// Full-row layouts transform locally; column-sliced layouts
-    /// re-partition through a row-block staging layout (outside-kernel
-    /// cost, as in the paper's Fig. 9 breakdown).
+    /// Compute `H·W` in the kernel's SpMM-operand (`B`-iterate) layout.
+    /// Column-sliced layouts re-partition through a row-block staging
+    /// layout (outside-kernel cost, as in the paper's Fig. 9
+    /// breakdown); whole-row layouts pass through untouched.
     fn transform_operand(&mut self, w_mat: &Mat) -> Mat {
         let dims = self.worker.dims();
-        let (n, r, p, c) = (dims.n, dims.r, self.p, self.c);
-        let gemm_rows = |local: &Mat, w_mat: &Mat, comm: &Comm| -> Mat {
-            let _ph = comm.phase(Phase::OutsideCompute);
-            let mut out = Mat::zeros(local.nrows(), w_mat.ncols());
-            comm.record_flops(dsk_dense::ops::gemm_flops(
-                local.nrows(),
-                local.ncols(),
+        let (n, r, p) = (dims.n, dims.r, self.comm.size());
+        let row_blocks = crate::engine::AppEngine::row_block_layout(n, r, p);
+        let k = self.worker.kernel();
+        let src = |g: usize| k.b_iterate_layout_of(g);
+        let stacked = k.b_iterate();
+        let staged = {
+            let _ph = self.comm.phase(Phase::OutsideComm);
+            repartition_dense(&self.comm, &stacked, src, &row_blocks)
+        };
+        let hw = {
+            let _ph = self.comm.phase(Phase::OutsideCompute);
+            let mut out = Mat::zeros(staged.nrows(), w_mat.ncols());
+            self.comm.record_flops(dsk_dense::ops::gemm_flops(
+                staged.nrows(),
+                staged.ncols(),
                 w_mat.ncols(),
             ));
-            gemm_acc(&mut out, local, w_mat);
+            gemm_acc(&mut out, &staged, w_mat);
             out
         };
-        let row_blocks = crate::engine::AppEngine::row_block_layout(n, r, p);
-        match &self.worker {
-            DistWorker::Ds15(wk) => gemm_rows(&wk.b_loc, w_mat, &self.comm),
-            DistWorker::Ss15(wk) => {
-                let stacked = wk.b_stationary_stacked();
-                let src = SparseShift15::stationary_layout(n, r, p, c);
-                let staged = {
-                    let _ph = self.comm.phase(Phase::OutsideComm);
-                    repartition_dense(&self.comm, &stacked, src, &row_blocks)
-                };
-                let hw = gemm_rows(&staged, w_mat, &self.comm);
-                let dst = SparseShift15::stationary_layout(n, r, p, c);
-                let _ph = self.comm.phase(Phase::OutsideComm);
-                repartition_dense(&self.comm, &hw, &row_blocks, dst)
-            }
-            DistWorker::Dr25(wk) => {
-                let travel = wk.b_travel().clone();
-                let src = DenseRepl25::travel_layout(n, r, p, c);
-                let staged = {
-                    let _ph = self.comm.phase(Phase::OutsideComm);
-                    repartition_dense(&self.comm, &travel, src, &row_blocks)
-                };
-                let hw = gemm_rows(&staged, w_mat, &self.comm);
-                let dst = DenseRepl25::travel_layout(n, r, p, c);
-                let _ph = self.comm.phase(Phase::OutsideComm);
-                repartition_dense(&self.comm, &hw, &row_blocks, dst)
-            }
-            DistWorker::Sr25(wk) => {
-                let panel = wk.b_home.clone();
-                let src = SparseRepl25::b_layout(dims, p, c);
-                let staged = {
-                    let _ph = self.comm.phase(Phase::OutsideComm);
-                    repartition_dense(&self.comm, &panel, src, &row_blocks)
-                };
-                let hw = gemm_rows(&staged, w_mat, &self.comm);
-                let dst = SparseRepl25::b_layout(dims, p, c);
-                let _ph = self.comm.phase(Phase::OutsideComm);
-                repartition_dense(&self.comm, &hw, &row_blocks, dst)
-            }
-        }
+        let _ph = self.comm.phase(Phase::OutsideComm);
+        repartition_dense(&self.comm, &hw, &row_blocks, src)
     }
 
     /// Attention logits for one head into the worker's R values
     /// (generalized SDDMM).
     fn attention_logits(&mut self, head: &GatHead) {
-        match &mut self.worker {
-            DistWorker::Ds15(w) => w.sddmm_general(dsk_kernels::SddmmCombine::AffinePair {
-                w_src: &head.a_src,
-                w_dst: &head.a_dst,
-            }),
-            DistWorker::Ss15(w) => w.sddmm_general(CombineSpec::Affine {
-                w_src: head.a_src.clone(),
-                w_dst: head.a_dst.clone(),
-            }),
-            DistWorker::Dr25(w) => w.sddmm_general(CombineSpec::Affine {
-                w_src: head.a_src.clone(),
-                w_dst: head.a_dst.clone(),
-            }),
-            DistWorker::Sr25(w) => w.sddmm_general(CombineSpec::Affine {
-                w_src: head.a_src.clone(),
-                w_dst: head.a_dst.clone(),
-            }),
-        }
+        self.worker.sddmm_general(&CombineSpec::Affine {
+            w_src: head.a_src.clone(),
+            w_dst: head.a_dst.clone(),
+        });
     }
 
     /// LeakyReLU + row softmax over the stored attention logits.
     fn softmax_rows(&mut self, negative_slope: f64) {
         let slope = negative_slope;
-        let lrelu_exp = move |v: f64| {
-            let a = if v < 0.0 { slope * v } else { v };
-            a.exp()
-        };
         // exp(LeakyReLU(·)); inputs are bounded (embeddings in [-1,1]),
         // so the unshifted exponential is safe.
-        match &mut self.worker {
-            DistWorker::Ds15(w) => {
-                w.map_r(lrelu_exp);
-                let sums = w.r_row_sums(Phase::OutsideComm);
-                let inv: Vec<f64> = sums.iter().map(|&s| if s > 0.0 { 1.0 / s } else { 0.0 }).collect();
-                w.scale_r_rows(&inv);
-            }
-            DistWorker::Ss15(w) => {
-                w.map_r(lrelu_exp);
-                let sums = w.r_row_sums(&self.comm, Phase::OutsideComm);
-                let inv: Vec<f64> = sums.iter().map(|&s| if s > 0.0 { 1.0 / s } else { 0.0 }).collect();
-                w.scale_r_rows(&inv);
-            }
-            DistWorker::Dr25(w) => {
-                w.map_r(lrelu_exp);
-                let sums = w.r_row_sums(Phase::OutsideComm);
-                let inv: Vec<f64> = sums.iter().map(|&s| if s > 0.0 { 1.0 / s } else { 0.0 }).collect();
-                w.scale_r_rows(&inv);
-            }
-            DistWorker::Sr25(w) => {
-                w.map_r(lrelu_exp);
-                let sums = w.r_row_sums(Phase::OutsideComm);
-                let inv: Vec<f64> = sums.iter().map(|&s| if s > 0.0 { 1.0 / s } else { 0.0 }).collect();
-                w.scale_r_rows(&inv);
-            }
-        }
+        self.worker.map_r(&mut |v: f64| {
+            let a = if v < 0.0 { slope * v } else { v };
+            a.exp()
+        });
+        let sums = self.worker.r_row_sums(&self.comm, Phase::OutsideComm);
+        let inv: Vec<f64> = sums
+            .iter()
+            .map(|&s| if s > 0.0 { 1.0 / s } else { 0.0 })
+            .collect();
+        self.worker.scale_r_rows(&inv);
     }
 
     /// Attention-weighted convolution `α · (H·W)` (SpMM with the stored
-    /// R values), in the family's `A`-output layout.
+    /// R values), in the kernel's
+    /// [`spmm_a_with_layout_of`](dsk_core::kernel::DistKernel::spmm_a_with_layout_of)
+    /// layout.
     fn convolve(&mut self, hw: &Mat) -> Mat {
-        match &mut self.worker {
-            DistWorker::Ds15(w) => w.spmm_a_with(hw),
-            DistWorker::Ss15(w) => w.spmm_a_from_r(Some(hw)),
-            DistWorker::Dr25(w) => w.spmm_a_with(hw),
-            DistWorker::Sr25(w) => w.spmm_a_with(hw),
-        }
+        self.worker.spmm_a_with(hw)
     }
 
     /// One multi-head forward pass: per-head attention + convolution,
@@ -282,7 +235,11 @@ pub fn gat_forward_reference(prob: &GlobalProblem, heads: &[GatHead], cfg: &GatC
             },
         );
         for v in vals.iter_mut() {
-            let a = if *v < 0.0 { cfg.negative_slope * *v } else { *v };
+            let a = if *v < 0.0 {
+                cfg.negative_slope * *v
+            } else {
+                *v
+            };
             *v = a.exp();
         }
         // Row softmax.
@@ -317,7 +274,6 @@ mod tests {
     use super::*;
     use dsk_comm::{MachineModel, SimWorld};
     use dsk_core::layout::gather_dense;
-    use dsk_core::ds15::DenseShift15;
     use std::sync::Arc;
 
     fn gat_problem(n: usize, r: usize, seed: u64) -> GlobalProblem {
@@ -337,23 +293,11 @@ mod tests {
         let out = w.run(move |comm| {
             let mut eng = GatEngine::new(comm, family, c, &prob);
             let local = eng.forward(&heads2, &cfg);
-            // Gather via the family's A-output layout.
             // Per-head outputs are concatenated; gather head 0 only,
-            // whose layout is the family's A-output layout at width r.
-            let layout: Box<dyn Fn(usize) -> dsk_core::layout::DenseLayout> = match family {
-                AlgorithmFamily::DenseShift15 => {
-                    Box::new(DenseShift15::a_layout(dsk_core::ProblemDims::new(n, n, r), p))
-                }
-                AlgorithmFamily::SparseShift15 => {
-                    Box::new(SparseShift15::replicate_layout(n, r, p, c))
-                }
-                AlgorithmFamily::DenseRepl25 => Box::new(DenseRepl25::fiber_layout(n, r, p, c)),
-                AlgorithmFamily::SparseRepl25 => {
-                    Box::new(SparseRepl25::a_layout(dsk_core::ProblemDims::new(n, n, r), p, c))
-                }
-            };
+            // whose layout the kernel itself describes.
+            let k = eng.worker.kernel();
             let head0 = local.cols_block(0..local.ncols() / 2);
-            gather_dense(comm, 0, &head0, |g| layout(g), n, r)
+            gather_dense(comm, 0, &head0, |g| k.spmm_a_with_layout_of(g), n, r)
         });
         let got = out[0].value.as_ref().unwrap();
         let expect0 = expect.cols_block(0..r);
@@ -381,6 +325,29 @@ mod tests {
     #[test]
     fn gat_matches_reference_sr25() {
         check_family(AlgorithmFamily::SparseRepl25, 8, 2);
+    }
+
+    #[test]
+    fn gat_matches_reference_baseline() {
+        // The 1D baseline is a full DistKernel: the same forward pass
+        // must verify against the serial reference.
+        let (n, r, p) = (24, 6, 4);
+        let prob = Arc::new(gat_problem(n, r, 303));
+        let cfg = GatConfig::default();
+        let heads = vec![GatHead::random(r, 304)];
+        let expect = gat_forward_reference(&prob, &heads, &cfg);
+        let w = SimWorld::new(p, MachineModel::bandwidth_only());
+        let out = w.run(move |comm| {
+            let mut eng = GatEngine::from_builder(comm, &KernelBuilder::new(&prob).baseline());
+            let local = eng.forward(&heads, &cfg);
+            let k = eng.worker.kernel();
+            gather_dense(comm, 0, &local, |g| k.spmm_a_with_layout_of(g), n, r)
+        });
+        let got = out[0].value.as_ref().unwrap();
+        assert!(
+            dsk_dense::ops::max_abs_diff(got, &expect) < 1e-9,
+            "GAT mismatch for baseline"
+        );
     }
 
     #[test]

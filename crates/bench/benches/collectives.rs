@@ -1,64 +1,47 @@
-//! Criterion benchmarks for the simulated collectives (real wall time
-//! of the thread/mailbox transport, not modeled time).
+//! Micro-benchmarks for the simulated collectives (real wall time of the
+//! thread/mailbox transport, not modeled time). Run with `cargo bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dsk_bench::microbench::{case, header};
 use dsk_comm::{MachineModel, SimWorld};
 
-fn bench_allgather(c: &mut Criterion) {
-    let mut g = c.benchmark_group("allgather");
+fn main() {
+    header("collectives (thread transport wall time)");
     for p in [4usize, 16] {
         let words = 1 << 12;
-        g.throughput(Throughput::Bytes(((p - 1) * words * 8) as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |bench, &p| {
-            bench.iter(|| {
+        case(
+            "allgather",
+            &format!("p={p}"),
+            Some(((p - 1) * words) as u64),
+            || {
                 let w = SimWorld::new(p, MachineModel::bandwidth_only());
                 let out = w.run(|comm| comm.allgather(vec![1.0f64; words]).len());
                 assert!(out.iter().all(|o| o.value == p));
-            });
-        });
+            },
+        );
     }
-    g.finish();
-}
-
-fn bench_reduce_scatter(c: &mut Criterion) {
-    let mut g = c.benchmark_group("reduce_scatter");
     for p in [4usize, 16] {
         let words = 1 << 14;
-        g.throughput(Throughput::Bytes((words * 8) as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |bench, &p| {
-            bench.iter(|| {
+        case(
+            "reduce_scatter",
+            &format!("p={p}"),
+            Some(words as u64),
+            || {
                 let w = SimWorld::new(p, MachineModel::bandwidth_only());
                 let buf = vec![1.0f64; words];
                 let out = w.run(move |comm| comm.reduce_scatter_sum(&buf)[0]);
                 assert!(out.iter().all(|o| o.value == p as f64));
-            });
-        });
+            },
+        );
     }
-    g.finish();
-}
-
-fn bench_ring_shift(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ring_shift");
     for p in [4usize, 16] {
         let words = 1 << 14;
-        g.throughput(Throughput::Bytes((words * 8) as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |bench, &p| {
-            bench.iter(|| {
-                let w = SimWorld::new(p, MachineModel::bandwidth_only());
-                let out = w.run(|comm| {
-                    let v = vec![comm.rank() as f64; words];
-                    comm.shift(1, 0, v)[0]
-                });
-                assert_eq!(out.len(), p);
+        case("ring_shift", &format!("p={p}"), Some(words as u64), || {
+            let w = SimWorld::new(p, MachineModel::bandwidth_only());
+            let out = w.run(|comm| {
+                let v = vec![comm.rank() as f64; words];
+                comm.shift(1, 0, v)[0]
             });
+            assert_eq!(out.len(), p);
         });
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_allgather, bench_reduce_scatter, bench_ring_shift
-}
-criterion_main!(benches);

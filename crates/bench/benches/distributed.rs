@@ -1,49 +1,39 @@
-//! Criterion benchmarks of whole distributed FusedMM executions (small
-//! worlds; real wall time including the thread transport).
+//! Micro-benchmarks of whole distributed FusedMM executions (small
+//! worlds; real wall time including the thread transport). Run with
+//! `cargo bench`. Workers are constructed through the [`KernelBuilder`]
+//! planner, like all harness code.
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dsk_bench::microbench::{case, header};
 use dsk_comm::{MachineModel, SimWorld};
+use dsk_core::kernel::KernelBuilder;
 use dsk_core::theory::Algorithm;
-use dsk_core::worker::DistWorker;
 use dsk_core::{GlobalProblem, Sampling, StagedProblem};
 use dsk_kernels::fused_flops;
 
-fn bench_fused_families(c: &mut Criterion) {
+fn main() {
     let p = 16usize;
     let prob = Arc::new(GlobalProblem::erdos_renyi(1 << 10, 1 << 10, 32, 8, 77));
     let flops = fused_flops(prob.nnz(), 32);
-    let mut g = c.benchmark_group("distributed_fusedmm_p16");
-    g.throughput(Throughput::Elements(flops));
+    header("distributed FusedMM, p = 16");
     for alg in Algorithm::all_benchmarked() {
         // Smallest replication factor the family admits beyond 1
         // (2.5D grids need square layers: c = 4 at p = 16).
         let cc = if alg.family.valid_c(p, 2) { 2 } else { 4 };
         let staged = Arc::new(StagedProblem::new(Arc::clone(&prob)));
-        g.bench_with_input(
-            BenchmarkId::from_parameter(alg.label()),
-            &alg,
-            |bench, &alg| {
-                bench.iter(|| {
-                    let w = SimWorld::new(p, MachineModel::cori_knl());
-                    let staged = Arc::clone(&staged);
-                    let out = w.run(move |comm| {
-                        let mut worker = DistWorker::from_staged(comm, alg.family, cc, &staged);
-                        let out = worker.fused_mm_b(alg.elision, Sampling::Values);
-                        out.as_slice().iter().sum::<f64>()
-                    });
-                    out.len()
-                });
-            },
-        );
+        case("fusedmm", &alg.label(), Some(flops), || {
+            let w = SimWorld::new(p, MachineModel::cori_knl());
+            let staged = Arc::clone(&staged);
+            let out = w.run(move |comm| {
+                let mut worker = KernelBuilder::from_staged(&staged)
+                    .algorithm(alg)
+                    .replication(cc)
+                    .build(comm);
+                let out = worker.fused_mm_b(None, alg.elision, Sampling::Values);
+                out.as_slice().iter().sum::<f64>()
+            });
+            assert_eq!(out.len(), p);
+        });
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_fused_families
-}
-criterion_main!(benches);

@@ -1,8 +1,8 @@
-//! Criterion micro-benchmarks for the shared-memory local kernels: the
-//! per-step work every distributed algorithm performs between
-//! communication events (the paper's MKL/OpenMP analogue).
+//! Micro-benchmarks for the shared-memory local kernels: the per-step
+//! work every distributed algorithm performs between communication
+//! events (the paper's MKL/OpenMP analogue). Run with `cargo bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dsk_bench::microbench::{case, header};
 use dsk_dense::Mat;
 use dsk_kernels as kern;
 use dsk_sparse::{gen, CsrMatrix};
@@ -14,67 +14,62 @@ fn setup(n: usize, nnz_per_row: usize, r: usize) -> (CsrMatrix, Mat, Mat) {
     (s, a, b)
 }
 
-fn bench_spmm(c: &mut Criterion) {
-    let mut g = c.benchmark_group("spmm");
-    for r in [32usize, 128] {
-        let (s, _, b) = setup(1 << 12, 8, r);
-        let flops = kern::spmm_flops(s.nnz(), r);
-        g.throughput(Throughput::Elements(flops));
-        g.bench_with_input(BenchmarkId::new("serial", r), &r, |bench, _| {
-            let mut out = Mat::zeros(s.nrows(), r);
-            bench.iter(|| kern::spmm_csr_acc(&mut out, &s, &b));
-        });
-        g.bench_with_input(BenchmarkId::new("rayon", r), &r, |bench, _| {
-            let mut out = Mat::zeros(s.nrows(), r);
-            bench.iter(|| kern::par_spmm_csr_acc(&mut out, &s, &b));
-        });
-    }
-    g.finish();
-}
-
-fn bench_sddmm(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sddmm");
+fn main() {
+    header("local kernels (n = 4096, 8 nnz/row)");
     for r in [32usize, 128] {
         let (s, a, b) = setup(1 << 12, 8, r);
-        g.throughput(Throughput::Elements(kern::sddmm_flops(s.nnz(), r)));
-        g.bench_with_input(BenchmarkId::new("serial", r), &r, |bench, _| {
-            let mut acc = vec![0.0; s.nnz()];
-            bench.iter(|| kern::sddmm_csr_acc(&mut acc, &s, &a, &b));
-        });
-        g.bench_with_input(BenchmarkId::new("rayon", r), &r, |bench, _| {
-            let mut acc = vec![0.0; s.nnz()];
-            bench.iter(|| kern::sddmm::par_sddmm_csr_acc(&mut acc, &s, &a, &b));
-        });
-    }
-    g.finish();
-}
-
-fn bench_fused(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fused_local");
-    for r in [32usize, 128] {
-        let (s, a, b) = setup(1 << 12, 8, r);
-        g.throughput(Throughput::Elements(kern::fused_flops(s.nnz(), r)));
-        // Fused kernel vs SDDMM-then-SpMM with materialized intermediate.
-        g.bench_with_input(BenchmarkId::new("fused", r), &r, |bench, _| {
+        let spmm_flops = kern::spmm_flops(s.nnz(), r);
+        {
             let mut out = Mat::zeros(s.nrows(), r);
-            bench.iter(|| kern::fused_a_csr(&mut out, &s, &a, &b));
-        });
-        g.bench_with_input(BenchmarkId::new("unfused", r), &r, |bench, _| {
-            let mut out = Mat::zeros(s.nrows(), r);
-            bench.iter(|| {
-                let vals = kern::sddmm_csr(&s, &a, &b);
-                let mut rmat = s.clone();
-                rmat.set_vals(vals);
-                kern::spmm_csr_acc(&mut out, &rmat, &b);
+            case("spmm", &format!("serial/r={r}"), Some(spmm_flops), || {
+                kern::spmm_csr_acc(&mut out, &s, &b)
             });
-        });
+        }
+        {
+            let mut out = Mat::zeros(s.nrows(), r);
+            case("spmm", &format!("parallel/r={r}"), Some(spmm_flops), || {
+                kern::par_spmm_csr_acc(&mut out, &s, &b)
+            });
+        }
+        let sddmm_flops = kern::sddmm_flops(s.nnz(), r);
+        {
+            let mut acc = vec![0.0; s.nnz()];
+            case("sddmm", &format!("serial/r={r}"), Some(sddmm_flops), || {
+                kern::sddmm_csr_acc(&mut acc, &s, &a, &b)
+            });
+        }
+        {
+            let mut acc = vec![0.0; s.nnz()];
+            case(
+                "sddmm",
+                &format!("parallel/r={r}"),
+                Some(sddmm_flops),
+                || kern::sddmm::par_sddmm_csr_acc(&mut acc, &s, &a, &b),
+            );
+        }
+        let fused_flops = kern::fused_flops(s.nnz(), r);
+        {
+            let mut out = Mat::zeros(s.nrows(), r);
+            case(
+                "fused_local",
+                &format!("fused/r={r}"),
+                Some(fused_flops),
+                || kern::fused_a_csr(&mut out, &s, &a, &b),
+            );
+        }
+        {
+            let mut out = Mat::zeros(s.nrows(), r);
+            case(
+                "fused_local",
+                &format!("unfused/r={r}"),
+                Some(fused_flops),
+                || {
+                    let vals = kern::sddmm_csr(&s, &a, &b);
+                    let mut rmat = s.clone();
+                    rmat.set_vals(vals);
+                    kern::spmm_csr_acc(&mut out, &rmat, &b);
+                },
+            );
+        }
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_spmm, bench_sddmm, bench_fused
-}
-criterion_main!(benches);

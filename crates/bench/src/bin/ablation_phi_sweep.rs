@@ -40,7 +40,11 @@ fn main() {
         let nnz = prob.nnz();
         let d = run_fused_best_c(&prob, model, p, dense_shift, 16, 2).unwrap();
         let s = run_fused_best_c(&prob, model, p, sparse_shift, 16, 2).unwrap();
-        let measured = if d.comm_s() <= s.comm_s() { "dense" } else { "sparse" };
+        let measured = if d.comm_s() <= s.comm_s() {
+            "dense"
+        } else {
+            "sparse"
+        };
         let pred = theory::predict_best(&model, &[dense_shift, sparse_shift], p, dims, nnz, 16);
         let predicted = match pred.algorithm.family {
             AlgorithmFamily::DenseShift15 => "dense",

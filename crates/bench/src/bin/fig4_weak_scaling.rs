@@ -20,10 +20,17 @@ use dsk_core::theory::Algorithm;
 
 const CALLS: usize = 5;
 
+/// One weak-scaling setup: title, problem builder, rank counts.
+type Setup = (
+    &'static str,
+    fn(usize, u64) -> dsk_core::GlobalProblem,
+    Vec<usize>,
+);
+
 fn main() {
     let quick = quick_mode();
     let model = MachineModel::cori_knl();
-    let setups: Vec<(&str, fn(usize, u64) -> dsk_core::GlobalProblem, Vec<usize>)> = vec![
+    let setups: Vec<Setup> = vec![
         (
             "Weak scaling setup 1 (φ constant = 1/8)",
             workloads::weak_setup1,

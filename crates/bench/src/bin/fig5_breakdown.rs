@@ -51,7 +51,10 @@ fn main() {
             "| {:>4} | {:>2} | {:>12} | {:>12} | {:>12} | {:>7} |",
             "p", "c", "repl (s)", "prop (s)", "comp (s)", "comm %"
         );
-        println!("|{:-<6}|{:-<4}|{:-<14}|{:-<14}|{:-<14}|{:-<9}|", "", "", "", "", "", "");
+        println!(
+            "|{:-<6}|{:-<4}|{:-<14}|{:-<14}|{:-<14}|{:-<9}|",
+            "", "", "", "", "", ""
+        );
         for r in all.iter().filter(|r| r.algorithm == alg.label()) {
             println!(
                 "| {:>4} | {:>2} | {:>12.4} | {:>12.4} | {:>12.4} | {:>6.1}% |",

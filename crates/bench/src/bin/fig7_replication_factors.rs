@@ -72,6 +72,10 @@ fn main() {
     }
     println!(
         "\noptimal-c ordering LKF ≤ None ≤ Reuse observed at every p: {}",
-        if ordering_ok { "yes (as predicted)" } else { "no" }
+        if ordering_ok {
+            "yes (as predicted)"
+        } else {
+            "no"
+        }
     );
 }

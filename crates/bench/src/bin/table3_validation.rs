@@ -31,7 +31,15 @@ fn main() {
     );
     println!(
         "| {:<42} | {:>4} | {:>2} | {:>12} | {:>12} | {:>6} | {:>9} | {:>9} | {:>6} |",
-        "algorithm", "p", "c", "words meas", "words model", "ratio", "msgs meas", "msgs model", "ratio"
+        "algorithm",
+        "p",
+        "c",
+        "words meas",
+        "words model",
+        "ratio",
+        "msgs meas",
+        "msgs model",
+        "ratio"
     );
     println!(
         "|{:-<44}|{:-<6}|{:-<4}|{:-<14}|{:-<14}|{:-<8}|{:-<11}|{:-<11}|{:-<8}|",

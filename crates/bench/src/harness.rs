@@ -4,16 +4,14 @@
 use std::sync::Arc;
 
 use dsk_comm::{AggregateStats, MachineModel, Phase, SimWorld};
-use dsk_core::baseline::Baseline1D;
+use dsk_core::kernel::KernelBuilder;
 use dsk_core::theory::Algorithm;
-use dsk_core::worker::DistWorker;
 use dsk_core::{GlobalProblem, Sampling, StagedProblem};
-use serde::{Deserialize, Serialize};
 
 /// One experiment row: an algorithm at a replication factor on a
 /// problem, with modeled time broken down the way the paper's figures
 /// report it.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FusedRow {
     /// Algorithm label (paper legend style).
     pub algorithm: String,
@@ -42,7 +40,13 @@ pub struct FusedRow {
 }
 
 impl FusedRow {
-    fn from_stats(algorithm: String, p: usize, c: usize, calls: usize, agg: &AggregateStats) -> Self {
+    fn from_stats(
+        algorithm: String,
+        p: usize,
+        c: usize,
+        calls: usize,
+        agg: &AggregateStats,
+    ) -> Self {
         let repl_s = agg.modeled_s(Phase::Replication);
         let prop_s = agg.modeled_s(Phase::Propagation);
         let comp_s = agg.modeled_s(Phase::Computation);
@@ -72,6 +76,29 @@ impl FusedRow {
     pub fn comm_s(&self) -> f64 {
         self.repl_s + self.prop_s
     }
+
+    /// One JSON object per row (the `DSK_JSON` dump format). Hand-rolled
+    /// so the workspace stays dependency-free; every field is a number or
+    /// a string without embedded quotes.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"algorithm\":\"{}\",\"p\":{},\"c\":{},\"calls\":{},\
+             \"repl_s\":{:e},\"prop_s\":{:e},\"comp_s\":{:e},\"total_s\":{:e},\
+             \"wall_s\":{:e},\"max_words_repl\":{},\"max_words_prop\":{},\"max_msgs\":{}}}",
+            self.algorithm.replace('"', "'"),
+            self.p,
+            self.c,
+            self.calls,
+            self.repl_s,
+            self.prop_s,
+            self.comp_s,
+            self.total_s,
+            self.wall_s,
+            self.max_words_repl,
+            self.max_words_prop,
+            self.max_msgs,
+        )
+    }
 }
 
 /// Run `calls` FusedMMB executions of `alg` at replication factor `c`.
@@ -86,9 +113,12 @@ pub fn run_fused(
     let staged = Arc::new(StagedProblem::new(Arc::clone(prob)));
     let world = SimWorld::new(p, model);
     let outcomes = world.run(|comm| {
-        let mut worker = DistWorker::from_staged(comm, alg.family, c, &staged);
+        let mut worker = KernelBuilder::from_staged(&staged)
+            .algorithm(alg)
+            .replication(c)
+            .build(comm);
         for _ in 0..calls {
-            let _ = worker.fused_mm_b(alg.elision, Sampling::Values);
+            let _ = worker.fused_mm_b(None, alg.elision, Sampling::Values);
         }
     });
     let stats: Vec<_> = outcomes.into_iter().map(|o| o.stats).collect();
@@ -135,7 +165,11 @@ pub fn run_fused_best_c(
                 })
                 .unwrap()
         };
-        let mut cs = vec![nearest(c_star / 2.0), nearest(c_star), nearest(c_star * 2.0)];
+        let mut cs = vec![
+            nearest(c_star / 2.0),
+            nearest(c_star),
+            nearest(c_star * 2.0),
+        ];
         cs.sort_unstable();
         cs.dedup();
         cs
@@ -161,14 +195,20 @@ pub fn run_baseline(
     let staged = Arc::new(StagedProblem::new(Arc::clone(prob)));
     let world = SimWorld::new(p, model);
     let outcomes = world.run(|comm| {
-        let worker = Baseline1D::from_staged(comm, &staged);
+        let mut worker = KernelBuilder::from_staged(&staged).baseline().build(comm);
         for _ in 0..spmm_calls {
-            let _ = worker.spmm_a(comm);
+            let _ = worker.spmm_a(false);
         }
     });
     let stats: Vec<_> = outcomes.into_iter().map(|o| o.stats).collect();
     let agg = AggregateStats::from_ranks(&stats);
-    FusedRow::from_stats("PETSc-like 1D (baseline)".to_string(), p, 1, spmm_calls, &agg)
+    FusedRow::from_stats(
+        "PETSc-like 1D (baseline)".to_string(),
+        p,
+        1,
+        spmm_calls,
+        &agg,
+    )
 }
 
 /// Render rows as a markdown table (the binaries' standard output).
@@ -200,7 +240,7 @@ pub fn maybe_dump_json(rows: &[FusedRow]) {
             .open(&path)
             .expect("cannot open DSK_JSON file");
         for r in rows {
-            writeln!(f, "{}", serde_json::to_string(r).unwrap()).unwrap();
+            writeln!(f, "{}", r.to_json()).unwrap();
         }
     }
 }

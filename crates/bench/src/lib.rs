@@ -15,7 +15,7 @@
 //! | `fig8_strong_scaling` | Fig. 8 — strong scaling on real-matrix surrogates + PETSc-like baseline |
 //! | `fig9_applications` | Fig. 9 — ALS and GAT time breakdowns |
 //!
-//! Criterion micro-benchmarks for the local kernels, the collectives,
+//! Dependency-free micro-benchmarks for the local kernels, the collectives,
 //! and small distributed runs live under `benches/`.
 //!
 //! Reported times are **modeled** (α-β-γ with Cori-like constants)
@@ -23,6 +23,7 @@
 //! of the distributed algorithms over threads; see `DESIGN.md` §3.
 
 pub mod harness;
+pub mod microbench;
 pub mod workloads;
 
 pub use harness::{run_baseline, run_fused, run_fused_best_c, FusedRow};

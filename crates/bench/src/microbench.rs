@@ -1,0 +1,51 @@
+//! A dependency-free micro-benchmark harness for the `benches/` targets
+//! (`harness = false`): warm up, run until a minimum measurement window
+//! is filled, report the median per-iteration wall time and an optional
+//! throughput. Good enough for the relative comparisons the workspace
+//! cares about (serial vs parallel kernels, fused vs unfused, algorithm
+//! families against each other); absolute numbers are machine noise.
+
+use std::time::{Duration, Instant};
+
+/// Measure `f`, returning seconds per iteration (median of batches).
+pub fn measure(mut f: impl FnMut()) -> f64 {
+    // Warm-up: one call, then size batches to ~10 ms each.
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().as_secs_f64().max(1e-9);
+    let batch = ((0.01 / once) as usize).clamp(1, 1_000_000);
+    let mut samples = Vec::with_capacity(9);
+    let deadline = Instant::now() + Duration::from_millis(300);
+    while samples.len() < 9 && (samples.len() < 3 || Instant::now() < deadline) {
+        let t = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        samples.push(t.elapsed().as_secs_f64() / batch as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// Run one named case and print a table row. `elements` (e.g. flops)
+/// turns the timing into a throughput column.
+pub fn case(group: &str, name: &str, elements: Option<u64>, f: impl FnMut()) {
+    let s_per_iter = measure(f);
+    match elements {
+        Some(e) => println!(
+            "{group:<28} {name:<24} {:>12.3} µs/iter {:>10.2} Gelem/s",
+            s_per_iter * 1e6,
+            e as f64 / s_per_iter / 1e9
+        ),
+        None => println!("{group:<28} {name:<24} {:>12.3} µs/iter", s_per_iter * 1e6),
+    }
+}
+
+/// Header line for a bench binary.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+    println!(
+        "{:<28} {:<24} {:>17} {:>18}",
+        "group", "case", "time", "throughput"
+    );
+}

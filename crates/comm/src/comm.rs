@@ -11,7 +11,7 @@ use std::cell::Cell;
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::model::MachineModel;
 use crate::payload::Payload;
@@ -114,11 +114,11 @@ impl Comm {
     /// Flush wall-clock time since the last transition into the currently
     /// active phase and reset the anchor.
     fn flush_wall(&self) {
-        let mut anchor = self.shared.wall_anchor.lock();
+        let mut anchor = self.shared.wall_anchor.lock().unwrap();
         let now = Instant::now();
         let elapsed = now.duration_since(*anchor).as_secs_f64();
         *anchor = now;
-        let mut stats = self.shared.stats.lock();
+        let mut stats = self.shared.stats.lock().unwrap();
         let cur = stats.current_phase();
         stats.record_wall(cur, elapsed);
     }
@@ -127,7 +127,7 @@ impl Comm {
     /// Prefer the RAII [`Comm::phase`] guard.
     pub fn set_phase(&self, p: Phase) -> Phase {
         self.flush_wall();
-        self.shared.stats.lock().set_phase(p)
+        self.shared.stats.lock().unwrap().set_phase(p)
     }
 
     /// RAII guard: activates `p` until dropped, then restores the
@@ -143,7 +143,7 @@ impl Comm {
     pub fn compute<R>(&self, flops: u64, f: impl FnOnce() -> R) -> R {
         let _g = self.phase(Phase::Computation);
         let t = self.model.flop_time(flops);
-        self.shared.stats.lock().record_flops(flops, t);
+        self.shared.stats.lock().unwrap().record_flops(flops, t);
         f()
     }
 
@@ -151,26 +151,26 @@ impl Comm {
     /// callers that manage phases themselves).
     pub fn record_flops(&self, flops: u64) {
         let t = self.model.flop_time(flops);
-        self.shared.stats.lock().record_flops(flops, t);
+        self.shared.stats.lock().unwrap().record_flops(flops, t);
     }
 
     /// Pause statistics (verification / data-staging traffic). Returns a
     /// guard; accounting resumes when it drops.
     pub fn paused_stats(&self) -> PauseGuard<'_> {
         self.flush_wall();
-        let prev = self.shared.stats.lock().set_paused(true);
+        let prev = self.shared.stats.lock().unwrap().set_paused(true);
         PauseGuard { comm: self, prev }
     }
 
     /// Snapshot of this rank's statistics.
     pub fn stats_snapshot(&self) -> RankStats {
-        self.shared.stats.lock().clone()
+        self.shared.stats.lock().unwrap().clone()
     }
 
     /// Reset this rank's statistics to zero (keeps the current phase).
     pub fn reset_stats(&self) {
         self.flush_wall();
-        let mut stats = self.shared.stats.lock();
+        let mut stats = self.shared.stats.lock().unwrap();
         let phase = stats.current_phase();
         let paused = stats.is_paused();
         *stats = RankStats::default();
@@ -201,7 +201,7 @@ impl Comm {
     pub fn send<T: Payload>(&self, dst: usize, tag: u32, value: T) {
         let words = value.words() as u64;
         let t = self.model.msg_time(words);
-        self.shared.stats.lock().record_send(words, t);
+        self.shared.stats.lock().unwrap().record_send(words, t);
         self.post_to(dst, tag, Box::new(value));
     }
 
@@ -211,12 +211,14 @@ impl Comm {
         let v = self.recv_uncharged::<T>(src, tag);
         let words = v.words() as u64;
         let t = self.model.msg_time(words);
-        self.shared.stats.lock().record_recv(words, t);
+        self.shared.stats.lock().unwrap().record_recv(words, t);
         v
     }
 
     fn recv_uncharged<T: Payload>(&self, src: usize, tag: u32) -> T {
-        let msg = self.transport.take(self.my_global_rank(), self.key_from(src, tag));
+        let msg = self
+            .transport
+            .take(self.my_global_rank(), self.key_from(src, tag));
         match msg.downcast::<T>() {
             Ok(b) => *b,
             Err(_) => panic!(
@@ -242,7 +244,7 @@ impl Comm {
         let v = self.recv_uncharged::<T>(src, tag);
         let words_in = v.words() as u64;
         let t = self.model.msg_time(words_out.max(words_in));
-        let mut stats = self.shared.stats.lock();
+        let mut stats = self.shared.stats.lock().unwrap();
         stats.record_send(words_out, 0.0);
         stats.record_recv(words_in, t);
         v
@@ -321,9 +323,9 @@ pub struct PauseGuard<'a> {
 impl Drop for PauseGuard<'_> {
     fn drop(&mut self) {
         self.comm.flush_wall();
-        self.comm.shared.stats.lock().set_paused(self.prev);
+        self.comm.shared.stats.lock().unwrap().set_paused(self.prev);
         // Reset the anchor so paused wall time is not charged later.
-        *self.comm.shared.wall_anchor.lock() = Instant::now();
+        *self.comm.shared.wall_anchor.lock().unwrap() = Instant::now();
     }
 }
 

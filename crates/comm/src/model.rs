@@ -11,12 +11,10 @@
 //! function of φ, optimal replication factors, elision savings) depend on
 //! processor count and matrix shape, not on the absolute constants.
 
-use serde::{Deserialize, Serialize};
-
 /// Machine cost model: per-message latency, inverse bandwidth, per-flop
 /// time. One *word* is 8 bytes (one `f64`, or one index counted the way
 /// the paper counts COO coordinates).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MachineModel {
     /// Per-message latency in seconds (the α of the α-β model).
     pub alpha_s: f64,

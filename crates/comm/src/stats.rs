@@ -8,10 +8,8 @@
 //! taxonomy, and every [`Comm`](crate::Comm) operation charges the
 //! currently-active phase.
 
-use serde::{Deserialize, Serialize};
-
 /// Which part of a distributed kernel (or application) time is charged to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Phase {
     /// Fiber-axis collectives that create or merge replicas of a matrix
     /// (all-gather of inputs, reduce-scatter of outputs).
@@ -71,7 +69,7 @@ impl Phase {
 }
 
 /// Counters accumulated for a single phase on a single rank.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
 pub struct PhaseCounters {
     /// Messages sent by this rank.
     pub msgs_sent: u64,
@@ -103,7 +101,7 @@ impl PhaseCounters {
 }
 
 /// All per-phase counters for one rank, plus the currently active phase.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RankStats {
     per_phase: [PhaseCounters; N_PHASES],
     current: Phase,
@@ -232,7 +230,7 @@ impl RankStats {
 /// Cross-rank aggregation of [`RankStats`]: the paper's "communication
 /// cost" is the *maximum* over processors of time spent communicating,
 /// while volumes are usually reported as totals.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct AggregateStats {
     /// Number of ranks aggregated.
     pub nranks: usize,

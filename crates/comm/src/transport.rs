@@ -14,7 +14,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
 
 /// Message routing key: (global source rank, communicator context, tag).
 pub type MsgKey = (usize, u64, u32);
@@ -33,6 +33,13 @@ pub struct Transport {
     cvs: Vec<Condvar>,
     nranks: usize,
     recv_timeout: Duration,
+}
+
+/// Lock a slot, tolerating poison: a rank that panicked (e.g. the
+/// receive watchdog) must not turn every other rank's mailbox access
+/// into an opaque `PoisonError` panic that buries the real diagnostic.
+fn lock_slot(m: &Mutex<Slot>) -> MutexGuard<'_, Slot> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 impl Transport {
@@ -56,7 +63,7 @@ impl Transport {
     /// Deposit a message into `dst`'s mailbox.
     pub fn post(&self, dst: usize, key: MsgKey, msg: AnyMsg) {
         debug_assert!(dst < self.nranks, "post to nonexistent rank {dst}");
-        let mut slot = self.slots[dst].lock();
+        let mut slot = lock_slot(&self.slots[dst]);
         slot.queues.entry(key).or_default().push_back(msg);
         drop(slot);
         self.cvs[dst].notify_all();
@@ -69,7 +76,7 @@ impl Transport {
     /// Panics if no message arrives within the watchdog timeout — this
     /// indicates a mismatched send/receive pattern in the algorithm.
     pub fn take(&self, me: usize, key: MsgKey) -> AnyMsg {
-        let mut slot = self.slots[me].lock();
+        let mut slot = lock_slot(&self.slots[me]);
         loop {
             if let Some(q) = slot.queues.get_mut(&key) {
                 if let Some(m) = q.pop_front() {
@@ -79,10 +86,14 @@ impl Transport {
                     return m;
                 }
             }
-            let timed_out = self.cvs[me]
-                .wait_for(&mut slot, self.recv_timeout)
-                .timed_out();
-            if timed_out {
+            let (guard, res) = self.cvs[me]
+                .wait_timeout(slot, self.recv_timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            slot = guard;
+            if res.timed_out() {
+                // Release the mailbox before panicking so other ranks
+                // fail on their own terms, not on a poisoned lock.
+                drop(slot);
                 panic!(
                     "rank {me}: receive watchdog expired after {:?} waiting for \
                      message from rank {} (context {:#x}, tag {}) — \
@@ -95,7 +106,7 @@ impl Transport {
 
     /// Non-blocking probe: is a message for `key` queued at `me`?
     pub fn probe(&self, me: usize, key: MsgKey) -> bool {
-        let slot = self.slots[me].lock();
+        let slot = lock_slot(&self.slots[me]);
         slot.queues.get(&key).is_some_and(|q| !q.is_empty())
     }
 
@@ -104,7 +115,13 @@ impl Transport {
     pub fn pending_messages(&self) -> usize {
         self.slots
             .iter()
-            .map(|s| s.lock().queues.values().map(VecDeque::len).sum::<usize>())
+            .map(|s| {
+                lock_slot(s)
+                    .queues
+                    .values()
+                    .map(VecDeque::len)
+                    .sum::<usize>()
+            })
             .sum()
     }
 }

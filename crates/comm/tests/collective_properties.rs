@@ -1,31 +1,38 @@
-//! Property-based tests of the collectives: correctness over random
-//! world sizes, payload lengths, and roots, plus accounting invariants.
-
-use proptest::prelude::*;
+//! Randomized tests of the collectives: correctness over random world
+//! sizes, payload lengths, and roots, plus accounting invariants. Cases
+//! are drawn from a seeded PRNG so failures reproduce exactly.
 
 use dsk_comm::{MachineModel, Phase, SimWorld};
+use dsk_rng::Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: usize = 24;
 
-    /// Broadcast delivers the root's value to everyone, for any root.
-    #[test]
-    fn broadcast_any_root(p in 1usize..10, root in 0usize..10, len in 0usize..40) {
-        let root = root % p;
+/// Broadcast delivers the root's value to everyone, for any root.
+#[test]
+fn broadcast_any_root() {
+    let mut rng = Rng::seed_from_u64(0xC001);
+    for _ in 0..CASES {
+        let p = 1 + rng.gen_index(9);
+        let root = rng.gen_index(p);
+        let len = rng.gen_index(40);
         let w = SimWorld::new(p, MachineModel::bandwidth_only());
         let out = w.run(move |comm| {
             let v = (comm.rank() == root).then(|| vec![root as f64; len]);
             comm.broadcast(root, v)
         });
         for o in &out {
-            prop_assert_eq!(&o.value, &vec![root as f64; len]);
+            assert_eq!(&o.value, &vec![root as f64; len]);
         }
     }
+}
 
-    /// All-gather returns contributions in rank order for ragged
-    /// payloads.
-    #[test]
-    fn allgather_ragged(p in 1usize..9, seed in 0u64..100) {
+/// All-gather returns contributions in rank order for ragged payloads.
+#[test]
+fn allgather_ragged() {
+    let mut rng = Rng::seed_from_u64(0xC002);
+    for _ in 0..CASES {
+        let p = 1 + rng.gen_index(8);
+        let seed = rng.next_u64() % 100;
         let w = SimWorld::new(p, MachineModel::bandwidth_only());
         let out = w.run(move |comm| {
             let len = ((seed as usize + comm.rank() * 7) % 5) + 1;
@@ -33,18 +40,23 @@ proptest! {
             comm.allgather(mine)
         });
         for o in &out {
-            prop_assert_eq!(o.value.len(), p);
+            assert_eq!(o.value.len(), p);
             for (rk, part) in o.value.iter().enumerate() {
                 let len = ((seed as usize + rk * 7) % 5) + 1;
-                prop_assert_eq!(part, &vec![rk as f64; len]);
+                assert_eq!(part, &vec![rk as f64; len]);
             }
         }
     }
+}
 
-    /// Reduce-scatter equals the serial sum restricted to each rank's
-    /// block, for any buffer length (including lengths smaller than p).
-    #[test]
-    fn reduce_scatter_any_length(p in 1usize..9, len in 0usize..30) {
+/// Reduce-scatter equals the serial sum restricted to each rank's
+/// block, for any buffer length (including lengths smaller than p).
+#[test]
+fn reduce_scatter_any_length() {
+    let mut rng = Rng::seed_from_u64(0xC003);
+    for _ in 0..CASES {
+        let p = 1 + rng.gen_index(8);
+        let len = rng.gen_index(30);
         let w = SimWorld::new(p, MachineModel::bandwidth_only());
         let out = w.run(move |comm| {
             let buf: Vec<f64> = (0..len).map(|i| (i + comm.rank()) as f64).collect();
@@ -57,12 +69,17 @@ proptest! {
         for o in &out {
             reassembled.extend_from_slice(&o.value);
         }
-        prop_assert_eq!(reassembled, serial);
+        assert_eq!(reassembled, serial);
     }
+}
 
-    /// All-to-all routes every personalized payload to its addressee.
-    #[test]
-    fn alltoallv_routes(p in 1usize..8, base in 0usize..5) {
+/// All-to-all routes every personalized payload to its addressee.
+#[test]
+fn alltoallv_routes() {
+    let mut rng = Rng::seed_from_u64(0xC004);
+    for _ in 0..CASES {
+        let p = 1 + rng.gen_index(7);
+        let base = rng.gen_index(5);
         let w = SimWorld::new(p, MachineModel::bandwidth_only());
         let out = w.run(move |comm| {
             let me = comm.rank();
@@ -73,15 +90,23 @@ proptest! {
         });
         for o in &out {
             for (src, payload) in o.value.iter().enumerate() {
-                prop_assert_eq!(payload, &vec![(src * 100 + o.rank) as f64; base + (o.rank % 3)]);
+                assert_eq!(
+                    payload,
+                    &vec![(src * 100 + o.rank) as f64; base + (o.rank % 3)]
+                );
             }
         }
     }
+}
 
-    /// Sends always balance receives globally, whatever the traffic
-    /// pattern.
-    #[test]
-    fn accounting_balances(p in 2usize..8, rounds in 1usize..4) {
+/// Sends always balance receives globally, whatever the traffic
+/// pattern.
+#[test]
+fn accounting_balances() {
+    let mut rng = Rng::seed_from_u64(0xC005);
+    for _ in 0..CASES {
+        let p = 2 + rng.gen_index(6);
+        let rounds = 1 + rng.gen_index(3);
         let w = SimWorld::new(p, MachineModel::bandwidth_only());
         let out = w.run(move |comm| {
             let _g = comm.phase(Phase::Propagation);
@@ -92,13 +117,15 @@ proptest! {
         });
         let sent: u64 = out.iter().map(|o| o.stats.total().words_sent).sum();
         let recvd: u64 = out.iter().map(|o| o.stats.total().words_recv).sum();
-        prop_assert_eq!(sent, recvd);
+        assert_eq!(sent, recvd);
     }
+}
 
-    /// Nested splits produce consistent sub-groups: splitting a split
-    /// yields the expected memberships and working collectives.
-    #[test]
-    fn nested_splits_work(p in 4usize..9) {
+/// Nested splits produce consistent sub-groups: splitting a split
+/// yields the expected memberships and working collectives.
+#[test]
+fn nested_splits_work() {
+    for p in 4usize..9 {
         let w = SimWorld::new(p, MachineModel::bandwidth_only());
         let out = w.run(move |comm| {
             let half = comm.split_by(|r| (r % 2) as u64);
@@ -110,9 +137,9 @@ proptest! {
             // Members of my quarter group: same rank mod 2, and same
             // position-parity within the half group.
             for &m in &o.value {
-                prop_assert_eq!(m % 2, o.rank % 2);
+                assert_eq!(m % 2, o.rank % 2);
             }
-            prop_assert!(o.value.contains(&o.rank));
+            assert!(o.value.contains(&o.rank));
         }
     }
 }

@@ -67,9 +67,12 @@ fn grid25_axes_are_orthogonal() {
             let g = v[0] as usize;
             grid.row_pos(g) == gc.u && grid.col_pos(g) == gc.v
         });
-        let plane_ok = plane.iter().all(|v| grid.row_pos(v[0] as usize) == gc.u)
-            && plane.len() == grid.q * c;
-        row_ok && col_ok && fib_ok && plane_ok
+        let plane_ok =
+            plane.iter().all(|v| grid.row_pos(v[0] as usize) == gc.u) && plane.len() == grid.q * c;
+        row_ok
+            && col_ok
+            && fib_ok
+            && plane_ok
             && gc.row_ring.rank() == gc.v
             && gc.col_ring.rank() == gc.u
             && gc.fiber.rank() == gc.w
@@ -90,9 +93,7 @@ fn grid25_cannon_skew_alignment() {
         let q = grid.q;
         let sigma0 = (gc.u + gc.v) % q;
         // Send my σ₀ backward along the row ring (to v-1, from v+1).
-        let got = gc
-            .row_ring
-            .shift(q - 1, 3, vec![sigma0 as f64]);
+        let got = gc.row_ring.shift(q - 1, 3, vec![sigma0 as f64]);
         let arrived = got[0] as usize;
         arrived == (gc.u + gc.v + 1) % q
     });

@@ -1,4 +1,4 @@
-//! The PETSc-like 1D block-row SpMM baseline.
+//! The PETSc-like 1D block-row baseline.
 //!
 //! The paper benchmarks against PETSc's `MatMatMult`, which requires a
 //! 1D block-row distribution for every matrix and performs no
@@ -8,22 +8,29 @@
 //! scales poorly as `p` grows — on power-law matrices almost every rank
 //! ends up fetching almost every row, which is why the paper reports
 //! ≥10× speedups over this baseline. Following the paper, a FusedMM is
-//! benchmarked as two back-to-back SpMM calls.
+//! benchmarked as two back-to-back kernel calls with no reuse.
 //!
 //! The scatter *plan* (which rows go where) is computed once at
 //! construction, mirroring PETSc's amortized symbolic phase; every call
 //! pays the data movement.
+//!
+//! The baseline is a full [`DistKernel`] citizen: the same scatter that
+//! feeds SpMM feeds an SDDMM (fetch the `B` rows, dot them against the
+//! local `A` rows), so FusedMM, the generalized combine, and the R-value
+//! surface all work — at the baseline's unfavorable communication cost,
+//! which is the point of benchmarking it.
 
 use dsk_comm::{Comm, Phase};
 use dsk_dense::Mat;
 use dsk_kernels as kern;
 use dsk_sparse::partition::block_owner;
-use dsk_sparse::CsrMatrix;
+use dsk_sparse::{CooMatrix, CsrMatrix};
 
-use crate::common::{block_range, ProblemDims};
+use crate::common::{block_range, Elision, ProblemDims, Sampling};
 use crate::global::GlobalProblem;
-use crate::staged::StagedProblem;
+use crate::kernel::{CombineSpec, DistKernel, KernelId};
 use crate::layout::DenseLayout;
+use crate::staged::StagedProblem;
 
 /// One direction's scatter plan and remapped local matrix.
 struct Plan {
@@ -36,20 +43,30 @@ struct Plan {
     /// Number of rows fetched from each peer (for assembling the
     /// stacked operand).
     fetch_counts: Vec<usize>,
+    /// Global operand-row index of each stacked-operand index (inverse
+    /// of the column remap; needed to report results in global
+    /// coordinates).
+    inv_col: Vec<u32>,
 }
 
 /// Per-rank state of the 1D block-row baseline.
 pub struct Baseline1D {
     dims: ProblemDims,
     p: usize,
+    /// World communicator (duplicated; owned by the worker so the
+    /// [`DistKernel`] surface needs no per-call communicator).
+    comm: Comm,
     /// Local block rows of `A` (rows `block(m, p, rank)`).
     pub a_loc: Mat,
     /// Local block rows of `B` (rows `block(n, p, rank)`).
     pub b_loc: Mat,
-    /// Plan for SpMMA (`S·B`: fetches `B` rows).
+    /// Plan for SpMMA / SDDMM (`S`-oriented: fetches `B` rows).
     plan_a: Plan,
-    /// Plan for SpMMB (`Sᵀ·A`: fetches `A` rows).
+    /// Plan for SpMMB (`Sᵀ`-oriented: fetches `A` rows).
     plan_b: Plan,
+    /// SDDMM result values, aligned with `plan_a.s_remapped`'s CSR
+    /// nonzero order.
+    r_vals: Option<Vec<f64>>,
 }
 
 impl Baseline1D {
@@ -83,10 +100,12 @@ impl Baseline1D {
         Baseline1D {
             dims: prob.dims,
             p,
+            comm: comm.dup(),
             a_loc,
             b_loc,
             plan_a,
             plan_b,
+            r_vals: None,
         }
     }
 
@@ -134,10 +153,15 @@ impl Baseline1D {
             };
             remapped.push(i, col as usize, v);
         }
+        let mut inv_col: Vec<u32> = (my_range.start as u32..my_range.end as u32).collect();
+        for reqs in &requests {
+            inv_col.extend_from_slice(reqs);
+        }
         Plan {
             s_remapped: CsrMatrix::from_coo(&remapped),
             serve,
             fetch_counts,
+            inv_col,
         }
     }
 
@@ -180,19 +204,34 @@ impl Baseline1D {
     }
 
     /// Distributed SpMMA: `S·B` in 1D block rows (PETSc `MatMatMult`
-    /// analogue).
-    pub fn spmm_a(&self, comm: &Comm) -> Mat {
-        let operand = self.scatter_operand(comm, &self.plan_a, &self.b_loc, self.dims.n);
+    /// analogue). `vals` overrides the sparse values (R-valued SpMM).
+    fn spmm_a_vals(&self, comm: &Comm, operand_b: &Mat, vals: Option<&[f64]>) -> Mat {
+        let operand = self.scatter_operand(comm, &self.plan_a, operand_b, self.dims.n);
         let s = &self.plan_a.s_remapped;
         let mut out = Mat::zeros(s.nrows(), self.dims.r);
+        let owned;
+        let s_ref = match vals {
+            Some(v) => {
+                let mut sv = s.clone();
+                sv.set_vals(v.to_vec());
+                owned = sv;
+                &owned
+            }
+            None => s,
+        };
         comm.compute(kern::spmm_flops(s.nnz(), self.dims.r), || {
-            kern::spmm_csr_acc(&mut out, s, &operand)
+            kern::spmm_csr_acc(&mut out, s_ref, &operand)
         });
         out
     }
 
+    /// Distributed SpMMA on the stored operands.
+    pub fn spmm_a_on(&self, comm: &Comm) -> Mat {
+        self.spmm_a_vals(comm, &self.b_loc, None)
+    }
+
     /// Distributed SpMMB: `Sᵀ·A` in 1D block rows.
-    pub fn spmm_b(&self, comm: &Comm) -> Mat {
+    pub fn spmm_b_on(&self, comm: &Comm) -> Mat {
         let operand = self.scatter_operand(comm, &self.plan_b, &self.a_loc, self.dims.m);
         let s = &self.plan_b.s_remapped;
         let mut out = Mat::zeros(s.nrows(), self.dims.r);
@@ -206,7 +245,240 @@ impl Baseline1D {
     /// SpMM calls (SDDMM has identical flop and communication
     /// requirements to SpMM, so this is a fair stand-in).
     pub fn fused_surrogate(&self, comm: &Comm) -> (Mat, Mat) {
-        (self.spmm_a(comm), self.spmm_a(comm))
+        (self.spmm_a_on(comm), self.spmm_a_on(comm))
+    }
+
+    /// Raw SDDMM accumulations through the `S`-oriented plan: fetch the
+    /// needed `B` rows, combine them against the local `A`-side rows
+    /// `x`. Values are aligned with `plan_a.s_remapped`'s CSR order; no
+    /// sampling applied.
+    fn dots_a(&self, comm: &Comm, x: &Mat, combine: &CombineSpec) -> Vec<f64> {
+        let operand = self.scatter_operand(comm, &self.plan_a, &self.b_loc, self.dims.n);
+        let s = &self.plan_a.s_remapped;
+        let mut acc = vec![0.0; s.nnz()];
+        comm.compute(kern::sddmm_flops(s.nnz(), self.dims.r), || {
+            kern::sddmm::sddmm_csr_acc_with(
+                &mut acc,
+                s,
+                x,
+                &operand,
+                combine.for_slice(0..self.dims.r),
+            )
+        });
+        acc
+    }
+
+    fn sample(vals: &mut [f64], sampling_vals: &[f64], sampling: Sampling) {
+        if let Sampling::Values = sampling {
+            kern::apply_sampling(vals, sampling_vals);
+        }
+    }
+}
+
+impl DistKernel for Baseline1D {
+    fn id(&self) -> KernelId {
+        KernelId::Baseline1D
+    }
+
+    fn dims(&self) -> ProblemDims {
+        self.dims
+    }
+
+    fn supports(&self, elision: Elision) -> bool {
+        elision == Elision::None
+    }
+
+    fn sddmm(&mut self) {
+        let mut vals = {
+            let this = &*self;
+            this.dots_a(&this.comm, &this.a_loc, &CombineSpec::Dot)
+        };
+        Self::sample(&mut vals, self.plan_a.s_remapped.vals(), Sampling::Values);
+        self.r_vals = Some(vals);
+    }
+
+    fn sddmm_general(&mut self, combine: &CombineSpec) {
+        let vals = {
+            let this = &*self;
+            this.dots_a(&this.comm, &this.a_loc, combine)
+        };
+        self.r_vals = Some(vals);
+    }
+
+    fn spmm_a(&mut self, use_r: bool) -> Mat {
+        let this = &*self;
+        if use_r {
+            let r = this.r_vals.as_deref().expect("no SDDMM result");
+            this.spmm_a_vals(&this.comm, &this.b_loc, Some(r))
+        } else {
+            this.spmm_a_on(&this.comm)
+        }
+    }
+
+    fn spmm_b(&mut self, use_r: bool) -> Mat {
+        assert!(
+            !use_r,
+            "the 1D baseline stores R in the S orientation; Rᵀ·A would \
+             need a value redistribution the baseline does not implement"
+        );
+        let this = &*self;
+        this.spmm_b_on(&this.comm)
+    }
+
+    fn fused_mm_a(&mut self, x: Option<&Mat>, elision: Elision, sampling: Sampling) -> Mat {
+        assert!(
+            matches!(elision, Elision::None),
+            "the 1D baseline admits no communication elision"
+        );
+        let this = &*self;
+        let x = x.unwrap_or(&this.a_loc);
+        let mut vals = this.dots_a(&this.comm, x, &CombineSpec::Dot);
+        Self::sample(&mut vals, this.plan_a.s_remapped.vals(), sampling);
+        // Back-to-back second kernel: pays the scatter again.
+        this.spmm_a_vals(&this.comm, &this.b_loc, Some(&vals))
+    }
+
+    fn fused_mm_b(&mut self, y: Option<&Mat>, elision: Elision, sampling: Sampling) -> Mat {
+        assert!(
+            matches!(elision, Elision::None),
+            "the 1D baseline admits no communication elision"
+        );
+        let this = &*self;
+        let y = y.unwrap_or(&this.b_loc);
+        // Transposed orientation: fetch A rows, combine against local
+        // B-side rows (the dot product is symmetric).
+        let operand = this.scatter_operand(&this.comm, &this.plan_b, &this.a_loc, this.dims.m);
+        let st = &this.plan_b.s_remapped;
+        let mut vals = vec![0.0; st.nnz()];
+        this.comm
+            .compute(kern::sddmm_flops(st.nnz(), this.dims.r), || {
+                kern::sddmm::sddmm_csr_acc_with(&mut vals, st, y, &operand, kern::SddmmCombine::Dot)
+            });
+        Self::sample(&mut vals, st.vals(), sampling);
+        // Second kernel, fresh scatter: out = Rᵀ·A in B block rows.
+        let operand2 = this.scatter_operand(&this.comm, &this.plan_b, &this.a_loc, this.dims.m);
+        let mut st_r = st.clone();
+        st_r.set_vals(vals);
+        let mut out = Mat::zeros(st.nrows(), this.dims.r);
+        this.comm
+            .compute(kern::spmm_flops(st.nnz(), this.dims.r), || {
+                kern::spmm_csr_acc(&mut out, &st_r, &operand2)
+            });
+        out
+    }
+
+    fn map_r(&mut self, f: &mut dyn FnMut(f64) -> f64) {
+        let r = self.r_vals.as_mut().expect("no R values");
+        for v in r.iter_mut() {
+            *v = f(*v);
+        }
+    }
+
+    fn r_row_sums(&self, _comm: &Comm, _phase: Phase) -> Vec<f64> {
+        // Block rows are whole on one rank: sums are purely local.
+        let r = self.r_vals.as_ref().expect("no R values");
+        let s = &self.plan_a.s_remapped;
+        let indptr = s.indptr();
+        let mut sums = vec![0.0; s.nrows()];
+        for i in 0..s.nrows() {
+            for k in indptr[i]..indptr[i + 1] {
+                sums[i] += r[k];
+            }
+        }
+        sums
+    }
+
+    fn scale_r_rows(&mut self, scale: &[f64]) {
+        let r = self.r_vals.as_mut().expect("no R values");
+        let s = &self.plan_a.s_remapped;
+        let indptr = s.indptr();
+        for i in 0..s.nrows() {
+            for k in indptr[i]..indptr[i + 1] {
+                r[k] *= scale[i];
+            }
+        }
+    }
+
+    fn spmm_a_with(&mut self, y: &Mat) -> Mat {
+        let this = &*self;
+        let r = this.r_vals.as_deref().expect("no R values");
+        this.spmm_a_vals(&this.comm, y, Some(r))
+    }
+
+    fn sq_loss_local(&self) -> f64 {
+        let r = self.r_vals.as_ref().expect("no R values");
+        self.plan_a
+            .s_remapped
+            .vals()
+            .iter()
+            .zip(r)
+            .map(|(s, d)| (s - d) * (s - d))
+            .sum()
+    }
+
+    fn gather_r(&self, comm: &Comm) -> Option<CooMatrix> {
+        let r_vals = self.r_vals.as_ref().expect("no SDDMM result");
+        let (m, n) = (self.dims.m, self.dims.n);
+        let my_start = block_range(m, self.p, comm.rank()).start;
+        let s = &self.plan_a.s_remapped;
+        let indptr = s.indptr();
+        let indices = s.indices();
+        let mut local = CooMatrix::empty(m, n);
+        for i in 0..s.nrows() {
+            for k in indptr[i]..indptr[i + 1] {
+                let j = self.plan_a.inv_col[indices[k] as usize] as usize;
+                local.push(my_start + i, j, r_vals[k]);
+            }
+        }
+        crate::layout::gather_coo(comm, 0, local, m, n)
+    }
+
+    fn a_iterate(&self) -> Mat {
+        self.a_loc.clone()
+    }
+
+    fn b_iterate(&self) -> Mat {
+        self.b_loc.clone()
+    }
+
+    fn set_a(&mut self, _comm: &Comm, x: &Mat) {
+        assert_eq!(x.nrows(), self.a_loc.nrows(), "A iterate shape mismatch");
+        self.a_loc = x.clone();
+    }
+
+    fn set_b(&mut self, _comm: &Comm, y: &Mat) {
+        assert_eq!(y.nrows(), self.b_loc.nrows(), "B iterate shape mismatch");
+        self.b_loc = y.clone();
+    }
+
+    fn rhs_a(&mut self, _comm: &Comm) -> Mat {
+        let this = &*self;
+        this.spmm_a_on(&this.comm)
+    }
+
+    fn rhs_b(&mut self, _comm: &Comm) -> Mat {
+        let this = &*self;
+        this.spmm_b_on(&this.comm)
+    }
+
+    fn a_iterate_layout_of(&self, g: usize) -> DenseLayout {
+        Self::layout(self.dims.m, self.dims.r, self.p)(g)
+    }
+
+    fn b_iterate_layout_of(&self, g: usize) -> DenseLayout {
+        Self::layout(self.dims.n, self.dims.r, self.p)(g)
+    }
+
+    fn spmm_a_with_layout_of(&self, g: usize) -> DenseLayout {
+        Self::layout(self.dims.m, self.dims.r, self.p)(g)
+    }
+
+    fn row_group_a(&self, g: usize) -> u64 {
+        g as u64
+    }
+
+    fn row_group_b(&self, g: usize) -> u64 {
+        g as u64
     }
 }
 
@@ -229,8 +501,8 @@ mod tests {
             let w = SimWorld::new(p, MachineModel::bandwidth_only());
             let out = w.run(move |comm| {
                 let worker = Baseline1D::from_global(comm, &prob);
-                let ga = worker.spmm_a(comm);
-                let gb = worker.spmm_b(comm);
+                let ga = worker.spmm_a_on(comm);
+                let gb = worker.spmm_b_on(comm);
                 (
                     crate::layout::gather_dense(comm, 0, &ga, &la, m, r),
                     crate::layout::gather_dense(comm, 0, &gb, &lb, n, r),
@@ -254,7 +526,7 @@ mod tests {
             let w = SimWorld::new(p, MachineModel::bandwidth_only());
             let out = w.run(move |comm| {
                 let worker = Baseline1D::from_global(comm, &pr);
-                let _ = worker.spmm_a(comm);
+                let _ = worker.spmm_a_on(comm);
             });
             let max_words = out
                 .iter()
@@ -278,7 +550,7 @@ mod tests {
             let pr = Arc::clone(&prob);
             let out = w.run(move |comm| {
                 let worker = Baseline1D::from_global(comm, &pr);
-                let _ = worker.spmm_a(comm);
+                let _ = worker.spmm_a_on(comm);
             });
             out.iter()
                 .map(|o| o.stats.phase(Phase::Propagation).words_sent)

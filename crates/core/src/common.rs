@@ -1,10 +1,9 @@
 //! Shared vocabulary types for the distributed algorithms.
 
-use serde::{Deserialize, Serialize};
 use std::ops::Range;
 
 /// Global problem dimensions: `S: m×n` sparse, `A: m×r`, `B: n×r` dense.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ProblemDims {
     /// Rows of `S` and `A`.
     pub m: usize,
@@ -29,7 +28,7 @@ impl ProblemDims {
 }
 
 /// The four sparsity-agnostic algorithm families of the paper's Fig. 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AlgorithmFamily {
     /// 1.5D dense-shifting, dense-replicating (Algorithm 1).
     DenseShift15,
@@ -65,13 +64,13 @@ impl AlgorithmFamily {
     /// one rank (only 1.5D dense shifting); the 2.5D sparse-replicating
     /// algorithm replicates no dense matrix, so nothing can be elided.
     pub fn supports(&self, e: Elision) -> bool {
-        match (self, e) {
-            (_, Elision::None) => true,
-            (AlgorithmFamily::DenseShift15, _) => true,
-            (AlgorithmFamily::SparseShift15, Elision::ReplicationReuse) => true,
-            (AlgorithmFamily::DenseRepl25, Elision::ReplicationReuse) => true,
-            _ => false,
-        }
+        matches!(
+            (self, e),
+            (_, Elision::None)
+                | (AlgorithmFamily::DenseShift15, _)
+                | (AlgorithmFamily::SparseShift15, Elision::ReplicationReuse)
+                | (AlgorithmFamily::DenseRepl25, Elision::ReplicationReuse)
+        )
     }
 
     /// Valid replication factors for `p` ranks (2.5D needs square
@@ -92,7 +91,7 @@ impl AlgorithmFamily {
 }
 
 /// Communication-eliding strategy for a FusedMM call (paper §IV-B).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Elision {
     /// Two back-to-back kernel calls, no elision.
     None,

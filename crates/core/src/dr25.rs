@@ -31,11 +31,11 @@ use dsk_dense::Mat;
 use dsk_kernels as kern;
 use dsk_sparse::CooMatrix;
 
-use crate::common::{block_range, Elision, ProblemDims, Sampling};
+use crate::common::{block_range, AlgorithmFamily, Elision, ProblemDims, Sampling};
 use crate::global::GlobalProblem;
+use crate::kernel::{CombineSpec, DistKernel, KernelId};
+use crate::layout::{repartition_dense, DenseLayout};
 use crate::staged::StagedProblem;
-use crate::layout::DenseLayout;
-use crate::ss15::CombineSpec;
 
 /// Tag for traveling sparse blocks (row-ring).
 const TAG_SPARSE: u32 = 120;
@@ -117,7 +117,9 @@ impl DenseRepl25 {
         let sigma0 = (u + v) % q;
 
         let macro_rows: Vec<_> = (0..q).map(|uu| block_range(rows_tot, q, uu)).collect();
-        let col_blocks: Vec<_> = (0..q * c).map(|j| block_range(cols_tot, q * c, j)).collect();
+        let col_blocks: Vec<_> = (0..q * c)
+            .map(|j| block_range(cols_tot, q * c, j))
+            .collect();
         let grid_s = staged.partition(transposed, &macro_rows, &col_blocks);
         let s_home = grid_s[u][sigma0 * c + w].clone();
 
@@ -238,7 +240,7 @@ impl DenseRepl25 {
             .gc
             .fiber
             .reduce_scatter_sum_ranges(t_buf.as_slice(), &ranges);
-        let rows = if width == 0 { 0 } else { mine.len() / width };
+        let rows = mine.len().checked_div(width).unwrap_or(0);
         Mat::from_vec(rows, width, mine)
     }
 
@@ -490,8 +492,9 @@ impl DenseRepl25 {
 
     /// Replace the stored `A` operand: `fiber` in the fiber layout
     /// (canonical replicated role), `travel` in the travel layout over
-    /// `m` (transposed traveling role).
-    pub fn set_a(&mut self, fiber: Mat, travel: Mat) {
+    /// `m` (transposed traveling role). The [`DistKernel::set_a`]
+    /// implementation derives `fiber` by repartitioning.
+    pub fn set_a_parts(&mut self, fiber: Mat, travel: Mat) {
         self.canon.x_fiber = fiber;
         self.trans.y_home = travel;
     }
@@ -499,7 +502,7 @@ impl DenseRepl25 {
     /// Replace the stored `B` operand: `fiber` in the fiber layout over
     /// `n` (transposed replicated role), `travel` in the travel layout
     /// over `n` (canonical traveling role).
-    pub fn set_b(&mut self, fiber: Mat, travel: Mat) {
+    pub fn set_b_parts(&mut self, fiber: Mat, travel: Mat) {
         self.trans.x_fiber = fiber;
         self.canon.y_home = travel;
     }
@@ -531,6 +534,146 @@ impl DenseRepl25 {
             local.push(row_start + i, col_start + j, r_vals[k]);
         }
         crate::layout::gather_coo(comm, 0, local, m, n)
+    }
+}
+
+impl DistKernel for DenseRepl25 {
+    fn id(&self) -> KernelId {
+        KernelId::Family(AlgorithmFamily::DenseRepl25)
+    }
+
+    fn dims(&self) -> ProblemDims {
+        self.dims
+    }
+
+    fn supports(&self, elision: Elision) -> bool {
+        AlgorithmFamily::DenseRepl25.supports(elision)
+    }
+
+    fn sddmm(&mut self) {
+        DenseRepl25::sddmm(self);
+    }
+
+    fn sddmm_general(&mut self, combine: &CombineSpec) {
+        DenseRepl25::sddmm_general(self, combine.clone());
+    }
+
+    fn spmm_a(&mut self, use_r: bool) -> Mat {
+        DenseRepl25::spmm_a(self, use_r)
+    }
+
+    fn spmm_b(&mut self, use_r: bool) -> Mat {
+        DenseRepl25::spmm_b(self, use_r)
+    }
+
+    fn fused_mm_a(&mut self, x: Option<&Mat>, elision: Elision, sampling: Sampling) -> Mat {
+        DenseRepl25::fused_mm_a(self, x, elision, sampling)
+    }
+
+    fn fused_mm_b(&mut self, y: Option<&Mat>, elision: Elision, sampling: Sampling) -> Mat {
+        DenseRepl25::fused_mm_b(self, y, elision, sampling)
+    }
+
+    fn map_r(&mut self, f: &mut dyn FnMut(f64) -> f64) {
+        DenseRepl25::map_r(self, f);
+    }
+
+    fn r_row_sums(&self, _comm: &Comm, phase: Phase) -> Vec<f64> {
+        DenseRepl25::r_row_sums(self, phase)
+    }
+
+    fn scale_r_rows(&mut self, scale: &[f64]) {
+        DenseRepl25::scale_r_rows(self, scale);
+    }
+
+    fn spmm_a_with(&mut self, y: &Mat) -> Mat {
+        DenseRepl25::spmm_a_with(self, y)
+    }
+
+    fn sq_loss_local(&self) -> f64 {
+        DenseRepl25::sq_loss_local(self)
+    }
+
+    fn gather_r(&self, comm: &Comm) -> Option<CooMatrix> {
+        DenseRepl25::gather_r(self, comm)
+    }
+
+    fn a_iterate(&self) -> Mat {
+        self.a_travel().clone()
+    }
+
+    fn b_iterate(&self) -> Mat {
+        self.b_travel().clone()
+    }
+
+    fn set_a(&mut self, comm: &Comm, x: &Mat) {
+        let (dims, p, c) = (self.dims, self.gc.grid.p, self.gc.grid.c);
+        let fiber = {
+            let _ph = comm.phase(Phase::OutsideComm);
+            repartition_dense(
+                comm,
+                x,
+                Self::travel_layout(dims.m, dims.r, p, c),
+                Self::fiber_layout(dims.m, dims.r, p, c),
+            )
+        };
+        self.set_a_parts(fiber, x.clone());
+    }
+
+    fn set_b(&mut self, comm: &Comm, y: &Mat) {
+        let (dims, p, c) = (self.dims, self.gc.grid.p, self.gc.grid.c);
+        let fiber = {
+            let _ph = comm.phase(Phase::OutsideComm);
+            repartition_dense(
+                comm,
+                y,
+                Self::travel_layout(dims.n, dims.r, p, c),
+                Self::fiber_layout(dims.n, dims.r, p, c),
+            )
+        };
+        self.set_b_parts(fiber, y.clone());
+    }
+
+    fn rhs_a(&mut self, comm: &Comm) -> Mat {
+        // The SpMMA output lands in the fiber layout; the iterate lives
+        // in the travel layout — pay the distribution shift (Fig. 9).
+        let (dims, p, c) = (self.dims, self.gc.grid.p, self.gc.grid.c);
+        let fiber = DenseRepl25::spmm_a(self, false);
+        let _ph = comm.phase(Phase::OutsideComm);
+        repartition_dense(
+            comm,
+            &fiber,
+            Self::fiber_layout(dims.m, dims.r, p, c),
+            Self::travel_layout(dims.m, dims.r, p, c),
+        )
+    }
+
+    fn rhs_b(&mut self, _comm: &Comm) -> Mat {
+        DenseRepl25::spmm_b(self, false)
+    }
+
+    fn a_iterate_layout_of(&self, g: usize) -> DenseLayout {
+        Self::travel_layout(self.dims.m, self.dims.r, self.gc.grid.p, self.gc.grid.c)(g)
+    }
+
+    fn b_iterate_layout_of(&self, g: usize) -> DenseLayout {
+        Self::travel_layout(self.dims.n, self.dims.r, self.gc.grid.p, self.gc.grid.c)(g)
+    }
+
+    fn spmm_a_with_layout_of(&self, g: usize) -> DenseLayout {
+        Self::fiber_layout(self.dims.m, self.dims.r, self.gc.grid.p, self.gc.grid.c)(g)
+    }
+
+    fn row_group_a(&self, g: usize) -> u64 {
+        // Travel layouts are shared by the Cannon anti-diagonal
+        // {(u, v): u+v ≡ σ₀ (mod q)} within a layer w.
+        let (q, c) = (self.gc.grid.q, self.gc.grid.c);
+        let (u, v, w) = (g / (q * c), (g / c) % q, g % c);
+        (((u + v) % q) * c + w) as u64
+    }
+
+    fn row_group_b(&self, g: usize) -> u64 {
+        self.row_group_a(g)
     }
 }
 

@@ -25,15 +25,16 @@
 //!   fused local SDDMM+SpMM per step (only possible here, where entire
 //!   rows of both dense matrices are co-located).
 
-use dsk_comm::{Comm, GridComms15, Grid15, Phase};
+use dsk_comm::{Comm, Grid15, GridComms15, Phase};
 use dsk_dense::Mat;
 use dsk_kernels as kern;
 use dsk_sparse::{CooMatrix, CsrMatrix};
 
-use crate::common::{block_range, union_range, Elision, ProblemDims, Sampling};
+use crate::common::{block_range, union_range, AlgorithmFamily, Elision, ProblemDims, Sampling};
 use crate::global::GlobalProblem;
-use crate::staged::StagedProblem;
+use crate::kernel::{CombineSpec, DistKernel, KernelId};
 use crate::layout::DenseLayout;
+use crate::staged::StagedProblem;
 
 /// Tag used for dense block shifts within a layer.
 const TAG_SHIFT: u32 = 100;
@@ -209,10 +210,11 @@ impl DenseShift15 {
             let w = self.slot(t);
             let blk = &blocks[w];
             debug_assert_eq!(blk.ncols(), y.nrows(), "block/panel misalignment");
-            self.gc.layer.compute(
-                kern::sddmm_flops(blk.nnz(), t_buf.ncols()),
-                || kern::sddmm::sddmm_csr_acc_with(&mut acc[w], blk, t_buf, &y, combine),
-            );
+            self.gc
+                .layer
+                .compute(kern::sddmm_flops(blk.nnz(), t_buf.ncols()), || {
+                    kern::sddmm::sddmm_csr_acc_with(&mut acc[w], blk, t_buf, &y, combine)
+                });
             y = self.shift_block(y);
         }
         acc
@@ -266,13 +268,7 @@ impl DenseShift15 {
 
     /// Fused propagation round (local kernel fusion): one pass computing
     /// the local fused SDDMM+SpMM per step.
-    fn fused_round(
-        &self,
-        blocks: &[CsrMatrix],
-        t_in: &Mat,
-        y0: &Mat,
-        sampling: Sampling,
-    ) -> Mat {
+    fn fused_round(&self, blocks: &[CsrMatrix], t_in: &Mat, y0: &Mat, sampling: Sampling) -> Mat {
         let q = self.q();
         let r = y0.ncols();
         let mut t_out = Mat::zeros(t_in.nrows(), r);
@@ -508,6 +504,118 @@ impl DenseShift15 {
     }
 }
 
+impl DistKernel for DenseShift15 {
+    fn id(&self) -> KernelId {
+        KernelId::Family(AlgorithmFamily::DenseShift15)
+    }
+
+    fn dims(&self) -> ProblemDims {
+        self.dims
+    }
+
+    fn supports(&self, elision: Elision) -> bool {
+        AlgorithmFamily::DenseShift15.supports(elision)
+    }
+
+    fn sddmm(&mut self) {
+        DenseShift15::sddmm(self);
+    }
+
+    fn sddmm_general(&mut self, combine: &CombineSpec) {
+        // Full rows are co-located here, so the combine is used at full
+        // width (the slice is the whole r-dimension).
+        DenseShift15::sddmm_general(self, combine.for_slice(0..self.dims.r));
+    }
+
+    fn spmm_a(&mut self, use_r: bool) -> Mat {
+        DenseShift15::spmm_a(self, use_r)
+    }
+
+    fn spmm_b(&mut self, use_r: bool) -> Mat {
+        DenseShift15::spmm_b(self, use_r)
+    }
+
+    fn fused_mm_a(&mut self, x: Option<&Mat>, elision: Elision, sampling: Sampling) -> Mat {
+        DenseShift15::fused_mm_a(self, x, elision, sampling)
+    }
+
+    fn fused_mm_b(&mut self, y: Option<&Mat>, elision: Elision, sampling: Sampling) -> Mat {
+        DenseShift15::fused_mm_b(self, y, elision, sampling)
+    }
+
+    fn map_r(&mut self, f: &mut dyn FnMut(f64) -> f64) {
+        DenseShift15::map_r(self, f);
+    }
+
+    fn r_row_sums(&self, _comm: &Comm, phase: Phase) -> Vec<f64> {
+        DenseShift15::r_row_sums(self, phase)
+    }
+
+    fn scale_r_rows(&mut self, scale: &[f64]) {
+        DenseShift15::scale_r_rows(self, scale);
+    }
+
+    fn spmm_a_with(&mut self, y: &Mat) -> Mat {
+        DenseShift15::spmm_a_with(self, y)
+    }
+
+    fn sq_loss_local(&self) -> f64 {
+        DenseShift15::sq_loss_local(self)
+    }
+
+    fn gather_r(&self, comm: &Comm) -> Option<CooMatrix> {
+        DenseShift15::gather_r(self, comm)
+    }
+
+    fn a_iterate(&self) -> Mat {
+        self.a_loc.clone()
+    }
+
+    fn b_iterate(&self) -> Mat {
+        self.b_loc.clone()
+    }
+
+    fn set_a(&mut self, _comm: &Comm, x: &Mat) {
+        // Iterate layout == operand layout: no distribution shift.
+        assert_eq!(x.nrows(), self.a_loc.nrows(), "A iterate shape mismatch");
+        self.a_loc = x.clone();
+    }
+
+    fn set_b(&mut self, _comm: &Comm, y: &Mat) {
+        assert_eq!(y.nrows(), self.b_loc.nrows(), "B iterate shape mismatch");
+        self.b_loc = y.clone();
+    }
+
+    fn rhs_a(&mut self, _comm: &Comm) -> Mat {
+        DenseShift15::spmm_a(self, false)
+    }
+
+    fn rhs_b(&mut self, _comm: &Comm) -> Mat {
+        DenseShift15::spmm_b(self, false)
+    }
+
+    fn a_iterate_layout_of(&self, g: usize) -> DenseLayout {
+        Self::a_layout(self.dims, self.gc.grid.p)(g)
+    }
+
+    fn b_iterate_layout_of(&self, g: usize) -> DenseLayout {
+        Self::b_layout(self.dims, self.gc.grid.p)(g)
+    }
+
+    fn spmm_a_with_layout_of(&self, g: usize) -> DenseLayout {
+        Self::a_layout(self.dims, self.gc.grid.p)(g)
+    }
+
+    fn row_group_a(&self, g: usize) -> u64 {
+        // Rows are whole on one rank: every rank is its own group.
+        g as u64
+    }
+
+    fn row_group_b(&self, g: usize) -> u64 {
+        g as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -630,9 +738,10 @@ mod tests {
         // all-gather (c-1 sends per rank), no-elision FusedMMB two.
         let (p, c, m, n, r) = (8, 4, 32, 32, 4);
         let prob = Arc::new(GlobalProblem::erdos_renyi(m, n, r, 3, 23));
-        for (elision, expected_fiber_msgs) in
-            [(Elision::ReplicationReuse, (c - 1) as u64), (Elision::None, 2 * (c - 1) as u64)]
-        {
+        for (elision, expected_fiber_msgs) in [
+            (Elision::ReplicationReuse, (c - 1) as u64),
+            (Elision::None, 2 * (c - 1) as u64),
+        ] {
             let pr = Arc::clone(&prob);
             let w = SimWorld::new(p, MachineModel::bandwidth_only());
             let out = w.run(move |comm| {

@@ -1,0 +1,598 @@
+//! The unified distributed-kernel abstraction: the [`DistKernel`] trait
+//! every algorithm family (and the 1D baseline) implements, and the
+//! [`KernelBuilder`] planner that picks the theory-predicted cheapest
+//! algorithm and replication factor for a problem shape.
+//!
+//! Before this module existed, each family struct exposed a near-
+//! duplicate but incompatible API and every consumer (`DistWorker`, the
+//! application engines, the benchmark harness) hand-dispatched with
+//! `match` blocks over concrete types. [`DistKernel`] captures the full
+//! shared surface once:
+//!
+//! | paper section | trait methods |
+//! |---------------|---------------|
+//! | §III kernels (SDDMM, SpMMA/B) | [`DistKernel::sddmm`], [`DistKernel::spmm_a`], [`DistKernel::spmm_b`] |
+//! | §IV FusedMM + elision | [`DistKernel::fused_mm_a`], [`DistKernel::fused_mm_b`], [`DistKernel::supports`] |
+//! | §VI-E generalized SDDMM (GAT logits) | [`DistKernel::sddmm_general`], [`CombineSpec`] |
+//! | §VI-E softmax / ALS loss plumbing | [`DistKernel::map_r`], [`DistKernel::r_row_sums`], [`DistKernel::scale_r_rows`], [`DistKernel::sq_loss_local`] |
+//! | §VI-E convolution (`α·(H·W)`) | [`DistKernel::spmm_a_with`] |
+//! | Table II data distributions | [`DistKernel::a_iterate_layout_of`], [`DistKernel::b_iterate_layout_of`], [`DistKernel::spmm_a_with_layout_of`] |
+//! | Fig. 9 distribution shifts | [`DistKernel::set_a`], [`DistKernel::set_b`], [`DistKernel::rhs_a`], [`DistKernel::rhs_b`] |
+//! | Fig. 9 row-sharing dot products | [`DistKernel::row_group_a`], [`DistKernel::row_group_b`] |
+//! | verification | [`DistKernel::gather_r`], [`DistKernel::dims`] |
+//!
+//! [`KernelBuilder`] sits on top: it resolves a *plan* — which kernel,
+//! which replication factor `c`, which elision — either explicitly
+//! (`.family(f)`, `.replication(c)`) or automatically (`.auto()`, the
+//! default) from the paper's Table III/IV cost model in [`theory`],
+//! reproducing the Figure 6 phase-diagram decision at construction time.
+
+use std::sync::Arc;
+
+use dsk_comm::{Comm, MachineModel, Phase};
+use dsk_dense::Mat;
+use dsk_kernels as kern;
+use dsk_sparse::CooMatrix;
+
+use crate::baseline::Baseline1D;
+use crate::common::{AlgorithmFamily, Elision, ProblemDims, Sampling};
+use crate::dr25::DenseRepl25;
+use crate::ds15::DenseShift15;
+use crate::global::GlobalProblem;
+use crate::layout::DenseLayout;
+use crate::sr25::SparseRepl25;
+use crate::ss15::SparseShift15;
+use crate::staged::StagedProblem;
+use crate::theory::{self, Algorithm};
+use crate::worker::DistWorker;
+
+/// Owned description of the per-nonzero SDDMM combine, sliceable per
+/// r-slice (travel rounds on different fibers see different column
+/// slices of the dense operands).
+#[derive(Clone)]
+pub enum CombineSpec {
+    /// Standard dot product.
+    Dot,
+    /// GAT attention logits: full-width weight vectors, sliced to match
+    /// each panel.
+    Affine {
+        /// Source-side weights (length r).
+        w_src: Vec<f64>,
+        /// Destination-side weights (length r).
+        w_dst: Vec<f64>,
+    },
+}
+
+impl CombineSpec {
+    /// The kernel-level combine restricted to one r-slice.
+    pub fn for_slice(&self, slice: std::ops::Range<usize>) -> kern::SddmmCombine<'_> {
+        match self {
+            CombineSpec::Dot => kern::SddmmCombine::Dot,
+            CombineSpec::Affine { w_src, w_dst } => kern::SddmmCombine::AffinePair {
+                w_src: &w_src[slice.clone()],
+                w_dst: &w_dst[slice],
+            },
+        }
+    }
+}
+
+/// Which concrete implementation backs a [`DistKernel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelId {
+    /// One of the paper's four sparsity-agnostic families.
+    Family(AlgorithmFamily),
+    /// The PETSc-like 1D block-row baseline.
+    Baseline1D,
+}
+
+impl KernelId {
+    /// Table/legend label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            KernelId::Family(f) => f.label(),
+            KernelId::Baseline1D => "PETSc-like 1D (baseline)",
+        }
+    }
+
+    /// The family, when this is one of the four families.
+    pub fn family(&self) -> Option<AlgorithmFamily> {
+        match self {
+            KernelId::Family(f) => Some(*f),
+            KernelId::Baseline1D => None,
+        }
+    }
+}
+
+/// The full shared surface of the distributed algorithms: one SDDMM /
+/// SpMM / FusedMM engine per rank, with the iterate-layout plumbing the
+/// applications need. Implemented by all four families of the paper's
+/// Figure 2 and by [`Baseline1D`].
+///
+/// # Layout contract
+///
+/// Each implementation has *native* layouts for `A`-shaped and
+/// `B`-shaped dense matrices — the **iterate layouts** described by
+/// [`DistKernel::a_iterate_layout_of`] / [`DistKernel::b_iterate_layout_of`].
+/// `fused_mm_a`/`fused_mm_b` consume and produce iterates in exactly
+/// those layouts (iterate in, iterate out — the property batched CG
+/// relies on), as do [`DistKernel::rhs_a`] / [`DistKernel::rhs_b`] and
+/// [`DistKernel::set_a`] / [`DistKernel::set_b`] (which pay whatever
+/// internal distribution shift the family requires, charged to
+/// [`Phase::OutsideComm`] as in the paper's Fig. 9 accounting).
+///
+/// # R values
+///
+/// [`DistKernel::sddmm`] / [`DistKernel::sddmm_general`] store the
+/// distributed SDDMM result `R` inside the worker. `map_r`,
+/// `r_row_sums`, `scale_r_rows` (indexed consistently with each other),
+/// `spmm_a_with`, `sq_loss_local`, and `gather_r` then operate on it.
+pub trait DistKernel: Send {
+    /// Which implementation this is.
+    fn id(&self) -> KernelId;
+
+    /// Global problem dimensions.
+    fn dims(&self) -> ProblemDims;
+
+    /// Whether this kernel admits the elision strategy (paper §IV-B).
+    fn supports(&self, elision: Elision) -> bool;
+
+    /// Distributed SDDMM on the stored operands; the result is held as
+    /// the worker's R values.
+    fn sddmm(&mut self);
+
+    /// Generalized SDDMM (paper §VI-E): store *raw* accumulations of
+    /// `combine` as the R values, without sampling.
+    fn sddmm_general(&mut self, combine: &CombineSpec);
+
+    /// Distributed SpMMA `S·B` (or `R·B` when `use_r`), in the native
+    /// SpMMA output layout. Not every kernel supports `use_r = true`
+    /// (use [`DistKernel::spmm_a_with`] for the R-valued product in the
+    /// iterate layout).
+    fn spmm_a(&mut self, use_r: bool) -> Mat;
+
+    /// Distributed SpMMB `Sᵀ·A` (or `Rᵀ·A` when `use_r`), in the
+    /// native SpMMB output layout.
+    fn spmm_b(&mut self, use_r: bool) -> Mat;
+
+    /// FusedMMA = `SpMMA(SDDMM(x, B, S), B)`. `x` (defaulting to the
+    /// stored `A`) and the result are in the `A`-iterate layout.
+    fn fused_mm_a(&mut self, x: Option<&Mat>, elision: Elision, sampling: Sampling) -> Mat;
+
+    /// FusedMMB = `SpMMB(SDDMM(A, y, S), A)`. `y` (defaulting to the
+    /// stored `B`) and the result are in the `B`-iterate layout.
+    fn fused_mm_b(&mut self, y: Option<&Mat>, elision: Elision, sampling: Sampling) -> Mat;
+
+    /// Map every stored R value in place (local; all replicas apply the
+    /// same deterministic map).
+    fn map_r(&mut self, f: &mut dyn FnMut(f64) -> f64);
+
+    /// Row sums of the stored R values, reduced over whichever ranks
+    /// share those rows, indexed exactly as
+    /// [`DistKernel::scale_r_rows`] expects. `comm` is the world
+    /// communicator (used by kernels whose sparse rows span the world);
+    /// the reduction is charged to `phase`.
+    fn r_row_sums(&self, comm: &Comm, phase: Phase) -> Vec<f64>;
+
+    /// Scale each stored R row by `scale[i]` (see
+    /// [`DistKernel::r_row_sums`] for the indexing contract).
+    fn scale_r_rows(&mut self, scale: &[f64]);
+
+    /// SpMMA with the stored R values against an explicit `B`-iterate
+    /// operand (the GAT convolution `α·(H·W)`), returned in the
+    /// [`DistKernel::spmm_a_with_layout_of`] layout.
+    fn spmm_a_with(&mut self, y: &Mat) -> Mat;
+
+    /// Local contribution to `‖S − R‖²` after a raw
+    /// [`DistKernel::sddmm_general`] — the ALS squared loss. Summed
+    /// across ranks, every nonzero is counted exactly once.
+    fn sq_loss_local(&self) -> f64;
+
+    /// Gather the stored R values to communicator rank 0 in global
+    /// coordinates (verification; statistics paused).
+    fn gather_r(&self, comm: &Comm) -> Option<CooMatrix>;
+
+    /// The stored `A` operand in the iterate layout.
+    fn a_iterate(&self) -> Mat;
+
+    /// The stored `B` operand in the iterate layout.
+    fn b_iterate(&self) -> Mat;
+
+    /// Replace the stored `A` operand with an `A`-iterate, paying
+    /// whatever distribution shift the family requires (charged to
+    /// [`Phase::OutsideComm`]).
+    fn set_a(&mut self, comm: &Comm, x: &Mat);
+
+    /// Replace the stored `B` operand with a `B`-iterate.
+    fn set_b(&mut self, comm: &Comm, y: &Mat);
+
+    /// ALS right-hand side for the `A` phase — `S·B` with the sampling
+    /// values — delivered in the `A`-iterate layout (2.5D dense
+    /// replication pays a distribution shift here).
+    fn rhs_a(&mut self, comm: &Comm) -> Mat;
+
+    /// ALS right-hand side for the `B` phase — `Sᵀ·A` — in the
+    /// `B`-iterate layout.
+    fn rhs_b(&mut self, comm: &Comm) -> Mat;
+
+    /// The `A`-iterate layout of communicator rank `g`.
+    fn a_iterate_layout_of(&self, g: usize) -> DenseLayout;
+
+    /// The `B`-iterate layout of communicator rank `g`.
+    fn b_iterate_layout_of(&self, g: usize) -> DenseLayout;
+
+    /// The layout in which [`DistKernel::spmm_a_with`] returns its
+    /// result on rank `g`.
+    fn spmm_a_with_layout_of(&self, g: usize) -> DenseLayout;
+
+    /// Row-sharing color for `A`-iterates: ranks with equal color hold
+    /// pieces of the same iterate rows and must reduce per-row dot
+    /// products among themselves. Whole-row kernels color every rank
+    /// distinctly (groups of one).
+    fn row_group_a(&self, g: usize) -> u64;
+
+    /// Row-sharing color for `B`-iterates.
+    fn row_group_b(&self, g: usize) -> u64;
+}
+
+/// A resolved construction decision: which kernel, at which replication
+/// factor, with which (recommended) elision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelPlan {
+    /// Which implementation to build.
+    pub id: KernelId,
+    /// Replication factor.
+    pub c: usize,
+    /// The elision strategy the planner recommends for fused calls.
+    pub elision: Elision,
+    /// Modeled communication seconds of one FusedMM under the plan
+    /// (`None` for the baseline, which the theory does not model).
+    pub predicted_comm_s: Option<f64>,
+}
+
+impl KernelPlan {
+    /// The planned algorithm, when the plan is one of the four
+    /// families.
+    pub fn algorithm(&self) -> Option<Algorithm> {
+        self.id.family().map(|f| Algorithm::new(f, self.elision))
+    }
+}
+
+#[derive(Clone)]
+enum Source<'a> {
+    Owned(Arc<StagedProblem>),
+    Borrowed(&'a StagedProblem),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Selection {
+    Auto,
+    Family(AlgorithmFamily),
+    Baseline,
+}
+
+/// Planner + factory for [`DistKernel`] workers.
+///
+/// ```ignore
+/// // Fully automatic: theory picks family, c, and elision (Fig. 6).
+/// let mut worker = KernelBuilder::new(&prob).auto().build(comm);
+/// // Pinned family at an explicit replication factor:
+/// let mut worker = KernelBuilder::new(&prob)
+///     .family(AlgorithmFamily::SparseShift15)
+///     .replication(4)
+///     .build(comm);
+/// ```
+///
+/// The decision logic is pure ([`KernelBuilder::plan`] takes only the
+/// rank count), so tests can verify planning against
+/// [`theory::predict_best`] without spinning up a world.
+#[derive(Clone)]
+pub struct KernelBuilder<'a> {
+    source: Source<'a>,
+    selection: Selection,
+    c: Option<usize>,
+    c_max: usize,
+    elision: Option<Elision>,
+    /// Planner cost model. `None` (the default) means "use the
+    /// communicator's model at build time" — [`KernelBuilder::plan`]
+    /// falls back to Cori-like constants when called without a world.
+    model: Option<MachineModel>,
+}
+
+impl<'a> KernelBuilder<'a> {
+    fn with_source(source: Source<'a>) -> Self {
+        KernelBuilder {
+            source,
+            selection: Selection::Auto,
+            c: None,
+            c_max: 16,
+            elision: None,
+            model: None,
+        }
+    }
+
+    /// Build from a borrowed global problem (staged ephemerally; test
+    /// and example convenience).
+    pub fn new(prob: &GlobalProblem) -> KernelBuilder<'static> {
+        KernelBuilder::with_source(Source::Owned(Arc::new(StagedProblem::ephemeral(prob))))
+    }
+
+    /// Build from a shared global problem (the staging is created once
+    /// and shared by every worker this builder constructs).
+    pub fn from_arc(prob: Arc<GlobalProblem>) -> KernelBuilder<'static> {
+        KernelBuilder::with_source(Source::Owned(Arc::new(StagedProblem::new(prob))))
+    }
+
+    /// Build from shared staging (the benchmark path: the expensive
+    /// sparse partition is computed once per world, not once per rank).
+    pub fn from_staged(staged: &'a StagedProblem) -> KernelBuilder<'a> {
+        KernelBuilder::with_source(Source::Borrowed(staged))
+    }
+
+    /// Let the planner pick family, replication factor, and elision
+    /// from the paper's cost model (the default).
+    pub fn auto(mut self) -> Self {
+        self.selection = Selection::Auto;
+        self
+    }
+
+    /// Pin the algorithm family (replication factor and elision are
+    /// still planned unless pinned too).
+    pub fn family(mut self, family: AlgorithmFamily) -> Self {
+        self.selection = Selection::Family(family);
+        self
+    }
+
+    /// Pin family and elision at once.
+    pub fn algorithm(mut self, alg: Algorithm) -> Self {
+        self.selection = Selection::Family(alg.family);
+        self.elision = Some(alg.elision);
+        self
+    }
+
+    /// Build the PETSc-like 1D block-row baseline instead of a 2D/3D
+    /// family.
+    pub fn baseline(mut self) -> Self {
+        self.selection = Selection::Baseline;
+        self
+    }
+
+    /// Pin the replication factor `c`.
+    pub fn replication(mut self, c: usize) -> Self {
+        self.c = Some(c);
+        self
+    }
+
+    /// Cap the planner's replication-factor search (default 16, the
+    /// paper's memory-limit sweep bound).
+    pub fn max_replication(mut self, c_max: usize) -> Self {
+        self.c_max = c_max;
+        self
+    }
+
+    /// Pin the elision strategy used for fused calls.
+    pub fn elision(mut self, elision: Elision) -> Self {
+        self.elision = Some(elision);
+        self
+    }
+
+    /// Pin the machine model for the planner's time predictions. When
+    /// not pinned, [`KernelBuilder::build`] plans under the
+    /// communicator's own model, and the world-free
+    /// [`KernelBuilder::plan`] falls back to Cori-like constants.
+    pub fn model(mut self, model: MachineModel) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    fn staged(&self) -> &StagedProblem {
+        match &self.source {
+            Source::Owned(s) => s,
+            Source::Borrowed(s) => s,
+        }
+    }
+
+    /// Candidate algorithms compatible with the pinned constraints,
+    /// each with its resolved replication factor (the pinned `c`, or
+    /// the Table IV optimum for the algorithm).
+    fn candidates(&self, p: usize) -> Vec<(Algorithm, usize)> {
+        let fams: Vec<AlgorithmFamily> = match self.selection {
+            Selection::Family(f) => vec![f],
+            _ => AlgorithmFamily::ALL.to_vec(),
+        };
+        let prob = &self.staged().prob;
+        let (dims, nnz) = (prob.dims, prob.nnz());
+        Algorithm::all_benchmarked()
+            .into_iter()
+            .filter(|alg| fams.contains(&alg.family))
+            .filter(|alg| self.elision.is_none_or(|e| alg.elision == e))
+            .filter_map(|alg| match self.c {
+                Some(c) => alg.family.valid_c(p, c).then_some((alg, c)),
+                None => theory::optimal_c_search(alg, p, dims, nnz, self.c_max).map(|c| (alg, c)),
+            })
+            .collect()
+    }
+
+    /// Resolve the construction decision for a world of `p` ranks
+    /// without building anything. Pure: depends only on the problem
+    /// shape, the machine model (the pinned one, else Cori-like
+    /// constants), and the pinned constraints — this is the paper's
+    /// Figure 6 "Predicted" panel as an API.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the pinned constraints are unsatisfiable (e.g. a
+    /// replication factor the family's grid cannot realize at `p`).
+    pub fn plan(&self, p: usize) -> KernelPlan {
+        self.plan_with(p, self.model.unwrap_or_else(MachineModel::cori_knl))
+    }
+
+    /// [`KernelBuilder::plan`] under an explicit machine model.
+    pub fn plan_with(&self, p: usize, model: MachineModel) -> KernelPlan {
+        if self.selection == Selection::Baseline {
+            assert!(
+                self.c.unwrap_or(1) == 1,
+                "the 1D baseline does not replicate (c must be 1)"
+            );
+            assert!(
+                self.elision.is_none_or(|e| e == Elision::None),
+                "the 1D baseline admits no communication elision"
+            );
+            return KernelPlan {
+                id: KernelId::Baseline1D,
+                c: 1,
+                elision: Elision::None,
+                predicted_comm_s: None,
+            };
+        }
+        let prob = &self.staged().prob;
+        let (dims, nnz) = (prob.dims, prob.nnz());
+        let candidates = self.candidates(p);
+        assert!(
+            !candidates.is_empty(),
+            "no admissible algorithm for p={p}, c={:?}, elision={:?}, family={:?}",
+            self.c,
+            self.elision,
+            self.selection,
+        );
+        let mut best: Option<KernelPlan> = None;
+        for (alg, c) in candidates {
+            let t = theory::predicted_comm_time(&model, alg, p, c, dims, nnz);
+            if best
+                .as_ref()
+                .is_none_or(|b| t < b.predicted_comm_s.unwrap())
+            {
+                best = Some(KernelPlan {
+                    id: KernelId::Family(alg.family),
+                    c,
+                    elision: alg.elision,
+                    predicted_comm_s: Some(t),
+                });
+            }
+        }
+        best.expect("at least one candidate was planned")
+    }
+
+    /// Build this rank's worker, resolving the plan from
+    /// `comm.size()` under the communicator's machine model (unless a
+    /// model was pinned). Must be called by every rank of the
+    /// communicator (the plan is deterministic, so all ranks agree
+    /// without communication).
+    pub fn build(&self, comm: &Comm) -> DistWorker {
+        let model = self.model.unwrap_or(*comm.model());
+        let plan = self.plan_with(comm.size(), model);
+        self.build_planned(comm, &plan)
+    }
+
+    /// Build this rank's worker for an already-resolved plan.
+    pub fn build_planned(&self, comm: &Comm, plan: &KernelPlan) -> DistWorker {
+        let staged = self.staged();
+        let kernel: Box<dyn DistKernel> = match plan.id {
+            KernelId::Family(AlgorithmFamily::DenseShift15) => {
+                Box::new(DenseShift15::from_staged(comm, plan.c, staged))
+            }
+            KernelId::Family(AlgorithmFamily::SparseShift15) => {
+                Box::new(SparseShift15::from_staged(comm, plan.c, staged))
+            }
+            KernelId::Family(AlgorithmFamily::DenseRepl25) => {
+                Box::new(DenseRepl25::from_staged(comm, plan.c, staged))
+            }
+            KernelId::Family(AlgorithmFamily::SparseRepl25) => {
+                Box::new(SparseRepl25::from_staged(comm, plan.c, staged))
+            }
+            KernelId::Baseline1D => Box::new(Baseline1D::from_staged(comm, staged)),
+        };
+        DistWorker::from_parts(kernel, *plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn er_prob(n: usize, r: usize, nnz_per_row: usize, seed: u64) -> GlobalProblem {
+        GlobalProblem::erdos_renyi(n, n, r, nnz_per_row, seed)
+    }
+
+    #[test]
+    fn auto_plan_matches_theory_predict_best() {
+        // The planner must agree with theory::predict_best across
+        // problem shapes (the Figure 6 regimes are exercised in the
+        // integration test suite at realistic sizes).
+        let prob = er_prob(256, 16, 4, 1);
+        let builder = KernelBuilder::new(&prob);
+        for p in [8usize, 16, 32] {
+            let plan = builder.plan(p);
+            let expect = theory::predict_best(
+                &MachineModel::cori_knl(),
+                &Algorithm::all_benchmarked(),
+                p,
+                prob.dims,
+                prob.nnz(),
+                16,
+            );
+            assert_eq!(plan.algorithm().unwrap(), expect.algorithm, "p={p}");
+            assert_eq!(plan.c, expect.c, "p={p}");
+            assert!((plan.predicted_comm_s.unwrap() - expect.time_s).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn pinned_family_plans_optimal_c() {
+        let prob = er_prob(128, 8, 4, 2);
+        let p = 16;
+        let plan = KernelBuilder::new(&prob)
+            .family(AlgorithmFamily::DenseShift15)
+            .plan(p);
+        assert_eq!(plan.id, KernelId::Family(AlgorithmFamily::DenseShift15));
+        // Best among the three ds15 elisions at their own optimal c.
+        let model = MachineModel::cori_knl();
+        let best = theory::predict_best(
+            &model,
+            &[
+                Algorithm::new(AlgorithmFamily::DenseShift15, Elision::None),
+                Algorithm::new(AlgorithmFamily::DenseShift15, Elision::ReplicationReuse),
+                Algorithm::new(AlgorithmFamily::DenseShift15, Elision::LocalKernelFusion),
+            ],
+            p,
+            prob.dims,
+            prob.nnz(),
+            16,
+        );
+        assert_eq!(plan.elision, best.algorithm.elision);
+        assert_eq!(plan.c, best.c);
+    }
+
+    #[test]
+    fn pinned_replication_is_respected() {
+        let prob = er_prob(128, 8, 4, 3);
+        let plan = KernelBuilder::new(&prob)
+            .family(AlgorithmFamily::SparseShift15)
+            .replication(4)
+            .elision(Elision::ReplicationReuse)
+            .plan(8);
+        assert_eq!(plan.c, 4);
+        assert_eq!(plan.elision, Elision::ReplicationReuse);
+    }
+
+    #[test]
+    fn baseline_plan_is_fixed() {
+        let prob = er_prob(64, 8, 4, 4);
+        let plan = KernelBuilder::new(&prob).baseline().plan(8);
+        assert_eq!(plan.id, KernelId::Baseline1D);
+        assert_eq!(plan.c, 1);
+        assert_eq!(plan.elision, Elision::None);
+        assert!(plan.predicted_comm_s.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "no admissible algorithm")]
+    fn impossible_constraints_panic() {
+        let prob = er_prob(64, 8, 4, 5);
+        // 2.5D at p = 8 requires c = 2 (layers 4 = 2²); c = 3 is not
+        // even a divisor.
+        let _ = KernelBuilder::new(&prob)
+            .family(AlgorithmFamily::DenseRepl25)
+            .replication(3)
+            .plan(8);
+    }
+}

@@ -154,6 +154,14 @@ pub fn repartition_dense(
     debug_assert_eq!(local.nrows(), src.local_rows(), "src layout mismatch");
     debug_assert_eq!(local.ncols(), src.width(), "src layout mismatch");
 
+    // Identity fast path: when source and destination layouts coincide
+    // on every rank, nothing moves (e.g. a whole-row family feeding a
+    // generic staging pipeline). Checked locally — layouts are pure
+    // functions of the rank, so all ranks agree.
+    if (0..p).all(|g| src_of(g) == dst_of(g)) {
+        return local.clone();
+    }
+
     // Pack: for each destination rank, the intersection of my pieces
     // with its pieces, iterated in deterministic (my piece, dst piece,
     // row, col) order.
@@ -192,11 +200,7 @@ pub fn repartition_dense(
 /// Iterate the intersection of `src` (as the local side) with `dst`,
 /// calling `f(local_row, local_col_range)` for each contiguous run, in
 /// deterministic order.
-fn pack_intersection(
-    src: &DenseLayout,
-    dst: &DenseLayout,
-    mut f: impl FnMut(usize, Range<usize>),
-) {
+fn pack_intersection(src: &DenseLayout, dst: &DenseLayout, mut f: impl FnMut(usize, Range<usize>)) {
     let cols = intersect(&src.col_range, &dst.col_range);
     if cols.is_empty() {
         return;
@@ -276,8 +280,7 @@ mod tests {
     #[test]
     fn gather_reassembles_global() {
         let global = Mat::from_fn(8, 3, |i, j| (i * 3 + j) as f64);
-        let layout_of =
-            |r: usize| DenseLayout::single(crate::common::block_range(8, 4, r), 0..3);
+        let layout_of = |r: usize| DenseLayout::single(crate::common::block_range(8, 4, r), 0..3);
         let g2 = global.clone();
         let w = SimWorld::new(4, MachineModel::bandwidth_only());
         let out = w.run(move |comm| {
@@ -342,6 +345,9 @@ mod tests {
         });
         let g = out[0].value.as_ref().unwrap();
         assert_eq!(g.nnz(), 3);
-        assert_eq!(g.to_dense(), vec![1.0, 0.0, 0.0, 0.0, 2.0, 0.0, 0.0, 0.0, 3.0]);
+        assert_eq!(
+            g.to_dense(),
+            vec![1.0, 0.0, 0.0, 0.0, 2.0, 0.0, 0.0, 0.0, 3.0]
+        );
     }
 }

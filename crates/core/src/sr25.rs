@@ -32,11 +32,11 @@ use dsk_dense::Mat;
 use dsk_kernels as kern;
 use dsk_sparse::{CooMatrix, CsrMatrix};
 
-use crate::common::{block_range, Elision, ProblemDims, Sampling};
+use crate::common::{block_range, AlgorithmFamily, Elision, ProblemDims, Sampling};
 use crate::global::GlobalProblem;
-use crate::staged::StagedProblem;
+use crate::kernel::{CombineSpec, DistKernel, KernelId};
 use crate::layout::DenseLayout;
-use crate::ss15::CombineSpec;
+use crate::staged::StagedProblem;
 
 /// Tag for `A` panels (row-ring traffic).
 const TAG_A: u32 = 130;
@@ -116,11 +116,7 @@ impl SparseRepl25 {
     }
 
     /// Layout of `A` panels (pre-skewed home slices).
-    pub fn a_layout(
-        dims: ProblemDims,
-        p: usize,
-        c: usize,
-    ) -> impl Fn(usize) -> DenseLayout {
+    pub fn a_layout(dims: ProblemDims, p: usize, c: usize) -> impl Fn(usize) -> DenseLayout {
         let grid = Grid25::new(p, c).expect("invalid 2.5D grid");
         move |g| {
             let (u, v, w) = (grid.row_pos(g), grid.col_pos(g), grid.fiber_pos(g));
@@ -133,11 +129,7 @@ impl SparseRepl25 {
     }
 
     /// Layout of `B` panels (pre-skewed home slices).
-    pub fn b_layout(
-        dims: ProblemDims,
-        p: usize,
-        c: usize,
-    ) -> impl Fn(usize) -> DenseLayout {
+    pub fn b_layout(dims: ProblemDims, p: usize, c: usize) -> impl Fn(usize) -> DenseLayout {
         let grid = Grid25::new(p, c).expect("invalid 2.5D grid");
         move |g| {
             let (u, v, w) = (grid.row_pos(g), grid.col_pos(g), grid.fiber_pos(g));
@@ -170,11 +162,7 @@ impl SparseRepl25 {
         let _ph = self.gc.row_ring.phase(Phase::Propagation);
         let q = self.gc.row_ring.size();
         let data = self.gc.row_ring.shift(q - 1, TAG_A, a.into_vec());
-        let rows = if next_width == 0 {
-            0
-        } else {
-            data.len() / next_width
-        };
+        let rows = data.len().checked_div(next_width).unwrap_or(0);
         Mat::from_vec(rows, next_width, data)
     }
 
@@ -184,11 +172,7 @@ impl SparseRepl25 {
         let _ph = self.gc.col_ring.phase(Phase::Propagation);
         let q = self.gc.col_ring.size();
         let data = self.gc.col_ring.shift(q - 1, TAG_B, b.into_vec());
-        let rows = if next_width == 0 {
-            0
-        } else {
-            data.len() / next_width
-        };
+        let rows = data.len().checked_div(next_width).unwrap_or(0);
         Mat::from_vec(rows, next_width, data)
     }
 
@@ -197,7 +181,11 @@ impl SparseRepl25 {
     fn slice_at(&self, t: usize) -> std::ops::Range<usize> {
         let q = self.q();
         let sigma = (self.gc.u + self.gc.v + t) % q;
-        block_range(self.dims.r, q * self.gc.grid.c, sigma * self.gc.grid.c + self.gc.w)
+        block_range(
+            self.dims.r,
+            q * self.gc.grid.c,
+            sigma * self.gc.grid.c + self.gc.w,
+        )
     }
 
     /// SDDMM travel round: both panels travel; this layer accumulates
@@ -428,12 +416,12 @@ impl SparseRepl25 {
     }
 
     /// Replace the stored `A` panel.
-    pub fn set_a(&mut self, panel: Mat) {
+    pub fn set_a_panel(&mut self, panel: Mat) {
         self.a_home = panel;
     }
 
     /// Replace the stored `B` panel.
-    pub fn set_b(&mut self, panel: Mat) {
+    pub fn set_b_panel(&mut self, panel: Mat) {
         self.b_home = panel;
     }
 
@@ -466,6 +454,115 @@ impl SparseRepl25 {
             }
         }
         crate::layout::gather_coo(comm, 0, local, m, n)
+    }
+}
+
+impl DistKernel for SparseRepl25 {
+    fn id(&self) -> KernelId {
+        KernelId::Family(AlgorithmFamily::SparseRepl25)
+    }
+
+    fn dims(&self) -> ProblemDims {
+        self.dims
+    }
+
+    fn supports(&self, elision: Elision) -> bool {
+        AlgorithmFamily::SparseRepl25.supports(elision)
+    }
+
+    fn sddmm(&mut self) {
+        SparseRepl25::sddmm(self);
+    }
+
+    fn sddmm_general(&mut self, combine: &CombineSpec) {
+        SparseRepl25::sddmm_general(self, combine.clone());
+    }
+
+    fn spmm_a(&mut self, use_r: bool) -> Mat {
+        SparseRepl25::spmm_a(self, use_r)
+    }
+
+    fn spmm_b(&mut self, use_r: bool) -> Mat {
+        SparseRepl25::spmm_b(self, use_r)
+    }
+
+    fn fused_mm_a(&mut self, x: Option<&Mat>, elision: Elision, sampling: Sampling) -> Mat {
+        SparseRepl25::fused_mm_a(self, x, elision, sampling)
+    }
+
+    fn fused_mm_b(&mut self, y: Option<&Mat>, elision: Elision, sampling: Sampling) -> Mat {
+        SparseRepl25::fused_mm_b(self, y, elision, sampling)
+    }
+
+    fn map_r(&mut self, f: &mut dyn FnMut(f64) -> f64) {
+        SparseRepl25::map_r(self, f);
+    }
+
+    fn r_row_sums(&self, _comm: &Comm, phase: Phase) -> Vec<f64> {
+        SparseRepl25::r_row_sums(self, phase)
+    }
+
+    fn scale_r_rows(&mut self, scale: &[f64]) {
+        SparseRepl25::scale_r_rows(self, scale);
+    }
+
+    fn spmm_a_with(&mut self, y: &Mat) -> Mat {
+        SparseRepl25::spmm_a_with(self, y)
+    }
+
+    fn sq_loss_local(&self) -> f64 {
+        SparseRepl25::sq_loss_local(self)
+    }
+
+    fn gather_r(&self, comm: &Comm) -> Option<CooMatrix> {
+        SparseRepl25::gather_r(self, comm)
+    }
+
+    fn a_iterate(&self) -> Mat {
+        self.a_home.clone()
+    }
+
+    fn b_iterate(&self) -> Mat {
+        self.b_home.clone()
+    }
+
+    fn set_a(&mut self, _comm: &Comm, x: &Mat) {
+        // Panel layout == iterate layout: no distribution shift.
+        self.set_a_panel(x.clone());
+    }
+
+    fn set_b(&mut self, _comm: &Comm, y: &Mat) {
+        self.set_b_panel(y.clone());
+    }
+
+    fn rhs_a(&mut self, _comm: &Comm) -> Mat {
+        SparseRepl25::spmm_a(self, false)
+    }
+
+    fn rhs_b(&mut self, _comm: &Comm) -> Mat {
+        SparseRepl25::spmm_b(self, false)
+    }
+
+    fn a_iterate_layout_of(&self, g: usize) -> DenseLayout {
+        Self::a_layout(self.dims, self.gc.grid.p, self.gc.grid.c)(g)
+    }
+
+    fn b_iterate_layout_of(&self, g: usize) -> DenseLayout {
+        Self::b_layout(self.dims, self.gc.grid.p, self.gc.grid.c)(g)
+    }
+
+    fn spmm_a_with_layout_of(&self, g: usize) -> DenseLayout {
+        Self::a_layout(self.dims, self.gc.grid.p, self.gc.grid.c)(g)
+    }
+
+    fn row_group_a(&self, g: usize) -> u64 {
+        // A panels are shared by the grid-row plane.
+        (g / (self.gc.grid.q * self.gc.grid.c)) as u64
+    }
+
+    fn row_group_b(&self, g: usize) -> u64 {
+        // B panels are shared by the grid-column plane.
+        ((g / self.gc.grid.c) % self.gc.grid.q) as u64
     }
 }
 
@@ -578,7 +675,10 @@ mod tests {
         // summed over the q² fibers (each block replicated on c ranks):
         // 3·(c-1)/c·nnz total (< 3·nnz words; compare ≈ n·r dense words).
         let expected_max = 3 * nnz; // upper bound independent of r
-        assert!(total <= expected_max, "fiber words {total} > {expected_max}");
+        assert!(
+            total <= expected_max,
+            "fiber words {total} > {expected_max}"
+        );
         assert!(total > 0);
     }
 }

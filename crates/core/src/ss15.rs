@@ -33,10 +33,13 @@ use dsk_dense::Mat;
 use dsk_kernels as kern;
 use dsk_sparse::CooMatrix;
 
-use crate::common::{block_range, Elision, ProblemDims, Sampling};
+use crate::common::{block_range, AlgorithmFamily, Elision, ProblemDims, Sampling};
 use crate::global::GlobalProblem;
+use crate::kernel::{DistKernel, KernelId};
+use crate::layout::{repartition_dense, DenseLayout};
 use crate::staged::StagedProblem;
-use crate::layout::DenseLayout;
+
+pub use crate::kernel::CombineSpec;
 
 /// Tag for traveling sparse blocks.
 const TAG_SPARSE: u32 = 110;
@@ -486,14 +489,16 @@ impl SparseShift15 {
 
     /// Replace the stored `A` operand: `rep` in the replicate layout,
     /// `stat_stacked` in the stationary layout (both must be supplied so
-    /// every code path sees the update).
-    pub fn set_a(&mut self, rep: Mat, stat_stacked: &Mat) {
+    /// every code path sees the update). The [`DistKernel::set_a`]
+    /// implementation derives `rep` by repartitioning.
+    pub fn set_a_parts(&mut self, rep: Mat, stat_stacked: &Mat) {
         self.a_rep = rep;
         self.a_stat = self.split_stationary(self.dims.m, stat_stacked);
     }
 
-    /// Replace the stored `B` operand (see [`SparseShift15::set_a`]).
-    pub fn set_b(&mut self, rep: Mat, stat_stacked: &Mat) {
+    /// Replace the stored `B` operand (see
+    /// [`SparseShift15::set_a_parts`]).
+    pub fn set_b_parts(&mut self, rep: Mat, stat_stacked: &Mat) {
         self.b_rep = rep;
         self.b_stat = self.split_stationary(self.dims.n, stat_stacked);
     }
@@ -524,32 +529,136 @@ impl SparseShift15 {
     }
 }
 
-/// Owned description of the per-nonzero combine, sliceable per r-slice
-/// (travel rounds on different fibers see different column slices).
-#[derive(Clone)]
-pub enum CombineSpec {
-    /// Standard dot product.
-    Dot,
-    /// GAT attention logits: full-width weight vectors, sliced to match
-    /// each panel.
-    Affine {
-        /// Source-side weights (length r).
-        w_src: Vec<f64>,
-        /// Destination-side weights (length r).
-        w_dst: Vec<f64>,
-    },
-}
+impl DistKernel for SparseShift15 {
+    fn id(&self) -> KernelId {
+        KernelId::Family(AlgorithmFamily::SparseShift15)
+    }
 
-impl CombineSpec {
-    /// The kernel-level combine restricted to one r-slice.
-    pub fn for_slice(&self, slice: std::ops::Range<usize>) -> kern::SddmmCombine<'_> {
-        match self {
-            CombineSpec::Dot => kern::SddmmCombine::Dot,
-            CombineSpec::Affine { w_src, w_dst } => kern::SddmmCombine::AffinePair {
-                w_src: &w_src[slice.clone()],
-                w_dst: &w_dst[slice],
-            },
-        }
+    fn dims(&self) -> ProblemDims {
+        self.dims
+    }
+
+    fn supports(&self, elision: Elision) -> bool {
+        AlgorithmFamily::SparseShift15.supports(elision)
+    }
+
+    fn sddmm(&mut self) {
+        SparseShift15::sddmm(self);
+    }
+
+    fn sddmm_general(&mut self, combine: &CombineSpec) {
+        SparseShift15::sddmm_general(self, combine.clone());
+    }
+
+    fn spmm_a(&mut self, use_r: bool) -> Mat {
+        assert!(
+            !use_r,
+            "1.5D sparse shifting holds R on the S-oriented home block; \
+             use spmm_a_with for R·B (replicate-A layout output)"
+        );
+        SparseShift15::spmm_a(self)
+    }
+
+    fn spmm_b(&mut self, use_r: bool) -> Mat {
+        SparseShift15::spmm_b(self, use_r)
+    }
+
+    fn fused_mm_a(&mut self, x: Option<&Mat>, elision: Elision, sampling: Sampling) -> Mat {
+        SparseShift15::fused_mm_a(self, x, elision, sampling)
+    }
+
+    fn fused_mm_b(&mut self, y: Option<&Mat>, elision: Elision, sampling: Sampling) -> Mat {
+        SparseShift15::fused_mm_b(self, y, elision, sampling)
+    }
+
+    fn map_r(&mut self, f: &mut dyn FnMut(f64) -> f64) {
+        SparseShift15::map_r(self, f);
+    }
+
+    fn r_row_sums(&self, comm: &Comm, phase: Phase) -> Vec<f64> {
+        SparseShift15::r_row_sums(self, comm, phase)
+    }
+
+    fn scale_r_rows(&mut self, scale: &[f64]) {
+        SparseShift15::scale_r_rows(self, scale);
+    }
+
+    fn spmm_a_with(&mut self, y: &Mat) -> Mat {
+        self.spmm_a_from_r(Some(y))
+    }
+
+    fn sq_loss_local(&self) -> f64 {
+        SparseShift15::sq_loss_local(self)
+    }
+
+    fn gather_r(&self, comm: &Comm) -> Option<CooMatrix> {
+        SparseShift15::gather_r(self, comm)
+    }
+
+    fn a_iterate(&self) -> Mat {
+        self.a_stationary_stacked()
+    }
+
+    fn b_iterate(&self) -> Mat {
+        self.b_stationary_stacked()
+    }
+
+    fn set_a(&mut self, comm: &Comm, x: &Mat) {
+        let (dims, p, c) = (self.dims, self.gc.grid.p, self.gc.grid.c);
+        let rep = {
+            let _ph = comm.phase(Phase::OutsideComm);
+            repartition_dense(
+                comm,
+                x,
+                Self::stationary_layout(dims.m, dims.r, p, c),
+                Self::replicate_layout(dims.m, dims.r, p, c),
+            )
+        };
+        self.set_a_parts(rep, x);
+    }
+
+    fn set_b(&mut self, comm: &Comm, y: &Mat) {
+        let (dims, p, c) = (self.dims, self.gc.grid.p, self.gc.grid.c);
+        let rep = {
+            let _ph = comm.phase(Phase::OutsideComm);
+            repartition_dense(
+                comm,
+                y,
+                Self::stationary_layout(dims.n, dims.r, p, c),
+                Self::replicate_layout(dims.n, dims.r, p, c),
+            )
+        };
+        self.set_b_parts(rep, y);
+    }
+
+    fn rhs_a(&mut self, _comm: &Comm) -> Mat {
+        SparseShift15::spmm_a(self)
+    }
+
+    fn rhs_b(&mut self, _comm: &Comm) -> Mat {
+        SparseShift15::spmm_b(self, false)
+    }
+
+    fn a_iterate_layout_of(&self, g: usize) -> DenseLayout {
+        Self::stationary_layout(self.dims.m, self.dims.r, self.gc.grid.p, self.gc.grid.c)(g)
+    }
+
+    fn b_iterate_layout_of(&self, g: usize) -> DenseLayout {
+        Self::stationary_layout(self.dims.n, self.dims.r, self.gc.grid.p, self.gc.grid.c)(g)
+    }
+
+    fn spmm_a_with_layout_of(&self, g: usize) -> DenseLayout {
+        Self::replicate_layout(self.dims.m, self.dims.r, self.gc.grid.p, self.gc.grid.c)(g)
+    }
+
+    fn row_group_a(&self, g: usize) -> u64 {
+        // Stationary layouts are shared by the layer (same fiber
+        // coordinate v = g % c).
+        (g % self.gc.grid.c) as u64
+    }
+
+    fn row_group_b(&self, g: usize) -> u64 {
+        (g % self.gc.grid.c) as u64
     }
 }
 

@@ -14,7 +14,7 @@ use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::{Arc, OnceLock};
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use dsk_sparse::partition::partition_by_ranges;
 use dsk_sparse::CooMatrix;
@@ -67,7 +67,7 @@ impl StagedProblem {
             row_ranges.iter().map(|r| r.start).collect(),
             col_ranges.iter().map(|r| r.start).collect(),
         );
-        if let Some(hit) = self.partitions.lock().get(&key) {
+        if let Some(hit) = self.partitions.lock().unwrap().get(&key) {
             return Arc::clone(hit);
         }
         // Compute outside the lock (other geometries stay unblocked);
@@ -80,6 +80,7 @@ impl StagedProblem {
         let grid = Arc::new(partition_by_ranges(src, row_ranges, col_ranges));
         self.partitions
             .lock()
+            .unwrap()
             .entry(key)
             .or_insert_with(|| Arc::clone(&grid))
             .clone()
@@ -108,9 +109,9 @@ mod tests {
     fn transposed_partition_uses_transpose() {
         let prob = GlobalProblem::erdos_renyi(12, 20, 4, 3, 112);
         let staged = StagedProblem::ephemeral(&prob);
-        let rows: Vec<_> = vec![0..20];
+        let rows = std::slice::from_ref(&(0..20));
         let cols: Vec<_> = (0..3).map(|i| block_range(12, 3, i)).collect();
-        let g = staged.partition(true, &rows, &cols);
+        let g = staged.partition(true, rows, &cols);
         let total: usize = g.iter().flatten().map(CooMatrix::nnz).sum();
         assert_eq!(total, prob.nnz());
         assert_eq!(g[0][0].nrows, 20);

@@ -8,13 +8,11 @@
 //! costs three words in flight. "Words" means the maximum number of
 //! words any processor sends while executing one FusedMM.
 
-use serde::{Deserialize, Serialize};
-
 use crate::common::{AlgorithmFamily, Elision, ProblemDims};
 use dsk_comm::MachineModel;
 
 /// An algorithm choice: family plus elision strategy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Algorithm {
     /// The algorithm family (grid shape and what propagates).
     pub family: AlgorithmFamily,
@@ -77,7 +75,9 @@ pub fn words_per_processor(
         (DenseShift15, LocalKernelFusion) => nr * (1.0 / cf + 2.0 * (cf - 1.0) / pf),
         (SparseShift15, None) => 6.0 * nnzf / cf + 2.0 * nr * (cf - 1.0) / pf,
         (SparseShift15, ReplicationReuse) => 6.0 * nnzf / cf + nr * (cf - 1.0) / pf,
-        (DenseRepl25, None) => (6.0 * nnzf + 2.0 * nr) / (pf * cf).sqrt() + 2.0 * nr * (cf - 1.0) / pf,
+        (DenseRepl25, None) => {
+            (6.0 * nnzf + 2.0 * nr) / (pf * cf).sqrt() + 2.0 * nr * (cf - 1.0) / pf
+        }
         (DenseRepl25, ReplicationReuse) => {
             (6.0 * nnzf + 2.0 * nr) / (pf * cf).sqrt() + nr * (cf - 1.0) / pf
         }
@@ -173,7 +173,7 @@ pub fn predicted_comp_time(model: &MachineModel, p: usize, dims: ProblemDims, nn
 
 /// Outcome of the best-algorithm prediction (Figure 6's "Predicted"
 /// panel).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Prediction {
     /// The winning algorithm.
     pub algorithm: Algorithm,
@@ -234,7 +234,8 @@ mod tests {
                     if !(1.0..=p as f64).contains(&c_star) {
                         continue; // outside the admissible range
                     }
-                    let w_star = words_per_processor(alg, p, c_star.round().max(1.0) as usize, d, nnz);
+                    let w_star =
+                        words_per_processor(alg, p, c_star.round().max(1.0) as usize, d, nnz);
                     // Evaluate the continuous function at ±25%:
                     let wf = |c: f64| {
                         let alg_w = |cv: usize| words_per_processor(alg, p, cv, d, nnz);
@@ -245,7 +246,8 @@ mod tests {
                         (alg_w(lo) + alg_w(hi)) / 2.0
                     };
                     assert!(
-                        w_star <= wf(c_star * 1.5) * 1.05 && w_star <= wf((c_star / 1.5).max(1.0)) * 1.05,
+                        w_star <= wf(c_star * 1.5) * 1.05
+                            && w_star <= wf((c_star / 1.5).max(1.0)) * 1.05,
                         "formula optimum not near argmin: {alg:?} p={p} φ={phi} c*={c_star}"
                     );
                 }

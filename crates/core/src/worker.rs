@@ -1,45 +1,51 @@
-//! Unified dispatch over the four algorithm families.
+//! The per-rank worker handle: a [`DistKernel`] trait object plus its
+//! construction plan.
 //!
-//! [`DistWorker`] lets harness code construct and drive any of the
-//! paper's algorithms uniformly: the benchmark binaries iterate over
-//! [`theory::Algorithm`](crate::theory::Algorithm) values and need a
-//! single entry point per (family, c, elision) combination. Outputs are
-//! returned in each family's native layout (see the family modules for
-//! the layout contracts); use [`crate::layout`] to gather or convert.
+//! [`DistWorker`] lets harness and application code construct and drive
+//! any of the paper's algorithms (and the 1D baseline) uniformly. It
+//! dereferences to [`dyn DistKernel`](DistKernel), so every kernel
+//! method is available directly — the per-method `match` boilerplate
+//! the old enum carried is gone; dispatch happens once, at
+//! construction, inside [`KernelBuilder`]. Outputs are returned in each
+//! kernel's native layout (see the trait's layout contract); use
+//! [`crate::layout`] to gather or convert.
+
+use std::ops::{Deref, DerefMut};
 
 use dsk_comm::Comm;
-use dsk_dense::Mat;
-use dsk_sparse::CooMatrix;
 
-use crate::common::{AlgorithmFamily, Elision, ProblemDims, Sampling};
-use crate::dr25::DenseRepl25;
-use crate::ds15::DenseShift15;
+use crate::common::AlgorithmFamily;
 use crate::global::GlobalProblem;
-use crate::sr25::SparseRepl25;
-use crate::ss15::SparseShift15;
+use crate::kernel::{DistKernel, KernelBuilder, KernelId, KernelPlan};
+use crate::staged::StagedProblem;
 
-/// A per-rank worker for any algorithm family.
-pub enum DistWorker {
-    /// 1.5D dense-shifting.
-    Ds15(DenseShift15),
-    /// 1.5D sparse-shifting.
-    Ss15(SparseShift15),
-    /// 2.5D dense-replicating.
-    Dr25(DenseRepl25),
-    /// 2.5D sparse-replicating.
-    Sr25(SparseRepl25),
+/// A per-rank worker for any distributed kernel, with the plan it was
+/// built from.
+pub struct DistWorker {
+    kernel: Box<dyn DistKernel>,
+    plan: KernelPlan,
 }
 
 impl DistWorker {
+    /// Wrap an already-constructed kernel (used by [`KernelBuilder`]).
+    pub(crate) fn from_parts(kernel: Box<dyn DistKernel>, plan: KernelPlan) -> Self {
+        debug_assert_eq!(kernel.id(), plan.id, "plan does not match kernel");
+        DistWorker { kernel, plan }
+    }
+
     /// Build this rank's worker for `family` with replication factor
-    /// `c` from a borrowed global problem.
+    /// `c` from a borrowed global problem (test convenience; planner
+    /// callers use [`KernelBuilder`] directly).
     pub fn from_global(
         comm: &Comm,
         family: AlgorithmFamily,
         c: usize,
         prob: &GlobalProblem,
     ) -> Self {
-        Self::from_staged(comm, family, c, &crate::staged::StagedProblem::ephemeral(prob))
+        KernelBuilder::new(prob)
+            .family(family)
+            .replication(c)
+            .build(comm)
     }
 
     /// Build from shared staging (the benchmark path: the expensive
@@ -48,88 +54,65 @@ impl DistWorker {
         comm: &Comm,
         family: AlgorithmFamily,
         c: usize,
-        staged: &crate::staged::StagedProblem,
+        staged: &StagedProblem,
     ) -> Self {
-        match family {
-            AlgorithmFamily::DenseShift15 => {
-                DistWorker::Ds15(DenseShift15::from_staged(comm, c, staged))
-            }
-            AlgorithmFamily::SparseShift15 => {
-                DistWorker::Ss15(SparseShift15::from_staged(comm, c, staged))
-            }
-            AlgorithmFamily::DenseRepl25 => {
-                DistWorker::Dr25(DenseRepl25::from_staged(comm, c, staged))
-            }
-            AlgorithmFamily::SparseRepl25 => {
-                DistWorker::Sr25(SparseRepl25::from_staged(comm, c, staged))
-            }
-        }
+        KernelBuilder::from_staged(staged)
+            .family(family)
+            .replication(c)
+            .build(comm)
     }
 
-    /// Which family this worker implements.
-    pub fn family(&self) -> AlgorithmFamily {
-        match self {
-            DistWorker::Ds15(_) => AlgorithmFamily::DenseShift15,
-            DistWorker::Ss15(_) => AlgorithmFamily::SparseShift15,
-            DistWorker::Dr25(_) => AlgorithmFamily::DenseRepl25,
-            DistWorker::Sr25(_) => AlgorithmFamily::SparseRepl25,
-        }
+    /// Which implementation this worker wraps.
+    pub fn id(&self) -> KernelId {
+        self.plan.id
     }
 
-    /// Problem dimensions.
-    pub fn dims(&self) -> ProblemDims {
-        match self {
-            DistWorker::Ds15(w) => w.dims(),
-            DistWorker::Ss15(w) => w.dims(),
-            DistWorker::Dr25(w) => w.dims(),
-            DistWorker::Sr25(w) => w.dims(),
-        }
+    /// The algorithm family, when the worker wraps one of the four
+    /// families (`None` for the baseline).
+    pub fn family(&self) -> Option<AlgorithmFamily> {
+        self.plan.id.family()
     }
 
-    /// Distributed SDDMM on the stored operands.
-    pub fn sddmm(&mut self) {
-        match self {
-            DistWorker::Ds15(w) => w.sddmm(),
-            DistWorker::Ss15(w) => w.sddmm(),
-            DistWorker::Dr25(w) => w.sddmm(),
-            DistWorker::Sr25(w) => w.sddmm(),
-        }
+    /// Replication factor the worker was built with.
+    pub fn c(&self) -> usize {
+        self.plan.c
     }
 
-    /// FusedMMA on the stored operands (native output layout).
-    pub fn fused_mm_a(&mut self, elision: Elision, sampling: Sampling) -> Mat {
-        match self {
-            DistWorker::Ds15(w) => w.fused_mm_a(None, elision, sampling),
-            DistWorker::Ss15(w) => w.fused_mm_a(None, elision, sampling),
-            DistWorker::Dr25(w) => w.fused_mm_a(None, elision, sampling),
-            DistWorker::Sr25(w) => w.fused_mm_a(None, elision, sampling),
-        }
+    /// The plan this worker was built from (including the recommended
+    /// elision for fused calls).
+    pub fn plan(&self) -> KernelPlan {
+        self.plan
     }
 
-    /// FusedMMB on the stored operands (native output layout).
-    pub fn fused_mm_b(&mut self, elision: Elision, sampling: Sampling) -> Mat {
-        match self {
-            DistWorker::Ds15(w) => w.fused_mm_b(None, elision, sampling),
-            DistWorker::Ss15(w) => w.fused_mm_b(None, elision, sampling),
-            DistWorker::Dr25(w) => w.fused_mm_b(None, elision, sampling),
-            DistWorker::Sr25(w) => w.fused_mm_b(None, elision, sampling),
-        }
+    /// Borrow the kernel trait object.
+    pub fn kernel(&self) -> &dyn DistKernel {
+        &*self.kernel
     }
 
-    /// Gather the last SDDMM result to rank 0 (verification).
-    pub fn gather_r(&self, comm: &Comm) -> Option<CooMatrix> {
-        match self {
-            DistWorker::Ds15(w) => w.gather_r(comm),
-            DistWorker::Ss15(w) => w.gather_r(comm),
-            DistWorker::Dr25(w) => w.gather_r(comm),
-            DistWorker::Sr25(w) => w.gather_r(comm),
-        }
+    /// Mutably borrow the kernel trait object.
+    pub fn kernel_mut(&mut self) -> &mut dyn DistKernel {
+        &mut *self.kernel
+    }
+}
+
+impl Deref for DistWorker {
+    type Target = dyn DistKernel;
+
+    fn deref(&self) -> &Self::Target {
+        &*self.kernel
+    }
+}
+
+impl DerefMut for DistWorker {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        &mut *self.kernel
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::common::Sampling;
     use crate::theory::Algorithm;
     use dsk_comm::{MachineModel, SimWorld};
     use std::sync::Arc;
@@ -145,7 +128,8 @@ mod tests {
             let w = SimWorld::new(8, MachineModel::bandwidth_only());
             let out = w.run(move |comm| {
                 let mut worker = DistWorker::from_global(comm, alg.family, c, &pr);
-                let local = worker.fused_mm_b(alg.elision, Sampling::Values);
+                assert_eq!(worker.family(), Some(alg.family));
+                let local = worker.fused_mm_b(None, alg.elision, Sampling::Values);
                 // Smoke invariant: every local piece is finite.
                 assert!(local.as_slice().iter().all(|v| v.is_finite()));
                 local.as_slice().iter().map(|v| v * v).sum::<f64>()
@@ -160,5 +144,24 @@ mod tests {
                 alg
             );
         }
+    }
+
+    #[test]
+    fn baseline_runs_through_the_worker() {
+        let prob = Arc::new(GlobalProblem::erdos_renyi(24, 24, 6, 3, 92));
+        let expect = prob.reference_fused_b();
+        let expect_sq: f64 = expect.as_slice().iter().map(|v| v * v).sum();
+        let w = SimWorld::new(4, MachineModel::bandwidth_only());
+        let out = w.run(move |comm| {
+            let mut worker = KernelBuilder::new(&prob).baseline().build(comm);
+            assert_eq!(worker.family(), None);
+            let local = worker.fused_mm_b(None, crate::common::Elision::None, Sampling::Values);
+            local.as_slice().iter().map(|v| v * v).sum::<f64>()
+        });
+        let total: f64 = out.iter().map(|o| o.value).sum();
+        assert!(
+            (total - expect_sq).abs() <= 1e-6 * expect_sq.max(1.0),
+            "baseline norm mismatch"
+        );
     }
 }

@@ -1,16 +1,13 @@
 //! The row-major dense matrix type.
 
-use rand::distributions::{Distribution, Uniform};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+use dsk_rng::Rng;
 
 /// A dense `nrows × ncols` matrix of `f64`, stored row-major.
 ///
 /// Rows are the unit of distribution in every algorithm in this
 /// workspace (embedding matrices are tall and skinny), so row access is
 /// contiguous and free of bounds arithmetic surprises.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Mat {
     nrows: usize,
     ncols: usize,
@@ -55,9 +52,10 @@ impl Mat {
     /// distributed run can generate its own block of a global matrix
     /// without communication.
     pub fn random(nrows: usize, ncols: usize, seed: u64) -> Self {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let dist = Uniform::new_inclusive(-1.0, 1.0);
-        let data = (0..nrows * ncols).map(|_| dist.sample(&mut rng)).collect();
+        let mut rng = Rng::seed_from_u64(seed);
+        let data = (0..nrows * ncols)
+            .map(|_| rng.gen_range_f64(-1.0, 1.0))
+            .collect();
         Mat { nrows, ncols, data }
     }
 

@@ -1,17 +1,21 @@
-//! Property-based tests for the dense matrix substrate.
-
-use proptest::prelude::*;
+//! Randomized property tests for the dense matrix substrate, drawn from
+//! a seeded PRNG so failures reproduce exactly.
 
 use dsk_dense::ops;
 use dsk_dense::Mat;
+use dsk_rng::Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+const CASES: usize = 32;
 
-    /// Any block decomposition re-stacks to the original matrix.
-    #[test]
-    fn vstack_inverts_row_blocks(rows in 1usize..40, cols in 1usize..10,
-                                 parts in 1usize..6, seed in 0u64..500) {
+/// Any block decomposition re-stacks to the original matrix.
+#[test]
+fn vstack_inverts_row_blocks() {
+    let mut rng = Rng::seed_from_u64(0xD001);
+    for _ in 0..CASES {
+        let rows = 1 + rng.gen_index(39);
+        let cols = 1 + rng.gen_index(9);
+        let parts = 1 + rng.gen_index(5);
+        let seed = rng.next_u64() % 500;
         let m = Mat::random(rows, cols, seed);
         let mut blocks = Vec::new();
         let mut start = 0;
@@ -20,68 +24,95 @@ proptest! {
             blocks.push(m.rows_block(start..start + len));
             start += len;
         }
-        prop_assert_eq!(Mat::vstack(&blocks), m);
+        assert_eq!(Mat::vstack(&blocks), m);
     }
+}
 
-    /// Column splits re-stack horizontally.
-    #[test]
-    fn hstack_inverts_col_blocks(rows in 1usize..20, cols in 2usize..12,
-                                 cut in 1usize..11, seed in 0u64..500) {
-        let cut = cut.min(cols - 1);
+/// Column splits re-stack horizontally.
+#[test]
+fn hstack_inverts_col_blocks() {
+    let mut rng = Rng::seed_from_u64(0xD002);
+    for _ in 0..CASES {
+        let rows = 1 + rng.gen_index(19);
+        let cols = 2 + rng.gen_index(10);
+        let cut = (1 + rng.gen_index(10)).min(cols - 1);
+        let seed = rng.next_u64() % 500;
         let m = Mat::random(rows, cols, seed);
         let left = m.cols_block(0..cut);
         let right = m.cols_block(cut..cols);
-        prop_assert_eq!(Mat::hstack(&[left, right]), m);
+        assert_eq!(Mat::hstack(&[left, right]), m);
     }
+}
 
-    /// GEMM respects the transpose identity (A·B)ᵀ = Bᵀ·Aᵀ.
-    #[test]
-    fn gemm_transpose_identity(m in 1usize..10, k in 1usize..10, n in 1usize..10,
-                               seed in 0u64..500) {
+/// GEMM respects the transpose identity (A·B)ᵀ = Bᵀ·Aᵀ.
+#[test]
+fn gemm_transpose_identity() {
+    let mut rng = Rng::seed_from_u64(0xD003);
+    for _ in 0..CASES {
+        let m = 1 + rng.gen_index(9);
+        let k = 1 + rng.gen_index(9);
+        let n = 1 + rng.gen_index(9);
+        let seed = rng.next_u64() % 500;
         let a = Mat::random(m, k, seed);
         let b = Mat::random(k, n, seed + 1);
         let mut ab = Mat::zeros(m, n);
         ops::gemm_acc(&mut ab, &a, &b);
         let mut btat = Mat::zeros(n, m);
         ops::gemm_acc(&mut btat, &b.transpose(), &a.transpose());
-        prop_assert!(ops::max_abs_diff(&ab.transpose(), &btat) < 1e-10);
+        assert!(ops::max_abs_diff(&ab.transpose(), &btat) < 1e-10);
     }
+}
 
-    /// The Frobenius inner product is symmetric and positive on the
-    /// diagonal.
-    #[test]
-    fn frob_dot_symmetry(rows in 1usize..15, cols in 1usize..8, seed in 0u64..500) {
+/// The Frobenius inner product is symmetric and positive on the
+/// diagonal.
+#[test]
+fn frob_dot_symmetry() {
+    let mut rng = Rng::seed_from_u64(0xD004);
+    for _ in 0..CASES {
+        let rows = 1 + rng.gen_index(14);
+        let cols = 1 + rng.gen_index(7);
+        let seed = rng.next_u64() % 500;
         let x = Mat::random(rows, cols, seed);
         let y = Mat::random(rows, cols, seed + 1);
-        prop_assert!((ops::frob_dot(&x, &y) - ops::frob_dot(&y, &x)).abs() < 1e-12);
-        prop_assert!(ops::frob_dot(&x, &x) >= 0.0);
-        prop_assert!((ops::frob_norm(&x).powi(2) - ops::frob_dot(&x, &x)).abs() < 1e-9);
+        assert!((ops::frob_dot(&x, &y) - ops::frob_dot(&y, &x)).abs() < 1e-12);
+        assert!(ops::frob_dot(&x, &x) >= 0.0);
+        assert!((ops::frob_norm(&x).powi(2) - ops::frob_dot(&x, &x)).abs() < 1e-9);
     }
+}
 
-    /// axpy then axpy(-α) restores the original.
-    #[test]
-    fn axpy_is_invertible(rows in 1usize..15, cols in 1usize..8,
-                          alpha in -5.0f64..5.0, seed in 0u64..500) {
+/// axpy then axpy(-α) restores the original.
+#[test]
+fn axpy_is_invertible() {
+    let mut rng = Rng::seed_from_u64(0xD005);
+    for _ in 0..CASES {
+        let rows = 1 + rng.gen_index(14);
+        let cols = 1 + rng.gen_index(7);
+        let alpha = rng.gen_range_f64(-5.0, 5.0);
+        let seed = rng.next_u64() % 500;
         let x = Mat::random(rows, cols, seed);
         let orig = Mat::random(rows, cols, seed + 1);
         let mut y = orig.clone();
         ops::axpy(alpha, &x, &mut y);
         ops::axpy(-alpha, &x, &mut y);
-        prop_assert!(ops::max_abs_diff(&y, &orig) < 1e-9);
+        assert!(ops::max_abs_diff(&y, &orig) < 1e-9);
     }
+}
 
-    /// set_block/block round-trip at random offsets.
-    #[test]
-    fn block_set_roundtrip(rows in 2usize..16, cols in 2usize..16,
-                           r0 in 0usize..15, c0 in 0usize..15,
-                           h in 1usize..16, w in 1usize..16, seed in 0u64..500) {
-        let r0 = r0 % rows;
-        let c0 = c0 % cols;
-        let h = h.min(rows - r0);
-        let w = w.min(cols - c0);
+/// set_block/block round-trip at random offsets.
+#[test]
+fn block_set_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0xD006);
+    for _ in 0..CASES {
+        let rows = 2 + rng.gen_index(14);
+        let cols = 2 + rng.gen_index(14);
+        let r0 = rng.gen_index(rows);
+        let c0 = rng.gen_index(cols);
+        let h = (1 + rng.gen_index(15)).min(rows - r0);
+        let w = (1 + rng.gen_index(15)).min(cols - c0);
+        let seed = rng.next_u64() % 500;
         let mut m = Mat::random(rows, cols, seed);
         let patch = Mat::random(h, w, seed + 2);
         m.set_block(r0, c0, &patch);
-        prop_assert_eq!(m.block(r0..r0 + h, c0..c0 + w), patch);
+        assert_eq!(m.block(r0..r0 + h, c0..c0 + w), patch);
     }
 }

@@ -20,7 +20,6 @@
 
 use dsk_dense::Mat;
 use dsk_sparse::{CooMatrix, CsrMatrix};
-use rayon::prelude::*;
 
 /// Per-nonzero interaction between a row of the A-side panel and a row
 /// of the B-side panel. Every variant decomposes as a sum over the
@@ -98,7 +97,7 @@ pub fn par_sddmm_csr_acc(acc: &mut [f64], s: &CsrMatrix, a_panel: &Mat, b_panel:
     assert_eq!(b_panel.nrows(), s.ncols(), "B panel rows must match S cols");
     let indptr = s.indptr();
     // Cut rows into contiguous chunks and hand each its slice of acc.
-    let nchunks = rayon::current_num_threads().max(1) * 4;
+    let nchunks = crate::spmm::par_threads().max(1);
     let rows_per_chunk = s.nrows().div_ceil(nchunks).max(1);
     let mut jobs: Vec<(usize, usize, &mut [f64])> = Vec::new();
     let mut rest = acc;
@@ -113,17 +112,21 @@ pub fn par_sddmm_csr_acc(acc: &mut [f64], s: &CsrMatrix, a_panel: &Mat, b_panel:
         consumed = end;
         row0 = row1;
     }
-    jobs.into_par_iter().for_each(|(r0, r1, chunk)| {
-        let base = indptr[r0];
-        for i in r0..r1 {
-            let (cols, _) = s.row(i);
-            let arow = a_panel.row(i);
-            let start = indptr[i] - base;
-            for (off, &j) in cols.iter().enumerate() {
-                let brow = b_panel.row(j as usize);
-                let dot: f64 = arow.iter().zip(brow).map(|(x, y)| x * y).sum();
-                chunk[start + off] += dot;
-            }
+    std::thread::scope(|scope| {
+        for (r0, r1, chunk) in jobs {
+            scope.spawn(move || {
+                let base = indptr[r0];
+                for i in r0..r1 {
+                    let (cols, _) = s.row(i);
+                    let arow = a_panel.row(i);
+                    let start = indptr[i] - base;
+                    for (off, &j) in cols.iter().enumerate() {
+                        let brow = b_panel.row(j as usize);
+                        let dot: f64 = arow.iter().zip(brow).map(|(x, y)| x * y).sum();
+                        chunk[start + off] += dot;
+                    }
+                }
+            });
         }
     });
 }
@@ -141,7 +144,11 @@ pub fn sddmm_coo_acc_with(
     b_panel: &Mat,
     combine: SddmmCombine<'_>,
 ) {
-    assert_eq!(acc.len(), s.rows.len(), "accumulator must align with pattern");
+    assert_eq!(
+        acc.len(),
+        s.rows.len(),
+        "accumulator must align with pattern"
+    );
     assert_eq!(a_panel.nrows(), s.nrows, "A panel rows must match S rows");
     assert_eq!(b_panel.nrows(), s.ncols, "B panel rows must match S cols");
     assert_eq!(

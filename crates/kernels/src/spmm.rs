@@ -7,7 +7,11 @@
 
 use dsk_dense::Mat;
 use dsk_sparse::{CooMatrix, CsrMatrix};
-use rayon::prelude::*;
+
+/// Threads used by the `par_*` kernel variants (one per available core).
+pub(crate) fn par_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
 
 /// `out += S·B`. Shapes: `S: m×n`, `B: n×r`, `out: m×r`.
 pub fn spmm_csr_acc(out: &mut Mat, s: &CsrMatrix, b: &Mat) {
@@ -26,25 +30,39 @@ pub fn spmm_csr_acc(out: &mut Mat, s: &CsrMatrix, b: &Mat) {
     }
 }
 
-/// Row-parallel `out += S·B` (rayon). Output rows are independent, so
-/// rows of `S` are processed in parallel chunks.
+/// Row-parallel `out += S·B` (scoped threads). Output rows are
+/// independent, so contiguous row chunks of `S` are processed in
+/// parallel, one chunk per thread.
 pub fn par_spmm_csr_acc(out: &mut Mat, s: &CsrMatrix, b: &Mat) {
     assert_eq!(out.nrows(), s.nrows(), "output rows must match S rows");
     assert_eq!(b.nrows(), s.ncols(), "B rows must match S cols");
     assert_eq!(out.ncols(), b.ncols(), "output width must match B width");
     let r = out.ncols();
-    out.as_mut_slice()
-        .par_chunks_mut(r)
+    let nrows = s.nrows();
+    let nthreads = par_threads().min(nrows.max(1));
+    let rows_per = nrows.div_ceil(nthreads.max(1)).max(1);
+    let chunks: Vec<(usize, &mut [f64])> = out
+        .as_mut_slice()
+        .chunks_mut(rows_per * r.max(1))
         .enumerate()
-        .for_each(|(i, orow)| {
-            let (cols, vals) = s.row(i);
-            for (&j, &v) in cols.iter().zip(vals) {
-                let brow = b.row(j as usize);
-                for (o, x) in orow.iter_mut().zip(brow) {
-                    *o += v * x;
+        .map(|(k, chunk)| (k * rows_per, chunk))
+        .collect();
+    std::thread::scope(|scope| {
+        for (row0, chunk) in chunks {
+            scope.spawn(move || {
+                let nchunk = chunk.len().checked_div(r).unwrap_or(0);
+                for (di, orow) in chunk.chunks_mut(r.max(1)).enumerate().take(nchunk) {
+                    let (cols, vals) = s.row(row0 + di);
+                    for (&j, &v) in cols.iter().zip(vals) {
+                        let brow = b.row(j as usize);
+                        for (o, x) in orow.iter_mut().zip(brow) {
+                            *o += v * x;
+                        }
+                    }
                 }
-            }
-        });
+            });
+        }
+    });
 }
 
 /// `out += Sᵀ·A`. Shapes: `S: m×n`, `A: m×r`, `out: n×r`. Row-scatter

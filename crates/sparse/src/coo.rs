@@ -7,11 +7,10 @@
 //! [`Payload`] implementation.
 
 use dsk_comm::Payload;
-use serde::{Deserialize, Serialize};
 
 /// A sparse `nrows × ncols` matrix as parallel (row, col, value) arrays.
 /// Indices are `u32`; matrices beyond 4 G rows/cols are out of scope.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CooMatrix {
     /// Number of rows.
     pub nrows: usize,

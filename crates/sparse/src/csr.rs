@@ -1,11 +1,10 @@
 //! Compressed sparse row storage — the format local kernels compute on.
 
 use crate::coo::CooMatrix;
-use serde::{Deserialize, Serialize};
 
 /// A sparse matrix in CSR form: `indptr[i]..indptr[i+1]` indexes the
 /// column/value arrays for row `i`. Columns within a row are sorted.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CsrMatrix {
     nrows: usize,
     ncols: usize,

@@ -12,9 +12,7 @@
 //! exactly the rows it owns (each row's column set is seeded by
 //! `(seed, row)`), so distributed benchmarks need no global staging.
 
-use rand::distributions::{Distribution, Uniform};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use dsk_rng::Rng;
 
 use crate::coo::CooMatrix;
 
@@ -54,21 +52,20 @@ pub fn erdos_renyi_rows(
     out.rows.reserve(cap);
     out.cols.reserve(cap);
     out.vals.reserve(cap);
-    let col_dist = Uniform::new(0, ncols as u64);
     for i in rows {
-        let mut rng = ChaCha8Rng::seed_from_u64(row_seed(seed, i));
+        let mut rng = Rng::seed_from_u64(row_seed(seed, i));
         // Rejection-sample distinct columns; nnz_per_row ≪ ncols in all
         // workloads so this terminates fast. A sorted small vec is cheaper
         // than a HashSet at these sizes.
         let mut cols: Vec<u32> = Vec::with_capacity(nnz_per_row);
         while cols.len() < nnz_per_row {
-            let c = col_dist.sample(&mut rng) as u32;
+            let c = rng.gen_below(ncols as u64) as u32;
             if let Err(pos) = cols.binary_search(&c) {
                 cols.insert(pos, c);
             }
         }
         for c in cols {
-            let v: f64 = rng.gen_range(0.0..1.0);
+            let v: f64 = rng.gen_f64();
             out.rows.push(i as u32);
             out.cols.push(c);
             out.vals.push(1.0 - v); // in (0, 1]
@@ -115,7 +112,7 @@ impl RmatParams {
 pub fn rmat(params: RmatParams) -> CooMatrix {
     let n = 1usize << params.scale;
     let nnz_target = params.edge_factor << params.scale;
-    let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
+    let mut rng = Rng::seed_from_u64(params.seed);
     let mut out = CooMatrix::empty(n, n);
     out.rows.reserve(nnz_target);
     out.cols.reserve(nnz_target);
@@ -126,7 +123,7 @@ pub fn rmat(params: RmatParams) -> CooMatrix {
         let (mut r0, mut c0) = (0usize, 0usize);
         let mut half = n >> 1;
         while half > 0 {
-            let x: f64 = rng.gen();
+            let x: f64 = rng.gen_f64();
             if x < a {
                 // upper-left: nothing
             } else if x < a + b {

@@ -99,7 +99,10 @@ fn ranges_tile(ranges: &[Range<usize>], total: usize) -> bool {
 
 /// Partition into block rows (local indices).
 pub fn partition_rows(m: &CooMatrix, parts: usize) -> Vec<CooMatrix> {
-    partition_2d(m, parts, 1).into_iter().map(|mut v| v.pop().unwrap()).collect()
+    partition_2d(m, parts, 1)
+        .into_iter()
+        .map(|mut v| v.pop().unwrap())
+        .collect()
 }
 
 /// Partition into block columns (local indices).

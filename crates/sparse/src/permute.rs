@@ -5,9 +5,7 @@
 //! to every matrix it reads). A [`Permutation`] is a bijection on
 //! `0..n`; applying it to a matrix relabels indices.
 
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use dsk_rng::Rng;
 
 use crate::coo::CooMatrix;
 
@@ -30,8 +28,8 @@ impl Permutation {
     /// `seed`.
     pub fn random(len: usize, seed: u64) -> Self {
         let mut forward: Vec<u32> = (0..len as u32).collect();
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        forward.shuffle(&mut rng);
+        let mut rng = Rng::seed_from_u64(seed);
+        rng.shuffle(&mut forward);
         Permutation { forward }
     }
 
@@ -133,7 +131,7 @@ mod tests {
     #[test]
     fn random_is_bijection() {
         let p = Permutation::random(100, 3);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for i in 0..100 {
             let x = p.apply(i);
             assert!(!seen[x]);

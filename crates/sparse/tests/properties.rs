@@ -1,22 +1,26 @@
-//! Property-based tests for the sparse substrate: format round-trips,
-//! generator invariants, permutation group laws, and partition
-//! partition-of-unity.
+//! Randomized property tests for the sparse substrate: format
+//! round-trips, generator invariants, permutation group laws, and
+//! partition partition-of-unity. Cases are drawn from a seeded PRNG so
+//! failures reproduce exactly.
 
-use proptest::prelude::*;
-
+use dsk_rng::Rng;
 use dsk_sparse::gen::{self, RmatParams};
 use dsk_sparse::io;
 use dsk_sparse::partition;
 use dsk_sparse::permute::{permute_coo, Permutation};
 use dsk_sparse::{CooMatrix, CsrMatrix};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: usize = 24;
 
-    /// Matrix Market write/read is lossless for arbitrary generated
-    /// matrices.
-    #[test]
-    fn matrix_market_roundtrip(m in 1usize..30, n in 1usize..30, seed in 0u64..500) {
+/// Matrix Market write/read is lossless for arbitrary generated
+/// matrices.
+#[test]
+fn matrix_market_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0x51AA);
+    for _ in 0..CASES {
+        let m = 1 + rng.gen_index(29);
+        let n = 1 + rng.gen_index(29);
+        let seed = rng.next_u64() % 500;
         let nnz_row = (1 + seed as usize % 4).min(n);
         let coo = gen::erdos_renyi(m, n, nnz_row, seed);
         let mut buf = Vec::new();
@@ -29,61 +33,83 @@ proptest! {
             }
         }
         let back = io::read_matrix_market_from(std::io::Cursor::new(buf)).unwrap();
-        prop_assert_eq!(back.to_dense(), coo.to_dense());
+        assert_eq!(back.to_dense(), coo.to_dense());
     }
+}
 
-    /// Permutations form a group: (p⁻¹∘p) = id on matrices.
-    #[test]
-    fn permutation_inverse_restores(m in 1usize..30, seed in 0u64..500) {
+/// Permutations form a group: (p⁻¹∘p) = id on matrices.
+#[test]
+fn permutation_inverse_restores() {
+    let mut rng = Rng::seed_from_u64(0x51AB);
+    for _ in 0..CASES {
+        let m = 1 + rng.gen_index(29);
+        let seed = rng.next_u64() % 500;
         let coo = gen::erdos_renyi(m, m, 2.min(m), seed);
         let p = Permutation::random(m, seed + 1);
         let forward = permute_coo(&coo, &p, &p);
         let back = permute_coo(&forward, &p.inverse(), &p.inverse());
-        prop_assert_eq!(back.to_dense(), coo.to_dense());
+        assert_eq!(back.to_dense(), coo.to_dense());
     }
+}
 
-    /// Every partition owns each nonzero exactly once and re-assembles.
-    #[test]
-    fn partition_of_unity(m in 1usize..40, n in 1usize..40,
-                          rp in 1usize..6, cp in 1usize..6, seed in 0u64..500) {
+/// Every partition owns each nonzero exactly once and re-assembles.
+#[test]
+fn partition_of_unity() {
+    let mut rng = Rng::seed_from_u64(0x51AC);
+    for _ in 0..CASES {
+        let m = 1 + rng.gen_index(39);
+        let n = 1 + rng.gen_index(39);
+        let rp = 1 + rng.gen_index(5);
+        let cp = 1 + rng.gen_index(5);
+        let seed = rng.next_u64() % 500;
         let nnz_row = (1 + seed as usize % 3).min(n);
         let coo = gen::erdos_renyi(m, n, nnz_row, seed);
         let grid = partition::partition_2d(&coo, rp, cp);
         let total: usize = grid.iter().flatten().map(CooMatrix::nnz).sum();
-        prop_assert_eq!(total, coo.nnz());
+        assert_eq!(total, coo.nnz());
         let back = partition::unpartition_2d(&grid, m, n);
-        prop_assert_eq!(back.to_dense(), coo.to_dense());
+        assert_eq!(back.to_dense(), coo.to_dense());
     }
+}
 
-    /// Uneven explicit ranges also form a partition of unity.
-    #[test]
-    fn ranged_partition_of_unity(m in 4usize..40, n in 4usize..40,
-                                 cut_r in 1usize..39, cut_c in 1usize..39,
-                                 seed in 0u64..500) {
-        let cut_r = 1 + cut_r % (m - 1);
-        let cut_c = 1 + cut_c % (n - 1);
+/// Uneven explicit ranges also form a partition of unity.
+#[test]
+fn ranged_partition_of_unity() {
+    let mut rng = Rng::seed_from_u64(0x51AD);
+    for _ in 0..CASES {
+        let m = 4 + rng.gen_index(36);
+        let n = 4 + rng.gen_index(36);
+        let cut_r = 1 + rng.gen_index(m - 1);
+        let cut_c = 1 + rng.gen_index(n - 1);
+        let seed = rng.next_u64() % 500;
         let coo = gen::erdos_renyi(m, n, 2.min(n), seed);
         let rows = vec![0..cut_r, cut_r..m];
         let cols = vec![0..cut_c, cut_c..n];
         let grid = partition::partition_by_ranges(&coo, &rows, &cols);
         let total: usize = grid.iter().flatten().map(CooMatrix::nnz).sum();
-        prop_assert_eq!(total, coo.nnz());
+        assert_eq!(total, coo.nnz());
         // Local indices must be in bounds of their blocks.
         for (bi, row) in grid.iter().enumerate() {
             for (bj, blk) in row.iter().enumerate() {
-                prop_assert_eq!(blk.nrows, rows[bi].len());
-                prop_assert_eq!(blk.ncols, cols[bj].len());
+                assert_eq!(blk.nrows, rows[bi].len());
+                assert_eq!(blk.ncols, cols[bj].len());
                 for (i, j, _) in blk.iter() {
-                    prop_assert!(i < blk.nrows && j < blk.ncols);
+                    assert!(i < blk.nrows && j < blk.ncols);
                 }
             }
         }
     }
+}
 
-    /// CSR from shuffled COO equals CSR from sorted COO (order
-    /// independence).
-    #[test]
-    fn csr_is_order_independent(m in 1usize..20, n in 1usize..20, seed in 0u64..500) {
+/// CSR from shuffled COO equals CSR from sorted COO (order
+/// independence).
+#[test]
+fn csr_is_order_independent() {
+    let mut rng = Rng::seed_from_u64(0x51AE);
+    for _ in 0..CASES {
+        let m = 1 + rng.gen_index(19);
+        let n = 1 + rng.gen_index(19);
+        let seed = rng.next_u64() % 500;
         let nnz_row = (1 + seed as usize % 4).min(n);
         let coo = gen::erdos_renyi(m, n, nnz_row, seed);
         // Reverse the triplet order.
@@ -94,30 +120,40 @@ proptest! {
             coo.cols.iter().rev().copied().collect(),
             coo.vals.iter().rev().copied().collect(),
         );
-        prop_assert_eq!(CsrMatrix::from_coo(&coo), CsrMatrix::from_coo(&rev));
+        assert_eq!(CsrMatrix::from_coo(&coo), CsrMatrix::from_coo(&rev));
     }
+}
 
-    /// R-MAT respects its shape contract and determinism.
-    #[test]
-    fn rmat_contract(scale in 4u32..9, ef in 1usize..8, seed in 0u64..200) {
+/// R-MAT respects its shape contract and determinism.
+#[test]
+fn rmat_contract() {
+    let mut rng = Rng::seed_from_u64(0x51AF);
+    for _ in 0..CASES {
+        let scale = 4 + (rng.gen_index(5) as u32);
+        let ef = 1 + rng.gen_index(7);
+        let seed = rng.next_u64() % 200;
         let p = RmatParams::graph500(scale, ef, seed);
         let m1 = gen::rmat(p);
         let m2 = gen::rmat(p);
-        prop_assert_eq!(&m1, &m2);
-        prop_assert_eq!(m1.nrows, 1usize << scale);
-        prop_assert!(m1.nnz() <= ef << scale);
+        assert_eq!(&m1, &m2);
+        assert_eq!(m1.nrows, 1usize << scale);
+        assert!(m1.nnz() <= ef << scale);
         for (i, j, v) in m1.iter() {
-            prop_assert!(i < m1.nrows && j < m1.ncols);
-            prop_assert_eq!(v, 1.0);
+            assert!(i < m1.nrows && j < m1.ncols);
+            assert_eq!(v, 1.0);
         }
     }
+}
 
-    /// Erdős–Rényi row decomposability holds for arbitrary split
-    /// points.
-    #[test]
-    fn er_row_decomposable(m in 2usize..40, n in 4usize..40, cut in 1usize..39,
-                           seed in 0u64..500) {
-        let cut = cut % m;
+/// Erdős–Rényi row decomposability holds for arbitrary split points.
+#[test]
+fn er_row_decomposable() {
+    let mut rng = Rng::seed_from_u64(0x51B0);
+    for _ in 0..CASES {
+        let m = 2 + rng.gen_index(38);
+        let n = 4 + rng.gen_index(36);
+        let cut = rng.gen_index(m);
+        let seed = rng.next_u64() % 500;
         let nnz_row = 2.min(n);
         let whole = gen::erdos_renyi(m, n, nnz_row, seed);
         let top = gen::erdos_renyi_rows(0..cut, m, n, nnz_row, seed);
@@ -126,6 +162,6 @@ proptest! {
         merged.rows.extend_from_slice(&bottom.rows);
         merged.cols.extend_from_slice(&bottom.cols);
         merged.vals.extend_from_slice(&bottom.vals);
-        prop_assert_eq!(merged.to_dense(), whole.to_dense());
+        assert_eq!(merged.to_dense(), whole.to_dense());
     }
 }

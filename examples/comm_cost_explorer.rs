@@ -35,7 +35,10 @@ fn main() {
         "| {:<42} | {:>8} | {:>14} | {:>9} | {:>12} |",
         "algorithm", "best c", "words/proc", "msgs/proc", "est. time (s)"
     );
-    println!("|{:-<44}|{:-<10}|{:-<16}|{:-<11}|{:-<14}|", "", "", "", "", "");
+    println!(
+        "|{:-<44}|{:-<10}|{:-<16}|{:-<11}|{:-<14}|",
+        "", "", "", "", ""
+    );
 
     for alg in Algorithm::all_benchmarked() {
         let Some(c) = theory::optimal_c_search(alg, p, dims, nnz, 16) else {
@@ -55,14 +58,7 @@ fn main() {
         );
     }
 
-    let best = theory::predict_best(
-        &model,
-        &Algorithm::all_benchmarked(),
-        p,
-        dims,
-        nnz,
-        16,
-    );
+    let best = theory::predict_best(&model, &Algorithm::all_benchmarked(), p, dims, nnz, 16);
     println!(
         "\npredicted winner: {} at c = {} (comm {:.5} s)",
         best.algorithm.label(),

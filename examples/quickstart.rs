@@ -1,5 +1,7 @@
 //! Quickstart: run a distributed FusedMM on a simulated 8-rank machine
-//! and verify it against the serial reference.
+//! and verify it against the serial reference — everything through the
+//! [`prelude`](distributed_sparse_kernels::prelude) and the
+//! [`KernelBuilder`] planner.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -7,13 +9,8 @@
 
 use std::sync::Arc;
 
-use distributed_sparse_kernels::comm::{MachineModel, Phase, SimWorld};
-use distributed_sparse_kernels::core::theory::Algorithm;
-use distributed_sparse_kernels::core::worker::DistWorker;
-use distributed_sparse_kernels::core::{
-    AlgorithmFamily, Elision, GlobalProblem, Sampling, StagedProblem,
-};
 use distributed_sparse_kernels::dense::ops::max_abs_diff;
+use distributed_sparse_kernels::prelude::*;
 
 fn main() {
     // A small problem: S is 256×256 with 8 nonzeros per row, embeddings
@@ -29,22 +26,47 @@ fn main() {
     );
     let reference = prob.reference_fused_b();
 
-    // Try two algorithms: the 1.5D dense-shifting algorithm with local
-    // kernel fusion, and the 1.5D sparse-shifting algorithm with
-    // replication reuse.
-    for (family, elision) in [
-        (AlgorithmFamily::DenseShift15, Elision::LocalKernelFusion),
-        (AlgorithmFamily::SparseShift15, Elision::ReplicationReuse),
-    ] {
-        let alg = Algorithm::new(family, elision);
-        let staged = Arc::new(StagedProblem::new(Arc::clone(&prob)));
-        let reference = reference.clone();
+    // First, let the planner decide: KernelBuilder::auto() consults the
+    // paper's Table III/IV cost model and picks the predicted-cheapest
+    // algorithm, replication factor, and elision for this shape.
+    let auto_plan = KernelBuilder::from_arc(Arc::clone(&prob)).plan(8);
+    println!(
+        "planner: at p = 8 the predicted-cheapest algorithm is {} at c = {} \
+         (modeled comm {:.3e} s per FusedMM)\n",
+        auto_plan.algorithm().expect("planned a family").label(),
+        auto_plan.c,
+        auto_plan.predicted_comm_s.unwrap()
+    );
 
-        // 8 ranks, replication factor c = 2, Cori-like cost model.
+    // Then run three configurations — the auto plan plus two pinned
+    // algorithms — and verify each against the serial reference.
+    let configs: [(&str, KernelBuilder<'static>); 3] = [
+        ("auto", KernelBuilder::from_arc(Arc::clone(&prob))),
+        (
+            "1.5D dense shift + LKF",
+            KernelBuilder::from_arc(Arc::clone(&prob))
+                .family(AlgorithmFamily::DenseShift15)
+                .elision(Elision::LocalKernelFusion)
+                .replication(2),
+        ),
+        (
+            "1.5D sparse shift + reuse",
+            KernelBuilder::from_arc(Arc::clone(&prob))
+                .family(AlgorithmFamily::SparseShift15)
+                .elision(Elision::ReplicationReuse)
+                .replication(2),
+        ),
+    ];
+
+    for (name, builder) in configs {
+        let reference = reference.clone();
+        let plan = builder.plan(8);
+
+        // 8 ranks, Cori-like cost model.
         let world = SimWorld::new(8, MachineModel::cori_knl());
         let outcomes = world.run(move |comm| {
-            let mut worker = DistWorker::from_staged(comm, alg.family, 2, &staged);
-            let local = worker.fused_mm_b(alg.elision, Sampling::Values);
+            let mut worker = builder.build(comm);
+            let local = worker.fused_mm_b(None, plan.elision, Sampling::Values);
             // Layout-independent check: the global Frobenius norm.
             let local_sq: f64 = local.as_slice().iter().map(|v| v * v).sum();
             comm.allreduce_scalar(local_sq)
@@ -52,7 +74,7 @@ fn main() {
 
         let expected_sq: f64 = reference.as_slice().iter().map(|v| v * v).sum();
         let got_sq = outcomes[0].value;
-        println!("== {} ==", alg.label());
+        println!("== {name}: {} (c = {}) ==", plan.id.label(), plan.c);
         println!(
             "  ‖FusedMMB‖² distributed = {got_sq:.6e}, serial = {expected_sq:.6e} (diff {:.2e})",
             (got_sq - expected_sq).abs()
@@ -72,11 +94,13 @@ fn main() {
     }
 
     // The same check through the gather path, for one algorithm.
-    let staged = Arc::new(StagedProblem::new(Arc::clone(&prob)));
-    let world = SimWorld::new(8, MachineModel::cori_knl());
     let expected = prob.reference_sddmm().to_coo().to_dense();
+    let builder = KernelBuilder::from_arc(Arc::clone(&prob))
+        .family(AlgorithmFamily::DenseShift15)
+        .replication(2);
+    let world = SimWorld::new(8, MachineModel::cori_knl());
     let outcomes = world.run(move |comm| {
-        let mut worker = DistWorker::from_staged(comm, AlgorithmFamily::DenseShift15, 2, &staged);
+        let mut worker = builder.build(comm);
         worker.sddmm();
         worker.gather_r(comm)
     });

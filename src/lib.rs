@@ -23,10 +23,41 @@
 //!   graph-attention-network inference built on the distributed kernels.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
+//!
+//! Most programs only need the [`prelude`]: the [`prelude::DistKernel`]
+//! trait, the [`prelude::KernelBuilder`] planner, and the handful of
+//! vocabulary types they speak.
 
 pub use dsk_apps as apps;
 pub use dsk_comm as comm;
 pub use dsk_core as core;
 pub use dsk_dense as dense;
 pub use dsk_kernels as kernels;
+pub use dsk_rng as rng;
 pub use dsk_sparse as sparse;
+
+/// The one-stop import for driving distributed kernels:
+///
+/// ```
+/// use distributed_sparse_kernels::prelude::*;
+///
+/// let prob = GlobalProblem::erdos_renyi(64, 64, 8, 4, 7);
+/// let world = SimWorld::new(8, MachineModel::cori_knl());
+/// let out = world.run(|comm| {
+///     let mut worker = KernelBuilder::new(&prob).auto().build(comm);
+///     let elision = worker.plan().elision;
+///     let local = worker.fused_mm_b(None, elision, Sampling::Values);
+///     local.as_slice().iter().map(|v| v * v).sum::<f64>()
+/// });
+/// assert!(out.iter().map(|o| o.value).sum::<f64>() > 0.0);
+/// ```
+pub mod prelude {
+    pub use dsk_comm::{Comm, MachineModel, Phase, SimWorld};
+    pub use dsk_core::common::{AlgorithmFamily, Elision, ProblemDims, Sampling};
+    pub use dsk_core::global::GlobalProblem;
+    pub use dsk_core::kernel::{CombineSpec, DistKernel, KernelBuilder, KernelId, KernelPlan};
+    pub use dsk_core::staged::StagedProblem;
+    pub use dsk_core::theory::Algorithm;
+    pub use dsk_core::worker::DistWorker;
+    pub use dsk_dense::Mat;
+}

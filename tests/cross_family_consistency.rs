@@ -16,7 +16,7 @@ fn fused_b_norm_sq(prob: &Arc<GlobalProblem>, p: usize, alg: Algorithm, c: usize
     let world = SimWorld::new(p, MachineModel::cori_knl());
     let out = world.run(move |comm| {
         let mut w = DistWorker::from_global(comm, alg.family, c, &prob2);
-        let local = w.fused_mm_b(alg.elision, Sampling::Values);
+        let local = w.fused_mm_b(None, alg.elision, Sampling::Values);
         local.as_slice().iter().map(|v| v * v).sum::<f64>()
     });
     out.iter().map(|o| o.value).sum()
@@ -27,12 +27,7 @@ fn fused_a_norm_sq(prob: &Arc<GlobalProblem>, p: usize, alg: Algorithm, c: usize
     let world = SimWorld::new(p, MachineModel::cori_knl());
     let out = world.run(move |comm| {
         let mut w = DistWorker::from_global(comm, alg.family, c, &prob2);
-        let local = match &mut w {
-            DistWorker::Ds15(x) => x.fused_mm_a(None, alg.elision, Sampling::Values),
-            DistWorker::Ss15(x) => x.fused_mm_a(None, alg.elision, Sampling::Values),
-            DistWorker::Dr25(x) => x.fused_mm_a(None, alg.elision, Sampling::Values),
-            DistWorker::Sr25(x) => x.fused_mm_a(None, alg.elision, Sampling::Values),
-        };
+        let local = w.fused_mm_a(None, alg.elision, Sampling::Values);
         local.as_slice().iter().map(|v| v * v).sum::<f64>()
     });
     out.iter().map(|o| o.value).sum()

@@ -1,0 +1,157 @@
+//! `KernelBuilder::auto()` must reproduce the paper's Figure 6 phase
+//! diagram: the planned algorithm equals `theory::predict_best`'s
+//! winner on a handful of (m, n, nnz, p) points spanning four distinct
+//! regimes — one per algorithm family — and the planned configuration
+//! actually computes the right answer end-to-end.
+
+use distributed_sparse_kernels::core::theory::{self, Algorithm};
+use distributed_sparse_kernels::prelude::*;
+
+/// Paper-scale shape statistics where each family wins (verified
+/// against the Table III cost model; see §VI-C/§VI-D for the
+/// qualitative picture: sparse-shifting at low φ, dense-shifting at
+/// high φ, 2.5D replication when fibers are cheap relative to rings).
+#[test]
+fn theory_phase_diagram_covers_all_families_at_paper_scale() {
+    let model = MachineModel::cori_knl();
+    let cases = [
+        // (name, n, r, nnz/row, p, winning family)
+        (
+            "low-phi 1.5D sparse shift",
+            1usize << 18,
+            256usize,
+            4usize,
+            32usize,
+            AlgorithmFamily::SparseShift15,
+        ),
+        (
+            "high-phi 1.5D dense shift",
+            1 << 18,
+            64,
+            256,
+            32,
+            AlgorithmFamily::DenseShift15,
+        ),
+        (
+            "phi=1/2 2.5D sparse repl",
+            1 << 14,
+            16,
+            8,
+            64,
+            AlgorithmFamily::SparseRepl25,
+        ),
+        (
+            "wide-r 2.5D dense repl",
+            1 << 14,
+            512,
+            128,
+            64,
+            AlgorithmFamily::DenseRepl25,
+        ),
+    ];
+    for (name, n, r, nnz_per_row, p, family) in cases {
+        let dims = ProblemDims::new(n, n, r);
+        let nnz = n * nnz_per_row;
+        let best = theory::predict_best(&model, &Algorithm::all_benchmarked(), p, dims, nnz, 16);
+        assert_eq!(
+            best.algorithm.family, family,
+            "phase-diagram regime '{name}' picked {:?}",
+            best.algorithm
+        );
+    }
+}
+
+/// The planner must agree with `theory::predict_best` exactly —
+/// algorithm, elision, replication factor, and predicted time — on
+/// materializable problems spanning all four families, and the planned
+/// worker must produce the correct FusedMM.
+#[test]
+fn auto_matches_theory_and_runs_on_four_regimes() {
+    // Shape points confirmed to make each family the Table III winner
+    // (same φ corners as the paper-scale cases above, scaled down so
+    // the problems materialize and the worlds run).
+    let cases = [
+        // (name, n, r, nnz/row, p, family)
+        (
+            "1.5D dense shift",
+            1usize << 10,
+            8usize,
+            8usize,
+            16usize,
+            AlgorithmFamily::DenseShift15,
+        ),
+        (
+            "1.5D sparse shift",
+            1 << 10,
+            16,
+            2,
+            16,
+            AlgorithmFamily::SparseShift15,
+        ),
+        (
+            "2.5D dense repl",
+            1 << 10,
+            32,
+            2,
+            16,
+            AlgorithmFamily::DenseRepl25,
+        ),
+        (
+            "2.5D sparse repl",
+            1 << 10,
+            256,
+            128,
+            64,
+            AlgorithmFamily::SparseRepl25,
+        ),
+    ];
+    for (name, n, r, nnz_per_row, p, family) in cases {
+        let prob = GlobalProblem::erdos_renyi(n, n, r, nnz_per_row, 7);
+        let builder = KernelBuilder::new(&prob);
+        let plan = builder.plan(p);
+        let expect = theory::predict_best(
+            &MachineModel::cori_knl(),
+            &Algorithm::all_benchmarked(),
+            p,
+            prob.dims,
+            prob.nnz(),
+            16,
+        );
+        assert_eq!(
+            plan.algorithm().unwrap(),
+            expect.algorithm,
+            "planner/theory algorithm mismatch for regime '{name}'"
+        );
+        assert_eq!(plan.c, expect.c, "regime '{name}'");
+        assert!(
+            (plan.predicted_comm_s.unwrap() - expect.time_s).abs() <= 1e-12 * expect.time_s,
+            "regime '{name}': predicted time drifted from theory"
+        );
+        assert_eq!(
+            plan.id,
+            KernelId::Family(family),
+            "regime '{name}': planned {:?}, expected family {family:?}",
+            plan.id
+        );
+
+        // The planned configuration must actually compute FusedMMB.
+        let expect_sq: f64 = prob
+            .reference_fused_b()
+            .as_slice()
+            .iter()
+            .map(|v| v * v)
+            .sum();
+        let world = SimWorld::new(p, MachineModel::cori_knl());
+        let out = world.run(move |comm| {
+            let mut worker = builder.build(comm);
+            let elision = worker.plan().elision;
+            let local = worker.fused_mm_b(None, elision, Sampling::Values);
+            local.as_slice().iter().map(|v| v * v).sum::<f64>()
+        });
+        let got: f64 = out.iter().map(|o| o.value).sum();
+        assert!(
+            (got - expect_sq).abs() <= 1e-6 * expect_sq.max(1.0),
+            "regime '{name}': planned algorithm produced a wrong FusedMM"
+        );
+    }
+}

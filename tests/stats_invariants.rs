@@ -16,7 +16,7 @@ fn global_sends_equal_global_receives() {
         let world = SimWorld::new(8, MachineModel::cori_knl());
         let out = world.run(move |comm| {
             let mut w = DistWorker::from_global(comm, alg.family, 2, &prob2);
-            let _ = w.fused_mm_b(alg.elision, Sampling::Values);
+            let _ = w.fused_mm_b(None, alg.elision, Sampling::Values);
         });
         let (mut sent, mut recvd, mut msent, mut mrecvd) = (0u64, 0u64, 0u64, 0u64);
         for o in &out {
@@ -43,7 +43,7 @@ fn single_rank_sends_nothing() {
         let world = SimWorld::new(1, MachineModel::cori_knl());
         let out = world.run(move |comm| {
             let mut w = DistWorker::from_global(comm, alg.family, 1, &prob2);
-            let _ = w.fused_mm_b(alg.elision, Sampling::Values);
+            let _ = w.fused_mm_b(None, alg.elision, Sampling::Values);
         });
         assert_eq!(out[0].stats.total().words_sent, 0, "{}", alg.label());
         assert!(out[0].stats.phase(Phase::Computation).flops > 0);
@@ -80,7 +80,7 @@ fn flop_totals_match_kernel_arithmetic() {
     let world = SimWorld::new(8, MachineModel::cori_knl());
     let out = world.run(move |comm| {
         let mut w = DistWorker::from_global(comm, alg.family, 2, &prob);
-        let _ = w.fused_mm_b(alg.elision, Sampling::Values);
+        let _ = w.fused_mm_b(None, alg.elision, Sampling::Values);
     });
     let flops: u64 = out.iter().map(|o| o.stats.total().flops).sum();
     let expect = dsk_expected_fused_flops(nnz, r);
@@ -103,7 +103,7 @@ fn modeled_time_is_alpha_beta_consistent() {
     let world = SimWorld::new(8, MachineModel::bandwidth_only());
     let out = world.run(move |comm| {
         let mut w = DistWorker::from_global(comm, alg.family, 2, &prob);
-        let _ = w.fused_mm_b(alg.elision, Sampling::Values);
+        let _ = w.fused_mm_b(None, alg.elision, Sampling::Values);
     });
     for o in &out {
         // All traffic here is symmetric pairwise exchange, so each

@@ -15,7 +15,7 @@ fn measure(prob: &Arc<GlobalProblem>, p: usize, alg: Algorithm, c: usize) -> (f6
     let world = SimWorld::new(p, MachineModel::bandwidth_only());
     let out = world.run(move |comm| {
         let mut w = DistWorker::from_global(comm, alg.family, c, &prob2);
-        let _ = w.fused_mm_b(alg.elision, Sampling::Values);
+        let _ = w.fused_mm_b(None, alg.elision, Sampling::Values);
     });
     let stats: Vec<_> = out.into_iter().map(|o| o.stats).collect();
     let agg = AggregateStats::from_ranks(&stats);
@@ -40,7 +40,8 @@ fn words_and_messages_match_table3() {
             let words_model = theory::words_per_processor(alg, p, c, dims, nnz);
             let msgs_model = theory::messages_per_processor(alg, p, c);
             assert_eq!(
-                msgs, msgs_model,
+                msgs,
+                msgs_model,
                 "message count mismatch for {} p={p} c={c}",
                 alg.label()
             );
@@ -68,7 +69,11 @@ fn elision_savings_match_theory_ratios() {
     use distributed_sparse_kernels::core::{AlgorithmFamily, Elision};
     let mut meas = Vec::new();
     let mut model = Vec::new();
-    for elision in [Elision::None, Elision::ReplicationReuse, Elision::LocalKernelFusion] {
+    for elision in [
+        Elision::None,
+        Elision::ReplicationReuse,
+        Elision::LocalKernelFusion,
+    ] {
         let alg = Algorithm::new(AlgorithmFamily::DenseShift15, elision);
         let c = theory::optimal_c_search(alg, p, dims, nnz, 16).unwrap();
         let (words, _) = measure(&prob, p, alg, c);
@@ -101,7 +106,7 @@ fn sparse_shift_traffic_scales_with_nnz_not_nr() {
         let world = SimWorld::new(8, MachineModel::bandwidth_only());
         let out = world.run(move |comm| {
             let mut w = DistWorker::from_global(comm, alg.family, 2, &prob2);
-            let _ = w.fused_mm_b(alg.elision, Sampling::Values);
+            let _ = w.fused_mm_b(None, alg.elision, Sampling::Values);
         });
         out.iter()
             .map(|o| o.stats.phase(Phase::Propagation).words_sent)

@@ -1,0 +1,219 @@
+//! Trait-conformance suite: one parameterized scenario — SDDMM, then a
+//! softmax-style R manipulation, then FusedMM, then gather — driven
+//! through `dyn DistKernel` across all four algorithm families **and**
+//! the 1D baseline, asserting cross-kernel agreement with the
+//! shared-memory reference kernels.
+//!
+//! This is the contract the API redesign rests on: every kernel behind
+//! the trait object must be interchangeable for application code.
+
+use std::sync::Arc;
+
+use distributed_sparse_kernels::kernels as kern;
+use distributed_sparse_kernels::prelude::*;
+
+/// Every kernel configuration the suite runs: the four families at a
+/// valid (p = 8, c) plus the baseline.
+fn scenarios(prob: &Arc<GlobalProblem>) -> Vec<(&'static str, KernelBuilder<'static>, Elision)> {
+    vec![
+        (
+            "1.5D dense shift",
+            KernelBuilder::from_arc(Arc::clone(prob))
+                .family(AlgorithmFamily::DenseShift15)
+                .replication(2),
+            Elision::LocalKernelFusion,
+        ),
+        (
+            "1.5D sparse shift",
+            KernelBuilder::from_arc(Arc::clone(prob))
+                .family(AlgorithmFamily::SparseShift15)
+                .replication(2),
+            Elision::ReplicationReuse,
+        ),
+        (
+            "2.5D dense repl",
+            KernelBuilder::from_arc(Arc::clone(prob))
+                .family(AlgorithmFamily::DenseRepl25)
+                .replication(2),
+            Elision::ReplicationReuse,
+        ),
+        (
+            "2.5D sparse repl",
+            KernelBuilder::from_arc(Arc::clone(prob))
+                .family(AlgorithmFamily::SparseRepl25)
+                .replication(2),
+            Elision::None,
+        ),
+        (
+            "1D baseline",
+            KernelBuilder::from_arc(Arc::clone(prob)).baseline(),
+            Elision::None,
+        ),
+    ]
+}
+
+const P: usize = 8;
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-6 * b.abs().max(1.0)
+}
+
+/// SDDMM through the trait object: gathered R must equal the serial
+/// reference for every kernel.
+#[test]
+fn sddmm_gathers_identically_across_kernels() {
+    let prob = Arc::new(GlobalProblem::erdos_renyi(26, 22, 7, 3, 4001));
+    let expect = prob.reference_sddmm().to_coo().to_dense();
+    for (name, builder, _) in scenarios(&prob) {
+        let expect = expect.clone();
+        let world = SimWorld::new(P, MachineModel::bandwidth_only());
+        let out = world.run(move |comm| {
+            let mut worker = builder.build(comm);
+            let k: &mut dyn DistKernel = worker.kernel_mut();
+            k.sddmm();
+            k.gather_r(comm)
+        });
+        let got = out[0].value.as_ref().unwrap().to_dense();
+        for (g, e) in got.iter().zip(&expect) {
+            assert!((g - e).abs() < 1e-9, "SDDMM mismatch for {name}");
+        }
+    }
+}
+
+/// The full scenario: generalized SDDMM → map/row-sum/scale (the GAT
+/// softmax plumbing) → R-valued SpMM → FusedMM — every step through
+/// `dyn DistKernel`, fingerprinted against a serial computation.
+#[test]
+fn full_scenario_agrees_across_kernels() {
+    let (m, n, r) = (24, 24, 6);
+    let prob = Arc::new(GlobalProblem::erdos_renyi(m, n, r, 3, 4002));
+
+    // Serial reference of the same pipeline.
+    let (expect_conv_sq, expect_fused_sq) = {
+        let s = prob.s_csr();
+        // exp(dot) then row normalization, like a softmax.
+        let mut vals = kern::reference::sddmm_ref(&s, &prob.a, &prob.b);
+        for v in vals.iter_mut() {
+            *v = (*v).exp();
+        }
+        let indptr = s.indptr();
+        for i in 0..m {
+            let sum: f64 = vals[indptr[i]..indptr[i + 1]].iter().sum();
+            if sum > 0.0 {
+                for v in &mut vals[indptr[i]..indptr[i + 1]] {
+                    *v /= sum;
+                }
+            }
+        }
+        let mut alpha = s.clone();
+        alpha.set_vals(vals);
+        let mut conv = distributed_sparse_kernels::dense::Mat::zeros(m, r);
+        kern::spmm_csr_acc(&mut conv, &alpha, &prob.b);
+        let conv_sq: f64 = conv.as_slice().iter().map(|v| v * v).sum();
+        let fused = prob.reference_fused_b();
+        let fused_sq: f64 = fused.as_slice().iter().map(|v| v * v).sum();
+        (conv_sq, fused_sq)
+    };
+
+    for (name, builder, elision) in scenarios(&prob) {
+        let world = SimWorld::new(P, MachineModel::bandwidth_only());
+        let out = world.run(move |comm| {
+            let mut worker = builder.build(comm);
+            let k: &mut dyn DistKernel = worker.kernel_mut();
+
+            // Sampled SDDMM, then a softmax-style normalization over R
+            // (exponentiate, row-sum with whatever reduction the
+            // kernel's distribution needs, scale).
+            k.sddmm();
+            k.map_r(&mut |v| v.exp());
+            let sums = k.r_row_sums(comm, Phase::OutsideComm);
+            let inv: Vec<f64> = sums
+                .iter()
+                .map(|&s| if s > 0.0 { 1.0 / s } else { 0.0 })
+                .collect();
+            k.scale_r_rows(&inv);
+
+            // Convolution with the normalized R against the B iterate.
+            let hw = k.b_iterate();
+            let conv = k.spmm_a_with(&hw);
+            let conv_sq: f64 = conv.as_slice().iter().map(|v| v * v).sum();
+
+            // FusedMM after the R manipulation (operands untouched).
+            let fused = k.fused_mm_b(None, elision, Sampling::Values);
+            let fused_sq: f64 = fused.as_slice().iter().map(|v| v * v).sum();
+            (conv_sq, fused_sq)
+        });
+        let conv_sq: f64 = out.iter().map(|o| o.value.0).sum();
+        let fused_sq: f64 = out.iter().map(|o| o.value.1).sum();
+        assert!(
+            close(conv_sq, expect_conv_sq),
+            "{name}: convolution ‖·‖² {conv_sq} vs {expect_conv_sq}"
+        );
+        assert!(
+            close(fused_sq, expect_fused_sq),
+            "{name}: FusedMMB ‖·‖² {fused_sq} vs {expect_fused_sq}"
+        );
+    }
+}
+
+/// The iterate surface: `a_iterate`/`set_a` round-trip and the declared
+/// iterate layouts tile the global matrix exactly once, for every
+/// kernel.
+#[test]
+fn iterate_layouts_tile_and_roundtrip() {
+    let (m, n, r) = (25, 30, 5);
+    let prob = Arc::new(GlobalProblem::erdos_renyi(m, n, r, 3, 4003));
+    for (name, builder, _) in scenarios(&prob) {
+        let world = SimWorld::new(P, MachineModel::bandwidth_only());
+        let out = world.run(move |comm| {
+            let mut worker = builder.build(comm);
+            let k: &mut dyn DistKernel = worker.kernel_mut();
+            // Layout descriptors must match the actual iterate shapes.
+            let la = k.a_iterate_layout_of(comm.rank());
+            let a = k.a_iterate();
+            assert_eq!(a.nrows(), la.local_rows());
+            assert_eq!(a.ncols(), la.width());
+            // All ranks' A-iterate layouts tile m × r exactly once.
+            let mut cells = 0usize;
+            for g in 0..comm.size() {
+                let l = k.a_iterate_layout_of(g);
+                cells += l.local_rows() * l.width();
+            }
+            assert_eq!(cells, m * r, "A iterate layouts must tile A");
+            // set/get round-trip.
+            k.set_a(comm, &a);
+            let a2 = k.a_iterate();
+            distributed_sparse_kernels::dense::ops::max_abs_diff(&a, &a2)
+        });
+        for o in &out {
+            assert!(o.value < 1e-12, "{name}: iterate round-trip changed data");
+        }
+    }
+}
+
+/// The declared elision support must match what `fused_mm_b` accepts.
+#[test]
+fn supports_reflects_fused_behavior() {
+    let prob = Arc::new(GlobalProblem::erdos_renyi(24, 24, 4, 2, 4004));
+    for (name, builder, _) in scenarios(&prob) {
+        for elision in Elision::ALL {
+            let world = SimWorld::new(P, MachineModel::bandwidth_only());
+            let b = builder.clone();
+            let out = world.run(move |comm| {
+                let mut worker = b.build(comm);
+                let supported = worker.supports(elision);
+                // Unsupported elisions panic at kernel entry, before
+                // any communication, so catching is rank-local.
+                let ran = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let _ = worker.fused_mm_b(None, elision, Sampling::Values);
+                }))
+                .is_ok();
+                supported == ran
+            });
+            assert!(
+                out.iter().all(|o| o.value),
+                "{name}: supports({elision:?}) disagrees with fused_mm_b"
+            );
+        }
+    }
+}
