@@ -1,47 +1,69 @@
 //! Micro-benchmarks for the simulated collectives (real wall time of the
-//! thread/mailbox transport, not modeled time). Run with `cargo bench`.
+//! thread/mailbox runtime, not modeled time). Run with `cargo bench`.
+//!
+//! Every collective is measured once per communication backend — the
+//! typed zero-copy in-process path and the serialized wire path — so
+//! the cost of routing payloads through the `WirePayload` encode/decode
+//! surface is visible in the perf trajectory. The wire rows pay one
+//! encode and one decode per hop; the gap between the paired rows *is*
+//! the serialization overhead.
 
 use dsk_bench::microbench::{case, header};
-use dsk_comm::{MachineModel, SimWorld};
+use dsk_comm::{BackendKind, MachineModel, SimWorld};
+
+fn world(p: usize, kind: BackendKind) -> SimWorld {
+    SimWorld::new(p, MachineModel::bandwidth_only()).backend(kind)
+}
 
 fn main() {
-    header("collectives (thread transport wall time)");
-    for p in [4usize, 16] {
-        let words = 1 << 12;
-        case(
-            "allgather",
-            &format!("p={p}"),
-            Some(((p - 1) * words) as u64),
-            || {
-                let w = SimWorld::new(p, MachineModel::bandwidth_only());
-                let out = w.run(|comm| comm.allgather(vec![1.0f64; words]).len());
-                assert!(out.iter().all(|o| o.value == p));
-            },
-        );
+    header("collectives (wall time, in-proc vs wire backend)");
+    for kind in BackendKind::CONFORMANCE {
+        for p in [4usize, 16] {
+            let words = 1 << 12;
+            case(
+                "allgather",
+                &format!("p={p} {}", kind.label()),
+                Some(((p - 1) * words) as u64),
+                || {
+                    let w = world(p, kind);
+                    let out = w.run(|comm| comm.allgather(vec![1.0f64; words]).len());
+                    assert!(out.iter().all(|o| o.value == p));
+                },
+            );
+        }
     }
-    for p in [4usize, 16] {
-        let words = 1 << 14;
-        case(
-            "reduce_scatter",
-            &format!("p={p}"),
-            Some(words as u64),
-            || {
-                let w = SimWorld::new(p, MachineModel::bandwidth_only());
-                let buf = vec![1.0f64; words];
-                let out = w.run(move |comm| comm.reduce_scatter_sum(&buf)[0]);
-                assert!(out.iter().all(|o| o.value == p as f64));
-            },
-        );
+    for kind in BackendKind::CONFORMANCE {
+        for p in [4usize, 16] {
+            let words = 1 << 14;
+            case(
+                "reduce_scatter",
+                &format!("p={p} {}", kind.label()),
+                Some(words as u64),
+                || {
+                    let w = world(p, kind);
+                    let buf = vec![1.0f64; words];
+                    let out = w.run(move |comm| comm.reduce_scatter_sum(&buf)[0]);
+                    assert!(out.iter().all(|o| o.value == p as f64));
+                },
+            );
+        }
     }
-    for p in [4usize, 16] {
-        let words = 1 << 14;
-        case("ring_shift", &format!("p={p}"), Some(words as u64), || {
-            let w = SimWorld::new(p, MachineModel::bandwidth_only());
-            let out = w.run(|comm| {
-                let v = vec![comm.rank() as f64; words];
-                comm.shift(1, 0, v)[0]
-            });
-            assert_eq!(out.len(), p);
-        });
+    for kind in BackendKind::CONFORMANCE {
+        for p in [4usize, 16] {
+            let words = 1 << 14;
+            case(
+                "ring_shift",
+                &format!("p={p} {}", kind.label()),
+                Some(words as u64),
+                || {
+                    let w = world(p, kind);
+                    let out = w.run(|comm| {
+                        let v = vec![comm.rank() as f64; words];
+                        comm.shift(1, 0, v)[0]
+                    });
+                    assert_eq!(out.len(), p);
+                },
+            );
+        }
     }
 }

@@ -1,0 +1,364 @@
+//! The pluggable communication backend: how messages physically move
+//! between ranks.
+//!
+//! [`Comm`](crate::Comm) and the collectives are written against the
+//! narrow [`CommBackend`] trait — point-to-point delivery of
+//! [`Parcel`]s keyed by `(src, context, tag)`, plus probe, drain, and
+//! watchdog hooks — so that the *realization* of a message is a
+//! per-world choice, not a property baked into algorithm code. Two
+//! backends ship:
+//!
+//! * [`InProcBackend`] — the fast default. Messages are typed boxes
+//!   moved by ownership between threads sharing one address space; a
+//!   send costs an allocation and a mutex acquisition, and the α-β
+//!   network cost is *accounted* by the machine model but never
+//!   *exercised*.
+//! * [`WireBackend`] — every payload must round-trip through the
+//!   [`WirePayload`](crate::payload::WirePayload) encode/decode surface
+//!   into a contiguous byte buffer, exactly as an MPI or RDMA transport
+//!   would require. Optionally injects the machine model's `α + β·w`
+//!   delay on every delivery so *measured* wall time can be made to
+//!   track *modeled* time.
+//!
+//! Nothing outside `dsk-comm` names a concrete backend: worlds are
+//! configured with the [`BackendKind`] selector (or the
+//! `DSK_COMM_BACKEND` environment variable, which is how CI runs the
+//! whole workspace suite over the wire path).
+
+use std::any::Any;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::model::MachineModel;
+use crate::transport::{Mailbox, MsgKey};
+
+/// A message in backend representation.
+pub enum Parcel {
+    /// A typed value moved by ownership — zero-copy, in-process only.
+    Typed(Box<dyn Any + Send>),
+    /// A contiguous encoded byte buffer — what a real network carries.
+    Bytes(Vec<u8>),
+}
+
+impl Parcel {
+    /// Length of the encoded buffer, `None` for typed parcels.
+    pub fn wire_len(&self) -> Option<usize> {
+        match self {
+            Parcel::Typed(_) => None,
+            Parcel::Bytes(b) => Some(b.len()),
+        }
+    }
+}
+
+/// A point-to-point message transport between the ranks of one world.
+///
+/// Implementations must be fully thread-safe: every rank calls
+/// concurrently. Delivery is FIFO per `(src, context, tag)` key and
+/// reliable; a blocking [`CommBackend::take`] that outlives
+/// [`CommBackend::recv_timeout`] must panic with a diagnostic (the
+/// watchdog hook) rather than hang.
+pub trait CommBackend: Send + Sync {
+    /// Short label for diagnostics and benchmark tables.
+    fn name(&self) -> &'static str;
+
+    /// Number of ranks this backend connects.
+    fn nranks(&self) -> usize;
+
+    /// Whether payloads must be encoded into contiguous wire buffers
+    /// ([`Parcel::Bytes`]) before posting. When `false`, senders may
+    /// post [`Parcel::Typed`] and receivers get the same allocation
+    /// back untouched.
+    fn serializes(&self) -> bool;
+
+    /// The watchdog bound on every blocking receive.
+    fn recv_timeout(&self) -> Duration;
+
+    /// Deposit a parcel into `dst`'s mailbox.
+    fn post(&self, dst: usize, key: MsgKey, parcel: Parcel);
+
+    /// Blocking receive of the next parcel for `key` addressed to `me`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the watchdog expires — a mismatched send/receive
+    /// pattern in the algorithm.
+    fn take(&self, me: usize, key: MsgKey) -> Parcel;
+
+    /// Non-blocking probe: is a parcel for `key` queued at `me`?
+    fn probe(&self, me: usize, key: MsgKey) -> bool;
+
+    /// Drain hook: count of undelivered parcels across all mailboxes.
+    /// The world asserts this is zero after a run — a leaked message is
+    /// a protocol bug.
+    fn pending_messages(&self) -> usize;
+}
+
+/// The typed zero-copy in-process backend (the default).
+pub struct InProcBackend {
+    mailbox: Mailbox<Parcel>,
+}
+
+impl InProcBackend {
+    /// Backend for `nranks` ranks with the given receive watchdog.
+    pub fn new(nranks: usize, recv_timeout: Duration) -> Arc<Self> {
+        Arc::new(InProcBackend {
+            mailbox: Mailbox::new(nranks, recv_timeout),
+        })
+    }
+}
+
+impl CommBackend for InProcBackend {
+    fn name(&self) -> &'static str {
+        "inproc"
+    }
+
+    fn nranks(&self) -> usize {
+        self.mailbox.nranks()
+    }
+
+    fn serializes(&self) -> bool {
+        false
+    }
+
+    fn recv_timeout(&self) -> Duration {
+        self.mailbox.recv_timeout()
+    }
+
+    fn post(&self, dst: usize, key: MsgKey, parcel: Parcel) {
+        self.mailbox.post(dst, key, parcel);
+    }
+
+    fn take(&self, me: usize, key: MsgKey) -> Parcel {
+        self.mailbox.take(me, key)
+    }
+
+    fn probe(&self, me: usize, key: MsgKey) -> bool {
+        self.mailbox.probe(me, key)
+    }
+
+    fn pending_messages(&self) -> usize {
+        self.mailbox.pending_messages()
+    }
+}
+
+/// The serialized wire backend: only contiguous byte buffers travel.
+///
+/// With a delay model attached, every delivery sleeps `α + β·w` (w in
+/// 8-byte words of the encoded buffer) before returning, so a rank's
+/// measured wall time includes the modeled network cost. Use a model
+/// with realistic constants ([`MachineModel::cori_knl`]-like) for this;
+/// the `bandwidth_only` test model charges one *second* per word.
+pub struct WireBackend {
+    mailbox: Mailbox<Parcel>,
+    delay: Option<MachineModel>,
+}
+
+impl WireBackend {
+    /// Wire backend without delay injection: messages round-trip
+    /// through bytes but deliver at memory speed.
+    pub fn new(nranks: usize, recv_timeout: Duration) -> Arc<Self> {
+        Arc::new(WireBackend {
+            mailbox: Mailbox::new(nranks, recv_timeout),
+            delay: None,
+        })
+    }
+
+    /// Wire backend that sleeps `model.msg_time(words)` on every
+    /// delivery.
+    pub fn with_delay(nranks: usize, recv_timeout: Duration, model: MachineModel) -> Arc<Self> {
+        Arc::new(WireBackend {
+            mailbox: Mailbox::new(nranks, recv_timeout),
+            delay: Some(model),
+        })
+    }
+}
+
+impl CommBackend for WireBackend {
+    fn name(&self) -> &'static str {
+        "wire"
+    }
+
+    fn nranks(&self) -> usize {
+        self.mailbox.nranks()
+    }
+
+    fn serializes(&self) -> bool {
+        true
+    }
+
+    fn recv_timeout(&self) -> Duration {
+        self.mailbox.recv_timeout()
+    }
+
+    fn post(&self, dst: usize, key: MsgKey, parcel: Parcel) {
+        assert!(
+            matches!(parcel, Parcel::Bytes(_)),
+            "wire backend requires encoded parcels — a typed message \
+             bypassed the WirePayload surface"
+        );
+        self.mailbox.post(dst, key, parcel);
+    }
+
+    fn take(&self, me: usize, key: MsgKey) -> Parcel {
+        let parcel = self.mailbox.take(me, key);
+        if let Some(model) = &self.delay {
+            let words = parcel.wire_len().unwrap_or(0).div_ceil(8) as u64;
+            let t = model.msg_time(words);
+            if t > 0.0 {
+                std::thread::sleep(Duration::from_secs_f64(t));
+            }
+        }
+        parcel
+    }
+
+    fn probe(&self, me: usize, key: MsgKey) -> bool {
+        self.mailbox.probe(me, key)
+    }
+
+    fn pending_messages(&self) -> usize {
+        self.mailbox.pending_messages()
+    }
+}
+
+/// Which backend a [`SimWorld`](crate::SimWorld) builds its ranks on.
+/// This selector is the only backend surface consumers see.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// Typed zero-copy in-process mailboxes (the fast default).
+    #[default]
+    InProc,
+    /// Serialized wire buffers: every payload encodes/decodes.
+    Wire,
+    /// Serialized wire buffers plus injected α-β delays from the
+    /// world's machine model, so measured time tracks modeled time.
+    WireDelay,
+}
+
+/// Environment variable consulted by [`BackendKind::from_env`]:
+/// `inproc` (default), `wire`, or `wire-delay`.
+pub const BACKEND_ENV_VAR: &str = "DSK_COMM_BACKEND";
+
+impl BackendKind {
+    /// The backend selected by `DSK_COMM_BACKEND`, defaulting to
+    /// [`BackendKind::InProc`] when unset or empty. CI uses this to run
+    /// the entire workspace test suite over the wire path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognized value — a silently ignored selector
+    /// would quietly un-test the wire backend.
+    pub fn from_env() -> Self {
+        match std::env::var(BACKEND_ENV_VAR) {
+            Err(_) => BackendKind::InProc,
+            Ok(v) => match v.trim() {
+                "" | "inproc" => BackendKind::InProc,
+                "wire" => BackendKind::Wire,
+                "wire-delay" => BackendKind::WireDelay,
+                other => panic!(
+                    "{BACKEND_ENV_VAR}={other:?} is not a backend \
+                     (expected inproc | wire | wire-delay)"
+                ),
+            },
+        }
+    }
+
+    /// Short label for diagnostics and benchmark tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::InProc => "inproc",
+            BackendKind::Wire => "wire",
+            BackendKind::WireDelay => "wire-delay",
+        }
+    }
+
+    /// The two backends every conformance suite should cover (delay
+    /// injection changes timing, not semantics, so it is not part of
+    /// the conformance axis).
+    pub const CONFORMANCE: [BackendKind; 2] = [BackendKind::InProc, BackendKind::Wire];
+
+    /// Instantiate the backend for a world (crate-internal; consumers
+    /// go through [`SimWorld::backend`](crate::SimWorld::backend)).
+    pub(crate) fn build(
+        self,
+        nranks: usize,
+        recv_timeout: Duration,
+        model: MachineModel,
+    ) -> Arc<dyn CommBackend> {
+        match self {
+            BackendKind::InProc => InProcBackend::new(nranks, recv_timeout),
+            BackendKind::Wire => WireBackend::new(nranks, recv_timeout),
+            BackendKind::WireDelay => WireBackend::with_delay(nranks, recv_timeout, model),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inproc_moves_typed_parcels_untouched() {
+        let b = InProcBackend::new(2, Duration::from_secs(5));
+        assert!(!b.serializes());
+        b.post(1, (0, 0, 0), Parcel::Typed(Box::new(vec![1.0f64, 2.0])));
+        match b.take(1, (0, 0, 0)) {
+            Parcel::Typed(any) => {
+                assert_eq!(*any.downcast::<Vec<f64>>().unwrap(), vec![1.0, 2.0]);
+            }
+            Parcel::Bytes(_) => panic!("in-proc backend must not serialize"),
+        }
+        assert_eq!(b.pending_messages(), 0);
+    }
+
+    #[test]
+    fn wire_carries_bytes() {
+        let b = WireBackend::new(2, Duration::from_secs(5));
+        assert!(b.serializes());
+        b.post(0, (1, 0, 7), Parcel::Bytes(vec![1, 2, 3]));
+        assert!(b.probe(0, (1, 0, 7)));
+        match b.take(0, (1, 0, 7)) {
+            Parcel::Bytes(bytes) => assert_eq!(bytes, vec![1, 2, 3]),
+            Parcel::Typed(_) => panic!("wire backend must carry bytes"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bypassed the WirePayload surface")]
+    fn wire_rejects_typed_parcels() {
+        let b = WireBackend::new(1, Duration::from_secs(1));
+        b.post(0, (0, 0, 0), Parcel::Typed(Box::new(1u64)));
+    }
+
+    #[test]
+    fn wire_delay_sleeps_per_message() {
+        // 10 ms per message, no bandwidth term: coarse enough to
+        // measure, fast enough for a unit test.
+        let model = MachineModel {
+            alpha_s: 0.01,
+            beta_s_per_word: 0.0,
+            gamma_s_per_flop: 0.0,
+        };
+        let b = WireBackend::with_delay(1, Duration::from_secs(5), model);
+        b.post(0, (0, 0, 0), Parcel::Bytes(vec![0u8; 64]));
+        let t0 = std::time::Instant::now();
+        let _ = b.take(0, (0, 0, 0));
+        assert!(t0.elapsed() >= Duration::from_millis(9));
+    }
+
+    #[test]
+    fn kind_labels_and_default() {
+        assert_eq!(BackendKind::default(), BackendKind::InProc);
+        assert_eq!(BackendKind::Wire.label(), "wire");
+        assert_eq!(BackendKind::CONFORMANCE.len(), 2);
+    }
+
+    #[test]
+    fn kind_builds_matching_backend() {
+        let m = MachineModel::bandwidth_only();
+        let t = Duration::from_secs(1);
+        assert!(!BackendKind::InProc.build(2, t, m).serializes());
+        assert!(BackendKind::Wire.build(2, t, m).serializes());
+        assert_eq!(BackendKind::Wire.build(3, t, m).nranks(), 3);
+        assert_eq!(BackendKind::InProc.build(2, t, m).recv_timeout(), t);
+    }
+}

@@ -17,7 +17,7 @@
 //! formulas without any special-cased accounting.
 
 use crate::comm::{Comm, COLLECTIVE_TAG_BASE};
-use crate::payload::Payload;
+use crate::payload::WirePayload;
 
 const TAG_ALLGATHER: u32 = COLLECTIVE_TAG_BASE;
 const TAG_REDUCE_SCATTER: u32 = COLLECTIVE_TAG_BASE + 1;
@@ -47,7 +47,7 @@ impl Comm {
     ///
     /// Pairwise exchange: at step `s`, send own block to `rank+s`,
     /// receive `rank-s`'s block — `p-1` steps of one block each.
-    pub fn allgather<T: Payload + Clone>(&self, mine: T) -> Vec<T> {
+    pub fn allgather<T: WirePayload + Clone>(&self, mine: T) -> Vec<T> {
         let p = self.size();
         let mut out: Vec<Option<T>> = (0..p).map(|_| None).collect();
         for s in 1..p {
@@ -137,7 +137,7 @@ impl Comm {
     }
 
     /// Binomial-tree broadcast from `root`. Non-root ranks pass `None`.
-    pub fn broadcast<T: Payload + Clone>(&self, root: usize, value: Option<T>) -> T {
+    pub fn broadcast<T: WirePayload + Clone>(&self, root: usize, value: Option<T>) -> T {
         let p = self.size();
         // Work in a rotated rank space where the root is rank 0.
         let vrank = (self.rank() + p - root) % p;
@@ -188,30 +188,21 @@ impl Comm {
         }
     }
 
-    /// Personalized all-to-all of `f64` payloads: `outgoing[r]` is
-    /// delivered to rank `r`; returns the vector received from each rank.
-    /// Implemented as `p-1` pairwise exchanges.
-    pub fn alltoallv_f64(&self, mut outgoing: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
-        self.alltoallv_generic(&mut outgoing)
-    }
-
-    /// Personalized all-to-all of index payloads (`u32`).
-    pub fn alltoallv_u32(&self, mut outgoing: Vec<Vec<u32>>) -> Vec<Vec<u32>> {
-        self.alltoallv_generic(&mut outgoing)
-    }
-
-    fn alltoallv_generic<T>(&self, outgoing: &mut [Vec<T>]) -> Vec<Vec<T>>
-    where
-        Vec<T>: Payload,
-        T: Send + 'static,
-    {
+    /// Personalized all-to-all of arbitrary payloads: `outgoing[r]` is
+    /// delivered to rank `r`; returns the payload received from each
+    /// rank. Implemented as `p-1` pairwise exchanges — one message per
+    /// peer, so composite payloads (e.g. COO-style triplet tuples)
+    /// should travel as one `alltoallv` of tuples rather than several
+    /// component-wise calls, which would multiply the per-message α
+    /// cost.
+    pub fn alltoallv<T: WirePayload + Default>(&self, mut outgoing: Vec<T>) -> Vec<T> {
         let p = self.size();
         assert_eq!(
             outgoing.len(),
             p,
             "alltoallv needs one outgoing payload per rank"
         );
-        let mut incoming: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+        let mut incoming: Vec<T> = (0..p).map(|_| T::default()).collect();
         incoming[self.rank()] = std::mem::take(&mut outgoing[self.rank()]);
         for s in 1..p {
             let dst = (self.rank() + s) % p;
@@ -222,8 +213,18 @@ impl Comm {
         incoming
     }
 
+    /// Personalized all-to-all of `f64` payloads.
+    pub fn alltoallv_f64(&self, outgoing: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+        self.alltoallv(outgoing)
+    }
+
+    /// Personalized all-to-all of index payloads (`u32`).
+    pub fn alltoallv_u32(&self, outgoing: Vec<Vec<u32>>) -> Vec<Vec<u32>> {
+        self.alltoallv(outgoing)
+    }
+
     /// Gather all contributions at `root` (others receive an empty vec).
-    pub fn gather<T: Payload>(&self, root: usize, mine: T) -> Vec<T> {
+    pub fn gather<T: WirePayload>(&self, root: usize, mine: T) -> Vec<T> {
         if self.rank() == root {
             let mut out: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
             out[root] = Some(mine);

@@ -4,19 +4,24 @@
 //! A [`Comm`] is what a distributed algorithm receives instead of an MPI
 //! communicator. All traffic it generates is charged to the rank's
 //! [`RankStats`] under the currently active [`Phase`], using the world's
-//! [`MachineModel`] for modeled time.
+//! [`MachineModel`] for modeled time. The physical realization of each
+//! message is delegated to the world's
+//! [`CommBackend`](crate::backend::CommBackend): under the in-process
+//! backend values move by ownership, under the wire backend they are
+//! encoded through [`WirePayload`] — algorithm code cannot tell the
+//! difference, and word accounting (hence modeled time) is identical
+//! under both.
 
-use std::any::Any;
 use std::cell::Cell;
 use std::sync::Arc;
 use std::time::Instant;
 
 use std::sync::Mutex;
 
+use crate::backend::{CommBackend, Parcel};
 use crate::model::MachineModel;
-use crate::payload::Payload;
+use crate::payload::WirePayload;
 use crate::stats::{Phase, RankStats};
-use crate::transport::Transport;
 
 /// Reserved tag base for internal collective operations; user tags must be
 /// below this value.
@@ -41,7 +46,9 @@ impl RankShared {
 /// A communicator: a named, ordered group of ranks with its own isolated
 /// tag space. Cheap to clone; clones share the rank's statistics ledger.
 pub struct Comm {
-    transport: Arc<Transport>,
+    backend: Arc<dyn CommBackend>,
+    /// Cached `backend.serializes()` — consulted on every message.
+    wire: bool,
     model: MachineModel,
     shared: Arc<RankShared>,
     /// Global (world) ranks of the members, indexed by communicator rank.
@@ -60,14 +67,16 @@ impl Comm {
     /// [`SimWorld`](crate::SimWorld); algorithms obtain sub-communicators
     /// via [`Comm::split_by`].
     pub(crate) fn world(
-        transport: Arc<Transport>,
+        backend: Arc<dyn CommBackend>,
         model: MachineModel,
         shared: Arc<RankShared>,
         global_rank: usize,
     ) -> Self {
-        let n = transport.nranks();
+        let n = backend.nranks();
+        let wire = backend.serializes();
         Comm {
-            transport,
+            backend,
+            wire,
             model,
             shared,
             members: Arc::new((0..n).collect()),
@@ -105,6 +114,13 @@ impl Comm {
     #[inline]
     pub fn model(&self) -> &MachineModel {
         &self.model
+    }
+
+    /// Diagnostic label of the transport backend carrying this
+    /// communicator's messages.
+    #[inline]
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
     }
 
     // ------------------------------------------------------------------
@@ -191,23 +207,37 @@ impl Comm {
         (self.members[src_comm_rank], self.context, tag)
     }
 
-    fn post_to(&self, dst: usize, tag: u32, value: Box<dyn Any + Send>) {
+    /// Hand `value` to the backend in the representation it requires,
+    /// returning the encoded byte count (zero on the typed path).
+    fn post_to<T: WirePayload>(&self, dst: usize, tag: u32, value: T) -> u64 {
         let key = (self.my_global_rank(), self.context, tag);
-        self.transport.post(self.members[dst], key, value);
+        let dst_global = self.members[dst];
+        if self.wire {
+            let buf = value.to_wire();
+            let bytes = buf.len() as u64;
+            self.backend.post(dst_global, key, Parcel::Bytes(buf));
+            bytes
+        } else {
+            self.backend
+                .post(dst_global, key, Parcel::Typed(Box::new(value)));
+            0
+        }
     }
 
     /// Send `value` to communicator rank `dst`. Charges `α + β·words` to
     /// the sender (an un-overlapped, one-directional transfer).
-    pub fn send<T: Payload>(&self, dst: usize, tag: u32, value: T) {
+    pub fn send<T: WirePayload>(&self, dst: usize, tag: u32, value: T) {
         let words = value.words() as u64;
         let t = self.model.msg_time(words);
-        self.shared.stats.lock().unwrap().record_send(words, t);
-        self.post_to(dst, tag, Box::new(value));
+        let bytes = self.post_to(dst, tag, value);
+        let mut stats = self.shared.stats.lock().unwrap();
+        stats.record_send(words, t);
+        stats.record_wire_bytes(bytes);
     }
 
     /// Blocking receive from communicator rank `src`. Charges
     /// `α + β·words` to the receiver.
-    pub fn recv<T: Payload>(&self, src: usize, tag: u32) -> T {
+    pub fn recv<T: WirePayload>(&self, src: usize, tag: u32) -> T {
         let v = self.recv_uncharged::<T>(src, tag);
         let words = v.words() as u64;
         let t = self.model.msg_time(words);
@@ -215,21 +245,24 @@ impl Comm {
         v
     }
 
-    fn recv_uncharged<T: Payload>(&self, src: usize, tag: u32) -> T {
-        let msg = self
-            .transport
+    fn recv_uncharged<T: WirePayload>(&self, src: usize, tag: u32) -> T {
+        let parcel = self
+            .backend
             .take(self.my_global_rank(), self.key_from(src, tag));
-        match msg.downcast::<T>() {
-            Ok(b) => *b,
-            Err(_) => panic!(
-                "rank {} (comm size {}): type mismatch receiving tag {} from rank {}: \
-                 expected {}",
-                self.rank,
-                self.size(),
-                tag,
-                src,
-                std::any::type_name::<T>()
-            ),
+        match parcel {
+            Parcel::Bytes(bytes) => T::from_wire(&bytes),
+            Parcel::Typed(any) => match any.downcast::<T>() {
+                Ok(b) => *b,
+                Err(_) => panic!(
+                    "rank {} (comm size {}): type mismatch receiving tag {} from rank {}: \
+                     expected {}",
+                    self.rank,
+                    self.size(),
+                    tag,
+                    src,
+                    std::any::type_name::<T>()
+                ),
+            },
         }
     }
 
@@ -238,21 +271,22 @@ impl Comm {
     /// pairwise-exchange collectives. Following the model's assumption
     /// that sends and receives progress independently, the modeled cost is
     /// `α + β·max(words_out, words_in)` charged once.
-    pub fn sendrecv<T: Payload>(&self, dst: usize, src: usize, tag: u32, value: T) -> T {
+    pub fn sendrecv<T: WirePayload>(&self, dst: usize, src: usize, tag: u32, value: T) -> T {
         let words_out = value.words() as u64;
-        self.post_to(dst, tag, Box::new(value));
+        let bytes = self.post_to(dst, tag, value);
         let v = self.recv_uncharged::<T>(src, tag);
         let words_in = v.words() as u64;
         let t = self.model.msg_time(words_out.max(words_in));
         let mut stats = self.shared.stats.lock().unwrap();
         stats.record_send(words_out, 0.0);
         stats.record_recv(words_in, t);
+        stats.record_wire_bytes(bytes);
         v
     }
 
     /// Cyclic shift by `disp`: send to `(rank + disp) mod size`, receive
     /// from `(rank - disp) mod size`.
-    pub fn shift<T: Payload>(&self, disp: usize, tag: u32, value: T) -> T {
+    pub fn shift<T: WirePayload>(&self, disp: usize, tag: u32, value: T) -> T {
         let p = self.size();
         if p == 1 {
             return value;
@@ -286,7 +320,8 @@ impl Comm {
         let seq = self.split_seq.get();
         self.split_seq.set(seq + 1);
         Comm {
-            transport: Arc::clone(&self.transport),
+            backend: Arc::clone(&self.backend),
+            wire: self.wire,
             model: self.model,
             shared: Arc::clone(&self.shared),
             members: Arc::new(members),

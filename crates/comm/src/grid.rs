@@ -7,6 +7,11 @@
 //! * 2.5D algorithms run on a `√(p/c) × √(p/c) × c` grid; the fiber axis
 //!   is the third dimension; each layer is a square grid executing a
 //!   Cannon-style schedule (shifts along grid rows and columns).
+//!
+//! Grid communicators are plain [`Comm`] splits, so every fiber
+//! collective and ring shift inherits whatever
+//! [`CommBackend`](crate::backend::CommBackend) the world was built on —
+//! the grids never name a transport.
 
 use crate::comm::Comm;
 

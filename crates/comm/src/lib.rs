@@ -1,4 +1,4 @@
-//! # dsk-comm — simulated distributed-memory runtime
+//! # dsk-comm — simulated distributed-memory runtime with pluggable backends
 //!
 //! This crate provides the message-passing substrate used by every
 //! distributed algorithm in the workspace. It plays the role MPI plays in
@@ -9,31 +9,54 @@
 //! Ranks are OS threads inside one process. Each rank owns its data
 //! privately and may interact with other ranks **only** through a
 //! [`Comm`] handle, so algorithm code is structured exactly as it would be
-//! on a real distributed-memory machine. Every message is counted, and a
-//! configurable [`MachineModel`] (α per-message latency, β inverse
-//! bandwidth, γ per-flop cost) converts the measured message/word/flop
-//! counts into a *modeled* execution time with Cray-XC40-like constants.
-//! Real wall-clock time is recorded alongside.
+//! on a real distributed-memory machine.
 //!
-//! The accounting is phase-tagged ([`Phase`]): the paper's experiments
-//! break time into *replication* (fiber-axis collectives), *propagation*
-//! (cyclic shifts), and *computation* (local kernels), plus
-//! application-level time outside the fused kernels.
+//! ## The backend split
+//!
+//! *What* a message costs and *how* it moves are separate concerns:
+//!
+//! * **Accounting** is backend-independent. Every message is counted in
+//!   words via [`Payload`], and a configurable [`MachineModel`] (α
+//!   per-message latency, β inverse bandwidth, γ per-flop cost) converts
+//!   the measured message/word/flop counts into a *modeled* execution
+//!   time with Cray-XC40-like constants. Real wall-clock time is
+//!   recorded alongside, phase-tagged ([`Phase`]) into the paper's
+//!   *replication* / *propagation* / *computation* taxonomy.
+//! * **Realization** is the job of a
+//!   [`CommBackend`](backend::CommBackend): a narrow trait moving
+//!   contiguous parcels keyed by `(src, context, tag)`, with probe,
+//!   drain, and watchdog hooks. The in-process backend moves typed
+//!   values by ownership (zero-copy, the fast default); the wire
+//!   backend forces every payload through the [`WirePayload`]
+//!   encode/decode surface — dense tiles, sparse blocks, and R-value
+//!   vectors all serialize into byte buffers, exactly as an MPI/RDMA
+//!   transport would require — and can optionally inject the machine
+//!   model's α-β delay per message so measured time tracks modeled
+//!   time.
+//!
+//! Worlds pick a backend with [`SimWorld::backend`] and the
+//! [`BackendKind`] selector, or via the `DSK_COMM_BACKEND` environment
+//! variable (`inproc` | `wire` | `wire-delay`), which is how CI runs
+//! the entire workspace suite over the wire path. No crate outside
+//! `dsk-comm` names a concrete backend type.
 //!
 //! ## Quick start
 //!
 //! ```
-//! use dsk_comm::{SimWorld, MachineModel, Phase};
+//! use dsk_comm::{BackendKind, SimWorld, MachineModel, Phase};
 //!
-//! let world = SimWorld::new(4, MachineModel::cori_knl());
-//! let outcomes = world.run(|comm| {
-//!     let _g = comm.phase(Phase::Propagation);
-//!     // Everyone contributes rank*1.0; the ring all-gather returns all
-//!     // contributions ordered by rank.
-//!     let all = comm.allgather(vec![comm.rank() as f64]);
-//!     all.iter().map(|v| v[0]).sum::<f64>()
-//! });
-//! assert!(outcomes.iter().all(|o| o.value == 6.0));
+//! // Same program, either backend: word counts and results agree.
+//! for kind in BackendKind::CONFORMANCE {
+//!     let world = SimWorld::new(4, MachineModel::cori_knl()).backend(kind);
+//!     let outcomes = world.run(|comm| {
+//!         let _g = comm.phase(Phase::Propagation);
+//!         // Everyone contributes rank*1.0; the ring all-gather returns all
+//!         // contributions ordered by rank.
+//!         let all = comm.allgather(vec![comm.rank() as f64]);
+//!         all.iter().map(|v| v[0]).sum::<f64>()
+//!     });
+//!     assert!(outcomes.iter().all(|o| o.value == 6.0));
+//! }
 //! ```
 
 // Indexed `for i in 0..n` loops over CSR index structures are the
@@ -41,6 +64,7 @@
 // clippy suggests obscure the sparse-index arithmetic.
 #![allow(clippy::needless_range_loop)]
 
+pub mod backend;
 pub mod collectives;
 pub mod comm;
 pub mod grid;
@@ -50,9 +74,10 @@ pub mod stats;
 pub mod transport;
 pub mod world;
 
+pub use backend::{BackendKind, CommBackend, InProcBackend, Parcel, WireBackend, BACKEND_ENV_VAR};
 pub use comm::Comm;
 pub use grid::{Grid15, Grid25, GridComms15, GridComms25};
 pub use model::MachineModel;
-pub use payload::Payload;
+pub use payload::{Payload, WirePayload, WireReader};
 pub use stats::{AggregateStats, Phase, PhaseCounters, RankStats, N_PHASES};
 pub use world::{RankOutcome, SimWorld};

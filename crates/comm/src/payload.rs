@@ -1,10 +1,24 @@
-//! Word accounting for message payloads.
+//! Payload accounting and the wire encode/decode surface.
 //!
-//! The paper counts communication in *words*: one `f64` value is one word,
-//! and a COO nonzero in flight costs three words (row, column, value).
-//! Every type sent through a [`Comm`](crate::Comm) implements [`Payload`]
-//! so the runtime can count traffic without serializing anything — ranks
-//! live in one address space and messages move by ownership transfer.
+//! Two traits govern what may travel between ranks:
+//!
+//! * [`Payload`] counts a value's size in *words*, the unit of the
+//!   paper's α-β cost model: one `f64` value is one word, and a COO
+//!   nonzero in flight costs three words (row, column, value). Word
+//!   counts are identical under every backend, so modeled times never
+//!   depend on which transport carried the message.
+//! * [`WirePayload`] turns a value into a contiguous byte buffer and
+//!   back. The in-process backend ignores it (messages move by
+//!   ownership transfer), but the wire backend routes **every** message
+//!   through `encode`/`decode`, so implementations must round-trip
+//!   exactly. Dense tiles, sparse blocks, and R-value vectors all
+//!   implement it; see `dsk-dense::Mat` and `dsk-sparse`'s matrix
+//!   types for the non-scalar instances.
+//!
+//! The encoding is a plain little-endian layout: `u64` lengths and
+//! scalars, `f64` as raw bits, `u32` as 4 bytes. No
+//! self-description — sender and receiver already agree on the type,
+//! exactly as MPI peers agree on datatypes.
 
 /// A value that can be sent between ranks, with a well-defined size in
 /// 8-byte words for communication accounting.
@@ -13,15 +27,130 @@ pub trait Payload: Send + 'static {
     fn words(&self) -> usize;
 }
 
+/// A [`Payload`] that can round-trip through a contiguous byte buffer —
+/// the contract the wire backend enforces on every message.
+pub trait WirePayload: Payload + Sized {
+    /// Append this value's wire encoding to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Decode one value from the reader, consuming exactly the bytes
+    /// `encode` produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed input (truncated buffer); with the
+    /// in-process simulator this always indicates a sender/receiver
+    /// type mismatch, the wire analogue of a `downcast` failure.
+    fn decode(r: &mut WireReader<'_>) -> Self;
+
+    /// Encode into a fresh buffer (convenience for send paths).
+    fn to_wire(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf
+    }
+
+    /// Decode a value from a complete buffer, asserting every byte is
+    /// consumed — trailing bytes mean the sender encoded a different
+    /// type than the receiver expects.
+    fn from_wire(bytes: &[u8]) -> Self {
+        let mut r = WireReader::new(bytes);
+        let v = Self::decode(&mut r);
+        assert!(
+            r.is_empty(),
+            "wire decode of {} left {} trailing byte(s) — sender/receiver type mismatch",
+            std::any::type_name::<Self>(),
+            r.remaining()
+        );
+        v
+    }
+}
+
+/// Cursor over an encoded buffer, advanced by [`WirePayload::decode`].
+pub struct WireReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Start reading at the front of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        WireReader { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        assert!(
+            self.remaining() >= n,
+            "wire decode underrun: need {n} bytes, {} remain — \
+             sender/receiver type mismatch",
+            self.remaining()
+        );
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().unwrap())
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    /// Read a `u64` length/count field and narrow it to `usize`.
+    /// (Deliberately not named `len`: this *consumes* 8 bytes from the
+    /// stream, unlike a size accessor — see [`WireReader::remaining`].)
+    pub fn read_len(&mut self) -> usize {
+        usize::try_from(self.u64()).expect("wire length overflows usize")
+    }
+
+    /// Read an `f64` from its raw bits.
+    pub fn f64(&mut self) -> f64 {
+        f64::from_bits(self.u64())
+    }
+}
+
 impl Payload for () {
     fn words(&self) -> usize {
         0
     }
 }
 
+impl WirePayload for () {
+    fn encode(&self, _buf: &mut Vec<u8>) {}
+    fn decode(_r: &mut WireReader<'_>) -> Self {}
+}
+
 impl Payload for bool {
     fn words(&self) -> usize {
         1
+    }
+}
+
+impl WirePayload for bool {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(u8::from(*self));
+    }
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        r.u8() != 0
     }
 }
 
@@ -31,9 +160,27 @@ impl Payload for u64 {
     }
 }
 
+impl WirePayload for u64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        r.u64()
+    }
+}
+
 impl Payload for usize {
     fn words(&self) -> usize {
         1
+    }
+}
+
+impl WirePayload for usize {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&(*self as u64).to_le_bytes());
+    }
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        r.read_len()
     }
 }
 
@@ -43,9 +190,32 @@ impl Payload for f64 {
     }
 }
 
+impl WirePayload for f64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        r.f64()
+    }
+}
+
 impl Payload for Vec<f64> {
     fn words(&self) -> usize {
         self.len()
+    }
+}
+
+impl WirePayload for Vec<f64> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.reserve(8 + 8 * self.len());
+        buf.extend_from_slice(&(self.len() as u64).to_le_bytes());
+        for v in self {
+            buf.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        let n = r.read_len();
+        (0..n).map(|_| r.f64()).collect()
     }
 }
 
@@ -55,11 +225,39 @@ impl Payload for Vec<u64> {
     }
 }
 
+impl WirePayload for Vec<u64> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.reserve(8 + 8 * self.len());
+        buf.extend_from_slice(&(self.len() as u64).to_le_bytes());
+        for v in self {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        let n = r.read_len();
+        (0..n).map(|_| r.u64()).collect()
+    }
+}
+
 /// Indices are counted as one word each, matching the paper's 3-words-per-
-/// COO-nonzero accounting even when stored as `u32` in memory.
+/// COO-nonzero accounting even when stored (and encoded) as `u32`.
 impl Payload for Vec<u32> {
     fn words(&self) -> usize {
         self.len()
+    }
+}
+
+impl WirePayload for Vec<u32> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.reserve(8 + 4 * self.len());
+        buf.extend_from_slice(&(self.len() as u64).to_le_bytes());
+        for v in self {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        let n = r.read_len();
+        (0..n).map(|_| r.u32()).collect()
     }
 }
 
@@ -69,9 +267,35 @@ impl Payload for Vec<usize> {
     }
 }
 
+impl WirePayload for Vec<usize> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.reserve(8 + 8 * self.len());
+        buf.extend_from_slice(&(self.len() as u64).to_le_bytes());
+        for v in self {
+            buf.extend_from_slice(&(*v as u64).to_le_bytes());
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        let n = r.read_len();
+        (0..n).map(|_| r.read_len()).collect()
+    }
+}
+
 impl<A: Payload, B: Payload> Payload for (A, B) {
     fn words(&self) -> usize {
         self.0.words() + self.1.words()
+    }
+}
+
+impl<A: WirePayload, B: WirePayload> WirePayload for (A, B) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        let a = A::decode(r);
+        let b = B::decode(r);
+        (a, b)
     }
 }
 
@@ -81,9 +305,41 @@ impl<A: Payload, B: Payload, C: Payload> Payload for (A, B, C) {
     }
 }
 
+impl<A: WirePayload, B: WirePayload, C: WirePayload> WirePayload for (A, B, C) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        let a = A::decode(r);
+        let b = B::decode(r);
+        let c = C::decode(r);
+        (a, b, c)
+    }
+}
+
 impl<T: Payload> Payload for Option<T> {
     fn words(&self) -> usize {
         self.as_ref().map_or(0, Payload::words)
+    }
+}
+
+impl<T: WirePayload> WirePayload for Option<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => buf.push(0),
+            Some(v) => {
+                buf.push(1);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        match r.u8() {
+            0 => None,
+            _ => Some(T::decode(r)),
+        }
     }
 }
 
@@ -93,9 +349,23 @@ impl<T: Payload> Payload for Box<T> {
     }
 }
 
+impl<T: WirePayload> WirePayload for Box<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (**self).encode(buf);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        Box::new(T::decode(r))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn roundtrip<T: WirePayload + PartialEq + std::fmt::Debug + Clone>(v: T) {
+        let bytes = v.to_wire();
+        assert_eq!(T::from_wire(&bytes), v);
+    }
 
     #[test]
     fn scalar_words() {
@@ -117,5 +387,72 @@ mod tests {
         assert_eq!(coo_like.words(), 15);
         assert_eq!(Some(vec![1.0f64; 3]).words(), 3);
         assert_eq!(None::<Vec<f64>>.words(), 0);
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        roundtrip(());
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(0u64);
+        roundtrip(u64::MAX);
+        roundtrip(42usize);
+        roundtrip(-1234.5678f64);
+        roundtrip(f64::MIN_POSITIVE);
+    }
+
+    /// R-value vectors are plain `Vec<f64>`; empty and single-element
+    /// vectors are the edge cases the collectives actually produce
+    /// (zero-width r-slices, scalar all-reduces).
+    #[test]
+    fn r_value_vectors_roundtrip() {
+        roundtrip(Vec::<f64>::new());
+        roundtrip(vec![3.25f64]);
+        roundtrip((0..100).map(|i| i as f64 * 0.5 - 25.0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn index_vectors_roundtrip() {
+        roundtrip(Vec::<u32>::new());
+        roundtrip(vec![7u32]);
+        roundtrip(vec![0u32, u32::MAX, 12345]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip(vec![u64::MAX]);
+        roundtrip(Vec::<usize>::new());
+        roundtrip(vec![0usize, 1, usize::MAX]);
+    }
+
+    #[test]
+    fn composites_roundtrip() {
+        roundtrip((vec![1u32, 2], vec![9.0f64]));
+        roundtrip((vec![1u32], vec![2u32], vec![3.0f64]));
+        roundtrip(Some(vec![1.0f64, 2.0]));
+        roundtrip(None::<Vec<f64>>);
+        roundtrip(Box::new(vec![4.0f64; 4]));
+    }
+
+    #[test]
+    fn nan_survives_bit_exact() {
+        let v = vec![f64::NAN, f64::INFINITY, -0.0];
+        let bytes = v.to_wire();
+        let back = Vec::<f64>::from_wire(&bytes);
+        assert!(back[0].is_nan());
+        assert_eq!(back[1], f64::INFINITY);
+        assert!(back[2] == 0.0 && back[2].is_sign_negative());
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn trailing_bytes_are_rejected() {
+        let bytes = vec![5.0f64, 6.0].to_wire();
+        let _ = f64::from_wire(&bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "underrun")]
+    fn truncated_buffer_is_rejected() {
+        let mut bytes = vec![5.0f64, 6.0].to_wire();
+        bytes.truncate(bytes.len() - 3);
+        let _ = Vec::<f64>::from_wire(&bytes);
     }
 }

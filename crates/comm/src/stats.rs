@@ -79,6 +79,11 @@ pub struct PhaseCounters {
     pub msgs_recv: u64,
     /// Words received by this rank.
     pub words_recv: u64,
+    /// Bytes of encoded payload handed to a serializing backend (zero
+    /// under the in-process backend, which never encodes). Measured,
+    /// not modeled: word counts drive modeled time; this shows what the
+    /// wire path actually carried, headers included.
+    pub wire_bytes_sent: u64,
     /// Floating-point operations executed locally.
     pub flops: u64,
     /// Modeled time (seconds) under the α-β-γ machine model.
@@ -94,6 +99,7 @@ impl PhaseCounters {
         self.words_sent += other.words_sent;
         self.msgs_recv += other.msgs_recv;
         self.words_recv += other.words_recv;
+        self.wire_bytes_sent += other.wire_bytes_sent;
         self.flops += other.flops;
         self.modeled_s += other.modeled_s;
         self.wall_s += other.wall_s;
@@ -175,6 +181,15 @@ impl RankStats {
         c.modeled_s += modeled_s;
     }
 
+    /// Record encoded bytes handed to a serializing backend (no-op for
+    /// zero, which is what the typed in-process path reports).
+    pub fn record_wire_bytes(&mut self, bytes: u64) {
+        if self.paused || bytes == 0 {
+            return;
+        }
+        self.per_phase[self.current.index()].wire_bytes_sent += bytes;
+    }
+
     /// Charge local computation to the current phase.
     pub fn record_flops(&mut self, flops: u64, modeled_s: f64) {
         if self.paused {
@@ -246,6 +261,9 @@ pub struct AggregateStats {
     pub max_words_sent: [u64; N_PHASES],
     /// Per-phase: maximum messages sent by any single rank.
     pub max_msgs_sent: [u64; N_PHASES],
+    /// Per-phase: total encoded bytes handed to a serializing backend
+    /// across all ranks (zero under the in-process backend).
+    pub total_wire_bytes: [u64; N_PHASES],
     /// Per-phase: total flops across all ranks.
     pub total_flops: [u64; N_PHASES],
 }
@@ -267,6 +285,7 @@ impl AggregateStats {
                 a.total_msgs_sent[i] += c.msgs_sent;
                 a.max_words_sent[i] = a.max_words_sent[i].max(c.words_sent);
                 a.max_msgs_sent[i] = a.max_msgs_sent[i].max(c.msgs_sent);
+                a.total_wire_bytes[i] += c.wire_bytes_sent;
                 a.total_flops[i] += c.flops;
             }
         }
@@ -323,6 +342,16 @@ impl AggregateStats {
     /// Maximum words sent by any rank in one phase.
     pub fn max_words(&self, p: Phase) -> u64 {
         self.max_words_sent[p.index()]
+    }
+
+    /// Total encoded bytes across ranks and non-setup phases (nonzero
+    /// only under a serializing backend).
+    pub fn wire_bytes_total(&self) -> u64 {
+        Phase::ALL
+            .iter()
+            .filter(|p| **p != Phase::Setup)
+            .map(|p| self.total_wire_bytes[p.index()])
+            .sum()
     }
 }
 
@@ -399,6 +428,19 @@ mod tests {
         assert!((agg.modeled_total_s() - 8.0).abs() < 1e-12);
         // Overlap hides computation behind the longer propagation.
         assert!((agg.modeled_total_overlapped_s() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wire_bytes_follow_phase_and_pause() {
+        let mut s = RankStats::default();
+        s.set_phase(Phase::Propagation);
+        s.record_wire_bytes(120);
+        s.set_paused(true);
+        s.record_wire_bytes(999);
+        s.set_paused(false);
+        assert_eq!(s.phase(Phase::Propagation).wire_bytes_sent, 120);
+        let agg = AggregateStats::from_ranks(&[s.clone(), s]);
+        assert_eq!(agg.wire_bytes_total(), 240);
     }
 
     #[test]

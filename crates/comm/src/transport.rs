@@ -1,17 +1,16 @@
-//! In-process message transport: one mailbox per rank, keyed by
-//! (source, communicator context, tag), FIFO per key.
+//! The shared mailbox engine both backends are built on: one mailbox
+//! per rank, keyed by (source, communicator context, tag), FIFO per
+//! key.
 //!
-//! Messages are moved by ownership (`Box<dyn Any>`), so a "send" costs one
-//! allocation plus a mutex acquisition — the modeled network cost is
-//! accounted separately by [`Comm`](crate::Comm). Receives block on a
-//! condition variable with a watchdog timeout so that a mismatched
-//! communication pattern (the distributed-programming equivalent of a
-//! deadlock) fails loudly with a diagnostic instead of hanging the test
-//! suite.
+//! [`Mailbox`] is generic over the message representation — the
+//! in-process backend stores typed boxes moved by ownership, the wire
+//! backend stores encoded byte buffers — so queueing, blocking, and the
+//! watchdog are written once. Receives block on a condition variable
+//! with a watchdog timeout so that a mismatched communication pattern
+//! (the distributed-programming equivalent of a deadlock) fails loudly
+//! with a diagnostic instead of hanging the test suite.
 
-use std::any::Any;
 use std::collections::{HashMap, VecDeque};
-use std::sync::Arc;
 use std::time::Duration;
 
 use std::sync::{Condvar, Mutex, MutexGuard};
@@ -19,17 +18,22 @@ use std::sync::{Condvar, Mutex, MutexGuard};
 /// Message routing key: (global source rank, communicator context, tag).
 pub type MsgKey = (usize, u64, u32);
 
-type AnyMsg = Box<dyn Any + Send>;
-
-#[derive(Default)]
-struct Slot {
-    queues: HashMap<MsgKey, VecDeque<AnyMsg>>,
+struct Slot<M> {
+    queues: HashMap<MsgKey, VecDeque<M>>,
 }
 
-/// The shared world transport: `nranks` mailboxes plus the receive
-/// watchdog configuration.
-pub struct Transport {
-    slots: Vec<Mutex<Slot>>,
+impl<M> Default for Slot<M> {
+    fn default() -> Self {
+        Slot {
+            queues: HashMap::new(),
+        }
+    }
+}
+
+/// `nranks` mailboxes plus the receive watchdog configuration, generic
+/// over the queued message representation.
+pub struct Mailbox<M> {
+    slots: Vec<Mutex<Slot<M>>>,
     cvs: Vec<Condvar>,
     nranks: usize,
     recv_timeout: Duration,
@@ -38,21 +42,22 @@ pub struct Transport {
 /// Lock a slot, tolerating poison: a rank that panicked (e.g. the
 /// receive watchdog) must not turn every other rank's mailbox access
 /// into an opaque `PoisonError` panic that buries the real diagnostic.
-fn lock_slot(m: &Mutex<Slot>) -> MutexGuard<'_, Slot> {
+fn lock_slot<M>(m: &Mutex<Slot<M>>) -> MutexGuard<'_, Slot<M>> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-impl Transport {
-    /// Create a transport for `nranks` ranks. `recv_timeout` bounds every
-    /// blocking receive; exceeding it panics with the offending key.
-    pub fn new(nranks: usize, recv_timeout: Duration) -> Arc<Self> {
-        assert!(nranks > 0, "transport needs at least one rank");
-        Arc::new(Transport {
+impl<M: Send> Mailbox<M> {
+    /// Create a mailbox set for `nranks` ranks. `recv_timeout` bounds
+    /// every blocking receive; exceeding it panics with the offending
+    /// key.
+    pub fn new(nranks: usize, recv_timeout: Duration) -> Self {
+        assert!(nranks > 0, "mailbox needs at least one rank");
+        Mailbox {
             slots: (0..nranks).map(|_| Mutex::new(Slot::default())).collect(),
             cvs: (0..nranks).map(|_| Condvar::new()).collect(),
             nranks,
             recv_timeout,
-        })
+        }
     }
 
     /// Number of ranks in the world.
@@ -60,8 +65,13 @@ impl Transport {
         self.nranks
     }
 
+    /// The receive watchdog bound.
+    pub fn recv_timeout(&self) -> Duration {
+        self.recv_timeout
+    }
+
     /// Deposit a message into `dst`'s mailbox.
-    pub fn post(&self, dst: usize, key: MsgKey, msg: AnyMsg) {
+    pub fn post(&self, dst: usize, key: MsgKey, msg: M) {
         debug_assert!(dst < self.nranks, "post to nonexistent rank {dst}");
         let mut slot = lock_slot(&self.slots[dst]);
         slot.queues.entry(key).or_default().push_back(msg);
@@ -75,7 +85,7 @@ impl Transport {
     ///
     /// Panics if no message arrives within the watchdog timeout — this
     /// indicates a mismatched send/receive pattern in the algorithm.
-    pub fn take(&self, me: usize, key: MsgKey) -> AnyMsg {
+    pub fn take(&self, me: usize, key: MsgKey) -> M {
         let mut slot = lock_slot(&self.slots[me]);
         loop {
             if let Some(q) = slot.queues.get_mut(&key) {
@@ -110,8 +120,8 @@ impl Transport {
         slot.queues.get(&key).is_some_and(|q| !q.is_empty())
     }
 
-    /// Count of undelivered messages across all mailboxes (used by tests
-    /// to assert protocols drain cleanly).
+    /// Count of undelivered messages across all mailboxes (used by the
+    /// world's drain check to assert protocols complete cleanly).
     pub fn pending_messages(&self) -> usize {
         self.slots
             .iter()
@@ -129,61 +139,58 @@ impl Transport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
     use std::time::Duration;
 
     #[test]
     fn post_then_take_returns_message() {
-        let t = Transport::new(2, Duration::from_secs(5));
-        t.post(1, (0, 7, 3), Box::new(42u64));
-        let m = t.take(1, (0, 7, 3));
-        assert_eq!(*m.downcast::<u64>().unwrap(), 42);
+        let t = Mailbox::new(2, Duration::from_secs(5));
+        t.post(1, (0, 7, 3), 42u64);
+        assert_eq!(t.take(1, (0, 7, 3)), 42);
         assert_eq!(t.pending_messages(), 0);
     }
 
     #[test]
     fn fifo_per_key() {
-        let t = Transport::new(1, Duration::from_secs(5));
-        t.post(0, (0, 0, 0), Box::new(1u64));
-        t.post(0, (0, 0, 0), Box::new(2u64));
-        assert_eq!(*t.take(0, (0, 0, 0)).downcast::<u64>().unwrap(), 1);
-        assert_eq!(*t.take(0, (0, 0, 0)).downcast::<u64>().unwrap(), 2);
+        let t = Mailbox::new(1, Duration::from_secs(5));
+        t.post(0, (0, 0, 0), 1u64);
+        t.post(0, (0, 0, 0), 2u64);
+        assert_eq!(t.take(0, (0, 0, 0)), 1);
+        assert_eq!(t.take(0, (0, 0, 0)), 2);
     }
 
     #[test]
     fn keys_are_independent() {
-        let t = Transport::new(1, Duration::from_secs(5));
-        t.post(0, (0, 0, 1), Box::new(10u64));
-        t.post(0, (0, 0, 0), Box::new(20u64));
+        let t = Mailbox::new(1, Duration::from_secs(5));
+        t.post(0, (0, 0, 1), 10u64);
+        t.post(0, (0, 0, 0), 20u64);
         // Tag 1 does not block tag 0.
-        assert_eq!(*t.take(0, (0, 0, 0)).downcast::<u64>().unwrap(), 20);
-        assert_eq!(*t.take(0, (0, 0, 1)).downcast::<u64>().unwrap(), 10);
+        assert_eq!(t.take(0, (0, 0, 0)), 20);
+        assert_eq!(t.take(0, (0, 0, 1)), 10);
     }
 
     #[test]
     fn take_blocks_until_posted() {
-        let t = Transport::new(2, Duration::from_secs(5));
+        let t = Arc::new(Mailbox::new(2, Duration::from_secs(5)));
         let t2 = Arc::clone(&t);
-        let h = std::thread::spawn(move || {
-            let m = t2.take(0, (1, 0, 0));
-            *m.downcast::<u64>().unwrap()
-        });
+        let h = std::thread::spawn(move || t2.take(0, (1, 0, 0)));
         std::thread::sleep(Duration::from_millis(20));
-        t.post(0, (1, 0, 0), Box::new(99u64));
+        t.post(0, (1, 0, 0), 99u64);
         assert_eq!(h.join().unwrap(), 99);
     }
 
     #[test]
     #[should_panic(expected = "receive watchdog expired")]
     fn watchdog_panics_on_missing_message() {
-        let t = Transport::new(1, Duration::from_millis(30));
+        let t = Mailbox::<u64>::new(1, Duration::from_millis(30));
         let _ = t.take(0, (0, 0, 0));
     }
 
     #[test]
     fn probe_reflects_queue_state() {
-        let t = Transport::new(1, Duration::from_secs(1));
+        let t = Mailbox::new(1, Duration::from_secs(1));
         assert!(!t.probe(0, (0, 0, 0)));
-        t.post(0, (0, 0, 0), Box::new(()));
+        t.post(0, (0, 0, 0), ());
         assert!(t.probe(0, (0, 0, 0)));
     }
 }

@@ -1,13 +1,13 @@
 //! The simulated world: spawns one thread per rank and runs a distributed
-//! program to completion.
+//! program to completion on a chosen communication backend.
 
 use std::sync::Arc;
 use std::time::Duration;
 
+use crate::backend::BackendKind;
 use crate::comm::{Comm, RankShared};
 use crate::model::MachineModel;
 use crate::stats::RankStats;
-use crate::transport::Transport;
 
 /// Result of one rank's execution: its return value and statistics.
 #[derive(Debug)]
@@ -30,16 +30,20 @@ pub struct SimWorld {
     nranks: usize,
     model: MachineModel,
     recv_timeout: Duration,
+    backend: BackendKind,
 }
 
 impl SimWorld {
-    /// A world of `nranks` ranks with machine model `model` and the
-    /// default 300 s receive watchdog.
+    /// A world of `nranks` ranks with machine model `model`, the
+    /// default 300 s receive watchdog, and the backend selected by the
+    /// `DSK_COMM_BACKEND` environment variable (in-process when unset —
+    /// see [`BackendKind::from_env`]).
     pub fn new(nranks: usize, model: MachineModel) -> Self {
         SimWorld {
             nranks,
             model,
             recv_timeout: Duration::from_secs(300),
+            backend: BackendKind::from_env(),
         }
     }
 
@@ -48,6 +52,19 @@ impl SimWorld {
     pub fn with_recv_timeout(mut self, timeout: Duration) -> Self {
         self.recv_timeout = timeout;
         self
+    }
+
+    /// Select the communication backend explicitly (overriding the
+    /// environment default). Conformance suites use this to run the
+    /// same program over every backend.
+    pub fn backend(mut self, kind: BackendKind) -> Self {
+        self.backend = kind;
+        self
+    }
+
+    /// The backend this world will build its ranks on.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend
     }
 
     /// Number of ranks.
@@ -72,7 +89,9 @@ impl SimWorld {
         T: Send,
         F: Fn(&mut Comm) -> T + Sync,
     {
-        let transport = Transport::new(self.nranks, self.recv_timeout);
+        let backend = self
+            .backend
+            .build(self.nranks, self.recv_timeout, self.model);
         let model = self.model;
         let f = &f;
         let mut outcomes: Vec<RankOutcome<T>> = Vec::with_capacity(self.nranks);
@@ -80,10 +99,10 @@ impl SimWorld {
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(self.nranks);
             for rank in 0..self.nranks {
-                let transport = Arc::clone(&transport);
+                let backend = Arc::clone(&backend);
                 handles.push(scope.spawn(move || {
                     let shared = RankShared::new();
-                    let mut comm = Comm::world(transport, model, Arc::clone(&shared), rank);
+                    let mut comm = Comm::world(backend, model, Arc::clone(&shared), rank);
                     let value = f(&mut comm);
                     comm.finish();
                     let stats = comm.stats_snapshot();
@@ -105,7 +124,7 @@ impl SimWorld {
             }
         });
 
-        let leaked = transport.pending_messages();
+        let leaked = backend.pending_messages();
         assert_eq!(
             leaked, 0,
             "{leaked} message(s) were sent but never received — protocol bug"
@@ -334,6 +353,65 @@ mod tests {
         let comp = out[0].stats.phase(Phase::Computation);
         assert_eq!(comp.flops, 50);
         assert!((comp.modeled_s - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wire_backend_runs_the_same_program() {
+        let w = SimWorld::new(5, MachineModel::bandwidth_only()).backend(BackendKind::Wire);
+        assert_eq!(w.backend_kind(), BackendKind::Wire);
+        let out = w.run(|c| {
+            assert_eq!(c.backend_name(), "wire");
+            let _g = c.phase(Phase::Propagation);
+            c.shift(1, 0, vec![c.rank() as f64])
+        });
+        for o in &out {
+            let expected = (o.rank + 5 - 1) % 5;
+            assert_eq!(o.value, vec![expected as f64]);
+        }
+    }
+
+    #[test]
+    fn wire_backend_counts_encoded_bytes_inproc_does_not() {
+        for (kind, expect_bytes) in [(BackendKind::InProc, false), (BackendKind::Wire, true)] {
+            let w = SimWorld::new(2, MachineModel::bandwidth_only()).backend(kind);
+            let out = w.run(|c| {
+                let _g = c.phase(Phase::Propagation);
+                let _ = c.shift(1, 0, vec![0.0f64; 16]);
+            });
+            for o in &out {
+                let c = o.stats.phase(Phase::Propagation);
+                // Word accounting is backend-independent…
+                assert_eq!(c.words_sent, 16);
+                // …but only the wire path reports encoded bytes
+                // (16 f64 values plus the length header).
+                if expect_bytes {
+                    assert_eq!(c.wire_bytes_sent, 8 + 16 * 8);
+                } else {
+                    assert_eq!(c.wire_bytes_sent, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wire_delay_backend_slows_wall_time() {
+        // 5 ms per message; two ranks exchange one message each.
+        let model = MachineModel {
+            alpha_s: 5e-3,
+            beta_s_per_word: 0.0,
+            gamma_s_per_flop: 0.0,
+        };
+        let w = SimWorld::new(2, model).backend(BackendKind::WireDelay);
+        let out = w.run(|c| {
+            let _g = c.phase(Phase::Propagation);
+            let _ = c.shift(1, 0, vec![1.0f64; 4]);
+        });
+        for o in &out {
+            assert!(
+                o.stats.phase(Phase::Propagation).wall_s >= 4e-3,
+                "injected delay should appear in measured wall time"
+            );
+        }
     }
 
     #[test]

@@ -1,8 +1,13 @@
 //! Randomized tests of the collectives: correctness over random world
 //! sizes, payload lengths, and roots, plus accounting invariants. Cases
-//! are drawn from a seeded PRNG so failures reproduce exactly.
+//! are drawn from a seeded PRNG so failures reproduce exactly, and every
+//! case runs over **both** communication backends (typed in-process and
+//! serialized wire) through the shared [`common::worlds`] helper.
 
-use dsk_comm::{MachineModel, Phase, SimWorld};
+mod common;
+
+use common::worlds;
+use dsk_comm::Phase;
 use dsk_rng::Rng;
 
 const CASES: usize = 24;
@@ -15,13 +20,14 @@ fn broadcast_any_root() {
         let p = 1 + rng.gen_index(9);
         let root = rng.gen_index(p);
         let len = rng.gen_index(40);
-        let w = SimWorld::new(p, MachineModel::bandwidth_only());
-        let out = w.run(move |comm| {
-            let v = (comm.rank() == root).then(|| vec![root as f64; len]);
-            comm.broadcast(root, v)
-        });
-        for o in &out {
-            assert_eq!(&o.value, &vec![root as f64; len]);
+        for w in worlds(p) {
+            let out = w.run(move |comm| {
+                let v = (comm.rank() == root).then(|| vec![root as f64; len]);
+                comm.broadcast(root, v)
+            });
+            for o in &out {
+                assert_eq!(&o.value, &vec![root as f64; len]);
+            }
         }
     }
 }
@@ -33,17 +39,18 @@ fn allgather_ragged() {
     for _ in 0..CASES {
         let p = 1 + rng.gen_index(8);
         let seed = rng.next_u64() % 100;
-        let w = SimWorld::new(p, MachineModel::bandwidth_only());
-        let out = w.run(move |comm| {
-            let len = ((seed as usize + comm.rank() * 7) % 5) + 1;
-            let mine = vec![comm.rank() as f64; len];
-            comm.allgather(mine)
-        });
-        for o in &out {
-            assert_eq!(o.value.len(), p);
-            for (rk, part) in o.value.iter().enumerate() {
-                let len = ((seed as usize + rk * 7) % 5) + 1;
-                assert_eq!(part, &vec![rk as f64; len]);
+        for w in worlds(p) {
+            let out = w.run(move |comm| {
+                let len = ((seed as usize + comm.rank() * 7) % 5) + 1;
+                let mine = vec![comm.rank() as f64; len];
+                comm.allgather(mine)
+            });
+            for o in &out {
+                assert_eq!(o.value.len(), p);
+                for (rk, part) in o.value.iter().enumerate() {
+                    let len = ((seed as usize + rk * 7) % 5) + 1;
+                    assert_eq!(part, &vec![rk as f64; len]);
+                }
             }
         }
     }
@@ -57,19 +64,20 @@ fn reduce_scatter_any_length() {
     for _ in 0..CASES {
         let p = 1 + rng.gen_index(8);
         let len = rng.gen_index(30);
-        let w = SimWorld::new(p, MachineModel::bandwidth_only());
-        let out = w.run(move |comm| {
-            let buf: Vec<f64> = (0..len).map(|i| (i + comm.rank()) as f64).collect();
-            comm.reduce_scatter_sum(&buf)
-        });
-        let serial: Vec<f64> = (0..len)
-            .map(|i| (0..p).map(|rk| (i + rk) as f64).sum())
-            .collect();
-        let mut reassembled = Vec::new();
-        for o in &out {
-            reassembled.extend_from_slice(&o.value);
+        for w in worlds(p) {
+            let out = w.run(move |comm| {
+                let buf: Vec<f64> = (0..len).map(|i| (i + comm.rank()) as f64).collect();
+                comm.reduce_scatter_sum(&buf)
+            });
+            let serial: Vec<f64> = (0..len)
+                .map(|i| (0..p).map(|rk| (i + rk) as f64).sum())
+                .collect();
+            let mut reassembled = Vec::new();
+            for o in &out {
+                reassembled.extend_from_slice(&o.value);
+            }
+            assert_eq!(reassembled, serial);
         }
-        assert_eq!(reassembled, serial);
     }
 }
 
@@ -80,44 +88,53 @@ fn alltoallv_routes() {
     for _ in 0..CASES {
         let p = 1 + rng.gen_index(7);
         let base = rng.gen_index(5);
-        let w = SimWorld::new(p, MachineModel::bandwidth_only());
-        let out = w.run(move |comm| {
-            let me = comm.rank();
-            let outgoing: Vec<Vec<f64>> = (0..p)
-                .map(|dst| vec![(me * 100 + dst) as f64; base + (dst % 3)])
-                .collect();
-            comm.alltoallv_f64(outgoing)
-        });
-        for o in &out {
-            for (src, payload) in o.value.iter().enumerate() {
-                assert_eq!(
-                    payload,
-                    &vec![(src * 100 + o.rank) as f64; base + (o.rank % 3)]
-                );
+        for w in worlds(p) {
+            let out = w.run(move |comm| {
+                let me = comm.rank();
+                let outgoing: Vec<Vec<f64>> = (0..p)
+                    .map(|dst| vec![(me * 100 + dst) as f64; base + (dst % 3)])
+                    .collect();
+                comm.alltoallv_f64(outgoing)
+            });
+            for o in &out {
+                for (src, payload) in o.value.iter().enumerate() {
+                    assert_eq!(
+                        payload,
+                        &vec![(src * 100 + o.rank) as f64; base + (o.rank % 3)]
+                    );
+                }
             }
         }
     }
 }
 
 /// Sends always balance receives globally, whatever the traffic
-/// pattern.
+/// pattern — and word accounting is identical across backends (the
+/// wire path may add encoded bytes, never words).
 #[test]
-fn accounting_balances() {
+fn accounting_balances_and_is_backend_invariant() {
     let mut rng = Rng::seed_from_u64(0xC005);
     for _ in 0..CASES {
         let p = 2 + rng.gen_index(6);
         let rounds = 1 + rng.gen_index(3);
-        let w = SimWorld::new(p, MachineModel::bandwidth_only());
-        let out = w.run(move |comm| {
-            let _g = comm.phase(Phase::Propagation);
-            for t in 0..rounds {
-                let _ = comm.shift(1 + t % (p - 1).max(1), t as u32, vec![1.0f64; 3 + t]);
-            }
-            comm.barrier();
-        });
-        let sent: u64 = out.iter().map(|o| o.stats.total().words_sent).sum();
-        let recvd: u64 = out.iter().map(|o| o.stats.total().words_recv).sum();
-        assert_eq!(sent, recvd);
+        let mut words_by_backend = Vec::new();
+        for w in worlds(p) {
+            let out = w.run(move |comm| {
+                let _g = comm.phase(Phase::Propagation);
+                for t in 0..rounds {
+                    let _ = comm.shift(1 + t % (p - 1).max(1), t as u32, vec![1.0f64; 3 + t]);
+                }
+                comm.barrier();
+            });
+            let sent: u64 = out.iter().map(|o| o.stats.total().words_sent).sum();
+            let recvd: u64 = out.iter().map(|o| o.stats.total().words_recv).sum();
+            assert_eq!(sent, recvd);
+            words_by_backend.push(sent);
+        }
+        assert!(
+            words_by_backend.windows(2).all(|w| w[0] == w[1]),
+            "word accounting must not depend on the backend: {words_by_backend:?}"
+        );
     }
 }
 
@@ -126,20 +143,21 @@ fn accounting_balances() {
 #[test]
 fn nested_splits_work() {
     for p in 4usize..9 {
-        let w = SimWorld::new(p, MachineModel::bandwidth_only());
-        let out = w.run(move |comm| {
-            let half = comm.split_by(|r| (r % 2) as u64);
-            let quarter = half.split_by(|r| (r % 2) as u64);
-            let vals = quarter.allgather(vec![comm.rank() as f64]);
-            vals.iter().map(|v| v[0] as usize).collect::<Vec<_>>()
-        });
-        for o in &out {
-            // Members of my quarter group: same rank mod 2, and same
-            // position-parity within the half group.
-            for &m in &o.value {
-                assert_eq!(m % 2, o.rank % 2);
+        for w in worlds(p) {
+            let out = w.run(move |comm| {
+                let half = comm.split_by(|r| (r % 2) as u64);
+                let quarter = half.split_by(|r| (r % 2) as u64);
+                let vals = quarter.allgather(vec![comm.rank() as f64]);
+                vals.iter().map(|v| v[0] as usize).collect::<Vec<_>>()
+            });
+            for o in &out {
+                // Members of my quarter group: same rank mod 2, and same
+                // position-parity within the half group.
+                for &m in &o.value {
+                    assert_eq!(m % 2, o.rank % 2);
+                }
+                assert!(o.value.contains(&o.rank));
             }
-            assert!(o.value.contains(&o.rank));
         }
     }
 }

@@ -1,0 +1,14 @@
+//! Shared helper for backend-conformance suites: every test runs the
+//! same program once per backend, so the typed in-process path and the
+//! serialized wire path stay behaviorally identical.
+
+use dsk_comm::{BackendKind, MachineModel, SimWorld};
+
+/// One identically-configured world per conformance backend (in-proc
+/// and wire). Tests loop over this instead of constructing a world
+/// directly.
+pub fn worlds(p: usize) -> impl Iterator<Item = SimWorld> {
+    BackendKind::CONFORMANCE
+        .into_iter()
+        .map(move |k| SimWorld::new(p, MachineModel::bandwidth_only()).backend(k))
+}

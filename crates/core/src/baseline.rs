@@ -203,11 +203,20 @@ impl Baseline1D {
         Mat::from_vec(local.nrows() + fetched_total, r, stacked)
     }
 
-    /// Distributed SpMMA: `S·B` in 1D block rows (PETSc `MatMatMult`
-    /// analogue). `vals` overrides the sparse values (R-valued SpMM).
-    fn spmm_a_vals(&self, comm: &Comm, operand_b: &Mat, vals: Option<&[f64]>) -> Mat {
-        let operand = self.scatter_operand(comm, &self.plan_a, operand_b, self.dims.n);
-        let s = &self.plan_a.s_remapped;
+    /// Scatter + local SpMM through one plan: the shared body of SpMMA
+    /// (`S`-oriented, operand `B`-side) and SpMMB (`Sᵀ`-oriented,
+    /// operand `A`-side). `vals` overrides the sparse values with an
+    /// array in the plan's CSR order (R-valued SpMM).
+    fn spmm_plan_vals(
+        &self,
+        comm: &Comm,
+        plan: &Plan,
+        local: &Mat,
+        operand_rows: usize,
+        vals: Option<&[f64]>,
+    ) -> Mat {
+        let operand = self.scatter_operand(comm, plan, local, operand_rows);
+        let s = &plan.s_remapped;
         let mut out = Mat::zeros(s.nrows(), self.dims.r);
         let owned;
         let s_ref = match vals {
@@ -225,20 +234,87 @@ impl Baseline1D {
         out
     }
 
+    /// Distributed SpMMA: `S·B` in 1D block rows (PETSc `MatMatMult`
+    /// analogue).
+    fn spmm_a_vals(&self, comm: &Comm, operand_b: &Mat, vals: Option<&[f64]>) -> Mat {
+        self.spmm_plan_vals(comm, &self.plan_a, operand_b, self.dims.n, vals)
+    }
+
     /// Distributed SpMMA on the stored operands.
     pub fn spmm_a_on(&self, comm: &Comm) -> Mat {
         self.spmm_a_vals(comm, &self.b_loc, None)
     }
 
-    /// Distributed SpMMB: `Sᵀ·A` in 1D block rows.
+    /// Distributed SpMMB: `Sᵀ·A` in 1D block rows. `vals` overrides the
+    /// sparse values with a `Sᵀ`-ordered array (R-valued SpMMB).
+    fn spmm_b_vals(&self, comm: &Comm, vals: Option<&[f64]>) -> Mat {
+        self.spmm_plan_vals(comm, &self.plan_b, &self.a_loc, self.dims.m, vals)
+    }
+
+    /// Distributed SpMMB on the stored operands.
     pub fn spmm_b_on(&self, comm: &Comm) -> Mat {
-        let operand = self.scatter_operand(comm, &self.plan_b, &self.a_loc, self.dims.m);
-        let s = &self.plan_b.s_remapped;
-        let mut out = Mat::zeros(s.nrows(), self.dims.r);
-        comm.compute(kern::spmm_flops(s.nnz(), self.dims.r), || {
-            kern::spmm_csr_acc(&mut out, s, &operand)
-        });
-        out
+        self.spmm_b_vals(comm, None)
+    }
+
+    /// Redistribute the SDDMM result from the `S` orientation (values
+    /// aligned with `plan_a.s_remapped`, partitioned by `A`'s block
+    /// rows) into the `Sᵀ` orientation (aligned with
+    /// `plan_b.s_remapped`, partitioned by `B`'s block rows) — the
+    /// value shuffle `Rᵀ·A` needs. Each nonzero travels as a
+    /// (row, col, value) triplet to the owner of its `Sᵀ` block row —
+    /// one all-to-all of triplet bundles, so the cost is one message
+    /// per peer carrying the paper's three words per nonzero; the
+    /// traffic is charged to the propagation phase.
+    fn r_vals_in_b_orientation(&self, comm: &Comm) -> Vec<f64> {
+        let _ph = comm.phase(Phase::Propagation);
+        let r_vals = self.r_vals.as_deref().expect("no SDDMM result");
+        let p = self.p;
+        let (m, n) = (self.dims.m, self.dims.n);
+        let my_start_m = block_range(m, p, comm.rank()).start as u32;
+
+        // Bucket my R nonzeros (global coordinates) by the rank owning
+        // the corresponding Sᵀ block row (= the S column's owner).
+        let s = &self.plan_a.s_remapped;
+        let (indptr, indices) = (s.indptr(), s.indices());
+        type Triplets = (Vec<u32>, Vec<u32>, Vec<f64>);
+        let mut outgoing: Vec<Triplets> = vec![Triplets::default(); p];
+        for i in 0..s.nrows() {
+            for k in indptr[i]..indptr[i + 1] {
+                let gi = my_start_m + i as u32;
+                let gj = self.plan_a.inv_col[indices[k] as usize];
+                let bucket = &mut outgoing[block_owner(n, p, gj as usize)];
+                bucket.0.push(gi);
+                bucket.1.push(gj);
+                bucket.2.push(r_vals[k]);
+            }
+        }
+        let incoming = comm.alltoallv(outgoing);
+
+        // Index my Sᵀ block's nonzeros by (local row, global S row).
+        let my_start_n = block_range(n, p, comm.rank()).start as u32;
+        let st = &self.plan_b.s_remapped;
+        let (tp, ti) = (st.indptr(), st.indices());
+        let mut pos = std::collections::HashMap::with_capacity(st.nnz());
+        for j in 0..st.nrows() {
+            for k in tp[j]..tp[j + 1] {
+                let gi = self.plan_b.inv_col[ti[k] as usize];
+                pos.insert((j as u32, gi), k);
+            }
+        }
+        let mut vals = vec![0.0; st.nnz()];
+        let mut filled = 0usize;
+        for (rows, cols, rvals) in &incoming {
+            for ((&gi, &gj), &v) in rows.iter().zip(cols).zip(rvals) {
+                let lj = gj - my_start_n;
+                let k = *pos
+                    .get(&(lj, gi))
+                    .expect("redistributed R value outside the Sᵀ pattern");
+                vals[k] = v;
+                filled += 1;
+            }
+        }
+        debug_assert_eq!(filled, st.nnz(), "R redistribution must fill Sᵀ");
+        vals
     }
 
     /// The paper's FusedMM surrogate for the baseline: two back-to-back
@@ -316,13 +392,15 @@ impl DistKernel for Baseline1D {
     }
 
     fn spmm_b(&mut self, use_r: bool) -> Mat {
-        assert!(
-            !use_r,
-            "the 1D baseline stores R in the S orientation; Rᵀ·A would \
-             need a value redistribution the baseline does not implement"
-        );
         let this = &*self;
-        this.spmm_b_on(&this.comm)
+        if use_r {
+            // The baseline stores R in the S orientation; Rᵀ·A first
+            // redistributes the values into the Sᵀ orientation.
+            let vals = this.r_vals_in_b_orientation(&this.comm);
+            this.spmm_b_vals(&this.comm, Some(&vals))
+        } else {
+            this.spmm_b_on(&this.comm)
+        }
     }
 
     fn fused_mm_a(&mut self, x: Option<&Mat>, elision: Elision, sampling: Sampling) -> Mat {

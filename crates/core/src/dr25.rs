@@ -252,16 +252,16 @@ impl DenseRepl25 {
         self.gc.row_ring.shift(q - 1, TAG_SPARSE, blk)
     }
 
-    /// Shift a dense panel one step backward along the column ring.
-    /// `next_rows` is the (schedule-known) row count of the incoming
-    /// block, needed when the r-slice is empty.
+    /// Shift a dense panel one step backward along the column ring. The
+    /// panel travels as a [`Mat`] payload, so its shape (including empty
+    /// r-slices) survives the hop; `next_rows` is the schedule's
+    /// expectation, kept as a cross-check.
     fn shift_dense(&self, y: Mat, next_rows: usize) -> Mat {
         let _ph = self.gc.col_ring.phase(Phase::Propagation);
         let q = self.gc.col_ring.size();
-        let width = y.ncols();
-        let data = self.gc.col_ring.shift(q - 1, TAG_DENSE, y.into_vec());
-        debug_assert!(width == 0 || data.len() / width == next_rows);
-        Mat::from_vec(next_rows, width, data)
+        let got = self.gc.col_ring.shift(q - 1, TAG_DENSE, y);
+        debug_assert!(got.ncols() == 0 || got.nrows() == next_rows);
+        got
     }
 
     /// SDDMM travel round: the sparse block accumulates slice-partial

@@ -176,12 +176,11 @@ impl DenseShift15 {
     }
 
     /// One propagation step: shift a dense block one position around the
-    /// layer ring.
+    /// layer ring. The tile travels as a [`Mat`] payload (self-describing
+    /// shape, one word per entry — same modeled cost as its raw buffer).
     fn shift_block(&self, y: Mat) -> Mat {
         let _ph = self.gc.layer.phase(Phase::Propagation);
-        let r = y.ncols();
-        let data = self.gc.layer.shift(1, TAG_SHIFT, y.into_vec());
-        Mat::from_vec(data.len() / r.max(1), r, data)
+        self.gc.layer.shift(1, TAG_SHIFT, y)
     }
 
     /// The slot (stationary S column-block index) paired with the block

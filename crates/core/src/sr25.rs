@@ -156,14 +156,16 @@ impl SparseRepl25 {
     }
 
     /// Shift an `A`-side panel one step backward along the row ring.
-    /// `next_width` is the (schedule-known) slice width of the incoming
-    /// panel — slices differ by one column when `q·c ∤ r`.
+    /// Panels travel as [`Mat`] payloads, so the incoming slice width —
+    /// slices differ by one column when `q·c ∤ r` — arrives with the
+    /// data; `next_width` is the schedule's expectation, kept as a
+    /// cross-check.
     fn shift_a(&self, a: Mat, next_width: usize) -> Mat {
         let _ph = self.gc.row_ring.phase(Phase::Propagation);
         let q = self.gc.row_ring.size();
-        let data = self.gc.row_ring.shift(q - 1, TAG_A, a.into_vec());
-        let rows = data.len().checked_div(next_width).unwrap_or(0);
-        Mat::from_vec(rows, next_width, data)
+        let got = self.gc.row_ring.shift(q - 1, TAG_A, a);
+        debug_assert!(got.is_empty() || got.ncols() == next_width);
+        got
     }
 
     /// Shift a `B`-side panel one step backward along the column ring
@@ -171,9 +173,9 @@ impl SparseRepl25 {
     fn shift_b(&self, b: Mat, next_width: usize) -> Mat {
         let _ph = self.gc.col_ring.phase(Phase::Propagation);
         let q = self.gc.col_ring.size();
-        let data = self.gc.col_ring.shift(q - 1, TAG_B, b.into_vec());
-        let rows = data.len().checked_div(next_width).unwrap_or(0);
-        Mat::from_vec(rows, next_width, data)
+        let got = self.gc.col_ring.shift(q - 1, TAG_B, b);
+        debug_assert!(got.is_empty() || got.ncols() == next_width);
+        got
     }
 
     /// Width of the r-slice carried at step `t` (slices can differ by

@@ -222,9 +222,50 @@ impl Mat {
     }
 }
 
+/// A dense tile in flight costs one word per entry — identical to
+/// shipping its raw buffer, so switching a shift from `Vec<f64>` to
+/// `Mat` changes no modeled cost, only self-describes the shape.
+impl dsk_comm::Payload for Mat {
+    fn words(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// Wire encoding: shape header then the row-major buffer. This is the
+/// dense-tile case of the wire backend's encode/decode surface.
+impl dsk_comm::WirePayload for Mat {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.nrows as u64).encode(buf);
+        (self.ncols as u64).encode(buf);
+        self.data.encode(buf);
+    }
+
+    fn decode(r: &mut dsk_comm::WireReader<'_>) -> Self {
+        let nrows = r.read_len();
+        let ncols = r.read_len();
+        let data = Vec::<f64>::decode(r);
+        Mat::from_vec(nrows, ncols, data)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dsk_comm::{Payload, WirePayload};
+
+    #[test]
+    fn dense_tile_wire_roundtrip() {
+        for m in [
+            Mat::from_fn(3, 4, |i, j| (i * 4 + j) as f64 - 5.5),
+            Mat::zeros(0, 7),
+            Mat::zeros(7, 0),
+            Mat::from_vec(1, 1, vec![2.25]),
+        ] {
+            assert_eq!(m.words(), m.len());
+            let bytes = m.to_wire();
+            assert_eq!(Mat::from_wire(&bytes), m);
+        }
+    }
 
     #[test]
     fn zeros_and_indexing() {

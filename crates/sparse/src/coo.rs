@@ -6,7 +6,7 @@
 //! nonzero** (row, column, value) for them — reflected by the
 //! [`Payload`] implementation.
 
-use dsk_comm::Payload;
+use dsk_comm::{Payload, WirePayload, WireReader};
 
 /// A sparse `nrows × ncols` matrix as parallel (row, col, value) arrays.
 /// Indices are `u32`; matrices beyond 4 G rows/cols are out of scope.
@@ -155,6 +155,28 @@ impl Payload for CooMatrix {
     }
 }
 
+/// Wire encoding: shape header, then the three triplet arrays. The
+/// sparse-shifting algorithms route whole COO blocks through this under
+/// the wire backend.
+impl WirePayload for CooMatrix {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.nrows as u64).encode(buf);
+        (self.ncols as u64).encode(buf);
+        self.rows.encode(buf);
+        self.cols.encode(buf);
+        self.vals.encode(buf);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        let nrows = r.read_len();
+        let ncols = r.read_len();
+        let rows = Vec::<u32>::decode(r);
+        let cols = Vec::<u32>::decode(r);
+        let vals = Vec::<f64>::decode(r);
+        CooMatrix::from_triplets(nrows, ncols, rows, cols, vals)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,6 +241,18 @@ mod tests {
         assert_eq!(d[2 * 4 + 3], 2.0);
         assert_eq!(d[4], 3.0);
         assert_eq!(d.iter().filter(|&&x| x != 0.0).count(), 3);
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_triplets() {
+        for m in [sample(), CooMatrix::empty(5, 7), {
+            let mut one = CooMatrix::empty(1, 1);
+            one.push(0, 0, -2.5);
+            one
+        }] {
+            let bytes = m.to_wire();
+            assert_eq!(CooMatrix::from_wire(&bytes), m);
+        }
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Compressed sparse row storage — the format local kernels compute on.
 
 use crate::coo::CooMatrix;
+use dsk_comm::{Payload, WirePayload, WireReader};
 
 /// A sparse matrix in CSR form: `indptr[i]..indptr[i+1]` indexes the
 /// column/value arrays for row `i`. Columns within a row are sorted.
@@ -184,6 +185,44 @@ impl CsrMatrix {
     }
 }
 
+/// A CSR block in flight costs one word per stored value, one per
+/// column index, and one per row pointer — cheaper than COO's three
+/// words per nonzero once rows average more than one entry, which is
+/// why index-compressed transports (SpComm3D-style) favor it.
+impl Payload for CsrMatrix {
+    fn words(&self) -> usize {
+        2 * self.nnz() + self.indptr.len()
+    }
+}
+
+/// Wire encoding: shape header, row pointers, column indices, values.
+impl WirePayload for CsrMatrix {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.nrows as u64).encode(buf);
+        (self.ncols as u64).encode(buf);
+        self.indptr.encode(buf);
+        self.indices.encode(buf);
+        self.vals.encode(buf);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        let nrows = r.read_len();
+        let ncols = r.read_len();
+        let indptr = Vec::<usize>::decode(r);
+        let indices = Vec::<u32>::decode(r);
+        let vals = Vec::<f64>::decode(r);
+        assert_eq!(indptr.len(), nrows + 1, "CSR wire block: bad indptr");
+        assert_eq!(indices.len(), vals.len(), "CSR wire block: bad arrays");
+        CsrMatrix {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            vals,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +246,19 @@ mod tests {
         let coo = sample_coo();
         let rt = CsrMatrix::from_coo(&coo).to_coo();
         assert_eq!(rt.to_dense(), coo.to_dense());
+    }
+
+    #[test]
+    fn wire_roundtrip_and_words() {
+        for m in [
+            CsrMatrix::from_coo(&sample_coo()),
+            CsrMatrix::zeros(4, 9),
+            CsrMatrix::from_coo(&CooMatrix::from_triplets(1, 1, vec![0], vec![0], vec![6.5])),
+        ] {
+            assert_eq!(m.words(), 2 * m.nnz() + m.nrows() + 1);
+            let bytes = m.to_wire();
+            assert_eq!(CsrMatrix::from_wire(&bytes), m);
+        }
     }
 
     #[test]

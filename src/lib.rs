@@ -52,7 +52,7 @@ pub use dsk_sparse as sparse;
 /// assert!(out.iter().map(|o| o.value).sum::<f64>() > 0.0);
 /// ```
 pub mod prelude {
-    pub use dsk_comm::{Comm, MachineModel, Phase, SimWorld};
+    pub use dsk_comm::{BackendKind, Comm, MachineModel, Phase, SimWorld};
     pub use dsk_core::common::{AlgorithmFamily, Elision, ProblemDims, Sampling};
     pub use dsk_core::global::GlobalProblem;
     pub use dsk_core::kernel::{CombineSpec, DistKernel, KernelBuilder, KernelId, KernelPlan};

@@ -59,23 +59,31 @@ fn close(a: f64, b: f64) -> bool {
 }
 
 /// SDDMM through the trait object: gathered R must equal the serial
-/// reference for every kernel.
+/// reference for every kernel, on both the typed in-process backend and
+/// the serialized wire backend (same program, byte-identical results —
+/// the backends may differ in realization only).
 #[test]
-fn sddmm_gathers_identically_across_kernels() {
+fn sddmm_gathers_identically_across_kernels_and_backends() {
     let prob = Arc::new(GlobalProblem::erdos_renyi(26, 22, 7, 3, 4001));
     let expect = prob.reference_sddmm().to_coo().to_dense();
-    for (name, builder, _) in scenarios(&prob) {
-        let expect = expect.clone();
-        let world = SimWorld::new(P, MachineModel::bandwidth_only());
-        let out = world.run(move |comm| {
-            let mut worker = builder.build(comm);
-            let k: &mut dyn DistKernel = worker.kernel_mut();
-            k.sddmm();
-            k.gather_r(comm)
-        });
-        let got = out[0].value.as_ref().unwrap().to_dense();
-        for (g, e) in got.iter().zip(&expect) {
-            assert!((g - e).abs() < 1e-9, "SDDMM mismatch for {name}");
+    for backend in BackendKind::CONFORMANCE {
+        for (name, builder, _) in scenarios(&prob) {
+            let expect = expect.clone();
+            let world = SimWorld::new(P, MachineModel::bandwidth_only()).backend(backend);
+            let out = world.run(move |comm| {
+                let mut worker = builder.build(comm);
+                let k: &mut dyn DistKernel = worker.kernel_mut();
+                k.sddmm();
+                k.gather_r(comm)
+            });
+            let got = out[0].value.as_ref().unwrap().to_dense();
+            for (g, e) in got.iter().zip(&expect) {
+                assert!(
+                    (g - e).abs() < 1e-9,
+                    "SDDMM mismatch for {name} on {}",
+                    backend.label()
+                );
+            }
         }
     }
 }
@@ -153,6 +161,43 @@ fn full_scenario_agrees_across_kernels() {
             close(fused_sq, expect_fused_sq),
             "{name}: FusedMMB ‖·‖² {fused_sq} vs {expect_fused_sq}"
         );
+    }
+}
+
+/// Regression for the R-valued SpMMB: `Rᵀ·A` must agree with the serial
+/// reference for every kernel — most importantly the 1D baseline, whose
+/// R values live in the `S` orientation and must be redistributed into
+/// the `Sᵀ` orientation first (this used to be a documented panic).
+/// Runs over both communication backends: the redistribution is
+/// all-to-all heavy, exactly the traffic the wire path must encode.
+#[test]
+fn r_valued_spmm_b_agrees_across_kernels_and_backends() {
+    let (m, n, r) = (24, 22, 5);
+    let prob = Arc::new(GlobalProblem::erdos_renyi(m, n, r, 3, 4005));
+    // Serial reference: R = SDDMM(A, B) sampled by S, then Rᵀ·A.
+    let expect_sq: f64 = {
+        let rt = prob.reference_sddmm().transpose();
+        let mut out = distributed_sparse_kernels::dense::Mat::zeros(n, r);
+        kern::spmm_csr_acc(&mut out, &rt, &prob.a);
+        out.as_slice().iter().map(|v| v * v).sum()
+    };
+    for backend in BackendKind::CONFORMANCE {
+        for (name, builder, _) in scenarios(&prob) {
+            let world = SimWorld::new(P, MachineModel::bandwidth_only()).backend(backend);
+            let out = world.run(move |comm| {
+                let mut worker = builder.build(comm);
+                let k: &mut dyn DistKernel = worker.kernel_mut();
+                k.sddmm();
+                let local = k.spmm_b(true);
+                local.as_slice().iter().map(|v| v * v).sum::<f64>()
+            });
+            let got: f64 = out.iter().map(|o| o.value).sum();
+            assert!(
+                close(got, expect_sq),
+                "{name} on {}: Rᵀ·A ‖·‖² {got} vs {expect_sq}",
+                backend.label()
+            );
+        }
     }
 }
 
