@@ -2,7 +2,8 @@
 //! kernels.
 //!
 //! Applications iterate: the output of one FusedMM becomes an input of
-//! the next. The [`DistKernel`] trait pins down, per kernel:
+//! the next. The [`DistKernel`](dsk_core::kernel::DistKernel) trait
+//! pins down, per kernel:
 //!
 //! * the **iterate layout** for `A`-shaped and `B`-shaped vectors (the
 //!   layout in which `fused_mm_*` consumes and produces them),
@@ -17,8 +18,9 @@
 //!   [`Phase::OutsideComm`], as in the paper's Fig. 9 accounting.
 //!
 //! The engine itself is therefore a thin veneer: construction goes
-//! through [`KernelBuilder`], and every operation is a [`DistKernel`]
-//! call — no per-family dispatch anywhere.
+//! through [`KernelBuilder`], and every operation is a
+//! [`DistKernel`](dsk_core::kernel::DistKernel) call — no per-family
+//! dispatch anywhere.
 
 use dsk_comm::{Comm, Phase};
 use dsk_core::common::{block_range, AlgorithmFamily, Elision, Sampling};

@@ -17,12 +17,13 @@
 //! communication), and the convolution is an SpMM with the attention
 //! values. A multi-head layer concatenates per-head outputs.
 //!
-//! Every step is a [`DistKernel`] call, so the engine is oblivious to
+//! Every step is a [`DistKernel`](dsk_core::kernel::DistKernel) call,
+//! so the engine is oblivious to
 //! which algorithm family (or the 1D baseline) runs underneath. The
 //! dense transform `H·W` stages through full-width row blocks using the
 //! kernel's iterate-layout descriptors; whole-row kernels pass through
 //! the identity fast path of
-//! [`repartition_dense`](dsk_core::layout::repartition_dense).
+//! [`dsk_core::layout::repartition_dense`].
 //!
 //! Local kernel fusion is deliberately unsupported here: the softmax
 //! must observe the completed SDDMM before any aggregation, which is

@@ -1,0 +1,120 @@
+//! CI perf gate: compare a fresh `BENCH_*.json` report against the
+//! committed baseline and fail (exit 1) on regression.
+//!
+//! ```text
+//! bench_gate <BENCH_baseline.json> <BENCH_current.json> \
+//!     [--regret-frac 0.10] [--regret-abs 0.05] \
+//!     [--wire-frac 0.02] [--agreement-drop 1]
+//! ```
+//!
+//! Only machine-independent quantities are gated (see
+//! `dsk_bench::json::gate`): planner regret and planner/measured
+//! agreement from the deterministic modeled-from-counts times, and
+//! total encoded bytes from the `wire-delay` leg. Improvements never
+//! fail; a changed grid or schema version asks for a baseline refresh.
+//! Unknown flags are an error (exit 2), never silently ignored — a
+//! typo'd tolerance must not loosen the gate.
+
+use dsk_bench::json::{gate, summary_lines, BenchReport, GateTolerances};
+
+const FLAGS: [&str; 4] = [
+    "--regret-frac",
+    "--regret-abs",
+    "--wire-frac",
+    "--agreement-drop",
+];
+
+fn tol_arg(args: &[String], name: &str, default: f64) -> f64 {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("bad {name} value {v:?}"))
+        })
+        .unwrap_or(default)
+}
+
+fn load(path: &str) -> BenchReport {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    BenchReport::parse(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+}
+
+fn summarize(label: &str, report: &BenchReport) {
+    println!(
+        "{label}: {} ({}, git {}), p = {}, m = {}, {} points",
+        report.name,
+        report.profile,
+        &report.git_sha[..report.git_sha.len().min(12)],
+        report.p,
+        report.m,
+        report.points.len()
+    );
+    for line in summary_lines(report) {
+        println!("  {line}");
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_gate <baseline.json> <current.json> [{}  <value> ...]",
+        FLAGS.join(" <value>] [")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    // Positional file arguments; every known `--flag` consumes the
+    // value after it; anything else `--…` is fatal.
+    let mut file_args = Vec::new();
+    let mut skip = false;
+    for a in &args[1..] {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            if !FLAGS.contains(&a.as_str()) {
+                eprintln!("unknown flag {a:?}");
+                usage();
+            }
+            skip = true;
+            continue;
+        }
+        file_args.push(a.clone());
+    }
+    if file_args.len() != 2 {
+        usage();
+    }
+    let tol = GateTolerances {
+        regret_frac: tol_arg(
+            &args,
+            "--regret-frac",
+            GateTolerances::default().regret_frac,
+        ),
+        regret_abs: tol_arg(&args, "--regret-abs", GateTolerances::default().regret_abs),
+        wire_frac: tol_arg(&args, "--wire-frac", GateTolerances::default().wire_frac),
+        agreement_drop: tol_arg(
+            &args,
+            "--agreement-drop",
+            GateTolerances::default().agreement_drop as f64,
+        ) as usize,
+    };
+
+    let baseline = load(&file_args[0]);
+    let current = load(&file_args[1]);
+    summarize("baseline", &baseline);
+    summarize("current ", &current);
+
+    let violations = gate(&baseline, &current, &tol);
+    if violations.is_empty() {
+        println!("\nbench gate: PASS");
+        return;
+    }
+    eprintln!("\nbench gate: FAIL");
+    for v in &violations {
+        eprintln!("  ✗ {v}");
+    }
+    std::process::exit(1);
+}

@@ -3,8 +3,8 @@
 
 use std::sync::Arc;
 
-use dsk_comm::{AggregateStats, MachineModel, Phase, SimWorld};
-use dsk_core::kernel::KernelBuilder;
+use dsk_comm::{AggregateStats, BackendKind, MachineModel, Phase, SimWorld};
+use dsk_core::kernel::{KernelBuilder, KernelPlan};
 use dsk_core::theory::Algorithm;
 use dsk_core::{GlobalProblem, Sampling, StagedProblem};
 
@@ -15,6 +15,8 @@ use dsk_core::{GlobalProblem, Sampling, StagedProblem};
 pub struct FusedRow {
     /// Algorithm label (paper legend style).
     pub algorithm: String,
+    /// Communication backend the row was measured under.
+    pub backend: &'static str,
     /// Rank count.
     pub p: usize,
     /// Replication factor used.
@@ -37,11 +39,15 @@ pub struct FusedRow {
     pub max_words_prop: u64,
     /// Messages sent by the busiest rank (all comm phases).
     pub max_msgs: u64,
+    /// Encoded bytes handed to the wire across all ranks and non-setup
+    /// phases (zero under the in-process backend).
+    pub wire_bytes: u64,
 }
 
 impl FusedRow {
     fn from_stats(
         algorithm: String,
+        backend: &'static str,
         p: usize,
         c: usize,
         calls: usize,
@@ -57,6 +63,7 @@ impl FusedRow {
             .sum();
         FusedRow {
             algorithm,
+            backend,
             p,
             c,
             calls,
@@ -69,6 +76,7 @@ impl FusedRow {
             max_words_prop: agg.max_words(Phase::Propagation),
             max_msgs: agg.max_msgs_sent[Phase::Replication.index()]
                 + agg.max_msgs_sent[Phase::Propagation.index()],
+            wire_bytes: agg.wire_bytes_total(),
         }
     }
 
@@ -82,10 +90,12 @@ impl FusedRow {
     /// a string without embedded quotes.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"algorithm\":\"{}\",\"p\":{},\"c\":{},\"calls\":{},\
+            "{{\"algorithm\":\"{}\",\"backend\":\"{}\",\"p\":{},\"c\":{},\"calls\":{},\
              \"repl_s\":{:e},\"prop_s\":{:e},\"comp_s\":{:e},\"total_s\":{:e},\
-             \"wall_s\":{:e},\"max_words_repl\":{},\"max_words_prop\":{},\"max_msgs\":{}}}",
+             \"wall_s\":{:e},\"max_words_repl\":{},\"max_words_prop\":{},\"max_msgs\":{},\
+             \"wire_bytes\":{}}}",
             self.algorithm.replace('"', "'"),
+            self.backend,
             self.p,
             self.c,
             self.calls,
@@ -97,11 +107,13 @@ impl FusedRow {
             self.max_words_repl,
             self.max_words_prop,
             self.max_msgs,
+            self.wire_bytes,
         )
     }
 }
 
-/// Run `calls` FusedMMB executions of `alg` at replication factor `c`.
+/// Run `calls` FusedMMB executions of `alg` at replication factor `c`,
+/// on the backend selected by `DSK_COMM_BACKEND` (in-process default).
 pub fn run_fused(
     prob: &Arc<GlobalProblem>,
     model: MachineModel,
@@ -111,9 +123,25 @@ pub fn run_fused(
     calls: usize,
 ) -> FusedRow {
     let staged = Arc::new(StagedProblem::new(Arc::clone(prob)));
-    let world = SimWorld::new(p, model);
+    run_fused_on(&staged, model, p, alg, c, calls, BackendKind::from_env())
+}
+
+/// [`run_fused`] on an explicit communication backend, over shared
+/// staging (the regret sweep measures every candidate under both
+/// `inproc` and `wire-delay` without re-partitioning the sparse matrix
+/// per run).
+pub fn run_fused_on(
+    staged: &Arc<StagedProblem>,
+    model: MachineModel,
+    p: usize,
+    alg: Algorithm,
+    c: usize,
+    calls: usize,
+    backend: BackendKind,
+) -> FusedRow {
+    let world = SimWorld::new(p, model).backend(backend);
     let outcomes = world.run(|comm| {
-        let mut worker = KernelBuilder::from_staged(&staged)
+        let mut worker = KernelBuilder::from_staged(staged)
             .algorithm(alg)
             .replication(c)
             .build(comm);
@@ -123,7 +151,51 @@ pub fn run_fused(
     });
     let stats: Vec<_> = outcomes.into_iter().map(|o| o.stats).collect();
     let agg = AggregateStats::from_ranks(&stats);
-    FusedRow::from_stats(alg.label(), p, c, calls, &agg)
+    FusedRow::from_stats(alg.label(), backend.label(), p, c, calls, &agg)
+}
+
+/// Run `calls` FusedMMB executions of whatever the planner picks
+/// (`KernelBuilder::auto` under `model`, capped at `c_max`), returning
+/// the resolved plan alongside the measured row. This exercises the
+/// real plan → build → run path the applications use, not a pinned
+/// reconstruction of it.
+pub fn run_planned_on(
+    staged: &Arc<StagedProblem>,
+    model: MachineModel,
+    p: usize,
+    c_max: usize,
+    calls: usize,
+    backend: BackendKind,
+) -> (KernelPlan, FusedRow) {
+    let builder = KernelBuilder::from_staged(staged)
+        .auto()
+        .model(model)
+        .max_replication(c_max);
+    let plan = builder.plan(p);
+    let world = SimWorld::new(p, model).backend(backend);
+    let outcomes = world.run(|comm| {
+        let mut worker = builder.build(comm);
+        assert_eq!(
+            worker.plan(),
+            plan,
+            "built worker diverged from the world-free plan"
+        );
+        let elision = worker.plan().elision;
+        for _ in 0..calls {
+            let _ = worker.fused_mm_b(None, elision, Sampling::Values);
+        }
+    });
+    let stats: Vec<_> = outcomes.into_iter().map(|o| o.stats).collect();
+    let agg = AggregateStats::from_ranks(&stats);
+    let row = FusedRow::from_stats(
+        plan.id.label().to_string(),
+        backend.label(),
+        p,
+        plan.c,
+        calls,
+        &agg,
+    );
+    (plan, row)
 }
 
 /// Run `alg` over replication factors and keep the fastest (the paper
@@ -174,9 +246,10 @@ pub fn run_fused_best_c(
         cs.dedup();
         cs
     };
+    let staged = Arc::new(StagedProblem::new(Arc::clone(prob)));
     let mut best: Option<FusedRow> = None;
     for c in candidates {
-        let row = run_fused(prob, model, p, alg, c, calls);
+        let row = run_fused_on(&staged, model, p, alg, c, calls, BackendKind::from_env());
         if best.as_ref().is_none_or(|b| row.total_s < b.total_s) {
             best = Some(row);
         }
@@ -194,6 +267,7 @@ pub fn run_baseline(
 ) -> FusedRow {
     let staged = Arc::new(StagedProblem::new(Arc::clone(prob)));
     let world = SimWorld::new(p, model);
+    let backend = world.backend_kind().label();
     let outcomes = world.run(|comm| {
         let mut worker = KernelBuilder::from_staged(&staged).baseline().build(comm);
         for _ in 0..spmm_calls {
@@ -204,6 +278,7 @@ pub fn run_baseline(
     let agg = AggregateStats::from_ranks(&stats);
     FusedRow::from_stats(
         "PETSc-like 1D (baseline)".to_string(),
+        backend,
         p,
         1,
         spmm_calls,

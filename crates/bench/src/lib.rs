@@ -10,8 +10,9 @@
 //! | `table4_optimal_c` | Table IV — formula vs observed optimal replication factors |
 //! | `fig4_weak_scaling` | Fig. 4 — weak scaling, setups 1 & 2, eight algorithms |
 //! | `fig5_breakdown` | Fig. 5 — replication/propagation/computation breakdown |
-//! | `fig6_phase_diagram` | Fig. 6 — predicted & observed best algorithm over (r, nnz/row) |
+//! | `fig6_phase_diagram` | Fig. 6 — predicted & observed best algorithm over (r, nnz/row), plus the planner-regret sweep emitting versioned `BENCH_*.json` reports ([`json`]) |
 //! | `fig7_replication_factors` | Fig. 7 — predicted vs observed optimal c |
+//! | `bench_gate` | CI perf gate: diff two `BENCH_*.json` reports with tolerances |
 //! | `fig8_strong_scaling` | Fig. 8 — strong scaling on real-matrix surrogates + PETSc-like baseline |
 //! | `fig9_applications` | Fig. 9 — ALS and GAT time breakdowns |
 //!
@@ -23,7 +24,9 @@
 //! of the distributed algorithms over threads; see `DESIGN.md` §3.
 
 pub mod harness;
+pub mod json;
 pub mod microbench;
 pub mod workloads;
 
 pub use harness::{run_baseline, run_fused, run_fused_best_c, FusedRow};
+pub use json::{BenchPoint, BenchReport, CandidateTiming, GateTolerances, Json};

@@ -83,6 +83,74 @@ pub fn fig6_grid(quick: bool) -> (usize, Vec<usize>, Vec<usize>) {
     (m, rs, nnzs)
 }
 
+/// How large a sweep runs: `Smoke` finishes in seconds (the CI
+/// perf-gate leg), `Quick` in a couple of minutes, `Full` reproduces
+/// the figure-scale grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepScale {
+    /// Tiny grid at p = 8 — seconds, deterministic, CI-gated.
+    Smoke,
+    /// The `--quick` grid at p = 32.
+    Quick,
+    /// The figure-scale grid at p = 32.
+    Full,
+}
+
+impl SweepScale {
+    /// Resolve from the process arguments (`--smoke` / `--quick`,
+    /// default [`SweepScale::Full`]).
+    pub fn from_args() -> SweepScale {
+        if std::env::args().any(|a| a == "--smoke") {
+            SweepScale::Smoke
+        } else if std::env::args().any(|a| a == "--quick") {
+            SweepScale::Quick
+        } else {
+            SweepScale::Full
+        }
+    }
+
+    /// Profile label written into BENCH reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SweepScale::Smoke => "smoke",
+            SweepScale::Quick => "quick",
+            SweepScale::Full => "full",
+        }
+    }
+}
+
+/// The planner-regret sweep grid at one [`SweepScale`].
+#[derive(Debug, Clone)]
+pub struct Fig6Grid {
+    /// Rank count of every world.
+    pub p: usize,
+    /// Square sparse-matrix side.
+    pub m: usize,
+    /// Embedding widths swept.
+    pub rs: Vec<usize>,
+    /// Nonzeros-per-row values swept.
+    pub nnzs: Vec<usize>,
+}
+
+/// The Figure 6 grid extended with the sweep's rank count. Smoke keeps
+/// the φ range bracketing the 1.5D crossover (0.0625 … 2.5) so the
+/// regret sweep still exercises both sides of the phase diagram, at
+/// sizes where all candidates run in seconds.
+pub fn fig6_regret_grid(scale: SweepScale) -> Fig6Grid {
+    match scale {
+        SweepScale::Smoke => Fig6Grid {
+            p: 8,
+            m: 1 << 10,
+            rs: vec![8, 16, 32],
+            nnzs: vec![2, 8, 20],
+        },
+        SweepScale::Quick | SweepScale::Full => {
+            let (m, rs, nnzs) = fig6_grid(scale == SweepScale::Quick);
+            Fig6Grid { p: 32, m, rs, nnzs }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,5 +198,20 @@ mod tests {
         assert!(phi_min < 0.2, "{phi_min}");
         assert!(phi_max > 1.0, "{phi_max}");
         assert!(m >= 1 << 12);
+    }
+
+    #[test]
+    fn regret_grids_bracket_the_crossover_at_every_scale() {
+        for scale in [SweepScale::Smoke, SweepScale::Quick, SweepScale::Full] {
+            let g = fig6_regret_grid(scale);
+            let phi_min = g.nnzs[0] as f64 / *g.rs.last().unwrap() as f64;
+            let phi_max = *g.nnzs.last().unwrap() as f64 / g.rs[0] as f64;
+            assert!(phi_min < 0.2, "{scale:?}: {phi_min}");
+            assert!(phi_max > 1.0, "{scale:?}: {phi_max}");
+            assert!(g.p >= 8 && g.m >= 1 << 10, "{scale:?}");
+        }
+        // Smoke must stay small enough for a CI leg.
+        let smoke = fig6_regret_grid(SweepScale::Smoke);
+        assert!(smoke.m <= 1 << 10 && smoke.rs.len() * smoke.nnzs.len() <= 16);
     }
 }

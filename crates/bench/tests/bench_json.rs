@@ -1,0 +1,204 @@
+//! The BENCH_*.json contract: serialize → parse is lossless, the gate
+//! passes self-comparison, and every gated regression axis actually
+//! fails — so the CI perf leg can be trusted in both directions.
+
+use dsk_bench::json::{gate, BenchPoint, BenchReport, CandidateTiming, GateTolerances, Json};
+
+fn candidate(family: &str, c: u64, modeled_s: f64, wire_bytes: u64) -> CandidateTiming {
+    CandidateTiming {
+        family: family.to_string(),
+        elision: "Repl. Reuse".to_string(),
+        c,
+        predicted_s: modeled_s * 0.97,
+        modeled_s,
+        wall_s: modeled_s * 43.0, // wall is noisy; never gated
+        wire_bytes,
+    }
+}
+
+fn point(backend: &str, r: u64, nnz_row: u64, best: u64, regret: f64) -> BenchPoint {
+    let candidates = vec![
+        candidate("1.5D Dense Shift", 4, 1.0e-4 * regret, 1024),
+        candidate("1.5D Sparse Shift", 2, 1.0e-4, 4096),
+    ];
+    BenchPoint {
+        backend: backend.to_string(),
+        r,
+        nnz_row,
+        phi: nnz_row as f64 / r as f64,
+        candidates,
+        picked: 0,
+        best,
+        regret,
+        model_error: 0.03,
+    }
+}
+
+fn report() -> BenchReport {
+    BenchReport {
+        schema_version: dsk_bench::json::BENCH_SCHEMA_VERSION,
+        name: "fig6_regret".to_string(),
+        profile: "smoke".to_string(),
+        git_sha: "deadbeef".to_string(),
+        p: 8,
+        c_max: 16,
+        m: 1024,
+        calls: 1,
+        points: vec![
+            point("inproc", 8, 2, 0, 1.0),
+            point("inproc", 16, 8, 1, 1.02),
+            point("wire-delay", 8, 2, 0, 1.0),
+            point("wire-delay", 16, 8, 0, 1.3),
+        ],
+    }
+}
+
+#[test]
+fn report_round_trips_exactly() {
+    let original = report();
+    let text = original.to_json();
+    let parsed = BenchReport::parse(&text).expect("own serialization must parse");
+    assert_eq!(parsed, original);
+    // And the double round-trip is a fixed point.
+    assert_eq!(parsed.to_json(), text);
+}
+
+#[test]
+fn report_is_valid_json_for_any_reader() {
+    let text = report().to_json();
+    let value = Json::parse(&text).unwrap();
+    assert_eq!(
+        value.get("schema_version").and_then(Json::as_u64),
+        Some(dsk_bench::json::BENCH_SCHEMA_VERSION)
+    );
+    assert_eq!(
+        value.get("points").and_then(Json::as_arr).map(|a| a.len()),
+        Some(4)
+    );
+}
+
+#[test]
+fn parse_rejects_structural_corruption() {
+    let good = report().to_json();
+    // Remove a required field.
+    let missing = good.replace("\"git_sha\": \"deadbeef\",", "");
+    assert!(BenchReport::parse(&missing).is_err());
+    // Out-of-range candidate index.
+    let mut bad_idx = report();
+    bad_idx.points[0].best = 7;
+    assert!(BenchReport::parse(&bad_idx.to_json()).is_err());
+    // Plain text is not a report.
+    assert!(BenchReport::parse("not json").is_err());
+}
+
+#[test]
+fn aggregates_summarize_per_backend() {
+    let r = report();
+    assert_eq!(r.agreement("inproc"), (1, 2));
+    assert_eq!(r.agreement("wire-delay"), (2, 2));
+    assert!((r.max_regret("inproc") - 1.02).abs() < 1e-12);
+    assert!((r.mean_regret("inproc") - 1.01).abs() < 1e-12);
+    // Two candidates per point: 1024 + 4096 bytes each.
+    assert_eq!(r.wire_bytes_total("wire-delay"), 2 * (1024 + 4096));
+}
+
+#[test]
+fn gate_passes_self_comparison_and_improvements() {
+    let base = report();
+    let tol = GateTolerances::default();
+    assert!(gate(&base, &base.clone(), &tol).is_empty());
+    // Improvements (lower regret, fewer bytes) must never fail.
+    let mut better = report();
+    for pt in &mut better.points {
+        pt.regret = 1.0;
+        pt.best = pt.picked;
+        for c in &mut pt.candidates {
+            c.wire_bytes /= 2;
+        }
+    }
+    assert!(gate(&base, &better, &tol).is_empty());
+}
+
+#[test]
+fn gate_fails_on_regret_regression() {
+    let base = report();
+    let mut worse = report();
+    for pt in &mut worse.points {
+        if pt.backend == "inproc" {
+            pt.regret = 2.0;
+        }
+    }
+    let violations = gate(&base, &worse, &GateTolerances::default());
+    assert!(
+        violations.iter().any(|v| v.contains("regret regressed")),
+        "{violations:?}"
+    );
+}
+
+#[test]
+fn gate_fails_on_wire_byte_bloat() {
+    let base = report();
+    let mut worse = report();
+    for pt in &mut worse.points {
+        if pt.backend == "wire-delay" {
+            for c in &mut pt.candidates {
+                c.wire_bytes = (c.wire_bytes as f64 * 1.10) as u64;
+            }
+        }
+    }
+    let violations = gate(&base, &worse, &GateTolerances::default());
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.contains("wire_bytes_sent regressed")),
+        "{violations:?}"
+    );
+}
+
+#[test]
+fn gate_fails_on_agreement_drop_beyond_tolerance() {
+    let mut base = report();
+    // Baseline: both inproc points agree.
+    for pt in &mut base.points {
+        pt.best = pt.picked;
+        pt.regret = 1.0;
+    }
+    let mut worse = base.clone();
+    for pt in &mut worse.points {
+        if pt.backend == "inproc" {
+            pt.best = 1; // picked stays 0: no point agrees any more
+        }
+    }
+    let tol = GateTolerances {
+        agreement_drop: 1,
+        // Keep regret out of the picture for this axis.
+        regret_frac: 10.0,
+        ..GateTolerances::default()
+    };
+    let violations = gate(&base, &worse, &tol);
+    assert!(
+        violations.iter().any(|v| v.contains("agreement regressed")),
+        "{violations:?}"
+    );
+}
+
+#[test]
+fn gate_demands_refresh_when_setup_changes() {
+    let base = report();
+    let mut moved = report();
+    moved.m = 2048;
+    let violations = gate(&base, &moved, &GateTolerances::default());
+    assert_eq!(violations.len(), 1);
+    assert!(violations[0].contains("refresh BENCH_baseline.json"));
+
+    let mut regrided = report();
+    regrided.points[0].r = 12;
+    let violations = gate(&base, &regrided, &GateTolerances::default());
+    assert_eq!(violations.len(), 1);
+    assert!(violations[0].contains("refresh BENCH_baseline.json"));
+
+    let mut reversioned = report();
+    reversioned.schema_version += 1;
+    let violations = gate(&base, &reversioned, &GateTolerances::default());
+    assert!(violations[0].contains("schema version mismatch"));
+}

@@ -145,13 +145,21 @@ impl CommBackend for InProcBackend {
 ///
 /// With a delay model attached, every delivery sleeps `α + β·w` (w in
 /// 8-byte words of the encoded buffer) before returning, so a rank's
-/// measured wall time includes the modeled network cost. Use a model
-/// with realistic constants ([`MachineModel::cori_knl`]-like) for this;
-/// the `bandwidth_only` test model charges one *second* per word.
+/// measured wall time includes the modeled network cost. The injected
+/// sleep is clamped at [`WIRE_DELAY_CLAMP_S`] per message: realistic
+/// constants ([`MachineModel::cori_knl`]-like) sit far below the clamp,
+/// while test models like `bandwidth_only` (one *second* per word)
+/// would otherwise turn a `DSK_COMM_BACKEND=wire-delay` run of the
+/// unit suites into hours of sleeping.
 pub struct WireBackend {
     mailbox: Mailbox<Parcel>,
     delay: Option<MachineModel>,
 }
+
+/// Upper bound on the per-message delay the wire-delay backend injects,
+/// in seconds. Modeled time accounting is unaffected — the clamp only
+/// bounds real sleeping.
+pub const WIRE_DELAY_CLAMP_S: f64 = 5e-3;
 
 impl WireBackend {
     /// Wire backend without delay injection: messages round-trip
@@ -203,7 +211,7 @@ impl CommBackend for WireBackend {
         let parcel = self.mailbox.take(me, key);
         if let Some(model) = &self.delay {
             let words = parcel.wire_len().unwrap_or(0).div_ceil(8) as u64;
-            let t = model.msg_time(words);
+            let t = model.msg_time(words).min(WIRE_DELAY_CLAMP_S);
             if t > 0.0 {
                 std::thread::sleep(Duration::from_secs_f64(t));
             }
@@ -331,10 +339,10 @@ mod tests {
 
     #[test]
     fn wire_delay_sleeps_per_message() {
-        // 10 ms per message, no bandwidth term: coarse enough to
-        // measure, fast enough for a unit test.
+        // 4 ms per message (below the clamp), no bandwidth term: coarse
+        // enough to measure, fast enough for a unit test.
         let model = MachineModel {
-            alpha_s: 0.01,
+            alpha_s: 4e-3,
             beta_s_per_word: 0.0,
             gamma_s_per_flop: 0.0,
         };
@@ -342,7 +350,21 @@ mod tests {
         b.post(0, (0, 0, 0), Parcel::Bytes(vec![0u8; 64]));
         let t0 = std::time::Instant::now();
         let _ = b.take(0, (0, 0, 0));
-        assert!(t0.elapsed() >= Duration::from_millis(9));
+        assert!(t0.elapsed() >= Duration::from_millis(3));
+    }
+
+    #[test]
+    fn wire_delay_clamps_pathological_models() {
+        // bandwidth_only charges one second per word; the clamp keeps
+        // the injected sleep bounded so `DSK_COMM_BACKEND=wire-delay`
+        // runs of model-agnostic suites stay fast.
+        let b = WireBackend::with_delay(1, Duration::from_secs(5), MachineModel::bandwidth_only());
+        b.post(0, (0, 0, 0), Parcel::Bytes(vec![0u8; 8 * 1024]));
+        let t0 = std::time::Instant::now();
+        let _ = b.take(0, (0, 0, 0));
+        let dt = t0.elapsed();
+        assert!(dt >= Duration::from_millis(4), "delay still injected");
+        assert!(dt < Duration::from_secs(1), "1024-word sleep must clamp");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! [`RankStats`] under the currently active [`Phase`], using the world's
 //! [`MachineModel`] for modeled time. The physical realization of each
 //! message is delegated to the world's
-//! [`CommBackend`](crate::backend::CommBackend): under the in-process
+//! [`CommBackend`]: under the in-process
 //! backend values move by ownership, under the wire backend they are
 //! encoded through [`WirePayload`] — algorithm code cannot tell the
 //! difference, and word accounting (hence modeled time) is identical

@@ -23,7 +23,7 @@
 //!   recorded alongside, phase-tagged ([`Phase`]) into the paper's
 //!   *replication* / *propagation* / *computation* taxonomy.
 //! * **Realization** is the job of a
-//!   [`CommBackend`](backend::CommBackend): a narrow trait moving
+//!   [`CommBackend`]: a narrow trait moving
 //!   contiguous parcels keyed by `(src, context, tag)`, with probe,
 //!   drain, and watchdog hooks. The in-process backend moves typed
 //!   values by ownership (zero-copy, the fast default); the wire

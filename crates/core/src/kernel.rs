@@ -257,10 +257,46 @@ impl KernelPlan {
     }
 }
 
+/// One scored planner candidate: an algorithm at its resolved
+/// replication factor, with every modeled quantity the planner ranks
+/// by. Returned by [`KernelBuilder::plan_candidates`] so harnesses and
+/// tests can interrogate the planner's whole scoreboard instead of
+/// re-deriving [`theory`] internals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannedCandidate {
+    /// The candidate algorithm (family + elision).
+    pub algorithm: Algorithm,
+    /// Its resolved replication factor (the pinned `c`, or the Table IV
+    /// optimum under the admissibility constraints).
+    pub c: usize,
+    /// Modeled words sent by the busiest processor per FusedMM
+    /// (Table III).
+    pub words_per_proc: f64,
+    /// Modeled messages sent by the busiest processor per FusedMM
+    /// (Table III).
+    pub msgs_per_proc: f64,
+    /// Modeled communication seconds per FusedMM under the α-β model —
+    /// the quantity the planner minimizes.
+    pub predicted_comm_s: f64,
+    /// Modeled computation seconds per FusedMM (identical across
+    /// candidates: flops are family-invariant and load-balanced).
+    pub predicted_comp_s: f64,
+}
+
+impl PlannedCandidate {
+    /// Modeled communication + computation seconds per FusedMM.
+    pub fn predicted_total_s(&self) -> f64 {
+        self.predicted_comm_s + self.predicted_comp_s
+    }
+}
+
 #[derive(Clone)]
 enum Source<'a> {
     Owned(Arc<StagedProblem>),
     Borrowed(&'a StagedProblem),
+    /// Problem shape only — planning without materialized operands
+    /// (cost exploration at paper scale; cannot build workers).
+    Shape(ProblemDims, usize),
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -328,6 +364,15 @@ impl<'a> KernelBuilder<'a> {
         KernelBuilder::with_source(Source::Borrowed(staged))
     }
 
+    /// A planning-only builder for a problem *shape* — nothing is
+    /// materialized, so paper-scale shapes (n = 2²², say) can be
+    /// planned and scored instantly. [`KernelBuilder::plan`] and
+    /// [`KernelBuilder::plan_candidates`] work; calling
+    /// [`KernelBuilder::build`] panics.
+    pub fn for_shape(dims: ProblemDims, nnz: usize) -> KernelBuilder<'static> {
+        KernelBuilder::with_source(Source::Shape(dims, nnz))
+    }
+
     /// Let the planner pick family, replication factor, and elision
     /// from the paper's cost model (the default).
     pub fn auto(mut self) -> Self {
@@ -388,6 +433,18 @@ impl<'a> KernelBuilder<'a> {
         match &self.source {
             Source::Owned(s) => s,
             Source::Borrowed(s) => s,
+            Source::Shape(..) => {
+                panic!("planning-only builder (for_shape) cannot build workers")
+            }
+        }
+    }
+
+    /// Problem shape the planner scores against.
+    fn shape(&self) -> (ProblemDims, usize) {
+        match &self.source {
+            Source::Owned(s) => (s.prob.dims, s.prob.nnz()),
+            Source::Borrowed(s) => (s.prob.dims, s.prob.nnz()),
+            Source::Shape(dims, nnz) => (*dims, *nnz),
         }
     }
 
@@ -399,8 +456,7 @@ impl<'a> KernelBuilder<'a> {
             Selection::Family(f) => vec![f],
             _ => AlgorithmFamily::ALL.to_vec(),
         };
-        let prob = &self.staged().prob;
-        let (dims, nnz) = (prob.dims, prob.nnz());
+        let (dims, nnz) = self.shape();
         Algorithm::all_benchmarked()
             .into_iter()
             .filter(|alg| fams.contains(&alg.family))
@@ -444,9 +500,7 @@ impl<'a> KernelBuilder<'a> {
                 predicted_comm_s: None,
             };
         }
-        let prob = &self.staged().prob;
-        let (dims, nnz) = (prob.dims, prob.nnz());
-        let candidates = self.candidates(p);
+        let candidates = self.plan_candidates_with(p, model);
         assert!(
             !candidates.is_empty(),
             "no admissible algorithm for p={p}, c={:?}, elision={:?}, family={:?}",
@@ -454,22 +508,47 @@ impl<'a> KernelBuilder<'a> {
             self.elision,
             self.selection,
         );
-        let mut best: Option<KernelPlan> = None;
-        for (alg, c) in candidates {
-            let t = theory::predicted_comm_time(&model, alg, p, c, dims, nnz);
-            if best
-                .as_ref()
-                .is_none_or(|b| t < b.predicted_comm_s.unwrap())
-            {
-                best = Some(KernelPlan {
-                    id: KernelId::Family(alg.family),
-                    c,
-                    elision: alg.elision,
-                    predicted_comm_s: Some(t),
-                });
-            }
+        let best = candidates[0];
+        KernelPlan {
+            id: KernelId::Family(best.algorithm.family),
+            c: best.c,
+            elision: best.algorithm.elision,
+            predicted_comm_s: Some(best.predicted_comm_s),
         }
-        best.expect("at least one candidate was planned")
+    }
+
+    /// Every admissible candidate the planner scored for a world of `p`
+    /// ranks, sorted by modeled communication time — index 0 is exactly
+    /// what [`KernelBuilder::plan`] picks. Pinned constraints (family,
+    /// elision, replication factor) restrict the set; the baseline
+    /// selection yields an empty set (the theory does not model the 1D
+    /// baseline). The sort is stable, so ties keep the paper's Figure 4
+    /// presentation order.
+    pub fn plan_candidates(&self, p: usize) -> Vec<PlannedCandidate> {
+        self.plan_candidates_with(p, self.model.unwrap_or_else(MachineModel::cori_knl))
+    }
+
+    /// [`KernelBuilder::plan_candidates`] under an explicit machine
+    /// model.
+    pub fn plan_candidates_with(&self, p: usize, model: MachineModel) -> Vec<PlannedCandidate> {
+        if self.selection == Selection::Baseline {
+            return Vec::new();
+        }
+        let (dims, nnz) = self.shape();
+        let mut scored: Vec<PlannedCandidate> = self
+            .candidates(p)
+            .into_iter()
+            .map(|(alg, c)| PlannedCandidate {
+                algorithm: alg,
+                c,
+                words_per_proc: theory::words_per_processor(alg, p, c, dims, nnz),
+                msgs_per_proc: theory::messages_per_processor(alg, p, c),
+                predicted_comm_s: theory::predicted_comm_time(&model, alg, p, c, dims, nnz),
+                predicted_comp_s: theory::predicted_comp_time(&model, p, dims, nnz),
+            })
+            .collect();
+        scored.sort_by(|a, b| a.predicted_comm_s.partial_cmp(&b.predicted_comm_s).unwrap());
+        scored
     }
 
     /// Build this rank's worker, resolving the plan from
@@ -582,6 +661,68 @@ mod tests {
         assert_eq!(plan.c, 1);
         assert_eq!(plan.elision, Elision::None);
         assert!(plan.predicted_comm_s.is_none());
+    }
+
+    #[test]
+    fn plan_candidates_sorted_and_headed_by_the_plan() {
+        let prob = er_prob(256, 16, 4, 6);
+        let builder = KernelBuilder::new(&prob);
+        for p in [8usize, 16, 32] {
+            let cands = builder.plan_candidates(p);
+            assert!(!cands.is_empty());
+            assert!(
+                cands
+                    .windows(2)
+                    .all(|w| w[0].predicted_comm_s <= w[1].predicted_comm_s),
+                "candidates must be sorted by modeled comm time"
+            );
+            let plan = builder.plan(p);
+            assert_eq!(plan.algorithm().unwrap(), cands[0].algorithm, "p={p}");
+            assert_eq!(plan.c, cands[0].c, "p={p}");
+            assert_eq!(plan.predicted_comm_s, Some(cands[0].predicted_comm_s));
+            // Every candidate's score must be the theory's, recomputed.
+            let model = MachineModel::cori_knl();
+            for cand in &cands {
+                let t = theory::predicted_comm_time(
+                    &model,
+                    cand.algorithm,
+                    p,
+                    cand.c,
+                    prob.dims,
+                    prob.nnz(),
+                );
+                assert!((cand.predicted_comm_s - t).abs() <= 1e-15 * t.max(1e-30));
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_selection_scores_no_candidates() {
+        let prob = er_prob(64, 8, 4, 7);
+        assert!(KernelBuilder::new(&prob)
+            .baseline()
+            .plan_candidates(8)
+            .is_empty());
+    }
+
+    #[test]
+    fn for_shape_plans_paper_scale_instantly() {
+        // Nothing materializes: a 2²²-row problem plans fine.
+        let dims = ProblemDims::new(1 << 22, 1 << 22, 256);
+        let nnz = (1usize << 22) * 32;
+        let builder = KernelBuilder::for_shape(dims, nnz);
+        let cands = builder.plan_candidates(256);
+        assert_eq!(cands.len(), Algorithm::all_benchmarked().len());
+        let expect = theory::predict_best(
+            &MachineModel::cori_knl(),
+            &Algorithm::all_benchmarked(),
+            256,
+            dims,
+            nnz,
+            16,
+        );
+        assert_eq!(cands[0].algorithm, expect.algorithm);
+        assert_eq!(cands[0].c, expect.c);
     }
 
     #[test]

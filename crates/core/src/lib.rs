@@ -46,7 +46,7 @@
 //!
 //! | paper | trait surface |
 //! |-------|---------------|
-//! | §III kernel definitions | [`DistKernel::sddmm`](kernel::DistKernel::sddmm), [`spmm_a`](kernel::DistKernel::spmm_a), [`spmm_b`](kernel::DistKernel::spmm_b) |
+//! | §III kernel definitions | [`DistKernel::sddmm`], [`spmm_a`](kernel::DistKernel::spmm_a), [`spmm_b`](kernel::DistKernel::spmm_b) |
 //! | §IV FusedMM & elision (Fig. 3) | [`fused_mm_a`](kernel::DistKernel::fused_mm_a), [`fused_mm_b`](kernel::DistKernel::fused_mm_b), [`supports`](kernel::DistKernel::supports), [`Elision`] |
 //! | §V per-family algorithms (Table II) | the `impl DistKernel` blocks in [`ds15`], [`ss15`], [`dr25`], [`sr25`], [`baseline`] |
 //! | §V-E communication analysis (Tables III & IV) | [`theory`] — consumed by [`kernel::KernelBuilder::plan`] |

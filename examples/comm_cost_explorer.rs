@@ -5,12 +5,15 @@
 //! cargo run --release --example comm_cost_explorer -- [p] [n] [r] [nnz_per_row]
 //! ```
 //!
-//! Prints, for each FusedMM algorithm, the modeled words/messages per
-//! processor across replication factors, the optimum, and the overall
-//! predicted winner — the decision a user would make before a real run.
+//! Prints the planner's whole scoreboard — every FusedMM candidate with
+//! its modeled words/messages per processor, optimal replication
+//! factor, and predicted time — exactly as `KernelBuilder::plan` ranks
+//! them (index 0 is what `.auto()` would build). Uses the
+//! planning-only `KernelBuilder::for_shape`, so paper-scale shapes
+//! (n = 2²² and beyond) score instantly with nothing materialized.
 
 use distributed_sparse_kernels::comm::MachineModel;
-use distributed_sparse_kernels::core::theory::{self, Algorithm};
+use distributed_sparse_kernels::core::kernel::KernelBuilder;
 use distributed_sparse_kernels::core::ProblemDims;
 
 fn arg(idx: usize, default: usize) -> usize {
@@ -32,38 +35,34 @@ fn main() {
 
     println!("p = {p}, n = {n}, r = {r}, nnz/row = {nnz_per_row}  →  φ = {phi:.4}\n");
     println!(
-        "| {:<42} | {:>8} | {:>14} | {:>9} | {:>12} |",
-        "algorithm", "best c", "words/proc", "msgs/proc", "est. time (s)"
+        "| {:<4} | {:<42} | {:>6} | {:>14} | {:>9} | {:>12} |",
+        "rank", "algorithm", "best c", "words/proc", "msgs/proc", "est. time (s)"
     );
     println!(
-        "|{:-<44}|{:-<10}|{:-<16}|{:-<11}|{:-<14}|",
-        "", "", "", "", ""
+        "|{:-<6}|{:-<44}|{:-<8}|{:-<16}|{:-<11}|{:-<14}|",
+        "", "", "", "", "", ""
     );
 
-    for alg in Algorithm::all_benchmarked() {
-        let Some(c) = theory::optimal_c_search(alg, p, dims, nnz, 16) else {
-            continue;
-        };
-        let words = theory::words_per_processor(alg, p, c, dims, nnz);
-        let msgs = theory::messages_per_processor(alg, p, c);
-        let t = theory::predicted_comm_time(&model, alg, p, c, dims, nnz)
-            + theory::predicted_comp_time(&model, p, dims, nnz);
+    let builder = KernelBuilder::for_shape(dims, nnz).model(model);
+    let candidates = builder.plan_candidates(p);
+    for (i, cand) in candidates.iter().enumerate() {
         println!(
-            "| {:<42} | {:>8} | {:>14.0} | {:>9.0} | {:>12.5} |",
-            alg.label(),
-            c,
-            words,
-            msgs,
-            t
+            "| {:<4} | {:<42} | {:>6} | {:>14.0} | {:>9.0} | {:>12.5} |",
+            i + 1,
+            cand.algorithm.label(),
+            cand.c,
+            cand.words_per_proc,
+            cand.msgs_per_proc,
+            cand.predicted_total_s(),
         );
     }
 
-    let best = theory::predict_best(&model, &Algorithm::all_benchmarked(), p, dims, nnz, 16);
+    let plan = builder.plan(p);
     println!(
-        "\npredicted winner: {} at c = {} (comm {:.5} s)",
-        best.algorithm.label(),
-        best.c,
-        best.time_s
+        "\nplanner pick: {} at c = {} (comm {:.5} s)",
+        plan.algorithm().unwrap().label(),
+        plan.c,
+        plan.predicted_comm_s.unwrap()
     );
     println!(
         "rule of thumb from the paper: low φ → shift/replicate the sparse matrix; \

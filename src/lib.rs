@@ -55,7 +55,9 @@ pub mod prelude {
     pub use dsk_comm::{BackendKind, Comm, MachineModel, Phase, SimWorld};
     pub use dsk_core::common::{AlgorithmFamily, Elision, ProblemDims, Sampling};
     pub use dsk_core::global::GlobalProblem;
-    pub use dsk_core::kernel::{CombineSpec, DistKernel, KernelBuilder, KernelId, KernelPlan};
+    pub use dsk_core::kernel::{
+        CombineSpec, DistKernel, KernelBuilder, KernelId, KernelPlan, PlannedCandidate,
+    };
     pub use dsk_core::staged::StagedProblem;
     pub use dsk_core::theory::Algorithm;
     pub use dsk_core::worker::DistWorker;

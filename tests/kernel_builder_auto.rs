@@ -61,6 +61,83 @@ fn theory_phase_diagram_covers_all_families_at_paper_scale() {
     }
 }
 
+/// `plan_candidates()` is the planner's whole scoreboard: across a
+/// seeded grid of shapes it must contain exactly the admissible
+/// Table III candidates, each scored and ordered as `theory::` scores
+/// them — so harnesses interrogating the planner and tests re-deriving
+/// the theory can never drift apart.
+#[test]
+fn plan_candidates_ordering_agrees_with_theory_across_seeded_grid() {
+    let model = MachineModel::cori_knl();
+    let c_max = 16usize;
+    let mut shapes = 0usize;
+    for (si, &n) in [256usize, 1024, 4096].iter().enumerate() {
+        for (ri, &r) in [8usize, 32, 128].iter().enumerate() {
+            for &nnz_row in &[2usize, 8, 32] {
+                let seed = 9000 + (si * 16 + ri) as u64;
+                let prob = GlobalProblem::erdos_renyi(n, n, r, nnz_row, seed);
+                let builder = KernelBuilder::new(&prob).max_replication(c_max);
+                for p in [8usize, 16, 64] {
+                    let cands = builder.plan_candidates(p);
+                    // Exactly the admissible benchmarked algorithms.
+                    let admissible: Vec<_> = Algorithm::all_benchmarked()
+                        .into_iter()
+                        .filter(|alg| {
+                            theory::optimal_c_search(*alg, p, prob.dims, prob.nnz(), c_max)
+                                .is_some()
+                        })
+                        .collect();
+                    assert_eq!(cands.len(), admissible.len(), "n={n} r={r} p={p}");
+                    for cand in &cands {
+                        let c = theory::optimal_c_search(
+                            cand.algorithm,
+                            p,
+                            prob.dims,
+                            prob.nnz(),
+                            c_max,
+                        )
+                        .unwrap();
+                        assert_eq!(cand.c, c, "{:?} n={n} r={r} p={p}", cand.algorithm);
+                        let t = theory::predicted_comm_time(
+                            &model,
+                            cand.algorithm,
+                            p,
+                            c,
+                            prob.dims,
+                            prob.nnz(),
+                        );
+                        assert!(
+                            (cand.predicted_comm_s - t).abs() <= 1e-15 * t.max(1e-30),
+                            "{:?} n={n} r={r} p={p}: score drifted from theory",
+                            cand.algorithm
+                        );
+                        let w = theory::words_per_processor(
+                            cand.algorithm,
+                            p,
+                            c,
+                            prob.dims,
+                            prob.nnz(),
+                        );
+                        assert_eq!(cand.words_per_proc, w);
+                    }
+                    // Sorted ascending, head == plan == predict_best.
+                    assert!(cands
+                        .windows(2)
+                        .all(|w| w[0].predicted_comm_s <= w[1].predicted_comm_s));
+                    let best =
+                        theory::predict_best(&model, &admissible, p, prob.dims, prob.nnz(), c_max);
+                    assert_eq!(cands[0].algorithm, best.algorithm, "n={n} r={r} p={p}");
+                    assert_eq!(cands[0].c, best.c);
+                    let plan = builder.plan(p);
+                    assert_eq!(plan.algorithm().unwrap(), cands[0].algorithm);
+                    shapes += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(shapes, 81, "the grid must actually be swept");
+}
+
 /// The planner must agree with `theory::predict_best` exactly —
 /// algorithm, elision, replication factor, and predicted time — on
 /// materializable problems spanning all four families, and the planned
