@@ -23,6 +23,7 @@
 //! (10 + 10 = 20 by default).
 
 use dsk_comm::Phase;
+use dsk_core::session::{ReplanEvent, ReplanPolicy};
 use dsk_dense::Mat;
 
 use crate::engine::AppEngine;
@@ -62,6 +63,8 @@ pub struct AlsReport {
     pub final_loss: Option<f64>,
     /// Global residual norms `‖r‖²` at the end of each CG phase.
     pub phase_residuals: Vec<f64>,
+    /// Between-sweep re-planning decisions (empty without a policy).
+    pub replans: Vec<ReplanEvent>,
 }
 
 /// Which factor a CG phase solves for.
@@ -138,51 +141,117 @@ fn batched_cg(
     (x, rs.iter().sum())
 }
 
+/// One ALS sweep (A phase + B phase), pushing the two phase residuals.
+fn als_sweep(engine: &mut AppEngine, cfg: &AlsConfig, phase_residuals: &mut Vec<f64>) {
+    // --- A phase: fix B, solve for A ----------------------------------
+    let rhs = engine.rhs_a();
+    let (x, resid) = batched_cg(engine, Side::A, &rhs, cfg.lambda, cfg.cg_iters);
+    let resid = {
+        // Ranks sharing rows hold identical (already-global) per-row
+        // dots; normalize by the sharing factor.
+        let comm = engine.comm();
+        let _ph = comm.phase(Phase::OutsideComm);
+        comm.allreduce_scalar(resid) / engine.row_share_a() as f64
+    };
+    phase_residuals.push(resid);
+    engine.commit_a(&x);
+
+    // --- B phase: fix A, solve for B ----------------------------------
+    let rhs = engine.rhs_b();
+    let (y, resid) = batched_cg(engine, Side::B, &rhs, cfg.lambda, cfg.cg_iters);
+    let resid = {
+        let comm = engine.comm();
+        let _ph = comm.phase(Phase::OutsideComm);
+        comm.allreduce_scalar(resid) / engine.row_share_b() as f64
+    };
+    phase_residuals.push(resid);
+    engine.commit_b(&y);
+}
+
 /// Run ALS on an [`AppEngine`]. The engine's stored `S` values are the
 /// observations `C̃`; its stored `A`/`B` are the initial factors.
 pub fn run_als(engine: &mut AppEngine, cfg: &AlsConfig) -> AlsReport {
-    let initial_loss = cfg.track_loss.then(|| engine.loss());
-    let mut phase_residuals = Vec::with_capacity(2 * cfg.sweeps);
+    AlsSolver::new(*cfg).solve(engine)
+}
 
-    for _sweep in 0..cfg.sweeps {
-        // --- A phase: fix B, solve for A ------------------------------
-        let rhs = engine.rhs_a();
-        let (x, resid) = batched_cg(engine, Side::A, &rhs, cfg.lambda, cfg.cg_iters);
-        let resid = {
-            // Ranks sharing rows hold identical (already-global) per-row
-            // dots; normalize by the sharing factor.
-            let _ph = engine.comm.phase(Phase::OutsideComm);
-            engine.comm.allreduce_scalar(resid) / engine.row_share_a() as f64
-        };
-        phase_residuals.push(resid);
-        engine.commit_a(&x);
+/// The ALS application as an object: configuration plus an optional
+/// between-sweep re-planning policy, run against an [`AppEngine`].
+///
+/// With a policy set ([`AlsSolver::with_replan`]), the solver calls
+/// [`AppEngine::replan`] after every sweep: the session re-scores the
+/// *observed* problem (e.g. after the application pruned R values) and
+/// migrates the live factors to a cheaper family when the predicted win
+/// clears the policy's hysteresis — the factors and loss carry over
+/// exactly, only the distribution changes.
+#[derive(Debug, Clone, Default)]
+pub struct AlsSolver {
+    /// Hyper-parameters for the sweeps.
+    pub cfg: AlsConfig,
+    /// Replan between sweeps when set.
+    pub replan: Option<ReplanPolicy>,
+}
 
-        // --- B phase: fix A, solve for B ------------------------------
-        let rhs = engine.rhs_b();
-        let (y, resid) = batched_cg(engine, Side::B, &rhs, cfg.lambda, cfg.cg_iters);
-        let resid = {
-            let _ph = engine.comm.phase(Phase::OutsideComm);
-            engine.comm.allreduce_scalar(resid) / engine.row_share_b() as f64
-        };
-        phase_residuals.push(resid);
-        engine.commit_b(&y);
+impl AlsSolver {
+    /// A solver with the given configuration and no re-planning.
+    pub fn new(cfg: AlsConfig) -> Self {
+        AlsSolver { cfg, replan: None }
     }
 
-    let final_loss = cfg.track_loss.then(|| engine.loss());
-    AlsReport {
-        initial_loss,
-        final_loss,
-        phase_residuals,
+    /// Enable between-sweep re-planning under `policy`.
+    pub fn with_replan(mut self, policy: ReplanPolicy) -> Self {
+        self.replan = Some(policy);
+        self
+    }
+
+    /// Run the configured sweeps on `engine`, re-planning between
+    /// sweeps when a policy is set.
+    pub fn solve(&self, engine: &mut AppEngine) -> AlsReport {
+        let cfg = &self.cfg;
+        let initial_loss = cfg.track_loss.then(|| engine.loss());
+        let mut phase_residuals = Vec::with_capacity(2 * cfg.sweeps);
+        let mut replans: Vec<ReplanEvent> = Vec::new();
+        for sweep in 0..cfg.sweeps {
+            als_sweep(engine, cfg, &mut phase_residuals);
+            if sweep + 1 < cfg.sweeps {
+                if let Some(policy) = &self.replan {
+                    replans.push(engine.replan(policy));
+                }
+            }
+        }
+        let final_loss = cfg.track_loss.then(|| engine.loss());
+        AlsReport {
+            initial_loss,
+            final_loss,
+            phase_residuals,
+            replans,
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dsk_comm::{MachineModel, SimWorld};
+    use dsk_comm::{Comm, MachineModel, SimWorld};
     use dsk_core::common::{AlgorithmFamily, Elision};
+    use dsk_core::session::Session;
     use dsk_core::GlobalProblem;
     use std::sync::Arc;
+
+    fn engine(
+        comm: &Comm,
+        family: AlgorithmFamily,
+        c: usize,
+        elision: Elision,
+        prob: &GlobalProblem,
+    ) -> AppEngine {
+        AppEngine::new(
+            Session::builder(prob)
+                .family(family)
+                .replication(c)
+                .elision(elision)
+                .build(comm),
+        )
+    }
 
     /// A low-rank-ish completion problem: observations from a random
     /// rank-`r` product plus noiseless sampling, so ALS can drive the
@@ -207,7 +276,7 @@ mod tests {
         let prob = Arc::new(completion_problem(24, 24, 4, 200));
         let w = SimWorld::new(4, MachineModel::bandwidth_only());
         let out = w.run(move |comm| {
-            let mut eng = AppEngine::new(
+            let mut eng = engine(
                 comm,
                 AlgorithmFamily::DenseShift15,
                 2,
@@ -243,7 +312,7 @@ mod tests {
             let pr = Arc::clone(&prob);
             let w = SimWorld::new(8, MachineModel::bandwidth_only());
             let out = w.run(move |comm| {
-                let mut eng = AppEngine::new(comm, family, c, elision, &pr);
+                let mut eng = engine(comm, family, c, elision, &pr);
                 run_als(
                     &mut eng,
                     &AlsConfig {
@@ -271,7 +340,7 @@ mod tests {
             let pr = Arc::clone(&prob);
             let w = SimWorld::new(4, MachineModel::bandwidth_only());
             let out = w.run(move |comm| {
-                let mut eng = AppEngine::new(
+                let mut eng = engine(
                     comm,
                     AlgorithmFamily::DenseShift15,
                     2,

@@ -1,5 +1,5 @@
-//! A family-agnostic application interface over the distributed
-//! kernels.
+//! A family-agnostic application interface over an adaptive kernel
+//! [`Session`].
 //!
 //! Applications iterate: the output of one FusedMM becomes an input of
 //! the next. The [`DistKernel`](dsk_core::kernel::DistKernel) trait
@@ -17,133 +17,116 @@
 //!   1.5D dense shifting does not) — charged to
 //!   [`Phase::OutsideComm`], as in the paper's Fig. 9 accounting.
 //!
-//! The engine itself is therefore a thin veneer: construction goes
-//! through [`KernelBuilder`], and every operation is a
-//! [`DistKernel`](dsk_core::kernel::DistKernel) call — no per-family
-//! dispatch anywhere.
+//! The engine itself is therefore a thin veneer over the wrapped
+//! [`Session`]: construction goes through [`Session::builder`] (the
+//! single construction path that replaced the engines' four
+//! overlapping constructors), and every operation is a session call.
+//! Because the session can **migrate between algorithm families
+//! mid-run** ([`AppEngine::replan`]), the engine re-derives its
+//! row-sharing reduction groups whenever a migration lands — those
+//! groups are a property of the family that just changed.
 
 use dsk_comm::{Comm, Phase};
-use dsk_core::common::{block_range, AlgorithmFamily, Elision, Sampling};
-use dsk_core::kernel::{CombineSpec, KernelBuilder};
-use dsk_core::worker::DistWorker;
-use dsk_core::GlobalProblem;
+use dsk_core::common::{block_range, Sampling};
+use dsk_core::session::{ReplanEvent, ReplanPolicy, Session};
 use dsk_dense::Mat;
 
-/// Family-agnostic application engine (one per rank).
+/// Family-agnostic application engine (one per rank), wrapping an
+/// adaptive [`Session`].
 pub struct AppEngine {
-    /// World communicator (duplicated; owned by the engine).
-    pub comm: Comm,
-    /// The wrapped kernel worker.
-    pub worker: DistWorker,
-    /// Elision strategy used for fused calls.
-    pub elision: Elision,
+    session: Session,
     /// Reduction group for per-row dots of `A`-shaped iterates (size 1
-    /// when rows are whole).
+    /// when rows are whole). Rebuilt after every migration.
     dots_a: Comm,
     /// Reduction group for per-row dots of `B`-shaped iterates.
     dots_b: Comm,
 }
 
 impl AppEngine {
-    /// Build the engine for one rank from a borrowed global problem.
-    pub fn new(
-        comm: &Comm,
-        family: AlgorithmFamily,
-        c: usize,
-        elision: Elision,
-        prob: &GlobalProblem,
-    ) -> Self {
-        Self::from_builder(
-            comm,
-            &KernelBuilder::new(prob).family(family).replication(c),
-            Some(elision),
-        )
-    }
-
-    /// Build the engine from shared staging (benchmark path).
-    pub fn from_staged(
-        comm: &Comm,
-        family: AlgorithmFamily,
-        c: usize,
-        elision: Elision,
-        staged: &dsk_core::StagedProblem,
-    ) -> Self {
-        Self::from_builder(
-            comm,
-            &KernelBuilder::from_staged(staged)
-                .family(family)
-                .replication(c),
-            Some(elision),
-        )
-    }
-
-    /// Build the engine with the theory-planned algorithm, replication
-    /// factor, and elision for this problem shape (the Figure 6
-    /// decision applied to an application).
-    pub fn auto(comm: &Comm, prob: &GlobalProblem) -> Self {
-        Self::from_builder(comm, &KernelBuilder::new(prob), None)
-    }
-
-    /// Build the engine from a configured [`KernelBuilder`]. `elision`
-    /// overrides the plan's recommended elision for fused calls.
-    pub fn from_builder(
-        comm: &Comm,
-        builder: &KernelBuilder<'_>,
-        elision: Option<Elision>,
-    ) -> Self {
-        let worker = builder.build(comm);
-        let elision = elision.unwrap_or(worker.plan().elision);
-        assert!(
-            worker.supports(elision),
-            "{:?} does not support {elision:?}",
-            worker.id()
-        );
-        let k = worker.kernel();
-        let dots_a = comm.split_by(|g| k.row_group_a(g));
-        let dots_b = comm.split_by(|g| k.row_group_b(g));
+    /// Wrap a built session. The one constructor: configure the kernel
+    /// (family, replication, elision, auto-planning) on
+    /// [`Session::builder`] before handing the session over.
+    pub fn new(session: Session) -> Self {
+        let (dots_a, dots_b) = Self::dot_comms(&session);
         AppEngine {
-            comm: comm.dup(),
-            worker,
-            elision,
+            session,
             dots_a,
             dots_b,
         }
     }
 
+    fn dot_comms(session: &Session) -> (Comm, Comm) {
+        let k = session.worker().kernel();
+        let comm = session.comm();
+        (
+            comm.split_by(|g| k.row_group_a(g)),
+            comm.split_by(|g| k.row_group_b(g)),
+        )
+    }
+
+    /// The wrapped session.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// The wrapped session, mutably. Callers that migrate through this
+    /// handle must go through [`AppEngine::replan`] instead, so the
+    /// engine's row-sharing groups stay consistent with the kernel.
+    pub fn session_mut(&mut self) -> &mut Session {
+        &mut self.session
+    }
+
+    /// The session's communicator.
+    pub fn comm(&self) -> &Comm {
+        self.session.comm()
+    }
+
+    /// Re-run the planner against the observed problem and migrate when
+    /// the predicted win clears the policy's hysteresis (collective).
+    /// The engine's row-sharing reduction groups are rebuilt when a
+    /// migration lands.
+    pub fn replan(&mut self, policy: &ReplanPolicy) -> ReplanEvent {
+        let event = self.session.replan(policy);
+        if event.migrated {
+            let (dots_a, dots_b) = Self::dot_comms(&self.session);
+            self.dots_a = dots_a;
+            self.dots_b = dots_b;
+        }
+        event
+    }
+
     /// The stored `A` operand in the iterate layout.
     pub fn a_iterate(&self) -> Mat {
-        self.worker.a_iterate()
+        self.session.a_iterate()
     }
 
     /// The stored `B` operand in the iterate layout.
     pub fn b_iterate(&self) -> Mat {
-        self.worker.b_iterate()
+        self.session.b_iterate()
     }
 
     /// FusedMMA with pattern sampling — the ALS normal-equation matvec
     /// `qᵢ = Σ_{j∈Ωᵢ} ⟨xᵢ, b_j⟩ b_j` — on an `A`-iterate `x`.
     pub fn fused_a_ones(&mut self, x: &Mat) -> Mat {
-        self.worker
-            .fused_mm_a(Some(x), self.elision, Sampling::Ones)
+        self.session.fused_mm_a(Some(x), Sampling::Ones)
     }
 
     /// FusedMMB with pattern sampling on a `B`-iterate `y`.
     pub fn fused_b_ones(&mut self, y: &Mat) -> Mat {
-        self.worker
-            .fused_mm_b(Some(y), self.elision, Sampling::Ones)
+        self.session.fused_mm_b(Some(y), Sampling::Ones)
     }
 
     /// ALS right-hand side for the `A` phase: `S·B` (sampling values),
     /// delivered in the `A`-iterate layout (2.5D dense replication pays
     /// a distribution shift here).
     pub fn rhs_a(&mut self) -> Mat {
-        self.worker.rhs_a(&self.comm)
+        self.session.rhs_a()
     }
 
     /// ALS right-hand side for the `B` phase: `Sᵀ·A`, in the
     /// `B`-iterate layout.
     pub fn rhs_b(&mut self) -> Mat {
-        self.worker.rhs_b(&self.comm)
+        self.session.rhs_b()
     }
 
     fn row_dots(comm: &Comm, x: &Mat, y: &Mat, phase: Phase) -> Vec<f64> {
@@ -184,21 +167,18 @@ impl AppEngine {
     /// Commit an `A`-iterate as the stored `A` operand, paying whatever
     /// distribution shift the kernel requires.
     pub fn commit_a(&mut self, x: &Mat) {
-        self.worker.set_a(&self.comm, x);
+        self.session.commit_a(x);
     }
 
     /// Commit a `B`-iterate as the stored `B` operand.
     pub fn commit_b(&mut self, y: &Mat) {
-        self.worker.set_b(&self.comm, y);
+        self.session.commit_b(y);
     }
 
     /// ALS squared loss `‖C̃ − mask(A·Bᵀ)‖²_F` over the observed
     /// entries (one generalized SDDMM plus a scalar all-reduce).
     pub fn loss(&mut self) -> f64 {
-        self.worker.sddmm_general(&CombineSpec::Dot);
-        let local = self.worker.sq_loss_local();
-        let _ph = self.comm.phase(Phase::OutsideComm);
-        self.comm.allreduce_scalar(local)
+        self.session.loss()
     }
 
     /// The row-block layout (full-width contiguous rows) used as the
@@ -216,6 +196,8 @@ impl AppEngine {
 mod tests {
     use super::*;
     use dsk_comm::{MachineModel, SimWorld};
+    use dsk_core::common::{AlgorithmFamily, Elision};
+    use dsk_core::GlobalProblem;
     use std::sync::Arc;
 
     fn families() -> [(AlgorithmFamily, usize, Elision); 5] {
@@ -229,6 +211,22 @@ mod tests {
         ]
     }
 
+    fn engine(
+        comm: &Comm,
+        family: AlgorithmFamily,
+        c: usize,
+        elision: Elision,
+        prob: &GlobalProblem,
+    ) -> AppEngine {
+        AppEngine::new(
+            Session::builder(prob)
+                .family(family)
+                .replication(c)
+                .elision(elision)
+                .build(comm),
+        )
+    }
+
     #[test]
     fn fused_iterate_layouts_are_closed() {
         // fused_a_ones must accept its own output — iterate in, iterate
@@ -238,7 +236,7 @@ mod tests {
             let pr = Arc::clone(&prob);
             let w = SimWorld::new(8, MachineModel::bandwidth_only());
             let out = w.run(move |comm| {
-                let mut eng = AppEngine::new(comm, family, c, elision, &pr);
+                let mut eng = engine(comm, family, c, elision, &pr);
                 let x0 = eng.a_iterate();
                 let x1 = eng.fused_a_ones(&x0);
                 assert_eq!(x1.nrows(), x0.nrows(), "{family:?}");
@@ -261,7 +259,7 @@ mod tests {
             let aa = a.clone();
             let w = SimWorld::new(8, MachineModel::bandwidth_only());
             let out = w.run(move |comm| {
-                let eng = AppEngine::new(comm, family, c, elision, &pr);
+                let eng = engine(comm, family, c, elision, &pr);
                 let x = eng.a_iterate();
                 let dots = eng.row_dots_a(&x, &x);
                 // Identify which global rows this iterate covers by
@@ -284,7 +282,7 @@ mod tests {
             let pr = Arc::clone(&prob);
             let w = SimWorld::new(8, MachineModel::bandwidth_only());
             let out = w.run(move |comm| {
-                let mut eng = AppEngine::new(comm, family, c, elision, &pr);
+                let mut eng = engine(comm, family, c, elision, &pr);
                 let x = eng.a_iterate();
                 eng.commit_a(&x);
                 let x2 = eng.a_iterate();
@@ -309,7 +307,7 @@ mod tests {
             let pr = Arc::clone(&prob);
             let w = SimWorld::new(8, MachineModel::bandwidth_only());
             let out = w.run(move |comm| {
-                let mut eng = AppEngine::new(comm, family, c, elision, &pr);
+                let mut eng = engine(comm, family, c, elision, &pr);
                 eng.loss()
             });
             losses.push(out[0].value);
@@ -330,13 +328,13 @@ mod tests {
         let pr = Arc::clone(&prob);
         let w = SimWorld::new(8, MachineModel::bandwidth_only());
         let out = w.run(move |comm| {
-            let mut eng = AppEngine::auto(comm, &pr);
+            let mut eng = AppEngine::new(Session::builder(&pr).build(comm));
             eng.loss()
         });
         let pr = Arc::clone(&prob);
         let w = SimWorld::new(8, MachineModel::bandwidth_only());
         let reference = w.run(move |comm| {
-            let mut eng = AppEngine::new(
+            let mut eng = engine(
                 comm,
                 AlgorithmFamily::DenseShift15,
                 2,
@@ -346,5 +344,39 @@ mod tests {
             eng.loss()
         });
         assert!((out[0].value - reference[0].value).abs() < 1e-6 * reference[0].value.max(1.0));
+    }
+
+    #[test]
+    fn replan_rebuilds_row_sharing_groups() {
+        // ds15 rows are whole (share = 1); after a forced migration to
+        // ss15 the engine must report that family's layer-wide sharing.
+        let prob = Arc::new(GlobalProblem::erdos_renyi(24, 24, 8, 3, 106));
+        let w = SimWorld::new(8, MachineModel::bandwidth_only());
+        let out = w.run(move |comm| {
+            let mut eng = engine(
+                comm,
+                AlgorithmFamily::DenseShift15,
+                2,
+                Elision::ReplicationReuse,
+                &prob,
+            );
+            let before = eng.row_share_a();
+            eng.session_mut().migrate(
+                dsk_core::theory::Algorithm::new(
+                    AlgorithmFamily::SparseShift15,
+                    Elision::ReplicationReuse,
+                ),
+                2,
+            );
+            // Rebuild the groups as AppEngine::replan would.
+            let (da, db) = AppEngine::dot_comms(&eng.session);
+            eng.dots_a = da;
+            eng.dots_b = db;
+            (before, eng.row_share_a())
+        });
+        for o in &out {
+            assert_eq!(o.value.0, 1, "ds15 rows are whole");
+            assert_eq!(o.value.1, 4, "ss15 shares rows across the layer (q=4)");
+        }
     }
 }

@@ -29,11 +29,10 @@
 //! must observe the completed SDDMM before any aggregation, which is
 //! why the paper excludes the LKF variant from its GAT benchmark.
 
-use dsk_comm::{Comm, Phase};
-use dsk_core::common::AlgorithmFamily;
-use dsk_core::kernel::{CombineSpec, KernelBuilder};
+use dsk_comm::Phase;
+use dsk_core::kernel::CombineSpec;
 use dsk_core::layout::repartition_dense;
-use dsk_core::worker::DistWorker;
+use dsk_core::session::{ReplanEvent, ReplanPolicy, Session};
 use dsk_core::GlobalProblem;
 use dsk_dense::ops::gemm_acc;
 use dsk_dense::Mat;
@@ -78,53 +77,39 @@ impl Default for GatConfig {
     }
 }
 
-/// Per-rank GAT engine over any distributed kernel (except LKF).
+/// Per-rank GAT engine over any distributed kernel (except LKF),
+/// wrapping an adaptive [`Session`] whose `A` and `B` operands are both
+/// the node embedding matrix `H` (the graph is square).
 pub struct GatEngine {
-    /// World communicator.
-    pub comm: Comm,
-    /// The wrapped worker; its `A` and `B` operands are both the node
-    /// embedding matrix `H` (the graph is square).
-    pub worker: DistWorker,
+    session: Session,
 }
 
 impl GatEngine {
-    /// Build the engine. `prob` must be square with `a == b == H`.
-    pub fn new(comm: &Comm, family: AlgorithmFamily, c: usize, prob: &GlobalProblem) -> Self {
-        Self::from_builder(
-            comm,
-            &KernelBuilder::new(prob).family(family).replication(c),
-        )
-    }
-
-    /// Build from shared staging (benchmark path).
-    pub fn from_staged(
-        comm: &Comm,
-        family: AlgorithmFamily,
-        c: usize,
-        staged: &dsk_core::StagedProblem,
-    ) -> Self {
-        Self::from_builder(
-            comm,
-            &KernelBuilder::from_staged(staged)
-                .family(family)
-                .replication(c),
-        )
-    }
-
-    /// Build with the theory-planned kernel for this problem shape.
-    pub fn auto(comm: &Comm, prob: &GlobalProblem) -> Self {
-        Self::from_builder(comm, &KernelBuilder::new(prob))
-    }
-
-    /// Build from a configured [`KernelBuilder`].
-    pub fn from_builder(comm: &Comm, builder: &KernelBuilder<'_>) -> Self {
-        let worker = builder.build(comm);
-        let dims = worker.dims();
+    /// Wrap a built session (the one constructor; configure family,
+    /// replication, or auto-planning on [`Session::builder`]). The
+    /// session's problem must be square with `a == b == H`.
+    pub fn new(session: Session) -> Self {
+        let dims = session.worker().dims();
         assert_eq!(dims.m, dims.n, "GAT needs a square adjacency");
-        GatEngine {
-            comm: comm.dup(),
-            worker,
-        }
+        GatEngine { session }
+    }
+
+    /// The wrapped session.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// The wrapped session, mutably.
+    pub fn session_mut(&mut self) -> &mut Session {
+        &mut self.session
+    }
+
+    /// Re-plan against the observed problem between forward passes
+    /// (e.g. after attention dropout or graph pruning shrank the
+    /// effective nonzero count), migrating the embeddings when the
+    /// predicted win clears the policy's hysteresis.
+    pub fn replan(&mut self, policy: &ReplanPolicy) -> ReplanEvent {
+        self.session.replan(policy)
     }
 
     /// Compute `H·W` in the kernel's SpMM-operand (`B`-iterate) layout.
@@ -132,20 +117,21 @@ impl GatEngine {
     /// layout (outside-kernel cost, as in the paper's Fig. 9
     /// breakdown); whole-row layouts pass through untouched.
     fn transform_operand(&mut self, w_mat: &Mat) -> Mat {
-        let dims = self.worker.dims();
-        let (n, r, p) = (dims.n, dims.r, self.comm.size());
+        let comm = self.session.comm();
+        let dims = self.session.worker().dims();
+        let (n, r, p) = (dims.n, dims.r, comm.size());
         let row_blocks = crate::engine::AppEngine::row_block_layout(n, r, p);
-        let k = self.worker.kernel();
+        let k = self.session.worker().kernel();
         let src = |g: usize| k.b_iterate_layout_of(g);
         let stacked = k.b_iterate();
         let staged = {
-            let _ph = self.comm.phase(Phase::OutsideComm);
-            repartition_dense(&self.comm, &stacked, src, &row_blocks)
+            let _ph = comm.phase(Phase::OutsideComm);
+            repartition_dense(comm, &stacked, src, &row_blocks)
         };
         let hw = {
-            let _ph = self.comm.phase(Phase::OutsideCompute);
+            let _ph = comm.phase(Phase::OutsideCompute);
             let mut out = Mat::zeros(staged.nrows(), w_mat.ncols());
-            self.comm.record_flops(dsk_dense::ops::gemm_flops(
+            comm.record_flops(dsk_dense::ops::gemm_flops(
                 staged.nrows(),
                 staged.ncols(),
                 w_mat.ncols(),
@@ -153,14 +139,14 @@ impl GatEngine {
             gemm_acc(&mut out, &staged, w_mat);
             out
         };
-        let _ph = self.comm.phase(Phase::OutsideComm);
-        repartition_dense(&self.comm, &hw, &row_blocks, src)
+        let _ph = comm.phase(Phase::OutsideComm);
+        repartition_dense(comm, &hw, &row_blocks, src)
     }
 
     /// Attention logits for one head into the worker's R values
     /// (generalized SDDMM).
     fn attention_logits(&mut self, head: &GatHead) {
-        self.worker.sddmm_general(&CombineSpec::Affine {
+        self.session.sddmm_general(&CombineSpec::Affine {
             w_src: head.a_src.clone(),
             w_dst: head.a_dst.clone(),
         });
@@ -171,16 +157,16 @@ impl GatEngine {
         let slope = negative_slope;
         // exp(LeakyReLU(·)); inputs are bounded (embeddings in [-1,1]),
         // so the unshifted exponential is safe.
-        self.worker.map_r(&mut |v: f64| {
+        self.session.map_r(&mut |v: f64| {
             let a = if v < 0.0 { slope * v } else { v };
             a.exp()
         });
-        let sums = self.worker.r_row_sums(&self.comm, Phase::OutsideComm);
+        let sums = self.session.r_row_sums(Phase::OutsideComm);
         let inv: Vec<f64> = sums
             .iter()
             .map(|&s| if s > 0.0 { 1.0 / s } else { 0.0 })
             .collect();
-        self.worker.scale_r_rows(&inv);
+        self.session.scale_r_rows(&inv);
     }
 
     /// Attention-weighted convolution `α · (H·W)` (SpMM with the stored
@@ -188,7 +174,7 @@ impl GatEngine {
     /// [`spmm_a_with_layout_of`](dsk_core::kernel::DistKernel::spmm_a_with_layout_of)
     /// layout.
     fn convolve(&mut self, hw: &Mat) -> Mat {
-        self.worker.spmm_a_with(hw)
+        self.session.spmm_a_with(hw)
     }
 
     /// One multi-head forward pass: per-head attention + convolution,
@@ -203,7 +189,7 @@ impl GatEngine {
             let mut out = self.convolve(&hw);
             // ELU activation, locally.
             {
-                let _ph = self.comm.phase(Phase::OutsideCompute);
+                let _ph = self.session.comm().phase(Phase::OutsideCompute);
                 for v in out.as_mut_slice() {
                     if *v < 0.0 {
                         *v = v.exp() - 1.0;
@@ -274,6 +260,7 @@ pub fn gat_forward_reference(prob: &GlobalProblem, heads: &[GatHead], cfg: &GatC
 mod tests {
     use super::*;
     use dsk_comm::{MachineModel, SimWorld};
+    use dsk_core::common::AlgorithmFamily;
     use dsk_core::layout::gather_dense;
     use std::sync::Arc;
 
@@ -292,11 +279,16 @@ mod tests {
         let heads2 = heads.clone();
         let w = SimWorld::new(p, MachineModel::bandwidth_only());
         let out = w.run(move |comm| {
-            let mut eng = GatEngine::new(comm, family, c, &prob);
+            let mut eng = GatEngine::new(
+                Session::builder(&prob)
+                    .family(family)
+                    .replication(c)
+                    .build(comm),
+            );
             let local = eng.forward(&heads2, &cfg);
             // Per-head outputs are concatenated; gather head 0 only,
             // whose layout the kernel itself describes.
-            let k = eng.worker.kernel();
+            let k = eng.session().worker().kernel();
             let head0 = local.cols_block(0..local.ncols() / 2);
             gather_dense(comm, 0, &head0, |g| k.spmm_a_with_layout_of(g), n, r)
         });
@@ -339,9 +331,9 @@ mod tests {
         let expect = gat_forward_reference(&prob, &heads, &cfg);
         let w = SimWorld::new(p, MachineModel::bandwidth_only());
         let out = w.run(move |comm| {
-            let mut eng = GatEngine::from_builder(comm, &KernelBuilder::new(&prob).baseline());
+            let mut eng = GatEngine::new(Session::builder(&prob).baseline().build(comm));
             let local = eng.forward(&heads, &cfg);
-            let k = eng.worker.kernel();
+            let k = eng.session().worker().kernel();
             gather_dense(comm, 0, &local, |g| k.spmm_a_with_layout_of(g), n, r)
         });
         let got = out[0].value.as_ref().unwrap();
@@ -362,7 +354,12 @@ mod tests {
         let heads: Vec<GatHead> = (0..3).map(|i| GatHead::random(r, 320 + i)).collect();
         let w = SimWorld::new(p, MachineModel::bandwidth_only());
         let out = w.run(move |comm| {
-            let mut eng = GatEngine::new(comm, AlgorithmFamily::DenseShift15, c, &prob);
+            let mut eng = GatEngine::new(
+                Session::builder(&prob)
+                    .family(AlgorithmFamily::DenseShift15)
+                    .replication(c)
+                    .build(comm),
+            );
             let local = eng.forward(&heads, &cfg);
             local.ncols()
         });

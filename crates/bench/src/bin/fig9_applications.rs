@@ -20,6 +20,7 @@ use dsk_bench::harness::quick_mode;
 use dsk_bench::workloads::strong_surrogate;
 use dsk_comm::{AggregateStats, MachineModel, Phase, SimWorld};
 use dsk_core::common::{AlgorithmFamily, Elision};
+use dsk_core::session::Session;
 use dsk_core::theory::{self, Algorithm};
 use dsk_core::StagedProblem;
 use dsk_sparse::gen::PAPER_MATRICES;
@@ -79,7 +80,13 @@ fn main() {
         let staged = Arc::new(StagedProblem::new(Arc::clone(&prob)));
         let world = SimWorld::new(p, model);
         let outcomes = world.run(|comm| {
-            let mut eng = AppEngine::from_staged(comm, alg.family, c, alg.elision, &staged);
+            let mut eng = AppEngine::new(
+                Session::builder_staged(Arc::clone(&staged))
+                    .family(alg.family)
+                    .replication(c)
+                    .elision(alg.elision)
+                    .build(comm),
+            );
             run_als(
                 &mut eng,
                 &AlsConfig {
@@ -122,7 +129,12 @@ fn main() {
         let heads = heads.clone();
         let world = SimWorld::new(p, model);
         let outcomes = world.run(|comm| {
-            let mut eng = GatEngine::from_staged(comm, alg.family, c, &staged);
+            let mut eng = GatEngine::new(
+                Session::builder_staged(Arc::clone(&staged))
+                    .family(alg.family)
+                    .replication(c)
+                    .build(comm),
+            );
             let _ = eng.forward(&heads, &cfg);
         });
         let stats: Vec<_> = outcomes.into_iter().map(|o| o.stats).collect();

@@ -24,7 +24,11 @@ use std::fmt::Write as _;
 
 /// Version stamp written into every report. Bump when the schema shape
 /// changes; [`gate`] refuses to compare mismatched versions.
-pub const BENCH_SCHEMA_VERSION: u64 = 1;
+///
+/// v2 added the `adaptive` section (drifting-sparsity static-vs-
+/// adaptive regret); the parser still accepts v1 documents, which
+/// simply carry no adaptive points.
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
 
 // ---------------------------------------------------------------------
 // Minimal JSON value
@@ -436,6 +440,31 @@ impl BenchPoint {
     }
 }
 
+/// One drifting-sparsity schedule (schema v2): a sequence of problem
+/// phases whose nonzeros-per-row drift (the SparCML observation —
+/// sparsity evolves over training), measured three ways per phase:
+/// every planner candidate (the oracle), the phase-0 pick held
+/// statically, and the per-phase re-planned pick (the adaptive
+/// session's policy). Regret is total measured time ÷ total oracle
+/// time, so `adaptive_regret ≤ static_regret` is exactly the claim
+/// runtime re-planning makes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptivePoint {
+    /// Backend label the phases were measured under.
+    pub backend: String,
+    /// Embedding width (fixed across the schedule).
+    pub r: u64,
+    /// Nonzeros-per-row of each phase, in order.
+    pub schedule: Vec<u64>,
+    /// Σ measured(phase-0 pick) ÷ Σ measured(oracle), ≥ 1.
+    pub static_regret: f64,
+    /// Σ measured(per-phase pick) ÷ Σ measured(oracle), ≥ 1.
+    pub adaptive_regret: f64,
+    /// How many phase boundaries changed the plan (migrations an
+    /// adaptive session would perform).
+    pub migrations: u64,
+}
+
 /// A whole planner-regret sweep, as written to `BENCH_<name>.json`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
@@ -457,6 +486,9 @@ pub struct BenchReport {
     pub calls: u64,
     /// All grid points, grouped by backend.
     pub points: Vec<BenchPoint>,
+    /// Drifting-sparsity static-vs-adaptive regret points (schema v2;
+    /// empty when parsed from a v1 document).
+    pub adaptive: Vec<AdaptivePoint>,
 }
 
 impl BenchReport {
@@ -508,6 +540,30 @@ impl BenchReport {
         self.backend_points(backend).map(|pt| pt.wire_bytes()).sum()
     }
 
+    /// Adaptive points under one backend.
+    pub fn backend_adaptive<'a>(
+        &'a self,
+        backend: &'a str,
+    ) -> impl Iterator<Item = &'a AdaptivePoint> + 'a {
+        self.adaptive.iter().filter(move |pt| pt.backend == backend)
+    }
+
+    /// Maximum adaptive regret over a backend's drifting-sparsity
+    /// points (1.0 when empty).
+    pub fn max_adaptive_regret(&self, backend: &str) -> f64 {
+        self.backend_adaptive(backend)
+            .map(|pt| pt.adaptive_regret)
+            .fold(1.0, f64::max)
+    }
+
+    /// Maximum static regret over a backend's drifting-sparsity points
+    /// (1.0 when empty).
+    pub fn max_static_regret(&self, backend: &str) -> f64 {
+        self.backend_adaptive(backend)
+            .map(|pt| pt.static_regret)
+            .fold(1.0, f64::max)
+    }
+
     /// Serialize to the canonical pretty JSON document.
     pub fn to_json(&self) -> String {
         let points = self
@@ -542,6 +598,23 @@ impl BenchReport {
                 ])
             })
             .collect();
+        let adaptive = self
+            .adaptive
+            .iter()
+            .map(|pt| {
+                Json::Obj(vec![
+                    ("backend".into(), Json::Str(pt.backend.clone())),
+                    ("r".into(), Json::Num(pt.r as f64)),
+                    (
+                        "schedule".into(),
+                        Json::Arr(pt.schedule.iter().map(|&s| Json::Num(s as f64)).collect()),
+                    ),
+                    ("static_regret".into(), Json::Num(pt.static_regret)),
+                    ("adaptive_regret".into(), Json::Num(pt.adaptive_regret)),
+                    ("migrations".into(), Json::Num(pt.migrations as f64)),
+                ])
+            })
+            .collect();
         Json::Obj(vec![
             (
                 "schema_version".into(),
@@ -555,6 +628,7 @@ impl BenchReport {
             ("m".into(), Json::Num(self.m as f64)),
             ("calls".into(), Json::Num(self.calls as f64)),
             ("points".into(), Json::Arr(points)),
+            ("adaptive".into(), Json::Arr(adaptive)),
         ])
         .to_pretty()
     }
@@ -588,6 +662,20 @@ impl BenchReport {
         {
             points.push(parse_point(pt).map_err(|e| format!("points[{i}]: {e}"))?);
         }
+        // v1 documents carry no adaptive section: missing means empty,
+        // so old baselines still parse (the gate separately refuses
+        // cross-version comparison and asks for a refresh).
+        let mut adaptive = Vec::new();
+        if let Some(arr) = root.get("adaptive") {
+            for (i, pt) in arr
+                .as_arr()
+                .ok_or("\"adaptive\" not an array")?
+                .iter()
+                .enumerate()
+            {
+                adaptive.push(parse_adaptive(pt).map_err(|e| format!("adaptive[{i}]: {e}"))?);
+            }
+        }
         Ok(BenchReport {
             schema_version: num("schema_version")?,
             name: text_field("name")?,
@@ -598,8 +686,43 @@ impl BenchReport {
             m: num("m")?,
             calls: num("calls")?,
             points,
+            adaptive,
         })
     }
+}
+
+fn parse_adaptive(pt: &Json) -> Result<AdaptivePoint, String> {
+    let req = |key: &str| pt.get(key).ok_or_else(|| format!("missing field {key:?}"));
+    let num = |key: &str| {
+        req(key)?
+            .as_u64()
+            .ok_or_else(|| format!("{key:?} not an integer"))
+    };
+    let float = |key: &str| {
+        req(key)?
+            .as_f64()
+            .ok_or_else(|| format!("{key:?} not a number"))
+    };
+    let schedule = req("schedule")?
+        .as_arr()
+        .ok_or("\"schedule\" not an array")?
+        .iter()
+        .map(|v| v.as_u64().ok_or("schedule entry not an integer"))
+        .collect::<Result<Vec<u64>, _>>()?;
+    if schedule.is_empty() {
+        return Err("empty drifting schedule".to_string());
+    }
+    Ok(AdaptivePoint {
+        backend: req("backend")?
+            .as_str()
+            .ok_or("\"backend\" not a string")?
+            .to_string(),
+        r: num("r")?,
+        schedule,
+        static_regret: float("static_regret")?,
+        adaptive_regret: float("adaptive_regret")?,
+        migrations: num("migrations")?,
+    })
 }
 
 fn parse_point(pt: &Json) -> Result<BenchPoint, String> {
@@ -759,6 +882,22 @@ pub fn gate(baseline: &BenchReport, current: &BenchReport, tol: &GateTolerances)
                 .to_string(),
         ];
     }
+    let adaptive_grid = |report: &BenchReport| {
+        let mut pts: Vec<(String, u64, Vec<u64>)> = report
+            .adaptive
+            .iter()
+            .map(|pt| (pt.backend.clone(), pt.r, pt.schedule.clone()))
+            .collect();
+        pts.sort();
+        pts
+    };
+    if adaptive_grid(baseline) != adaptive_grid(current) {
+        return vec![
+            "adaptive drifting-sparsity grid changed between baseline and current — refresh \
+             BENCH_baseline.json"
+                .to_string(),
+        ];
+    }
 
     for (label, base_v, cur_v) in [
         (
@@ -792,6 +931,32 @@ pub fn gate(baseline: &BenchReport, current: &BenchReport, tol: &GateTolerances)
         ));
     }
 
+    // Adaptive drifting-sparsity axes: the adaptive pick must not
+    // regress vs baseline, and it must never be worse than holding the
+    // static plan — that inversion would mean re-planning actively
+    // hurts, the exact failure this scenario exists to catch.
+    {
+        let base_v = baseline.max_adaptive_regret("inproc");
+        let cur_v = current.max_adaptive_regret("inproc");
+        let bound = base_v * (1.0 + tol.regret_frac) + tol.regret_abs;
+        if cur_v > bound {
+            violations.push(format!(
+                "max adaptive regret regressed: {cur_v:.4} > {base_v:.4} (+{:.0}% +{}) = \
+                 {bound:.4}",
+                tol.regret_frac * 100.0,
+                tol.regret_abs
+            ));
+        }
+        for pt in current.backend_adaptive("inproc") {
+            if pt.adaptive_regret > pt.static_regret + tol.regret_abs {
+                violations.push(format!(
+                    "adaptive regret exceeds static regret at r={} schedule {:?}: {:.4} > {:.4}",
+                    pt.r, pt.schedule, pt.adaptive_regret, pt.static_regret
+                ));
+            }
+        }
+    }
+
     let base_bytes = baseline.wire_bytes_total("wire-delay");
     let cur_bytes = current.wire_bytes_total("wire-delay");
     let byte_bound = (base_bytes as f64 * (1.0 + tol.wire_frac)).ceil() as u64;
@@ -809,7 +974,7 @@ pub fn gate(baseline: &BenchReport, current: &BenchReport, tol: &GateTolerances)
 /// bytes) — the single formatting used by both the sweep's stdout and
 /// the gate's, so the two printouts cannot drift apart.
 pub fn summary_lines(report: &BenchReport) -> Vec<String> {
-    ["inproc", "wire-delay"]
+    let mut lines: Vec<String> = ["inproc", "wire-delay"]
         .iter()
         .map(|backend| {
             let (agree, total) = report.agreement(backend);
@@ -821,7 +986,21 @@ pub fn summary_lines(report: &BenchReport) -> Vec<String> {
                 report.wire_bytes_total(backend),
             )
         })
-        .collect()
+        .collect();
+    let n_adaptive = report.backend_adaptive("inproc").count();
+    if n_adaptive > 0 {
+        let migrations: u64 = report
+            .backend_adaptive("inproc")
+            .map(|pt| pt.migrations)
+            .sum();
+        lines.push(format!(
+            "  adaptive: {n_adaptive} drifting schedule(s), static regret {:.3} → adaptive \
+             {:.3}, {migrations} migration(s)",
+            report.max_static_regret("inproc"),
+            report.max_adaptive_regret("inproc"),
+        ));
+    }
+    lines
 }
 
 /// `git rev-parse HEAD` of the working directory, or `"unknown"`.

@@ -151,6 +151,47 @@ pub fn fig6_regret_grid(scale: SweepScale) -> Fig6Grid {
     }
 }
 
+/// A drifting-sparsity schedule: one problem side and embedding width,
+/// with a sequence of per-phase nonzeros-per-row values that decays
+/// across the Fig. 6 phase boundary — the shape of an iterative
+/// application that prunes as it trains (SparCML's observation).
+#[derive(Debug, Clone)]
+pub struct DriftGrid {
+    /// Rank count of every world.
+    pub p: usize,
+    /// Square sparse-matrix side.
+    pub m: usize,
+    /// Embedding width (fixed across phases).
+    pub r: usize,
+    /// Nonzeros-per-row of each phase, in order (strictly decaying).
+    pub schedule: Vec<usize>,
+}
+
+/// The drifting-nnz grid measured by the `adaptive` scenario of the
+/// regret sweep. The schedule's φ spans both sides of the 1.5D
+/// crossover, so a static phase-0 plan is predictably wrong by the last
+/// phase while per-phase re-planning tracks the drift.
+pub fn drifting_nnz_grid(scale: SweepScale) -> DriftGrid {
+    match scale {
+        SweepScale::Smoke => DriftGrid {
+            p: 8,
+            m: 1 << 10,
+            r: 32,
+            schedule: vec![20, 8, 2],
+        },
+        SweepScale::Quick | SweepScale::Full => DriftGrid {
+            p: 32,
+            m: if scale == SweepScale::Quick {
+                1 << 12
+            } else {
+                1 << 14
+            },
+            r: 32,
+            schedule: vec![20, 12, 6, 2],
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,5 +254,23 @@ mod tests {
         // Smoke must stay small enough for a CI leg.
         let smoke = fig6_regret_grid(SweepScale::Smoke);
         assert!(smoke.m <= 1 << 10 && smoke.rs.len() * smoke.nnzs.len() <= 16);
+    }
+
+    #[test]
+    fn drifting_schedule_decays_across_the_crossover() {
+        for scale in [SweepScale::Smoke, SweepScale::Quick, SweepScale::Full] {
+            let g = drifting_nnz_grid(scale);
+            assert!(
+                g.schedule.windows(2).all(|w| w[0] > w[1]),
+                "{scale:?}: schedule must strictly decay"
+            );
+            let phi_first = g.schedule[0] as f64 / g.r as f64;
+            let phi_last = *g.schedule.last().unwrap() as f64 / g.r as f64;
+            assert!(
+                phi_first > 0.3,
+                "{scale:?}: starts dense-side ({phi_first})"
+            );
+            assert!(phi_last < 0.2, "{scale:?}: ends sparse-side ({phi_last})");
+        }
     }
 }

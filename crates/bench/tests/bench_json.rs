@@ -2,7 +2,9 @@
 //! passes self-comparison, and every gated regression axis actually
 //! fails — so the CI perf leg can be trusted in both directions.
 
-use dsk_bench::json::{gate, BenchPoint, BenchReport, CandidateTiming, GateTolerances, Json};
+use dsk_bench::json::{
+    gate, AdaptivePoint, BenchPoint, BenchReport, CandidateTiming, GateTolerances, Json,
+};
 
 fn candidate(family: &str, c: u64, modeled_s: f64, wire_bytes: u64) -> CandidateTiming {
     CandidateTiming {
@@ -34,6 +36,17 @@ fn point(backend: &str, r: u64, nnz_row: u64, best: u64, regret: f64) -> BenchPo
     }
 }
 
+fn adaptive_point(static_regret: f64, adaptive_regret: f64) -> AdaptivePoint {
+    AdaptivePoint {
+        backend: "inproc".to_string(),
+        r: 32,
+        schedule: vec![20, 8, 2],
+        static_regret,
+        adaptive_regret,
+        migrations: 1,
+    }
+}
+
 fn report() -> BenchReport {
     BenchReport {
         schema_version: dsk_bench::json::BENCH_SCHEMA_VERSION,
@@ -50,6 +63,7 @@ fn report() -> BenchReport {
             point("wire-delay", 8, 2, 0, 1.0),
             point("wire-delay", 16, 8, 0, 1.3),
         ],
+        adaptive: vec![adaptive_point(1.4, 1.01)],
     }
 }
 
@@ -117,6 +131,65 @@ fn gate_passes_self_comparison_and_improvements() {
         }
     }
     assert!(gate(&base, &better, &tol).is_empty());
+}
+
+#[test]
+fn v1_documents_without_adaptive_still_parse() {
+    // Schema v1 had no "adaptive" section; the parser must accept such
+    // documents (empty adaptive) so old reports remain readable. The
+    // gate separately refuses cross-version comparison.
+    let mut v1 = report();
+    v1.schema_version = 1;
+    v1.adaptive.clear();
+    let text = v1.to_json().replace("  \"adaptive\": [],\n", "");
+    let mut no_field = text;
+    // Strip the (empty) adaptive field entirely to mimic a v1 writer.
+    no_field = no_field.replace(",\n  \"adaptive\": []", "");
+    assert!(!no_field.contains("adaptive"));
+    let parsed = BenchReport::parse(&no_field).expect("v1 document must parse");
+    assert_eq!(parsed.schema_version, 1);
+    assert!(parsed.adaptive.is_empty());
+    // And the gate demands a refresh rather than comparing across
+    // versions.
+    let violations = gate(&report(), &parsed, &GateTolerances::default());
+    assert!(violations[0].contains("schema version mismatch"));
+}
+
+#[test]
+fn gate_fails_on_adaptive_regret_regression() {
+    let base = report();
+    // Adaptive pick got worse than baseline beyond tolerance.
+    let mut worse = report();
+    worse.adaptive[0].adaptive_regret = 1.8;
+    let violations = gate(&base, &worse, &GateTolerances::default());
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.contains("adaptive regret regressed")),
+        "{violations:?}"
+    );
+    // Adaptive worse than static within the current report is a
+    // violation even when baseline would allow the value.
+    let mut inverted = report();
+    inverted.adaptive[0].static_regret = 1.0;
+    inverted.adaptive[0].adaptive_regret = 1.09;
+    let tol = GateTolerances {
+        regret_frac: 10.0,
+        ..GateTolerances::default()
+    };
+    let violations = gate(&base, &inverted, &tol);
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.contains("adaptive regret exceeds static")),
+        "{violations:?}"
+    );
+    // A changed schedule demands a refresh.
+    let mut regrided = report();
+    regrided.adaptive[0].schedule = vec![20, 10, 2];
+    let violations = gate(&base, &regrided, &GateTolerances::default());
+    assert_eq!(violations.len(), 1);
+    assert!(violations[0].contains("refresh BENCH_baseline.json"));
 }
 
 #[test]

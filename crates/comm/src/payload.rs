@@ -105,6 +105,11 @@ impl<'a> WireReader<'a> {
         self.take(1)[0]
     }
 
+    /// Read a little-endian `u16` (compressed sparse-index paths).
+    pub fn u16(&mut self) -> u16 {
+        u16::from_le_bytes(self.take(2).try_into().unwrap())
+    }
+
     /// Read a little-endian `u32`.
     pub fn u32(&mut self) -> u32 {
         u32::from_le_bytes(self.take(4).try_into().unwrap())

@@ -23,13 +23,19 @@ pub enum Phase {
     OutsideComm,
     /// Application-level computation outside the distributed kernels.
     OutsideCompute,
+    /// Live re-planning traffic: moving iterates and R values between
+    /// algorithm families when an adaptive session migrates mid-run
+    /// (`dsk-core`'s `Session::replan`). Kept separate from
+    /// [`Phase::OutsideComm`] so benchmark breakdowns can show exactly
+    /// what a migration cost.
+    Migration,
     /// Anything not meant to be timed (data distribution, verification).
     /// This is the phase a fresh rank starts in.
     Setup,
 }
 
 /// Number of distinct [`Phase`] values (array-backed accounting).
-pub const N_PHASES: usize = 6;
+pub const N_PHASES: usize = 7;
 
 impl Phase {
     /// Dense index for array-backed per-phase counters.
@@ -41,7 +47,8 @@ impl Phase {
             Phase::Computation => 2,
             Phase::OutsideComm => 3,
             Phase::OutsideCompute => 4,
-            Phase::Setup => 5,
+            Phase::Migration => 5,
+            Phase::Setup => 6,
         }
     }
 
@@ -52,6 +59,7 @@ impl Phase {
         Phase::Computation,
         Phase::OutsideComm,
         Phase::OutsideCompute,
+        Phase::Migration,
         Phase::Setup,
     ];
 
@@ -63,6 +71,7 @@ impl Phase {
             Phase::Computation => "computation",
             Phase::OutsideComm => "outside-comm",
             Phase::OutsideCompute => "outside-compute",
+            Phase::Migration => "migration",
             Phase::Setup => "setup",
         }
     }
@@ -234,6 +243,7 @@ impl RankStats {
         self.phase(Phase::Replication).modeled_s
             + self.phase(Phase::Propagation).modeled_s
             + self.phase(Phase::OutsideComm).modeled_s
+            + self.phase(Phase::Migration).modeled_s
     }
 
     /// Modeled computation time.
@@ -298,11 +308,13 @@ impl AggregateStats {
     }
 
     /// Modeled communication time (replication + propagation +
-    /// outside-kernel communication), max-over-ranks per phase summed.
+    /// outside-kernel + migration communication), max-over-ranks per
+    /// phase summed.
     pub fn modeled_comm_s(&self) -> f64 {
         self.modeled_s(Phase::Replication)
             + self.modeled_s(Phase::Propagation)
             + self.modeled_s(Phase::OutsideComm)
+            + self.modeled_s(Phase::Migration)
     }
 
     /// Modeled computation time.
@@ -328,6 +340,7 @@ impl AggregateStats {
                 .max(self.modeled_s(Phase::Computation))
             + self.modeled_s(Phase::OutsideComm)
             + self.modeled_s(Phase::OutsideCompute)
+            + self.modeled_s(Phase::Migration)
     }
 
     /// Total words sent across ranks and non-setup phases.

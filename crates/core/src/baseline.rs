@@ -477,10 +477,9 @@ impl DistKernel for Baseline1D {
         }
     }
 
-    fn spmm_a_with(&mut self, y: &Mat) -> Mat {
-        let this = &*self;
-        let r = this.r_vals.as_deref().expect("no R values");
-        this.spmm_a_vals(&this.comm, y, Some(r))
+    fn spmm_a_with(&self, y: &Mat) -> Mat {
+        let r = self.r_vals.as_deref().expect("no R values");
+        self.spmm_a_vals(&self.comm, y, Some(r))
     }
 
     fn sq_loss_local(&self) -> f64 {
@@ -495,9 +494,14 @@ impl DistKernel for Baseline1D {
     }
 
     fn gather_r(&self, comm: &Comm) -> Option<CooMatrix> {
-        let r_vals = self.r_vals.as_ref().expect("no SDDMM result");
+        let local = self.export_r().expect("no SDDMM result");
+        crate::layout::gather_coo(comm, 0, local, self.dims.m, self.dims.n)
+    }
+
+    fn export_r(&self) -> Option<CooMatrix> {
+        let r_vals = self.r_vals.as_ref()?;
         let (m, n) = (self.dims.m, self.dims.n);
-        let my_start = block_range(m, self.p, comm.rank()).start;
+        let my_start = block_range(m, self.p, self.comm.rank()).start;
         let s = &self.plan_a.s_remapped;
         let indptr = s.indptr();
         let indices = s.indices();
@@ -508,7 +512,25 @@ impl DistKernel for Baseline1D {
                 local.push(my_start + i, j, r_vals[k]);
             }
         }
-        crate::layout::gather_coo(comm, 0, local, m, n)
+        Some(local)
+    }
+
+    fn import_r(&mut self, r: &CooMatrix) {
+        let map = crate::layout::triplet_map(r);
+        let my_start = block_range(self.dims.m, self.p, self.comm.rank()).start as u32;
+        let s = &self.plan_a.s_remapped;
+        let indptr = s.indptr();
+        let indices = s.indices();
+        let mut vals = vec![0.0; s.nnz()];
+        for i in 0..s.nrows() {
+            for k in indptr[i]..indptr[i + 1] {
+                let gj = self.plan_a.inv_col[indices[k] as usize];
+                vals[k] = *map
+                    .get(&(my_start + i as u32, gj))
+                    .expect("imported R misses a local pattern nonzero");
+            }
+        }
+        self.r_vals = Some(vals);
     }
 
     fn a_iterate(&self) -> Mat {

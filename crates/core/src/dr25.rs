@@ -471,7 +471,7 @@ impl DenseRepl25 {
 
     /// SpMMA using the stored R values against an explicit travel-layout
     /// operand (GAT: `S'·(H·W)`), returned in the fiber `A` layout.
-    pub fn spmm_a_with(&mut self, y: &Mat) -> Mat {
+    pub fn spmm_a_with(&self, y: &Mat) -> Mat {
         let vals = self.r_vals.clone().expect("no R values");
         let t_rows = block_range(self.dims.m, self.q(), self.gc.u).len();
         let t_out = self.spmm_out_round(&self.canon, vals, y, t_rows);
@@ -522,18 +522,31 @@ impl DenseRepl25 {
 
     /// Gather the SDDMM result to rank 0 in global coordinates.
     pub fn gather_r(&self, comm: &Comm) -> Option<CooMatrix> {
-        let r_vals = self.r_vals.as_ref().expect("no SDDMM result");
+        let local = self.export_r_local().expect("no SDDMM result");
+        crate::layout::gather_coo(comm, 0, local, self.dims.m, self.dims.n)
+    }
+
+    /// Global row/column offsets of the canonical home block.
+    fn home_offsets(&self) -> (usize, usize) {
         let (q, c) = (self.gc.grid.q, self.gc.grid.c);
         let (u, v, w) = (self.gc.u, self.gc.v, self.gc.w);
-        let (m, n) = (self.dims.m, self.dims.n);
         let sigma0 = (u + v) % q;
-        let row_start = block_range(m, q, u).start;
-        let col_start = block_range(n, q * c, sigma0 * c + w).start;
-        let mut local = CooMatrix::empty(m, n);
+        (
+            block_range(self.dims.m, q, u).start,
+            block_range(self.dims.n, q * c, sigma0 * c + w).start,
+        )
+    }
+
+    /// The local R values as global-coordinate triplets (`None` before
+    /// any SDDMM).
+    fn export_r_local(&self) -> Option<CooMatrix> {
+        let r_vals = self.r_vals.as_ref()?;
+        let (row_start, col_start) = self.home_offsets();
+        let mut local = CooMatrix::empty(self.dims.m, self.dims.n);
         for (k, (i, j, _)) in self.canon.s_home.iter().enumerate() {
             local.push(row_start + i, col_start + j, r_vals[k]);
         }
-        crate::layout::gather_coo(comm, 0, local, m, n)
+        Some(local)
     }
 }
 
@@ -586,7 +599,7 @@ impl DistKernel for DenseRepl25 {
         DenseRepl25::scale_r_rows(self, scale);
     }
 
-    fn spmm_a_with(&mut self, y: &Mat) -> Mat {
+    fn spmm_a_with(&self, y: &Mat) -> Mat {
         DenseRepl25::spmm_a_with(self, y)
     }
 
@@ -596,6 +609,25 @@ impl DistKernel for DenseRepl25 {
 
     fn gather_r(&self, comm: &Comm) -> Option<CooMatrix> {
         DenseRepl25::gather_r(self, comm)
+    }
+
+    fn export_r(&self) -> Option<CooMatrix> {
+        self.export_r_local()
+    }
+
+    fn import_r(&mut self, r: &CooMatrix) {
+        let map = crate::layout::triplet_map(r);
+        let (row_start, col_start) = self.home_offsets();
+        let vals: Vec<f64> = self
+            .canon
+            .s_home
+            .iter()
+            .map(|(i, j, _)| {
+                *map.get(&((row_start + i) as u32, (col_start + j) as u32))
+                    .expect("imported R misses a local pattern nonzero")
+            })
+            .collect();
+        self.r_vals = Some(vals);
     }
 
     fn a_iterate(&self) -> Mat {

@@ -463,7 +463,7 @@ impl DenseShift15 {
 
     /// SpMMA using the stored R values against an explicit `B`-layout
     /// operand (GAT: `S'·(H·W)`).
-    pub fn spmm_a_with(&mut self, y: &Mat) -> Mat {
+    pub fn spmm_a_with(&self, y: &Mat) -> Mat {
         let vals = self.current_vals(true);
         let t_buf = self.spmm_out_round(&self.s_blocks, &vals, y);
         self.reduce_to_block(self.dims.m, &t_buf)
@@ -487,7 +487,14 @@ impl DenseShift15 {
     /// Gather the distributed SDDMM result to communicator rank 0 in
     /// global coordinates (verification; statistics paused).
     pub fn gather_r(&self, comm: &Comm) -> Option<CooMatrix> {
-        let r_vals = self.r_vals.as_ref().expect("no SDDMM result");
+        let local = self.export_r_local().expect("no SDDMM result");
+        crate::layout::gather_coo(comm, 0, local, self.dims.m, self.dims.n)
+    }
+
+    /// The local R values as global-coordinate triplets (`None` before
+    /// any SDDMM).
+    fn export_r_local(&self) -> Option<CooMatrix> {
+        let r_vals = self.r_vals.as_ref()?;
         let (p, c, u, v) = (self.gc.grid.p, self.c(), self.gc.u, self.gc.v);
         let (m, n) = (self.dims.m, self.dims.n);
         let macro_start = union_range(m, p, u * c, c).start;
@@ -499,7 +506,7 @@ impl DenseShift15 {
                 local.push(macro_start + i, col_start + j, vals[k]);
             }
         }
-        crate::layout::gather_coo(comm, 0, local, m, n)
+        Some(local)
     }
 }
 
@@ -554,7 +561,7 @@ impl DistKernel for DenseShift15 {
         DenseShift15::scale_r_rows(self, scale);
     }
 
-    fn spmm_a_with(&mut self, y: &Mat) -> Mat {
+    fn spmm_a_with(&self, y: &Mat) -> Mat {
         DenseShift15::spmm_a_with(self, y)
     }
 
@@ -564,6 +571,31 @@ impl DistKernel for DenseShift15 {
 
     fn gather_r(&self, comm: &Comm) -> Option<CooMatrix> {
         DenseShift15::gather_r(self, comm)
+    }
+
+    fn export_r(&self) -> Option<CooMatrix> {
+        self.export_r_local()
+    }
+
+    fn import_r(&mut self, r: &CooMatrix) {
+        let map = crate::layout::triplet_map(r);
+        let (p, c, u, v) = (self.gc.grid.p, self.c(), self.gc.u, self.gc.v);
+        let (m, n) = (self.dims.m, self.dims.n);
+        let macro_start = union_range(m, p, u * c, c).start as u32;
+        let mut per_slot = Vec::with_capacity(self.s_blocks.len());
+        for (w, blk) in self.s_blocks.iter().enumerate() {
+            let col_start = block_range(n, p, w * c + v).start as u32;
+            let coo = blk.to_coo();
+            let mut vals = Vec::with_capacity(blk.nnz());
+            for (i, j, _) in coo.iter() {
+                vals.push(
+                    *map.get(&(macro_start + i as u32, col_start + j as u32))
+                        .expect("imported R misses a local pattern nonzero"),
+                );
+            }
+            per_slot.push(vals);
+        }
+        self.r_vals = Some(per_slot);
     }
 
     fn a_iterate(&self) -> Mat {

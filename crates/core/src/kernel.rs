@@ -26,6 +26,52 @@
 //! (`.family(f)`, `.replication(c)`) or automatically (`.auto()`, the
 //! default) from the paper's Table III/IV cost model in [`theory`],
 //! reproducing the Figure 6 phase-diagram decision at construction time.
+//!
+//! # R-value mutability contract
+//!
+//! Trait methods that only *read* the stored R values take `&self`
+//! ([`DistKernel::r_row_sums`], [`DistKernel::spmm_a_with`],
+//! [`DistKernel::sq_loss_local`], [`DistKernel::gather_r`],
+//! [`DistKernel::export_r`]); methods that *write* them take
+//! `&mut self` ([`DistKernel::sddmm`], [`DistKernel::sddmm_general`],
+//! [`DistKernel::map_r`], [`DistKernel::scale_r_rows`],
+//! [`DistKernel::import_r`]). Kernel executions that consume operands
+//! without touching R state also stay `&mut self` (they may reuse
+//! internal buffers). The trait holds this invariant uniformly so
+//! callers can share a worker immutably between R reads.
+//!
+//! # Runtime re-planning and live migration
+//!
+//! Construction is no longer the only decision point: a
+//! [`Session`](crate::session::Session) can re-run the planner against
+//! the *observed* problem (the nonzero count left after `map_r`
+//! pruning) and migrate live state to a better family mid-run. The
+//! migration state machine:
+//!
+//! ```text
+//!            KernelBuilder::plan            Session::replan(policy)
+//!   problem ───────────────────▶ RUNNING ◀───────────────────────┐
+//!   shape                          │  │                          │
+//!                        observe   │  │ predicted win            │ stay
+//!                        nnz(R≠0)  │  │ ≥ hysteresis             │ (win below
+//!                                  ▼  ▼                          │ threshold or
+//!                               OBSERVED ──────────────────────────┘ same plan)
+//!                                     │ migrate
+//!                                     ▼
+//!                 ┌─ export_r ─ a_iterate/b_iterate ─┐   (old worker)
+//!                 │   repartition_dense old → new    │   Phase::Migration
+//!                 └─ import_r ─ set_a/set_b ─────────┘   (new worker)
+//!                                     │
+//!                                     ▼
+//!                                  RUNNING   (new family, same iterates,
+//!                                             same R values, same loss)
+//! ```
+//!
+//! The moved state is exactly the application surface below: iterates
+//! travel through the [`DistKernel::a_iterate_layout_of`] /
+//! [`DistKernel::b_iterate_layout_of`] descriptors, and R values
+//! through the [`DistKernel::export_r`] / [`DistKernel::import_r`]
+//! pair in global coordinates, so no optimizer state is lost.
 
 use std::sync::Arc;
 
@@ -179,8 +225,9 @@ pub trait DistKernel: Send {
 
     /// SpMMA with the stored R values against an explicit `B`-iterate
     /// operand (the GAT convolution `α·(H·W)`), returned in the
-    /// [`DistKernel::spmm_a_with_layout_of`] layout.
-    fn spmm_a_with(&mut self, y: &Mat) -> Mat;
+    /// [`DistKernel::spmm_a_with_layout_of`] layout. Reads R only, so
+    /// it takes `&self` (see the module's mutability contract).
+    fn spmm_a_with(&self, y: &Mat) -> Mat;
 
     /// Local contribution to `‖S − R‖²` after a raw
     /// [`DistKernel::sddmm_general`] — the ALS squared loss. Summed
@@ -190,6 +237,26 @@ pub trait DistKernel: Send {
     /// Gather the stored R values to communicator rank 0 in global
     /// coordinates (verification; statistics paused).
     fn gather_r(&self, comm: &Comm) -> Option<CooMatrix>;
+
+    /// This rank's share of the stored R values as **global**-coordinate
+    /// triplets, or `None` when no SDDMM has populated them (no
+    /// communication). Kernels that replicate R across ranks export
+    /// from exactly one replica, so the union over all ranks covers
+    /// each stored nonzero exactly once — the contract live migration
+    /// ([`crate::session::Session::replan`]) relies on.
+    fn export_r(&self) -> Option<CooMatrix>;
+
+    /// Install R values from global-coordinate triplets covering this
+    /// rank's sparsity pattern — the inverse of [`DistKernel::export_r`]
+    /// after a cross-rank union (no communication; the caller moves the
+    /// triplets). Entries outside the local pattern are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a local pattern nonzero has no value in `r` — the
+    /// source and destination kernels were not built from the same
+    /// sparse matrix.
+    fn import_r(&mut self, r: &CooMatrix);
 
     /// The stored `A` operand in the iterate layout.
     fn a_iterate(&self) -> Mat;
@@ -362,6 +429,28 @@ impl<'a> KernelBuilder<'a> {
     /// sparse partition is computed once per world, not once per rank).
     pub fn from_staged(staged: &'a StagedProblem) -> KernelBuilder<'a> {
         KernelBuilder::with_source(Source::Borrowed(staged))
+    }
+
+    /// Build from owned shared staging (the adaptive-session path: the
+    /// session keeps the `Arc` so it can rebuild workers for other
+    /// families when it migrates mid-run).
+    pub fn from_staged_arc(staged: Arc<StagedProblem>) -> KernelBuilder<'static> {
+        KernelBuilder::with_source(Source::Owned(staged))
+    }
+
+    /// The owned staging behind this builder, when it owns one (`None`
+    /// for borrowed staging and planning-only shapes).
+    pub fn staged_arc(&self) -> Option<Arc<StagedProblem>> {
+        match &self.source {
+            Source::Owned(s) => Some(Arc::clone(s)),
+            _ => None,
+        }
+    }
+
+    /// The pinned machine model, when one was set via
+    /// [`KernelBuilder::model`].
+    pub fn pinned_model(&self) -> Option<MachineModel> {
+        self.model
     }
 
     /// A planning-only builder for a problem *shape* — nothing is

@@ -134,6 +134,18 @@ pub fn gather_coo(
     Some(out)
 }
 
+/// Hash lookup from global `(row, col)` coordinates to value over a
+/// triplet set — the receive side of R-value migration
+/// (`DistKernel::import_r` implementations index the globally gathered
+/// export through this).
+pub fn triplet_map(coo: &CooMatrix) -> std::collections::HashMap<(u32, u32), f64> {
+    let mut map = std::collections::HashMap::with_capacity(coo.nnz());
+    for ((&i, &j), &v) in coo.rows.iter().zip(&coo.cols).zip(&coo.vals) {
+        map.insert((i, j), v);
+    }
+    map
+}
+
 /// Redistribute a dense matrix from one layout family to another:
 /// every rank hands `local` (in `src_of(rank)` layout) and receives its
 /// share under `dst_of(rank)`. Cost is charged to the caller's current

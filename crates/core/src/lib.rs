@@ -73,6 +73,7 @@ pub mod ds15;
 pub mod global;
 pub mod kernel;
 pub mod layout;
+pub mod session;
 pub mod sr25;
 pub mod ss15;
 pub mod staged;
@@ -82,5 +83,6 @@ pub mod worker;
 pub use common::{AlgorithmFamily, Elision, ProblemDims, Sampling};
 pub use global::GlobalProblem;
 pub use kernel::{CombineSpec, DistKernel, KernelBuilder, KernelId, KernelPlan};
+pub use session::{ReplanEvent, ReplanPolicy, Session, SessionBuilder};
 pub use staged::StagedProblem;
 pub use worker::DistWorker;

@@ -1,0 +1,658 @@
+//! Adaptive sessions: the stateful application surface over the
+//! distributed kernels, with runtime re-planning and live migration.
+//!
+//! [`KernelBuilder`] makes the Figure 6 decision *once*, at
+//! construction. But the paper's central result — the best
+//! (algorithm, replication) choice depends on the problem shape and
+//! density — keeps applying while an iterative application runs:
+//! ALS-style workloads prune, so their effective φ = nnz/(n·r) shrinks,
+//! and the plan that was right at iteration 0 can be badly wrong at
+//! iteration 50. A [`Session`] makes the decision *continuous*:
+//!
+//! * it owns the [`DistWorker`] plus the shared staging
+//!   ([`StagedProblem`]) needed to build a replacement worker for any
+//!   other family;
+//! * it accumulates observations as the application runs — the fused-
+//!   call cadence ([`Session::calls`]), the per-phase counters of its
+//!   communicator ([`Session::stats`]), and the post-pruning nonzero
+//!   count of the stored R values;
+//! * [`Session::replan`] re-runs [`KernelBuilder::plan_candidates`]
+//!   against the **observed** problem and, when the predicted win
+//!   clears the [`ReplanPolicy::hysteresis`] threshold, **migrates**
+//!   live A/B iterates (via the kernels' iterate-layout descriptors and
+//!   [`crate::layout::repartition_dense`]) and R values (via
+//!   [`export_r`](crate::kernel::DistKernel::export_r) /
+//!   [`import_r`](crate::kernel::DistKernel::import_r)) to the new
+//!   family — no optimizer state is lost, and the squared loss is
+//!   identical before and after.
+//!
+//! Explicit migration traffic is charged to [`Phase::Migration`], so
+//! benchmark breakdowns show exactly what a migration cost; the
+//! installed iterates additionally pay each kernel's usual
+//! `set_a`/`set_b` distribution shift (charged to
+//! [`Phase::OutsideComm`], as always). Every [`Session::replan`] call —
+//! migrating or not — is appended to the [`ReplanEvent`] log.
+//!
+//! The applications in `dsk-apps` (`AppEngine`, `AlsSolver`,
+//! `GatEngine`) are all thin layers over a `Session`; construction goes
+//! through [`Session::builder`], which replaces the four overlapping
+//! constructors each engine used to carry.
+
+use std::sync::Arc;
+
+use dsk_comm::{Comm, MachineModel, Phase, RankStats};
+use dsk_dense::Mat;
+use dsk_sparse::CooMatrix;
+
+use crate::common::{AlgorithmFamily, Elision, Sampling};
+use crate::global::GlobalProblem;
+use crate::kernel::{CombineSpec, KernelBuilder, KernelId, KernelPlan};
+use crate::layout::repartition_dense;
+use crate::staged::StagedProblem;
+use crate::theory::{self, Algorithm};
+use crate::worker::DistWorker;
+
+/// When and how eagerly [`Session::replan`] migrates.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplanPolicy {
+    /// Minimum modeled speedup (current predicted per-call seconds ÷
+    /// best candidate's) required before migrating. Values above 1
+    /// damp oscillation between families whose predictions are close —
+    /// a migration moves real data, so a 2% paper win is not worth it.
+    pub hysteresis: f64,
+    /// R values with `|v| ≤ prune_epsilon` count as pruned when the
+    /// session measures the observed nonzero count. Zero (the default)
+    /// counts exact zeros only — the value `map_r`-style pruning
+    /// writes.
+    pub prune_epsilon: f64,
+    /// Replication-factor cap for the re-planning search (the paper's
+    /// memory-limit bound).
+    pub c_max: usize,
+}
+
+impl Default for ReplanPolicy {
+    fn default() -> Self {
+        ReplanPolicy {
+            hysteresis: 1.15,
+            prune_epsilon: 0.0,
+            c_max: 16,
+        }
+    }
+}
+
+/// One entry of the session's re-planning log: what was observed, what
+/// the planner predicted, and whether the session migrated.
+#[derive(Debug, Clone)]
+pub struct ReplanEvent {
+    /// Fused-call count when the replan ran (the iteration cadence).
+    pub at_call: u64,
+    /// Observed nonzero count the planner scored against (post-pruning
+    /// count of stored R values, or the staged nnz before any SDDMM).
+    pub observed_nnz: usize,
+    /// Observed density φ = observed_nnz / (n·r).
+    pub observed_phi: f64,
+    /// The plan in force when the replan ran.
+    pub from: KernelPlan,
+    /// The plan in force afterwards (`== from` when the session
+    /// stayed).
+    pub to: KernelPlan,
+    /// Modeled per-call seconds of the current plan at the observed
+    /// problem (`None` when the current kernel is the unmodeled 1D
+    /// baseline, which any family is predicted to beat).
+    pub predicted_from_s: Option<f64>,
+    /// Modeled per-call seconds of the best candidate at the observed
+    /// problem.
+    pub predicted_to_s: f64,
+    /// Whether live state moved to a different (family, c) kernel.
+    pub migrated: bool,
+}
+
+impl ReplanEvent {
+    /// Modeled per-call seconds saved by the decision (0 when the
+    /// session stayed; `None` when the old plan is unmodeled).
+    pub fn predicted_saving_s(&self) -> Option<f64> {
+        if !self.migrated {
+            return Some(0.0);
+        }
+        self.predicted_from_s.map(|f| f - self.predicted_to_s)
+    }
+}
+
+/// Configures and builds a [`Session`] — the single construction path
+/// for every application engine.
+///
+/// ```ignore
+/// // Fully automatic (the planner picks family, c, elision):
+/// let session = Session::builder(&prob).build(comm);
+/// // Pinned, with an explicit fused-call elision:
+/// let session = Session::builder(&prob)
+///     .family(AlgorithmFamily::SparseShift15)
+///     .replication(4)
+///     .elision(Elision::ReplicationReuse)
+///     .build(comm);
+/// ```
+pub struct SessionBuilder {
+    staged: Arc<StagedProblem>,
+    builder: KernelBuilder<'static>,
+    elision: Option<Elision>,
+    c_max: usize,
+}
+
+impl SessionBuilder {
+    fn new(staged: Arc<StagedProblem>) -> Self {
+        let builder = KernelBuilder::from_staged_arc(Arc::clone(&staged));
+        SessionBuilder {
+            staged,
+            builder,
+            elision: None,
+            c_max: 16,
+        }
+    }
+
+    /// Let the planner pick family, replication factor, and elision
+    /// (the default).
+    pub fn auto(mut self) -> Self {
+        self.builder = self.builder.auto();
+        self
+    }
+
+    /// Pin the algorithm family.
+    pub fn family(mut self, family: AlgorithmFamily) -> Self {
+        self.builder = self.builder.family(family);
+        self
+    }
+
+    /// Pin family and plan elision at once.
+    pub fn algorithm(mut self, alg: Algorithm) -> Self {
+        self.builder = self.builder.algorithm(alg);
+        self
+    }
+
+    /// Build on the PETSc-like 1D baseline instead of a 2D/3D family.
+    pub fn baseline(mut self) -> Self {
+        self.builder = self.builder.baseline();
+        self
+    }
+
+    /// Pin the replication factor `c`.
+    pub fn replication(mut self, c: usize) -> Self {
+        self.builder = self.builder.replication(c);
+        self
+    }
+
+    /// Cap the planner's replication-factor search (construction and
+    /// replans; default 16).
+    pub fn max_replication(mut self, c_max: usize) -> Self {
+        self.c_max = c_max;
+        self.builder = self.builder.max_replication(c_max);
+        self
+    }
+
+    /// The elision strategy the session uses for fused calls,
+    /// overriding the plan's recommendation. Must be supported by the
+    /// built kernel.
+    pub fn elision(mut self, elision: Elision) -> Self {
+        self.elision = Some(elision);
+        self
+    }
+
+    /// Pin the machine model used for planning and re-planning (the
+    /// communicator's own model otherwise).
+    pub fn model(mut self, model: MachineModel) -> Self {
+        self.builder = self.builder.model(model);
+        self
+    }
+
+    /// Build this rank's session. Must be called by every rank of the
+    /// communicator (the plan is deterministic, so all ranks agree
+    /// without communication).
+    pub fn build(self, comm: &Comm) -> Session {
+        let model = self.builder.pinned_model().unwrap_or(*comm.model());
+        let worker = self.builder.build(comm);
+        let elision = self.elision.unwrap_or(worker.plan().elision);
+        assert!(
+            worker.supports(elision),
+            "{:?} does not support {elision:?}",
+            worker.id()
+        );
+        Session {
+            comm: comm.dup(),
+            staged: self.staged,
+            worker,
+            elision,
+            model,
+            c_max: self.c_max,
+            calls: 0,
+            replan_log: Vec::new(),
+        }
+    }
+}
+
+/// A stateful, re-plannable application session over one distributed
+/// problem (one per rank). See the module docs for the full story.
+pub struct Session {
+    comm: Comm,
+    staged: Arc<StagedProblem>,
+    worker: DistWorker,
+    elision: Elision,
+    model: MachineModel,
+    c_max: usize,
+    calls: u64,
+    replan_log: Vec<ReplanEvent>,
+}
+
+impl Session {
+    /// Configure a session from a borrowed global problem (staged
+    /// ephemerally).
+    pub fn builder(prob: &GlobalProblem) -> SessionBuilder {
+        SessionBuilder::new(Arc::new(StagedProblem::ephemeral(prob)))
+    }
+
+    /// Configure a session from a shared global problem.
+    pub fn builder_arc(prob: Arc<GlobalProblem>) -> SessionBuilder {
+        SessionBuilder::new(Arc::new(StagedProblem::new(prob)))
+    }
+
+    /// Configure a session from shared staging (the benchmark path:
+    /// one sparse partition per world, shared by every rank).
+    pub fn builder_staged(staged: Arc<StagedProblem>) -> SessionBuilder {
+        SessionBuilder::new(staged)
+    }
+
+    // ------------------------------------------------------------------
+    // State access
+    // ------------------------------------------------------------------
+
+    /// The session's communicator (duplicated at build; owned).
+    pub fn comm(&self) -> &Comm {
+        &self.comm
+    }
+
+    /// The current worker.
+    pub fn worker(&self) -> &DistWorker {
+        &self.worker
+    }
+
+    /// The current worker, mutably.
+    pub fn worker_mut(&mut self) -> &mut DistWorker {
+        &mut self.worker
+    }
+
+    /// The plan currently in force (changes when a replan migrates).
+    pub fn plan(&self) -> KernelPlan {
+        self.worker.plan()
+    }
+
+    /// The elision strategy used for fused calls.
+    pub fn elision(&self) -> Elision {
+        self.elision
+    }
+
+    /// Fused calls issued so far (the iteration cadence the replan log
+    /// is stamped with).
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    /// Every [`Session::replan`] decision so far, in order.
+    pub fn replan_log(&self) -> &[ReplanEvent] {
+        &self.replan_log
+    }
+
+    /// Replan events that actually migrated.
+    pub fn migrations(&self) -> usize {
+        self.replan_log.iter().filter(|e| e.migrated).count()
+    }
+
+    /// Snapshot of this rank's per-phase counters (includes
+    /// [`Phase::Migration`] traffic from any migrations so far).
+    pub fn stats(&self) -> RankStats {
+        self.comm.stats_snapshot()
+    }
+
+    // ------------------------------------------------------------------
+    // Kernel surface (counted)
+    // ------------------------------------------------------------------
+
+    /// FusedMMA with the session's elision; counts one call.
+    pub fn fused_mm_a(&mut self, x: Option<&Mat>, sampling: Sampling) -> Mat {
+        self.calls += 1;
+        self.worker.fused_mm_a(x, self.elision, sampling)
+    }
+
+    /// FusedMMB with the session's elision; counts one call.
+    pub fn fused_mm_b(&mut self, y: Option<&Mat>, sampling: Sampling) -> Mat {
+        self.calls += 1;
+        self.worker.fused_mm_b(y, self.elision, sampling)
+    }
+
+    /// The stored `A` operand in the iterate layout.
+    pub fn a_iterate(&self) -> Mat {
+        self.worker.a_iterate()
+    }
+
+    /// The stored `B` operand in the iterate layout.
+    pub fn b_iterate(&self) -> Mat {
+        self.worker.b_iterate()
+    }
+
+    /// Commit an `A`-iterate as the stored operand.
+    pub fn commit_a(&mut self, x: &Mat) {
+        self.worker.set_a(&self.comm, x);
+    }
+
+    /// Commit a `B`-iterate as the stored operand.
+    pub fn commit_b(&mut self, y: &Mat) {
+        self.worker.set_b(&self.comm, y);
+    }
+
+    /// ALS right-hand side for the `A` phase, in the `A`-iterate
+    /// layout.
+    pub fn rhs_a(&mut self) -> Mat {
+        self.worker.rhs_a(&self.comm)
+    }
+
+    /// ALS right-hand side for the `B` phase.
+    pub fn rhs_b(&mut self) -> Mat {
+        self.worker.rhs_b(&self.comm)
+    }
+
+    /// Generalized SDDMM into the stored R values.
+    pub fn sddmm_general(&mut self, combine: &CombineSpec) {
+        self.worker.sddmm_general(combine);
+    }
+
+    /// Map every stored R value in place (pruning writes zeros here —
+    /// the observation [`Session::replan`] scores against).
+    pub fn map_r(&mut self, f: &mut dyn FnMut(f64) -> f64) {
+        self.worker.map_r(f);
+    }
+
+    /// Row sums of the stored R values, reduced over the sharing ranks.
+    pub fn r_row_sums(&self, phase: Phase) -> Vec<f64> {
+        self.worker.r_row_sums(&self.comm, phase)
+    }
+
+    /// Scale each stored R row.
+    pub fn scale_r_rows(&mut self, scale: &[f64]) {
+        self.worker.scale_r_rows(scale);
+    }
+
+    /// SpMMA with the stored R values against an explicit operand.
+    pub fn spmm_a_with(&self, y: &Mat) -> Mat {
+        self.worker.spmm_a_with(y)
+    }
+
+    /// ALS squared loss `‖C̃ − mask(A·Bᵀ)‖²` over the observed entries
+    /// (one generalized SDDMM plus a scalar all-reduce).
+    pub fn loss(&mut self) -> f64 {
+        self.worker.sddmm_general(&CombineSpec::Dot);
+        self.stored_loss()
+    }
+
+    /// The squared loss of the *currently stored* R values, without
+    /// recomputing the SDDMM — the quantity that must be identical
+    /// across a migration (loss continuity).
+    pub fn stored_loss(&self) -> f64 {
+        let local = self.worker.sq_loss_local();
+        let _ph = self.comm.phase(Phase::OutsideComm);
+        self.comm.allreduce_scalar(local)
+    }
+
+    // ------------------------------------------------------------------
+    // Re-planning and migration
+    // ------------------------------------------------------------------
+
+    /// The globally observed nonzero count: stored R values above the
+    /// pruning threshold (each nonzero counted once across ranks), or
+    /// the staged nnz when no SDDMM has run yet. Charged to
+    /// [`Phase::Migration`] (one scalar all-reduce).
+    pub fn observed_nnz(&self, policy: &ReplanPolicy) -> usize {
+        match self.worker.export_r() {
+            None => self.staged.prob.nnz(),
+            Some(local) => {
+                let mine = local
+                    .vals
+                    .iter()
+                    .filter(|v| v.abs() > policy.prune_epsilon)
+                    .count();
+                let _ph = self.comm.phase(Phase::Migration);
+                self.comm.allreduce_scalar(mine as f64).round() as usize
+            }
+        }
+    }
+
+    /// Re-run the planner against the observed problem and migrate when
+    /// the predicted win clears `policy.hysteresis`. Collective: every
+    /// rank must call with the same policy (decisions are deterministic,
+    /// so all ranks agree). Returns (and logs) the decision.
+    pub fn replan(&mut self, policy: &ReplanPolicy) -> ReplanEvent {
+        let p = self.comm.size();
+        let dims = self.worker.dims();
+        let observed_nnz = self.observed_nnz(policy);
+        let candidates = KernelBuilder::for_shape(dims, observed_nnz)
+            .model(self.model)
+            .max_replication(policy.c_max.min(self.c_max))
+            .plan_candidates(p);
+        assert!(!candidates.is_empty(), "no admissible replan candidate");
+        let best = candidates[0];
+        let from = self.worker.plan();
+        let predicted_from_s = from.algorithm().map(|alg| {
+            theory::predicted_comm_time(&self.model, alg, p, from.c, dims, observed_nnz)
+                + theory::predicted_comp_time(&self.model, p, dims, observed_nnz)
+        });
+        let predicted_to_s = best.predicted_total_s();
+        let same_kernel = from.id == KernelId::Family(best.algorithm.family) && from.c == best.c;
+        let win = predicted_from_s.map_or(f64::INFINITY, |f| f / predicted_to_s);
+        let migrate = !same_kernel && win >= policy.hysteresis;
+        let to = if migrate {
+            let plan = KernelPlan {
+                id: KernelId::Family(best.algorithm.family),
+                c: best.c,
+                elision: best.algorithm.elision,
+                predicted_comm_s: Some(best.predicted_comm_s),
+            };
+            self.migrate_to(&plan);
+            plan
+        } else if same_kernel && from.elision != best.algorithm.elision {
+            // Same kernel, better elision: retune without moving data.
+            self.elision = best.algorithm.elision;
+            KernelPlan {
+                elision: best.algorithm.elision,
+                ..from
+            }
+        } else {
+            from
+        };
+        let event = ReplanEvent {
+            at_call: self.calls,
+            observed_nnz,
+            observed_phi: dims.phi(observed_nnz),
+            from,
+            to,
+            predicted_from_s,
+            predicted_to_s,
+            migrated: migrate,
+        };
+        self.replan_log.push(event.clone());
+        event
+    }
+
+    /// Explicitly migrate to `algorithm` at replication factor `c` —
+    /// the mechanism [`Session::replan`] drives, exposed for tests and
+    /// for applications that schedule migrations themselves.
+    /// Collective; preserves iterates, R values, and loss.
+    pub fn migrate(&mut self, algorithm: Algorithm, c: usize) {
+        let from = self.worker.plan();
+        let plan = KernelPlan {
+            id: KernelId::Family(algorithm.family),
+            c,
+            elision: algorithm.elision,
+            predicted_comm_s: None,
+        };
+        // Observe before moving state so the logged event carries the
+        // same post-pruning nonzero count a replan would have seen.
+        let observed_nnz = self.observed_nnz(&ReplanPolicy::default());
+        self.migrate_to(&plan);
+        let dims = self.worker.dims();
+        self.replan_log.push(ReplanEvent {
+            at_call: self.calls,
+            observed_nnz,
+            observed_phi: dims.phi(observed_nnz),
+            from,
+            to: plan,
+            predicted_from_s: None,
+            predicted_to_s: 0.0,
+            migrated: true,
+        });
+    }
+
+    /// Build the new worker and move live state across. The explicit
+    /// migration traffic (iterate layout conversion, R redistribution)
+    /// is charged to [`Phase::Migration`]; installing the iterates
+    /// additionally pays the new kernel's usual `set_a`/`set_b`
+    /// distribution shift under [`Phase::OutsideComm`].
+    ///
+    /// The R redistribution is an allgather of global-coordinate
+    /// triplets — `O(p·nnz)` words total, honestly charged, and simple
+    /// enough to be obviously correct for every kernel pair. An
+    /// owner-targeted alltoallv (routing each triplet only to the ranks
+    /// whose destination pattern contains it) would cut this to
+    /// `O(nnz)`; see the ROADMAP open item before migrating at high
+    /// frequency or paper scale.
+    fn migrate_to(&mut self, plan: &KernelPlan) {
+        let mut new_worker = KernelBuilder::from_staged(&self.staged)
+            .model(self.model)
+            .build_planned(&self.comm, plan);
+        let exported = self.worker.export_r();
+        let (a_new, b_new) = {
+            let _ph = self.comm.phase(Phase::Migration);
+            let old = self.worker.kernel();
+            let new = new_worker.kernel();
+            let a = old.a_iterate();
+            let b = old.b_iterate();
+            let a_new = repartition_dense(
+                &self.comm,
+                &a,
+                |g| old.a_iterate_layout_of(g),
+                |g| new.a_iterate_layout_of(g),
+            );
+            let b_new = repartition_dense(
+                &self.comm,
+                &b,
+                |g| old.b_iterate_layout_of(g),
+                |g| new.b_iterate_layout_of(g),
+            );
+            (a_new, b_new)
+        };
+        new_worker.set_a(&self.comm, &a_new);
+        new_worker.set_b(&self.comm, &b_new);
+        if let Some(local) = exported {
+            let _ph = self.comm.phase(Phase::Migration);
+            let parts = self.comm.allgather(local);
+            let (m, n) = (self.worker.dims().m, self.worker.dims().n);
+            let mut global = CooMatrix::empty(m, n);
+            for part in parts {
+                global.rows.extend_from_slice(&part.rows);
+                global.cols.extend_from_slice(&part.cols);
+                global.vals.extend_from_slice(&part.vals);
+            }
+            new_worker.import_r(&global);
+        }
+        self.worker = new_worker;
+        // The fused-call elision must remain valid on the new kernel;
+        // fall back to the plan's recommendation when it is not.
+        if !self.worker.supports(self.elision) {
+            self.elision = plan.elision;
+        } else if self.elision != plan.elision && self.worker.supports(plan.elision) {
+            // Prefer the planner's recommendation after a migration —
+            // the old override was tuned for the old family.
+            self.elision = plan.elision;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsk_comm::SimWorld;
+
+    fn world(p: usize) -> SimWorld {
+        SimWorld::new(p, MachineModel::bandwidth_only())
+    }
+
+    #[test]
+    fn session_builds_and_counts_fused_calls() {
+        let prob = Arc::new(GlobalProblem::erdos_renyi(24, 24, 6, 3, 7001));
+        let out = world(8).run(move |comm| {
+            let mut s = Session::builder_arc(Arc::clone(&prob))
+                .family(AlgorithmFamily::DenseShift15)
+                .replication(2)
+                .build(comm);
+            let _ = s.fused_mm_b(None, Sampling::Values);
+            let _ = s.fused_mm_a(None, Sampling::Ones);
+            s.calls()
+        });
+        assert!(out.iter().all(|o| o.value == 2));
+    }
+
+    #[test]
+    fn observed_nnz_tracks_pruning() {
+        let prob = Arc::new(GlobalProblem::erdos_renyi(24, 24, 6, 3, 7002));
+        let nnz = prob.nnz();
+        let out = world(8).run(move |comm| {
+            let mut s = Session::builder_arc(Arc::clone(&prob))
+                .family(AlgorithmFamily::SparseShift15)
+                .replication(2)
+                .build(comm);
+            let policy = ReplanPolicy::default();
+            let before_sddmm = s.observed_nnz(&policy);
+            s.worker_mut().sddmm();
+            let full = s.observed_nnz(&policy);
+            s.map_r(&mut |_| 0.0);
+            let pruned = s.observed_nnz(&policy);
+            (before_sddmm, full, pruned)
+        });
+        for o in &out {
+            assert_eq!(o.value.0, nnz, "no R yet: staged nnz");
+            assert_eq!(o.value.1, nnz, "dense SDDMM keeps every nonzero");
+            assert_eq!(o.value.2, 0, "all-pruned R observes zero");
+        }
+    }
+
+    #[test]
+    fn replan_stays_within_hysteresis() {
+        // A freshly auto-planned session is already optimal for its
+        // observed problem: replanning must be a no-op.
+        let prob = Arc::new(GlobalProblem::erdos_renyi(32, 32, 8, 4, 7003));
+        let out = world(8).run(move |comm| {
+            let mut s = Session::builder_arc(Arc::clone(&prob)).build(comm);
+            let ev = s.replan(&ReplanPolicy::default());
+            (ev.migrated, ev.from.id == ev.to.id, s.migrations())
+        });
+        for o in &out {
+            assert!(!o.value.0, "fresh auto plan must not migrate");
+            assert!(o.value.1);
+            assert_eq!(o.value.2, 0);
+        }
+    }
+
+    #[test]
+    fn migration_charges_the_migration_phase() {
+        let prob = Arc::new(GlobalProblem::erdos_renyi(24, 24, 6, 3, 7004));
+        let out = world(8).run(move |comm| {
+            let mut s = Session::builder_arc(Arc::clone(&prob))
+                .family(AlgorithmFamily::DenseShift15)
+                .replication(2)
+                .build(comm);
+            s.worker_mut().sddmm();
+            s.migrate(
+                Algorithm::new(AlgorithmFamily::SparseShift15, Elision::ReplicationReuse),
+                2,
+            );
+            s.stats().phase(Phase::Migration).words_sent
+        });
+        let total: u64 = out.iter().map(|o| o.value).sum();
+        assert!(total > 0, "migration must move words in its own phase");
+    }
+}

@@ -412,7 +412,7 @@ impl SparseRepl25 {
 
     /// SpMMA using the stored R values against an explicit `B`-layout
     /// operand (GAT), returned in the `A` panel layout.
-    pub fn spmm_a_with(&mut self, y: &Mat) -> Mat {
+    pub fn spmm_a_with(&self, y: &Mat) -> Mat {
         let vals = self.r_vals.clone().expect("no R values");
         self.spmm_a_round(&vals, y)
     }
@@ -443,7 +443,15 @@ impl SparseRepl25 {
     /// Gather the SDDMM result to rank 0 in global coordinates (layer 0
     /// contributes; values are replicated across layers).
     pub fn gather_r(&self, comm: &Comm) -> Option<CooMatrix> {
-        let r_vals = self.r_vals.as_ref().expect("no SDDMM result");
+        let local = self.export_r_local().expect("no SDDMM result");
+        crate::layout::gather_coo(comm, 0, local, self.dims.m, self.dims.n)
+    }
+
+    /// The local R values as global-coordinate triplets: R is replicated
+    /// along the fiber, so only layer 0 exports (others contribute an
+    /// empty set) and the cross-rank union covers each nonzero once.
+    fn export_r_local(&self) -> Option<CooMatrix> {
+        let r_vals = self.r_vals.as_ref()?;
         let (q, u, v, w) = (self.gc.grid.q, self.gc.u, self.gc.v, self.gc.w);
         let (m, n) = (self.dims.m, self.dims.n);
         let mut local = CooMatrix::empty(m, n);
@@ -455,7 +463,7 @@ impl SparseRepl25 {
                 local.push(row_start + i, col_start + j, r_vals[k]);
             }
         }
-        crate::layout::gather_coo(comm, 0, local, m, n)
+        Some(local)
     }
 }
 
@@ -508,7 +516,7 @@ impl DistKernel for SparseRepl25 {
         SparseRepl25::scale_r_rows(self, scale);
     }
 
-    fn spmm_a_with(&mut self, y: &Mat) -> Mat {
+    fn spmm_a_with(&self, y: &Mat) -> Mat {
         SparseRepl25::spmm_a_with(self, y)
     }
 
@@ -518,6 +526,28 @@ impl DistKernel for SparseRepl25 {
 
     fn gather_r(&self, comm: &Comm) -> Option<CooMatrix> {
         SparseRepl25::gather_r(self, comm)
+    }
+
+    fn export_r(&self) -> Option<CooMatrix> {
+        self.export_r_local()
+    }
+
+    fn import_r(&mut self, r: &CooMatrix) {
+        // Every layer installs the full value set, restoring the
+        // replicated-R invariant.
+        let map = crate::layout::triplet_map(r);
+        let (q, u, v) = (self.gc.grid.q, self.gc.u, self.gc.v);
+        let row_start = block_range(self.dims.m, q, u).start as u32;
+        let col_start = block_range(self.dims.n, q, v).start as u32;
+        let coo = self.s_pattern.to_coo();
+        let vals: Vec<f64> = coo
+            .iter()
+            .map(|(i, j, _)| {
+                *map.get(&(row_start + i as u32, col_start + j as u32))
+                    .expect("imported R misses a local pattern nonzero")
+            })
+            .collect();
+        self.r_vals = Some(vals);
     }
 
     fn a_iterate(&self) -> Mat {

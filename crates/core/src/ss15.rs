@@ -439,7 +439,7 @@ impl SparseShift15 {
     /// operand: accumulates the full `m × slice` panel locally, then
     /// reduce-scatters along the fiber into the replicate `A` layout
     /// (GAT's convolution step).
-    pub fn spmm_a_from_r(&mut self, y: Option<&Mat>) -> Mat {
+    pub fn spmm_a_from_r(&self, y: Option<&Mat>) -> Mat {
         let y_stat: Vec<Mat> = match y {
             Some(st) => self.split_stationary(self.dims.n, st),
             None => self.b_stat.clone(),
@@ -517,7 +517,14 @@ impl SparseShift15 {
 
     /// Gather the SDDMM result to rank 0 in global coordinates.
     pub fn gather_r(&self, comm: &Comm) -> Option<CooMatrix> {
-        let r_vals = self.r_vals.as_ref().expect("no SDDMM result");
+        let local = self.export_r_local().expect("no SDDMM result");
+        crate::layout::gather_coo(comm, 0, local, self.dims.m, self.dims.n)
+    }
+
+    /// The local R values as global-coordinate triplets (`None` before
+    /// any SDDMM).
+    fn export_r_local(&self) -> Option<CooMatrix> {
+        let r_vals = self.r_vals.as_ref()?;
         let (p, c, u, v) = (self.gc.grid.p, self.gc.grid.c, self.gc.u, self.gc.v);
         let (m, n) = (self.dims.m, self.dims.n);
         let col_start = block_range(n, p, u * c + v).start;
@@ -525,7 +532,7 @@ impl SparseShift15 {
         for (k, (i, j, _)) in self.s_home.iter().enumerate() {
             local.push(i, col_start + j, r_vals[k]);
         }
-        crate::layout::gather_coo(comm, 0, local, m, n)
+        Some(local)
     }
 }
 
@@ -583,7 +590,7 @@ impl DistKernel for SparseShift15 {
         SparseShift15::scale_r_rows(self, scale);
     }
 
-    fn spmm_a_with(&mut self, y: &Mat) -> Mat {
+    fn spmm_a_with(&self, y: &Mat) -> Mat {
         self.spmm_a_from_r(Some(y))
     }
 
@@ -593,6 +600,25 @@ impl DistKernel for SparseShift15 {
 
     fn gather_r(&self, comm: &Comm) -> Option<CooMatrix> {
         SparseShift15::gather_r(self, comm)
+    }
+
+    fn export_r(&self) -> Option<CooMatrix> {
+        self.export_r_local()
+    }
+
+    fn import_r(&mut self, r: &CooMatrix) {
+        let map = crate::layout::triplet_map(r);
+        let (p, c, u, v) = (self.gc.grid.p, self.gc.grid.c, self.gc.u, self.gc.v);
+        let col_start = block_range(self.dims.n, p, u * c + v).start as u32;
+        let vals: Vec<f64> = self
+            .s_home
+            .iter()
+            .map(|(i, j, _)| {
+                *map.get(&(i as u32, col_start + j as u32))
+                    .expect("imported R misses a local pattern nonzero")
+            })
+            .collect();
+        self.r_vals = Some(vals);
     }
 
     fn a_iterate(&self) -> Mat {

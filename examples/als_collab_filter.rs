@@ -13,6 +13,7 @@ use std::sync::Arc;
 
 use distributed_sparse_kernels::apps::{run_als, AlsConfig, AppEngine};
 use distributed_sparse_kernels::comm::{AggregateStats, MachineModel, Phase, SimWorld};
+use distributed_sparse_kernels::core::session::Session;
 use distributed_sparse_kernels::core::{AlgorithmFamily, Elision, GlobalProblem, StagedProblem};
 use distributed_sparse_kernels::dense::ops::row_dot;
 use distributed_sparse_kernels::dense::Mat;
@@ -51,7 +52,13 @@ fn main() {
         let staged = Arc::new(StagedProblem::new(Arc::clone(&prob)));
         let world = SimWorld::new(16, MachineModel::cori_knl());
         let outcomes = world.run(move |comm| {
-            let mut engine = AppEngine::from_staged(comm, family, c, elision, &staged);
+            let mut engine = AppEngine::new(
+                Session::builder_staged(Arc::clone(&staged))
+                    .family(family)
+                    .replication(c)
+                    .elision(elision)
+                    .build(comm),
+            );
             run_als(
                 &mut engine,
                 &AlsConfig {

@@ -9,6 +9,7 @@ use std::sync::Arc;
 
 use distributed_sparse_kernels::apps::{gat::gat_forward_reference, GatConfig, GatEngine, GatHead};
 use distributed_sparse_kernels::comm::{AggregateStats, MachineModel, Phase, SimWorld};
+use distributed_sparse_kernels::core::session::Session;
 use distributed_sparse_kernels::core::{AlgorithmFamily, GlobalProblem, StagedProblem};
 use distributed_sparse_kernels::dense::Mat;
 use distributed_sparse_kernels::sparse::gen::{rmat, RmatParams};
@@ -47,7 +48,12 @@ fn main() {
         let heads = heads.clone();
         let world = SimWorld::new(16, MachineModel::cori_knl());
         let outcomes = world.run(move |comm| {
-            let mut engine = GatEngine::from_staged(comm, family, c, &staged);
+            let mut engine = GatEngine::new(
+                Session::builder_staged(Arc::clone(&staged))
+                    .family(family)
+                    .replication(c)
+                    .build(comm),
+            );
             let out = engine.forward(&heads, &cfg);
             let sq: f64 = out.as_slice().iter().map(|v| v * v).sum();
             comm.allreduce_scalar(sq)

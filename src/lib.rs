@@ -58,6 +58,7 @@ pub mod prelude {
     pub use dsk_core::kernel::{
         CombineSpec, DistKernel, KernelBuilder, KernelId, KernelPlan, PlannedCandidate,
     };
+    pub use dsk_core::session::{ReplanEvent, ReplanPolicy, Session, SessionBuilder};
     pub use dsk_core::staged::StagedProblem;
     pub use dsk_core::theory::Algorithm;
     pub use dsk_core::worker::DistWorker;

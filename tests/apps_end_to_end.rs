@@ -8,6 +8,7 @@ use distributed_sparse_kernels::apps::{
     gat::gat_forward_reference, run_als, AlsConfig, AppEngine, GatConfig, GatEngine, GatHead,
 };
 use distributed_sparse_kernels::comm::{MachineModel, SimWorld};
+use distributed_sparse_kernels::core::session::Session;
 use distributed_sparse_kernels::core::{AlgorithmFamily, Elision, GlobalProblem};
 use distributed_sparse_kernels::dense::ops::row_dot;
 use distributed_sparse_kernels::dense::Mat;
@@ -40,7 +41,13 @@ fn als_final_loss_is_family_independent() {
         let pr = Arc::clone(&prob);
         let world = SimWorld::new(8, MachineModel::cori_knl());
         let out = world.run(move |comm| {
-            let mut eng = AppEngine::new(comm, family, c, elision, &pr);
+            let mut eng = AppEngine::new(
+                Session::builder(&pr)
+                    .family(family)
+                    .replication(c)
+                    .elision(elision)
+                    .build(comm),
+            );
             run_als(
                 &mut eng,
                 &AlsConfig {
@@ -89,7 +96,12 @@ fn gat_norm_is_family_independent_and_matches_reference() {
         let hh = heads.clone();
         let world = SimWorld::new(8, MachineModel::cori_knl());
         let out = world.run(move |comm| {
-            let mut eng = GatEngine::new(comm, family, c, &pr);
+            let mut eng = GatEngine::new(
+                Session::builder(&pr)
+                    .family(family)
+                    .replication(c)
+                    .build(comm),
+            );
             let local = eng.forward(&hh, &cfg);
             local.as_slice().iter().map(|v| v * v).sum::<f64>()
         });
@@ -112,11 +124,11 @@ fn als_improves_monotonically_across_sweeps() {
         let world = SimWorld::new(4, MachineModel::cori_knl());
         let out = world.run(move |comm| {
             let mut eng = AppEngine::new(
-                comm,
-                AlgorithmFamily::DenseShift15,
-                2,
-                Elision::ReplicationReuse,
-                &pr,
+                Session::builder(&pr)
+                    .family(AlgorithmFamily::DenseShift15)
+                    .replication(2)
+                    .elision(Elision::ReplicationReuse)
+                    .build(comm),
             );
             run_als(
                 &mut eng,

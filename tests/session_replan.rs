@@ -1,0 +1,194 @@
+//! Integration: adaptive sessions re-plan against the *observed*
+//! problem and migrate live state across algorithm families mid-run
+//! with exact loss continuity — the acceptance contract of the
+//! runtime-re-planning API.
+
+use std::sync::Arc;
+
+use distributed_sparse_kernels::apps::{AlsConfig, AlsSolver, AppEngine};
+use distributed_sparse_kernels::comm::{MachineModel, Phase, SimWorld};
+use distributed_sparse_kernels::core::session::{ReplanPolicy, Session};
+use distributed_sparse_kernels::core::{AlgorithmFamily, Elision, GlobalProblem};
+use distributed_sparse_kernels::dense::ops::row_dot;
+use distributed_sparse_kernels::dense::Mat;
+use distributed_sparse_kernels::sparse::gen;
+
+fn completion_problem(n: usize, r: usize, nnz_per_row: usize, seed: u64) -> GlobalProblem {
+    let a_true = Mat::random(n, r, seed);
+    let b_true = Mat::random(n, r, seed + 1);
+    let mut s = gen::erdos_renyi(n, n, nnz_per_row, seed + 2);
+    s.vals = s
+        .iter()
+        .map(|(i, j, _)| row_dot(&a_true, i, &b_true, j))
+        .collect();
+    GlobalProblem::new(s, Mat::random(n, r, seed + 3), Mat::random(n, r, seed + 4))
+}
+
+/// Aggressive pruning collapses the observed φ across the Figure 6
+/// phase boundary: a dense-shifting session must migrate to a sparse
+/// family, carrying iterates and R values across with an identical
+/// stored loss.
+#[test]
+fn pruning_triggers_cross_family_migration_with_loss_continuity() {
+    // φ = 16/8 = 2.0 — squarely on the dense-shifting side.
+    let prob = Arc::new(GlobalProblem::erdos_renyi(64, 64, 8, 16, 8001));
+    let world = SimWorld::new(8, MachineModel::bandwidth_only());
+    let out = world.run(move |comm| {
+        let mut s = Session::builder_arc(Arc::clone(&prob))
+            .family(AlgorithmFamily::DenseShift15)
+            .replication(2)
+            .build(comm);
+        s.worker_mut().sddmm();
+        // The application prunes everything below a huge threshold —
+        // the observed nonzero count collapses to (near) zero, so the
+        // effective φ crosses the Fig. 6 boundary.
+        s.map_r(&mut |v| if v.abs() < 1e9 { 0.0 } else { v });
+        let loss_before = s.stored_loss();
+        let a_before = s.a_iterate();
+        let policy = ReplanPolicy {
+            hysteresis: 1.05,
+            ..ReplanPolicy::default()
+        };
+        let ev = s.replan(&policy);
+        let loss_after = s.stored_loss();
+        // The session keeps running on the new family.
+        let fused = s.fused_mm_b(None, distributed_sparse_kernels::core::Sampling::Values);
+        let finite = fused.as_slice().iter().all(|v| v.is_finite());
+        let migration_words = s.stats().phase(Phase::Migration).words_sent;
+        (
+            ev,
+            loss_before,
+            loss_after,
+            a_before.as_slice().iter().map(|v| v * v).sum::<f64>(),
+            s.a_iterate().as_slice().iter().map(|v| v * v).sum::<f64>(),
+            finite,
+            migration_words,
+        )
+    });
+    for o in &out {
+        let (ev, before, after, _, _, finite, _) = &o.value;
+        assert!(ev.migrated, "pruning must trigger a migration: {ev:?}");
+        assert_ne!(ev.from.id, ev.to.id, "must move to a different family");
+        assert_eq!(
+            ev.from.id.family(),
+            Some(AlgorithmFamily::DenseShift15),
+            "source plan"
+        );
+        assert!(
+            matches!(
+                ev.to.id.family(),
+                Some(AlgorithmFamily::SparseShift15) | Some(AlgorithmFamily::SparseRepl25)
+            ),
+            "observed φ ≈ 0 must land on a sparse family, got {:?}",
+            ev.to.id
+        );
+        assert!(ev.observed_nnz == 0, "all values pruned");
+        assert!(
+            (before - after).abs() <= 1e-9 * before.abs().max(1.0),
+            "loss discontinuity across migration: {before} vs {after}"
+        );
+        assert!(finite, "post-migration fused call must run");
+    }
+    // Iterate content is preserved (sum of squares is layout-invariant
+    // across the migration's repartition).
+    let before: f64 = out.iter().map(|o| o.value.3).sum();
+    let after: f64 = out.iter().map(|o| o.value.4).sum();
+    assert!(
+        (before - after).abs() <= 1e-9 * before.max(1.0),
+        "iterate norm changed across migration: {before} vs {after}"
+    );
+    // The migration must have moved real words in its own phase.
+    let words: u64 = out.iter().map(|o| o.value.6).sum();
+    assert!(words > 0, "migration traffic must be charged to its phase");
+}
+
+/// Mid-run migration must not perturb the optimization: ALS run
+/// entirely on 1.5D dense shifting and ALS that migrates to a sparse
+/// family between sweeps converge to the same loss.
+#[test]
+fn als_with_midrun_migration_matches_static_run() {
+    let prob = Arc::new(completion_problem(32, 4, 6, 8002));
+    let cfg = AlsConfig {
+        lambda: 0.02,
+        cg_iters: 5,
+        sweeps: 1,
+        track_loss: false,
+    };
+
+    // Reference: two static sweeps on ds15.
+    let pr = Arc::clone(&prob);
+    let cfg2 = cfg;
+    let world = SimWorld::new(8, MachineModel::bandwidth_only());
+    let reference = world.run(move |comm| {
+        let mut eng = AppEngine::new(
+            Session::builder_arc(Arc::clone(&pr))
+                .family(AlgorithmFamily::DenseShift15)
+                .replication(2)
+                .elision(Elision::ReplicationReuse)
+                .build(comm),
+        );
+        let solver = AlsSolver::new(cfg2);
+        solver.solve(&mut eng);
+        solver.solve(&mut eng);
+        eng.loss()
+    })[0]
+        .value;
+
+    // Adaptive: one sweep, aggressive pruning + replan (migrates), one
+    // more sweep on the new family.
+    let world = SimWorld::new(8, MachineModel::bandwidth_only());
+    let out = world.run(move |comm| {
+        let mut eng = AppEngine::new(
+            Session::builder_arc(Arc::clone(&prob))
+                .family(AlgorithmFamily::DenseShift15)
+                .replication(2)
+                .elision(Elision::ReplicationReuse)
+                .build(comm),
+        );
+        let solver = AlsSolver::new(cfg);
+        solver.solve(&mut eng);
+        // Observe, prune, replan: the observed φ collapse forces a
+        // cross-family migration of the live factors.
+        eng.session_mut().loss();
+        eng.session_mut().map_r(&mut |_| 0.0);
+        let ev = eng.replan(&ReplanPolicy {
+            hysteresis: 1.0,
+            ..ReplanPolicy::default()
+        });
+        solver.solve(&mut eng);
+        (ev.migrated, eng.session().migrations(), eng.loss())
+    });
+    for o in &out {
+        assert!(o.value.0, "replan must migrate after total pruning");
+        assert_eq!(o.value.1, 1);
+        assert!(
+            (o.value.2 - reference).abs() <= 1e-6 * reference.max(1e-9),
+            "adaptive ALS diverged from static run: {} vs {reference}",
+            o.value.2
+        );
+    }
+}
+
+/// The replan log records non-migrating decisions too, and a fresh
+/// auto-planned session never migrates away from its own optimum.
+#[test]
+fn replan_log_records_stay_decisions() {
+    let prob = Arc::new(GlobalProblem::erdos_renyi(32, 32, 8, 4, 8003));
+    let world = SimWorld::new(8, MachineModel::bandwidth_only());
+    let out = world.run(move |comm| {
+        let mut s = Session::builder_arc(Arc::clone(&prob)).build(comm);
+        let e1 = s.replan(&ReplanPolicy::default());
+        let e2 = s.replan(&ReplanPolicy::default());
+        (
+            e1.migrated,
+            e2.migrated,
+            s.replan_log().len(),
+            s.migrations(),
+        )
+    });
+    for o in &out {
+        assert!(!o.value.0 && !o.value.1);
+        assert_eq!(o.value.2, 2, "every decision is logged");
+        assert_eq!(o.value.3, 0);
+    }
+}

@@ -236,6 +236,118 @@ fn iterate_layouts_tile_and_roundtrip() {
     }
 }
 
+/// Live-migration round trip: build each of the five kernels, run one
+/// fused iteration plus an SDDMM, then migrate the session to every
+/// other admissible family — iterates, R values, and the squared loss
+/// must survive identically (tolerance only for the float dust of a
+/// different summation order), under all three communication backends.
+///
+/// This is the contract adaptive sessions rest on: a migration may
+/// change the *distribution* of the application state, never its
+/// *value*.
+#[test]
+fn migration_round_trips_state_across_all_kernels_and_backends() {
+    use distributed_sparse_kernels::core::layout::gather_dense;
+    use distributed_sparse_kernels::core::session::Session;
+    use distributed_sparse_kernels::core::theory::Algorithm;
+
+    let (m, n, r) = (24usize, 24usize, 6usize);
+    let prob = Arc::new(GlobalProblem::erdos_renyi(m, n, r, 3, 4006));
+    let sources: Vec<(&'static str, Option<AlgorithmFamily>)> = vec![
+        ("1.5D dense shift", Some(AlgorithmFamily::DenseShift15)),
+        ("1.5D sparse shift", Some(AlgorithmFamily::SparseShift15)),
+        ("2.5D dense repl", Some(AlgorithmFamily::DenseRepl25)),
+        ("2.5D sparse repl", Some(AlgorithmFamily::SparseRepl25)),
+        ("1D baseline", None),
+    ];
+    let target_alg = |family: AlgorithmFamily| match family {
+        AlgorithmFamily::SparseRepl25 => Algorithm::new(family, Elision::None),
+        _ => Algorithm::new(family, Elision::ReplicationReuse),
+    };
+    // All three backends: delay injection changes timing, not
+    // semantics, but migration is all-to-all heavy — exactly the
+    // traffic the wire paths must encode and delay correctly.
+    let backends = [
+        BackendKind::InProc,
+        BackendKind::Wire,
+        BackendKind::WireDelay,
+    ];
+    for backend in backends {
+        for (src_name, src_family) in &sources {
+            for dst in AlgorithmFamily::ALL {
+                if *src_family == Some(dst) {
+                    continue;
+                }
+                let pr = Arc::clone(&prob);
+                let src_family = *src_family;
+                // cori-like constants keep the wire-delay injected
+                // sleeps at µs scale.
+                let world = SimWorld::new(P, MachineModel::cori_knl()).backend(backend);
+                let out = world.run(move |comm| {
+                    let builder = Session::builder_arc(Arc::clone(&pr));
+                    let builder = match src_family {
+                        Some(f) => builder.family(f).replication(2),
+                        None => builder.baseline(),
+                    };
+                    let mut s = builder.build(comm);
+                    // One fused iteration, then a known R state.
+                    let _ = s.fused_mm_b(None, Sampling::Values);
+                    s.worker_mut().sddmm();
+
+                    let snapshot = |s: &Session, comm: &Comm| {
+                        let k = s.worker().kernel();
+                        let a = gather_dense(
+                            comm,
+                            0,
+                            &s.a_iterate(),
+                            |g| k.a_iterate_layout_of(g),
+                            m,
+                            r,
+                        );
+                        let b = gather_dense(
+                            comm,
+                            0,
+                            &s.b_iterate(),
+                            |g| k.b_iterate_layout_of(g),
+                            n,
+                            r,
+                        );
+                        let rr = k.gather_r(comm).map(|c| c.to_dense());
+                        (a, b, rr, s.stored_loss())
+                    };
+                    let before = snapshot(&s, comm);
+                    s.migrate(target_alg(dst), 2);
+                    assert_eq!(s.worker().family(), Some(dst));
+                    let after = snapshot(&s, comm);
+                    (before, after)
+                });
+                let (before, after) = &out[0].value;
+                let close = |x: &Option<distributed_sparse_kernels::dense::Mat>,
+                             y: &Option<distributed_sparse_kernels::dense::Mat>|
+                 -> f64 {
+                    distributed_sparse_kernels::dense::ops::max_abs_diff(
+                        x.as_ref().unwrap(),
+                        y.as_ref().unwrap(),
+                    )
+                };
+                let ctx = format!("{src_name} → {dst:?} on {}", backend.label());
+                assert!(close(&before.0, &after.0) < 1e-12, "{ctx}: A iterate moved");
+                assert!(close(&before.1, &after.1) < 1e-12, "{ctx}: B iterate moved");
+                let (r_before, r_after) = (before.2.as_ref().unwrap(), after.2.as_ref().unwrap());
+                for (x, y) in r_before.iter().zip(r_after) {
+                    assert!((x - y).abs() < 1e-12, "{ctx}: R values moved");
+                }
+                assert!(
+                    (before.3 - after.3).abs() <= 1e-9 * before.3.abs().max(1.0),
+                    "{ctx}: loss discontinuity {} vs {}",
+                    before.3,
+                    after.3
+                );
+            }
+        }
+    }
+}
+
 /// The declared elision support must match what `fused_mm_b` accepts.
 #[test]
 fn supports_reflects_fused_behavior() {
