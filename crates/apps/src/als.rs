@@ -67,6 +67,30 @@ pub struct AlsReport {
     pub replans: Vec<ReplanEvent>,
 }
 
+// Reports cross process boundaries under the socket backend.
+impl dsk_comm::Payload for AlsReport {
+    fn words(&self) -> usize {
+        2 + self.phase_residuals.len() + dsk_core::wire::events_words(&self.replans)
+    }
+}
+
+impl dsk_comm::WirePayload for AlsReport {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.initial_loss.encode(buf);
+        self.final_loss.encode(buf);
+        self.phase_residuals.encode(buf);
+        dsk_core::wire::encode_events(&self.replans, buf);
+    }
+    fn decode(r: &mut dsk_comm::WireReader<'_>) -> Self {
+        AlsReport {
+            initial_loss: Option::<f64>::decode(r),
+            final_loss: Option::<f64>::decode(r),
+            phase_residuals: Vec::<f64>::decode(r),
+            replans: dsk_core::wire::decode_events(r),
+        }
+    }
+}
+
 /// Which factor a CG phase solves for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Side {

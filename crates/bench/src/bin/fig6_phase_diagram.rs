@@ -23,8 +23,19 @@
 //! everywhere, so regret stays near 1.
 //!
 //! ```text
-//! fig6_phase_diagram [--smoke | --quick] [--out BENCH_fig6_regret.json]
+//! fig6_phase_diagram [--smoke | --quick] [--socket] [--out BENCH_fig6_regret.json]
 //! ```
+//!
+//! `--socket` adds a third per-point leg on `BackendKind::Socket`: the
+//! same candidates, with every rank a separate OS process exchanging
+//! frames over real Unix-domain sockets. Its `wall_s` is finally a
+//! *real* wall clock over a real transport (the wall-clock planner
+//! validation the ROADMAP asked for), its `wire_bytes` are bytes
+//! genuinely written to sockets (frame headers included), and the
+//! in-sweep assertion checks that its modeled-from-counts regret is
+//! byte-identical to the in-process legs. Socket wall time is never
+//! gated (machine-dependent), and a `--socket` report must not be
+//! `bench_gate`d against a socket-free baseline (the grids differ).
 //!
 //! The run always writes a versioned `BENCH_*.json` report
 //! (`dsk_bench::json::BenchReport`); CI runs `--smoke` and gates the
@@ -47,8 +58,17 @@ const C_MAX: usize = 16;
 const CALLS: usize = 1;
 const SEED: u64 = 4242;
 
-/// The two backends every grid point is measured under.
+/// The backends every grid point is measured under (`--socket` appends
+/// the multi-process socket leg).
 const BACKENDS: [BackendKind; 2] = [BackendKind::InProc, BackendKind::WireDelay];
+
+fn backends() -> Vec<BackendKind> {
+    let mut kinds = BACKENDS.to_vec();
+    if std::env::args().any(|a| a == "--socket") {
+        kinds.push(BackendKind::Socket);
+    }
+    kinds
+}
 
 fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -59,6 +79,7 @@ fn arg_value(name: &str) -> Option<String> {
 
 fn main() {
     let scale = SweepScale::from_args();
+    let backends = backends();
     let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_fig6_regret.json".to_string());
     let model = MachineModel::cori_knl();
     let grid = fig6_regret_grid(scale);
@@ -84,7 +105,7 @@ fn main() {
             assert!(!candidates.is_empty(), "no admissible candidate at p={p}");
             predicted[yi][xi] = glyph(candidates[0].algorithm.family);
 
-            let per_backend: Vec<BenchPoint> = BACKENDS
+            let per_backend: Vec<BenchPoint> = backends
                 .iter()
                 .map(|&backend| sweep_point(&staged, model, p, backend, &candidates, r, nnz_row))
                 .collect();
@@ -126,7 +147,11 @@ fn main() {
         points,
         adaptive,
     };
-    std::fs::write(&out_path, report.to_json()).expect("cannot write BENCH report");
+    // Socket worker processes re-execute this whole main; only the
+    // launcher writes the report (workers' stdout is already dropped).
+    if !dsk_comm::launch::is_worker_process() {
+        std::fs::write(&out_path, report.to_json()).expect("cannot write BENCH report");
+    }
 
     print_figure(&grid, &predicted, &observed);
     for line in summary_lines(&report) {

@@ -974,7 +974,16 @@ pub fn gate(baseline: &BenchReport, current: &BenchReport, tol: &GateTolerances)
 /// bytes) — the single formatting used by both the sweep's stdout and
 /// the gate's, so the two printouts cannot drift apart.
 pub fn summary_lines(report: &BenchReport) -> Vec<String> {
-    let mut lines: Vec<String> = ["inproc", "wire-delay"]
+    // Summarize whatever backends the report carries, in first-seen
+    // order (inproc and wire-delay always; socket when the sweep ran
+    // its multi-process leg).
+    let mut backends: Vec<String> = Vec::new();
+    for pt in &report.points {
+        if !backends.contains(&pt.backend) {
+            backends.push(pt.backend.clone());
+        }
+    }
+    let mut lines: Vec<String> = backends
         .iter()
         .map(|backend| {
             let (agree, total) = report.agreement(backend);

@@ -91,6 +91,14 @@ pub trait CommBackend: Send + Sync {
     /// The world asserts this is zero after a run — a leaked message is
     /// a protocol bug.
     fn pending_messages(&self) -> usize;
+
+    /// Per-message framing bytes this transport adds on top of the
+    /// encoded payload (zero for in-memory backends; the socket backend
+    /// reports its frame-header size so `wire_bytes_sent` equals bytes
+    /// actually written to the socket).
+    fn frame_overhead(&self) -> u64 {
+        0
+    }
 }
 
 /// The typed zero-copy in-process backend (the default).
@@ -240,6 +248,11 @@ pub enum BackendKind {
     /// Serialized wire buffers plus injected α-β delays from the
     /// world's machine model, so measured time tracks modeled time.
     WireDelay,
+    /// Real OS transport: every rank is a separate process and every
+    /// message crosses a Unix-domain socket (TCP via `DSK_SOCKET_ADDR`)
+    /// as a length-prefixed frame. `SimWorld::run` becomes a process
+    /// launcher under this kind — see [`crate::launch`].
+    Socket,
 }
 
 /// Environment variable consulted by [`BackendKind::from_env`]:
@@ -262,9 +275,10 @@ impl BackendKind {
                 "" | "inproc" => BackendKind::InProc,
                 "wire" => BackendKind::Wire,
                 "wire-delay" => BackendKind::WireDelay,
+                "socket" => BackendKind::Socket,
                 other => panic!(
                     "{BACKEND_ENV_VAR}={other:?} is not a backend \
-                     (expected inproc | wire | wire-delay)"
+                     (expected inproc | wire | wire-delay | socket)"
                 ),
             },
         }
@@ -276,6 +290,7 @@ impl BackendKind {
             BackendKind::InProc => "inproc",
             BackendKind::Wire => "wire",
             BackendKind::WireDelay => "wire-delay",
+            BackendKind::Socket => "socket",
         }
     }
 
@@ -283,6 +298,19 @@ impl BackendKind {
     /// injection changes timing, not semantics, so it is not part of
     /// the conformance axis).
     pub const CONFORMANCE: [BackendKind; 2] = [BackendKind::InProc, BackendKind::Wire];
+
+    /// The conformance axis plus the environment-selected backend when
+    /// it is not already covered — how a `DSK_COMM_BACKEND=socket` (or
+    /// `wire-delay`) CI leg pulls the full conformance and collectives
+    /// suites onto that transport without slowing the default run.
+    pub fn conformance_with_env() -> Vec<BackendKind> {
+        let mut kinds = Self::CONFORMANCE.to_vec();
+        let env = Self::from_env();
+        if !kinds.contains(&env) {
+            kinds.push(env);
+        }
+        kinds
+    }
 
     /// Instantiate the backend for a world (crate-internal; consumers
     /// go through [`SimWorld::backend`](crate::SimWorld::backend)).
@@ -296,6 +324,12 @@ impl BackendKind {
             BackendKind::InProc => InProcBackend::new(nranks, recv_timeout),
             BackendKind::Wire => WireBackend::new(nranks, recv_timeout),
             BackendKind::WireDelay => WireBackend::with_delay(nranks, recv_timeout, model),
+            // The socket backend needs a live process mesh, not just a
+            // mailbox: SimWorld::run routes to crate::launch before
+            // reaching this factory.
+            BackendKind::Socket => {
+                unreachable!("socket worlds are launched by crate::launch, not built in-place")
+            }
         }
     }
 }

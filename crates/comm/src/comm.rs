@@ -49,6 +49,9 @@ pub struct Comm {
     backend: Arc<dyn CommBackend>,
     /// Cached `backend.serializes()` — consulted on every message.
     wire: bool,
+    /// Cached `backend.frame_overhead()` — per-message transport bytes
+    /// beyond the encoded payload (socket frame headers).
+    frame_overhead: u64,
     model: MachineModel,
     shared: Arc<RankShared>,
     /// Global (world) ranks of the members, indexed by communicator rank.
@@ -74,9 +77,11 @@ impl Comm {
     ) -> Self {
         let n = backend.nranks();
         let wire = backend.serializes();
+        let frame_overhead = backend.frame_overhead();
         Comm {
             backend,
             wire,
+            frame_overhead,
             model,
             shared,
             members: Arc::new((0..n).collect()),
@@ -208,13 +213,21 @@ impl Comm {
     }
 
     /// Hand `value` to the backend in the representation it requires,
-    /// returning the encoded byte count (zero on the typed path).
+    /// returning the transmitted byte count — encoded payload plus the
+    /// transport's per-message framing — or zero on the typed path.
+    /// Self-delivery transmits nothing (every backend short-circuits it
+    /// into the local mailbox), so it counts zero: `wire_bytes_sent`
+    /// stays equal to bytes a transport genuinely carried.
     fn post_to<T: WirePayload>(&self, dst: usize, tag: u32, value: T) -> u64 {
         let key = (self.my_global_rank(), self.context, tag);
         let dst_global = self.members[dst];
         if self.wire {
             let buf = value.to_wire();
-            let bytes = buf.len() as u64;
+            let bytes = if dst_global == self.my_global_rank() {
+                0
+            } else {
+                buf.len() as u64 + self.frame_overhead
+            };
             self.backend.post(dst_global, key, Parcel::Bytes(buf));
             bytes
         } else {
@@ -322,6 +335,7 @@ impl Comm {
         Comm {
             backend: Arc::clone(&self.backend),
             wire: self.wire,
+            frame_overhead: self.frame_overhead,
             model: self.model,
             shared: Arc::clone(&self.shared),
             members: Arc::new(members),

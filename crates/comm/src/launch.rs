@@ -1,0 +1,854 @@
+//! The process launcher: how a [`SimWorld`] with
+//! [`BackendKind::Socket`](crate::BackendKind) turns ranks into real OS
+//! processes.
+//!
+//! # The SPMD re-exec model
+//!
+//! A socket world cannot hand a Rust closure to another process, so the
+//! launcher re-runs the *program*: rank 0 (the launcher — the process
+//! the user started) spawns the current executable once per additional
+//! rank, with `DSK_RANK`, `DSK_SPAWN_EPOCH`, and `DSK_RENDEZVOUS` in
+//! the environment. Inside a `cargo test` binary the child re-runs
+//! exactly the current test (libtest names each test's thread after the
+//! test, so the launcher passes `<name> --exact --test-threads=1`);
+//! plain binaries (examples, benches) are re-run with their original
+//! arguments. Every process therefore executes the *same deterministic
+//! program*, and each `SimWorld::run` call on a socket backend is one
+//! **epoch** of that program:
+//!
+//! * the launcher and all pool processes count socket-backed `run`
+//!   calls on their test thread; the counter is the epoch id;
+//! * a child joins live epochs at `DSK_SPAWN_EPOCH` and replays any
+//!   earlier socket epochs on the in-process backend (word accounting
+//!   is backend-invariant, so the replay reproduces the same values);
+//! * at each epoch the processes rendezvous — every member binds a
+//!   listener (`<base>/r<rank>.sock`, or TCP ports from
+//!   `DSK_SOCKET_ADDR`), connects to all lower ranks, and validates a
+//!   [`Hello`] (rank, world size, epoch) on every connection, so
+//!   diverged or stale processes fail loudly instead of corrupting the
+//!   mesh;
+//! * after the closure, ranks run the drain protocol (`Bye` to every
+//!   peer, wait for every peer's `Bye`, then assert an empty mailbox),
+//!   members send their encoded value + [`RankStats`] to rank 0, and
+//!   rank 0 broadcasts the full outcome set — **every process returns
+//!   the identical `Vec<RankOutcome<T>>`**, keeping the SPMD program in
+//!   lockstep for the next epoch. This is why socket worlds require
+//!   `T: WirePayload`: results genuinely cross process boundaries.
+//!
+//! Pool processes whose rank is not a member of the current world
+//! (worlds may shrink between epochs) join as *observers*: they skip
+//! the closure and only await the outcome broadcast.
+//!
+//! # Failure containment
+//!
+//! A child that panics reports the message in an `Error` frame and
+//! exits non-zero; the launcher re-panics as `rank N panicked: …`,
+//! matching the in-process backend's diagnostics. A child that dies
+//! silently triggers mailbox poison at every peer (milliseconds, not
+//! the 300 s watchdog). If the launcher itself fails mid-epoch, an
+//! epoch guard kills the whole pool before the panic propagates — no
+//! orphaned processes — and children additionally poll their parent pid
+//! while waiting. On success, children simply finish their copy of the
+//! program and exit 0; a reaper thread collects them.
+//!
+//! [`Hello`]: crate::frame::Hello
+
+use std::cell::{Cell, RefCell};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::backend::CommBackend;
+use crate::comm::{Comm, RankShared};
+use crate::frame::{read_frame, write_frame, Frame, FrameKind, Hello};
+use crate::payload::{WirePayload, WireReader};
+use crate::socket::{connect_deadline, Endpoint, SocketBackend, SocketListener, SocketStream};
+use crate::stats::RankStats;
+use crate::world::{RankOutcome, SimWorld};
+use crate::BackendKind;
+
+/// Rank of a spawned worker process.
+pub const RANK_ENV_VAR: &str = "DSK_RANK";
+/// First epoch a spawned worker joins live (earlier socket epochs
+/// replay in-process).
+pub const SPAWN_EPOCH_ENV_VAR: &str = "DSK_SPAWN_EPOCH";
+/// Rendezvous base: a directory for Unix-domain sockets.
+pub const RENDEZVOUS_ENV_VAR: &str = "DSK_RENDEZVOUS";
+/// Test name the pool serves (workers ignore socket worlds on other
+/// threads).
+pub const TEST_NAME_ENV_VAR: &str = "DSK_TEST_NAME";
+/// Optional `ip:base_port` switching the rendezvous to TCP: rank `r`
+/// listens on `base_port + r`. This is the multi-host hook — with a
+/// shared address every host can run its own ranks manually.
+pub const SOCKET_ADDR_ENV_VAR: &str = "DSK_SOCKET_ADDR";
+
+/// How long ranks wait for the per-epoch rendezvous (covers child boot
+/// plus replay of earlier epochs).
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(120);
+/// Slack added to the receive watchdog for post-closure control waits.
+const CONTROL_SLACK: Duration = Duration::from_secs(10);
+
+// ---------------------------------------------------------------------
+// Role detection
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct ChildInfo {
+    rank: usize,
+    spawn_epoch: u64,
+    base: String,
+    test_name: Option<String>,
+    initial_ppid: u32,
+}
+
+#[derive(Debug, Clone)]
+enum Role {
+    Launcher,
+    Child(ChildInfo),
+}
+
+fn role() -> &'static Role {
+    static ROLE: OnceLock<Role> = OnceLock::new();
+    ROLE.get_or_init(|| match std::env::var(RANK_ENV_VAR) {
+        Err(_) => Role::Launcher,
+        Ok(r) => Role::Child(ChildInfo {
+            rank: r.parse().expect("DSK_RANK must be a rank number"),
+            spawn_epoch: std::env::var(SPAWN_EPOCH_ENV_VAR)
+                .expect("DSK_SPAWN_EPOCH missing")
+                .parse()
+                .expect("DSK_SPAWN_EPOCH must be an epoch number"),
+            base: std::env::var(RENDEZVOUS_ENV_VAR).expect("DSK_RENDEZVOUS missing"),
+            test_name: std::env::var(TEST_NAME_ENV_VAR).ok(),
+            initial_ppid: std::os::unix::process::parent_id(),
+        }),
+    })
+}
+
+/// Whether this process is a spawned socket worker (a `DSK_RANK` child)
+/// rather than the process the user started. Benchmark mains use this
+/// to skip report writing in workers.
+pub fn is_worker_process() -> bool {
+    matches!(role(), Role::Child(_))
+}
+
+fn parent_died(info: &ChildInfo) -> Option<String> {
+    let now = std::os::unix::process::parent_id();
+    (now != info.initial_ppid).then(|| {
+        format!(
+            "rank {}: launcher process exited (ppid {} → {})",
+            info.rank, info.initial_ppid, now
+        )
+    })
+}
+
+// ---------------------------------------------------------------------
+// Endpoints
+// ---------------------------------------------------------------------
+
+fn endpoint_for(base: &str, rank: usize) -> Endpoint {
+    match std::env::var(SOCKET_ADDR_ENV_VAR) {
+        Ok(addr) => {
+            let (host, port) = addr
+                .rsplit_once(':')
+                .expect("DSK_SOCKET_ADDR must be ip:base_port");
+            let port: u16 = port.parse().expect("DSK_SOCKET_ADDR port");
+            Endpoint::Tcp(
+                format!("{host}:{}", port + rank as u16)
+                    .parse()
+                    .expect("DSK_SOCKET_ADDR address"),
+            )
+        }
+        Err(_) => Endpoint::Unix(PathBuf::from(base).join(format!("r{rank}.sock"))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-thread epoch counter and pools
+// ---------------------------------------------------------------------
+
+thread_local! {
+    static EPOCH: Cell<u64> = const { Cell::new(0) };
+    static POOL: RefCell<Option<Pool>> = const { RefCell::new(None) };
+    static CHILD_LISTENER: RefCell<Option<SocketListener>> = const { RefCell::new(None) };
+}
+
+fn next_epoch() -> u64 {
+    EPOCH.with(|e| {
+        let cur = e.get();
+        e.set(cur + 1);
+        cur
+    })
+}
+
+struct Pool {
+    /// Children indexed by rank-1.
+    children: Vec<Child>,
+    /// Rank 0's persistent rendezvous listener.
+    listener: SocketListener,
+    base: String,
+    /// Owned temp dir (Unix rendezvous) removed at drop.
+    tmp_dir: Option<PathBuf>,
+    dead: bool,
+}
+
+impl Pool {
+    fn kill_all(&mut self) {
+        self.dead = true;
+        for c in &mut self.children {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+        self.children.clear();
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        // Children finish their own copy of the program; reap them off
+        // the test thread so a slow child never blocks completion.
+        let children = std::mem::take(&mut self.children);
+        let tmp = self.tmp_dir.take();
+        if children.is_empty() {
+            if let Some(dir) = tmp {
+                let _ = std::fs::remove_dir_all(dir);
+            }
+            return;
+        }
+        let _ = std::thread::Builder::new()
+            .name("dsk-pool-reaper".to_string())
+            .spawn(move || {
+                for mut c in children {
+                    let _ = c.wait();
+                }
+                if let Some(dir) = tmp {
+                    let _ = std::fs::remove_dir_all(dir);
+                }
+            });
+    }
+}
+
+/// Kills the pool if an epoch unwinds before completing, so a failing
+/// test never leaves worker processes behind.
+struct EpochGuard<'a, 'b> {
+    pool: &'a mut std::cell::RefMut<'b, Option<Pool>>,
+    armed: bool,
+}
+
+impl Drop for EpochGuard<'_, '_> {
+    fn drop(&mut self) {
+        if self.armed {
+            if let Some(p) = self.pool.as_mut() {
+                p.kill_all();
+            }
+        }
+    }
+}
+
+fn spawn_child(rank: usize, epoch: u64, base: &str, test_name: Option<&str>) -> Child {
+    let exe = std::env::current_exe().expect("current_exe for socket worker spawn");
+    let mut cmd = Command::new(exe);
+    match test_name {
+        Some(name) => {
+            cmd.args([name, "--exact", "--test-threads=1", "--nocapture", "-q"]);
+            cmd.env(TEST_NAME_ENV_VAR, name);
+        }
+        None => {
+            cmd.args(std::env::args().skip(1));
+        }
+    }
+    cmd.env(RANK_ENV_VAR, rank.to_string())
+        .env(SPAWN_EPOCH_ENV_VAR, epoch.to_string())
+        .env(RENDEZVOUS_ENV_VAR, base)
+        .stdin(Stdio::null())
+        // Workers re-print the whole program's stdout; drop it. Stderr
+        // stays inherited so panic backtraces reach the console.
+        .stdout(Stdio::null());
+    cmd.spawn().expect("spawn socket worker process")
+}
+
+/// The test this thread is running, as libtest names it — `None` when
+/// not on a libtest test thread (examples, doctests, plain mains).
+fn current_test_name() -> Option<String> {
+    match std::thread::current().name() {
+        Some("main") | None => None,
+        Some(name) => Some(name.to_string()),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Outcome encoding
+// ---------------------------------------------------------------------
+
+fn encode_outcome(value_bytes: &[u8], stats: &RankStats) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(value_bytes.len() + 64);
+    buf.extend_from_slice(&(value_bytes.len() as u64).to_le_bytes());
+    buf.extend_from_slice(value_bytes);
+    stats.encode(&mut buf);
+    buf
+}
+
+fn decode_outcome(bytes: &[u8]) -> (Vec<u8>, RankStats) {
+    let mut r = WireReader::new(bytes);
+    let n = r.read_len();
+    let value = r.bytes(n).to_vec();
+    let stats = RankStats::decode(&mut r);
+    assert!(r.is_empty(), "trailing bytes in outcome frame");
+    (value, stats)
+}
+
+fn encode_outcome_set(entries: &[(Vec<u8>, RankStats)]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+    for (value, stats) in entries {
+        let one = encode_outcome(value, stats);
+        buf.extend_from_slice(&(one.len() as u64).to_le_bytes());
+        buf.extend_from_slice(&one);
+    }
+    buf
+}
+
+fn decode_outcome_set(bytes: &[u8]) -> Vec<(Vec<u8>, RankStats)> {
+    let mut r = WireReader::new(bytes);
+    let n = r.read_len();
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = r.read_len();
+        let one = r.bytes(len);
+        out.push(decode_outcome(one));
+    }
+    assert!(r.is_empty(), "trailing bytes in outcome set");
+    out
+}
+
+fn outcomes_from_set<T: WirePayload>(set: &[(Vec<u8>, RankStats)]) -> Vec<RankOutcome<T>> {
+    set.iter()
+        .enumerate()
+        .map(|(rank, (value, stats))| RankOutcome {
+            rank,
+            value: T::from_wire(value),
+            stats: stats.clone(),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Handshake helpers
+// ---------------------------------------------------------------------
+
+fn send_hello(stream: &mut SocketStream, hello: Hello) -> Result<(), String> {
+    write_frame(
+        stream,
+        &Frame::control(FrameKind::Hello, hello.rank as usize, hello.to_payload()),
+    )
+    .map(|_| ())
+    .map_err(|e| format!("sending Hello: {e}"))
+}
+
+fn read_hello(stream: &mut SocketStream, deadline: Instant) -> Result<Hello, String> {
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    stream
+        .set_read_timeout(Some(remaining.max(Duration::from_millis(10))))
+        .map_err(|e| format!("setting handshake timeout: {e}"))?;
+    let frame = read_frame(stream)
+        .map_err(|e| format!("reading Hello: {e}"))?
+        .ok_or_else(|| "peer closed during handshake".to_string())?;
+    if frame.kind != FrameKind::Hello {
+        return Err(format!("expected Hello, got {:?}", frame.kind));
+    }
+    Hello::from_payload(&frame.payload).map_err(|e| format!("bad Hello payload: {e}"))
+}
+
+fn validate_hello(hello: &Hello, epoch: u64, n: usize) -> Result<(), String> {
+    if hello.epoch != epoch {
+        return Err(format!(
+            "rank {} is at epoch {}, this world is epoch {epoch} — \
+             the SPMD program diverged across processes",
+            hello.rank, hello.epoch
+        ));
+    }
+    if hello.world_size as usize != n {
+        return Err(format!(
+            "rank {} expects a {}-rank world, this world has {n} ranks — \
+             the SPMD program diverged across processes",
+            hello.rank, hello.world_size
+        ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Entry point
+// ---------------------------------------------------------------------
+
+/// Run one socket-backed world. Called by [`SimWorld::run`] whenever
+/// the backend kind is `Socket`; see the module docs for the protocol.
+pub(crate) fn run_socket_world<T>(
+    world: &SimWorld,
+    f: &(dyn Fn(&mut Comm) -> T + Sync),
+) -> Vec<RankOutcome<T>>
+where
+    T: WirePayload,
+{
+    let epoch = next_epoch();
+    match role() {
+        Role::Launcher => run_as_launcher(world, f, epoch),
+        Role::Child(info) => {
+            let info = info.clone();
+            let on_my_thread = match (&info.test_name, current_test_name()) {
+                (Some(want), Some(have)) => *want == have,
+                (Some(_), None) => false,
+                (None, have) => have.is_none(),
+            };
+            if !on_my_thread || epoch < info.spawn_epoch {
+                // Replay: not this worker's live epoch. The in-process
+                // backend reproduces the same values and word counts.
+                return run_inproc_replay(world, f);
+            }
+            if info.rank >= world.nranks() {
+                run_as_observer::<T>(world, epoch, &info)
+            } else {
+                run_as_member(world, f, epoch, &info)
+            }
+        }
+    }
+}
+
+fn run_inproc_replay<T>(
+    world: &SimWorld,
+    f: &(dyn Fn(&mut Comm) -> T + Sync),
+) -> Vec<RankOutcome<T>>
+where
+    T: WirePayload,
+{
+    SimWorld::new(world.nranks(), *world.model())
+        .with_recv_timeout(world.recv_timeout_raw())
+        .backend(BackendKind::InProc)
+        .run(|c| f(c))
+}
+
+// ---------------------------------------------------------------------
+// Launcher (rank 0)
+// ---------------------------------------------------------------------
+
+fn panic_text(p: &(dyn std::any::Any + Send)) -> String {
+    p.downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| p.downcast_ref::<&str>().copied())
+        .unwrap_or("<non-string panic>")
+        .to_string()
+}
+
+fn run_as_launcher<T>(
+    world: &SimWorld,
+    f: &(dyn Fn(&mut Comm) -> T + Sync),
+    epoch: u64,
+) -> Vec<RankOutcome<T>>
+where
+    T: WirePayload,
+{
+    let n = world.nranks();
+    POOL.with(|pool_cell| {
+        let mut pool_slot = pool_cell.borrow_mut();
+
+        // (Re)build or grow the worker pool for this epoch.
+        let need_fresh = pool_slot.as_ref().is_none_or(|p| p.dead);
+        if need_fresh && n > 1 {
+            *pool_slot = None; // drop (and reap) any dead pool first
+            static POOL_SEQ: AtomicU64 = AtomicU64::new(0);
+            let seq = POOL_SEQ.fetch_add(1, Ordering::Relaxed);
+            let dir = std::env::temp_dir().join(format!("dsk-sock-{}-{seq}", std::process::id()));
+            std::fs::create_dir_all(&dir).expect("create rendezvous dir");
+            let base = dir.to_str().expect("rendezvous dir is UTF-8").to_string();
+            let listener =
+                SocketListener::bind(&endpoint_for(&base, 0)).expect("bind rank 0 listener");
+            let test_name = current_test_name();
+            let children = (1..n)
+                .map(|r| spawn_child(r, epoch, &base, test_name.as_deref()))
+                .collect();
+            *pool_slot = Some(Pool {
+                children,
+                listener,
+                base,
+                tmp_dir: Some(dir),
+                dead: false,
+            });
+        } else if let Some(pool) = pool_slot.as_mut() {
+            // Grow the pool when a later world is wider: new workers
+            // replay earlier epochs in-process and join live here.
+            let test_name = current_test_name();
+            while pool.children.len() < n - 1 {
+                let r = pool.children.len() + 1;
+                pool.children
+                    .push(spawn_child(r, epoch, &pool.base, test_name.as_deref()));
+            }
+        }
+
+        if pool_slot.is_none() {
+            // Single-rank world with no pool: a peerless socket backend.
+            let backend = SocketBackend::assemble(0, 1, world.recv_timeout_raw(), vec![None])
+                .expect("assemble peerless socket backend");
+            return run_rank0_epoch(world, f, backend, Vec::new());
+        }
+
+        let mut guard = EpochGuard {
+            pool: &mut pool_slot,
+            armed: true,
+        };
+        let pool = guard.pool.as_mut().unwrap();
+        let pool_size = pool.children.len();
+        let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+
+        // Rendezvous: every pool worker (member or observer) connects
+        // to rank 0 and identifies itself.
+        let mut member_streams: Vec<Option<SocketStream>> = (0..n).map(|_| None).collect();
+        let mut observers: Vec<SocketStream> = Vec::new();
+        let mut seen = vec![false; pool_size + 1];
+        let mut accounted = 0usize;
+        while accounted < pool_size {
+            let slice = (Instant::now() + Duration::from_millis(200)).min(deadline);
+            match pool.listener.accept_deadline(slice) {
+                Ok(mut stream) => {
+                    let hello = read_hello(&mut stream, deadline).unwrap_or_else(|e| {
+                        pool.kill_all();
+                        panic!("socket rendezvous failed: {e}");
+                    });
+                    let r = hello.rank as usize;
+                    let valid = validate_hello(&hello, epoch, n).and_then(|()| {
+                        if r == 0 || r > pool_size || seen[r] {
+                            Err(format!("unexpected Hello from rank {r}"))
+                        } else if hello.observer != (r >= n) {
+                            Err(format!("rank {r} mis-classified itself"))
+                        } else {
+                            Ok(())
+                        }
+                    });
+                    if let Err(e) = valid {
+                        pool.kill_all();
+                        panic!("socket rendezvous failed: {e}");
+                    }
+                    seen[r] = true;
+                    accounted += 1;
+                    if r < n {
+                        member_streams[r] = Some(stream);
+                    } else {
+                        observers.push(stream);
+                    }
+                }
+                Err(e) => {
+                    // Timeout slice: check worker liveness, then the
+                    // global deadline.
+                    for (i, c) in pool.children.iter_mut().enumerate() {
+                        let r = i + 1;
+                        if !seen[r] {
+                            if let Ok(Some(status)) = c.try_wait() {
+                                pool.kill_all();
+                                panic!(
+                                    "rank {r} exited during rendezvous ({status}) — \
+                                     worker process failed before joining epoch {epoch}"
+                                );
+                            }
+                        }
+                    }
+                    if Instant::now() >= deadline {
+                        pool.kill_all();
+                        panic!("socket rendezvous failed: {e}");
+                    }
+                }
+            }
+        }
+
+        let backend = SocketBackend::assemble(0, n, world.recv_timeout_raw(), member_streams)
+            .expect("assemble launcher socket backend");
+        let outcomes = run_rank0_epoch(world, f, backend, observers);
+        guard.armed = false;
+        outcomes
+    })
+}
+
+/// Rank 0's epoch body: run the closure, drain, collect member
+/// outcomes, broadcast the set (members via the backend, observers
+/// directly), and assemble the result.
+fn run_rank0_epoch<T>(
+    world: &SimWorld,
+    f: &(dyn Fn(&mut Comm) -> T + Sync),
+    backend: Arc<SocketBackend>,
+    mut observers: Vec<SocketStream>,
+) -> Vec<RankOutcome<T>>
+where
+    T: WirePayload,
+{
+    let n = world.nranks();
+    let fail = |msg: String| -> ! {
+        // Prefer a reported child panic as the root cause.
+        if let Some((rank, err)) = backend.first_error() {
+            panic!("rank {rank} panicked: {err}");
+        }
+        panic!("{msg}");
+    };
+
+    let shared = RankShared::new();
+    let mut comm = Comm::world(
+        Arc::clone(&backend) as Arc<dyn CommBackend>,
+        *world.model(),
+        shared,
+        0,
+    );
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut comm)));
+    comm.finish();
+    let my_stats = comm.stats_snapshot();
+    let value = match result {
+        Ok(v) => v,
+        Err(p) => fail(format!("rank 0 panicked: {}", panic_text(&*p))),
+    };
+
+    let control_deadline = Instant::now() + world.recv_timeout_raw() + CONTROL_SLACK;
+    if n > 1 {
+        backend.bye_all();
+        if let Err(e) = backend.wait_byes(control_deadline) {
+            fail(e);
+        }
+    }
+    let leaked = backend.pending_messages();
+    if leaked > 0 {
+        fail(format!(
+            "{leaked} message(s) were sent but never received — protocol bug"
+        ));
+    }
+    let member_outcomes = if n > 1 {
+        match backend.wait_outcomes(control_deadline) {
+            Ok(o) => o,
+            Err(e) => fail(e),
+        }
+    } else {
+        vec![Vec::new()]
+    };
+
+    let mut entries: Vec<(Vec<u8>, RankStats)> = Vec::with_capacity(n);
+    entries.push((value.to_wire(), my_stats.clone()));
+    for bytes in member_outcomes.into_iter().skip(1) {
+        entries.push(decode_outcome(&bytes));
+    }
+    // One serialized broadcast buffer serves members and observers.
+    // Synchronous writes: a short-lived launcher main must not exit
+    // before the broadcast bytes reach the sockets (the per-peer
+    // writers are idle here — their Byes flushed before any Outcome
+    // could have arrived).
+    let set_frame_bytes =
+        Frame::control(FrameKind::OutcomeSet, 0, encode_outcome_set(&entries)).to_bytes();
+    for r in 1..n {
+        if let Err(e) = backend.write_frame_bytes_sync(r, &set_frame_bytes) {
+            fail(format!("broadcasting outcomes to rank {r} failed: {e}"));
+        }
+    }
+    for obs in &mut observers {
+        if obs.write_all_shared(&set_frame_bytes).is_err() {
+            fail("an observer process died before the outcome broadcast".to_string());
+        }
+    }
+    backend.mark_finished();
+
+    // Rank 0 keeps its own typed value; members' values decode from
+    // their outcome bytes.
+    let mut out = Vec::with_capacity(n);
+    out.push(RankOutcome {
+        rank: 0,
+        value,
+        stats: my_stats,
+    });
+    for (rank, (bytes, stats)) in entries.iter().enumerate().skip(1) {
+        out.push(RankOutcome {
+            rank,
+            value: T::from_wire(bytes),
+            stats: stats.clone(),
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Worker processes
+// ---------------------------------------------------------------------
+
+fn child_fail(backend: Option<&SocketBackend>, msg: String) -> ! {
+    if let Some(b) = backend {
+        // Best-effort: route the root cause to rank 0, give the writer
+        // thread a moment to flush, then die non-zero.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            b.send_control(0, FrameKind::Error, msg.clone().into_bytes());
+        }));
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    let _ = writeln!(std::io::stderr(), "socket worker failed: {msg}");
+    std::process::exit(101);
+}
+
+fn run_as_member<T>(
+    world: &SimWorld,
+    f: &(dyn Fn(&mut Comm) -> T + Sync),
+    epoch: u64,
+    info: &ChildInfo,
+) -> Vec<RankOutcome<T>>
+where
+    T: WirePayload,
+{
+    let n = world.nranks();
+    let me = info.rank;
+    let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+    let abort = || parent_died(info);
+
+    // Persistent listener, bound on first live epoch.
+    CHILD_LISTENER.with(|cell| {
+        let mut listener = cell.borrow_mut();
+        if listener.is_none() {
+            *listener = Some(
+                SocketListener::bind(&endpoint_for(&info.base, me)).expect("bind worker listener"),
+            );
+        }
+
+        // Connect to every lower rank (rank 0 included), then accept
+        // every higher member. Backlog queues make the order safe.
+        let mut streams: Vec<Option<SocketStream>> = (0..n).map(|_| None).collect();
+        for peer in 0..me {
+            let mut s = match connect_deadline(&endpoint_for(&info.base, peer), deadline, &abort) {
+                Ok(s) => s,
+                Err(e) => child_fail(None, format!("rank {me}: {e}")),
+            };
+            let hello = Hello {
+                rank: me as u32,
+                world_size: n as u32,
+                epoch,
+                observer: false,
+            };
+            if let Err(e) = send_hello(&mut s, hello) {
+                child_fail(None, format!("rank {me}: {e}"));
+            }
+            streams[peer] = Some(s);
+        }
+        let mut missing = n.saturating_sub(me + 1);
+        while missing > 0 {
+            if let Some(why) = abort() {
+                child_fail(None, why);
+            }
+            let slice = (Instant::now() + Duration::from_millis(200)).min(deadline);
+            let Ok(mut stream) = listener.as_ref().unwrap().accept_deadline(slice) else {
+                if Instant::now() >= deadline {
+                    child_fail(None, format!("rank {me}: rendezvous accept timed out"));
+                }
+                continue;
+            };
+            let hello = match read_hello(&mut stream, deadline) {
+                Ok(h) => h,
+                Err(e) => child_fail(None, format!("rank {me}: {e}")),
+            };
+            let r = hello.rank as usize;
+            if let Err(e) = validate_hello(&hello, epoch, n) {
+                child_fail(None, format!("rank {me}: {e}"));
+            }
+            if r <= me || r >= n || streams[r].is_some() {
+                child_fail(None, format!("rank {me}: unexpected Hello from rank {r}"));
+            }
+            streams[r] = Some(stream);
+            missing -= 1;
+        }
+
+        let backend = SocketBackend::assemble(me, n, world.recv_timeout_raw(), streams)
+            .expect("assemble worker socket backend");
+
+        let shared = RankShared::new();
+        let mut comm = Comm::world(
+            Arc::clone(&backend) as Arc<dyn CommBackend>,
+            *world.model(),
+            shared,
+            me,
+        );
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut comm)));
+        comm.finish();
+        let stats = comm.stats_snapshot();
+        let value = match result {
+            Ok(v) => v,
+            Err(p) => child_fail(Some(backend.as_ref()), panic_text(&*p)),
+        };
+
+        let control_deadline = Instant::now() + world.recv_timeout_raw() + CONTROL_SLACK;
+        backend.bye_all();
+        if let Err(e) = backend.wait_byes(control_deadline) {
+            child_fail(Some(backend.as_ref()), e);
+        }
+        let leaked = backend.pending_messages();
+        if leaked > 0 {
+            child_fail(
+                Some(&backend),
+                format!("{leaked} message(s) were sent but never received — protocol bug"),
+            );
+        }
+        backend.send_control(
+            0,
+            FrameKind::Outcome,
+            encode_outcome(&value.to_wire(), &stats),
+        );
+        let set_bytes = match backend.wait_outcome_set(control_deadline) {
+            Ok(b) => b,
+            Err(e) => child_fail(Some(backend.as_ref()), e),
+        };
+        backend.mark_finished();
+        outcomes_from_set(&decode_outcome_set(&set_bytes))
+    })
+}
+
+fn run_as_observer<T: WirePayload>(
+    world: &SimWorld,
+    epoch: u64,
+    info: &ChildInfo,
+) -> Vec<RankOutcome<T>> {
+    let me = info.rank;
+    let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+    let abort = || parent_died(info);
+    let mut stream = match connect_deadline(&endpoint_for(&info.base, 0), deadline, &abort) {
+        Ok(s) => s,
+        Err(e) => child_fail(None, format!("rank {me}: {e}")),
+    };
+    let hello = Hello {
+        rank: me as u32,
+        world_size: world.nranks() as u32,
+        epoch,
+        observer: true,
+    };
+    if let Err(e) = send_hello(&mut stream, hello) {
+        child_fail(None, format!("rank {me}: {e}"));
+    }
+    // Wait (bounded) for the outcome broadcast, polling parent health.
+    let wait_deadline = Instant::now() + world.recv_timeout_raw() + HANDSHAKE_TIMEOUT;
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    loop {
+        if let Some(why) = abort() {
+            child_fail(None, why);
+        }
+        match read_frame(&mut stream) {
+            Ok(Some(frame)) if frame.kind == FrameKind::OutcomeSet => {
+                return outcomes_from_set(&decode_outcome_set(&frame.payload));
+            }
+            Ok(Some(frame)) => child_fail(
+                None,
+                format!("rank {me}: expected OutcomeSet, got {:?}", frame.kind),
+            ),
+            Ok(None) => child_fail(
+                None,
+                format!("rank {me}: launcher closed before the outcome broadcast"),
+            ),
+            Err(crate::frame::DecodeError::Io(e))
+                if e.contains(crate::frame::TIMEOUT_AT_BOUNDARY) =>
+            {
+                if Instant::now() >= wait_deadline {
+                    child_fail(
+                        None,
+                        format!("rank {me}: timed out awaiting the outcome broadcast"),
+                    );
+                }
+            }
+            Err(e) => child_fail(None, format!("rank {me}: {e}")),
+        }
+    }
+}

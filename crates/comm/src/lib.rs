@@ -6,10 +6,26 @@
 //! IPDPS 2022): ranks, point-to-point messages, collectives, communicator
 //! splitting, and cartesian process grids.
 //!
-//! Ranks are OS threads inside one process. Each rank owns its data
-//! privately and may interact with other ranks **only** through a
-//! [`Comm`] handle, so algorithm code is structured exactly as it would be
-//! on a real distributed-memory machine.
+//! Under the in-memory backends, ranks are OS threads inside one
+//! process; under the socket backend they are separate OS *processes*
+//! exchanging frames over real sockets. Either way, each rank owns its
+//! data privately and may interact with other ranks **only** through a
+//! [`Comm`] handle, so algorithm code is structured exactly as it would
+//! be on a real distributed-memory machine.
+//!
+//! ## Backend selection matrix
+//!
+//! | `BackendKind` / `DSK_COMM_BACKEND` | ranks are | payloads | delivery cost | `wire_bytes_sent` |
+//! |---|---|---|---|---|
+//! | `InProc` / `inproc` (default) | threads | typed boxes, moved by ownership | memory speed | 0 |
+//! | `Wire` / `wire` | threads | encoded byte buffers ([`WirePayload`]) | memory speed | encoded payload bytes |
+//! | `WireDelay` / `wire-delay` | threads | encoded byte buffers | sleeps `α + β·w` per message (clamped) | encoded payload bytes |
+//! | `Socket` / `socket` | **processes** | length-prefixed frames over Unix/TCP sockets | real transport | bytes actually written (frame headers included) |
+//!
+//! Word accounting — and therefore every modeled metric — is identical
+//! across all four; the backends differ only in how a message is
+//! *realized*. The socket frame format is specified in [`frame`], and
+//! the process-launch/rendezvous protocol in [`launch`].
 //!
 //! ## The backend split
 //!
@@ -67,9 +83,12 @@
 pub mod backend;
 pub mod collectives;
 pub mod comm;
+pub mod frame;
 pub mod grid;
+pub mod launch;
 pub mod model;
 pub mod payload;
+pub mod socket;
 pub mod stats;
 pub mod transport;
 pub mod world;

@@ -131,6 +131,12 @@ impl<'a> WireReader<'a> {
     pub fn f64(&mut self) -> f64 {
         f64::from_bits(self.u64())
     }
+
+    /// Read `n` raw bytes (bulk paths: nested byte buffers in the
+    /// launcher's outcome frames).
+    pub fn bytes(&mut self, n: usize) -> &'a [u8] {
+        self.take(n)
+    }
 }
 
 impl Payload for () {
@@ -186,6 +192,51 @@ impl WirePayload for usize {
     }
     fn decode(r: &mut WireReader<'_>) -> Self {
         r.read_len()
+    }
+}
+
+impl Payload for u32 {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl WirePayload for u32 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        r.u32()
+    }
+}
+
+impl Payload for i32 {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl WirePayload for i32 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        r.u32() as i32
+    }
+}
+
+impl Payload for i64 {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl WirePayload for i64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        r.u64() as i64
     }
 }
 
@@ -304,6 +355,84 @@ impl<A: WirePayload, B: WirePayload> WirePayload for (A, B) {
     }
 }
 
+/// Raw byte buffers (values in flight between the launcher's
+/// processes). Words round up: the α-β model has no sub-word unit.
+impl Payload for Vec<u8> {
+    fn words(&self) -> usize {
+        self.len().div_ceil(8)
+    }
+}
+
+impl WirePayload for Vec<u8> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.reserve(8 + self.len());
+        buf.extend_from_slice(&(self.len() as u64).to_le_bytes());
+        buf.extend_from_slice(self);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        let n = r.read_len();
+        r.bytes(n).to_vec()
+    }
+}
+
+/// UTF-8 text (diagnostics, labels). Words round up like raw bytes.
+impl Payload for String {
+    fn words(&self) -> usize {
+        self.len().div_ceil(8)
+    }
+}
+
+impl WirePayload for String {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&(self.len() as u64).to_le_bytes());
+        buf.extend_from_slice(self.as_bytes());
+    }
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        let n = r.read_len();
+        String::from_utf8(r.bytes(n).to_vec()).expect("wire string is not UTF-8")
+    }
+}
+
+/// Vectors of composite wire values (e.g. the `Vec<Vec<f64>>` an
+/// all-gather returns). Concrete instantiations rather than a blanket
+/// `Vec<T: WirePayload>` impl, which would conflict with the optimized
+/// scalar-vector encodings above.
+macro_rules! impl_wire_vec {
+    ($($inner:ty),* $(,)?) => {$(
+        impl Payload for Vec<$inner> {
+            fn words(&self) -> usize {
+                self.iter().map(Payload::words).sum()
+            }
+        }
+
+        impl WirePayload for Vec<$inner> {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                buf.extend_from_slice(&(self.len() as u64).to_le_bytes());
+                for v in self {
+                    v.encode(buf);
+                }
+            }
+            fn decode(r: &mut WireReader<'_>) -> Self {
+                let n = r.read_len();
+                (0..n).map(|_| <$inner>::decode(r)).collect()
+            }
+        }
+    )*};
+}
+
+impl_wire_vec!(
+    Vec<f64>,
+    Vec<u32>,
+    Vec<u64>,
+    Vec<usize>,
+    (u64, u64),
+    (f64, f64),
+    (usize, f64),
+    (u64, bool, String),
+    (Vec<u32>, Vec<u32>, Vec<f64>),
+    (Vec<usize>, Vec<usize>, Vec<f64>),
+);
+
 impl<A: Payload, B: Payload, C: Payload> Payload for (A, B, C) {
     fn words(&self) -> usize {
         self.0.words() + self.1.words() + self.2.words()
@@ -323,6 +452,37 @@ impl<A: WirePayload, B: WirePayload, C: WirePayload> WirePayload for (A, B, C) {
         (a, b, c)
     }
 }
+
+/// Wider tuples: multi-quantity results crossing process boundaries
+/// under the socket launcher (integration tests return these).
+macro_rules! impl_wire_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Payload),+> Payload for ($($name,)+) {
+            fn words(&self) -> usize {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                0 $(+ $name.words())+
+            }
+        }
+
+        impl<$($name: WirePayload),+> WirePayload for ($($name,)+) {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                $($name.encode(buf);)+
+            }
+            fn decode(r: &mut WireReader<'_>) -> Self {
+                ($($name::decode(r),)+)
+            }
+        }
+    };
+}
+
+impl_wire_tuple!(A, B, C, D);
+impl_wire_tuple!(A, B, C, D, E);
+impl_wire_tuple!(A, B, C, D, E, F);
+impl_wire_tuple!(A, B, C, D, E, F, G);
+impl_wire_tuple!(A, B, C, D, E, F, G, H);
 
 impl<T: Payload> Payload for Option<T> {
     fn words(&self) -> usize {

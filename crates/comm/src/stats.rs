@@ -8,6 +8,8 @@
 //! taxonomy, and every [`Comm`](crate::Comm) operation charges the
 //! currently-active phase.
 
+use crate::payload::{Payload, WirePayload, WireReader};
+
 /// Which part of a distributed kernel (or application) time is charged to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Phase {
@@ -249,6 +251,73 @@ impl RankStats {
     /// Modeled computation time.
     pub fn modeled_comp_s(&self) -> f64 {
         self.phase(Phase::Computation).modeled_s + self.phase(Phase::OutsideCompute).modeled_s
+    }
+}
+
+// Wire encodings: the socket launcher ships every rank's statistics
+// back to the launcher (and out to observers) in outcome frames.
+
+impl Payload for PhaseCounters {
+    fn words(&self) -> usize {
+        8
+    }
+}
+
+impl WirePayload for PhaseCounters {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        for v in [
+            self.msgs_sent,
+            self.words_sent,
+            self.msgs_recv,
+            self.words_recv,
+            self.wire_bytes_sent,
+            self.flops,
+        ] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        buf.extend_from_slice(&self.modeled_s.to_bits().to_le_bytes());
+        buf.extend_from_slice(&self.wall_s.to_bits().to_le_bytes());
+    }
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        PhaseCounters {
+            msgs_sent: r.u64(),
+            words_sent: r.u64(),
+            msgs_recv: r.u64(),
+            words_recv: r.u64(),
+            wire_bytes_sent: r.u64(),
+            flops: r.u64(),
+            modeled_s: r.f64(),
+            wall_s: r.f64(),
+        }
+    }
+}
+
+impl Payload for RankStats {
+    fn words(&self) -> usize {
+        N_PHASES * 8 + 1
+    }
+}
+
+impl WirePayload for RankStats {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        for c in &self.per_phase {
+            c.encode(buf);
+        }
+        buf.push(self.current.index() as u8);
+        buf.push(u8::from(self.paused));
+    }
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        let mut per_phase = [PhaseCounters::default(); N_PHASES];
+        for c in per_phase.iter_mut() {
+            *c = PhaseCounters::decode(r);
+        }
+        let current = Phase::ALL[r.u8() as usize];
+        let paused = r.u8() != 0;
+        RankStats {
+            per_phase,
+            current,
+            paused,
+        }
     }
 }
 

@@ -37,6 +37,10 @@ pub struct Mailbox<M> {
     cvs: Vec<Condvar>,
     nranks: usize,
     recv_timeout: Duration,
+    /// A transport-level failure (peer death, frame decode error). Set
+    /// once by [`Mailbox::poison`]; every blocked and future receive
+    /// panics with the message instead of waiting out the watchdog.
+    poison: Mutex<Option<String>>,
 }
 
 /// Lock a slot, tolerating poison: a rank that panicked (e.g. the
@@ -57,7 +61,37 @@ impl<M: Send> Mailbox<M> {
             cvs: (0..nranks).map(|_| Condvar::new()).collect(),
             nranks,
             recv_timeout,
+            poison: Mutex::new(None),
         }
+    }
+
+    /// Mark the mailbox failed: every blocked and future [`Mailbox::take`]
+    /// panics with `msg` immediately instead of waiting out the watchdog.
+    /// Used by socket transports when a peer dies or sends garbage —
+    /// first poison wins.
+    pub fn poison(&self, msg: String) {
+        let mut p = self.poison.lock().unwrap_or_else(|e| e.into_inner());
+        if p.is_none() {
+            *p = Some(msg);
+        }
+        drop(p);
+        for (slot, cv) in self.slots.iter().zip(&self.cvs) {
+            // Briefly acquire each slot lock before notifying: a
+            // receiver between its poison check and its condvar wait
+            // holds the slot lock, so this serializes the notification
+            // after its wait begins — no lost wakeup, and the blocked
+            // take fails in milliseconds as promised.
+            drop(lock_slot(slot));
+            cv.notify_all();
+        }
+    }
+
+    /// The poison message, if the mailbox has been poisoned.
+    pub fn poison_message(&self) -> Option<String> {
+        self.poison
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
     /// Number of ranks in the world.
@@ -96,6 +130,12 @@ impl<M: Send> Mailbox<M> {
                     return m;
                 }
             }
+            // Check poison only once the queue is known empty: a message
+            // that already arrived should still be delivered.
+            if let Some(msg) = self.poison_message() {
+                drop(slot);
+                panic!("{msg}");
+            }
             let (guard, res) = self.cvs[me]
                 .wait_timeout(slot, self.recv_timeout)
                 .unwrap_or_else(|e| e.into_inner());
@@ -104,6 +144,11 @@ impl<M: Send> Mailbox<M> {
                 // Release the mailbox before panicking so other ranks
                 // fail on their own terms, not on a poisoned lock.
                 drop(slot);
+                // A poison that raced the wait is the root cause, not a
+                // protocol mismatch — report it instead of the watchdog.
+                if let Some(msg) = self.poison_message() {
+                    panic!("{msg}");
+                }
                 panic!(
                     "rank {me}: receive watchdog expired after {:?} waiting for \
                      message from rank {} (context {:#x}, tag {}) — \
@@ -184,6 +229,27 @@ mod tests {
     fn watchdog_panics_on_missing_message() {
         let t = Mailbox::<u64>::new(1, Duration::from_millis(30));
         let _ = t.take(0, (0, 0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "peer died")]
+    fn poison_fails_blocked_take_fast() {
+        let t = Arc::new(Mailbox::<u64>::new(1, Duration::from_secs(300)));
+        let t2 = Arc::clone(&t);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            t2.poison("peer died".to_string());
+        });
+        // Panics in ~20 ms, long before the 300 s watchdog.
+        let _ = t.take(0, (0, 0, 0));
+    }
+
+    #[test]
+    fn poison_still_delivers_queued_messages() {
+        let t = Mailbox::new(1, Duration::from_secs(5));
+        t.post(0, (0, 0, 0), 7u64);
+        t.poison("late failure".to_string());
+        assert_eq!(t.take(0, (0, 0, 0)), 7, "queued message outranks poison");
     }
 
     #[test]

@@ -77,8 +77,22 @@ impl SimWorld {
         &self.model
     }
 
+    /// The receive-watchdog bound (used by the socket launcher to pace
+    /// its control-protocol waits).
+    pub(crate) fn recv_timeout_raw(&self) -> Duration {
+        self.recv_timeout
+    }
+
     /// Run `f` on every rank; blocks until all ranks return. Outcomes are
     /// ordered by rank.
+    ///
+    /// Under the in-memory backends every rank is an OS thread of this
+    /// process; under [`BackendKind::Socket`] every rank is a separate
+    /// OS *process* and this call becomes the launcher side of the
+    /// protocol in [`crate::launch`]. Results must therefore be
+    /// [`WirePayload`](crate::payload::WirePayload) — on a
+    /// distributed-memory machine a value that cannot be serialized
+    /// cannot be observed across ranks.
     ///
     /// # Panics
     ///
@@ -86,9 +100,12 @@ impl SimWorld {
     /// panics if messages were sent but never received.
     pub fn run<T, F>(&self, f: F) -> Vec<RankOutcome<T>>
     where
-        T: Send,
+        T: crate::payload::WirePayload,
         F: Fn(&mut Comm) -> T + Sync,
     {
+        if self.backend == BackendKind::Socket {
+            return crate::launch::run_socket_world(self, &f);
+        }
         let backend = self
             .backend
             .build(self.nranks, self.recv_timeout, self.model);

@@ -1,14 +1,17 @@
 //! Shared helper for backend-conformance suites: every test runs the
 //! same program once per backend, so the typed in-process path and the
-//! serialized wire path stay behaviorally identical.
+//! serialized wire path stay behaviorally identical — plus whatever
+//! backend `DSK_COMM_BACKEND` selects when it is not already on the
+//! axis (the `wire-delay` and `socket` CI legs run the same suites on
+//! those transports without slowing the default run).
 
 use dsk_comm::{BackendKind, MachineModel, SimWorld};
 
-/// One identically-configured world per conformance backend (in-proc
-/// and wire). Tests loop over this instead of constructing a world
-/// directly.
+/// One identically-configured world per conformance backend (in-proc,
+/// wire, and the environment-selected backend if different). Tests
+/// loop over this instead of constructing a world directly.
 pub fn worlds(p: usize) -> impl Iterator<Item = SimWorld> {
-    BackendKind::CONFORMANCE
+    BackendKind::conformance_with_env()
         .into_iter()
         .map(move |k| SimWorld::new(p, MachineModel::bandwidth_only()).backend(k))
 }

@@ -1,0 +1,155 @@
+//! Seeded fuzz suite for the socket frame protocol: truncated,
+//! corrupted, and oversized frames must always yield a clean
+//! [`DecodeError`] — never a panic, never an unbounded allocation, and
+//! never a hang (the decoder consumes only the bytes it was given).
+//!
+//! The stream under attack is a valid multi-frame byte sequence; each
+//! fuzz case mutates it with a deterministic in-repo RNG so failures
+//! reproduce exactly.
+
+use dsk_comm::frame::{
+    read_frame, DecodeError, Frame, FrameKind, FRAME_HEADER_LEN, MAX_FRAME_PAYLOAD,
+};
+
+/// SplitMix64 — deterministic, dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+fn valid_stream(rng: &mut Rng) -> Vec<u8> {
+    let kinds = [
+        FrameKind::Data,
+        FrameKind::Hello,
+        FrameKind::Bye,
+        FrameKind::Outcome,
+        FrameKind::Error,
+    ];
+    let mut bytes = Vec::new();
+    for _ in 0..1 + rng.below(4) {
+        let payload: Vec<u8> = (0..rng.below(64)).map(|_| rng.next() as u8).collect();
+        let f = Frame {
+            kind: kinds[rng.below(kinds.len())],
+            src: rng.below(16) as u32,
+            context: rng.next(),
+            tag: rng.below(1024) as u32,
+            payload,
+        };
+        bytes.extend_from_slice(&f.to_bytes());
+    }
+    bytes
+}
+
+/// Drain a byte stream through the frame decoder until it errors or
+/// ends; must terminate and never panic.
+fn drain(mut bytes: &[u8]) -> Result<usize, DecodeError> {
+    let mut n = 0;
+    while let Some(_frame) = read_frame(&mut bytes)? {
+        n += 1;
+    }
+    Ok(n)
+}
+
+#[test]
+fn valid_streams_decode_fully() {
+    let mut rng = Rng(0xD5C);
+    for _ in 0..200 {
+        let stream = valid_stream(&mut rng);
+        let n = drain(&stream).expect("valid stream must decode");
+        assert!(n >= 1);
+    }
+}
+
+#[test]
+fn truncation_at_every_offset_is_a_clean_error() {
+    let mut rng = Rng(42);
+    for _ in 0..50 {
+        let stream = valid_stream(&mut rng);
+        for cut in 1..stream.len() {
+            match drain(&stream[..cut]) {
+                // A cut on a frame boundary decodes a prefix cleanly.
+                Ok(_) => {}
+                Err(
+                    DecodeError::Truncated { .. }
+                    | DecodeError::BadMagic(_)
+                    | DecodeError::Oversized { .. },
+                ) => {}
+                Err(e) => panic!("unexpected decode failure at cut {cut}: {e:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn random_byte_corruption_never_panics() {
+    let mut rng = Rng(7777);
+    for case in 0..500 {
+        let mut stream = valid_stream(&mut rng);
+        // Flip 1–4 random bytes.
+        for _ in 0..1 + rng.below(4) {
+            let i = rng.below(stream.len());
+            stream[i] ^= (1 + rng.below(255)) as u8;
+        }
+        // Whatever happened, the decoder returns; panics/hangs fail the
+        // test harness itself.
+        let _ = drain(&stream);
+        let _ = case;
+    }
+}
+
+#[test]
+fn oversized_length_fields_are_rejected_before_allocating() {
+    let mut rng = Rng(31337);
+    for _ in 0..100 {
+        let mut stream = valid_stream(&mut rng);
+        // Overwrite the first frame's length field with something huge.
+        let huge = (MAX_FRAME_PAYLOAD as u32).saturating_add(1 + rng.below(1 << 20) as u32);
+        stream[24..28].copy_from_slice(&huge.to_le_bytes());
+        match drain(&stream) {
+            Err(DecodeError::Oversized { len }) => {
+                assert!(len as usize > MAX_FRAME_PAYLOAD);
+            }
+            other => panic!("oversized frame must be rejected, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn garbage_prefix_is_bad_magic() {
+    let mut rng = Rng(99);
+    for _ in 0..100 {
+        let mut garbage: Vec<u8> = (0..FRAME_HEADER_LEN + rng.below(32))
+            .map(|_| rng.next() as u8)
+            .collect();
+        // Ensure the magic really is wrong.
+        garbage[0] = 0;
+        match drain(&garbage) {
+            Err(DecodeError::BadMagic(_)) | Err(DecodeError::Truncated { .. }) => {}
+            other => panic!("garbage must not decode, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn header_field_corruption_maps_to_typed_errors() {
+    let f = Frame::data(3, 0x1234, 9, vec![1, 2, 3]);
+    // Bad kind.
+    let mut b = f.to_bytes();
+    b[4] = 250;
+    assert!(matches!(drain(&b), Err(DecodeError::BadKind(250))));
+    // Bad padding.
+    let mut b = f.to_bytes();
+    b[6] = 1;
+    assert!(matches!(drain(&b), Err(DecodeError::BadPadding(_))));
+}

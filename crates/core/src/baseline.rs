@@ -515,6 +515,11 @@ impl DistKernel for Baseline1D {
         Some(local)
     }
 
+    fn r_pattern_bounds_of(&self, g: usize) -> (std::ops::Range<usize>, std::ops::Range<usize>) {
+        // 1D block rows: rank g owns its block row of S at full width.
+        (block_range(self.dims.m, self.p, g), 0..self.dims.n)
+    }
+
     fn import_r(&mut self, r: &CooMatrix) {
         let map = crate::layout::triplet_map(r);
         let my_start = block_range(self.dims.m, self.p, self.comm.rank()).start as u32;

@@ -615,6 +615,19 @@ impl DistKernel for DenseRepl25 {
         self.export_r_local()
     }
 
+    fn r_pattern_bounds_of(&self, g: usize) -> (std::ops::Range<usize>, std::ops::Range<usize>) {
+        // Rank g's canonical home block: macro row u, column block
+        // σ₀·c + w of the q·c-way split (σ₀ = (u+v) mod q).
+        let grid = self.gc.grid;
+        let (q, c) = (grid.q, grid.c);
+        let (u, v, w) = (grid.row_pos(g), grid.col_pos(g), grid.fiber_pos(g));
+        let sigma0 = (u + v) % q;
+        (
+            block_range(self.dims.m, q, u),
+            block_range(self.dims.n, q * c, sigma0 * c + w),
+        )
+    }
+
     fn import_r(&mut self, r: &CooMatrix) {
         let map = crate::layout::triplet_map(r);
         let (row_start, col_start) = self.home_offsets();

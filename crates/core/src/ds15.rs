@@ -577,6 +577,15 @@ impl DistKernel for DenseShift15 {
         self.export_r_local()
     }
 
+    fn r_pattern_bounds_of(&self, g: usize) -> (std::ops::Range<usize>, std::ops::Range<usize>) {
+        // Rank g holds macro row u = g/c of S; its column blocks are
+        // strided across the full width, so the column bound stays
+        // conservative.
+        let (p, c) = (self.gc.grid.p, self.c());
+        let u = self.gc.grid.layer_pos(g);
+        (union_range(self.dims.m, p, u * c, c), 0..self.dims.n)
+    }
+
     fn import_r(&mut self, r: &CooMatrix) {
         let map = crate::layout::triplet_map(r);
         let (p, c, u, v) = (self.gc.grid.p, self.c(), self.gc.u, self.gc.v);

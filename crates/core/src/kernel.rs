@@ -258,6 +258,17 @@ pub trait DistKernel: Send {
     /// sparse matrix.
     fn import_r(&mut self, r: &CooMatrix);
 
+    /// Global bounding rectangle `(rows, cols)` of rank `g`'s stored-R
+    /// sparsity pattern — the region [`DistKernel::import_r`] reads
+    /// values from on that rank. Pure grid arithmetic (no
+    /// communication, callable for any rank); a conservative superset
+    /// of the true pattern is allowed. Live migration
+    /// ([`crate::session::Session`]) uses the *destination* kernel's
+    /// bounds to route each exported triplet only to the ranks that
+    /// need it — an owner-targeted alltoallv moving `O(c·nnz)` words
+    /// instead of the `O(p·nnz)` allgather.
+    fn r_pattern_bounds_of(&self, g: usize) -> (std::ops::Range<usize>, std::ops::Range<usize>);
+
     /// The stored `A` operand in the iterate layout.
     fn a_iterate(&self) -> Mat;
 

@@ -78,6 +78,7 @@ pub mod sr25;
 pub mod ss15;
 pub mod staged;
 pub mod theory;
+pub mod wire;
 pub mod worker;
 
 pub use common::{AlgorithmFamily, Elision, ProblemDims, Sampling};

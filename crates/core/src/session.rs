@@ -68,6 +68,20 @@ pub struct ReplanPolicy {
     /// Replication-factor cap for the re-planning search (the paper's
     /// memory-limit bound).
     pub c_max: usize,
+    /// Automatic cadence: when set — and the policy is installed via
+    /// [`SessionBuilder::auto_replan`] or [`Session::set_auto_replan`] —
+    /// the session replans itself every `n` *stored-operand* fused
+    /// calls (`fused_mm_a(None, ..)` / `fused_mm_b(None, ..)`), without
+    /// the application calling [`Session::replan`]. Calls with explicit
+    /// operands never trigger (the caller holds layout-dependent state
+    /// mid-solve, e.g. CG search directions); the check fires at the
+    /// next stored-operand call instead.
+    pub every_n_calls: Option<u64>,
+    /// Drift gate for the automatic cadence: skip the (collective, but
+    /// cheap) planner re-run unless the observed nonzero count moved by
+    /// at least this factor — in either direction — since the last
+    /// planning decision. `None` replans at every cadence point.
+    pub drift_ratio: Option<f64>,
 }
 
 impl Default for ReplanPolicy {
@@ -76,7 +90,30 @@ impl Default for ReplanPolicy {
             hysteresis: 1.15,
             prune_epsilon: 0.0,
             c_max: 16,
+            every_n_calls: None,
+            drift_ratio: None,
         }
+    }
+}
+
+impl ReplanPolicy {
+    /// A policy that replans automatically every `n` stored-operand
+    /// fused calls (see [`ReplanPolicy::every_n_calls`]).
+    pub fn every_n_calls(n: u64) -> Self {
+        assert!(n > 0, "the replan cadence must be positive");
+        ReplanPolicy {
+            every_n_calls: Some(n),
+            ..ReplanPolicy::default()
+        }
+    }
+
+    /// Gate the automatic cadence on observed-nnz drift: only re-run
+    /// the planner when nnz changed by at least `ratio`× (up or down)
+    /// since the last planning decision. `ratio` must be ≥ 1.
+    pub fn with_drift_ratio(mut self, ratio: f64) -> Self {
+        assert!(ratio >= 1.0, "drift ratio is a ×/÷ factor, must be ≥ 1");
+        self.drift_ratio = Some(ratio);
+        self
     }
 }
 
@@ -136,6 +173,7 @@ pub struct SessionBuilder {
     builder: KernelBuilder<'static>,
     elision: Option<Elision>,
     c_max: usize,
+    auto_policy: Option<ReplanPolicy>,
 }
 
 impl SessionBuilder {
@@ -146,6 +184,7 @@ impl SessionBuilder {
             builder,
             elision: None,
             c_max: 16,
+            auto_policy: None,
         }
     }
 
@@ -203,6 +242,19 @@ impl SessionBuilder {
         self
     }
 
+    /// Install an automatic re-planning policy: the session replans
+    /// itself at the policy's [`ReplanPolicy::every_n_calls`] cadence
+    /// (optionally gated by its drift ratio) without the application
+    /// calling [`Session::replan`].
+    pub fn auto_replan(mut self, policy: ReplanPolicy) -> Self {
+        assert!(
+            policy.every_n_calls.is_some(),
+            "an automatic policy needs a cadence (ReplanPolicy::every_n_calls)"
+        );
+        self.auto_policy = Some(policy);
+        self
+    }
+
     /// Build this rank's session. Must be called by every rank of the
     /// communicator (the plan is deterministic, so all ranks agree
     /// without communication).
@@ -215,6 +267,7 @@ impl SessionBuilder {
             "{:?} does not support {elision:?}",
             worker.id()
         );
+        let last_planned_nnz = self.staged.prob.nnz();
         Session {
             comm: comm.dup(),
             staged: self.staged,
@@ -224,6 +277,9 @@ impl SessionBuilder {
             c_max: self.c_max,
             calls: 0,
             replan_log: Vec::new(),
+            auto_policy: self.auto_policy,
+            last_planned_nnz,
+            last_auto_check: 0,
         }
     }
 }
@@ -239,6 +295,14 @@ pub struct Session {
     c_max: usize,
     calls: u64,
     replan_log: Vec<ReplanEvent>,
+    /// Automatic re-planning policy (see [`SessionBuilder::auto_replan`]).
+    auto_policy: Option<ReplanPolicy>,
+    /// Observed nnz at the last planning decision (construction or
+    /// replan) — the baseline the drift gate compares against.
+    last_planned_nnz: usize,
+    /// Fused-call count at the last automatic cadence check (sticky
+    /// cadence: explicit-operand calls defer, never skip, a check).
+    last_auto_check: u64,
 }
 
 impl Session {
@@ -314,15 +378,24 @@ impl Session {
     // Kernel surface (counted)
     // ------------------------------------------------------------------
 
-    /// FusedMMA with the session's elision; counts one call.
+    /// FusedMMA with the session's elision; counts one call. With an
+    /// automatic policy installed, a stored-operand call (`x = None`)
+    /// at the policy's cadence replans (and possibly migrates) first.
     pub fn fused_mm_a(&mut self, x: Option<&Mat>, sampling: Sampling) -> Mat {
         self.calls += 1;
+        if x.is_none() {
+            self.maybe_auto_replan();
+        }
         self.worker.fused_mm_a(x, self.elision, sampling)
     }
 
-    /// FusedMMB with the session's elision; counts one call.
+    /// FusedMMB with the session's elision; counts one call. Same
+    /// automatic-replan hook as [`Session::fused_mm_a`].
     pub fn fused_mm_b(&mut self, y: Option<&Mat>, sampling: Sampling) -> Mat {
         self.calls += 1;
+        if y.is_none() {
+            self.maybe_auto_replan();
+        }
         self.worker.fused_mm_b(y, self.elision, sampling)
     }
 
@@ -422,6 +495,53 @@ impl Session {
         }
     }
 
+    /// Install (or clear) the automatic re-planning policy at runtime —
+    /// the post-construction form of [`SessionBuilder::auto_replan`].
+    /// Collective in effect: every rank must install the same policy at
+    /// the same call count, or the cadence-triggered collectives
+    /// mismatch.
+    pub fn set_auto_replan(&mut self, policy: Option<ReplanPolicy>) {
+        if let Some(p) = &policy {
+            assert!(
+                p.every_n_calls.is_some(),
+                "an automatic policy needs a cadence (ReplanPolicy::every_n_calls)"
+            );
+        }
+        // The cadence counts from installation, not from call zero — a
+        // policy installed at call 100 first checks at call 100 + n.
+        self.last_auto_check = self.calls;
+        self.auto_policy = policy;
+    }
+
+    /// The installed automatic policy, if any.
+    pub fn auto_replan_policy(&self) -> Option<ReplanPolicy> {
+        self.auto_policy
+    }
+
+    /// The cadence hook: replan when an automatic policy is installed,
+    /// at least `n` fused calls elapsed since the last cadence check,
+    /// and the observed nnz cleared the drift gate. The check is
+    /// *sticky*: cadence points that land on explicit-operand calls
+    /// (which never trigger — see [`ReplanPolicy::every_n_calls`])
+    /// carry over to the next stored-operand call instead of being
+    /// skipped. Returns the logged decision when a replan ran.
+    fn maybe_auto_replan(&mut self) -> Option<ReplanEvent> {
+        let policy = self.auto_policy?;
+        let n = policy.every_n_calls?;
+        if self.calls - self.last_auto_check < n {
+            return None;
+        }
+        self.last_auto_check = self.calls;
+        if let Some(ratio) = policy.drift_ratio {
+            let observed = self.observed_nnz(&policy).max(1) as f64;
+            let base = self.last_planned_nnz.max(1) as f64;
+            if (observed / base).max(base / observed) < ratio {
+                return None;
+            }
+        }
+        Some(self.replan(&policy))
+    }
+
     /// Re-run the planner against the observed problem and migrate when
     /// the predicted win clears `policy.hysteresis`. Collective: every
     /// rank must call with the same policy (decisions are deterministic,
@@ -430,6 +550,7 @@ impl Session {
         let p = self.comm.size();
         let dims = self.worker.dims();
         let observed_nnz = self.observed_nnz(policy);
+        self.last_planned_nnz = observed_nnz;
         let candidates = KernelBuilder::for_shape(dims, observed_nnz)
             .model(self.model)
             .max_replication(policy.c_max.min(self.c_max))
@@ -493,6 +614,7 @@ impl Session {
         // Observe before moving state so the logged event carries the
         // same post-pruning nonzero count a replan would have seen.
         let observed_nnz = self.observed_nnz(&ReplanPolicy::default());
+        self.last_planned_nnz = observed_nnz;
         self.migrate_to(&plan);
         let dims = self.worker.dims();
         self.replan_log.push(ReplanEvent {
@@ -513,13 +635,13 @@ impl Session {
     /// additionally pays the new kernel's usual `set_a`/`set_b`
     /// distribution shift under [`Phase::OutsideComm`].
     ///
-    /// The R redistribution is an allgather of global-coordinate
-    /// triplets — `O(p·nnz)` words total, honestly charged, and simple
-    /// enough to be obviously correct for every kernel pair. An
-    /// owner-targeted alltoallv (routing each triplet only to the ranks
-    /// whose destination pattern contains it) would cut this to
-    /// `O(nnz)`; see the ROADMAP open item before migrating at high
-    /// frequency or paper scale.
+    /// The R redistribution is **owner-targeted**: each exported
+    /// global-coordinate triplet travels only to the ranks whose
+    /// destination pattern bounds
+    /// ([`DistKernel::r_pattern_bounds_of`](crate::kernel::DistKernel::r_pattern_bounds_of))
+    /// contain it — an alltoallv of `O(c·nnz)` words total (`c` = how
+    /// many ranks replicate each destination block), instead of the
+    /// `O(p·nnz)` allgather this used to be.
     fn migrate_to(&mut self, plan: &KernelPlan) {
         let mut new_worker = KernelBuilder::from_staged(&self.staged)
             .model(self.model)
@@ -549,13 +671,31 @@ impl Session {
         new_worker.set_b(&self.comm, &b_new);
         if let Some(local) = exported {
             let _ph = self.comm.phase(Phase::Migration);
-            let parts = self.comm.allgather(local);
+            let p = self.comm.size();
+            // Destination ownership is pure grid arithmetic on the new
+            // kernel — no communication to discover it.
+            let bounds: Vec<_> = {
+                let new_k = new_worker.kernel();
+                (0..p).map(|g| new_k.r_pattern_bounds_of(g)).collect()
+            };
+            let mut outgoing: Vec<(Vec<u32>, Vec<u32>, Vec<f64>)> =
+                (0..p).map(|_| Default::default()).collect();
+            for (i, j, v) in local.iter() {
+                for (g, (rows, cols)) in bounds.iter().enumerate() {
+                    if rows.contains(&i) && cols.contains(&j) {
+                        outgoing[g].0.push(i as u32);
+                        outgoing[g].1.push(j as u32);
+                        outgoing[g].2.push(v);
+                    }
+                }
+            }
+            let incoming = self.comm.alltoallv(outgoing);
             let (m, n) = (self.worker.dims().m, self.worker.dims().n);
             let mut global = CooMatrix::empty(m, n);
-            for part in parts {
-                global.rows.extend_from_slice(&part.rows);
-                global.cols.extend_from_slice(&part.cols);
-                global.vals.extend_from_slice(&part.vals);
+            for (rows, cols, vals) in incoming {
+                global.rows.extend_from_slice(&rows);
+                global.cols.extend_from_slice(&cols);
+                global.vals.extend_from_slice(&vals);
             }
             new_worker.import_r(&global);
         }

@@ -532,6 +532,17 @@ impl DistKernel for SparseRepl25 {
         self.export_r_local()
     }
 
+    fn r_pattern_bounds_of(&self, g: usize) -> (std::ops::Range<usize>, std::ops::Range<usize>) {
+        // Rank g holds the (u, v) block of the q×q layer grid; all c
+        // fiber layers of that position import the same block.
+        let grid = self.gc.grid;
+        let (u, v) = (grid.row_pos(g), grid.col_pos(g));
+        (
+            block_range(self.dims.m, grid.q, u),
+            block_range(self.dims.n, grid.q, v),
+        )
+    }
+
     fn import_r(&mut self, r: &CooMatrix) {
         // Every layer installs the full value set, restoring the
         // replicated-R invariant.

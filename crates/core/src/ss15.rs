@@ -606,6 +606,12 @@ impl DistKernel for SparseShift15 {
         self.export_r_local()
     }
 
+    fn r_pattern_bounds_of(&self, g: usize) -> (std::ops::Range<usize>, std::ops::Range<usize>) {
+        // Rank g's home block is column block u·c + v = g of S, with
+        // global rows.
+        (0..self.dims.m, block_range(self.dims.n, self.gc.grid.p, g))
+    }
+
     fn import_r(&mut self, r: &CooMatrix) {
         let map = crate::layout::triplet_map(r);
         let (p, c, u, v) = (self.gc.grid.p, self.gc.grid.c, self.gc.u, self.gc.v);

@@ -169,6 +169,116 @@ fn als_with_midrun_migration_matches_static_run() {
     }
 }
 
+/// The R redistribution is owner-targeted: each exported triplet
+/// travels only to the ranks whose destination pattern bounds contain
+/// it, so total `Phase::Migration` traffic stays `O(c·nnz)` — strictly
+/// below the `(p-1)·3·nnz` words the old allgather scheme moved for the
+/// R values alone (before even counting iterate repartitioning).
+#[test]
+fn migration_traffic_is_owner_targeted_not_allgather() {
+    let p = 8usize;
+    // Dense observation pattern so R traffic dominates iterates.
+    let prob = Arc::new(GlobalProblem::erdos_renyi(64, 64, 4, 24, 8004));
+    let nnz = prob.nnz();
+    let world = SimWorld::new(p, MachineModel::bandwidth_only());
+    let out = world.run(move |comm| {
+        let mut s = Session::builder_arc(Arc::clone(&prob))
+            .family(AlgorithmFamily::DenseShift15)
+            .replication(2)
+            .build(comm);
+        s.worker_mut().sddmm();
+        let loss_before = s.stored_loss();
+        s.migrate(
+            distributed_sparse_kernels::core::theory::Algorithm::new(
+                AlgorithmFamily::SparseShift15,
+                Elision::ReplicationReuse,
+            ),
+            2,
+        );
+        (
+            s.stats().phase(Phase::Migration).words_sent,
+            loss_before,
+            s.stored_loss(),
+        )
+    });
+    for o in &out {
+        assert!(
+            (o.value.1 - o.value.2).abs() <= 1e-9 * o.value.1.abs().max(1.0),
+            "loss must survive the targeted redistribution"
+        );
+    }
+    let total: u64 = out.iter().map(|o| o.value.0).sum();
+    let old_allgather_floor = ((p - 1) * 3 * nnz) as u64;
+    assert!(total > 0, "migration must move words");
+    assert!(
+        total < old_allgather_floor,
+        "owner-targeted migration moved {total} words — not below the \
+         {old_allgather_floor}-word floor of the old O(p·nnz) allgather"
+    );
+    // ss15 partitions R without replication: the R leg is ≈ 3·nnz words,
+    // so even with iterate repartitioning and the observation all-reduce
+    // the total stays within a small multiple of 3·nnz.
+    assert!(
+        total < (6 * 3 * nnz) as u64,
+        "migration traffic {total} is not O(nnz) (nnz = {nnz})"
+    );
+}
+
+/// Automatic trigger: with `ReplanPolicy::every_n_calls` installed the
+/// session replans itself at the cadence — no `replan` call anywhere —
+/// and the drift gate suppresses planner re-runs while the observed
+/// problem is unchanged.
+#[test]
+fn auto_replan_fires_at_cadence_and_respects_drift_gate() {
+    let prob = Arc::new(GlobalProblem::erdos_renyi(64, 64, 8, 16, 8005));
+    let world = SimWorld::new(8, MachineModel::bandwidth_only());
+    let out = world.run(move |comm| {
+        let policy = ReplanPolicy {
+            hysteresis: 1.05,
+            ..ReplanPolicy::every_n_calls(2).with_drift_ratio(1.5)
+        };
+        let mut s = Session::builder_arc(Arc::clone(&prob))
+            .family(AlgorithmFamily::DenseShift15)
+            .replication(2)
+            .auto_replan(policy)
+            .build(comm);
+        use distributed_sparse_kernels::core::Sampling;
+        // Calls 1–2: nnz unchanged, so the drift gate must suppress the
+        // cadence-point replan (no log entry).
+        let _ = s.fused_mm_b(None, Sampling::Values);
+        let _ = s.fused_mm_b(None, Sampling::Values);
+        let suppressed = s.replan_log().len();
+        // Prune everything: observed nnz collapses, drift huge.
+        s.worker_mut().sddmm();
+        s.map_r(&mut |_| 0.0);
+        // Calls 3–4: the call-4 cadence point must auto-replan and
+        // migrate across the Fig. 6 boundary.
+        let _ = s.fused_mm_b(None, Sampling::Values);
+        let _ = s.fused_mm_b(None, Sampling::Values);
+        (
+            suppressed,
+            s.replan_log().len(),
+            s.migrations(),
+            s.replan_log().first().map(|e| e.at_call),
+            s.plan().id.family(),
+        )
+    });
+    for o in &out {
+        let (suppressed, logged, migrations, at_call, family) = &o.value;
+        assert_eq!(*suppressed, 0, "unchanged nnz must not trigger a replan");
+        assert_eq!(*logged, 1, "exactly the call-4 cadence point replans");
+        assert_eq!(*migrations, 1, "the collapsed φ must migrate");
+        assert_eq!(*at_call, Some(4));
+        assert!(
+            matches!(
+                family,
+                Some(AlgorithmFamily::SparseShift15) | Some(AlgorithmFamily::SparseRepl25)
+            ),
+            "auto-replan must land on a sparse family, got {family:?}"
+        );
+    }
+}
+
 /// The replan log records non-migrating decisions too, and a fresh
 /// auto-planned session never migrates away from its own optimum.
 #[test]

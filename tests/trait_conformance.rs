@@ -66,7 +66,7 @@ fn close(a: f64, b: f64) -> bool {
 fn sddmm_gathers_identically_across_kernels_and_backends() {
     let prob = Arc::new(GlobalProblem::erdos_renyi(26, 22, 7, 3, 4001));
     let expect = prob.reference_sddmm().to_coo().to_dense();
-    for backend in BackendKind::CONFORMANCE {
+    for backend in BackendKind::conformance_with_env() {
         for (name, builder, _) in scenarios(&prob) {
             let expect = expect.clone();
             let world = SimWorld::new(P, MachineModel::bandwidth_only()).backend(backend);
@@ -181,7 +181,7 @@ fn r_valued_spmm_b_agrees_across_kernels_and_backends() {
         kern::spmm_csr_acc(&mut out, &rt, &prob.a);
         out.as_slice().iter().map(|v| v * v).sum()
     };
-    for backend in BackendKind::CONFORMANCE {
+    for backend in BackendKind::conformance_with_env() {
         for (name, builder, _) in scenarios(&prob) {
             let world = SimWorld::new(P, MachineModel::bandwidth_only()).backend(backend);
             let out = world.run(move |comm| {
@@ -267,11 +267,17 @@ fn migration_round_trips_state_across_all_kernels_and_backends() {
     // All three backends: delay injection changes timing, not
     // semantics, but migration is all-to-all heavy — exactly the
     // traffic the wire paths must encode and delay correctly.
-    let backends = [
+    let mut backends = vec![
         BackendKind::InProc,
         BackendKind::Wire,
         BackendKind::WireDelay,
     ];
+    // Plus the environment-selected backend (the socket CI leg runs
+    // live migration across real process boundaries).
+    let env = BackendKind::from_env();
+    if !backends.contains(&env) {
+        backends.push(env);
+    }
     for backend in backends {
         for (src_name, src_family) in &sources {
             for dst in AlgorithmFamily::ALL {
