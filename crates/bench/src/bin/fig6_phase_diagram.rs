@@ -182,13 +182,24 @@ fn sweep_point(
                 "auto build diverged from plan_candidates head"
             );
             assert_eq!(plan.c, cand.c);
+            assert_eq!(plan.routing, cand.routing);
             row
         } else {
-            run_fused_on(staged, model, p, cand.algorithm, cand.c, CALLS, backend)
+            run_fused_on(
+                staged,
+                model,
+                p,
+                cand.algorithm,
+                cand.routing,
+                cand.c,
+                CALLS,
+                backend,
+            )
         };
         timed.push(CandidateTiming {
             family: cand.algorithm.family.label().to_string(),
             elision: cand.algorithm.elision.label().to_string(),
+            routing: cand.routing.label().to_string(),
             c: cand.c as u64,
             predicted_s: cand.predicted_total_s() * CALLS as f64,
             modeled_s: row.total_s,
@@ -231,8 +242,13 @@ fn sweep_point(
 /// backend-invariant, like the main grid's regret).
 fn adaptive_scenario(scale: SweepScale, model: MachineModel) -> AdaptivePoint {
     let grid = drifting_nnz_grid(scale);
-    let mut static_pick: Option<(dsk_core::theory::Algorithm, usize)> = None;
-    let mut prev_pick: Option<(dsk_core::theory::Algorithm, usize)> = None;
+    type Pick = (
+        dsk_core::theory::Algorithm,
+        dsk_core::common::Routing,
+        usize,
+    );
+    let mut static_pick: Option<Pick> = None;
+    let mut prev_pick: Option<Pick> = None;
     let (mut static_total, mut adaptive_total, mut oracle_total) = (0.0f64, 0.0f64, 0.0f64);
     let mut migrations = 0u64;
     for (phase, &nnz_row) in grid.schedule.iter().enumerate() {
@@ -257,6 +273,7 @@ fn adaptive_scenario(scale: SweepScale, model: MachineModel) -> AdaptivePoint {
                     model,
                     grid.p,
                     cand.algorithm,
+                    cand.routing,
                     cand.c,
                     CALLS,
                     BackendKind::InProc,
@@ -266,7 +283,11 @@ fn adaptive_scenario(scale: SweepScale, model: MachineModel) -> AdaptivePoint {
             .collect();
         let oracle = measured.iter().cloned().fold(f64::INFINITY, f64::min);
         oracle_total += oracle;
-        let pick = (candidates[0].algorithm, candidates[0].c);
+        let pick = (
+            candidates[0].algorithm,
+            candidates[0].routing,
+            candidates[0].c,
+        );
         adaptive_total += measured[0];
         if let Some(prev) = prev_pick {
             if prev != pick {
@@ -286,16 +307,18 @@ fn adaptive_scenario(scale: SweepScale, model: MachineModel) -> AdaptivePoint {
                 grid.p,
                 stat.0,
                 stat.1,
+                stat.2,
                 CALLS,
                 BackendKind::InProc,
             )
             .total_s
         };
         eprintln!(
-            "[adaptive] phase {phase}: nnz/row={nnz_row} pick {} c={} (oracle {:.3e}s, \
+            "[adaptive] phase {phase}: nnz/row={nnz_row} pick {} {} c={} (oracle {:.3e}s, \
              adaptive {:.3e}s)",
             pick.0.label(),
-            pick.1,
+            pick.1.label(),
+            pick.2,
             oracle,
             measured[0],
         );

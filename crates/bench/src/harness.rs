@@ -4,6 +4,7 @@
 use std::sync::Arc;
 
 use dsk_comm::{AggregateStats, BackendKind, MachineModel, Phase, SimWorld};
+use dsk_core::common::Routing;
 use dsk_core::kernel::{KernelBuilder, KernelPlan};
 use dsk_core::theory::Algorithm;
 use dsk_core::{GlobalProblem, Sampling, StagedProblem};
@@ -21,6 +22,9 @@ pub struct FusedRow {
     pub p: usize,
     /// Replication factor used.
     pub c: usize,
+    /// Shift routing the row ran under (dense full-row schedules or
+    /// pattern-routed needed-rows-only).
+    pub routing: Routing,
     /// FusedMM calls timed.
     pub calls: usize,
     /// Modeled replication time (max over ranks), seconds.
@@ -50,6 +54,7 @@ impl FusedRow {
         backend: &'static str,
         p: usize,
         c: usize,
+        routing: Routing,
         calls: usize,
         agg: &AggregateStats,
     ) -> Self {
@@ -66,6 +71,7 @@ impl FusedRow {
             backend,
             p,
             c,
+            routing,
             calls,
             repl_s,
             prop_s,
@@ -90,7 +96,8 @@ impl FusedRow {
     /// a string without embedded quotes.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"algorithm\":\"{}\",\"backend\":\"{}\",\"p\":{},\"c\":{},\"calls\":{},\
+            "{{\"algorithm\":\"{}\",\"backend\":\"{}\",\"p\":{},\"c\":{},\"routing\":\"{}\",\
+             \"calls\":{},\
              \"repl_s\":{:e},\"prop_s\":{:e},\"comp_s\":{:e},\"total_s\":{:e},\
              \"wall_s\":{:e},\"max_words_repl\":{},\"max_words_prop\":{},\"max_msgs\":{},\
              \"wire_bytes\":{}}}",
@@ -98,6 +105,7 @@ impl FusedRow {
             self.backend,
             self.p,
             self.c,
+            self.routing.label(),
             self.calls,
             self.repl_s,
             self.prop_s,
@@ -114,6 +122,8 @@ impl FusedRow {
 
 /// Run `calls` FusedMMB executions of `alg` at replication factor `c`,
 /// on the backend selected by `DSK_COMM_BACKEND` (in-process default).
+/// Always the paper's dense schedules; routed rows come from
+/// [`run_fused_on`] with an explicit [`Routing::Pattern`].
 pub fn run_fused(
     prob: &Arc<GlobalProblem>,
     model: MachineModel,
@@ -123,18 +133,31 @@ pub fn run_fused(
     calls: usize,
 ) -> FusedRow {
     let staged = Arc::new(StagedProblem::new(Arc::clone(prob)));
-    run_fused_on(&staged, model, p, alg, c, calls, BackendKind::from_env())
+    run_fused_on(
+        &staged,
+        model,
+        p,
+        alg,
+        Routing::Dense,
+        c,
+        calls,
+        BackendKind::from_env(),
+    )
 }
 
-/// [`run_fused`] on an explicit communication backend, over shared
-/// staging (the regret sweep measures every candidate under both
+/// [`run_fused`] on an explicit communication backend and routing, over
+/// shared staging (the regret sweep measures every candidate under both
 /// `inproc` and `wire-delay` without re-partitioning the sparse matrix
-/// per run).
+/// per run). The routing is pinned on the builder: a pinned
+/// reconstruction must measure exactly the candidate row asked for,
+/// never a silent variant swap.
+#[allow(clippy::too_many_arguments)]
 pub fn run_fused_on(
     staged: &Arc<StagedProblem>,
     model: MachineModel,
     p: usize,
     alg: Algorithm,
+    routing: Routing,
     c: usize,
     calls: usize,
     backend: BackendKind,
@@ -144,6 +167,7 @@ pub fn run_fused_on(
         let mut worker = KernelBuilder::from_staged(staged)
             .algorithm(alg)
             .replication(c)
+            .routing(routing)
             .build(comm);
         for _ in 0..calls {
             let _ = worker.fused_mm_b(None, alg.elision, Sampling::Values);
@@ -151,7 +175,7 @@ pub fn run_fused_on(
     });
     let stats: Vec<_> = outcomes.into_iter().map(|o| o.stats).collect();
     let agg = AggregateStats::from_ranks(&stats);
-    FusedRow::from_stats(alg.label(), backend.label(), p, c, calls, &agg)
+    FusedRow::from_stats(alg.label(), backend.label(), p, c, routing, calls, &agg)
 }
 
 /// Run `calls` FusedMMB executions of whatever the planner picks
@@ -192,6 +216,7 @@ pub fn run_planned_on(
         backend.label(),
         p,
         plan.c,
+        plan.routing,
         calls,
         &agg,
     );
@@ -249,7 +274,16 @@ pub fn run_fused_best_c(
     let staged = Arc::new(StagedProblem::new(Arc::clone(prob)));
     let mut best: Option<FusedRow> = None;
     for c in candidates {
-        let row = run_fused_on(&staged, model, p, alg, c, calls, BackendKind::from_env());
+        let row = run_fused_on(
+            &staged,
+            model,
+            p,
+            alg,
+            Routing::Dense,
+            c,
+            calls,
+            BackendKind::from_env(),
+        );
         if best.as_ref().is_none_or(|b| row.total_s < b.total_s) {
             best = Some(row);
         }
@@ -281,6 +315,7 @@ pub fn run_baseline(
         backend,
         p,
         1,
+        Routing::Dense,
         spmm_calls,
         &agg,
     )

@@ -26,9 +26,13 @@ use std::fmt::Write as _;
 /// changes; [`gate`] refuses to compare mismatched versions.
 ///
 /// v2 added the `adaptive` section (drifting-sparsity static-vs-
-/// adaptive regret); the parser still accepts v1 documents, which
-/// simply carry no adaptive points.
-pub const BENCH_SCHEMA_VERSION: u64 = 2;
+/// adaptive regret). v3 added per-candidate `routing` (`dense` vs
+/// `pattern`): the planner scoreboard now carries pattern-routed
+/// variants alongside the paper's dense schedules, and the gate grows
+/// routed-regret and routed wire-byte axes. The parser still accepts
+/// older documents (`routing` defaults to `dense`), but [`gate`]
+/// refuses cross-version comparison and asks for a baseline refresh.
+pub const BENCH_SCHEMA_VERSION: u64 = 3;
 
 // ---------------------------------------------------------------------
 // Minimal JSON value
@@ -384,6 +388,10 @@ pub struct CandidateTiming {
     pub family: String,
     /// Elision label.
     pub elision: String,
+    /// Routing label: `dense` (the paper's full-row shifts) or
+    /// `pattern` (pattern-routed shifts shipping only needed rows).
+    /// Schema v3; parses as `dense` when absent.
+    pub routing: String,
     /// Replication factor the planner resolved for this candidate.
     pub c: u64,
     /// Planner-predicted seconds per call (modeled comm + comp).
@@ -437,6 +445,53 @@ impl BenchPoint {
     /// Encoded bytes summed over candidate runs at this point.
     pub fn wire_bytes(&self) -> u64 {
         self.candidates.iter().map(|c| c.wire_bytes).sum()
+    }
+
+    /// Measured regret of the best pattern-routed candidate: min
+    /// modeled time over `routing == "pattern"` rows ÷ min modeled time
+    /// over all rows (`None` when the point scored no routed row).
+    /// Gates how competitive routed execution stays — a silent routing
+    /// regression shows up here even while every pick is dense.
+    pub fn routed_regret(&self) -> Option<f64> {
+        let best_routed = self
+            .candidates
+            .iter()
+            .filter(|c| c.routing == "pattern")
+            .map(|c| c.modeled_s)
+            .fold(f64::INFINITY, f64::min);
+        if !best_routed.is_finite() {
+            return None;
+        }
+        let best = self
+            .candidates
+            .iter()
+            .map(|c| c.modeled_s)
+            .fold(f64::INFINITY, f64::min);
+        Some(best_routed / best)
+    }
+
+    /// Wire-byte ratios routed ÷ dense over (family, elision, c)-matched
+    /// candidate pairs at this point. Each entry is the direct
+    /// measurement of what pattern routing saves for one algorithm on
+    /// this scenario's sparsity structure (< 1 means it shipped fewer
+    /// encoded bytes than the paper's dense schedule of the same
+    /// algorithm). Empty under `inproc`, where nothing is encoded.
+    pub fn routed_byte_ratios(&self) -> Vec<f64> {
+        let mut ratios = Vec::new();
+        for routed in self.candidates.iter().filter(|c| c.routing == "pattern") {
+            let dense = self.candidates.iter().find(|c| {
+                c.routing == "dense"
+                    && c.family == routed.family
+                    && c.elision == routed.elision
+                    && c.c == routed.c
+            });
+            if let Some(dense) = dense {
+                if dense.wire_bytes > 0 {
+                    ratios.push(routed.wire_bytes as f64 / dense.wire_bytes as f64);
+                }
+            }
+        }
+        ratios
     }
 }
 
@@ -540,6 +595,25 @@ impl BenchReport {
         self.backend_points(backend).map(|pt| pt.wire_bytes()).sum()
     }
 
+    /// Maximum [`BenchPoint::routed_regret`] over a backend's points
+    /// (1.0 when no point scored a routed candidate).
+    pub fn max_routed_regret(&self, backend: &str) -> f64 {
+        self.backend_points(backend)
+            .filter_map(|pt| pt.routed_regret())
+            .fold(1.0, f64::max)
+    }
+
+    /// Minimum routed ÷ dense wire-byte ratio over a backend's matched
+    /// candidate pairs — the sweep's best demonstrated sparse-routing
+    /// saving (`None` when no pair was measured, e.g. under `inproc`).
+    pub fn min_routed_byte_ratio(&self, backend: &str) -> Option<f64> {
+        let best = self
+            .backend_points(backend)
+            .flat_map(|pt| pt.routed_byte_ratios())
+            .fold(f64::INFINITY, f64::min);
+        best.is_finite().then_some(best)
+    }
+
     /// Adaptive points under one backend.
     pub fn backend_adaptive<'a>(
         &'a self,
@@ -577,6 +651,7 @@ impl BenchReport {
                         Json::Obj(vec![
                             ("family".into(), Json::Str(c.family.clone())),
                             ("elision".into(), Json::Str(c.elision.clone())),
+                            ("routing".into(), Json::Str(c.routing.clone())),
                             ("c".into(), Json::Num(c.c as f64)),
                             ("predicted_s".into(), Json::Num(c.predicted_s)),
                             ("modeled_s".into(), Json::Num(c.modeled_s)),
@@ -789,6 +864,11 @@ fn parse_candidate(cand: &Json) -> Result<CandidateTiming, String> {
             .as_str()
             .ok_or("\"elision\" not a string")?
             .to_string(),
+        // Pre-v3 documents scored dense schedules only.
+        routing: match cand.get("routing") {
+            Some(v) => v.as_str().ok_or("\"routing\" not a string")?.to_string(),
+            None => "dense".to_string(),
+        },
         c: req("c")?.as_u64().ok_or("\"c\" not an integer")?,
         predicted_s: float("predicted_s")?,
         modeled_s: float("modeled_s")?,
@@ -957,6 +1037,44 @@ pub fn gate(baseline: &BenchReport, current: &BenchReport, tol: &GateTolerances)
         }
     }
 
+    // Routed-candidate axes (schema v3). Regret: pattern-routed
+    // variants must stay as competitive as the baseline measured them.
+    {
+        let base_v = baseline.max_routed_regret("inproc");
+        let cur_v = current.max_routed_regret("inproc");
+        let bound = base_v * (1.0 + tol.regret_frac) + tol.regret_abs;
+        if cur_v > bound {
+            violations.push(format!(
+                "max routed-candidate regret regressed: {cur_v:.4} > {base_v:.4} (+{:.0}% +{}) \
+                 = {bound:.4}",
+                tol.regret_frac * 100.0,
+                tol.regret_abs
+            ));
+        }
+    }
+    // Bytes: wherever the sweep measures a routed/dense pair of the
+    // same algorithm under wire-delay, pattern routing must still ship
+    // strictly fewer encoded bytes somewhere (the subsystem's reason to
+    // exist), and its best saving must not erode beyond tolerance.
+    if let Some(cur_ratio) = current.min_routed_byte_ratio("wire-delay") {
+        if cur_ratio >= 1.0 {
+            violations.push(format!(
+                "pattern routing no longer reduces wire bytes on any scenario: best \
+                 routed/dense ratio {cur_ratio:.4} >= 1"
+            ));
+        }
+        if let Some(base_ratio) = baseline.min_routed_byte_ratio("wire-delay") {
+            let bound = base_ratio * (1.0 + tol.wire_frac);
+            if cur_ratio > bound {
+                violations.push(format!(
+                    "best routed/dense wire-byte ratio regressed: {cur_ratio:.4} > \
+                     {base_ratio:.4} (+{:.0}%) = {bound:.4}",
+                    tol.wire_frac * 100.0
+                ));
+            }
+        }
+    }
+
     let base_bytes = baseline.wire_bytes_total("wire-delay");
     let cur_bytes = current.wire_bytes_total("wire-delay");
     let byte_bound = (base_bytes as f64 * (1.0 + tol.wire_frac)).ceil() as u64;
@@ -996,6 +1114,23 @@ pub fn summary_lines(report: &BenchReport) -> Vec<String> {
             )
         })
         .collect();
+    if let Some(ratio) = report.min_routed_byte_ratio("wire-delay") {
+        let routed_picks = report
+            .points
+            .iter()
+            .filter(|pt| {
+                pt.candidates
+                    .get(pt.picked as usize)
+                    .is_some_and(|c| c.routing == "pattern")
+            })
+            .count();
+        lines.push(format!(
+            "  routing: max routed regret {:.3} (inproc), best routed/dense wire bytes \
+             {:.3}, {routed_picks} routed pick(s)",
+            report.max_routed_regret("inproc"),
+            ratio,
+        ));
+    }
     let n_adaptive = report.backend_adaptive("inproc").count();
     if n_adaptive > 0 {
         let migrations: u64 = report

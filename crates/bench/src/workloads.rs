@@ -133,16 +133,20 @@ pub struct Fig6Grid {
 }
 
 /// The Figure 6 grid extended with the sweep's rank count. Smoke keeps
-/// the φ range bracketing the 1.5D crossover (0.0625 … 2.5) so the
+/// the φ range bracketing the 1.5D crossover (0.03125 … 2.5) so the
 /// regret sweep still exercises both sides of the phase diagram, at
-/// sizes where all candidates run in seconds.
+/// sizes where all candidates run in seconds. The nnz/row = 1 column is
+/// the sparse-routing scenario: at its widest-r corner the row supports
+/// are sparse enough that the planner's pick itself is pattern-routed,
+/// so the sweep measures routed execution winning end-to-end (not just
+/// scored losing rows).
 pub fn fig6_regret_grid(scale: SweepScale) -> Fig6Grid {
     match scale {
         SweepScale::Smoke => Fig6Grid {
             p: 8,
             m: 1 << 10,
             rs: vec![8, 16, 32],
-            nnzs: vec![2, 8, 20],
+            nnzs: vec![1, 2, 8, 20],
         },
         SweepScale::Quick | SweepScale::Full => {
             let (m, rs, nnzs) = fig6_grid(scale == SweepScale::Quick);

@@ -6,10 +6,17 @@ use dsk_bench::json::{
     gate, AdaptivePoint, BenchPoint, BenchReport, CandidateTiming, GateTolerances, Json,
 };
 
-fn candidate(family: &str, c: u64, modeled_s: f64, wire_bytes: u64) -> CandidateTiming {
+fn candidate(
+    family: &str,
+    routing: &str,
+    c: u64,
+    modeled_s: f64,
+    wire_bytes: u64,
+) -> CandidateTiming {
     CandidateTiming {
         family: family.to_string(),
         elision: "Repl. Reuse".to_string(),
+        routing: routing.to_string(),
         c,
         predicted_s: modeled_s * 0.97,
         modeled_s,
@@ -20,8 +27,11 @@ fn candidate(family: &str, c: u64, modeled_s: f64, wire_bytes: u64) -> Candidate
 
 fn point(backend: &str, r: u64, nnz_row: u64, best: u64, regret: f64) -> BenchPoint {
     let candidates = vec![
-        candidate("1.5D Dense Shift", 4, 1.0e-4 * regret, 1024),
-        candidate("1.5D Sparse Shift", 2, 1.0e-4, 4096),
+        candidate("1.5D Dense Shift", "dense", 4, 1.0e-4 * regret, 1024),
+        candidate("1.5D Sparse Shift", "dense", 2, 1.0e-4, 4096),
+        // The pattern-routed twin of candidate 0: same algorithm, never
+        // the measured best, half the encoded bytes.
+        candidate("1.5D Dense Shift", "pattern", 4, 1.2e-4, 512),
     ];
     BenchPoint {
         backend: backend.to_string(),
@@ -112,8 +122,106 @@ fn aggregates_summarize_per_backend() {
     assert_eq!(r.agreement("wire-delay"), (2, 2));
     assert!((r.max_regret("inproc") - 1.02).abs() < 1e-12);
     assert!((r.mean_regret("inproc") - 1.01).abs() < 1e-12);
-    // Two candidates per point: 1024 + 4096 bytes each.
-    assert_eq!(r.wire_bytes_total("wire-delay"), 2 * (1024 + 4096));
+    // Three candidates per point: 1024 + 4096 + 512 bytes each.
+    assert_eq!(r.wire_bytes_total("wire-delay"), 2 * (1024 + 4096 + 512));
+}
+
+#[test]
+fn routed_axes_summarize() {
+    let r = report();
+    // Best routed 1.2e-4 vs best overall 1.0e-4 at every point.
+    assert!((r.max_routed_regret("inproc") - 1.2).abs() < 1e-12);
+    // The routed twin ships 512 of its dense sibling's 1024 bytes.
+    assert_eq!(r.min_routed_byte_ratio("wire-delay"), Some(0.5));
+    // Real inproc rows record zero bytes; the dense-bytes > 0 guard
+    // then yields no ratio at all rather than a division by zero.
+    let mut zeroed = report();
+    for pt in &mut zeroed.points {
+        for c in &mut pt.candidates {
+            c.wire_bytes = 0;
+        }
+    }
+    assert_eq!(zeroed.min_routed_byte_ratio("wire-delay"), None);
+    let mut dense_only = report();
+    for pt in &mut dense_only.points {
+        pt.candidates.retain(|c| c.routing == "dense");
+    }
+    assert_eq!(dense_only.max_routed_regret("inproc"), 1.0);
+    assert_eq!(dense_only.min_routed_byte_ratio("wire-delay"), None);
+}
+
+#[test]
+fn gate_fails_on_routed_regret_regression() {
+    let base = report();
+    let mut worse = report();
+    for pt in &mut worse.points {
+        for c in &mut pt.candidates {
+            if c.routing == "pattern" {
+                c.modeled_s = 2.0e-4; // routed regret 1.2 → 2.0
+            }
+        }
+    }
+    let violations = gate(&base, &worse, &GateTolerances::default());
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.contains("routed-candidate regret regressed")),
+        "{violations:?}"
+    );
+}
+
+#[test]
+fn gate_fails_when_routing_stops_saving_bytes() {
+    let base = report();
+    // Ratio erodes beyond tolerance but still saves: 0.5 → 0.8.
+    let mut eroded = report();
+    for pt in &mut eroded.points {
+        for c in &mut pt.candidates {
+            if c.routing == "pattern" {
+                c.wire_bytes = 819;
+            }
+        }
+    }
+    let violations = gate(&base, &eroded, &GateTolerances::default());
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.contains("wire-byte ratio regressed")),
+        "{violations:?}"
+    );
+    // Routing that ships *more* than dense is flagged unconditionally.
+    let mut inverted = report();
+    for pt in &mut inverted.points {
+        for c in &mut pt.candidates {
+            if c.routing == "pattern" {
+                c.wire_bytes = 2048;
+            }
+        }
+    }
+    let violations = gate(&base, &inverted, &GateTolerances::default());
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.contains("no longer reduces wire bytes")),
+        "{violations:?}"
+    );
+}
+
+#[test]
+fn pre_v3_candidates_parse_as_dense() {
+    // v2 documents carry no "routing" field on candidates; they must
+    // parse with every row defaulting to the dense schedules v2 scored.
+    let text = report()
+        .to_json()
+        .replace("\"routing\": \"dense\",\n", "")
+        .replace("\"routing\": \"pattern\",\n", "");
+    assert!(!text.contains("routing"));
+    let parsed = BenchReport::parse(&text).expect("pre-v3 document must parse");
+    assert!(parsed
+        .points
+        .iter()
+        .flat_map(|pt| &pt.candidates)
+        .all(|c| c.routing == "dense"));
 }
 
 #[test]

@@ -17,6 +17,7 @@
 //! formulas without any special-cased accounting.
 
 use crate::comm::{Comm, COLLECTIVE_TAG_BASE};
+use crate::pattern::{RowBundle, RowSet};
 use crate::payload::WirePayload;
 
 const TAG_ALLGATHER: u32 = COLLECTIVE_TAG_BASE;
@@ -25,6 +26,8 @@ const TAG_BROADCAST: u32 = COLLECTIVE_TAG_BASE + 2;
 const TAG_BARRIER: u32 = COLLECTIVE_TAG_BASE + 3;
 const TAG_ALLTOALLV: u32 = COLLECTIVE_TAG_BASE + 4;
 const TAG_GATHER: u32 = COLLECTIVE_TAG_BASE + 5;
+const TAG_SPARSE_ALLGATHER: u32 = COLLECTIVE_TAG_BASE + 6;
+const TAG_SPARSE_ALLTOALLV: u32 = COLLECTIVE_TAG_BASE + 7;
 
 /// Split `len` into `parts` near-equal contiguous ranges (the block
 /// decomposition used by reduce-scatter / all-reduce on flat buffers).
@@ -221,6 +224,75 @@ impl Comm {
     /// Personalized all-to-all of index payloads (`u32`).
     pub fn alltoallv_u32(&self, outgoing: Vec<Vec<u32>>) -> Vec<Vec<u32>> {
         self.alltoallv(outgoing)
+    }
+
+    /// Sparse all-gather (the SparCML primitive): every rank contributes
+    /// a dense `nrows × ncols` block but ships each peer only the rows
+    /// that peer needs. `ship[dst]` lists the rows of *this* rank's
+    /// block that rank `dst` reads — both sides learn the sets from a
+    /// [`CommPattern::exchange`](crate::pattern::CommPattern::exchange),
+    /// so no handshake is needed. Returns one [`RowBundle`] per source
+    /// rank (the own entry is the full local block, delivered for
+    /// free). The pairwise schedule and message count match the dense
+    /// [`Comm::allgather`] exactly; only the words shrink, and each
+    /// bundle degrades to dense on its own when indexing stops paying.
+    pub fn sparse_allgather(
+        &self,
+        nrows: usize,
+        ncols: usize,
+        data: &[f64],
+        ship: &[RowSet],
+    ) -> Vec<RowBundle> {
+        let p = self.size();
+        assert_eq!(ship.len(), p, "need one RowSet per peer");
+        assert_eq!(data.len(), nrows * ncols, "block shape mismatch");
+        let mut out: Vec<Option<RowBundle>> = (0..p).map(|_| None).collect();
+        for s in 1..p {
+            let dst = (self.rank() + s) % p;
+            let src = (self.rank() + p - s) % p;
+            let bundle = RowBundle::gather(nrows, ncols, data, &ship[dst]);
+            out[src] = Some(self.sendrecv(dst, src, TAG_SPARSE_ALLGATHER, bundle));
+        }
+        out[self.rank()] = Some(RowBundle::dense(nrows, ncols, data.to_vec()));
+        out.into_iter().map(Option::unwrap).collect()
+    }
+
+    /// Sparse personalized all-to-all: like [`Comm::alltoallv`], but
+    /// peer pairs that deterministically have nothing to exchange in
+    /// either direction are skipped entirely — no message, no α cost.
+    ///
+    /// `outgoing[r]` is `Some` exactly when this rank has a payload for
+    /// `r`, and `expect[r]` must be `true` exactly when rank `r`'s
+    /// `outgoing` entry for this rank is `Some`. Both sides must derive
+    /// these from shared deterministic knowledge (a pattern exchange,
+    /// layout bounds): there is no handshake, which is what makes the
+    /// skip safe under every backend including real sockets. A rank
+    /// with genuinely empty data for a peer the predicate names must
+    /// still pass `Some(empty)` — the payload is nearly free and keeps
+    /// the two sides agreed.
+    pub fn sparse_alltoallv<T: WirePayload>(
+        &self,
+        mut outgoing: Vec<Option<T>>,
+        expect: &[bool],
+    ) -> Vec<Option<T>> {
+        let p = self.size();
+        assert_eq!(outgoing.len(), p, "need one outgoing slot per rank");
+        assert_eq!(expect.len(), p, "need one expectation per rank");
+        let mut incoming: Vec<Option<T>> = (0..p).map(|_| None).collect();
+        incoming[self.rank()] = outgoing[self.rank()].take();
+        for s in 1..p {
+            let dst = (self.rank() + s) % p;
+            let src = (self.rank() + p - s) % p;
+            match (outgoing[dst].take(), expect[src]) {
+                (Some(v), true) => {
+                    incoming[src] = Some(self.sendrecv(dst, src, TAG_SPARSE_ALLTOALLV, v));
+                }
+                (Some(v), false) => self.send(dst, TAG_SPARSE_ALLTOALLV, v),
+                (None, true) => incoming[src] = Some(self.recv(src, TAG_SPARSE_ALLTOALLV)),
+                (None, false) => {}
+            }
+        }
+        incoming
     }
 
     /// Gather all contributions at `root` (others receive an empty vec).

@@ -56,6 +56,31 @@
 //! the entire workspace suite over the wire path. No crate outside
 //! `dsk-comm` names a concrete backend type.
 //!
+//! ## Sparse-aware communication: patterns and primitives
+//!
+//! Between `Comm` and the algorithms sits the [`pattern`] layer, which
+//! lets a shift- or collective-based algorithm ship only the rows of a
+//! dense tile its receivers actually touch:
+//!
+//! * [`RowSet`] describes which rows of a traveling tile a rank needs,
+//!   derived from the local sparse structure;
+//! * [`CommPattern::exchange`] all-gathers every ring member's need
+//!   sets once per plan — real traffic, charged to its own
+//!   [`Phase::PatternExchange`] bucket so the cost of *knowing* the
+//!   pattern is never hidden;
+//! * [`RowBundle`] is the indexed-row payload for pattern-routed
+//!   shifts: `k` rows of width `w` cost `k·(w+1)` words and it degrades
+//!   to the plain dense tile when indexing stops paying (the SparCML
+//!   switchover), so routing can never cost more words than the dense
+//!   path it replaces;
+//! * [`Comm::sparse_allgather`] ships per-peer row subsets of a
+//!   replicated block, and [`Comm::sparse_alltoallv`] skips peer pairs
+//!   that deterministically have nothing to exchange — both handshake-
+//!   free, so they behave identically under threads and real sockets.
+//!
+//! Word accounting stays backend-invariant throughout; the primitives
+//! only change *how many* words travel, never how they are counted.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -87,6 +112,7 @@ pub mod frame;
 pub mod grid;
 pub mod launch;
 pub mod model;
+pub mod pattern;
 pub mod payload;
 pub mod socket;
 pub mod stats;
@@ -97,6 +123,7 @@ pub use backend::{BackendKind, CommBackend, InProcBackend, Parcel, WireBackend, 
 pub use comm::Comm;
 pub use grid::{Grid15, Grid25, GridComms15, GridComms25};
 pub use model::MachineModel;
+pub use pattern::{CommPattern, RowBundle, RowSet};
 pub use payload::{Payload, WirePayload, WireReader};
 pub use stats::{AggregateStats, Phase, PhaseCounters, RankStats, N_PHASES};
 pub use world::{RankOutcome, SimWorld};

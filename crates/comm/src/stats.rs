@@ -31,13 +31,20 @@ pub enum Phase {
     /// [`Phase::OutsideComm`] so benchmark breakdowns can show exactly
     /// what a migration cost.
     Migration,
+    /// Plan-time exchange of sparsity-derived communication patterns
+    /// (`dsk-comm`'s `pattern` module): ranks all-gather the row index
+    /// sets each peer needs before a pattern-routed kernel runs. Kept
+    /// separate from kernel phases and [`Phase::Migration`] so the cost
+    /// of *knowing* the pattern is visible apart from the words it
+    /// saves.
+    PatternExchange,
     /// Anything not meant to be timed (data distribution, verification).
     /// This is the phase a fresh rank starts in.
     Setup,
 }
 
 /// Number of distinct [`Phase`] values (array-backed accounting).
-pub const N_PHASES: usize = 7;
+pub const N_PHASES: usize = 8;
 
 impl Phase {
     /// Dense index for array-backed per-phase counters.
@@ -50,7 +57,8 @@ impl Phase {
             Phase::OutsideComm => 3,
             Phase::OutsideCompute => 4,
             Phase::Migration => 5,
-            Phase::Setup => 6,
+            Phase::PatternExchange => 6,
+            Phase::Setup => 7,
         }
     }
 
@@ -62,6 +70,7 @@ impl Phase {
         Phase::OutsideComm,
         Phase::OutsideCompute,
         Phase::Migration,
+        Phase::PatternExchange,
         Phase::Setup,
     ];
 
@@ -74,6 +83,7 @@ impl Phase {
             Phase::OutsideComm => "outside-comm",
             Phase::OutsideCompute => "outside-compute",
             Phase::Migration => "migration",
+            Phase::PatternExchange => "pattern-exchange",
             Phase::Setup => "setup",
         }
     }
@@ -246,6 +256,7 @@ impl RankStats {
             + self.phase(Phase::Propagation).modeled_s
             + self.phase(Phase::OutsideComm).modeled_s
             + self.phase(Phase::Migration).modeled_s
+            + self.phase(Phase::PatternExchange).modeled_s
     }
 
     /// Modeled computation time.
@@ -377,13 +388,14 @@ impl AggregateStats {
     }
 
     /// Modeled communication time (replication + propagation +
-    /// outside-kernel + migration communication), max-over-ranks per
-    /// phase summed.
+    /// outside-kernel + migration + pattern-exchange communication),
+    /// max-over-ranks per phase summed.
     pub fn modeled_comm_s(&self) -> f64 {
         self.modeled_s(Phase::Replication)
             + self.modeled_s(Phase::Propagation)
             + self.modeled_s(Phase::OutsideComm)
             + self.modeled_s(Phase::Migration)
+            + self.modeled_s(Phase::PatternExchange)
     }
 
     /// Modeled computation time.
@@ -410,6 +422,7 @@ impl AggregateStats {
             + self.modeled_s(Phase::OutsideComm)
             + self.modeled_s(Phase::OutsideCompute)
             + self.modeled_s(Phase::Migration)
+            + self.modeled_s(Phase::PatternExchange)
     }
 
     /// Total words sent across ranks and non-setup phases.

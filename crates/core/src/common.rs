@@ -121,6 +121,38 @@ impl Elision {
     }
 }
 
+/// How the propagation/replication phases of an algorithm move dense
+/// tiles: as full dense blocks, or pattern-routed so only the rows the
+/// receivers' local `S` structure touches cross the wire.
+///
+/// Routing is an independent plan dimension, orthogonal to the
+/// family/elision choice: every family admits `Dense`, and families
+/// admit `Pattern` only without elision (elided schedules fold two
+/// kernels' traffic into one round, so their need sets are the full
+/// tiles and routing degenerates to dense).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Routing {
+    /// Ship full dense tiles (the paper's baseline schedules).
+    #[default]
+    Dense,
+    /// Ship indexed row subsets derived from per-plan communication
+    /// patterns, with a dense fallback at high density.
+    Pattern,
+}
+
+impl Routing {
+    /// Both routings, dense first.
+    pub const ALL: [Routing; 2] = [Routing::Dense, Routing::Pattern];
+
+    /// Short label used in candidate tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Routing::Dense => "dense",
+            Routing::Pattern => "pattern",
+        }
+    }
+}
+
 /// Which values an SDDMM samples with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Sampling {

@@ -26,7 +26,7 @@
 //! `B`-shaped output circulates as an accumulator alongside, completing
 //! the `m`-contraction with no fiber traffic.
 
-use dsk_comm::{Comm, Grid25, GridComms25, Phase};
+use dsk_comm::{Comm, CommPattern, Grid25, GridComms25, Phase, RowBundle, RowSet};
 use dsk_dense::Mat;
 use dsk_kernels as kern;
 use dsk_sparse::CooMatrix;
@@ -35,7 +35,7 @@ use crate::common::{block_range, AlgorithmFamily, Elision, ProblemDims, Sampling
 use crate::global::GlobalProblem;
 use crate::kernel::{CombineSpec, DistKernel, KernelId};
 use crate::layout::{repartition_dense, DenseLayout};
-use crate::staged::StagedProblem;
+use crate::staged::{PlanPatterns, StagedProblem};
 
 /// Tag for traveling sparse blocks (row-ring).
 const TAG_SPARSE: u32 = 120;
@@ -69,6 +69,11 @@ pub struct DenseRepl25 {
     trans: Oriented,
     /// SDDMM result values for the canonical home block.
     r_vals: Option<Vec<f64>>,
+    /// Column-ring pattern for canonical-orientation panel shifts
+    /// (`None` = dense shifts, the default).
+    route_canon: Option<CommPattern>,
+    /// Column-ring pattern for transposed-orientation panel shifts.
+    route_trans: Option<CommPattern>,
 }
 
 impl DenseRepl25 {
@@ -96,7 +101,62 @@ impl DenseRepl25 {
             canon,
             trans,
             r_vals: None,
+            route_canon: None,
+            route_trans: None,
         }
+    }
+
+    /// The need sets a pattern-routed plan requires, derived world-free
+    /// from the staged `S` partition. A column ring's traveling panel
+    /// with `σ`-index `jq` is read (or written) by ring member `u` at
+    /// exactly the column support of `u`'s sparse block `jq·c + w` —
+    /// independent of the member's own `v`. `primary[g][jq]` is that
+    /// support for the canonical orientation (panels over `n`),
+    /// `secondary` for the transposed one (panels over `m`).
+    pub fn derive_needs(staged: &StagedProblem, p: usize, c: usize) -> PlanPatterns {
+        let grid = Grid25::new(p, c).expect("invalid 2.5D grid");
+        let q = grid.q;
+        let (m, n) = (staged.prob.dims.m, staged.prob.dims.n);
+        let needs_for = |transposed: bool, rows_tot: usize, cols_tot: usize| -> Vec<Vec<RowSet>> {
+            let macro_rows: Vec<_> = (0..q).map(|uu| block_range(rows_tot, q, uu)).collect();
+            let col_blocks: Vec<_> = (0..q * c)
+                .map(|j| block_range(cols_tot, q * c, j))
+                .collect();
+            let grid_s = staged.partition(transposed, &macro_rows, &col_blocks);
+            (0..p)
+                .map(|g| {
+                    let (u, w) = (grid.row_pos(g), grid.fiber_pos(g));
+                    (0..q)
+                        .map(|jq| {
+                            let blk = &grid_s[u][jq * c + w];
+                            RowSet::from_indices(blk.iter().map(|(_, j, _)| j as u32).collect())
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        PlanPatterns {
+            primary: needs_for(false, m, n),
+            secondary: Some(needs_for(true, n, m)),
+        }
+    }
+
+    /// Switch panel propagation to pattern routing: exchange this rank's
+    /// need sets over its column ring (charged to
+    /// `Phase::PatternExchange`) and keep the patterns for every later
+    /// shift.
+    pub fn enable_pattern_routing(&mut self, pats: &PlanPatterns) {
+        let grid = self.gc.grid;
+        let g = grid.rank_of(self.gc.u, self.gc.v, self.gc.w);
+        self.route_canon = Some(CommPattern::exchange(
+            &self.gc.col_ring,
+            pats.primary[g].clone(),
+        ));
+        let sec = pats
+            .secondary
+            .as_ref()
+            .expect("2.5D dense replication routes both orientations");
+        self.route_trans = Some(CommPattern::exchange(&self.gc.col_ring, sec[g].clone()));
     }
 
     /// Build one orientation: `s: rows_tot × cols_tot`, `x: rows_tot × r`
@@ -264,10 +324,51 @@ impl DenseRepl25 {
         got
     }
 
+    /// Pattern-routed panel hop: ship only the `ship` rows (dense
+    /// fallback at high density); the receiver zero-fills unshipped
+    /// rows, which no remaining consumer ever reads.
+    fn shift_dense_routed(&self, y: &Mat, ship: &RowSet, next_rows: usize) -> Mat {
+        let _ph = self.gc.col_ring.phase(Phase::Propagation);
+        let q = self.gc.col_ring.size();
+        let bundle = RowBundle::gather(y.nrows(), y.ncols(), y.as_slice(), ship);
+        let (nrows, ncols, data) = self.gc.col_ring.shift(q - 1, TAG_DENSE, bundle).into_full();
+        debug_assert!(ncols == 0 || nrows == next_rows);
+        Mat::from_vec(nrows, ncols, data)
+    }
+
+    /// Forward set for an **input** panel leaving after step `t`: the
+    /// union of the needs of the ring members that still consume it
+    /// (member `(σ − v − t') mod q` consumes panel `σ` at step `t'`).
+    /// Empty on the final, homeward hop.
+    fn forward_input(&self, pat: &CommPattern, t: usize) -> RowSet {
+        let q = self.q();
+        let (u, v) = (self.gc.u, self.gc.v);
+        let sig = (u + v + t) % q;
+        pat.union_over((t + 1..q).map(|tp| (sig + 2 * q - v - tp) % q), sig)
+    }
+
+    /// Forward set for a circulating **accumulator** leaving after step
+    /// `t`: the union of every visited writer's rows. The final hop
+    /// carries the whole support home; rows outside it are exactly
+    /// zero, so zero-fill reconstruction is lossless.
+    fn forward_acc(&self, pat: &CommPattern, t: usize) -> RowSet {
+        let q = self.q();
+        let (u, v) = (self.gc.u, self.gc.v);
+        let sig = (u + v + t) % q;
+        pat.union_over((0..=t).map(|tpp| (sig + 2 * q - v - tpp) % q), sig)
+    }
+
     /// SDDMM travel round: the sparse block accumulates slice-partial
     /// combines as it crosses its grid row; `y` panels travel alongside.
     /// Returns the home block's fully accumulated values (no sampling).
-    fn dots_round(&self, o: &Oriented, t_buf: &Mat, y0: &Mat, combine: &CombineSpec) -> Vec<f64> {
+    fn dots_round(
+        &self,
+        o: &Oriented,
+        t_buf: &Mat,
+        y0: &Mat,
+        combine: &CombineSpec,
+        route: Option<&CommPattern>,
+    ) -> Vec<f64> {
         let q = self.q();
         let slice = block_range(self.dims.r, q, self.gc.v);
         let mut blk = o.s_home.clone();
@@ -283,7 +384,14 @@ impl DenseRepl25 {
                 });
             blk.vals = vals;
             blk = self.shift_sparse(blk);
-            y = self.shift_dense(y, self.y_rows_at(o, t + 1));
+            y = match route {
+                None => self.shift_dense(y, self.y_rows_at(o, t + 1)),
+                Some(pat) => self.shift_dense_routed(
+                    &y,
+                    &self.forward_input(pat, t),
+                    self.y_rows_at(o, t + 1),
+                ),
+            };
         }
         debug_assert_eq!(blk.nnz(), o.s_home.nnz(), "block failed to return home");
         blk.vals
@@ -291,7 +399,14 @@ impl DenseRepl25 {
 
     /// SpMM travel round with a replicated accumulator (`T += S·y` per
     /// step) — the SpMMA data flow; caller reduce-scatters.
-    fn spmm_out_round(&self, o: &Oriented, vals: Vec<f64>, y0: &Mat, t_rows: usize) -> Mat {
+    fn spmm_out_round(
+        &self,
+        o: &Oriented,
+        vals: Vec<f64>,
+        y0: &Mat,
+        t_rows: usize,
+        route: Option<&CommPattern>,
+    ) -> Mat {
         let q = self.q();
         let width = y0.ncols();
         let mut t_out = Mat::zeros(t_rows, width);
@@ -305,7 +420,14 @@ impl DenseRepl25 {
                     kern::spmm_coo_acc(&mut t_out, &blk, &y)
                 });
             blk = self.shift_sparse(blk);
-            y = self.shift_dense(y, self.y_rows_at(o, t + 1));
+            y = match route {
+                None => self.shift_dense(y, self.y_rows_at(o, t + 1)),
+                Some(pat) => self.shift_dense_routed(
+                    &y,
+                    &self.forward_input(pat, t),
+                    self.y_rows_at(o, t + 1),
+                ),
+            };
         }
         t_out
     }
@@ -313,7 +435,13 @@ impl DenseRepl25 {
     /// SpMM travel round with a circulating output accumulator (`out +=
     /// Sᵀ·T` per step, `out` traveling the column ring) — the SpMMB
     /// data flow.
-    fn spmm_shift_acc_round(&self, o: &Oriented, vals: Vec<f64>, t_buf: &Mat) -> Mat {
+    fn spmm_shift_acc_round(
+        &self,
+        o: &Oriented,
+        vals: Vec<f64>,
+        t_buf: &Mat,
+        route: Option<&CommPattern>,
+    ) -> Mat {
         let q = self.q();
         let width = t_buf.ncols();
         let mut blk = o.s_home.clone();
@@ -327,7 +455,14 @@ impl DenseRepl25 {
                     kern::spmm_coo_t_acc(&mut out, &blk, t_buf)
                 });
             blk = self.shift_sparse(blk);
-            out = self.shift_dense(out, self.y_rows_at(o, t + 1));
+            out = match route {
+                None => self.shift_dense(out, self.y_rows_at(o, t + 1)),
+                Some(pat) => self.shift_dense_routed(
+                    &out,
+                    &self.forward_acc(pat, t),
+                    self.y_rows_at(o, t + 1),
+                ),
+            };
         }
         out
     }
@@ -346,7 +481,13 @@ impl DenseRepl25 {
     /// Distributed SDDMM (replicates `A`, travels `S` and `B`).
     pub fn sddmm(&mut self) {
         let t_buf = self.replicate(&self.canon.x_fiber, self.macro_rows_canon());
-        let dots = self.dots_round(&self.canon, &t_buf, &self.canon.y_home, &CombineSpec::Dot);
+        let dots = self.dots_round(
+            &self.canon,
+            &t_buf,
+            &self.canon.y_home,
+            &CombineSpec::Dot,
+            self.route_canon.as_ref(),
+        );
         self.r_vals = Some(Self::finalize(&self.canon.s_home, dots, Sampling::Values));
     }
 
@@ -355,7 +496,13 @@ impl DenseRepl25 {
     pub fn spmm_a(&mut self, use_r: bool) -> Mat {
         let vals = self.vals_for_travel(use_r);
         let t_rows = block_range(self.dims.m, self.q(), self.gc.u).len();
-        let t_out = self.spmm_out_round(&self.canon, vals, &self.canon.y_home, t_rows);
+        let t_out = self.spmm_out_round(
+            &self.canon,
+            vals,
+            &self.canon.y_home,
+            t_rows,
+            self.route_canon.as_ref(),
+        );
         self.reduce_to_fiber(&t_out)
     }
 
@@ -364,7 +511,7 @@ impl DenseRepl25 {
     pub fn spmm_b(&mut self, use_r: bool) -> Mat {
         let vals = self.vals_for_travel(use_r);
         let t_buf = self.replicate(&self.canon.x_fiber, self.macro_rows_canon());
-        self.spmm_shift_acc_round(&self.canon, vals, &t_buf)
+        self.spmm_shift_acc_round(&self.canon, vals, &t_buf, self.route_canon.as_ref())
     }
 
     fn vals_for_travel(&self, use_r: bool) -> Vec<f64> {
@@ -384,16 +531,17 @@ impl DenseRepl25 {
         match elision {
             Elision::ReplicationReuse => {
                 let t_buf = self.replicate(&self.canon.x_fiber, self.macro_rows_canon());
-                let dots = self.dots_round(&self.canon, &t_buf, &y0, &CombineSpec::Dot);
+                let dots = self.dots_round(&self.canon, &t_buf, &y0, &CombineSpec::Dot, None);
                 let rvals = Self::finalize(&self.canon.s_home, dots, sampling);
-                self.spmm_shift_acc_round(&self.canon, rvals, &t_buf)
+                self.spmm_shift_acc_round(&self.canon, rvals, &t_buf, None)
             }
             Elision::None => {
+                let route = self.route_canon.as_ref();
                 let t_buf = self.replicate(&self.canon.x_fiber, self.macro_rows_canon());
-                let dots = self.dots_round(&self.canon, &t_buf, &y0, &CombineSpec::Dot);
+                let dots = self.dots_round(&self.canon, &t_buf, &y0, &CombineSpec::Dot, route);
                 let rvals = Self::finalize(&self.canon.s_home, dots, sampling);
                 let t_buf2 = self.replicate(&self.canon.x_fiber, self.macro_rows_canon());
-                self.spmm_shift_acc_round(&self.canon, rvals, &t_buf2)
+                self.spmm_shift_acc_round(&self.canon, rvals, &t_buf2, route)
             }
             Elision::LocalKernelFusion => panic!(
                 "local kernel fusion requires co-located full rows; \
@@ -410,16 +558,17 @@ impl DenseRepl25 {
         match elision {
             Elision::ReplicationReuse => {
                 let t_buf = self.replicate(&self.trans.x_fiber, self.macro_rows_trans());
-                let dots = self.dots_round(&self.trans, &t_buf, &x0, &CombineSpec::Dot);
+                let dots = self.dots_round(&self.trans, &t_buf, &x0, &CombineSpec::Dot, None);
                 let rvals = Self::finalize(&self.trans.s_home, dots, sampling);
-                self.spmm_shift_acc_round(&self.trans, rvals, &t_buf)
+                self.spmm_shift_acc_round(&self.trans, rvals, &t_buf, None)
             }
             Elision::None => {
+                let route = self.route_trans.as_ref();
                 let t_buf = self.replicate(&self.trans.x_fiber, self.macro_rows_trans());
-                let dots = self.dots_round(&self.trans, &t_buf, &x0, &CombineSpec::Dot);
+                let dots = self.dots_round(&self.trans, &t_buf, &x0, &CombineSpec::Dot, route);
                 let rvals = Self::finalize(&self.trans.s_home, dots, sampling);
                 let t_buf2 = self.replicate(&self.trans.x_fiber, self.macro_rows_trans());
-                self.spmm_shift_acc_round(&self.trans, rvals, &t_buf2)
+                self.spmm_shift_acc_round(&self.trans, rvals, &t_buf2, route)
             }
             Elision::LocalKernelFusion => panic!(
                 "local kernel fusion requires co-located full rows; \
@@ -435,7 +584,13 @@ impl DenseRepl25 {
     /// Generalized SDDMM storing raw accumulations as R values.
     pub fn sddmm_general(&mut self, combine: CombineSpec) {
         let t_buf = self.replicate(&self.canon.x_fiber, self.macro_rows_canon());
-        let dots = self.dots_round(&self.canon, &t_buf, &self.canon.y_home, &combine);
+        let dots = self.dots_round(
+            &self.canon,
+            &t_buf,
+            &self.canon.y_home,
+            &combine,
+            self.route_canon.as_ref(),
+        );
         self.r_vals = Some(dots);
     }
 
@@ -474,7 +629,7 @@ impl DenseRepl25 {
     pub fn spmm_a_with(&self, y: &Mat) -> Mat {
         let vals = self.r_vals.clone().expect("no R values");
         let t_rows = block_range(self.dims.m, self.q(), self.gc.u).len();
-        let t_out = self.spmm_out_round(&self.canon, vals, y, t_rows);
+        let t_out = self.spmm_out_round(&self.canon, vals, y, t_rows, self.route_canon.as_ref());
         self.reduce_to_fiber(&t_out)
     }
 

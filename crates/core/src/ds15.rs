@@ -25,7 +25,7 @@
 //!   fused local SDDMM+SpMM per step (only possible here, where entire
 //!   rows of both dense matrices are co-located).
 
-use dsk_comm::{Comm, Grid15, GridComms15, Phase};
+use dsk_comm::{Comm, CommPattern, Grid15, GridComms15, Phase, RowBundle, RowSet};
 use dsk_dense::Mat;
 use dsk_kernels as kern;
 use dsk_sparse::{CooMatrix, CsrMatrix};
@@ -34,7 +34,7 @@ use crate::common::{block_range, union_range, AlgorithmFamily, Elision, ProblemD
 use crate::global::GlobalProblem;
 use crate::kernel::{CombineSpec, DistKernel, KernelId};
 use crate::layout::DenseLayout;
-use crate::staged::StagedProblem;
+use crate::staged::{PlanPatterns, StagedProblem};
 
 /// Tag used for dense block shifts within a layer.
 const TAG_SHIFT: u32 = 100;
@@ -57,6 +57,9 @@ pub struct DenseShift15 {
     /// SDDMM output values per slot (aligned with `s_blocks` nonzero
     /// order), populated by [`DenseShift15::sddmm`].
     r_vals: Option<Vec<Vec<f64>>>,
+    /// Layer-ring communication pattern for pattern-routed propagation
+    /// (`None` = dense shifts, the default).
+    route: Option<CommPattern>,
 }
 
 impl DenseShift15 {
@@ -106,7 +109,48 @@ impl DenseShift15 {
             a_loc,
             b_loc,
             r_vals: None,
+            route: None,
         }
+    }
+
+    /// The need sets a pattern-routed plan requires, derived world-free
+    /// from the staged `S` partition: `primary[g][o]` is the column
+    /// support of rank `g`'s stationary block paired with the tile
+    /// originating at ring position `o` — exactly the rows of that tile
+    /// rank `g` reads (inputs) or writes (circulating accumulators).
+    pub fn derive_needs(staged: &StagedProblem, p: usize, c: usize) -> PlanPatterns {
+        let grid = Grid15::new(p, c).expect("invalid 1.5D grid");
+        let q = grid.layer_size();
+        let (m, n) = (staged.prob.dims.m, staged.prob.dims.n);
+        let macro_rows: Vec<_> = (0..q).map(|uu| union_range(m, p, uu * c, c)).collect();
+        let col_blocks: Vec<_> = (0..p).map(|j| block_range(n, p, j)).collect();
+        let grid_s = staged.partition(false, &macro_rows, &col_blocks);
+        let primary = (0..p)
+            .map(|g| {
+                let (u, v) = (grid.layer_pos(g), grid.fiber_pos(g));
+                (0..q)
+                    .map(|o| {
+                        let blk = &grid_s[u][o * c + v];
+                        RowSet::from_indices(blk.iter().map(|(_, j, _)| j as u32).collect())
+                    })
+                    .collect()
+            })
+            .collect();
+        PlanPatterns {
+            primary,
+            secondary: None,
+        }
+    }
+
+    /// Switch propagation to pattern routing: exchange this rank's need
+    /// sets over the layer ring (charged to `Phase::PatternExchange`)
+    /// and keep the resulting [`CommPattern`] for every later shift.
+    pub fn enable_pattern_routing(&mut self, pats: &PlanPatterns) {
+        let g = self.gc.grid.rank_of(self.gc.u, self.gc.v);
+        self.route = Some(CommPattern::exchange(
+            &self.gc.layer,
+            pats.primary[g].clone(),
+        ));
     }
 
     /// Problem dimensions.
@@ -183,6 +227,38 @@ impl DenseShift15 {
         self.gc.layer.shift(1, TAG_SHIFT, y)
     }
 
+    /// Pattern-routed propagation step: ship only the `ship` rows of the
+    /// tile (with [`RowBundle`]'s dense fallback at high density); the
+    /// receiver zero-fills unshipped rows. Downstream consumers never
+    /// read those rows — the forward sets are unions of every remaining
+    /// consumer's needs — so the reconstruction is exact where it is
+    /// ever looked at.
+    fn shift_block_routed(&self, y: &Mat, ship: &RowSet) -> Mat {
+        let _ph = self.gc.layer.phase(Phase::Propagation);
+        let bundle = RowBundle::gather(y.nrows(), y.ncols(), y.as_slice(), ship);
+        let (nrows, ncols, data) = self.gc.layer.shift(1, TAG_SHIFT, bundle).into_full();
+        Mat::from_vec(nrows, ncols, data)
+    }
+
+    /// The forward set for an **input** tile of origin `o` leaving after
+    /// step `t`: the union of the needs of every consumer it still
+    /// visits (member `(o + t') mod q` consumes it at step `t'`). Empty
+    /// on the last hop — the tile has been consumed everywhere.
+    fn forward_input(&self, pat: &CommPattern, o: usize, t: usize) -> RowSet {
+        let q = self.q();
+        pat.union_over((t + 1..q).map(|tp| (o + tp) % q), o)
+    }
+
+    /// The forward set for a circulating **accumulator** of origin `o`
+    /// leaving after step `t`: the union of every visited writer's rows
+    /// (member `(o + t'') mod q` wrote at step `t''`). Rows outside the
+    /// union are exactly zero, so zero-fill reconstruction is lossless;
+    /// the last hop carries the whole support back to the owner.
+    fn forward_acc(&self, pat: &CommPattern, o: usize, t: usize) -> RowSet {
+        let q = self.q();
+        pat.union_over((0..=t).map(|tpp| (o + tpp) % q), o)
+    }
+
     /// The slot (stationary S column-block index) paired with the block
     /// held at propagation step `t`.
     #[inline]
@@ -201,6 +277,7 @@ impl DenseShift15 {
         t_buf: &Mat,
         y0: &Mat,
         combine: kern::SddmmCombine<'_>,
+        route: Option<&CommPattern>,
     ) -> Vec<Vec<f64>> {
         let q = self.q();
         let mut acc: Vec<Vec<f64>> = blocks.iter().map(|b| vec![0.0; b.nnz()]).collect();
@@ -214,14 +291,23 @@ impl DenseShift15 {
                 .compute(kern::sddmm_flops(blk.nnz(), t_buf.ncols()), || {
                     kern::sddmm::sddmm_csr_acc_with(&mut acc[w], blk, t_buf, &y, combine)
                 });
-            y = self.shift_block(y);
+            y = match route {
+                None => self.shift_block(y),
+                Some(pat) => self.shift_block_routed(&y, &self.forward_input(pat, w, t)),
+            };
         }
         acc
     }
 
     /// SpMM propagation round with a replicated (macro-row) accumulator:
     /// `T += R_w · y` per step, `y` shifting (the SpMMA data flow).
-    fn spmm_out_round(&self, blocks: &[CsrMatrix], vals: &[Vec<f64>], y0: &Mat) -> Mat {
+    fn spmm_out_round(
+        &self,
+        blocks: &[CsrMatrix],
+        vals: &[Vec<f64>],
+        y0: &Mat,
+        route: Option<&CommPattern>,
+    ) -> Mat {
         let q = self.q();
         let r = y0.ncols();
         let mut t_buf = Mat::zeros(blocks[0].nrows(), r);
@@ -233,7 +319,10 @@ impl DenseShift15 {
             self.gc.layer.compute(kern::spmm_flops(blk.nnz(), r), || {
                 kern::spmm_csr_acc(&mut t_buf, &blk, &y)
             });
-            y = self.shift_block(y);
+            y = match route {
+                None => self.shift_block(y),
+                Some(pat) => self.shift_block_routed(&y, &self.forward_input(pat, w, t)),
+            };
         }
         t_buf
     }
@@ -248,6 +337,7 @@ impl DenseShift15 {
         vals: &[Vec<f64>],
         t_buf: &Mat,
         my_out_rows: usize,
+        route: Option<&CommPattern>,
     ) -> Mat {
         let q = self.q();
         let r = t_buf.ncols();
@@ -260,7 +350,10 @@ impl DenseShift15 {
             self.gc.layer.compute(kern::spmm_flops(blk.nnz(), r), || {
                 kern::spmm_csr_t_acc(&mut out, &blk, t_buf)
             });
-            out = self.shift_block(out);
+            out = match route {
+                None => self.shift_block(out),
+                Some(pat) => self.shift_block_routed(&out, &self.forward_acc(pat, w, t)),
+            };
         }
         out
     }
@@ -312,7 +405,13 @@ impl DenseShift15 {
     /// [`DenseShift15::gather_r`]).
     pub fn sddmm(&mut self) {
         let t_buf = self.replicate(self.s_blocks[0].nrows(), &self.a_loc);
-        let acc = self.sddmm_round(&self.s_blocks, &t_buf, &self.b_loc, kern::SddmmCombine::Dot);
+        let acc = self.sddmm_round(
+            &self.s_blocks,
+            &t_buf,
+            &self.b_loc,
+            kern::SddmmCombine::Dot,
+            self.route.as_ref(),
+        );
         self.r_vals = Some(Self::apply_sampling(&self.s_blocks, acc, Sampling::Values));
     }
 
@@ -320,7 +419,7 @@ impl DenseShift15 {
     /// run), returned as this rank's `A`-shaped block row.
     pub fn spmm_a(&mut self, use_r: bool) -> Mat {
         let vals = self.current_vals(use_r);
-        let t_buf = self.spmm_out_round(&self.s_blocks, &vals, &self.b_loc);
+        let t_buf = self.spmm_out_round(&self.s_blocks, &vals, &self.b_loc, self.route.as_ref());
         self.reduce_to_block(self.dims.m, &t_buf)
     }
 
@@ -329,7 +428,13 @@ impl DenseShift15 {
     pub fn spmm_b(&mut self, use_r: bool) -> Mat {
         let vals = self.current_vals(use_r);
         let t_buf = self.replicate(self.s_blocks[0].nrows(), &self.a_loc);
-        self.spmm_shift_acc_round(&self.s_blocks, &vals, &t_buf, self.b_loc.nrows())
+        self.spmm_shift_acc_round(
+            &self.s_blocks,
+            &vals,
+            &t_buf,
+            self.b_loc.nrows(),
+            self.route.as_ref(),
+        )
     }
 
     fn current_vals(&self, use_r: bool) -> Vec<Vec<f64>> {
@@ -351,12 +456,18 @@ impl DenseShift15 {
             Elision::None => {
                 // SDDMM: all-gather x, shift B.
                 let t_buf = self.replicate(self.s_blocks[0].nrows(), x);
-                let acc =
-                    self.sddmm_round(&self.s_blocks, &t_buf, &self.b_loc, kern::SddmmCombine::Dot);
+                let acc = self.sddmm_round(
+                    &self.s_blocks,
+                    &t_buf,
+                    &self.b_loc,
+                    kern::SddmmCombine::Dot,
+                    self.route.as_ref(),
+                );
                 let rvals = Self::apply_sampling(&self.s_blocks, acc, sampling);
                 // SpMMA: fresh zero accumulator, shift B again,
                 // reduce-scatter.
-                let t_out = self.spmm_out_round(&self.s_blocks, &rvals, &self.b_loc);
+                let t_out =
+                    self.spmm_out_round(&self.s_blocks, &rvals, &self.b_loc, self.route.as_ref());
                 self.reduce_to_block(self.dims.m, &t_out)
             }
             Elision::LocalKernelFusion => {
@@ -369,9 +480,10 @@ impl DenseShift15 {
                 // SDDMM (x shifts), then circulate the A-shaped output
                 // accumulator reusing the same T.
                 let t_buf = self.replicate(self.st_blocks[0].nrows(), &self.b_loc);
-                let acc = self.sddmm_round(&self.st_blocks, &t_buf, x, kern::SddmmCombine::Dot);
+                let acc =
+                    self.sddmm_round(&self.st_blocks, &t_buf, x, kern::SddmmCombine::Dot, None);
                 let rvals = Self::apply_sampling(&self.st_blocks, acc, sampling);
-                self.spmm_shift_acc_round(&self.st_blocks, &rvals, &t_buf, x.nrows())
+                self.spmm_shift_acc_round(&self.st_blocks, &rvals, &t_buf, x.nrows(), None)
             }
         }
     }
@@ -384,19 +496,32 @@ impl DenseShift15 {
         match elision {
             Elision::None => {
                 let t_buf = self.replicate(self.s_blocks[0].nrows(), &self.a_loc);
-                let acc = self.sddmm_round(&self.s_blocks, &t_buf, y, kern::SddmmCombine::Dot);
+                let acc = self.sddmm_round(
+                    &self.s_blocks,
+                    &t_buf,
+                    y,
+                    kern::SddmmCombine::Dot,
+                    self.route.as_ref(),
+                );
                 let rvals = Self::apply_sampling(&self.s_blocks, acc, sampling);
                 // Unoptimized back-to-back: the SpMMB call replicates A
                 // again.
                 let t2 = self.replicate(self.s_blocks[0].nrows(), &self.a_loc);
-                self.spmm_shift_acc_round(&self.s_blocks, &rvals, &t2, y.nrows())
+                self.spmm_shift_acc_round(
+                    &self.s_blocks,
+                    &rvals,
+                    &t2,
+                    y.nrows(),
+                    self.route.as_ref(),
+                )
             }
             Elision::ReplicationReuse => {
                 let t_buf = self.replicate(self.s_blocks[0].nrows(), &self.a_loc);
-                let acc = self.sddmm_round(&self.s_blocks, &t_buf, y, kern::SddmmCombine::Dot);
+                let acc =
+                    self.sddmm_round(&self.s_blocks, &t_buf, y, kern::SddmmCombine::Dot, None);
                 let rvals = Self::apply_sampling(&self.s_blocks, acc, sampling);
                 // Reuse T for the SpMMB.
-                self.spmm_shift_acc_round(&self.s_blocks, &rvals, &t_buf, y.nrows())
+                self.spmm_shift_acc_round(&self.s_blocks, &rvals, &t_buf, y.nrows(), None)
             }
             Elision::LocalKernelFusion => {
                 // Dual of the FusedMMA fused round: roles swapped, Sᵀ.
@@ -415,7 +540,13 @@ impl DenseShift15 {
     /// (un-sampled) accumulations as the R values.
     pub fn sddmm_general(&mut self, combine: kern::SddmmCombine<'_>) {
         let t_buf = self.replicate(self.s_blocks[0].nrows(), &self.a_loc);
-        let acc = self.sddmm_round(&self.s_blocks, &t_buf, &self.b_loc, combine);
+        let acc = self.sddmm_round(
+            &self.s_blocks,
+            &t_buf,
+            &self.b_loc,
+            combine,
+            self.route.as_ref(),
+        );
         self.r_vals = Some(acc);
     }
 
@@ -465,7 +596,7 @@ impl DenseShift15 {
     /// operand (GAT: `S'·(H·W)`).
     pub fn spmm_a_with(&self, y: &Mat) -> Mat {
         let vals = self.current_vals(true);
-        let t_buf = self.spmm_out_round(&self.s_blocks, &vals, y);
+        let t_buf = self.spmm_out_round(&self.s_blocks, &vals, y, self.route.as_ref());
         self.reduce_to_block(self.dims.m, &t_buf)
     }
 

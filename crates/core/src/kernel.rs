@@ -81,7 +81,7 @@ use dsk_kernels as kern;
 use dsk_sparse::CooMatrix;
 
 use crate::baseline::Baseline1D;
-use crate::common::{AlgorithmFamily, Elision, ProblemDims, Sampling};
+use crate::common::{AlgorithmFamily, Elision, ProblemDims, Routing, Sampling};
 use crate::dr25::DenseRepl25;
 use crate::ds15::DenseShift15;
 use crate::global::GlobalProblem;
@@ -322,6 +322,9 @@ pub struct KernelPlan {
     pub c: usize,
     /// The elision strategy the planner recommends for fused calls.
     pub elision: Elision,
+    /// Whether propagation ships full dense tiles or pattern-routed
+    /// row subsets (always [`Routing::Dense`] for the baseline).
+    pub routing: Routing,
     /// Modeled communication seconds of one FusedMM under the plan
     /// (`None` for the baseline, which the theory does not model).
     pub predicted_comm_s: Option<f64>,
@@ -347,6 +350,9 @@ pub struct PlannedCandidate {
     /// Its resolved replication factor (the pinned `c`, or the Table IV
     /// optimum under the admissibility constraints).
     pub c: usize,
+    /// Dense-shift or pattern-routed propagation (the un-elided
+    /// variants are scored both ways, so they appear as two rows).
+    pub routing: Routing,
     /// Modeled words sent by the busiest processor per FusedMM
     /// (Table III).
     pub words_per_proc: f64,
@@ -406,6 +412,7 @@ pub struct KernelBuilder<'a> {
     c: Option<usize>,
     c_max: usize,
     elision: Option<Elision>,
+    routing: Option<Routing>,
     /// Planner cost model. `None` (the default) means "use the
     /// communicator's model at build time" — [`KernelBuilder::plan`]
     /// falls back to Cori-like constants when called without a world.
@@ -420,6 +427,7 @@ impl<'a> KernelBuilder<'a> {
             c: None,
             c_max: 16,
             elision: None,
+            routing: None,
             model: None,
         }
     }
@@ -520,6 +528,15 @@ impl<'a> KernelBuilder<'a> {
         self
     }
 
+    /// Pin the propagation routing. [`Routing::Pattern`] restricts the
+    /// candidate set to the un-elided variants (the only schedules
+    /// whose receivers touch tile subsets); the default scores each
+    /// candidate both ways and lets the model decide.
+    pub fn routing(mut self, routing: Routing) -> Self {
+        self.routing = Some(routing);
+        self
+    }
+
     /// Pin the machine model for the planner's time predictions. When
     /// not pinned, [`KernelBuilder::build`] plans under the
     /// communicator's own model, and the world-free
@@ -593,10 +610,15 @@ impl<'a> KernelBuilder<'a> {
                 self.elision.is_none_or(|e| e == Elision::None),
                 "the 1D baseline admits no communication elision"
             );
+            assert!(
+                self.routing.is_none_or(|r| r == Routing::Dense),
+                "the 1D baseline has no shift schedule to pattern-route"
+            );
             return KernelPlan {
                 id: KernelId::Baseline1D,
                 c: 1,
                 elision: Elision::None,
+                routing: Routing::Dense,
                 predicted_comm_s: None,
             };
         }
@@ -613,6 +635,7 @@ impl<'a> KernelBuilder<'a> {
             id: KernelId::Family(best.algorithm.family),
             c: best.c,
             elision: best.algorithm.elision,
+            routing: best.routing,
             predicted_comm_s: Some(best.predicted_comm_s),
         }
     }
@@ -635,18 +658,27 @@ impl<'a> KernelBuilder<'a> {
             return Vec::new();
         }
         let (dims, nnz) = self.shape();
-        let mut scored: Vec<PlannedCandidate> = self
-            .candidates(p)
-            .into_iter()
-            .map(|(alg, c)| PlannedCandidate {
-                algorithm: alg,
-                c,
-                words_per_proc: theory::words_per_processor(alg, p, c, dims, nnz),
-                msgs_per_proc: theory::messages_per_processor(alg, p, c),
-                predicted_comm_s: theory::predicted_comm_time(&model, alg, p, c, dims, nnz),
-                predicted_comp_s: theory::predicted_comp_time(&model, p, dims, nnz),
-            })
-            .collect();
+        let comp_s = theory::predicted_comp_time(&model, p, dims, nnz);
+        let mut scored: Vec<PlannedCandidate> = Vec::new();
+        for (alg, c) in self.candidates(p) {
+            for routing in Routing::ALL {
+                if self.routing.is_some_and(|r| r != routing) || !alg.admits(routing) {
+                    continue;
+                }
+                // `admits` guarantees the routed model exists.
+                let words = theory::words_for_routing(alg, routing, p, c, dims, nnz).unwrap();
+                let msgs = theory::messages_for_routing(alg, routing, p, c).unwrap();
+                scored.push(PlannedCandidate {
+                    algorithm: alg,
+                    c,
+                    routing,
+                    words_per_proc: words,
+                    msgs_per_proc: msgs,
+                    predicted_comm_s: model.alpha_s * msgs + model.beta_s_per_word * words,
+                    predicted_comp_s: comp_s,
+                });
+            }
+        }
         scored.sort_by(|a, b| a.predicted_comm_s.partial_cmp(&b.predicted_comm_s).unwrap());
         scored
     }
@@ -663,22 +695,47 @@ impl<'a> KernelBuilder<'a> {
     }
 
     /// Build this rank's worker for an already-resolved plan.
+    ///
+    /// A pattern-routed plan fetches the world-free need sets from the
+    /// staging's [`StagedProblem::plan_patterns`] cache (computed once
+    /// per `(family, p, c)` and shared by every worker built from the
+    /// same staging) and then lets the kernel all-gather them over its
+    /// rings — real traffic, charged to `Phase::PatternExchange`.
     pub fn build_planned(&self, comm: &Comm, plan: &KernelPlan) -> DistWorker {
         let staged = self.staged();
+        macro_rules! family {
+            ($ty:ty, $fam:expr) => {{
+                let mut k = <$ty>::from_staged(comm, plan.c, staged);
+                if plan.routing == Routing::Pattern {
+                    let pats = staged.plan_patterns($fam, comm.size(), plan.c, || {
+                        <$ty>::derive_needs(staged, comm.size(), plan.c)
+                    });
+                    k.enable_pattern_routing(&pats);
+                }
+                Box::new(k) as Box<dyn DistKernel>
+            }};
+        }
         let kernel: Box<dyn DistKernel> = match plan.id {
             KernelId::Family(AlgorithmFamily::DenseShift15) => {
-                Box::new(DenseShift15::from_staged(comm, plan.c, staged))
+                family!(DenseShift15, AlgorithmFamily::DenseShift15)
             }
             KernelId::Family(AlgorithmFamily::SparseShift15) => {
-                Box::new(SparseShift15::from_staged(comm, plan.c, staged))
+                family!(SparseShift15, AlgorithmFamily::SparseShift15)
             }
             KernelId::Family(AlgorithmFamily::DenseRepl25) => {
-                Box::new(DenseRepl25::from_staged(comm, plan.c, staged))
+                family!(DenseRepl25, AlgorithmFamily::DenseRepl25)
             }
             KernelId::Family(AlgorithmFamily::SparseRepl25) => {
-                Box::new(SparseRepl25::from_staged(comm, plan.c, staged))
+                family!(SparseRepl25, AlgorithmFamily::SparseRepl25)
             }
-            KernelId::Baseline1D => Box::new(Baseline1D::from_staged(comm, staged)),
+            KernelId::Baseline1D => {
+                assert_eq!(
+                    plan.routing,
+                    Routing::Dense,
+                    "the 1D baseline has no shift schedule to pattern-route"
+                );
+                Box::new(Baseline1D::from_staged(comm, staged))
+            }
         };
         DistWorker::from_parts(kernel, *plan)
     }
@@ -711,6 +768,7 @@ mod tests {
             );
             assert_eq!(plan.algorithm().unwrap(), expect.algorithm, "p={p}");
             assert_eq!(plan.c, expect.c, "p={p}");
+            assert_eq!(plan.routing, expect.routing, "p={p}");
             assert!((plan.predicted_comm_s.unwrap() - expect.time_s).abs() < 1e-15);
         }
     }
@@ -754,12 +812,37 @@ mod tests {
     }
 
     #[test]
+    fn pinned_routing_restricts_the_scoreboard() {
+        let prob = er_prob(256, 16, 4, 8);
+        let builder = KernelBuilder::new(&prob);
+        let p = 16;
+        let dense_only = builder.clone().routing(Routing::Dense).plan_candidates(p);
+        assert!(dense_only.iter().all(|c| c.routing == Routing::Dense));
+        assert_eq!(dense_only.len(), Algorithm::all_benchmarked().len());
+        let routed_only = builder.clone().routing(Routing::Pattern).plan_candidates(p);
+        assert!(!routed_only.is_empty());
+        assert!(routed_only
+            .iter()
+            .all(|c| c.routing == Routing::Pattern && c.algorithm.elision == Elision::None));
+        let plan = builder.clone().routing(Routing::Pattern).plan(p);
+        assert_eq!(plan.routing, Routing::Pattern);
+        // An un-routable pin combination has no candidates.
+        let mixed = builder
+            .clone()
+            .routing(Routing::Pattern)
+            .elision(Elision::LocalKernelFusion)
+            .plan_candidates(p);
+        assert!(mixed.is_empty());
+    }
+
+    #[test]
     fn baseline_plan_is_fixed() {
         let prob = er_prob(64, 8, 4, 4);
         let plan = KernelBuilder::new(&prob).baseline().plan(8);
         assert_eq!(plan.id, KernelId::Baseline1D);
         assert_eq!(plan.c, 1);
         assert_eq!(plan.elision, Elision::None);
+        assert_eq!(plan.routing, Routing::Dense);
         assert!(plan.predicted_comm_s.is_none());
     }
 
@@ -779,18 +862,22 @@ mod tests {
             let plan = builder.plan(p);
             assert_eq!(plan.algorithm().unwrap(), cands[0].algorithm, "p={p}");
             assert_eq!(plan.c, cands[0].c, "p={p}");
+            assert_eq!(plan.routing, cands[0].routing, "p={p}");
             assert_eq!(plan.predicted_comm_s, Some(cands[0].predicted_comm_s));
-            // Every candidate's score must be the theory's, recomputed.
+            // Every candidate's score must be the theory's, recomputed
+            // under its own routing.
             let model = MachineModel::cori_knl();
             for cand in &cands {
-                let t = theory::predicted_comm_time(
+                let t = theory::predicted_comm_time_for(
                     &model,
                     cand.algorithm,
+                    cand.routing,
                     p,
                     cand.c,
                     prob.dims,
                     prob.nnz(),
-                );
+                )
+                .unwrap();
                 assert!((cand.predicted_comm_s - t).abs() <= 1e-15 * t.max(1e-30));
             }
         }
@@ -812,7 +899,14 @@ mod tests {
         let nnz = (1usize << 22) * 32;
         let builder = KernelBuilder::for_shape(dims, nnz);
         let cands = builder.plan_candidates(256);
-        assert_eq!(cands.len(), Algorithm::all_benchmarked().len());
+        // Eight dense rows (Figure 4) plus one pattern-routed row per
+        // un-elided family.
+        let n_routed = Algorithm::all_benchmarked()
+            .iter()
+            .filter(|a| a.admits(Routing::Pattern))
+            .count();
+        assert_eq!(n_routed, 4);
+        assert_eq!(cands.len(), Algorithm::all_benchmarked().len() + n_routed);
         let expect = theory::predict_best(
             &MachineModel::cori_knl(),
             &Algorithm::all_benchmarked(),

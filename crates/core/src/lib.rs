@@ -81,7 +81,7 @@ pub mod theory;
 pub mod wire;
 pub mod worker;
 
-pub use common::{AlgorithmFamily, Elision, ProblemDims, Sampling};
+pub use common::{AlgorithmFamily, Elision, ProblemDims, Routing, Sampling};
 pub use global::GlobalProblem;
 pub use kernel::{CombineSpec, DistKernel, KernelBuilder, KernelId, KernelPlan};
 pub use session::{ReplanEvent, ReplanPolicy, Session, SessionBuilder};

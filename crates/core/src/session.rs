@@ -44,7 +44,7 @@ use dsk_comm::{Comm, MachineModel, Phase, RankStats};
 use dsk_dense::Mat;
 use dsk_sparse::CooMatrix;
 
-use crate::common::{AlgorithmFamily, Elision, Sampling};
+use crate::common::{AlgorithmFamily, Elision, Routing, Sampling};
 use crate::global::GlobalProblem;
 use crate::kernel::{CombineSpec, KernelBuilder, KernelId, KernelPlan};
 use crate::layout::repartition_dense;
@@ -558,9 +558,17 @@ impl Session {
         assert!(!candidates.is_empty(), "no admissible replan candidate");
         let best = candidates[0];
         let from = self.worker.plan();
-        let predicted_from_s = from.algorithm().map(|alg| {
-            theory::predicted_comm_time(&self.model, alg, p, from.c, dims, observed_nnz)
-                + theory::predicted_comp_time(&self.model, p, dims, observed_nnz)
+        let predicted_from_s = from.algorithm().and_then(|alg| {
+            let comm_s = theory::predicted_comm_time_for(
+                &self.model,
+                alg,
+                from.routing,
+                p,
+                from.c,
+                dims,
+                observed_nnz,
+            )?;
+            Some(comm_s + theory::predicted_comp_time(&self.model, p, dims, observed_nnz))
         });
         let predicted_to_s = best.predicted_total_s();
         let same_kernel = from.id == KernelId::Family(best.algorithm.family) && from.c == best.c;
@@ -571,6 +579,7 @@ impl Session {
                 id: KernelId::Family(best.algorithm.family),
                 c: best.c,
                 elision: best.algorithm.elision,
+                routing: best.routing,
                 predicted_comm_s: Some(best.predicted_comm_s),
             };
             self.migrate_to(&plan);
@@ -609,6 +618,7 @@ impl Session {
             id: KernelId::Family(algorithm.family),
             c,
             elision: algorithm.elision,
+            routing: Routing::Dense,
             predicted_comm_s: None,
         };
         // Observe before moving state so the logged event carries the
@@ -639,9 +649,11 @@ impl Session {
     /// global-coordinate triplet travels only to the ranks whose
     /// destination pattern bounds
     /// ([`DistKernel::r_pattern_bounds_of`](crate::kernel::DistKernel::r_pattern_bounds_of))
-    /// contain it — an alltoallv of `O(c·nnz)` words total (`c` = how
-    /// many ranks replicate each destination block), instead of the
-    /// `O(p·nnz)` allgather this used to be.
+    /// contain it — a [`Comm::sparse_alltoallv`] of `O(c·nnz)` words
+    /// total (`c` = how many ranks replicate each destination block)
+    /// that also skips every peer pair whose old/new pattern bounds
+    /// don't intersect, instead of the `O(p·nnz)` allgather this used
+    /// to be.
     fn migrate_to(&mut self, plan: &KernelPlan) {
         let mut new_worker = KernelBuilder::from_staged(&self.staged)
             .model(self.model)
@@ -672,27 +684,53 @@ impl Session {
         if let Some(local) = exported {
             let _ph = self.comm.phase(Phase::Migration);
             let p = self.comm.size();
-            // Destination ownership is pure grid arithmetic on the new
-            // kernel — no communication to discover it.
-            let bounds: Vec<_> = {
+            let me = self.comm.rank();
+            // Ownership on both sides is pure grid arithmetic — no
+            // communication to discover it. A peer pair only exchanges a
+            // message when the source's old pattern bounds rectangle-
+            // intersect the destination's new ones, so the alltoallv is
+            // sparse over peers as well as over entries.
+            let (old_bounds, new_bounds) = {
+                let old_k = self.worker.kernel();
                 let new_k = new_worker.kernel();
-                (0..p).map(|g| new_k.r_pattern_bounds_of(g)).collect()
+                let ob: Vec<_> = (0..p).map(|g| old_k.r_pattern_bounds_of(g)).collect();
+                let nb: Vec<_> = (0..p).map(|g| new_k.r_pattern_bounds_of(g)).collect();
+                (ob, nb)
             };
-            let mut outgoing: Vec<(Vec<u32>, Vec<u32>, Vec<f64>)> =
-                (0..p).map(|_| Default::default()).collect();
+            type Bounds = (std::ops::Range<usize>, std::ops::Range<usize>);
+            fn overlaps(a: &Bounds, b: &Bounds) -> bool {
+                a.0.start < b.0.end
+                    && b.0.start < a.0.end
+                    && a.1.start < b.1.end
+                    && b.1.start < a.1.end
+            }
+            type Triplets = (Vec<u32>, Vec<u32>, Vec<f64>);
+            let mut outgoing: Vec<Option<Triplets>> = (0..p)
+                .map(|g| overlaps(&old_bounds[me], &new_bounds[g]).then(Default::default))
+                .collect();
             for (i, j, v) in local.iter() {
-                for (g, (rows, cols)) in bounds.iter().enumerate() {
-                    if rows.contains(&i) && cols.contains(&j) {
-                        outgoing[g].0.push(i as u32);
-                        outgoing[g].1.push(j as u32);
-                        outgoing[g].2.push(v);
+                debug_assert!(
+                    old_bounds[me].0.contains(&i) && old_bounds[me].1.contains(&j),
+                    "exported triplet outside this rank's pattern bounds"
+                );
+                for (g, slot) in outgoing.iter_mut().enumerate() {
+                    if let Some(t) = slot {
+                        let (rows, cols) = &new_bounds[g];
+                        if rows.contains(&i) && cols.contains(&j) {
+                            t.0.push(i as u32);
+                            t.1.push(j as u32);
+                            t.2.push(v);
+                        }
                     }
                 }
             }
-            let incoming = self.comm.alltoallv(outgoing);
+            let expect: Vec<bool> = (0..p)
+                .map(|g| overlaps(&old_bounds[g], &new_bounds[me]))
+                .collect();
+            let incoming = self.comm.sparse_alltoallv(outgoing, &expect);
             let (m, n) = (self.worker.dims().m, self.worker.dims().n);
             let mut global = CooMatrix::empty(m, n);
-            for (rows, cols, vals) in incoming {
+            for (rows, cols, vals) in incoming.into_iter().flatten() {
                 global.rows.extend_from_slice(&rows);
                 global.cols.extend_from_slice(&cols);
                 global.vals.extend_from_slice(&vals);

@@ -27,7 +27,7 @@
 //! No communication elision applies: there is no dense replication to
 //! reuse and rows are sliced, so FusedMM is always two rounds.
 
-use dsk_comm::{Comm, Grid25, GridComms25, Phase};
+use dsk_comm::{Comm, CommPattern, Grid25, GridComms25, Phase, RowBundle, RowSet};
 use dsk_dense::Mat;
 use dsk_kernels as kern;
 use dsk_sparse::{CooMatrix, CsrMatrix};
@@ -36,7 +36,7 @@ use crate::common::{block_range, AlgorithmFamily, Elision, ProblemDims, Sampling
 use crate::global::GlobalProblem;
 use crate::kernel::{CombineSpec, DistKernel, KernelId};
 use crate::layout::DenseLayout;
-use crate::staged::StagedProblem;
+use crate::staged::{PlanPatterns, StagedProblem};
 
 /// Tag for `A` panels (row-ring traffic).
 const TAG_A: u32 = 130;
@@ -61,6 +61,10 @@ pub struct SparseRepl25 {
     /// Fully reduced SDDMM values (available on every layer after a
     /// kernel).
     r_vals: Option<Vec<f64>>,
+    /// Row-ring pattern for `A`-side panels (`None` = dense shifts).
+    route_a: Option<CommPattern>,
+    /// Column-ring pattern for `B`-side panels.
+    route_b: Option<CommPattern>,
 }
 
 impl SparseRepl25 {
@@ -103,7 +107,55 @@ impl SparseRepl25 {
             a_home,
             b_home,
             r_vals: None,
+            route_a: None,
+            route_b: None,
         }
+    }
+
+    /// The need sets a pattern-routed plan requires, derived world-free
+    /// from the staged `S` partition. The stationary block `(u, v)`
+    /// reads every visiting `A` panel at its row support and every `B`
+    /// panel at its column support — the same sets regardless of which
+    /// slice the panel carries, so each origin entry repeats them.
+    /// `primary` covers the row ring (`A` side), `secondary` the column
+    /// ring (`B` side).
+    pub fn derive_needs(staged: &StagedProblem, p: usize, c: usize) -> PlanPatterns {
+        let grid = Grid25::new(p, c).expect("invalid 2.5D grid");
+        let q = grid.q;
+        let (m, n) = (staged.prob.dims.m, staged.prob.dims.n);
+        let rows: Vec<_> = (0..q).map(|uu| block_range(m, q, uu)).collect();
+        let cols: Vec<_> = (0..q).map(|vv| block_range(n, q, vv)).collect();
+        let grid_s = staged.partition(false, &rows, &cols);
+        let mut primary = Vec::with_capacity(p);
+        let mut secondary = Vec::with_capacity(p);
+        for g in 0..p {
+            let (u, v) = (grid.row_pos(g), grid.col_pos(g));
+            let blk = &grid_s[u][v];
+            let row_need = RowSet::from_indices(blk.iter().map(|(i, _, _)| i as u32).collect());
+            let col_need = RowSet::from_indices(blk.iter().map(|(_, j, _)| j as u32).collect());
+            primary.push(vec![row_need; q]);
+            secondary.push(vec![col_need; q]);
+        }
+        PlanPatterns {
+            primary,
+            secondary: Some(secondary),
+        }
+    }
+
+    /// Switch both panel rings to pattern routing: exchange this rank's
+    /// need sets over each ring (charged to `Phase::PatternExchange`).
+    pub fn enable_pattern_routing(&mut self, pats: &PlanPatterns) {
+        let grid = self.gc.grid;
+        let g = grid.rank_of(self.gc.u, self.gc.v, self.gc.w);
+        self.route_a = Some(CommPattern::exchange(
+            &self.gc.row_ring,
+            pats.primary[g].clone(),
+        ));
+        let sec = pats
+            .secondary
+            .as_ref()
+            .expect("2.5D sparse replication routes both panel rings");
+        self.route_b = Some(CommPattern::exchange(&self.gc.col_ring, sec[g].clone()));
     }
 
     /// Problem dimensions.
@@ -178,6 +230,46 @@ impl SparseRepl25 {
         got
     }
 
+    /// Pattern-routed `A`-panel hop (see [`SparseRepl25::shift_a`]).
+    fn shift_a_routed(&self, a: &Mat, ship: &RowSet, next_width: usize) -> Mat {
+        let _ph = self.gc.row_ring.phase(Phase::Propagation);
+        let q = self.gc.row_ring.size();
+        let bundle = RowBundle::gather(a.nrows(), a.ncols(), a.as_slice(), ship);
+        let (nrows, ncols, data) = self.gc.row_ring.shift(q - 1, TAG_A, bundle).into_full();
+        debug_assert!(ncols == 0 || ncols == next_width);
+        Mat::from_vec(nrows, ncols, data)
+    }
+
+    /// Pattern-routed `B`-panel hop (see [`SparseRepl25::shift_b`]).
+    fn shift_b_routed(&self, b: &Mat, ship: &RowSet, next_width: usize) -> Mat {
+        let _ph = self.gc.col_ring.phase(Phase::Propagation);
+        let q = self.gc.col_ring.size();
+        let bundle = RowBundle::gather(b.nrows(), b.ncols(), b.as_slice(), ship);
+        let (nrows, ncols, data) = self.gc.col_ring.shift(q - 1, TAG_B, bundle).into_full();
+        debug_assert!(ncols == 0 || ncols == next_width);
+        Mat::from_vec(nrows, ncols, data)
+    }
+
+    /// Forward set for an **input** panel leaving after step `t` on the
+    /// ring whose member coordinate excludes `base` (`base = u` for the
+    /// row ring, `base = v` for the column ring): the union of the
+    /// needs of the members that still read it. Needs are
+    /// origin-independent here, so origin 0 stands for all.
+    fn forward_input_on(&self, pat: &CommPattern, base: usize, t: usize) -> RowSet {
+        let q = self.q();
+        let sig = (self.gc.u + self.gc.v + t) % q;
+        pat.union_over((t + 1..q).map(|tp| (sig + 2 * q - base - tp) % q), 0)
+    }
+
+    /// Forward set for a circulating **accumulator** leaving after step
+    /// `t`: the union of every visited writer's rows (lossless under
+    /// zero-fill; the final hop carries the whole support home).
+    fn forward_acc_on(&self, pat: &CommPattern, base: usize, t: usize) -> RowSet {
+        let q = self.q();
+        let sig = (self.gc.u + self.gc.v + t) % q;
+        pat.union_over((0..=t).map(|tpp| (sig + 2 * q - base - tpp) % q), 0)
+    }
+
     /// Width of the r-slice carried at step `t` (slices can differ by
     /// one column when `q·c ∤ r`).
     fn slice_at(&self, t: usize) -> std::ops::Range<usize> {
@@ -208,8 +300,18 @@ impl SparseRepl25 {
                     kern::sddmm::sddmm_csr_acc_with(&mut acc, &self.s_pattern, &a, &b, com)
                 });
             let next = self.slice_at(t + 1).len();
-            a = self.shift_a(a, next);
-            b = self.shift_b(b, next);
+            a = match &self.route_a {
+                None => self.shift_a(a, next),
+                Some(pat) => {
+                    self.shift_a_routed(&a, &self.forward_input_on(pat, self.gc.u, t), next)
+                }
+            };
+            b = match &self.route_b {
+                None => self.shift_b(b, next),
+                Some(pat) => {
+                    self.shift_b_routed(&b, &self.forward_input_on(pat, self.gc.v, t), next)
+                }
+            };
         }
         acc
     }
@@ -230,8 +332,18 @@ impl SparseRepl25 {
                     kern::spmm_csr_acc(&mut out, &s, &b)
                 });
             let next = self.slice_at(t + 1).len();
-            out = self.shift_a(out, next);
-            b = self.shift_b(b, next);
+            out = match &self.route_a {
+                None => self.shift_a(out, next),
+                Some(pat) => {
+                    self.shift_a_routed(&out, &self.forward_acc_on(pat, self.gc.u, t), next)
+                }
+            };
+            b = match &self.route_b {
+                None => self.shift_b(b, next),
+                Some(pat) => {
+                    self.shift_b_routed(&b, &self.forward_input_on(pat, self.gc.v, t), next)
+                }
+            };
         }
         out
     }
@@ -252,8 +364,18 @@ impl SparseRepl25 {
                     kern::spmm_csr_t_acc(&mut out, &s, &a)
                 });
             let next = self.slice_at(t + 1).len();
-            out = self.shift_b(out, next);
-            a = self.shift_a(a, next);
+            out = match &self.route_b {
+                None => self.shift_b(out, next),
+                Some(pat) => {
+                    self.shift_b_routed(&out, &self.forward_acc_on(pat, self.gc.v, t), next)
+                }
+            };
+            a = match &self.route_a {
+                None => self.shift_a(a, next),
+                Some(pat) => {
+                    self.shift_a_routed(&a, &self.forward_input_on(pat, self.gc.u, t), next)
+                }
+            };
         }
         out
     }

@@ -28,7 +28,7 @@
 //! output); without elision the second kernel re-replicates its input.
 //! Local kernel fusion is impossible: rows are split across ranks.
 
-use dsk_comm::{Comm, Grid15, GridComms15, Phase};
+use dsk_comm::{Comm, CommPattern, Grid15, GridComms15, Phase, RowSet};
 use dsk_dense::Mat;
 use dsk_kernels as kern;
 use dsk_sparse::CooMatrix;
@@ -37,7 +37,7 @@ use crate::common::{block_range, AlgorithmFamily, Elision, ProblemDims, Sampling
 use crate::global::GlobalProblem;
 use crate::kernel::{DistKernel, KernelId};
 use crate::layout::{repartition_dense, DenseLayout};
-use crate::staged::StagedProblem;
+use crate::staged::{PlanPatterns, StagedProblem};
 
 pub use crate::kernel::CombineSpec;
 
@@ -66,6 +66,12 @@ pub struct SparseShift15 {
     b_stat: Vec<Mat>,
     /// SDDMM result values for the home block (aligned with `s_home`).
     r_vals: Option<Vec<f64>>,
+    /// Fiber pattern for the `A`-replicating paths (rows over `m`);
+    /// `None` = dense all-gathers, the default.
+    route_a: Option<CommPattern>,
+    /// Fiber pattern for the transposed, `B`-replicating paths (rows
+    /// over `n`).
+    route_b: Option<CommPattern>,
 }
 
 impl SparseShift15 {
@@ -115,7 +121,76 @@ impl SparseShift15 {
             a_stat,
             b_stat,
             r_vals: None,
+            route_a: None,
+            route_b: None,
         }
+    }
+
+    /// The need sets a pattern-routed plan requires, derived world-free
+    /// from the staged column partition of `S`. A rank only ever reads
+    /// the replicated panel at the rows its layer ring's traveling
+    /// blocks address, and that union depends only on the rank's fiber
+    /// coordinate `v`: `primary[g][vv]` is the slice of that union
+    /// falling in fiber member `vv`'s replicate block of `A` (rows over
+    /// `m`, indices block-local); `secondary` is the same for the
+    /// transposed, `B`-replicating paths (rows over `n`).
+    pub fn derive_needs(staged: &StagedProblem, p: usize, c: usize) -> PlanPatterns {
+        let grid = Grid15::new(p, c).expect("invalid 1.5D grid");
+        let q = grid.layer_size();
+        let (m, n) = (staged.prob.dims.m, staged.prob.dims.n);
+        let col_blocks: Vec<_> = (0..p).map(|j| block_range(n, p, j)).collect();
+        let s_cols = staged.partition(false, std::slice::from_ref(&(0..m)), &col_blocks);
+        let col_blocks_t: Vec<_> = (0..p).map(|j| block_range(m, p, j)).collect();
+        let st_cols = staged.partition(true, std::slice::from_ref(&(0..n)), &col_blocks_t);
+
+        let ring_union = |cols: &[CooMatrix], v: usize| {
+            let mut rows: Vec<u32> = Vec::new();
+            for w in 0..q {
+                rows.extend(cols[w * c + v].iter().map(|(i, _, _)| i as u32));
+            }
+            RowSet::from_indices(rows)
+        };
+        let localize = |need: &RowSet, total: usize| -> Vec<RowSet> {
+            (0..c)
+                .map(|vv| {
+                    let br = block_range(total, c, vv);
+                    RowSet::from_indices(
+                        need.indices()
+                            .iter()
+                            .filter(|&&i| br.contains(&(i as usize)))
+                            .map(|&i| i - br.start as u32)
+                            .collect(),
+                    )
+                })
+                .collect()
+        };
+        let mut primary = Vec::with_capacity(p);
+        let mut secondary = Vec::with_capacity(p);
+        for g in 0..p {
+            let v = grid.fiber_pos(g);
+            primary.push(localize(&ring_union(&s_cols[0], v), m));
+            secondary.push(localize(&ring_union(&st_cols[0], v), n));
+        }
+        PlanPatterns {
+            primary,
+            secondary: Some(secondary),
+        }
+    }
+
+    /// Switch replication to pattern routing: exchange this rank's need
+    /// sets over the fiber (charged to `Phase::PatternExchange`) and
+    /// keep the resulting patterns for every later all-gather.
+    pub fn enable_pattern_routing(&mut self, pats: &PlanPatterns) {
+        let g = self.gc.grid.rank_of(self.gc.u, self.gc.v);
+        self.route_a = Some(CommPattern::exchange(
+            &self.gc.fiber,
+            pats.primary[g].clone(),
+        ));
+        let sec = pats
+            .secondary
+            .as_ref()
+            .expect("1.5D sparse shifting routes both replicated operands");
+        self.route_b = Some(CommPattern::exchange(&self.gc.fiber, sec[g].clone()));
     }
 
     /// Problem dimensions.
@@ -179,13 +254,34 @@ impl SparseShift15 {
     /// `total_rows × slice` panel. `total_rows` is passed explicitly so
     /// that empty r-slices (possible when p/c > r) still produce a
     /// correctly-shaped zero-width panel.
-    fn replicate(&self, x_rep: &Mat, total_rows: usize) -> Mat {
+    fn replicate(&self, x_rep: &Mat, total_rows: usize, route: Option<&CommPattern>) -> Mat {
         let _ph = self.gc.fiber.phase(Phase::Replication);
         let w = x_rep.ncols();
-        let parts = self.gc.fiber.allgather(x_rep.as_slice().to_vec());
-        let mut data = Vec::new();
-        for p in parts {
-            data.extend_from_slice(&p);
+        let mut data = Vec::with_capacity(total_rows * w);
+        match route {
+            None => {
+                let parts = self.gc.fiber.allgather(x_rep.as_slice().to_vec());
+                for p in parts {
+                    data.extend_from_slice(&p);
+                }
+            }
+            Some(pat) => {
+                // Ship each fiber peer only the rows of this rank's
+                // replicate block its ring will ever read; zero-fill
+                // the rest (never read downstream).
+                let me = self.gc.v;
+                let ship: Vec<RowSet> = (0..self.gc.grid.c)
+                    .map(|i| pat.need(i, me).clone())
+                    .collect();
+                let bundles =
+                    self.gc
+                        .fiber
+                        .sparse_allgather(x_rep.nrows(), w, x_rep.as_slice(), &ship);
+                for b in bundles {
+                    let (_, _, full) = b.into_full();
+                    data.extend_from_slice(&full);
+                }
+            }
         }
         debug_assert!(w == 0 || data.len() / w == total_rows);
         Mat::from_vec(total_rows, w, data)
@@ -280,7 +376,7 @@ impl SparseShift15 {
     /// Distributed SDDMM (replicates `A`, travels `S`); the result stays
     /// on the home block ([`SparseShift15::gather_r`] retrieves it).
     pub fn sddmm(&mut self) {
-        let t_a = self.replicate(&self.a_rep, self.dims.m);
+        let t_a = self.replicate(&self.a_rep, self.dims.m, self.route_a.as_ref());
         let dots = self.dots_round(&self.s_home, &t_a, &self.b_stat, &CombineSpec::Dot);
         self.r_vals = Some(Self::finalize(&self.s_home, dots, Sampling::Values));
     }
@@ -288,7 +384,7 @@ impl SparseShift15 {
     /// Distributed SpMMB: `Sᵀ·A` (or `Rᵀ·A`), returned in the
     /// stationary `B` layout.
     pub fn spmm_b(&mut self, use_r: bool) -> Mat {
-        let t_a = self.replicate(&self.a_rep, self.dims.m);
+        let t_a = self.replicate(&self.a_rep, self.dims.m, self.route_a.as_ref());
         let vals = self.vals_for_travel(use_r);
         let n = self.dims.n;
         let (p, c, v) = (self.gc.grid.p, self.gc.grid.c, self.gc.v);
@@ -300,7 +396,7 @@ impl SparseShift15 {
     /// Distributed SpMMA: `S·B` via the transposed roles (replicates
     /// `B`, travels `Sᵀ`), returned in the stationary `A` layout.
     pub fn spmm_a(&mut self) -> Mat {
-        let t_b = self.replicate(&self.b_rep, self.dims.n);
+        let t_b = self.replicate(&self.b_rep, self.dims.n, self.route_b.as_ref());
         let vals = self.st_home.vals.clone();
         let m = self.dims.m;
         let (p, c, v) = (self.gc.grid.p, self.gc.grid.c, self.gc.v);
@@ -331,7 +427,7 @@ impl SparseShift15 {
         let (p, c, v) = (self.gc.grid.p, self.gc.grid.c, self.gc.v);
         match elision {
             Elision::ReplicationReuse => {
-                let t_a = self.replicate(&self.a_rep, self.dims.m);
+                let t_a = self.replicate(&self.a_rep, self.dims.m, None);
                 let dots = self.dots_round(&self.s_home, &t_a, &y_stat, &CombineSpec::Dot);
                 let rvals = Self::finalize(&self.s_home, dots, sampling);
                 self.scatter_round(&self.s_home, rvals, &t_a, |w| {
@@ -339,11 +435,12 @@ impl SparseShift15 {
                 })
             }
             Elision::None => {
-                let t_a = self.replicate(&self.a_rep, self.dims.m);
+                let route = self.route_a.as_ref();
+                let t_a = self.replicate(&self.a_rep, self.dims.m, route);
                 let dots = self.dots_round(&self.s_home, &t_a, &y_stat, &CombineSpec::Dot);
                 let rvals = Self::finalize(&self.s_home, dots, sampling);
                 // Unoptimized: the SpMMB call replicates A again.
-                let t_a2 = self.replicate(&self.a_rep, self.dims.m);
+                let t_a2 = self.replicate(&self.a_rep, self.dims.m, self.route_a.as_ref());
                 self.scatter_round(&self.s_home, rvals, &t_a2, |w| {
                     block_range(n, p, w * c + v).len()
                 })
@@ -369,7 +466,7 @@ impl SparseShift15 {
         let (p, c, v) = (self.gc.grid.p, self.gc.grid.c, self.gc.v);
         match elision {
             Elision::ReplicationReuse => {
-                let t_b = self.replicate(&self.b_rep, self.dims.n);
+                let t_b = self.replicate(&self.b_rep, self.dims.n, None);
                 let dots = self.dots_round(&self.st_home, &t_b, &x_stat, &CombineSpec::Dot);
                 let rvals = Self::finalize(&self.st_home, dots, sampling);
                 self.scatter_round(&self.st_home, rvals, &t_b, |w| {
@@ -377,10 +474,11 @@ impl SparseShift15 {
                 })
             }
             Elision::None => {
-                let t_b = self.replicate(&self.b_rep, self.dims.n);
+                let route = self.route_b.as_ref();
+                let t_b = self.replicate(&self.b_rep, self.dims.n, route);
                 let dots = self.dots_round(&self.st_home, &t_b, &x_stat, &CombineSpec::Dot);
                 let rvals = Self::finalize(&self.st_home, dots, sampling);
-                let t_b2 = self.replicate(&self.b_rep, self.dims.n);
+                let t_b2 = self.replicate(&self.b_rep, self.dims.n, self.route_b.as_ref());
                 self.scatter_round(&self.st_home, rvals, &t_b2, |w| {
                     block_range(m, p, w * c + v).len()
                 })
@@ -400,7 +498,7 @@ impl SparseShift15 {
 
     /// Generalized SDDMM storing raw accumulations as R values.
     pub fn sddmm_general(&mut self, combine: CombineSpec) {
-        let t_a = self.replicate(&self.a_rep, self.dims.m);
+        let t_a = self.replicate(&self.a_rep, self.dims.m, self.route_a.as_ref());
         let dots = self.dots_round(&self.s_home, &t_a, &self.b_stat, &combine);
         self.r_vals = Some(dots);
     }

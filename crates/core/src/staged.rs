@@ -16,13 +16,37 @@ use std::sync::{Arc, OnceLock};
 
 use std::sync::Mutex;
 
+use dsk_comm::RowSet;
 use dsk_sparse::partition::partition_by_ranges;
 use dsk_sparse::CooMatrix;
 
+use crate::common::AlgorithmFamily;
 use crate::global::GlobalProblem;
 
 type Grid = Vec<Vec<CooMatrix>>;
 type Key = (bool, Vec<usize>, Vec<usize>);
+type PatternKey = (AlgorithmFamily, usize, usize);
+
+/// The world-free half of a pattern-routed plan: per-rank need sets for
+/// every routed ring of a `(family, p, c)` kernel grid, derived from
+/// the global `S` structure exactly as each rank would derive its own
+/// row locally.
+///
+/// `primary[rank][origin]` is the set of rows of the tile originating
+/// at ring position `origin` that `rank` touches on its main routed
+/// ring; `secondary` covers the second ring of families that route two
+/// tile streams (2.5D sparse replication ships both dense panels).
+/// Built once per plan by [`StagedProblem::plan_patterns`] and shared
+/// by every worker the staging constructs; at build time each rank
+/// still all-gathers its row over the real communicator (charged to
+/// `Phase::PatternExchange`), so knowing the pattern is never free.
+#[derive(Debug, Clone)]
+pub struct PlanPatterns {
+    /// Need sets for the family's primary routed ring, `[rank][origin]`.
+    pub primary: Vec<Vec<RowSet>>,
+    /// Need sets for the family's second routed ring, when it has one.
+    pub secondary: Option<Vec<Vec<RowSet>>>,
+}
 
 /// A global problem plus memoized sparse-matrix partitions, shared by
 /// all ranks of a simulated world.
@@ -31,6 +55,7 @@ pub struct StagedProblem {
     pub prob: Arc<GlobalProblem>,
     transpose: OnceLock<CooMatrix>,
     partitions: Mutex<HashMap<Key, Arc<Grid>>>,
+    patterns: Mutex<HashMap<PatternKey, Arc<PlanPatterns>>>,
 }
 
 impl StagedProblem {
@@ -40,6 +65,7 @@ impl StagedProblem {
             prob,
             transpose: OnceLock::new(),
             partitions: Mutex::new(HashMap::new()),
+            patterns: Mutex::new(HashMap::new()),
         }
     }
 
@@ -83,6 +109,30 @@ impl StagedProblem {
             .unwrap()
             .entry(key)
             .or_insert_with(|| Arc::clone(&grid))
+            .clone()
+    }
+
+    /// The pattern-routing need sets for a `(family, p, c)` plan,
+    /// computed once by `derive` (each family's world-free derivation)
+    /// and shared by every worker built from this staging.
+    pub fn plan_patterns(
+        &self,
+        family: AlgorithmFamily,
+        p: usize,
+        c: usize,
+        derive: impl FnOnce() -> PlanPatterns,
+    ) -> Arc<PlanPatterns> {
+        let key: PatternKey = (family, p, c);
+        if let Some(hit) = self.patterns.lock().unwrap().get(&key) {
+            return Arc::clone(hit);
+        }
+        // Compute outside the lock, same idiom as `partition`.
+        let pats = Arc::new(derive());
+        self.patterns
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert_with(|| Arc::clone(&pats))
             .clone()
     }
 }

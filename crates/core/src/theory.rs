@@ -8,7 +8,7 @@
 //! costs three words in flight. "Words" means the maximum number of
 //! words any processor sends while executing one FusedMM.
 
-use crate::common::{AlgorithmFamily, Elision, ProblemDims};
+use crate::common::{AlgorithmFamily, Elision, ProblemDims, Routing};
 use dsk_comm::MachineModel;
 
 /// An algorithm choice: family plus elision strategy.
@@ -50,6 +50,14 @@ impl Algorithm {
     /// Fusion".
     pub fn label(&self) -> String {
         format!("{}, {}", self.family.label(), self.elision.label())
+    }
+
+    /// Whether this variant admits the given routing. Pattern routing
+    /// requires the un-elided schedule: the elided variants fold two
+    /// kernels' traffic into one round, so every receiver touches the
+    /// full tiles and indexed-row routing degenerates to dense.
+    pub fn admits(&self, routing: Routing) -> bool {
+        routing == Routing::Dense || self.elision == Elision::None
     }
 }
 
@@ -103,6 +111,165 @@ pub fn messages_per_processor(alg: Algorithm, p: usize, c: usize) -> f64 {
         (DenseRepl25, ReplicationReuse) => 4.0 * (pf / cf).sqrt() + (cf - 1.0),
         (SparseRepl25, None) => 4.0 * (pf / cf).sqrt() + 3.0 * (cf - 1.0),
         (f, e) => panic!("{f:?} does not support {e:?}"),
+    }
+}
+
+/// Expected fraction of an `nb`-row tile covered by the union of the
+/// row supports of `k` independent sparse blocks of `z` nonzeros each.
+///
+/// This is the Erdős–Rényi occupancy estimate the planner uses as a
+/// closed-form stand-in for the exact communication patterns the
+/// runtime exchanges: one block leaves a row untouched with probability
+/// `(1 − 1/nb)^z`, and `k` independent blocks with that probability to
+/// the `k`-th power.
+fn expected_union_frac(nb: f64, z: f64, k: f64) -> f64 {
+    if nb <= 1.0 || k <= 0.0 {
+        return if k > 0.0 && nb > 0.0 { 1.0 } else { 0.0 };
+    }
+    let miss = (1.0 - 1.0 / nb).powf(z.max(0.0));
+    1.0 - miss.powf(k)
+}
+
+/// Words one rank ships per pattern-routed ring round: `q` hops of an
+/// `nb × w` tile, hop `t` forwarding only the union of the need sets of
+/// the `q − 1 − t` members still downstream. An indexed hop pays one
+/// extra word per carried row and is capped at the dense tile (the
+/// SparCML fallback), so a routed round never exceeds the dense round
+/// it replaces.
+fn routed_ring_round_words(nb: f64, w: f64, q: usize, z: f64) -> f64 {
+    let dense_hop = nb * w;
+    (0..q)
+        .map(|k| (expected_union_frac(nb, z, k as f64) * nb * (w + 1.0)).min(dense_hop))
+        .sum()
+}
+
+/// Words one rank contributes to the one-time need-set all-gather over
+/// a ring of `q` members: its own `q` per-origin sets, one index word
+/// per row, sent to each of the `q − 1` peers.
+fn pattern_exchange_words(nb: f64, q: usize, z: f64) -> f64 {
+    let per_origin = expected_union_frac(nb, z, 1.0) * nb;
+    (q as f64 - 1.0) * q as f64 * per_origin
+}
+
+/// [`words_per_processor`] for the pattern-routed variant of `alg`:
+/// the dense-tile propagation/replication terms shrink to the expected
+/// routed volume (plus the pattern-exchange cost of learning the
+/// routes), the sparse COO terms are untouched. `None` when the
+/// variant does not admit routing (any elided schedule).
+pub fn routed_words_per_processor(
+    alg: Algorithm,
+    p: usize,
+    c: usize,
+    dims: ProblemDims,
+    nnz: usize,
+) -> Option<f64> {
+    if !alg.admits(Routing::Pattern) {
+        return None;
+    }
+    let pf = p as f64;
+    let cf = c as f64;
+    let nr = dims.n as f64 * dims.r as f64;
+    let nnzf = nnz as f64;
+    let rf = dims.r as f64;
+    use AlgorithmFamily::*;
+    Some(match alg.family {
+        DenseShift15 => {
+            // Ring = the layer of q ranks; the traveling tile is an
+            // n/p-row dense block, masked per member by one of its q
+            // local S blocks (≈ nnz·c/p² nonzeros each).
+            let q = p / c;
+            let nb = dims.n as f64 / pf;
+            let z = nnzf * cf / (pf * pf);
+            let shift = 2.0 * routed_ring_round_words(nb, rf, q, z);
+            let repl = 2.0 * nr * (cf - 1.0) / pf;
+            shift + repl + pattern_exchange_words(nb, q, z)
+        }
+        SparseShift15 => {
+            // The only dense traffic is the two fiber replications;
+            // sparse_allgather ships each of the c−1 peers just the
+            // rows its full-height S column block (nnz/p nonzeros,
+            // ≈ nnz/(p·c) of them inside my m/c-row block) touches.
+            let nb = dims.m as f64 / cf;
+            let wz = nr / (pf * nb); // replicated slice width
+            let z = nnzf / (pf * cf);
+            let frac = expected_union_frac(nb, z, 1.0);
+            let per_peer = (frac * nb * (wz + 1.0)).min(nb * wz);
+            let repl = 2.0 * (cf - 1.0) * per_peer;
+            6.0 * nnzf / cf + repl + pattern_exchange_words(nb, c, z)
+        }
+        DenseRepl25 => {
+            // The dense panel circulates a col ring of q = √(p/c)
+            // members, but each member's S block spans exactly one
+            // panel's rows — a panel is live only until its single
+            // consumer sees it, (q−1)/2 hops on average.
+            let q = ((pf / cf).sqrt().round()) as usize;
+            let qf = q as f64;
+            let nb = dims.n as f64 / (qf * cf);
+            let wz = rf / qf;
+            let z = nnzf / pf;
+            let frac = expected_union_frac(nb, z, 1.0);
+            let hop = (frac * nb * (wz + 1.0)).min(nb * wz);
+            let panel_rounds = 2.0 * (qf - 1.0) / 2.0 * hop;
+            let sparse_travel = 6.0 * nnzf / (pf * cf).sqrt();
+            let repl = 2.0 * nr * (cf - 1.0) / pf;
+            sparse_travel + panel_rounds + repl + pattern_exchange_words(nb, q, z)
+        }
+        SparseRepl25 => {
+            // Both dense panels travel as inputs through rings of
+            // q = √(p/c) members whose stationary S blocks (pattern
+            // fully replicated, ≈ nnz/q² nonzeros) mask them.
+            let q = ((pf / cf).sqrt().round()) as usize;
+            let qf = q as f64;
+            let nb = dims.m as f64 / qf;
+            let wz = rf / (qf * cf);
+            let z = nnzf / (qf * qf);
+            let panels = 4.0 * routed_ring_round_words(nb, wz, q, z);
+            let fiber = 3.0 * nnzf * (cf - 1.0) / pf;
+            panels + fiber + 2.0 * pattern_exchange_words(nb, q, z)
+        }
+    })
+}
+
+/// [`messages_per_processor`] for the pattern-routed variant: the
+/// shift/collective schedules are unchanged (empty hops still move a
+/// header), plus the one-time need-set all-gather per routed ring.
+pub fn routed_messages_per_processor(alg: Algorithm, p: usize, c: usize) -> Option<f64> {
+    if !alg.admits(Routing::Pattern) {
+        return None;
+    }
+    let base = messages_per_processor(alg, p, c);
+    use AlgorithmFamily::*;
+    let extra = match alg.family {
+        DenseShift15 => (p / c) as f64 - 1.0,
+        SparseShift15 => c as f64 - 1.0,
+        DenseRepl25 => ((p as f64 / c as f64).sqrt().round()) - 1.0,
+        SparseRepl25 => 2.0 * (((p as f64 / c as f64).sqrt().round()) - 1.0),
+    };
+    Some(base + extra)
+}
+
+/// Words under an explicit routing choice; `None` when `alg` does not
+/// admit it.
+pub fn words_for_routing(
+    alg: Algorithm,
+    routing: Routing,
+    p: usize,
+    c: usize,
+    dims: ProblemDims,
+    nnz: usize,
+) -> Option<f64> {
+    match routing {
+        Routing::Dense => Some(words_per_processor(alg, p, c, dims, nnz)),
+        Routing::Pattern => routed_words_per_processor(alg, p, c, dims, nnz),
+    }
+}
+
+/// Messages under an explicit routing choice; `None` when `alg` does
+/// not admit it.
+pub fn messages_for_routing(alg: Algorithm, routing: Routing, p: usize, c: usize) -> Option<f64> {
+    match routing {
+        Routing::Dense => Some(messages_per_processor(alg, p, c)),
+        Routing::Pattern => routed_messages_per_processor(alg, p, c),
     }
 }
 
@@ -164,6 +331,22 @@ pub fn predicted_comm_time(
         + model.beta_s_per_word * words_per_processor(alg, p, c, dims, nnz)
 }
 
+/// Modeled communication time under an explicit routing choice; `None`
+/// when `alg` does not admit it.
+pub fn predicted_comm_time_for(
+    model: &MachineModel,
+    alg: Algorithm,
+    routing: Routing,
+    p: usize,
+    c: usize,
+    dims: ProblemDims,
+    nnz: usize,
+) -> Option<f64> {
+    let msgs = messages_for_routing(alg, routing, p, c)?;
+    let words = words_for_routing(alg, routing, p, c, dims, nnz)?;
+    Some(model.alpha_s * msgs + model.beta_s_per_word * words)
+}
+
 /// Modeled computation time of one FusedMM (2·2·nnz·r/p flops for the
 /// two kernels, load-balanced).
 pub fn predicted_comp_time(model: &MachineModel, p: usize, dims: ProblemDims, nnz: usize) -> f64 {
@@ -179,6 +362,8 @@ pub struct Prediction {
     pub algorithm: Algorithm,
     /// Its optimal admissible replication factor.
     pub c: usize,
+    /// Dense-shift or pattern-routed propagation.
+    pub routing: Routing,
     /// Its modeled communication time (seconds).
     pub time_s: f64,
 }
@@ -198,13 +383,18 @@ pub fn predict_best(
         let Some(c) = optimal_c_search(alg, p, dims, nnz, c_max) else {
             continue;
         };
-        let time_s = predicted_comm_time(model, alg, p, c, dims, nnz);
-        if best.is_none_or(|b| time_s < b.time_s) {
-            best = Some(Prediction {
-                algorithm: alg,
-                c,
-                time_s,
-            });
+        for routing in Routing::ALL {
+            let Some(time_s) = predicted_comm_time_for(model, alg, routing, p, c, dims, nnz) else {
+                continue;
+            };
+            if best.is_none_or(|b| time_s < b.time_s) {
+                best = Some(Prediction {
+                    algorithm: alg,
+                    c,
+                    routing,
+                    time_s,
+                });
+            }
         }
     }
     best.expect("no admissible algorithm")
@@ -344,5 +534,74 @@ mod tests {
             messages_per_processor(d15, 1024, 4) > messages_per_processor(d25, 1024, 4),
             "2.5D must send fewer messages at scale"
         );
+    }
+
+    #[test]
+    fn routing_admitted_only_without_elision() {
+        for alg in Algorithm::all_benchmarked() {
+            assert!(alg.admits(Routing::Dense));
+            assert_eq!(alg.admits(Routing::Pattern), alg.elision == None);
+            assert_eq!(
+                routed_words_per_processor(alg, 64, 4, dims(1 << 16, 64), 1 << 18).is_some(),
+                alg.elision == None
+            );
+            assert_eq!(
+                routed_messages_per_processor(alg, 64, 4).is_some(),
+                alg.elision == None
+            );
+        }
+    }
+
+    #[test]
+    fn routing_pays_off_only_when_sparse() {
+        // Very sparse S: the per-member need sets are tiny, so routed
+        // variants undercut dense for every family. Near-dense S: every
+        // indexed hop caps at the dense tile and the pattern exchange
+        // is pure overhead, so routing must not be predicted to win.
+        // c = 4 is admissible for every family at p = 256 (layer 64 = 8²)
+        // and keeps both replication and propagation terms alive.
+        let p = 256;
+        let c = 4;
+        for family in AlgorithmFamily::ALL {
+            let alg = Algorithm::new(family, None);
+            let sparse_d = dims(1 << 18, 256);
+            let sparse_nnz = sparse_d.n * 2;
+            let dense_w = words_per_processor(alg, p, c, sparse_d, sparse_nnz);
+            let routed_w = routed_words_per_processor(alg, p, c, sparse_d, sparse_nnz).unwrap();
+            assert!(
+                routed_w < dense_w,
+                "{family:?}: routed {routed_w} !< dense {dense_w} on a sparse problem"
+            );
+
+            let dense_prob = dims(1 << 12, 8);
+            let dense_nnz = dense_prob.n * 1024;
+            let dw = words_per_processor(alg, p, c, dense_prob, dense_nnz);
+            let rw = routed_words_per_processor(alg, p, c, dense_prob, dense_nnz).unwrap();
+            assert!(
+                rw >= dw * 0.5,
+                "{family:?}: routed {rw} implausibly cheap vs dense {dw} on a dense problem"
+            );
+        }
+    }
+
+    #[test]
+    fn predict_best_scores_both_routings() {
+        let model = MachineModel::bandwidth_only();
+        // Pin the family: with tiny per-block supports, the routed
+        // variant of 1.5D dense shifting must beat its dense twin, and
+        // predict_best must surface that as `routing: Pattern`.
+        let candidates = [Algorithm::new(DenseShift15, None)];
+        let d = dims(1 << 18, 64);
+        let nnz = d.n * 2;
+        let best = predict_best(&model, &candidates, 64, d, nnz, 16);
+        assert_eq!(best.routing, Routing::Pattern);
+        let dense_twin = predicted_comm_time(&model, best.algorithm, 64, best.c, d, nnz);
+        assert!(best.time_s < dense_twin);
+
+        // Saturated supports: the dense twin must win (the exchange is
+        // pure overhead once every hop caps at the dense tile).
+        let dp = dims(1 << 12, 8);
+        let saturated = predict_best(&model, &candidates, 64, dp, dp.n * 1024, 16);
+        assert_eq!(saturated.routing, Routing::Dense);
     }
 }

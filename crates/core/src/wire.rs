@@ -8,7 +8,7 @@
 
 use dsk_comm::{Payload, WirePayload, WireReader};
 
-use crate::common::{AlgorithmFamily, Elision, Sampling};
+use crate::common::{AlgorithmFamily, Elision, Routing, Sampling};
 use crate::kernel::{KernelId, KernelPlan};
 use crate::session::ReplanEvent;
 use crate::theory::Algorithm;
@@ -45,6 +45,7 @@ macro_rules! impl_wire_enum {
 
 impl_wire_enum!(AlgorithmFamily, AlgorithmFamily::ALL);
 impl_wire_enum!(Elision, Elision::ALL);
+impl_wire_enum!(Routing, Routing::ALL);
 impl_wire_enum!(Sampling, [Sampling::Values, Sampling::Ones]);
 
 impl Payload for Algorithm {
@@ -88,7 +89,7 @@ impl WirePayload for KernelId {
 
 impl Payload for KernelPlan {
     fn words(&self) -> usize {
-        4
+        5
     }
 }
 
@@ -97,6 +98,7 @@ impl WirePayload for KernelPlan {
         self.id.encode(buf);
         self.c.encode(buf);
         self.elision.encode(buf);
+        self.routing.encode(buf);
         self.predicted_comm_s.encode(buf);
     }
     fn decode(r: &mut WireReader<'_>) -> Self {
@@ -104,6 +106,7 @@ impl WirePayload for KernelPlan {
             id: KernelId::decode(r),
             c: usize::decode(r),
             elision: Elision::decode(r),
+            routing: Routing::decode(r),
             predicted_comm_s: Option::<f64>::decode(r),
         }
     }
@@ -177,13 +180,24 @@ mod tests {
         for e in Elision::ALL {
             roundtrip(e);
         }
+        for rt in Routing::ALL {
+            roundtrip(rt);
+        }
         roundtrip(KernelId::Baseline1D);
         roundtrip(KernelId::Family(AlgorithmFamily::SparseRepl25));
         roundtrip(KernelPlan {
             id: KernelId::Family(AlgorithmFamily::DenseShift15),
             c: 4,
             elision: Elision::LocalKernelFusion,
+            routing: Routing::Dense,
             predicted_comm_s: Some(1.25e-3),
+        });
+        roundtrip(KernelPlan {
+            id: KernelId::Family(AlgorithmFamily::SparseShift15),
+            c: 2,
+            elision: Elision::None,
+            routing: Routing::Pattern,
+            predicted_comm_s: None,
         });
         roundtrip(Algorithm::new(
             AlgorithmFamily::SparseShift15,
@@ -197,6 +211,7 @@ mod tests {
             id: KernelId::Family(AlgorithmFamily::DenseShift15),
             c: 2,
             elision: Elision::None,
+            routing: Routing::Pattern,
             predicted_comm_s: None,
         };
         let ev = ReplanEvent {
@@ -208,6 +223,7 @@ mod tests {
                 id: KernelId::Family(AlgorithmFamily::SparseShift15),
                 c: 4,
                 elision: Elision::ReplicationReuse,
+                routing: Routing::Dense,
                 predicted_comm_s: Some(9.0),
             },
             predicted_from_s: Some(11.0),

@@ -14,7 +14,7 @@ use std::ops::{Deref, DerefMut};
 
 use dsk_comm::Comm;
 
-use crate::common::AlgorithmFamily;
+use crate::common::{AlgorithmFamily, Routing};
 use crate::global::GlobalProblem;
 use crate::kernel::{DistKernel, KernelBuilder, KernelId, KernelPlan};
 use crate::staged::StagedProblem;
@@ -35,7 +35,10 @@ impl DistWorker {
 
     /// Build this rank's worker for `family` with replication factor
     /// `c` from a borrowed global problem (test convenience; planner
-    /// callers use [`KernelBuilder`] directly).
+    /// callers use [`KernelBuilder`] directly). Pins the paper's dense
+    /// schedules — pattern routing is opt-in via
+    /// [`KernelBuilder::routing`], never an implicit swap under a
+    /// pinned reconstruction.
     pub fn from_global(
         comm: &Comm,
         family: AlgorithmFamily,
@@ -45,11 +48,13 @@ impl DistWorker {
         KernelBuilder::new(prob)
             .family(family)
             .replication(c)
+            .routing(Routing::Dense)
             .build(comm)
     }
 
     /// Build from shared staging (the benchmark path: the expensive
     /// sparse partition is computed once per world, not once per rank).
+    /// Dense-routed, like [`DistWorker::from_global`].
     pub fn from_staged(
         comm: &Comm,
         family: AlgorithmFamily,
@@ -59,6 +64,7 @@ impl DistWorker {
         KernelBuilder::from_staged(staged)
             .family(family)
             .replication(c)
+            .routing(Routing::Dense)
             .build(comm)
     }
 

@@ -52,12 +52,38 @@ fn theory_phase_diagram_covers_all_families_at_paper_scale() {
     for (name, n, r, nnz_per_row, p, family) in cases {
         let dims = ProblemDims::new(n, n, r);
         let nnz = n * nnz_per_row;
-        let best = theory::predict_best(&model, &Algorithm::all_benchmarked(), p, dims, nnz, 16);
+        // The paper's Figure 6 is a dense-shift diagram: score every
+        // candidate under Routing::Dense only.
+        let (dense_best, dense_time) = Algorithm::all_benchmarked()
+            .into_iter()
+            .filter_map(|alg| {
+                let c = theory::optimal_c_search(alg, p, dims, nnz, 16)?;
+                Some((
+                    alg,
+                    theory::predicted_comm_time(&model, alg, p, c, dims, nnz),
+                ))
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
         assert_eq!(
-            best.algorithm.family, family,
-            "phase-diagram regime '{name}' picked {:?}",
+            dense_best.family, family,
+            "phase-diagram regime '{name}' picked {dense_best:?}"
+        );
+        // The routing-aware planner may swap in a pattern-routed
+        // variant, but only ever to go *faster* than the paper's pick.
+        let best = theory::predict_best(&model, &Algorithm::all_benchmarked(), p, dims, nnz, 16);
+        assert!(
+            best.time_s <= dense_time * (1.0 + 1e-12),
+            "regime '{name}': routing-aware pick {:?} slower than dense diagram",
             best.algorithm
         );
+        if best.algorithm.family != family {
+            assert_eq!(
+                best.routing,
+                Routing::Pattern,
+                "regime '{name}': family changed without pattern routing"
+            );
+        }
     }
 }
 
@@ -79,7 +105,9 @@ fn plan_candidates_ordering_agrees_with_theory_across_seeded_grid() {
                 let builder = KernelBuilder::new(&prob).max_replication(c_max);
                 for p in [8usize, 16, 64] {
                     let cands = builder.plan_candidates(p);
-                    // Exactly the admissible benchmarked algorithms.
+                    // Exactly the admissible (algorithm, routing) rows:
+                    // every benchmarked algorithm with a valid c, scored
+                    // under each routing it admits.
                     let admissible: Vec<_> = Algorithm::all_benchmarked()
                         .into_iter()
                         .filter(|alg| {
@@ -87,7 +115,11 @@ fn plan_candidates_ordering_agrees_with_theory_across_seeded_grid() {
                                 .is_some()
                         })
                         .collect();
-                    assert_eq!(cands.len(), admissible.len(), "n={n} r={r} p={p}");
+                    let rows: usize = admissible
+                        .iter()
+                        .map(|alg| Routing::ALL.iter().filter(|&&rt| alg.admits(rt)).count())
+                        .sum();
+                    assert_eq!(cands.len(), rows, "n={n} r={r} p={p}");
                     for cand in &cands {
                         let c = theory::optimal_c_search(
                             cand.algorithm,
@@ -98,26 +130,31 @@ fn plan_candidates_ordering_agrees_with_theory_across_seeded_grid() {
                         )
                         .unwrap();
                         assert_eq!(cand.c, c, "{:?} n={n} r={r} p={p}", cand.algorithm);
-                        let t = theory::predicted_comm_time(
+                        let t = theory::predicted_comm_time_for(
                             &model,
                             cand.algorithm,
+                            cand.routing,
                             p,
                             c,
                             prob.dims,
                             prob.nnz(),
-                        );
+                        )
+                        .unwrap();
                         assert!(
                             (cand.predicted_comm_s - t).abs() <= 1e-15 * t.max(1e-30),
-                            "{:?} n={n} r={r} p={p}: score drifted from theory",
-                            cand.algorithm
-                        );
-                        let w = theory::words_per_processor(
+                            "{:?}/{:?} n={n} r={r} p={p}: score drifted from theory",
                             cand.algorithm,
+                            cand.routing
+                        );
+                        let w = theory::words_for_routing(
+                            cand.algorithm,
+                            cand.routing,
                             p,
                             c,
                             prob.dims,
                             prob.nnz(),
-                        );
+                        )
+                        .unwrap();
                         assert_eq!(cand.words_per_proc, w);
                     }
                     // Sorted ascending, head == plan == predict_best.
@@ -128,6 +165,7 @@ fn plan_candidates_ordering_agrees_with_theory_across_seeded_grid() {
                         theory::predict_best(&model, &admissible, p, prob.dims, prob.nnz(), c_max);
                     assert_eq!(cands[0].algorithm, best.algorithm, "n={n} r={r} p={p}");
                     assert_eq!(cands[0].c, best.c);
+                    assert_eq!(cands[0].routing, best.routing, "n={n} r={r} p={p}");
                     let plan = builder.plan(p);
                     assert_eq!(plan.algorithm().unwrap(), cands[0].algorithm);
                     shapes += 1;

@@ -78,9 +78,11 @@ fn elision_savings_match_theory_ratios() {
     ] {
         // Ask the planner for the optimal configuration of this exact
         // algorithm; its scoreboard carries the modeled word count.
+        // Dense-routed: the measured side runs the paper's schedules.
         let cands = KernelBuilder::from_arc(Arc::clone(&prob))
             .family(AlgorithmFamily::DenseShift15)
             .elision(elision)
+            .routing(distributed_sparse_kernels::core::Routing::Dense)
             .plan_candidates(p);
         assert_eq!(cands.len(), 1, "pinned family+elision resolves uniquely");
         let alg = cands[0].algorithm;
@@ -126,9 +128,14 @@ fn planner_pick_has_small_measured_regret() {
                 let prob2 = Arc::clone(&prob);
                 let alg = cand.algorithm;
                 let c = cand.c;
+                let routing = cand.routing;
                 let world = SimWorld::new(p, model);
                 let out = world.run(move |comm| {
-                    let mut w = DistWorker::from_global(comm, alg.family, c, &prob2);
+                    let mut w = KernelBuilder::from_arc(Arc::clone(&prob2))
+                        .algorithm(alg)
+                        .replication(c)
+                        .routing(routing)
+                        .build(comm);
                     let _ = w.fused_mm_b(None, alg.elision, Sampling::Values);
                 });
                 let stats: Vec<_> = out.into_iter().map(|o| o.stats).collect();
