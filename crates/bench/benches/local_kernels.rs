@@ -61,6 +61,15 @@ fn main() {
             let mut out = Mat::zeros(s.nrows(), r);
             case(
                 "fused_local",
+                &format!("parallel/r={r}"),
+                Some(fused_flops),
+                || kern::par_fused_a_csr(&mut out, &s, &a, &b),
+            );
+        }
+        {
+            let mut out = Mat::zeros(s.nrows(), r);
+            case(
+                "fused_local",
                 &format!("unfused/r={r}"),
                 Some(fused_flops),
                 || {
@@ -70,6 +79,23 @@ fn main() {
                     kern::spmm_csr_acc(&mut out, &rmat, &b);
                 },
             );
+        }
+        // The full variant library for the two ops with the widest
+        // admissible sets: row-major SpMM and the transpose scatter.
+        for op in [kern::LocalOp::Spmm, kern::LocalOp::SpmmT] {
+            let mut out = Mat::zeros(s.nrows(), r);
+            for &v in kern::LocalKernel::admissible(op, kern::SparseFormat::Csr) {
+                case(
+                    &format!("variants/{}", op.label()),
+                    &format!("{}/r={r}", v.label()),
+                    Some(spmm_flops),
+                    || match op {
+                        kern::LocalOp::Spmm => v.spmm_csr(&mut out, &s, &b),
+                        kern::LocalOp::SpmmT => v.spmm_csr_t(&mut out, &s, &a),
+                        _ => unreachable!(),
+                    },
+                );
+            }
         }
     }
 }

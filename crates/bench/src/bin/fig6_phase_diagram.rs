@@ -205,7 +205,22 @@ fn sweep_point(
             modeled_s: row.total_s,
             wall_s: row.wall_s,
             wire_bytes: row.wire_bytes,
+            local_variant: cand.local_variant.label().to_string(),
         });
+    }
+
+    // The builds above warmed the staged tuning cache, so a re-plan —
+    // pure cache lookup, variant choice never enters the score — now
+    // reports the *measured* local-kernel picks instead of the cold
+    // heuristic the caller's scoreboard carried.
+    let tuned = KernelBuilder::from_staged(staged)
+        .model(model)
+        .max_replication(C_MAX)
+        .plan_candidates(p);
+    for (t, cand) in timed.iter_mut().zip(&tuned) {
+        assert_eq!(t.family, cand.algorithm.family.label());
+        assert_eq!(t.c, cand.c as u64);
+        t.local_variant = cand.local_variant.label().to_string();
     }
 
     // Regret derives from modeled-from-measured-counts time on every

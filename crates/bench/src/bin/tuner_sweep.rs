@@ -1,0 +1,222 @@
+//! Tuner smoke sweep: measure every admissible local-kernel variant for
+//! every local op on a bench-grid shape, run the runtime tuner on the
+//! same block, and check its pick against `Naive` **on the same
+//! measurement harness**. CI runs `--smoke` as the `tuner-smoke` step:
+//! the process exits nonzero if any tuned pick measures slower than the
+//! naive reference beyond a noise tolerance (with one head-to-head
+//! re-measurement before declaring failure).
+//!
+//! ```text
+//! tuner_sweep [--smoke | --quick]
+//! ```
+//!
+//! Output is the usual microbench table (GFLOP/s via the
+//! `dsk_kernels::*_flops` helpers), one group per (format, op), plus a
+//! per-op summary line naming the tuner's pick and its measured speedup
+//! over naive.
+
+use dsk_bench::microbench::{header, measure, row};
+use dsk_dense::Mat;
+use dsk_kernels as kern;
+use dsk_kernels::{LocalKernel, LocalOp, LocalTuning, SparseFormat, TuneRequest};
+use dsk_sparse::{gen, CooMatrix, CsrMatrix};
+
+/// A tuned pick may re-measure slower than naive by this factor before
+/// the sweep calls it a regression (microbench noise, not a bad pick).
+const NOISE_TOL: f64 = 1.10;
+
+fn op_flops(op: LocalOp, nnz: usize, r: usize) -> u64 {
+    match op {
+        LocalOp::Spmm | LocalOp::SpmmT => kern::spmm_flops(nnz, r),
+        LocalOp::Sddmm => kern::sddmm_flops(nnz, r),
+        LocalOp::Fused => kern::fused_flops(nnz, r),
+    }
+}
+
+/// Scratch buffers shared by every measured iteration (allocation stays
+/// out of the timed closure; the accumulating output is fine for timing).
+struct Scratch {
+    out: Mat,
+    acc: Vec<f64>,
+}
+
+fn run_csr(v: LocalKernel, op: LocalOp, s: &CsrMatrix, a: &Mat, b: &Mat, w: &mut Scratch) {
+    match op {
+        LocalOp::Spmm => v.spmm_csr(&mut w.out, s, b),
+        LocalOp::SpmmT => v.spmm_csr_t(&mut w.out, s, a),
+        LocalOp::Sddmm => v.sddmm_csr(&mut w.acc, s, a, b, kern::SddmmCombine::Dot),
+        LocalOp::Fused => v.fused_csr(&mut w.out, s, a, b),
+    }
+}
+
+fn run_coo(v: LocalKernel, op: LocalOp, s: &CooMatrix, a: &Mat, b: &Mat, w: &mut Scratch) {
+    match op {
+        LocalOp::Spmm => v.spmm_coo(&mut w.out, s, b),
+        LocalOp::SpmmT => v.spmm_coo_t(&mut w.out, s, a),
+        LocalOp::Sddmm => v.sddmm_coo(&mut w.acc, s, a, b, kern::SddmmCombine::Dot),
+        LocalOp::Fused => unreachable!("no COO fused kernel"),
+    }
+}
+
+/// Sweep one (format, op): time every admissible variant, tune on the
+/// same block, and return `(pick, pick_s, naive_s, fastest)` — where
+/// `fastest` is the measured argmin over the admissible set.
+#[allow(clippy::too_many_arguments)]
+fn sweep_op(
+    format: SparseFormat,
+    op: LocalOp,
+    nnz: usize,
+    r: usize,
+    mut run: impl FnMut(LocalKernel),
+    pick: LocalKernel,
+) -> (LocalKernel, f64, f64, LocalKernel) {
+    let flops = op_flops(op, nnz, r);
+    let mut timings: Vec<(LocalKernel, f64)> = Vec::new();
+    let fmt_label = match format {
+        SparseFormat::Csr => "csr",
+        SparseFormat::Coo => "coo",
+    };
+    for &v in LocalKernel::admissible(op, format) {
+        let s_per_iter = measure(|| run(v));
+        row(
+            &format!("{fmt_label}/{}", op.label()),
+            &format!("{}/r={r}", v.label()),
+            s_per_iter,
+            Some(flops),
+        );
+        timings.push((v, s_per_iter));
+    }
+    let time_of = |want: LocalKernel| {
+        timings
+            .iter()
+            .find(|(v, _)| *v == want)
+            .map(|(_, t)| *t)
+            .expect("variant not in the admissible sweep")
+    };
+    let fastest = timings
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap()
+        .0;
+    let mut pick_s = time_of(pick);
+    let mut naive_s = time_of(LocalKernel::Naive);
+    if pick_s > naive_s * NOISE_TOL {
+        // One head-to-head re-measurement before trusting a "slower than
+        // naive" verdict: take the min of both samples per variant.
+        pick_s = pick_s.min(measure(|| run(pick)));
+        naive_s = naive_s.min(measure(|| run(LocalKernel::Naive)));
+    }
+    (pick, pick_s, naive_s, fastest)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke" || a == "--quick");
+    let (n, nnz_row, r) = if smoke {
+        (1 << 11, 8, 32)
+    } else {
+        (1 << 12, 8, 32)
+    };
+
+    let coo = gen::erdos_renyi(n, n, nnz_row, 11);
+    let s = CsrMatrix::from_coo(&coo);
+    let a = Mat::random(n, r, 1);
+    let b = Mat::random(n, r, 2);
+    let nnz = s.nnz();
+
+    header(&format!(
+        "tuner sweep (n = {n}, {nnz_row} nnz/row, r = {r})"
+    ));
+
+    let tuning = LocalTuning::new();
+    let mut summaries: Vec<(String, LocalKernel, f64, f64, LocalKernel)> = Vec::new();
+
+    for op in LocalOp::ALL {
+        let req = TuneRequest {
+            op,
+            format: SparseFormat::Csr,
+            rows: n,
+            nnz,
+            r,
+        };
+        let pick = tuning.tune_csr(req, &s);
+        let mut w = Scratch {
+            out: Mat::zeros(n, r),
+            acc: vec![0.0; nnz],
+        };
+        let (pick, pick_s, naive_s, fastest) = sweep_op(
+            SparseFormat::Csr,
+            op,
+            nnz,
+            r,
+            |v| run_csr(v, op, &s, &a, &b, &mut w),
+            pick,
+        );
+        summaries.push((
+            format!("csr/{}", op.label()),
+            pick,
+            pick_s,
+            naive_s,
+            fastest,
+        ));
+    }
+    for op in [LocalOp::Spmm, LocalOp::SpmmT, LocalOp::Sddmm] {
+        let req = TuneRequest {
+            op,
+            format: SparseFormat::Coo,
+            rows: n,
+            nnz,
+            r,
+        };
+        let pick = tuning.tune_coo(req, &coo);
+        let mut w = Scratch {
+            out: Mat::zeros(n, r),
+            acc: vec![0.0; nnz],
+        };
+        let (pick, pick_s, naive_s, fastest) = sweep_op(
+            SparseFormat::Coo,
+            op,
+            nnz,
+            r,
+            |v| run_coo(v, op, &coo, &a, &b, &mut w),
+            pick,
+        );
+        summaries.push((
+            format!("coo/{}", op.label()),
+            pick,
+            pick_s,
+            naive_s,
+            fastest,
+        ));
+    }
+
+    println!();
+    let mut failed = false;
+    let mut beat_naive = false;
+    for (name, pick, pick_s, naive_s, fastest) in &summaries {
+        let speedup = naive_s / pick_s;
+        let verdict = if *pick_s > naive_s * NOISE_TOL {
+            failed = true;
+            "SLOWER THAN NAIVE"
+        } else {
+            "ok"
+        };
+        if *pick != LocalKernel::Naive && speedup > 1.0 {
+            beat_naive = true;
+        }
+        println!(
+            "tuned {name:<12} -> {:<12} {speedup:>6.2}x vs naive (measured fastest: {:<12}) {verdict}",
+            pick.label(),
+            fastest.label(),
+        );
+    }
+    if beat_naive {
+        println!("tuner picked a non-naive variant measurably faster than naive on this shape");
+    }
+    if failed {
+        eprintln!(
+            "tuner_sweep: a tuned pick measured slower than naive (beyond {NOISE_TOL}x tolerance)"
+        );
+        std::process::exit(1);
+    }
+}

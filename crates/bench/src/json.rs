@@ -32,7 +32,10 @@ use std::fmt::Write as _;
 /// routed-regret and routed wire-byte axes. The parser still accepts
 /// older documents (`routing` defaults to `dense`), but [`gate`]
 /// refuses cross-version comparison and asks for a baseline refresh.
-pub const BENCH_SCHEMA_VERSION: u64 = 3;
+/// v4 added per-candidate `local_variant`: the local microkernel the
+/// two-level tuner resolved for the candidate (pre-v4 documents parse
+/// as `naive`, the only local kernel that existed then).
+pub const BENCH_SCHEMA_VERSION: u64 = 4;
 
 // ---------------------------------------------------------------------
 // Minimal JSON value
@@ -392,6 +395,10 @@ pub struct CandidateTiming {
     /// `pattern` (pattern-routed shifts shipping only needed rows).
     /// Schema v3; parses as `dense` when absent.
     pub routing: String,
+    /// Local microkernel variant the two-level tuner resolved for this
+    /// candidate (a `LocalKernel` label, e.g. `naive`, `blocked`,
+    /// `par-blocked`). Schema v4; parses as `naive` when absent.
+    pub local_variant: String,
     /// Replication factor the planner resolved for this candidate.
     pub c: u64,
     /// Planner-predicted seconds per call (modeled comm + comp).
@@ -652,6 +659,7 @@ impl BenchReport {
                             ("family".into(), Json::Str(c.family.clone())),
                             ("elision".into(), Json::Str(c.elision.clone())),
                             ("routing".into(), Json::Str(c.routing.clone())),
+                            ("local_variant".into(), Json::Str(c.local_variant.clone())),
                             ("c".into(), Json::Num(c.c as f64)),
                             ("predicted_s".into(), Json::Num(c.predicted_s)),
                             ("modeled_s".into(), Json::Num(c.modeled_s)),
@@ -868,6 +876,14 @@ fn parse_candidate(cand: &Json) -> Result<CandidateTiming, String> {
         routing: match cand.get("routing") {
             Some(v) => v.as_str().ok_or("\"routing\" not a string")?.to_string(),
             None => "dense".to_string(),
+        },
+        // Pre-v4 documents predate the local variant library.
+        local_variant: match cand.get("local_variant") {
+            Some(v) => v
+                .as_str()
+                .ok_or("\"local_variant\" not a string")?
+                .to_string(),
+            None => "naive".to_string(),
         },
         c: req("c")?.as_u64().ok_or("\"c\" not an integer")?,
         predicted_s: float("predicted_s")?,

@@ -30,7 +30,13 @@ pub fn measure(mut f: impl FnMut()) -> f64 {
 /// Run one named case and print a table row. `elements` (e.g. flops)
 /// turns the timing into a throughput column.
 pub fn case(group: &str, name: &str, elements: Option<u64>, f: impl FnMut()) {
-    let s_per_iter = measure(f);
+    row(group, name, measure(f), elements);
+}
+
+/// Print a table row for an already-measured timing — for sweeps that
+/// need the seconds-per-iteration value (e.g. to compare variants)
+/// without paying for a second measurement.
+pub fn row(group: &str, name: &str, s_per_iter: f64, elements: Option<u64>) {
     match elements {
         Some(e) => println!(
             "{group:<28} {name:<24} {:>12.3} µs/iter {:>10.2} Gelem/s",

@@ -22,6 +22,7 @@ fn candidate(
         modeled_s,
         wall_s: modeled_s * 43.0, // wall is noisy; never gated
         wire_bytes,
+        local_variant: "blocked".to_string(),
     }
 }
 
@@ -222,6 +223,23 @@ fn pre_v3_candidates_parse_as_dense() {
         .iter()
         .flat_map(|pt| &pt.candidates)
         .all(|c| c.routing == "dense"));
+}
+
+#[test]
+fn pre_v4_candidates_parse_as_naive() {
+    // v3 documents carry no "local_variant" field; rows must parse as
+    // "naive", the only local kernel that existed before the variant
+    // library. The variant is informational, so this is not gated.
+    let text = report()
+        .to_json()
+        .replace("\"local_variant\": \"blocked\",\n", "");
+    assert!(!text.contains("local_variant"));
+    let parsed = BenchReport::parse(&text).expect("pre-v4 document must parse");
+    assert!(parsed
+        .points
+        .iter()
+        .flat_map(|pt| &pt.candidates)
+        .all(|c| c.local_variant == "naive"));
 }
 
 #[test]

@@ -38,13 +38,20 @@ pub enum Phase {
     /// of *knowing* the pattern is visible apart from the words it
     /// saves.
     PatternExchange,
+    /// Microbenchmarking of local kernel variants by `dsk-kernels`'
+    /// auto-tuner when a distributed kernel is built. Pure local wall
+    /// time — the tuner performs no communication and records no
+    /// modeled flops — kept in its own bucket so tuning cost is visible
+    /// without perturbing any modeled communication or computation
+    /// number.
+    LocalTuning,
     /// Anything not meant to be timed (data distribution, verification).
     /// This is the phase a fresh rank starts in.
     Setup,
 }
 
 /// Number of distinct [`Phase`] values (array-backed accounting).
-pub const N_PHASES: usize = 8;
+pub const N_PHASES: usize = 9;
 
 impl Phase {
     /// Dense index for array-backed per-phase counters.
@@ -58,7 +65,8 @@ impl Phase {
             Phase::OutsideCompute => 4,
             Phase::Migration => 5,
             Phase::PatternExchange => 6,
-            Phase::Setup => 7,
+            Phase::LocalTuning => 7,
+            Phase::Setup => 8,
         }
     }
 
@@ -71,6 +79,7 @@ impl Phase {
         Phase::OutsideCompute,
         Phase::Migration,
         Phase::PatternExchange,
+        Phase::LocalTuning,
         Phase::Setup,
     ];
 
@@ -84,6 +93,7 @@ impl Phase {
             Phase::OutsideCompute => "outside-compute",
             Phase::Migration => "migration",
             Phase::PatternExchange => "pattern-exchange",
+            Phase::LocalTuning => "local-tuning",
             Phase::Setup => "setup",
         }
     }
@@ -250,7 +260,9 @@ impl RankStats {
         t
     }
 
-    /// Modeled communication time: everything except computation phases.
+    /// Modeled communication time: the communication phases only
+    /// (local-tuning and setup never carry modeled cost and are
+    /// excluded by construction).
     pub fn modeled_comm_s(&self) -> f64 {
         self.phase(Phase::Replication).modeled_s
             + self.phase(Phase::Propagation).modeled_s

@@ -67,6 +67,9 @@ pub struct Baseline1D {
     /// SDDMM result values, aligned with `plan_a.s_remapped`'s CSR
     /// nonzero order.
     r_vals: Option<Vec<f64>>,
+    /// Tuned local-kernel variants (all-naive until
+    /// [`Baseline1D::tune_local`] runs).
+    local: kern::LocalPicks,
 }
 
 impl Baseline1D {
@@ -106,7 +109,31 @@ impl Baseline1D {
             plan_a,
             plan_b,
             r_vals: None,
+            local: kern::LocalPicks::default(),
         }
+    }
+
+    /// Resolve this worker's local-kernel variants against the shared
+    /// tuning cache, microbenchmarking on the `S`-oriented remapped
+    /// block when the shape class is new. The baseline has no local
+    /// fused kernel (its fused path is SDDMM then SpMM), so the fused
+    /// pick stays naive. Wall time lands in [`Phase::LocalTuning`]; no
+    /// communication, no flop accounting.
+    pub(crate) fn tune_local(&mut self, staged: &StagedProblem, comm: &Comm) {
+        let _t = comm.phase(Phase::LocalTuning);
+        let tuning = staged.local_tuning();
+        let (p, dims, nnz) = (comm.size(), self.dims, staged.prob.nnz());
+        let req = |op| crate::kernel::baseline_tune_request(op, p, dims, nnz);
+        // The baseline never runs a transpose scatter (SpMMB goes
+        // through the Sᵀ-oriented plan's row-major SpMM), so only the
+        // two ops it actually calls are tuned.
+        let blk = &self.plan_a.s_remapped;
+        self.local = kern::LocalPicks {
+            spmm: tuning.tune_csr(req(kern::LocalOp::Spmm), blk),
+            spmm_t: kern::LocalKernel::Naive,
+            sddmm: tuning.tune_csr(req(kern::LocalOp::Sddmm), blk),
+            fused: kern::LocalKernel::Naive,
+        };
     }
 
     /// Exchange the static fetch lists and remap the local block's
@@ -229,7 +256,7 @@ impl Baseline1D {
             None => s,
         };
         comm.compute(kern::spmm_flops(s.nnz(), self.dims.r), || {
-            kern::spmm_csr_acc(&mut out, s_ref, &operand)
+            self.local.spmm.spmm_csr(&mut out, s_ref, &operand)
         });
         out
     }
@@ -333,13 +360,9 @@ impl Baseline1D {
         let s = &self.plan_a.s_remapped;
         let mut acc = vec![0.0; s.nnz()];
         comm.compute(kern::sddmm_flops(s.nnz(), self.dims.r), || {
-            kern::sddmm::sddmm_csr_acc_with(
-                &mut acc,
-                s,
-                x,
-                &operand,
-                combine.for_slice(0..self.dims.r),
-            )
+            self.local
+                .sddmm
+                .sddmm_csr(&mut acc, s, x, &operand, combine.for_slice(0..self.dims.r))
         });
         acc
     }

@@ -74,6 +74,9 @@ pub struct DenseRepl25 {
     route_canon: Option<CommPattern>,
     /// Column-ring pattern for transposed-orientation panel shifts.
     route_trans: Option<CommPattern>,
+    /// Tuned local-kernel variants (all-naive until
+    /// [`DenseRepl25::tune_local`] runs).
+    local: kern::LocalPicks,
 }
 
 impl DenseRepl25 {
@@ -103,7 +106,30 @@ impl DenseRepl25 {
             r_vals: None,
             route_canon: None,
             route_trans: None,
+            local: kern::LocalPicks::default(),
         }
+    }
+
+    /// Resolve this worker's local-kernel variants against the shared
+    /// tuning cache, microbenchmarking on this rank's canonical home
+    /// `S` block when the shape class is new. COO blocks only admit the
+    /// serial naive/blocked pair, and the family has no local fused
+    /// kernel, so the fused pick stays naive. Wall time lands in
+    /// [`Phase::LocalTuning`]; no communication, no flop accounting.
+    pub(crate) fn tune_local(&mut self, staged: &StagedProblem, comm: &Comm, c: usize) {
+        let _t = comm.phase(Phase::LocalTuning);
+        let tuning = staged.local_tuning();
+        let (p, dims, nnz) = (comm.size(), self.dims, staged.prob.nnz());
+        let req = |op| {
+            crate::kernel::local_tune_request(AlgorithmFamily::DenseRepl25, op, p, c, dims, nnz)
+        };
+        let blk = &self.canon.s_home;
+        self.local = kern::LocalPicks {
+            spmm: tuning.tune_coo(req(kern::LocalOp::Spmm), blk),
+            spmm_t: tuning.tune_coo(req(kern::LocalOp::SpmmT), blk),
+            sddmm: tuning.tune_coo(req(kern::LocalOp::Sddmm), blk),
+            fused: kern::LocalKernel::Naive,
+        };
     }
 
     /// The need sets a pattern-routed plan requires, derived world-free
@@ -380,7 +406,7 @@ impl DenseRepl25 {
             self.gc
                 .row_ring
                 .compute(kern::sddmm_flops(blk.rows.len(), slice.len()), || {
-                    kern::sddmm::sddmm_coo_acc_with(&mut vals, &blk, t_buf, &y, com)
+                    self.local.sddmm.sddmm_coo(&mut vals, &blk, t_buf, &y, com)
                 });
             blk.vals = vals;
             blk = self.shift_sparse(blk);
@@ -417,7 +443,7 @@ impl DenseRepl25 {
             self.gc
                 .row_ring
                 .compute(kern::spmm_flops(blk.nnz(), width), || {
-                    kern::spmm_coo_acc(&mut t_out, &blk, &y)
+                    self.local.spmm.spmm_coo(&mut t_out, &blk, &y)
                 });
             blk = self.shift_sparse(blk);
             y = match route {
@@ -452,7 +478,7 @@ impl DenseRepl25 {
             self.gc
                 .row_ring
                 .compute(kern::spmm_flops(blk.nnz(), width), || {
-                    kern::spmm_coo_t_acc(&mut out, &blk, t_buf)
+                    self.local.spmm_t.spmm_coo_t(&mut out, &blk, t_buf)
                 });
             blk = self.shift_sparse(blk);
             out = match route {

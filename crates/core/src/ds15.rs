@@ -60,6 +60,9 @@ pub struct DenseShift15 {
     /// Layer-ring communication pattern for pattern-routed propagation
     /// (`None` = dense shifts, the default).
     route: Option<CommPattern>,
+    /// Tuned local-kernel variants (all-naive until
+    /// [`DenseShift15::tune_local`] runs).
+    local: kern::LocalPicks,
 }
 
 impl DenseShift15 {
@@ -110,7 +113,29 @@ impl DenseShift15 {
             b_loc,
             r_vals: None,
             route: None,
+            local: kern::LocalPicks::default(),
         }
+    }
+
+    /// Resolve this worker's local-kernel variants against the shared
+    /// tuning cache, microbenchmarking on this rank's first stationary
+    /// `S` block when the shape class is new. Wall time lands in
+    /// [`Phase::LocalTuning`]; no communication, no flop accounting —
+    /// modeled numbers are untouched whatever wins.
+    pub(crate) fn tune_local(&mut self, staged: &StagedProblem, comm: &Comm, c: usize) {
+        let _t = comm.phase(Phase::LocalTuning);
+        let tuning = staged.local_tuning();
+        let (p, dims, nnz) = (comm.size(), self.dims, staged.prob.nnz());
+        let req = |op| {
+            crate::kernel::local_tune_request(AlgorithmFamily::DenseShift15, op, p, c, dims, nnz)
+        };
+        let blk = &self.s_blocks[0];
+        self.local = kern::LocalPicks {
+            spmm: tuning.tune_csr(req(kern::LocalOp::Spmm), blk),
+            spmm_t: tuning.tune_csr(req(kern::LocalOp::SpmmT), blk),
+            sddmm: tuning.tune_csr(req(kern::LocalOp::Sddmm), blk),
+            fused: tuning.tune_csr(req(kern::LocalOp::Fused), blk),
+        };
     }
 
     /// The need sets a pattern-routed plan requires, derived world-free
@@ -289,7 +314,9 @@ impl DenseShift15 {
             self.gc
                 .layer
                 .compute(kern::sddmm_flops(blk.nnz(), t_buf.ncols()), || {
-                    kern::sddmm::sddmm_csr_acc_with(&mut acc[w], blk, t_buf, &y, combine)
+                    self.local
+                        .sddmm
+                        .sddmm_csr(&mut acc[w], blk, t_buf, &y, combine)
                 });
             y = match route {
                 None => self.shift_block(y),
@@ -317,7 +344,7 @@ impl DenseShift15 {
             let mut blk = blocks[w].clone();
             blk.set_vals(vals[w].clone());
             self.gc.layer.compute(kern::spmm_flops(blk.nnz(), r), || {
-                kern::spmm_csr_acc(&mut t_buf, &blk, &y)
+                self.local.spmm.spmm_csr(&mut t_buf, &blk, &y)
             });
             y = match route {
                 None => self.shift_block(y),
@@ -348,7 +375,7 @@ impl DenseShift15 {
             blk.set_vals(vals[w].clone());
             debug_assert_eq!(blk.ncols(), out.nrows(), "block/accumulator misalignment");
             self.gc.layer.compute(kern::spmm_flops(blk.nnz(), r), || {
-                kern::spmm_csr_t_acc(&mut out, &blk, t_buf)
+                self.local.spmm_t.spmm_csr_t(&mut out, &blk, t_buf)
             });
             out = match route {
                 None => self.shift_block(out),
@@ -376,7 +403,7 @@ impl DenseShift15 {
                 }
             };
             self.gc.layer.compute(kern::fused_flops(blk.nnz(), r), || {
-                kern::fused_a_csr(&mut t_out, &blk, t_in, &y)
+                self.local.fused.fused_csr(&mut t_out, &blk, t_in, &y)
             });
             y = self.shift_block(y);
         }

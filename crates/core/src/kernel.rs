@@ -365,12 +365,85 @@ pub struct PlannedCandidate {
     /// Modeled computation seconds per FusedMM (identical across
     /// candidates: flops are family-invariant and load-balanced).
     pub predicted_comp_s: f64,
+    /// The local microkernel variant resolved for the family's dominant
+    /// local op (SpMM on the family's block format): the staging's
+    /// tuned pick when one is cached, else the `DSK_LOCAL_KERNEL` pin
+    /// or the shape heuristic. The second level of the two-level plan —
+    /// it never affects the modeled numbers above (variant choice
+    /// changes neither flops nor traffic), only local wall time.
+    pub local_variant: kern::LocalKernel,
 }
 
 impl PlannedCandidate {
     /// Modeled communication + computation seconds per FusedMM.
     pub fn predicted_total_s(&self) -> f64 {
         self.predicted_comm_s + self.predicted_comp_s
+    }
+}
+
+/// The [`kern::TuneRequest`] describing the representative sparse block
+/// a family's local kernels run on at `(p, c)`. Shape estimates only —
+/// the tuner buckets them into coarse shape classes — but crucially the
+/// **same** function produces the cache keys at build time (when the
+/// family measures on its actual blocks) and at plan time (when the
+/// world-free scoreboard looks picks up), so the two levels of the plan
+/// always agree on what was tuned.
+pub(crate) fn local_tune_request(
+    family: AlgorithmFamily,
+    op: kern::LocalOp,
+    p: usize,
+    c: usize,
+    dims: ProblemDims,
+    nnz: usize,
+) -> kern::TuneRequest {
+    use kern::SparseFormat;
+    let p = p.max(1);
+    let c = c.max(1);
+    let (format, rows, block_nnz) = match family {
+        // 1.5D: a layer of p/c ranks splits S into (p/c)² blocks of
+        // m·c/p rows each. Dense-shifting keeps them in CSR (stationary,
+        // reused every shift); sparse-shifting ships them as COO.
+        AlgorithmFamily::DenseShift15 => (SparseFormat::Csr, dims.m * c / p, nnz * c * c / (p * p)),
+        AlgorithmFamily::SparseShift15 => {
+            (SparseFormat::Coo, dims.m * c / p, nnz * c * c / (p * p))
+        }
+        // 2.5D: a √(p/c) × √(p/c) layer tiles S; each tile has
+        // m/√(p/c) rows and nnz·c/p nonzeros. Dense replication moves
+        // the tiles (COO); sparse replication keeps the pattern
+        // stationary in CSR.
+        AlgorithmFamily::DenseRepl25 => {
+            let side = (p / c).max(1).isqrt().max(1);
+            (SparseFormat::Coo, dims.m / side, nnz * c / p)
+        }
+        AlgorithmFamily::SparseRepl25 => {
+            let side = (p / c).max(1).isqrt().max(1);
+            (SparseFormat::Csr, dims.m / side, nnz * c / p)
+        }
+    };
+    kern::TuneRequest {
+        op,
+        format,
+        rows: rows.max(1),
+        nnz: block_nnz,
+        r: dims.r,
+    }
+}
+
+/// [`local_tune_request`] for the 1D baseline: a p-way row split of `S`
+/// kept in CSR.
+pub(crate) fn baseline_tune_request(
+    op: kern::LocalOp,
+    p: usize,
+    dims: ProblemDims,
+    nnz: usize,
+) -> kern::TuneRequest {
+    let p = p.max(1);
+    kern::TuneRequest {
+        op,
+        format: kern::SparseFormat::Csr,
+        rows: (dims.m / p).max(1),
+        nnz: nnz / p,
+        r: dims.r,
     }
 }
 
@@ -659,6 +732,17 @@ impl<'a> KernelBuilder<'a> {
         }
         let (dims, nnz) = self.shape();
         let comp_s = theory::predicted_comp_time(&model, p, dims, nnz);
+        // Local-variant resolution is lookup-only (pin → cached pick →
+        // shape heuristic): planning must stay cheap enough for
+        // world-free sweeps, so the scoreboard never microbenchmarks.
+        // Shape-only builders have no staging (and so no tuned cache);
+        // a fresh empty cache gives them the pin/heuristic path.
+        let no_staging = kern::LocalTuning::new();
+        let tuning = match &self.source {
+            Source::Owned(s) => s.local_tuning(),
+            Source::Borrowed(s) => s.local_tuning(),
+            Source::Shape(..) => &no_staging,
+        };
         let mut scored: Vec<PlannedCandidate> = Vec::new();
         for (alg, c) in self.candidates(p) {
             for routing in Routing::ALL {
@@ -668,6 +752,7 @@ impl<'a> KernelBuilder<'a> {
                 // `admits` guarantees the routed model exists.
                 let words = theory::words_for_routing(alg, routing, p, c, dims, nnz).unwrap();
                 let msgs = theory::messages_for_routing(alg, routing, p, c).unwrap();
+                let req = local_tune_request(alg.family, kern::LocalOp::Spmm, p, c, dims, nnz);
                 scored.push(PlannedCandidate {
                     algorithm: alg,
                     c,
@@ -676,6 +761,7 @@ impl<'a> KernelBuilder<'a> {
                     msgs_per_proc: msgs,
                     predicted_comm_s: model.alpha_s * msgs + model.beta_s_per_word * words,
                     predicted_comp_s: comp_s,
+                    local_variant: tuning.resolve(req),
                 });
             }
         }
@@ -712,6 +798,7 @@ impl<'a> KernelBuilder<'a> {
                     });
                     k.enable_pattern_routing(&pats);
                 }
+                k.tune_local(staged, comm, plan.c);
                 Box::new(k) as Box<dyn DistKernel>
             }};
         }
@@ -734,7 +821,9 @@ impl<'a> KernelBuilder<'a> {
                     Routing::Dense,
                     "the 1D baseline has no shift schedule to pattern-route"
                 );
-                Box::new(Baseline1D::from_staged(comm, staged))
+                let mut k = Baseline1D::from_staged(comm, staged);
+                k.tune_local(staged, comm);
+                Box::new(k)
             }
         };
         DistWorker::from_parts(kernel, *plan)

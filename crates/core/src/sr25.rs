@@ -61,6 +61,9 @@ pub struct SparseRepl25 {
     /// Fully reduced SDDMM values (available on every layer after a
     /// kernel).
     r_vals: Option<Vec<f64>>,
+    /// Tuned local-kernel variants (all-naive until
+    /// [`SparseRepl25::tune_local`] runs).
+    local: kern::LocalPicks,
     /// Row-ring pattern for `A`-side panels (`None` = dense shifts).
     route_a: Option<CommPattern>,
     /// Column-ring pattern for `B`-side panels.
@@ -109,7 +112,30 @@ impl SparseRepl25 {
             r_vals: None,
             route_a: None,
             route_b: None,
+            local: kern::LocalPicks::default(),
         }
+    }
+
+    /// Resolve this worker's local-kernel variants against the shared
+    /// tuning cache, microbenchmarking on this rank's stationary `S`
+    /// pattern when the shape class is new. Wall time lands in
+    /// [`Phase::LocalTuning`]; no communication, no flop accounting.
+    /// The fused pick stays naive — this family has no local fused
+    /// kernel (it decomposes into SDDMM + SpMM rounds).
+    pub(crate) fn tune_local(&mut self, staged: &StagedProblem, comm: &Comm, c: usize) {
+        let _t = comm.phase(Phase::LocalTuning);
+        let tuning = staged.local_tuning();
+        let (p, dims, nnz) = (comm.size(), self.dims, staged.prob.nnz());
+        let req = |op| {
+            crate::kernel::local_tune_request(AlgorithmFamily::SparseRepl25, op, p, c, dims, nnz)
+        };
+        let blk = &self.s_pattern;
+        self.local = kern::LocalPicks {
+            spmm: tuning.tune_csr(req(kern::LocalOp::Spmm), blk),
+            spmm_t: tuning.tune_csr(req(kern::LocalOp::SpmmT), blk),
+            sddmm: tuning.tune_csr(req(kern::LocalOp::Sddmm), blk),
+            fused: kern::LocalKernel::Naive,
+        };
     }
 
     /// The need sets a pattern-routed plan requires, derived world-free
@@ -297,7 +323,9 @@ impl SparseRepl25 {
             self.gc
                 .row_ring
                 .compute(kern::sddmm_flops(self.s_pattern.nnz(), slice.len()), || {
-                    kern::sddmm::sddmm_csr_acc_with(&mut acc, &self.s_pattern, &a, &b, com)
+                    self.local
+                        .sddmm
+                        .sddmm_csr(&mut acc, &self.s_pattern, &a, &b, com)
                 });
             let next = self.slice_at(t + 1).len();
             a = match &self.route_a {
@@ -329,7 +357,7 @@ impl SparseRepl25 {
             self.gc
                 .row_ring
                 .compute(kern::spmm_flops(s.nnz(), b.ncols()), || {
-                    kern::spmm_csr_acc(&mut out, &s, &b)
+                    self.local.spmm.spmm_csr(&mut out, &s, &b)
                 });
             let next = self.slice_at(t + 1).len();
             out = match &self.route_a {
@@ -361,7 +389,7 @@ impl SparseRepl25 {
             self.gc
                 .row_ring
                 .compute(kern::spmm_flops(s.nnz(), a.ncols()), || {
-                    kern::spmm_csr_t_acc(&mut out, &s, &a)
+                    self.local.spmm_t.spmm_csr_t(&mut out, &s, &a)
                 });
             let next = self.slice_at(t + 1).len();
             out = match &self.route_b {

@@ -72,6 +72,9 @@ pub struct SparseShift15 {
     /// Fiber pattern for the transposed, `B`-replicating paths (rows
     /// over `n`).
     route_b: Option<CommPattern>,
+    /// Tuned local-kernel variants (all-naive until
+    /// [`SparseShift15::tune_local`] runs).
+    local: kern::LocalPicks,
 }
 
 impl SparseShift15 {
@@ -123,7 +126,30 @@ impl SparseShift15 {
             r_vals: None,
             route_a: None,
             route_b: None,
+            local: kern::LocalPicks::default(),
         }
+    }
+
+    /// Resolve this worker's local-kernel variants against the shared
+    /// tuning cache, microbenchmarking on this rank's home `S` block
+    /// when the shape class is new. COO blocks only admit the serial
+    /// naive/blocked pair, and the family has no local fused kernel, so
+    /// the fused pick stays naive. Wall time lands in
+    /// [`Phase::LocalTuning`]; no communication, no flop accounting.
+    pub(crate) fn tune_local(&mut self, staged: &StagedProblem, comm: &Comm, c: usize) {
+        let _t = comm.phase(Phase::LocalTuning);
+        let tuning = staged.local_tuning();
+        let (p, dims, nnz) = (comm.size(), self.dims, staged.prob.nnz());
+        let req = |op| {
+            crate::kernel::local_tune_request(AlgorithmFamily::SparseShift15, op, p, c, dims, nnz)
+        };
+        let blk = &self.s_home;
+        self.local = kern::LocalPicks {
+            spmm: tuning.tune_coo(req(kern::LocalOp::Spmm), blk),
+            spmm_t: tuning.tune_coo(req(kern::LocalOp::SpmmT), blk),
+            sddmm: tuning.tune_coo(req(kern::LocalOp::Sddmm), blk),
+            fused: kern::LocalKernel::Naive,
+        };
     }
 
     /// The need sets a pattern-routed plan requires, derived world-free
@@ -324,7 +350,9 @@ impl SparseShift15 {
             self.gc
                 .layer
                 .compute(kern::sddmm_flops(blk.rows.len(), slice.len()), || {
-                    kern::sddmm::sddmm_coo_acc_with(&mut vals, &blk, x_full, &y_stat[w], com)
+                    self.local
+                        .sddmm
+                        .sddmm_coo(&mut vals, &blk, x_full, &y_stat[w], com)
                 });
             blk.vals = vals;
             blk = self.shift_sparse(blk);
@@ -355,7 +383,7 @@ impl SparseShift15 {
             self.gc
                 .layer
                 .compute(kern::spmm_flops(blk.nnz(), slice_w), || {
-                    kern::spmm_coo_t_acc(&mut outs[w], &blk, x_full)
+                    self.local.spmm_t.spmm_coo_t(&mut outs[w], &blk, x_full)
                 });
             blk = self.shift_sparse(blk);
         }
@@ -552,7 +580,7 @@ impl SparseShift15 {
             self.gc
                 .layer
                 .compute(kern::spmm_flops(blk.nnz(), slice.len()), || {
-                    kern::spmm_coo_acc(&mut t_full, &blk, &y_stat[w])
+                    self.local.spmm.spmm_coo(&mut t_full, &blk, &y_stat[w])
                 });
             blk = self.shift_sparse(blk);
         }

@@ -56,6 +56,7 @@ pub struct StagedProblem {
     transpose: OnceLock<CooMatrix>,
     partitions: Mutex<HashMap<Key, Arc<Grid>>>,
     patterns: Mutex<HashMap<PatternKey, Arc<PlanPatterns>>>,
+    tuning: dsk_kernels::LocalTuning,
 }
 
 impl StagedProblem {
@@ -66,6 +67,7 @@ impl StagedProblem {
             transpose: OnceLock::new(),
             partitions: Mutex::new(HashMap::new()),
             patterns: Mutex::new(HashMap::new()),
+            tuning: dsk_kernels::LocalTuning::new(),
         }
     }
 
@@ -78,6 +80,15 @@ impl StagedProblem {
     /// `Sᵀ`, computed once.
     pub fn s_transposed(&self) -> &CooMatrix {
         self.transpose.get_or_init(|| self.prob.s.transpose())
+    }
+
+    /// The local-kernel tuning cache shared by every plan built from
+    /// this staging (the local analogue of the partition and pattern
+    /// caches): the first family to tune a given (op, shape class, r)
+    /// measures once; every later build and every `plan_candidates`
+    /// scoreboard row reuses the pick.
+    pub fn local_tuning(&self) -> &dsk_kernels::LocalTuning {
+        &self.tuning
     }
 
     /// The block partition of `S` (or `Sᵀ` when `transposed`) by the

@@ -14,6 +14,14 @@
 //! * [`fused`] — the local FusedMM kernel: SDDMM and SpMM executed
 //!   back-to-back on the same operands without materializing the
 //!   intermediate sparse matrix (the paper's *local kernel fusion*);
+//! * [`variants`] — the local microkernel variant library: every op
+//!   above behind the [`LocalKernel`] enum, in naive, register-blocked
+//!   (width-specialized unrolled inner loops for r ∈ {8, 16, 32, 64}),
+//!   CSB-style tiled (transpose scatter), and thread-parallel forms;
+//! * [`tuner`] — the runtime auto-tuner: microbenchmarks the admissible
+//!   variants on a staged problem's actual blocks and caches the winner
+//!   per (op, shape class, nnz/row, r) — the local half of the
+//!   workspace's two-level (distributed plan × local kernel) tuning;
 //! * `reference` — naive dense-arithmetic references every kernel is
 //!   tested against.
 //!
@@ -21,6 +29,16 @@
 //! rows of the `A`-side panel and its column indices address rows of the
 //! `B`-side panel directly. Distributed algorithms do the global↔local
 //! translation once, when they build their blocks.
+//!
+//! ## Environment variables
+//!
+//! * `DSK_THREADS` — thread count for the `par_*` variants (clamped to
+//!   ≥ 1; default: one per available core). Pin it on shared CI runners
+//!   so variant timings — and therefore tuner picks — are deterministic.
+//! * `DSK_LOCAL_KERNEL` — pin every tuner pick to one variant label
+//!   (`naive`, `blocked`, `tiled`, `par-naive`, `par-blocked`,
+//!   `par-tiled`), clamped per op to the admissible set. Unrecognized
+//!   values are ignored.
 
 // Indexed `for i in 0..n` loops over CSR index structures are the
 // domain idiom throughout this workspace; the iterator rewrites
@@ -31,12 +49,17 @@ pub mod fused;
 pub mod reference;
 pub mod sddmm;
 pub mod spmm;
+pub mod tuner;
+pub mod variants;
 
-pub use fused::{fused_a_csr, fused_a_csr_materialize};
+pub use fused::{fused_a_csr, fused_a_csr_materialize, par_fused_a_csr};
 pub use sddmm::{
-    apply_sampling, leaky_relu, sddmm_coo_acc, sddmm_csr, sddmm_csr_acc, SddmmCombine,
+    apply_sampling, leaky_relu, par_sddmm_csr_acc, par_sddmm_csr_acc_with, sddmm_coo_acc,
+    sddmm_csr, sddmm_csr_acc, SddmmCombine,
 };
 pub use spmm::{par_spmm_csr_acc, spmm_coo_acc, spmm_coo_t_acc, spmm_csr_acc, spmm_csr_t_acc};
+pub use tuner::{LocalPicks, LocalTuning, TuneRequest};
+pub use variants::{LocalKernel, LocalOp, SparseFormat};
 
 /// Flops of `out += S·B` with `nnz` nonzeros and `r`-wide dense rows:
 /// one multiply and one add per (nonzero, column).

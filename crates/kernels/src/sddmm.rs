@@ -89,12 +89,24 @@ pub fn sddmm_csr_acc(acc: &mut [f64], s: &CsrMatrix, a_panel: &Mat, b_panel: &Ma
     sddmm_csr_acc_with(acc, s, a_panel, b_panel, SddmmCombine::Dot);
 }
 
-/// Row-parallel variant of [`sddmm_csr_acc`]: rows of `s` own disjoint
-/// ranges of `acc`, so the accumulator splits at row boundaries.
-pub fn par_sddmm_csr_acc(acc: &mut [f64], s: &CsrMatrix, a_panel: &Mat, b_panel: &Mat) {
+/// Row-parallel variant of [`sddmm_csr_acc_with`]: rows of `s` own
+/// disjoint ranges of `acc`, so the accumulator splits at row
+/// boundaries.
+pub fn par_sddmm_csr_acc_with(
+    acc: &mut [f64],
+    s: &CsrMatrix,
+    a_panel: &Mat,
+    b_panel: &Mat,
+    combine: SddmmCombine<'_>,
+) {
     assert_eq!(acc.len(), s.nnz(), "accumulator must align with pattern");
     assert_eq!(a_panel.nrows(), s.nrows(), "A panel rows must match S rows");
     assert_eq!(b_panel.nrows(), s.ncols(), "B panel rows must match S cols");
+    assert_eq!(
+        a_panel.ncols(),
+        b_panel.ncols(),
+        "panels must cover the same column slice"
+    );
     let indptr = s.indptr();
     // Cut rows into contiguous chunks and hand each its slice of acc.
     let nchunks = crate::spmm::par_threads().max(1);
@@ -121,14 +133,17 @@ pub fn par_sddmm_csr_acc(acc: &mut [f64], s: &CsrMatrix, a_panel: &Mat, b_panel:
                     let arow = a_panel.row(i);
                     let start = indptr[i] - base;
                     for (off, &j) in cols.iter().enumerate() {
-                        let brow = b_panel.row(j as usize);
-                        let dot: f64 = arow.iter().zip(brow).map(|(x, y)| x * y).sum();
-                        chunk[start + off] += dot;
+                        chunk[start + off] += combine.eval(arow, b_panel.row(j as usize));
                     }
                 }
             });
         }
     });
+}
+
+/// [`par_sddmm_csr_acc_with`] specialized to the dot-product combine.
+pub fn par_sddmm_csr_acc(acc: &mut [f64], s: &CsrMatrix, a_panel: &Mat, b_panel: &Mat) {
+    par_sddmm_csr_acc_with(acc, s, a_panel, b_panel, SddmmCombine::Dot);
 }
 
 /// Accumulate (partial) dot products aligned with a COO block's nonzero

@@ -8,9 +8,17 @@
 use dsk_dense::Mat;
 use dsk_sparse::{CooMatrix, CsrMatrix};
 
-/// Threads used by the `par_*` kernel variants (one per available core).
+/// Threads used by the `par_*` kernel variants: the `DSK_THREADS`
+/// environment variable when set (clamped to ≥ 1, for deterministic
+/// variant timings on shared runners), one per available core otherwise.
 pub(crate) fn par_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, usize::from)
+    match std::env::var("DSK_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+    {
+        Some(n) => n.max(1),
+        None => std::thread::available_parallelism().map_or(1, usize::from),
+    }
 }
 
 /// `out += S·B`. Shapes: `S: m×n`, `B: n×r`, `out: m×r`.

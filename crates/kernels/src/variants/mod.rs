@@ -1,0 +1,321 @@
+//! The local microkernel variant library.
+//!
+//! Every local op the distributed algorithms call between communication
+//! steps — SpMM, the SpMMB/transpose scatter, SDDMM, and the fused
+//! SDDMM+SpMM kernel — exists in several interchangeable implementations
+//! behind the [`LocalKernel`] variant enum:
+//!
+//! * **`Naive`** — the original row loops ([`crate::spmm`],
+//!   [`crate::sddmm`], [`crate::fused`]), kept as the reference point
+//!   every other variant is tuned against;
+//! * **`Blocked`** — register-blocked row kernels with width-specialized
+//!   unrolled inner loops for r ∈ {8, 16, 32, 64} and a chunk-of-8
+//!   generic fallback (multiple independent accumulators per row, one
+//!   read-modify-write of the output per width chunk instead of one per
+//!   nonzero);
+//! * **`Tiled`** — a CSB-style layout for the transpose scatter: the
+//!   nonzeros are bucketed by output-row tile per call, so scattered
+//!   writes stay within one cache tile at a time;
+//! * **`ParNaive` / `ParBlocked` / `ParTiled`** — thread-parallel
+//!   versions on the workspace's scoped-thread machinery. Row-parallel
+//!   variants split the output (or the accumulator) at row boundaries;
+//!   the parallel transpose scatter splits the *output* into tile
+//!   stripes instead, because output rows collide across input rows.
+//!
+//! Not every variant is admissible for every (op, format) pair; the
+//! dispatch methods clamp deterministically via [`LocalKernel::clamp`]
+//! (e.g. `Tiled` degrades to `Blocked` for row-parallel ops, and COO
+//! blocks — which arrive over the wire and are consumed once — only
+//! admit the serial `Naive`/`Blocked` pair). Choosing *which* admissible
+//! variant to run is the job of [`crate::tuner`]; pinning one for
+//! reproducible benches is `DSK_LOCAL_KERNEL` (see the crate docs).
+
+mod blocked;
+mod parallel;
+mod tiled;
+
+pub(crate) use parallel::par_out_rows;
+
+use dsk_dense::Mat;
+use dsk_sparse::{CooMatrix, CsrMatrix};
+
+use crate::sddmm::SddmmCombine;
+
+/// The local kernel ops a [`LocalKernel`] variant can implement. The
+/// transpose scatter ([`LocalOp::SpmmT`]) is separate from row-major
+/// SpMM because its parallelization story differs (output rows collide).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LocalOp {
+    /// `out += S·B` (row-major gather).
+    Spmm,
+    /// `out += Sᵀ·A` (scatter into output rows indexed by S columns).
+    SpmmT,
+    /// Sampled dense-dense accumulation aligned with the pattern.
+    Sddmm,
+    /// The fused SDDMM+SpMM kernel.
+    Fused,
+}
+
+impl LocalOp {
+    /// All ops, in display order.
+    pub const ALL: [LocalOp; 4] = [
+        LocalOp::Spmm,
+        LocalOp::SpmmT,
+        LocalOp::Sddmm,
+        LocalOp::Fused,
+    ];
+
+    /// Stable lower-case label (bench reports, scoreboards).
+    pub fn label(self) -> &'static str {
+        match self {
+            LocalOp::Spmm => "spmm",
+            LocalOp::SpmmT => "spmm-t",
+            LocalOp::Sddmm => "sddmm",
+            LocalOp::Fused => "fused",
+        }
+    }
+}
+
+/// Storage format of the sparse block a local kernel runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SparseFormat {
+    /// Compressed sparse rows — stationary blocks, reused across steps.
+    Csr,
+    /// Coordinate triplets — blocks that just arrived over the wire.
+    Coo,
+}
+
+/// An interchangeable local kernel implementation. `Default` is
+/// [`LocalKernel::Naive`], the original row loop.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum LocalKernel {
+    /// The original row loop (the pre-variant-library kernels).
+    #[default]
+    Naive,
+    /// Register-blocked rows with width-specialized inner loops.
+    Blocked,
+    /// CSB-style output tiling (transpose scatter only).
+    Tiled,
+    /// Thread-parallel naive rows.
+    ParNaive,
+    /// Thread-parallel register-blocked rows.
+    ParBlocked,
+    /// Thread-parallel tile stripes (transpose scatter only).
+    ParTiled,
+}
+
+impl LocalKernel {
+    /// All variants, in display order.
+    pub const ALL: [LocalKernel; 6] = [
+        LocalKernel::Naive,
+        LocalKernel::Blocked,
+        LocalKernel::Tiled,
+        LocalKernel::ParNaive,
+        LocalKernel::ParBlocked,
+        LocalKernel::ParTiled,
+    ];
+
+    /// Stable lower-case label (bench schema, scoreboards,
+    /// `DSK_LOCAL_KERNEL` values).
+    pub fn label(self) -> &'static str {
+        match self {
+            LocalKernel::Naive => "naive",
+            LocalKernel::Blocked => "blocked",
+            LocalKernel::Tiled => "tiled",
+            LocalKernel::ParNaive => "par-naive",
+            LocalKernel::ParBlocked => "par-blocked",
+            LocalKernel::ParTiled => "par-tiled",
+        }
+    }
+
+    /// Parse a label (as produced by [`LocalKernel::label`]; `_` is
+    /// accepted for `-`). `None` for anything unrecognized.
+    pub fn parse(s: &str) -> Option<LocalKernel> {
+        let norm = s.trim().to_ascii_lowercase().replace('_', "-");
+        LocalKernel::ALL.into_iter().find(|v| v.label() == norm)
+    }
+
+    /// The variants admissible for an (op, format) pair, `Naive` first.
+    pub fn admissible(op: LocalOp, format: SparseFormat) -> &'static [LocalKernel] {
+        match (format, op) {
+            (SparseFormat::Coo, _) => &[LocalKernel::Naive, LocalKernel::Blocked],
+            (SparseFormat::Csr, LocalOp::SpmmT) => &[
+                LocalKernel::Naive,
+                LocalKernel::Blocked,
+                LocalKernel::Tiled,
+                LocalKernel::ParTiled,
+            ],
+            (SparseFormat::Csr, _) => &[
+                LocalKernel::Naive,
+                LocalKernel::Blocked,
+                LocalKernel::ParNaive,
+                LocalKernel::ParBlocked,
+            ],
+        }
+    }
+
+    /// Degrade `self` to the nearest admissible variant for (op,
+    /// format). Deterministic: tiling degrades to blocking where tiles
+    /// don't apply, parallelism is dropped where the op can't split
+    /// (the transpose scatter's output rows collide across input rows;
+    /// COO blocks are consumed once, serially).
+    pub fn clamp(self, op: LocalOp, format: SparseFormat) -> LocalKernel {
+        match (format, op) {
+            (SparseFormat::Coo, _) => match self {
+                LocalKernel::Naive | LocalKernel::ParNaive => LocalKernel::Naive,
+                _ => LocalKernel::Blocked,
+            },
+            (SparseFormat::Csr, LocalOp::SpmmT) => match self {
+                LocalKernel::ParNaive => LocalKernel::Naive,
+                LocalKernel::ParBlocked => LocalKernel::Blocked,
+                other => other,
+            },
+            (SparseFormat::Csr, _) => match self {
+                LocalKernel::Tiled => LocalKernel::Blocked,
+                LocalKernel::ParTiled => LocalKernel::ParBlocked,
+                other => other,
+            },
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch. Each method clamps first, so callers may pass any
+    // variant (a pinned or migrated pick stays valid across ops).
+    // ------------------------------------------------------------------
+
+    /// `out += S·B` on a CSR block through this variant.
+    pub fn spmm_csr(self, out: &mut Mat, s: &CsrMatrix, b: &Mat) {
+        match self.clamp(LocalOp::Spmm, SparseFormat::Csr) {
+            LocalKernel::Naive => crate::spmm::spmm_csr_acc(out, s, b),
+            LocalKernel::Blocked => blocked::blocked_spmm_csr_acc(out, s, b),
+            LocalKernel::ParNaive => crate::spmm::par_spmm_csr_acc(out, s, b),
+            LocalKernel::ParBlocked => parallel::par_blocked_spmm_csr_acc(out, s, b),
+            _ => unreachable!("clamp returned an inadmissible variant"),
+        }
+    }
+
+    /// `out += Sᵀ·A` on a CSR block through this variant.
+    pub fn spmm_csr_t(self, out: &mut Mat, s: &CsrMatrix, a: &Mat) {
+        match self.clamp(LocalOp::SpmmT, SparseFormat::Csr) {
+            LocalKernel::Naive => crate::spmm::spmm_csr_t_acc(out, s, a),
+            LocalKernel::Blocked => blocked::blocked_spmm_csr_t_acc(out, s, a),
+            LocalKernel::Tiled => tiled::tiled_spmm_csr_t_acc(out, s, a),
+            LocalKernel::ParTiled => tiled::par_tiled_spmm_csr_t_acc(out, s, a),
+            _ => unreachable!("clamp returned an inadmissible variant"),
+        }
+    }
+
+    /// SDDMM accumulation on a CSR block through this variant.
+    pub fn sddmm_csr(
+        self,
+        acc: &mut [f64],
+        s: &CsrMatrix,
+        a_panel: &Mat,
+        b_panel: &Mat,
+        combine: SddmmCombine<'_>,
+    ) {
+        match self.clamp(LocalOp::Sddmm, SparseFormat::Csr) {
+            LocalKernel::Naive => {
+                crate::sddmm::sddmm_csr_acc_with(acc, s, a_panel, b_panel, combine)
+            }
+            LocalKernel::Blocked => {
+                blocked::blocked_sddmm_csr_acc_with(acc, s, a_panel, b_panel, combine)
+            }
+            LocalKernel::ParNaive => {
+                crate::sddmm::par_sddmm_csr_acc_with(acc, s, a_panel, b_panel, combine)
+            }
+            LocalKernel::ParBlocked => {
+                parallel::par_blocked_sddmm_csr_acc_with(acc, s, a_panel, b_panel, combine)
+            }
+            _ => unreachable!("clamp returned an inadmissible variant"),
+        }
+    }
+
+    /// The fused SDDMM+SpMM kernel on a CSR block through this variant.
+    pub fn fused_csr(self, out: &mut Mat, s: &CsrMatrix, a: &Mat, b: &Mat) {
+        match self.clamp(LocalOp::Fused, SparseFormat::Csr) {
+            LocalKernel::Naive => crate::fused::fused_a_csr(out, s, a, b),
+            LocalKernel::Blocked => blocked::blocked_fused_a_csr(out, s, a, b),
+            LocalKernel::ParNaive => crate::fused::par_fused_a_csr(out, s, a, b),
+            LocalKernel::ParBlocked => parallel::par_blocked_fused_a_csr(out, s, a, b),
+            _ => unreachable!("clamp returned an inadmissible variant"),
+        }
+    }
+
+    /// `out += S·B` on a COO block through this variant.
+    pub fn spmm_coo(self, out: &mut Mat, s: &CooMatrix, b: &Mat) {
+        match self.clamp(LocalOp::Spmm, SparseFormat::Coo) {
+            LocalKernel::Naive => crate::spmm::spmm_coo_acc(out, s, b),
+            LocalKernel::Blocked => blocked::blocked_spmm_coo_acc(out, s, b),
+            _ => unreachable!("clamp returned an inadmissible variant"),
+        }
+    }
+
+    /// `out += Sᵀ·A` on a COO block through this variant.
+    pub fn spmm_coo_t(self, out: &mut Mat, s: &CooMatrix, a: &Mat) {
+        match self.clamp(LocalOp::SpmmT, SparseFormat::Coo) {
+            LocalKernel::Naive => crate::spmm::spmm_coo_t_acc(out, s, a),
+            LocalKernel::Blocked => blocked::blocked_spmm_coo_t_acc(out, s, a),
+            _ => unreachable!("clamp returned an inadmissible variant"),
+        }
+    }
+
+    /// SDDMM accumulation on a COO block through this variant.
+    pub fn sddmm_coo(
+        self,
+        acc: &mut [f64],
+        s: &CooMatrix,
+        a_panel: &Mat,
+        b_panel: &Mat,
+        combine: SddmmCombine<'_>,
+    ) {
+        match self.clamp(LocalOp::Sddmm, SparseFormat::Coo) {
+            LocalKernel::Naive => {
+                crate::sddmm::sddmm_coo_acc_with(acc, s, a_panel, b_panel, combine)
+            }
+            LocalKernel::Blocked => {
+                blocked::blocked_sddmm_coo_acc_with(acc, s, a_panel, b_panel, combine)
+            }
+            _ => unreachable!("clamp returned an inadmissible variant"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip_through_parse() {
+        for v in LocalKernel::ALL {
+            assert_eq!(LocalKernel::parse(v.label()), Some(v));
+        }
+        assert_eq!(
+            LocalKernel::parse(" Par_Blocked \n"),
+            Some(LocalKernel::ParBlocked)
+        );
+        assert_eq!(LocalKernel::parse("mkl"), None);
+        assert_eq!(LocalKernel::parse(""), None);
+    }
+
+    #[test]
+    fn clamp_lands_in_the_admissible_set() {
+        for op in LocalOp::ALL {
+            for format in [SparseFormat::Csr, SparseFormat::Coo] {
+                let adm = LocalKernel::admissible(op, format);
+                assert_eq!(adm[0], LocalKernel::Naive);
+                for v in LocalKernel::ALL {
+                    let c = v.clamp(op, format);
+                    assert!(
+                        adm.contains(&c),
+                        "{v:?} clamped to {c:?}, inadmissible for {op:?}/{format:?}"
+                    );
+                    // Admissible variants are fixed points.
+                    if adm.contains(&v) {
+                        assert_eq!(c, v);
+                    }
+                }
+            }
+        }
+    }
+}

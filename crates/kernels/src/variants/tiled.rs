@@ -1,0 +1,106 @@
+//! CSB-style output tiling for the transpose scatter.
+//!
+//! `out += Sᵀ·A` scatters into output rows indexed by S *columns*, so
+//! consecutive nonzeros of a CSR row hit scattered output rows — cache
+//! hostile when the output outgrows the cache, and unsafe to
+//! row-parallelize (output rows collide across input rows). The tiled
+//! variants bucket the nonzeros by output-row tile per call (the
+//! conversion cost is part of the variant, measured honestly by the
+//! tuner):
+//!
+//! * [`tiled_spmm_csr_t_acc`] processes tiles sequentially, confining
+//!   scattered writes to one cache-sized stripe of the output at a time;
+//! * [`par_tiled_spmm_csr_t_acc`] gives each thread its own stripe of
+//!   the output (`split_at_mut` at stripe boundaries), making the
+//!   scatter safely parallel — the CSB observation that column-block
+//!   buckets partition the *writes*.
+//!
+//! Within any output row, nonzeros are visited in increasing CSR row
+//! order by every variant here, so tiled results are bitwise equal to
+//! the naive scatter.
+
+use dsk_dense::Mat;
+use dsk_sparse::CsrMatrix;
+
+use super::blocked::axpy_blocked;
+use crate::spmm::par_threads;
+
+/// Target stripe footprint of the serial tiled scatter: tile rows are
+/// sized so one output stripe (`tile_rows · r` doubles) stays around
+/// 256 KiB, i.e. L2-resident.
+const TILE_DOUBLES: usize = 32 * 1024;
+
+/// Bucket the nonzeros of `s` by the output-row stripe `j / tile_rows`.
+/// Entries keep CSR row-major order inside each bucket, so per-output-
+/// row accumulation order matches the naive scatter exactly.
+type TileBuckets = Vec<Vec<(u32, u32, f64)>>;
+
+fn bucket_by_out_row(s: &CsrMatrix, tile_rows: usize, ntiles: usize) -> TileBuckets {
+    let mut buckets: TileBuckets = vec![Vec::new(); ntiles];
+    for i in 0..s.nrows() {
+        let (cols, vals) = s.row(i);
+        for (&j, &v) in cols.iter().zip(vals) {
+            buckets[j as usize / tile_rows].push((i as u32, j, v));
+        }
+    }
+    buckets
+}
+
+/// Cache-tiled `out += Sᵀ·A` (CSR): bucket by output stripe, then
+/// scatter stripe by stripe with register-blocked axpys.
+pub(super) fn tiled_spmm_csr_t_acc(out: &mut Mat, s: &CsrMatrix, a: &Mat) {
+    assert_eq!(out.nrows(), s.ncols(), "output rows must match S cols");
+    assert_eq!(a.nrows(), s.nrows(), "A rows must match S rows");
+    assert_eq!(out.ncols(), a.ncols(), "output width must match A width");
+    let nrows_out = out.nrows();
+    if nrows_out == 0 {
+        return;
+    }
+    let r = out.ncols();
+    let tile_rows = (TILE_DOUBLES / r.max(1)).clamp(1, nrows_out);
+    let ntiles = nrows_out.div_ceil(tile_rows);
+    for bucket in bucket_by_out_row(s, tile_rows, ntiles) {
+        for (i, j, v) in bucket {
+            axpy_blocked(out.row_mut(j as usize), a.row(i as usize), v);
+        }
+    }
+}
+
+/// Thread-parallel tiled `out += Sᵀ·A` (CSR): one output stripe per
+/// thread, split at stripe boundaries so the scatter never crosses a
+/// thread's slice.
+pub(super) fn par_tiled_spmm_csr_t_acc(out: &mut Mat, s: &CsrMatrix, a: &Mat) {
+    assert_eq!(out.nrows(), s.ncols(), "output rows must match S cols");
+    assert_eq!(a.nrows(), s.nrows(), "A rows must match S rows");
+    assert_eq!(out.ncols(), a.ncols(), "output width must match A width");
+    let nrows_out = out.nrows();
+    let r = out.ncols();
+    let nthreads = par_threads().min(nrows_out.max(1));
+    if nthreads <= 1 || r == 0 {
+        return tiled_spmm_csr_t_acc(out, s, a);
+    }
+    let tile_rows = nrows_out.div_ceil(nthreads);
+    let buckets = bucket_by_out_row(s, tile_rows, nthreads);
+    // (first output row of the stripe, the stripe's slice of `out`,
+    // the nonzeros scattering into it)
+    type StripeJob<'a> = (usize, &'a mut [f64], Vec<(u32, u32, f64)>);
+    let mut jobs: Vec<StripeJob<'_>> = Vec::new();
+    let mut rest = out.as_mut_slice();
+    for (t, bucket) in buckets.into_iter().enumerate() {
+        let row0 = t * tile_rows;
+        let row1 = (row0 + tile_rows).min(nrows_out);
+        let (chunk, tail) = rest.split_at_mut((row1 - row0) * r);
+        rest = tail;
+        jobs.push((row0, chunk, bucket));
+    }
+    std::thread::scope(|scope| {
+        for (row0, chunk, bucket) in jobs {
+            scope.spawn(move || {
+                for (i, j, v) in bucket {
+                    let off = (j as usize - row0) * r;
+                    axpy_blocked(&mut chunk[off..off + r], a.row(i as usize), v);
+                }
+            });
+        }
+    });
+}

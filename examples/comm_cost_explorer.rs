@@ -39,19 +39,29 @@ fn main() {
 
     println!("p = {p}, n = {n}, r = {r}, nnz/row = {nnz_per_row}  →  φ = {phi:.4}\n");
     println!(
-        "| {:<4} | {:<42} | {:<8} | {:>6} | {:>14} | {:>9} | {:>12} |",
-        "rank", "algorithm", "routing", "best c", "words/proc", "msgs/proc", "est. time (s)"
+        "| {:<4} | {:<42} | {:<8} | {:>6} | {:>14} | {:>9} | {:>12} | {:<11} |",
+        "rank",
+        "algorithm",
+        "routing",
+        "best c",
+        "words/proc",
+        "msgs/proc",
+        "est. time (s)",
+        "local"
     );
     println!(
-        "|{:-<6}|{:-<44}|{:-<10}|{:-<8}|{:-<16}|{:-<11}|{:-<14}|",
-        "", "", "", "", "", "", ""
+        "|{:-<6}|{:-<44}|{:-<10}|{:-<8}|{:-<16}|{:-<11}|{:-<14}|{:-<13}|",
+        "", "", "", "", "", "", "", ""
     );
 
+    // Planning-only shape source: the local column shows the tuner's
+    // heuristic (or `DSK_LOCAL_KERNEL` pin) — nothing is materialized,
+    // so there is no block to microbenchmark.
     let builder = KernelBuilder::for_shape(dims, nnz).model(model);
     let candidates = builder.plan_candidates(p);
     for (i, cand) in candidates.iter().enumerate() {
         println!(
-            "| {:<4} | {:<42} | {:<8} | {:>6} | {:>14.0} | {:>9.0} | {:>12.5} |",
+            "| {:<4} | {:<42} | {:<8} | {:>6} | {:>14.0} | {:>9.0} | {:>12.5} | {:<11} |",
             i + 1,
             cand.algorithm.label(),
             cand.routing.label(),
@@ -59,6 +69,7 @@ fn main() {
             cand.words_per_proc,
             cand.msgs_per_proc,
             cand.predicted_total_s(),
+            cand.local_variant.label(),
         );
     }
 
