@@ -80,7 +80,12 @@ pub(super) fn par_tiled_spmm_csr_t_acc(out: &mut Mat, s: &CsrMatrix, a: &Mat) {
         return tiled_spmm_csr_t_acc(out, s, a);
     }
     let tile_rows = nrows_out.div_ceil(nthreads);
-    let buckets = bucket_by_out_row(s, tile_rows, nthreads);
+    // `nthreads.min(nrows_out)` stripes may still overshoot when
+    // tile_rows * (nthreads - 1) >= nrows_out (e.g. 5 rows on 4
+    // threads -> 3 stripes of <=2 rows), so size by coverage: the last
+    // stripe's row0 = (ntiles-1)*tile_rows is then always < nrows_out.
+    let ntiles = nrows_out.div_ceil(tile_rows);
+    let buckets = bucket_by_out_row(s, tile_rows, ntiles);
     // (first output row of the stripe, the stripe's slice of `out`,
     // the nonzeros scattering into it)
     type StripeJob<'a> = (usize, &'a mut [f64], Vec<(u32, u32, f64)>);

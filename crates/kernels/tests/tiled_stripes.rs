@@ -1,0 +1,50 @@
+//! Regression: the parallel tiled transpose scatter must not assume
+//! one stripe per thread. With `tile_rows = ceil(nrows_out / nthreads)`
+//! the stripes can cover all output rows in *fewer* than `nthreads`
+//! buckets (e.g. 5 output rows on 4 threads -> stripes of 2 rows cover
+//! everything in 3), and iterating a bucket per thread used to
+//! underflow `row1 - row0` past the last real stripe. Runs in its own
+//! test binary because it pins `DSK_THREADS` process-wide.
+
+use dsk_dense::ops::max_abs_diff;
+use dsk_dense::Mat;
+use dsk_kernels as kern;
+use dsk_kernels::LocalKernel;
+use dsk_sparse::{CooMatrix, CsrMatrix};
+
+#[test]
+fn par_tiled_scatter_survives_more_threads_than_stripes() {
+    // (S rows, output rows = S cols, forced thread count). The first is
+    // the reviewer's reproduction: 5 output rows, 4 threads -> 3
+    // stripes. The rest probe one-past-coverage at other scales,
+    // including threads > output rows and a single output row.
+    let cases = [
+        (3usize, 5usize, 4usize),
+        (4, 17, 16),
+        (2, 3, 8),
+        (6, 1, 4),
+        (5, 7, 7),
+    ];
+    for (m, n, threads) in cases {
+        std::env::set_var("DSK_THREADS", threads.to_string());
+        let mut coo = CooMatrix::empty(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                coo.push(i, j, ((i * n + j) as f64).cos());
+            }
+        }
+        let s = CsrMatrix::from_coo(&coo);
+        for r in [1usize, 8, 11] {
+            let a = Mat::random(m, r, 7 + r as u64);
+            let mut want = Mat::random(n, r, 11);
+            let mut got = want.clone();
+            kern::spmm_csr_t_acc(&mut want, &s, &a);
+            LocalKernel::ParTiled.spmm_csr_t(&mut got, &s, &a);
+            assert!(
+                max_abs_diff(&want, &got) < 1e-12,
+                "{m}x{n} r={r} threads={threads}"
+            );
+        }
+    }
+    std::env::remove_var("DSK_THREADS");
+}
