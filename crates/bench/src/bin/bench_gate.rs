@@ -4,7 +4,7 @@
 //! ```text
 //! bench_gate <BENCH_baseline.json> <BENCH_current.json> \
 //!     [--regret-frac 0.10] [--regret-abs 0.05] \
-//!     [--wire-frac 0.02] [--agreement-drop 1]
+//!     [--wire-frac 0.02] [--agreement-drop 1] [--overlap-frac 0.25]
 //! ```
 //!
 //! Only machine-independent quantities are gated (see
@@ -17,11 +17,12 @@
 
 use dsk_bench::json::{gate, summary_lines, BenchReport, GateTolerances};
 
-const FLAGS: [&str; 4] = [
+const FLAGS: [&str; 5] = [
     "--regret-frac",
     "--regret-abs",
     "--wire-frac",
     "--agreement-drop",
+    "--overlap-frac",
 ];
 
 fn tol_arg(args: &[String], name: &str, default: f64) -> f64 {
@@ -100,6 +101,11 @@ fn main() {
             "--agreement-drop",
             GateTolerances::default().agreement_drop as f64,
         ) as usize,
+        overlap_frac: tol_arg(
+            &args,
+            "--overlap-frac",
+            GateTolerances::default().overlap_frac,
+        ),
     };
 
     let baseline = load(&file_args[0]);

@@ -43,7 +43,7 @@
 
 use std::sync::Arc;
 
-use dsk_bench::harness::{run_fused_on, run_planned_on};
+use dsk_bench::harness::{run_fused_on, run_fused_on_mode, run_planned_on};
 use dsk_bench::json::{
     git_sha, summary_lines, AdaptivePoint, BenchPoint, BenchReport, CandidateTiming,
     BENCH_SCHEMA_VERSION,
@@ -236,6 +236,39 @@ fn sweep_point(
     let regret = measured[picked] / measured[best];
     let model_error = (timed[picked].predicted_s - measured[picked]).abs() / measured[picked];
 
+    // Overlap (schema v5): re-run the pick with blocking shifts on the
+    // latency-modeling backend and compare wall clocks. Only wire-delay
+    // injects transport latency the pipeline can hide; elsewhere the
+    // ratio would be pure scheduler noise, so it stays 1.0. The
+    // blocking run must be the *same* schedule down to its accounting —
+    // the mode changes when bytes move, never how many are charged.
+    let overlap = if backend == BackendKind::WireDelay {
+        let pick = &candidates[picked];
+        let blocking = run_fused_on_mode(
+            staged,
+            model,
+            p,
+            pick.algorithm,
+            pick.routing,
+            pick.c,
+            CALLS,
+            backend,
+            dsk_core::ShiftMode::Blocking,
+        );
+        assert_eq!(
+            blocking.total_s.to_bits(),
+            timed[picked].modeled_s.to_bits(),
+            "blocking re-run changed modeled accounting at r={r} nnz/row={nnz_row}"
+        );
+        assert_eq!(
+            blocking.wire_bytes, timed[picked].wire_bytes,
+            "blocking re-run changed encoded bytes at r={r} nnz/row={nnz_row}"
+        );
+        timed[picked].wall_s / blocking.wall_s
+    } else {
+        1.0
+    };
+
     BenchPoint {
         backend: backend.label().to_string(),
         r: r as u64,
@@ -246,6 +279,7 @@ fn sweep_point(
         best: best as u64,
         regret,
         model_error,
+        overlap,
     }
 }
 

@@ -35,7 +35,12 @@ use std::fmt::Write as _;
 /// v4 added per-candidate `local_variant`: the local microkernel the
 /// two-level tuner resolved for the candidate (pre-v4 documents parse
 /// as `naive`, the only local kernel that existed then).
-pub const BENCH_SCHEMA_VERSION: u64 = 4;
+/// v5 added per-point `overlap`: the planner pick's pipelined wall
+/// time ÷ its blocking-shift wall time, measured once per `wire-delay`
+/// point (1.0 on backends with no modeled latency to hide; pre-v5
+/// documents parse as 1.0). The gate grows an overlap axis: pipelined
+/// execution must not run slower than blocking beyond tolerance.
+pub const BENCH_SCHEMA_VERSION: u64 = 5;
 
 // ---------------------------------------------------------------------
 // Minimal JSON value
@@ -441,6 +446,14 @@ pub struct BenchPoint {
     pub regret: f64,
     /// |predicted − measured| ÷ measured for the planner's pick.
     pub model_error: f64,
+    /// Pipelined ÷ blocking wall time of the planner's pick (schema
+    /// v5) — < 1 means the non-blocking `ShiftPipeline` hid modeled
+    /// latency behind compute. Only `wire-delay` points re-run the pick
+    /// in blocking mode to measure this; elsewhere it is 1.0. Wall-
+    /// clock based and therefore diagnostic: the gate only checks it
+    /// one-sidedly (pipelining must not *slow down* execution beyond
+    /// tolerance), never as a required speedup.
+    pub overlap: f64,
 }
 
 impl BenchPoint {
@@ -621,6 +634,50 @@ impl BenchReport {
         best.is_finite().then_some(best)
     }
 
+    /// Worst (largest) pipelined ÷ blocking wall ratio over a backend's
+    /// points (1.0 when empty).
+    pub fn max_overlap(&self, backend: &str) -> f64 {
+        let worst = self
+            .backend_points(backend)
+            .map(|pt| pt.overlap)
+            .fold(f64::NEG_INFINITY, f64::max);
+        if worst.is_finite() {
+            worst
+        } else {
+            1.0
+        }
+    }
+
+    /// Mean pipelined ÷ blocking wall ratio over a backend's points
+    /// (1.0 when empty) — the gate's overlap axis input. The mean,
+    /// not the max: individual smoke-scale points carry millisecond
+    /// walls where scheduler noise swamps the injected delays, but a
+    /// pipeline that systematically serializes or double-pays latency
+    /// shifts the whole distribution.
+    pub fn mean_overlap(&self, backend: &str) -> f64 {
+        let (mut sum, mut n) = (0.0, 0usize);
+        for pt in self.backend_points(backend) {
+            sum += pt.overlap;
+            n += 1;
+        }
+        if n == 0 {
+            1.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Best (smallest) pipelined ÷ blocking wall ratio over a backend's
+    /// points (`None` when empty) — the sweep's best demonstrated
+    /// compute/communication overlap.
+    pub fn min_overlap(&self, backend: &str) -> Option<f64> {
+        let best = self
+            .backend_points(backend)
+            .map(|pt| pt.overlap)
+            .fold(f64::INFINITY, f64::min);
+        best.is_finite().then_some(best)
+    }
+
     /// Adaptive points under one backend.
     pub fn backend_adaptive<'a>(
         &'a self,
@@ -678,6 +735,7 @@ impl BenchReport {
                     ("best".into(), Json::Num(pt.best as f64)),
                     ("regret".into(), Json::Num(pt.regret)),
                     ("model_error".into(), Json::Num(pt.model_error)),
+                    ("overlap".into(), Json::Num(pt.overlap)),
                 ])
             })
             .collect();
@@ -842,6 +900,12 @@ fn parse_point(pt: &Json) -> Result<BenchPoint, String> {
         best: num("best")?,
         regret: float("regret")?,
         model_error: float("model_error")?,
+        // Pre-v5 documents predate the pipelined shift surface; their
+        // hand-rolled shifts were fully blocking.
+        overlap: match pt.get("overlap") {
+            Some(v) => v.as_f64().ok_or("\"overlap\" not a number")?,
+            None => 1.0,
+        },
     };
     let n = point.candidates.len() as u64;
     if point.picked >= n || point.best >= n {
@@ -912,6 +976,11 @@ pub struct GateTolerances {
     pub wire_frac: f64,
     /// How many planner/measured agreement points may be lost.
     pub agreement_drop: usize,
+    /// Allowed excess of the mean pipelined ÷ blocking wall ratio
+    /// over 1.0 on `wire-delay` points (schema v5). Generous because
+    /// both sides are wall clock; the axis exists to catch pipelining
+    /// that *costs* time, not to demand a specific speedup.
+    pub overlap_frac: f64,
 }
 
 impl Default for GateTolerances {
@@ -921,6 +990,7 @@ impl Default for GateTolerances {
             regret_abs: 0.05,
             wire_frac: 0.02,
             agreement_drop: 1,
+            overlap_frac: 0.25,
         }
     }
 }
@@ -1091,6 +1161,25 @@ pub fn gate(baseline: &BenchReport, current: &BenchReport, tol: &GateTolerances)
         }
     }
 
+    // Overlap axis (schema v5): pipelined shifts must not run slower
+    // than blocking shifts beyond tolerance on the latency-modeling
+    // backend. One-sided and wall-clock based (both sides of the ratio
+    // come from the same run), so the tolerance is generous and the
+    // comparison is against the report's own mean, not the baseline —
+    // its job is to catch a pipeline that serializes or double-pays
+    // communication, not to enforce a speedup figure.
+    {
+        let cur_v = current.mean_overlap("wire-delay");
+        let bound = 1.0 + tol.overlap_frac;
+        if cur_v > bound {
+            violations.push(format!(
+                "pipelined shifts slower than blocking: mean pipelined/blocking wall ratio \
+                 {cur_v:.4} > 1 (+{:.0}%) = {bound:.4}",
+                tol.overlap_frac * 100.0
+            ));
+        }
+    }
+
     let base_bytes = baseline.wire_bytes_total("wire-delay");
     let cur_bytes = current.wire_bytes_total("wire-delay");
     let byte_bound = (base_bytes as f64 * (1.0 + tol.wire_frac)).ceil() as u64;
@@ -1145,6 +1234,14 @@ pub fn summary_lines(report: &BenchReport) -> Vec<String> {
              {:.3}, {routed_picks} routed pick(s)",
             report.max_routed_regret("inproc"),
             ratio,
+        ));
+    }
+    if let Some(best) = report.min_overlap("wire-delay") {
+        lines.push(format!(
+            "  overlap: pipelined/blocking wall ratio best {best:.3}, mean {:.3}, worst {:.3} \
+             (wire-delay)",
+            report.mean_overlap("wire-delay"),
+            report.max_overlap("wire-delay"),
         ));
     }
     let n_adaptive = report.backend_adaptive("inproc").count();

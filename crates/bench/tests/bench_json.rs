@@ -44,6 +44,8 @@ fn point(backend: &str, r: u64, nnz_row: u64, best: u64, regret: f64) -> BenchPo
         best,
         regret,
         model_error: 0.03,
+        // wire-delay points measure real overlap; inproc models none.
+        overlap: if backend == "wire-delay" { 0.7 } else { 1.0 },
     }
 }
 
@@ -240,6 +242,53 @@ fn pre_v4_candidates_parse_as_naive() {
         .iter()
         .flat_map(|pt| &pt.candidates)
         .all(|c| c.local_variant == "naive"));
+}
+
+#[test]
+fn pre_v5_points_parse_with_unit_overlap() {
+    // v4 documents carry no "overlap" field; their hand-rolled shifts
+    // were fully blocking, so every point parses as overlap 1.0.
+    let text = report()
+        .to_json()
+        .replace(",\n      \"overlap\": 0.7", "")
+        .replace(",\n      \"overlap\": 1", "");
+    assert!(!text.contains("overlap"));
+    let parsed = BenchReport::parse(&text).expect("pre-v5 document must parse");
+    assert!(parsed.points.iter().all(|pt| pt.overlap == 1.0));
+}
+
+#[test]
+fn overlap_axes_summarize_and_gate() {
+    let r = report();
+    assert_eq!(r.min_overlap("wire-delay"), Some(0.7));
+    assert_eq!(r.max_overlap("wire-delay"), 0.7);
+    assert_eq!(r.mean_overlap("wire-delay"), 0.7);
+    assert_eq!(r.min_overlap("socket"), None);
+    assert_eq!(r.mean_overlap("socket"), 1.0);
+    // Pipelining that costs time beyond tolerance fails the gate; the
+    // axis reads only the current report, so even a matching baseline
+    // regression does not excuse it.
+    let mut slower = report();
+    for pt in &mut slower.points {
+        if pt.backend == "wire-delay" {
+            pt.overlap = 1.4;
+        }
+    }
+    let violations = gate(&slower, &slower.clone(), &GateTolerances::default());
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.contains("pipelined shifts slower than blocking")),
+        "{violations:?}"
+    );
+    // Mild slowdowns within tolerance pass.
+    let mut mild = report();
+    for pt in &mut mild.points {
+        if pt.backend == "wire-delay" {
+            pt.overlap = 1.1;
+        }
+    }
+    assert!(gate(&report(), &mild, &GateTolerances::default()).is_empty());
 }
 
 #[test]

@@ -27,7 +27,7 @@
 
 use std::any::Any;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::model::MachineModel;
 use crate::transport::{Mailbox, MsgKey};
@@ -85,6 +85,10 @@ pub trait CommBackend: Send + Sync {
     fn take(&self, me: usize, key: MsgKey) -> Parcel;
 
     /// Non-blocking probe: is a parcel for `key` queued at `me`?
+    ///
+    /// Queue-based: a delay-injecting backend may report a parcel ready
+    /// slightly before its modeled delivery deadline; the blocking
+    /// [`CommBackend::take`] still sleeps out the residual.
     fn probe(&self, me: usize, key: MsgKey) -> bool;
 
     /// Drain hook: count of undelivered parcels across all mailboxes.
@@ -151,17 +155,29 @@ impl CommBackend for InProcBackend {
 
 /// The serialized wire backend: only contiguous byte buffers travel.
 ///
-/// With a delay model attached, every delivery sleeps `α + β·w` (w in
-/// 8-byte words of the encoded buffer) before returning, so a rank's
-/// measured wall time includes the modeled network cost. The injected
-/// sleep is clamped at [`WIRE_DELAY_CLAMP_S`] per message: realistic
+/// With a delay model attached, every message carries an `α + β·w`
+/// delivery deadline (w in 8-byte words of the encoded buffer) stamped
+/// **at post time**; a receive completes no earlier than that deadline,
+/// sleeping only the residual. A receiver that overlaps the in-flight
+/// time with its own compute therefore pays only the uncovered
+/// remainder — exactly how a non-blocking transport behaves — while a
+/// receiver that blocks immediately after the post observes the full
+/// `α + β·w`, identical to the pre-pipelining behavior. The injected
+/// delay is clamped at [`WIRE_DELAY_CLAMP_S`] per message: realistic
 /// constants ([`MachineModel::cori_knl`]-like) sit far below the clamp,
 /// while test models like `bandwidth_only` (one *second* per word)
 /// would otherwise turn a `DSK_COMM_BACKEND=wire-delay` run of the
 /// unit suites into hours of sleeping.
 pub struct WireBackend {
-    mailbox: Mailbox<Parcel>,
+    mailbox: Mailbox<Timed>,
     delay: Option<MachineModel>,
+}
+
+/// A parcel stamped with its earliest delivery instant (wire-delay
+/// backend only; `None` when no delay model is attached).
+struct Timed {
+    parcel: Parcel,
+    deadline: Option<Instant>,
 }
 
 /// Upper bound on the per-message delay the wire-delay backend injects,
@@ -212,19 +228,23 @@ impl CommBackend for WireBackend {
             "wire backend requires encoded parcels — a typed message \
              bypassed the WirePayload surface"
         );
-        self.mailbox.post(dst, key, parcel);
+        let deadline = self.delay.as_ref().map(|model| {
+            let words = parcel.wire_len().unwrap_or(0).div_ceil(8) as u64;
+            let t = model.msg_time(words).min(WIRE_DELAY_CLAMP_S);
+            Instant::now() + Duration::from_secs_f64(t.max(0.0))
+        });
+        self.mailbox.post(dst, key, Timed { parcel, deadline });
     }
 
     fn take(&self, me: usize, key: MsgKey) -> Parcel {
-        let parcel = self.mailbox.take(me, key);
-        if let Some(model) = &self.delay {
-            let words = parcel.wire_len().unwrap_or(0).div_ceil(8) as u64;
-            let t = model.msg_time(words).min(WIRE_DELAY_CLAMP_S);
-            if t > 0.0 {
-                std::thread::sleep(Duration::from_secs_f64(t));
+        let timed = self.mailbox.take(me, key);
+        if let Some(deadline) = timed.deadline {
+            let now = Instant::now();
+            if deadline > now {
+                std::thread::sleep(deadline - now);
             }
         }
-        parcel
+        timed.parcel
     }
 
     fn probe(&self, me: usize, key: MsgKey) -> bool {

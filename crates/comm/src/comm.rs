@@ -11,8 +11,40 @@
 //! encoded through [`WirePayload`] — algorithm code cannot tell the
 //! difference, and word accounting (hence modeled time) is identical
 //! under both.
+//!
+//! # Non-blocking completion contract
+//!
+//! Beyond the blocking calls, a rank may start transfers and complete
+//! them later: [`Comm::send_nb`] returns a [`SendHandle`] (buffered
+//! sends complete at post time — the mailbox is unbounded, exactly like
+//! an eager-protocol MPI send), and [`Comm::recv_begin`] /
+//! [`Comm::shift_begin`] return a [`RecvHandle`] with `poll`/`wait`.
+//! The contract, enforced at runtime:
+//!
+//! * **Ordering** — delivery is FIFO per `(src, context, tag)` key, and
+//!   handles on one key must be awaited **in posting order**. An
+//!   out-of-order `wait` would silently steal an earlier handle's
+//!   message, so it panics instead; `poll` simply reports "not ready"
+//!   until it is the handle's turn.
+//! * **Completion is mandatory** — dropping a [`RecvHandle`] that was
+//!   never awaited is a panic, not a silent leak: the matching message
+//!   would rot in the mailbox and fail the world's end-of-run drain
+//!   check far from the bug. (During an unwind the check stands down so
+//!   the original panic surfaces.)
+//! * **Failure** — a rank blocked in [`RecvHandle::wait`] when a peer
+//!   dies observes the poisoned-mailbox error within milliseconds, just
+//!   like a blocking receive; the receive watchdog is a last resort for
+//!   mismatched communication patterns, not the failure path.
+//! * **Accounting** — a standalone `recv_begin` + `wait` charges
+//!   `α + β·w` exactly like [`Comm::recv`]; a [`Comm::shift_begin`]
+//!   charges the send at post and `α + β·max(w_out, w_in)` at `wait`,
+//!   so the modeled totals of a pipelined shift are byte-identical to
+//!   the blocking [`Comm::shift`] it replaces. Wall time spent blocked
+//!   inside `wait` is additionally recorded as per-phase *stall* time —
+//!   the part of the transfer that pipelining failed to hide.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -63,6 +95,10 @@ pub struct Comm {
     /// Number of splits performed on this communicator so far (must
     /// advance identically on all members).
     split_seq: Cell<u64>,
+    /// Per-`(src comm rank, tag)` ticket counters for non-blocking
+    /// receives: (posted, completed). Enforces the in-posting-order
+    /// completion contract of [`RecvHandle`].
+    nb_recv_seq: RefCell<HashMap<(usize, u32), (u64, u64)>>,
 }
 
 impl Comm {
@@ -88,6 +124,7 @@ impl Comm {
             rank: global_rank,
             context: 0x9E37_79B9_7F4A_7C15,
             split_seq: Cell::new(0),
+            nb_recv_seq: RefCell::new(HashMap::new()),
         }
     }
 
@@ -310,6 +347,81 @@ impl Comm {
     }
 
     // ------------------------------------------------------------------
+    // Non-blocking point-to-point
+    // ------------------------------------------------------------------
+
+    /// Non-blocking send to communicator rank `dst`. The mailbox is
+    /// unbounded, so the transfer is buffered and the returned
+    /// [`SendHandle`] is complete immediately; accounting is identical to
+    /// [`Comm::send`] (`α + β·words` charged at post).
+    pub fn send_nb<T: WirePayload>(&self, dst: usize, tag: u32, value: T) -> SendHandle {
+        let words = value.words() as u64;
+        self.send(dst, tag, value);
+        SendHandle { words }
+    }
+
+    /// Begin a non-blocking receive from communicator rank `src`. The
+    /// message is charged (`α + β·words`, like [`Comm::recv`]) when the
+    /// returned handle is awaited. See the module docs for the ordering
+    /// and completion contract.
+    pub fn recv_begin<T: WirePayload>(&self, src: usize, tag: u32) -> RecvHandle<'_, T> {
+        let ticket = {
+            let mut map = self.nb_recv_seq.borrow_mut();
+            let entry = map.entry((src, tag)).or_insert((0, 0));
+            let t = entry.0;
+            entry.0 += 1;
+            t
+        };
+        RecvHandle {
+            comm: self,
+            src,
+            tag,
+            ticket,
+            paired_send_words: None,
+            state: HandleState::Pending,
+        }
+    }
+
+    /// Begin a cyclic shift by `disp`: the outgoing block is posted (and
+    /// its send charged) immediately, the incoming block is claimed by the
+    /// returned handle. `shift_begin(d, t, v).wait()` produces the same
+    /// value and the same modeled charges as the blocking
+    /// `shift(d, t, v)` — the send is recorded at post, the receive as
+    /// `α + β·max(words_out, words_in)` at `wait`. On a 1-rank
+    /// communicator the value is returned through the handle untouched,
+    /// with no accounting (matching [`Comm::shift`]).
+    pub fn shift_begin<T: WirePayload>(
+        &self,
+        disp: usize,
+        tag: u32,
+        value: T,
+    ) -> RecvHandle<'_, T> {
+        let p = self.size();
+        if p == 1 {
+            return RecvHandle {
+                comm: self,
+                src: 0,
+                tag,
+                ticket: 0,
+                paired_send_words: None,
+                state: HandleState::Resolved(value),
+            };
+        }
+        let dst = (self.rank + disp) % p;
+        let src = (self.rank + p - disp % p) % p;
+        let words_out = value.words() as u64;
+        let bytes = self.post_to(dst, tag, value);
+        {
+            let mut stats = self.shared.stats.lock().unwrap();
+            stats.record_send(words_out, 0.0);
+            stats.record_wire_bytes(bytes);
+        }
+        let mut handle = self.recv_begin::<T>(src, tag);
+        handle.paired_send_words = Some(words_out);
+        handle
+    }
+
+    // ------------------------------------------------------------------
     // Splitting
     // ------------------------------------------------------------------
 
@@ -342,12 +454,153 @@ impl Comm {
             rank: my_new_rank,
             context: mix_context(self.context, seq, my_color),
             split_seq: Cell::new(0),
+            nb_recv_seq: RefCell::new(HashMap::new()),
         }
     }
 
     /// A new communicator with the same members but an isolated tag space.
     pub fn dup(&self) -> Comm {
         self.split_by(|_| 0)
+    }
+}
+
+/// Handle for a buffered non-blocking send started with
+/// [`Comm::send_nb`]. Sends into the unbounded mailbox complete at post
+/// time, so `poll` is always true; the handle exists so call sites read
+/// like their MPI counterparts and so the API can grow a rendezvous
+/// protocol without changing signatures.
+#[must_use = "a non-blocking send should be completed with wait()"]
+pub struct SendHandle {
+    words: u64,
+}
+
+impl SendHandle {
+    /// Whether the transfer has completed (always, for buffered sends).
+    pub fn poll(&self) -> bool {
+        true
+    }
+
+    /// Complete the send. No-op for buffered sends.
+    pub fn wait(self) {}
+
+    /// Word count of the posted message.
+    pub fn words(&self) -> u64 {
+        self.words
+    }
+}
+
+enum HandleState<T> {
+    /// Message not yet claimed from the mailbox.
+    Pending,
+    /// 1-rank shift short-circuit: the value never left this rank and no
+    /// accounting applies.
+    Resolved(T),
+    /// `wait` has consumed the handle (observed only by `Drop`).
+    Done,
+}
+
+/// Handle for an in-flight non-blocking receive started with
+/// [`Comm::recv_begin`] or [`Comm::shift_begin`]. See the module docs
+/// for the ordering, completion, failure, and accounting contract.
+#[must_use = "dropping an unawaited RecvHandle panics; call wait()"]
+pub struct RecvHandle<'a, T: WirePayload> {
+    comm: &'a Comm,
+    src: usize,
+    tag: u32,
+    ticket: u64,
+    /// `Some(words_out)` when this handle is the receive half of a
+    /// `shift_begin`: the receive is then charged
+    /// `α + β·max(words_out, words_in)` to mirror [`Comm::sendrecv`].
+    paired_send_words: Option<u64>,
+    state: HandleState<T>,
+}
+
+impl<T: WirePayload> RecvHandle<'_, T> {
+    /// Whether `wait` would return without blocking: it is this handle's
+    /// turn on its `(src, tag)` stream and a matching message is queued.
+    /// Under the wire-delay backend a message may poll ready while its
+    /// modeled flight time is still being charged; `wait` sleeps out the
+    /// residue.
+    pub fn poll(&self) -> bool {
+        match &self.state {
+            HandleState::Resolved(_) => true,
+            HandleState::Done => unreachable!("polled a completed RecvHandle"),
+            HandleState::Pending => {
+                let my_turn = {
+                    let map = self.comm.nb_recv_seq.borrow();
+                    map.get(&(self.src, self.tag))
+                        .is_some_and(|&(_, completed)| completed == self.ticket)
+                };
+                my_turn
+                    && self.comm.backend.probe(
+                        self.comm.my_global_rank(),
+                        self.comm.key_from(self.src, self.tag),
+                    )
+            }
+        }
+    }
+
+    /// Block until the message arrives and return it. Charges the receive
+    /// to the current phase (see the module docs for the formula) and
+    /// records the wall time spent blocked here as per-phase stall time.
+    ///
+    /// Panics if an earlier handle on the same `(src, tag)` stream has
+    /// not been awaited yet.
+    pub fn wait(mut self) -> T {
+        match std::mem::replace(&mut self.state, HandleState::Done) {
+            HandleState::Resolved(v) => v,
+            HandleState::Done => unreachable!("waited on a completed RecvHandle"),
+            HandleState::Pending => {
+                let comm = self.comm;
+                {
+                    let map = comm.nb_recv_seq.borrow();
+                    let &(_, completed) = map
+                        .get(&(self.src, self.tag))
+                        .expect("RecvHandle with no ticket record");
+                    assert_eq!(
+                        completed,
+                        self.ticket,
+                        "rank {}: RecvHandle for (src {}, tag {}) awaited out of order: \
+                         ticket {} but {} earlier receive(s) on this stream are still pending",
+                        comm.rank,
+                        self.src,
+                        self.tag,
+                        self.ticket,
+                        self.ticket - completed
+                    );
+                }
+                let start = Instant::now();
+                let v = comm.recv_uncharged::<T>(self.src, self.tag);
+                let stall = start.elapsed().as_secs_f64();
+                comm.nb_recv_seq
+                    .borrow_mut()
+                    .get_mut(&(self.src, self.tag))
+                    .unwrap()
+                    .1 += 1;
+                let words_in = v.words() as u64;
+                let t = match self.paired_send_words {
+                    Some(words_out) => comm.model.msg_time(words_out.max(words_in)),
+                    None => comm.model.msg_time(words_in),
+                };
+                let mut stats = comm.shared.stats.lock().unwrap();
+                stats.record_recv(words_in, t);
+                stats.record_stall(stall);
+                v
+            }
+        }
+    }
+}
+
+impl<T: WirePayload> Drop for RecvHandle<'_, T> {
+    fn drop(&mut self) {
+        if !matches!(self.state, HandleState::Done) && !std::thread::panicking() {
+            panic!(
+                "rank {}: RecvHandle for (src {}, tag {}) dropped without wait() — \
+                 a pending non-blocking receive must be completed, or its message \
+                 leaks into the mailbox",
+                self.comm.rank, self.src, self.tag
+            );
+        }
     }
 }
 

@@ -120,7 +120,7 @@ pub mod transport;
 pub mod world;
 
 pub use backend::{BackendKind, CommBackend, InProcBackend, Parcel, WireBackend, BACKEND_ENV_VAR};
-pub use comm::Comm;
+pub use comm::{Comm, RecvHandle, SendHandle};
 pub use grid::{Grid15, Grid25, GridComms15, GridComms25};
 pub use model::MachineModel;
 pub use pattern::{CommPattern, RowBundle, RowSet};

@@ -121,6 +121,12 @@ pub struct PhaseCounters {
     pub modeled_s: f64,
     /// Real wall-clock time (seconds) spent while this phase was active.
     pub wall_s: f64,
+    /// Real wall-clock time (seconds) spent blocked in a non-blocking
+    /// receive's `wait` with no compute available to overlap — the part
+    /// of `wall_s` that pipelining failed to hide. Zero for fully
+    /// blocking code paths (which never report stall) and for perfectly
+    /// overlapped pipelined ones.
+    pub stall_s: f64,
 }
 
 impl PhaseCounters {
@@ -134,6 +140,7 @@ impl PhaseCounters {
         self.flops += other.flops;
         self.modeled_s += other.modeled_s;
         self.wall_s += other.wall_s;
+        self.stall_s += other.stall_s;
     }
 }
 
@@ -240,6 +247,16 @@ impl RankStats {
         self.per_phase[phase.index()].wall_s += seconds;
     }
 
+    /// Charge wall-clock seconds spent blocked in a non-blocking
+    /// receive's `wait` to the current phase's stall bucket. Stall is a
+    /// *measured* overlap diagnostic; it never enters modeled time.
+    pub fn record_stall(&mut self, seconds: f64) {
+        if self.paused {
+            return;
+        }
+        self.per_phase[self.current.index()].stall_s += seconds;
+    }
+
     /// Extra modeled seconds charged directly (used by collectives whose
     /// cost formula is not a plain sum of their constituent messages).
     pub fn record_modeled(&mut self, seconds: f64) {
@@ -282,7 +299,7 @@ impl RankStats {
 
 impl Payload for PhaseCounters {
     fn words(&self) -> usize {
-        8
+        9
     }
 }
 
@@ -300,6 +317,7 @@ impl WirePayload for PhaseCounters {
         }
         buf.extend_from_slice(&self.modeled_s.to_bits().to_le_bytes());
         buf.extend_from_slice(&self.wall_s.to_bits().to_le_bytes());
+        buf.extend_from_slice(&self.stall_s.to_bits().to_le_bytes());
     }
     fn decode(r: &mut WireReader<'_>) -> Self {
         PhaseCounters {
@@ -311,13 +329,14 @@ impl WirePayload for PhaseCounters {
             flops: r.u64(),
             modeled_s: r.f64(),
             wall_s: r.f64(),
+            stall_s: r.f64(),
         }
     }
 }
 
 impl Payload for RankStats {
     fn words(&self) -> usize {
-        N_PHASES * 8 + 1
+        N_PHASES * 9 + 1
     }
 }
 
@@ -368,6 +387,9 @@ pub struct AggregateStats {
     pub total_wire_bytes: [u64; N_PHASES],
     /// Per-phase: total flops across all ranks.
     pub total_flops: [u64; N_PHASES],
+    /// Per-phase: maximum stall seconds (wall time blocked in a
+    /// non-blocking `wait` that pipelining failed to hide) over ranks.
+    pub max_stall_s: [f64; N_PHASES],
 }
 
 impl AggregateStats {
@@ -389,6 +411,7 @@ impl AggregateStats {
                 a.max_msgs_sent[i] = a.max_msgs_sent[i].max(c.msgs_sent);
                 a.total_wire_bytes[i] += c.wire_bytes_sent;
                 a.total_flops[i] += c.flops;
+                a.max_stall_s[i] = a.max_stall_s[i].max(c.stall_s);
             }
         }
         a
@@ -548,6 +571,23 @@ mod tests {
         assert_eq!(s.phase(Phase::Propagation).wire_bytes_sent, 120);
         let agg = AggregateStats::from_ranks(&[s.clone(), s]);
         assert_eq!(agg.wire_bytes_total(), 240);
+    }
+
+    #[test]
+    fn stall_follows_phase_and_roundtrips_the_wire() {
+        let mut s = RankStats::default();
+        s.set_phase(Phase::Propagation);
+        s.record_stall(0.25);
+        s.set_paused(true);
+        s.record_stall(9.0);
+        s.set_paused(false);
+        assert!((s.phase(Phase::Propagation).stall_s - 0.25).abs() < 1e-12);
+        let mut buf = Vec::new();
+        s.encode(&mut buf);
+        let back = RankStats::decode(&mut WireReader::new(&buf));
+        assert!((back.phase(Phase::Propagation).stall_s - 0.25).abs() < 1e-12);
+        let agg = AggregateStats::from_ranks(&[s]);
+        assert!((agg.max_stall_s[Phase::Propagation.index()] - 0.25).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,53 @@
+//! Regression: a rank blocked in `RecvHandle::wait` when its peer
+//! process dies must fail through the poisoned mailbox within
+//! milliseconds — never by waiting out the 300 s receive watchdog.
+//!
+//! Lives in its own test binary: the peer is killed with a hard
+//! `process::exit`, which tears down the socket process pool, and no
+//! other socket test may share that pool.
+
+use std::time::{Duration, Instant};
+
+use dsk_comm::{BackendKind, MachineModel, Phase, SimWorld};
+
+#[test]
+fn peer_death_mid_pipeline_poisons_pending_handle_fast() {
+    let world = SimWorld::new(2, MachineModel::bandwidth_only()).backend(BackendKind::Socket);
+    let start = Instant::now();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = world.run(|c| {
+            let _g = c.phase(Phase::Propagation);
+            if c.rank() == 1 {
+                // Die hard mid-pipeline: no panic report, no Bye frame —
+                // the transport must detect the dropped connection.
+                // (Receive rank 0's block first so its send cannot race
+                // ahead of our death in a way that masks the bug.)
+                std::process::exit(0);
+            }
+            // Rank 0: outgoing block posted, handle pending on a message
+            // rank 1 will never send.
+            let h = c.shift_begin(1, 0, vec![1.0f64; 64]);
+            let _ = h.wait();
+        });
+    }));
+    let elapsed = start.elapsed();
+    assert!(result.is_err(), "a dead peer must fail the pending handle");
+    let payload = result.unwrap_err();
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(
+        !msg.contains("watchdog"),
+        "peer death must surface as poison, not the receive watchdog: {msg}"
+    );
+    assert!(
+        msg.contains("disconnected mid-epoch") || msg.contains("panicked"),
+        "expected the poisoned-mailbox diagnostic, got: {msg}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "poison must fail the handle promptly (well under the 300s watchdog), took {elapsed:?}"
+    );
+}

@@ -1,6 +1,11 @@
-//! Shared vocabulary types for the distributed algorithms.
+//! Shared vocabulary types for the distributed algorithms, and the
+//! [`ShiftPipeline`] every propagation loop executes through.
 
+use std::cell::Cell;
 use std::ops::Range;
+
+use dsk_comm::{Comm, Phase, RecvHandle, RowBundle, RowSet, WirePayload};
+use dsk_dense::Mat;
 
 /// Global problem dimensions: `S: m×n` sparse, `A: m×r`, `B: n×r` dense.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -181,9 +186,382 @@ pub fn union_range(total: usize, parts: usize, first: usize, count: usize) -> Ra
     a.start..b.end
 }
 
+// ---------------------------------------------------------------------
+// Shift pipelining
+// ---------------------------------------------------------------------
+
+/// Environment variable selecting the propagation [`ShiftMode`]
+/// (`pipelined` | `blocking`); a thread-local override set by the bench
+/// harness takes precedence.
+pub const SHIFT_MODE_ENV_VAR: &str = "DSK_SHIFT_PIPELINE";
+
+thread_local! {
+    static SHIFT_MODE_OVERRIDE: Cell<Option<ShiftMode>> = const { Cell::new(None) };
+}
+
+/// How a [`ShiftPipeline`] realizes its ring exchanges.
+///
+/// Both modes move the same bytes in the same ring order and charge
+/// identical modeled time; they differ only in *when* the outgoing
+/// block of an input lane is posted, i.e. whether the transport's
+/// latency can hide behind the local compute of the current step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ShiftMode {
+    /// Post the next hop before computing on the current block
+    /// (non-blocking `shift_begin`/`wait`): transfer and compute
+    /// overlap. The default.
+    #[default]
+    Pipelined,
+    /// Post and wait back-to-back (blocking `shift`): the pre-PR-8
+    /// behavior, kept as the overlap measurement baseline.
+    Blocking,
+}
+
+impl ShiftMode {
+    /// The mode propagation loops run under right now: the thread-local
+    /// override if set, else [`SHIFT_MODE_ENV_VAR`], else `Pipelined`.
+    pub fn current() -> ShiftMode {
+        if let Some(m) = SHIFT_MODE_OVERRIDE.with(|c| c.get()) {
+            return m;
+        }
+        match std::env::var(SHIFT_MODE_ENV_VAR) {
+            Err(_) => ShiftMode::Pipelined,
+            Ok(v) => match v.as_str() {
+                "pipelined" | "1" | "on" => ShiftMode::Pipelined,
+                "blocking" | "0" | "off" => ShiftMode::Blocking,
+                other => {
+                    panic!("{SHIFT_MODE_ENV_VAR}={other:?}: expected \"pipelined\" or \"blocking\"")
+                }
+            },
+        }
+    }
+
+    /// Install `mode` as this thread's override until the returned guard
+    /// drops. Worlds run rank closures on the installing thread (or
+    /// re-execute them in child processes), so setting the override
+    /// inside a `SimWorld::run` closure covers every rank.
+    pub fn scoped(mode: ShiftMode) -> ShiftModeGuard {
+        let prev = SHIFT_MODE_OVERRIDE.with(|c| c.replace(Some(mode)));
+        ShiftModeGuard { prev }
+    }
+
+    /// Bench-table label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShiftMode::Pipelined => "pipelined",
+            ShiftMode::Blocking => "blocking",
+        }
+    }
+}
+
+/// RAII guard restoring the previous thread-local [`ShiftMode`]
+/// override on drop.
+pub struct ShiftModeGuard {
+    prev: Option<ShiftMode>,
+}
+
+impl Drop for ShiftModeGuard {
+    fn drop(&mut self) {
+        SHIFT_MODE_OVERRIDE.with(|c| c.set(self.prev));
+    }
+}
+
+/// The one way propagation loops move blocks around a ring.
+///
+/// A `ShiftPipeline` owns a ring communicator reference, a displacement,
+/// and a tag, and exposes exactly two step shapes:
+///
+/// * **input lanes** — payloads the local kernel only *reads* (the
+///   traveling dense panel of an SpMM, the sparse block of a
+///   sparse-shifting round). [`ShiftPipeline::begin`] posts the outgoing
+///   copy *before* the compute of the current step, and the returned
+///   [`InFlight`] is awaited after it — under [`ShiftMode::Pipelined`]
+///   the transfer hides behind the compute;
+/// * **accumulator lanes** — payloads the kernel *writes* (a circulating
+///   output block). The data is not final until the compute finishes, so
+///   [`ShiftPipeline::exchange`] posts after it, blocking — structurally
+///   identical to the classic `sendrecv` shift.
+///
+/// Both shapes exist in dense ([`Mat`]) and pattern-routed
+/// ([`RowBundle`] via a [`RowSet`] forward set) forms, so `Routing` and
+/// overlap compose. All traffic is charged to [`Phase::Propagation`];
+/// modeled counters are identical across modes and to the blocking
+/// `Comm::shift` this replaces.
+pub struct ShiftPipeline<'a> {
+    ring: &'a Comm,
+    disp: usize,
+    tag: u32,
+    mode: ShiftMode,
+}
+
+impl<'a> ShiftPipeline<'a> {
+    /// A pipeline shifting by `disp` on `ring` with message tag `tag`,
+    /// in the thread's current [`ShiftMode`].
+    pub fn new(ring: &'a Comm, disp: usize, tag: u32) -> Self {
+        ShiftPipeline {
+            ring,
+            disp,
+            tag,
+            mode: ShiftMode::current(),
+        }
+    }
+
+    /// The mode this pipeline was constructed under.
+    pub fn mode(&self) -> ShiftMode {
+        self.mode
+    }
+
+    /// Start an input-lane step: post (pipelined) or stage (blocking)
+    /// the outgoing copy of `value`, to be collected with
+    /// [`InFlight::wait`] after the step's compute.
+    pub fn begin<T: WirePayload + Clone>(&self, value: &T) -> InFlight<'a, T> {
+        self.begin_payload(value.clone())
+    }
+
+    /// Take ownership of an already-built outgoing payload and start the
+    /// step (the non-cloning core of [`ShiftPipeline::begin`]).
+    fn begin_payload<T: WirePayload>(&self, value: T) -> InFlight<'a, T> {
+        match self.mode {
+            ShiftMode::Pipelined => {
+                let _ph = self.ring.phase(Phase::Propagation);
+                InFlight {
+                    ring: self.ring,
+                    state: InFlightState::Posted(self.ring.shift_begin(self.disp, self.tag, value)),
+                }
+            }
+            ShiftMode::Blocking => InFlight {
+                ring: self.ring,
+                state: InFlightState::Staged {
+                    disp: self.disp,
+                    tag: self.tag,
+                    value,
+                },
+            },
+        }
+    }
+
+    /// Accumulator-lane step: blocking exchange of a finished block.
+    pub fn exchange<T: WirePayload>(&self, value: T) -> T {
+        let _ph = self.ring.phase(Phase::Propagation);
+        self.ring.shift(self.disp, self.tag, value)
+    }
+
+    /// Input-lane step for a dense panel, optionally pattern-routed:
+    /// with `ship`, only the forward-set rows travel (as a [`RowBundle`]
+    /// with dense fallback) and the receiver zero-fills the rest.
+    pub fn begin_mat(&self, y: &Mat, ship: Option<&RowSet>) -> MatInFlight<'a> {
+        match ship {
+            None => MatInFlight {
+                state: MatInFlightState::Dense(self.begin(y)),
+            },
+            Some(set) => {
+                let bundle = RowBundle::gather(y.nrows(), y.ncols(), y.as_slice(), set);
+                MatInFlight {
+                    state: MatInFlightState::Routed(self.begin_payload(bundle)),
+                }
+            }
+        }
+    }
+
+    /// Accumulator-lane step for a dense panel, optionally
+    /// pattern-routed.
+    pub fn exchange_mat(&self, y: Mat, ship: Option<&RowSet>) -> Mat {
+        match ship {
+            None => self.exchange(y),
+            Some(set) => {
+                let bundle = RowBundle::gather(y.nrows(), y.ncols(), y.as_slice(), set);
+                let (nrows, ncols, data) = self.exchange(bundle).into_full();
+                Mat::from_vec(nrows, ncols, data)
+            }
+        }
+    }
+}
+
+enum InFlightState<'a, T: WirePayload> {
+    /// Pipelined: the receive half of a posted `shift_begin`.
+    Posted(RecvHandle<'a, T>),
+    /// Blocking: the outgoing copy, exchanged at `wait`.
+    Staged { disp: usize, tag: u32, value: T },
+}
+
+/// An input-lane block in flight around the ring; collect it with
+/// [`InFlight::wait`] after the step's compute.
+#[must_use = "an in-flight shift must be waited"]
+pub struct InFlight<'a, T: WirePayload> {
+    ring: &'a Comm,
+    state: InFlightState<'a, T>,
+}
+
+impl<T: WirePayload> InFlight<'_, T> {
+    /// Complete the step: the block shifted in from the ring
+    /// predecessor. Time blocked here (and the receive's modeled cost)
+    /// is charged to [`Phase::Propagation`].
+    pub fn wait(self) -> T {
+        let InFlight { ring, state } = self;
+        let _ph = ring.phase(Phase::Propagation);
+        match state {
+            InFlightState::Posted(h) => h.wait(),
+            InFlightState::Staged { disp, tag, value } => ring.shift(disp, tag, value),
+        }
+    }
+}
+
+/// A dense panel in flight, dense or pattern-routed.
+#[must_use = "an in-flight shift must be waited"]
+pub struct MatInFlight<'a> {
+    state: MatInFlightState<'a>,
+}
+
+enum MatInFlightState<'a> {
+    Dense(InFlight<'a, Mat>),
+    Routed(InFlight<'a, RowBundle>),
+}
+
+impl MatInFlight<'_> {
+    /// Complete the step, reconstructing a full panel (zero-filling
+    /// unshipped rows on the routed path).
+    pub fn wait(self) -> Mat {
+        match self.state {
+            MatInFlightState::Dense(f) => f.wait(),
+            MatInFlightState::Routed(f) => {
+                let (nrows, ncols, data) = f.wait().into_full();
+                Mat::from_vec(nrows, ncols, data)
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dsk_comm::{MachineModel, SimWorld};
+
+    #[test]
+    fn shift_mode_override_is_scoped() {
+        assert_eq!(ShiftMode::current(), ShiftMode::Pipelined);
+        {
+            let _g = ShiftMode::scoped(ShiftMode::Blocking);
+            assert_eq!(ShiftMode::current(), ShiftMode::Blocking);
+            {
+                let _g2 = ShiftMode::scoped(ShiftMode::Pipelined);
+                assert_eq!(ShiftMode::current(), ShiftMode::Pipelined);
+            }
+            assert_eq!(ShiftMode::current(), ShiftMode::Blocking);
+        }
+        assert_eq!(ShiftMode::current(), ShiftMode::Pipelined);
+    }
+
+    #[test]
+    fn pipeline_on_single_rank_world_is_identity() {
+        for mode in [ShiftMode::Pipelined, ShiftMode::Blocking] {
+            let out = SimWorld::new(1, MachineModel::bandwidth_only()).run(move |c| {
+                let _g = ShiftMode::scoped(mode);
+                let pipe = ShiftPipeline::new(c, 1, 7);
+                let y = Mat::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+                let fly = pipe.begin_mat(&y, None);
+                let back = fly.wait();
+                let back = pipe.exchange_mat(back, None);
+                back.as_slice().to_vec()
+            });
+            assert_eq!(out[0].value, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+            assert_eq!(out[0].stats.total().msgs_sent, 0, "p=1 must not message");
+        }
+    }
+
+    /// Ragged ring: 10 rows over 3 ranks (p ∤ shape), shifted a full
+    /// revolution in both modes and both lane shapes — bitwise equal
+    /// values and identical modeled counters.
+    #[test]
+    fn pipelined_and_blocking_agree_on_ragged_blocks() {
+        let run = |mode: ShiftMode| {
+            SimWorld::new(3, MachineModel::bandwidth_only()).run(move |c| {
+                let _g = ShiftMode::scoped(mode);
+                let rows = block_range(10, 3, c.rank()).len();
+                let mut y = Mat::from_vec(
+                    rows,
+                    2,
+                    (0..rows * 2).map(|i| (c.rank() * 100 + i) as f64).collect(),
+                );
+                let pipe = ShiftPipeline::new(c, 1, 3);
+                for _ in 0..3 {
+                    let fly = pipe.begin_mat(&y, None);
+                    // "compute" reads y while the copy is in flight
+                    let checksum: f64 = y.as_slice().iter().sum();
+                    let next = fly.wait();
+                    y = pipe.exchange_mat(next, None);
+                    std::hint::black_box(checksum);
+                }
+                // 6 hops = two full revolutions: y is home again.
+                (y.nrows(), y.as_slice().to_vec(), c.stats_snapshot())
+            })
+        };
+        let a = run(ShiftMode::Pipelined);
+        let b = run(ShiftMode::Blocking);
+        for (oa, ob) in a.iter().zip(&b) {
+            assert_eq!(oa.value.0, block_range(10, 3, oa.rank).len());
+            assert_eq!(oa.value.1, ob.value.1, "values must match bitwise");
+            let (sa, sb) = (&oa.value.2, &ob.value.2);
+            assert_eq!(sa.total().msgs_sent, sb.total().msgs_sent);
+            assert_eq!(sa.total().words_sent, sb.total().words_sent);
+            assert_eq!(
+                sa.total().modeled_s.to_bits(),
+                sb.total().modeled_s.to_bits(),
+                "modeled time must be bit-identical across modes"
+            );
+        }
+    }
+
+    /// Empty blocks (0×0 panels) and empty routed forward sets travel
+    /// cleanly through both lane shapes; the world's end-of-run drain
+    /// check guarantees nothing leaks.
+    #[test]
+    fn empty_blocks_and_empty_forward_sets_flow() {
+        for mode in [ShiftMode::Pipelined, ShiftMode::Blocking] {
+            let out = SimWorld::new(2, MachineModel::bandwidth_only()).run(move |c| {
+                let _g = ShiftMode::scoped(mode);
+                let pipe = ShiftPipeline::new(c, 1, 11);
+                let empty = Mat::zeros(0, 0);
+                let fly = pipe.begin_mat(&empty, None);
+                let got = fly.wait();
+                assert_eq!(got.nrows(), 0);
+                // A panel whose forward set is empty: rows exist but
+                // none ship; the receiver reconstructs zeros.
+                let y = Mat::from_vec(2, 2, vec![1.0; 4]);
+                let none = RowSet::empty();
+                let fly = pipe.begin_mat(&y, Some(&none));
+                let got = fly.wait();
+                got.as_slice().iter().sum::<f64>()
+            });
+            for o in &out {
+                assert_eq!(o.value, 0.0, "unshipped rows must reconstruct as zeros");
+            }
+        }
+    }
+
+    /// A replan mid-run (dropping one pipeline, building another with a
+    /// different tag and routing) leaves no message in flight: every
+    /// step waits its handle, so the drain check at world exit passes.
+    #[test]
+    fn replan_mid_pipeline_drains_cleanly() {
+        let out = SimWorld::new(2, MachineModel::bandwidth_only()).run(|c| {
+            let mut y = Mat::from_vec(1, 2, vec![c.rank() as f64, 1.0]);
+            {
+                let pipe = ShiftPipeline::new(c, 1, 20);
+                let fly = pipe.begin_mat(&y, None);
+                y = fly.wait();
+            }
+            // "Replan": new tag, pattern routing, fresh pipeline.
+            let pipe = ShiftPipeline::new(c, 1, 21);
+            let all = RowSet::all(1);
+            let fly = pipe.begin_mat(&y, Some(&all));
+            y = fly.wait();
+            y.as_slice()[0]
+        });
+        // Two hops on a 2-ring: each rank's row is home again.
+        for o in &out {
+            assert_eq!(o.value, o.rank as f64);
+        }
+    }
 
     #[test]
     fn phi_matches_definition() {

@@ -26,12 +26,12 @@
 //! `B`-shaped output circulates as an accumulator alongside, completing
 //! the `m`-contraction with no fiber traffic.
 
-use dsk_comm::{Comm, CommPattern, Grid25, GridComms25, Phase, RowBundle, RowSet};
+use dsk_comm::{Comm, CommPattern, Grid25, GridComms25, Phase, RowSet};
 use dsk_dense::Mat;
 use dsk_kernels as kern;
 use dsk_sparse::CooMatrix;
 
-use crate::common::{block_range, AlgorithmFamily, Elision, ProblemDims, Sampling};
+use crate::common::{block_range, AlgorithmFamily, Elision, ProblemDims, Sampling, ShiftPipeline};
 use crate::global::GlobalProblem;
 use crate::kernel::{CombineSpec, DistKernel, KernelId};
 use crate::layout::{repartition_dense, DenseLayout};
@@ -330,36 +330,28 @@ impl DenseRepl25 {
         Mat::from_vec(rows, width, mine)
     }
 
-    /// Shift a sparse block one step backward along the row ring (its
-    /// σ index advances by one).
-    fn shift_sparse(&self, blk: CooMatrix) -> CooMatrix {
-        let _ph = self.gc.row_ring.phase(Phase::Propagation);
+    /// Row-ring pipeline for the traveling sparse block (one step
+    /// backward per hop: its σ index advances by one).
+    fn sparse_pipeline(&self) -> ShiftPipeline<'_> {
         let q = self.gc.row_ring.size();
-        self.gc.row_ring.shift(q - 1, TAG_SPARSE, blk)
+        ShiftPipeline::new(&self.gc.row_ring, q - 1, TAG_SPARSE)
     }
 
-    /// Shift a dense panel one step backward along the column ring. The
-    /// panel travels as a [`Mat`] payload, so its shape (including empty
-    /// r-slices) survives the hop; `next_rows` is the schedule's
-    /// expectation, kept as a cross-check.
-    fn shift_dense(&self, y: Mat, next_rows: usize) -> Mat {
-        let _ph = self.gc.col_ring.phase(Phase::Propagation);
+    /// Column-ring pipeline for the traveling dense panel. The panel
+    /// travels as a [`Mat`] payload (or a routed row bundle with
+    /// zero-fill reconstruction), so its shape — including empty
+    /// r-slices — survives the hop; callers cross-check the arriving
+    /// row count against the schedule via [`DenseRepl25::y_rows_at`].
+    fn dense_pipeline(&self) -> ShiftPipeline<'_> {
         let q = self.gc.col_ring.size();
-        let got = self.gc.col_ring.shift(q - 1, TAG_DENSE, y);
+        ShiftPipeline::new(&self.gc.col_ring, q - 1, TAG_DENSE)
+    }
+
+    /// Schedule cross-check for an arriving panel: empty panels carry no
+    /// shape, all others must match the expected row count.
+    fn check_panel(got: Mat, next_rows: usize) -> Mat {
         debug_assert!(got.ncols() == 0 || got.nrows() == next_rows);
         got
-    }
-
-    /// Pattern-routed panel hop: ship only the `ship` rows (dense
-    /// fallback at high density); the receiver zero-fills unshipped
-    /// rows, which no remaining consumer ever reads.
-    fn shift_dense_routed(&self, y: &Mat, ship: &RowSet, next_rows: usize) -> Mat {
-        let _ph = self.gc.col_ring.phase(Phase::Propagation);
-        let q = self.gc.col_ring.size();
-        let bundle = RowBundle::gather(y.nrows(), y.ncols(), y.as_slice(), ship);
-        let (nrows, ncols, data) = self.gc.col_ring.shift(q - 1, TAG_DENSE, bundle).into_full();
-        debug_assert!(ncols == 0 || nrows == next_rows);
-        Mat::from_vec(nrows, ncols, data)
     }
 
     /// Forward set for an **input** panel leaving after step `t`: the
@@ -400,7 +392,14 @@ impl DenseRepl25 {
         let mut blk = o.s_home.clone();
         blk.vals.fill(0.0);
         let mut y = y0.clone();
+        let pipe_s = self.sparse_pipeline();
+        let pipe_y = self.dense_pipeline();
         for t in 0..q {
+            // The panel is an input lane: post its next hop before the
+            // compute so the transfer hides behind it. The sparse block
+            // accumulates this step's combines, so it exchanges after.
+            let ship = route.map(|pat| self.forward_input(pat, t));
+            let fly_y = pipe_y.begin_mat(&y, ship.as_ref());
             let mut vals = std::mem::take(&mut blk.vals);
             let com = combine.for_slice(slice.clone());
             self.gc
@@ -409,15 +408,8 @@ impl DenseRepl25 {
                     self.local.sddmm.sddmm_coo(&mut vals, &blk, t_buf, &y, com)
                 });
             blk.vals = vals;
-            blk = self.shift_sparse(blk);
-            y = match route {
-                None => self.shift_dense(y, self.y_rows_at(o, t + 1)),
-                Some(pat) => self.shift_dense_routed(
-                    &y,
-                    &self.forward_input(pat, t),
-                    self.y_rows_at(o, t + 1),
-                ),
-            };
+            blk = pipe_s.exchange(blk);
+            y = Self::check_panel(fly_y.wait(), self.y_rows_at(o, t + 1));
         }
         debug_assert_eq!(blk.nnz(), o.s_home.nnz(), "block failed to return home");
         blk.vals
@@ -439,21 +431,22 @@ impl DenseRepl25 {
         let mut blk = o.s_home.clone();
         blk.vals = vals;
         let mut y = y0.clone();
+        let pipe_s = self.sparse_pipeline();
+        let pipe_y = self.dense_pipeline();
         for t in 0..q {
+            // Both travelers are input lanes here (the accumulator is
+            // replicated, not circulating): post both hops up front and
+            // overlap the two transfers with the local SpMM.
+            let fly_s = pipe_s.begin(&blk);
+            let ship = route.map(|pat| self.forward_input(pat, t));
+            let fly_y = pipe_y.begin_mat(&y, ship.as_ref());
             self.gc
                 .row_ring
                 .compute(kern::spmm_flops(blk.nnz(), width), || {
                     self.local.spmm.spmm_coo(&mut t_out, &blk, &y)
                 });
-            blk = self.shift_sparse(blk);
-            y = match route {
-                None => self.shift_dense(y, self.y_rows_at(o, t + 1)),
-                Some(pat) => self.shift_dense_routed(
-                    &y,
-                    &self.forward_input(pat, t),
-                    self.y_rows_at(o, t + 1),
-                ),
-            };
+            blk = fly_s.wait();
+            y = Self::check_panel(fly_y.wait(), self.y_rows_at(o, t + 1));
         }
         t_out
     }
@@ -473,22 +466,25 @@ impl DenseRepl25 {
         let mut blk = o.s_home.clone();
         blk.vals = vals;
         let mut out = Mat::zeros(o.y_home.nrows(), width);
+        let pipe_s = self.sparse_pipeline();
+        let pipe_y = self.dense_pipeline();
         for t in 0..q {
             debug_assert_eq!(blk.ncols, out.nrows(), "block/accumulator misalignment");
+            // The sparse block is read-only this step (input lane); the
+            // output panel is written by the kernel, so it exchanges
+            // only after the compute finishes.
+            let fly_s = pipe_s.begin(&blk);
             self.gc
                 .row_ring
                 .compute(kern::spmm_flops(blk.nnz(), width), || {
                     self.local.spmm_t.spmm_coo_t(&mut out, &blk, t_buf)
                 });
-            blk = self.shift_sparse(blk);
-            out = match route {
-                None => self.shift_dense(out, self.y_rows_at(o, t + 1)),
-                Some(pat) => self.shift_dense_routed(
-                    &out,
-                    &self.forward_acc(pat, t),
-                    self.y_rows_at(o, t + 1),
-                ),
-            };
+            blk = fly_s.wait();
+            let ship = route.map(|pat| self.forward_acc(pat, t));
+            out = Self::check_panel(
+                pipe_y.exchange_mat(out, ship.as_ref()),
+                self.y_rows_at(o, t + 1),
+            );
         }
         out
     }

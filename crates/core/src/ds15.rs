@@ -25,12 +25,14 @@
 //!   fused local SDDMM+SpMM per step (only possible here, where entire
 //!   rows of both dense matrices are co-located).
 
-use dsk_comm::{Comm, CommPattern, Grid15, GridComms15, Phase, RowBundle, RowSet};
+use dsk_comm::{Comm, CommPattern, Grid15, GridComms15, Phase, RowSet};
 use dsk_dense::Mat;
 use dsk_kernels as kern;
 use dsk_sparse::{CooMatrix, CsrMatrix};
 
-use crate::common::{block_range, union_range, AlgorithmFamily, Elision, ProblemDims, Sampling};
+use crate::common::{
+    block_range, union_range, AlgorithmFamily, Elision, ProblemDims, Sampling, ShiftPipeline,
+};
 use crate::global::GlobalProblem;
 use crate::kernel::{CombineSpec, DistKernel, KernelId};
 use crate::layout::DenseLayout;
@@ -244,25 +246,16 @@ impl DenseShift15 {
         Mat::from_vec(mine.len() / r.max(1), r, mine)
     }
 
-    /// One propagation step: shift a dense block one position around the
-    /// layer ring. The tile travels as a [`Mat`] payload (self-describing
-    /// shape, one word per entry — same modeled cost as its raw buffer).
-    fn shift_block(&self, y: Mat) -> Mat {
-        let _ph = self.gc.layer.phase(Phase::Propagation);
-        self.gc.layer.shift(1, TAG_SHIFT, y)
-    }
-
-    /// Pattern-routed propagation step: ship only the `ship` rows of the
-    /// tile (with [`RowBundle`]'s dense fallback at high density); the
-    /// receiver zero-fills unshipped rows. Downstream consumers never
-    /// read those rows — the forward sets are unions of every remaining
-    /// consumer's needs — so the reconstruction is exact where it is
-    /// ever looked at.
-    fn shift_block_routed(&self, y: &Mat, ship: &RowSet) -> Mat {
-        let _ph = self.gc.layer.phase(Phase::Propagation);
-        let bundle = RowBundle::gather(y.nrows(), y.ncols(), y.as_slice(), ship);
-        let (nrows, ncols, data) = self.gc.layer.shift(1, TAG_SHIFT, bundle).into_full();
-        Mat::from_vec(nrows, ncols, data)
+    /// The layer-ring shift pipeline all propagation rounds run
+    /// through: one position per step, tiles as [`Mat`] payloads
+    /// (self-describing shape, one word per entry — same modeled cost
+    /// as the raw buffer) or pattern-routed row bundles. Input-lane
+    /// tiles are posted *before* the step's compute so transfer and
+    /// compute overlap; the receiver zero-fills unshipped routed rows,
+    /// which downstream consumers never read — the forward sets are
+    /// unions of every remaining consumer's needs.
+    fn pipeline(&self) -> ShiftPipeline<'_> {
+        ShiftPipeline::new(&self.gc.layer, 1, TAG_SHIFT)
     }
 
     /// The forward set for an **input** tile of origin `o` leaving after
@@ -305,12 +298,15 @@ impl DenseShift15 {
         route: Option<&CommPattern>,
     ) -> Vec<Vec<f64>> {
         let q = self.q();
+        let pipe = self.pipeline();
         let mut acc: Vec<Vec<f64>> = blocks.iter().map(|b| vec![0.0; b.nnz()]).collect();
         let mut y = y0.clone();
         for t in 0..q {
             let w = self.slot(t);
             let blk = &blocks[w];
             debug_assert_eq!(blk.ncols(), y.nrows(), "block/panel misalignment");
+            let ship = route.map(|pat| self.forward_input(pat, w, t));
+            let fly = pipe.begin_mat(&y, ship.as_ref());
             self.gc
                 .layer
                 .compute(kern::sddmm_flops(blk.nnz(), t_buf.ncols()), || {
@@ -318,10 +314,7 @@ impl DenseShift15 {
                         .sddmm
                         .sddmm_csr(&mut acc[w], blk, t_buf, &y, combine)
                 });
-            y = match route {
-                None => self.shift_block(y),
-                Some(pat) => self.shift_block_routed(&y, &self.forward_input(pat, w, t)),
-            };
+            y = fly.wait();
         }
         acc
     }
@@ -336,6 +329,7 @@ impl DenseShift15 {
         route: Option<&CommPattern>,
     ) -> Mat {
         let q = self.q();
+        let pipe = self.pipeline();
         let r = y0.ncols();
         let mut t_buf = Mat::zeros(blocks[0].nrows(), r);
         let mut y = y0.clone();
@@ -343,13 +337,12 @@ impl DenseShift15 {
             let w = self.slot(t);
             let mut blk = blocks[w].clone();
             blk.set_vals(vals[w].clone());
+            let ship = route.map(|pat| self.forward_input(pat, w, t));
+            let fly = pipe.begin_mat(&y, ship.as_ref());
             self.gc.layer.compute(kern::spmm_flops(blk.nnz(), r), || {
                 self.local.spmm.spmm_csr(&mut t_buf, &blk, &y)
             });
-            y = match route {
-                None => self.shift_block(y),
-                Some(pat) => self.shift_block_routed(&y, &self.forward_input(pat, w, t)),
-            };
+            y = fly.wait();
         }
         t_buf
     }
@@ -367,6 +360,7 @@ impl DenseShift15 {
         route: Option<&CommPattern>,
     ) -> Mat {
         let q = self.q();
+        let pipe = self.pipeline();
         let r = t_buf.ncols();
         let mut out = Mat::zeros(my_out_rows, r);
         for t in 0..q {
@@ -377,10 +371,11 @@ impl DenseShift15 {
             self.gc.layer.compute(kern::spmm_flops(blk.nnz(), r), || {
                 self.local.spmm_t.spmm_csr_t(&mut out, &blk, t_buf)
             });
-            out = match route {
-                None => self.shift_block(out),
-                Some(pat) => self.shift_block_routed(&out, &self.forward_acc(pat, w, t)),
-            };
+            // Accumulator lane: the block is not final until the local
+            // kernel has added its contribution, so the exchange cannot
+            // be posted early.
+            let ship = route.map(|pat| self.forward_acc(pat, w, t));
+            out = pipe.exchange_mat(out, ship.as_ref());
         }
         out
     }
@@ -389,6 +384,7 @@ impl DenseShift15 {
     /// the local fused SDDMM+SpMM per step.
     fn fused_round(&self, blocks: &[CsrMatrix], t_in: &Mat, y0: &Mat, sampling: Sampling) -> Mat {
         let q = self.q();
+        let pipe = self.pipeline();
         let r = y0.ncols();
         let mut t_out = Mat::zeros(t_in.nrows(), r);
         let mut y = y0.clone();
@@ -402,10 +398,11 @@ impl DenseShift15 {
                     b
                 }
             };
+            let fly = pipe.begin_mat(&y, None);
             self.gc.layer.compute(kern::fused_flops(blk.nnz(), r), || {
                 self.local.fused.fused_csr(&mut t_out, &blk, t_in, &y)
             });
-            y = self.shift_block(y);
+            y = fly.wait();
         }
         t_out
     }

@@ -81,7 +81,10 @@ pub mod theory;
 pub mod wire;
 pub mod worker;
 
-pub use common::{AlgorithmFamily, Elision, ProblemDims, Routing, Sampling};
+pub use common::{
+    AlgorithmFamily, Elision, InFlight, MatInFlight, ProblemDims, Routing, Sampling, ShiftMode,
+    ShiftModeGuard, ShiftPipeline, SHIFT_MODE_ENV_VAR,
+};
 pub use global::GlobalProblem;
 pub use kernel::{CombineSpec, DistKernel, KernelBuilder, KernelId, KernelPlan};
 pub use session::{ReplanEvent, ReplanPolicy, Session, SessionBuilder};

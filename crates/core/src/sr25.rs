@@ -27,12 +27,12 @@
 //! No communication elision applies: there is no dense replication to
 //! reuse and rows are sliced, so FusedMM is always two rounds.
 
-use dsk_comm::{Comm, CommPattern, Grid25, GridComms25, Phase, RowBundle, RowSet};
+use dsk_comm::{Comm, CommPattern, Grid25, GridComms25, Phase, RowSet};
 use dsk_dense::Mat;
 use dsk_kernels as kern;
 use dsk_sparse::{CooMatrix, CsrMatrix};
 
-use crate::common::{block_range, AlgorithmFamily, Elision, ProblemDims, Sampling};
+use crate::common::{block_range, AlgorithmFamily, Elision, ProblemDims, Sampling, ShiftPipeline};
 use crate::global::GlobalProblem;
 use crate::kernel::{CombineSpec, DistKernel, KernelId};
 use crate::layout::DenseLayout;
@@ -233,47 +233,28 @@ impl SparseRepl25 {
         full
     }
 
-    /// Shift an `A`-side panel one step backward along the row ring.
-    /// Panels travel as [`Mat`] payloads, so the incoming slice width —
-    /// slices differ by one column when `q·c ∤ r` — arrives with the
-    /// data; `next_width` is the schedule's expectation, kept as a
-    /// cross-check.
-    fn shift_a(&self, a: Mat, next_width: usize) -> Mat {
-        let _ph = self.gc.row_ring.phase(Phase::Propagation);
+    /// Row-ring pipeline for `A`-side panels (one step backward per
+    /// hop). Panels travel as [`Mat`] payloads or routed row bundles,
+    /// so the incoming slice width — slices differ by one column when
+    /// `q·c ∤ r` — arrives with the data; callers cross-check it via
+    /// [`SparseRepl25::check_panel`].
+    fn a_pipeline(&self) -> ShiftPipeline<'_> {
         let q = self.gc.row_ring.size();
-        let got = self.gc.row_ring.shift(q - 1, TAG_A, a);
+        ShiftPipeline::new(&self.gc.row_ring, q - 1, TAG_A)
+    }
+
+    /// Column-ring pipeline for `B`-side panels (see
+    /// [`SparseRepl25::a_pipeline`]).
+    fn b_pipeline(&self) -> ShiftPipeline<'_> {
+        let q = self.gc.col_ring.size();
+        ShiftPipeline::new(&self.gc.col_ring, q - 1, TAG_B)
+    }
+
+    /// Schedule cross-check for an arriving panel: empty panels carry
+    /// no shape, all others must match the expected slice width.
+    fn check_panel(got: Mat, next_width: usize) -> Mat {
         debug_assert!(got.is_empty() || got.ncols() == next_width);
         got
-    }
-
-    /// Shift a `B`-side panel one step backward along the column ring
-    /// (see [`SparseRepl25::shift_a`] for `next_width`).
-    fn shift_b(&self, b: Mat, next_width: usize) -> Mat {
-        let _ph = self.gc.col_ring.phase(Phase::Propagation);
-        let q = self.gc.col_ring.size();
-        let got = self.gc.col_ring.shift(q - 1, TAG_B, b);
-        debug_assert!(got.is_empty() || got.ncols() == next_width);
-        got
-    }
-
-    /// Pattern-routed `A`-panel hop (see [`SparseRepl25::shift_a`]).
-    fn shift_a_routed(&self, a: &Mat, ship: &RowSet, next_width: usize) -> Mat {
-        let _ph = self.gc.row_ring.phase(Phase::Propagation);
-        let q = self.gc.row_ring.size();
-        let bundle = RowBundle::gather(a.nrows(), a.ncols(), a.as_slice(), ship);
-        let (nrows, ncols, data) = self.gc.row_ring.shift(q - 1, TAG_A, bundle).into_full();
-        debug_assert!(ncols == 0 || ncols == next_width);
-        Mat::from_vec(nrows, ncols, data)
-    }
-
-    /// Pattern-routed `B`-panel hop (see [`SparseRepl25::shift_b`]).
-    fn shift_b_routed(&self, b: &Mat, ship: &RowSet, next_width: usize) -> Mat {
-        let _ph = self.gc.col_ring.phase(Phase::Propagation);
-        let q = self.gc.col_ring.size();
-        let bundle = RowBundle::gather(b.nrows(), b.ncols(), b.as_slice(), ship);
-        let (nrows, ncols, data) = self.gc.col_ring.shift(q - 1, TAG_B, bundle).into_full();
-        debug_assert!(ncols == 0 || ncols == next_width);
-        Mat::from_vec(nrows, ncols, data)
     }
 
     /// Forward set for an **input** panel leaving after step `t` on the
@@ -316,9 +297,25 @@ impl SparseRepl25 {
         let mut acc = vec![0.0; self.s_pattern.nnz()];
         let mut a = self.a_home.clone();
         let mut b = self.b_home.clone();
+        let pipe_a = self.a_pipeline();
+        let pipe_b = self.b_pipeline();
         for t in 0..q {
             let slice = self.slice_at(t);
             debug_assert_eq!(a.ncols(), slice.len(), "panel slice misalignment");
+            // Both panels are input lanes: post both hops before the
+            // combine so the two ring transfers overlap it (and each
+            // other).
+            let next = self.slice_at(t + 1).len();
+            let ship_a = self
+                .route_a
+                .as_ref()
+                .map(|pat| self.forward_input_on(pat, self.gc.u, t));
+            let ship_b = self
+                .route_b
+                .as_ref()
+                .map(|pat| self.forward_input_on(pat, self.gc.v, t));
+            let fly_a = pipe_a.begin_mat(&a, ship_a.as_ref());
+            let fly_b = pipe_b.begin_mat(&b, ship_b.as_ref());
             let com = combine.for_slice(slice.clone());
             self.gc
                 .row_ring
@@ -327,19 +324,8 @@ impl SparseRepl25 {
                         .sddmm
                         .sddmm_csr(&mut acc, &self.s_pattern, &a, &b, com)
                 });
-            let next = self.slice_at(t + 1).len();
-            a = match &self.route_a {
-                None => self.shift_a(a, next),
-                Some(pat) => {
-                    self.shift_a_routed(&a, &self.forward_input_on(pat, self.gc.u, t), next)
-                }
-            };
-            b = match &self.route_b {
-                None => self.shift_b(b, next),
-                Some(pat) => {
-                    self.shift_b_routed(&b, &self.forward_input_on(pat, self.gc.v, t), next)
-                }
-            };
+            a = Self::check_panel(fly_a.wait(), next);
+            b = Self::check_panel(fly_b.wait(), next);
         }
         acc
     }
@@ -352,26 +338,29 @@ impl SparseRepl25 {
         s.set_vals(vals.to_vec());
         let mut out = Mat::zeros(self.a_home.nrows(), self.a_home.ncols());
         let mut b = b0.clone();
+        let pipe_a = self.a_pipeline();
+        let pipe_b = self.b_pipeline();
         for t in 0..q {
             debug_assert_eq!(out.ncols(), b.ncols(), "panel slice misalignment");
+            // `B` is an input lane (posted early); the `A`-shaped
+            // accumulator is written by the kernel and exchanges after.
+            let next = self.slice_at(t + 1).len();
+            let ship_b = self
+                .route_b
+                .as_ref()
+                .map(|pat| self.forward_input_on(pat, self.gc.v, t));
+            let fly_b = pipe_b.begin_mat(&b, ship_b.as_ref());
             self.gc
                 .row_ring
                 .compute(kern::spmm_flops(s.nnz(), b.ncols()), || {
                     self.local.spmm.spmm_csr(&mut out, &s, &b)
                 });
-            let next = self.slice_at(t + 1).len();
-            out = match &self.route_a {
-                None => self.shift_a(out, next),
-                Some(pat) => {
-                    self.shift_a_routed(&out, &self.forward_acc_on(pat, self.gc.u, t), next)
-                }
-            };
-            b = match &self.route_b {
-                None => self.shift_b(b, next),
-                Some(pat) => {
-                    self.shift_b_routed(&b, &self.forward_input_on(pat, self.gc.v, t), next)
-                }
-            };
+            let ship_a = self
+                .route_a
+                .as_ref()
+                .map(|pat| self.forward_acc_on(pat, self.gc.u, t));
+            out = Self::check_panel(pipe_a.exchange_mat(out, ship_a.as_ref()), next);
+            b = Self::check_panel(fly_b.wait(), next);
         }
         out
     }
@@ -384,26 +373,29 @@ impl SparseRepl25 {
         s.set_vals(vals.to_vec());
         let mut out = Mat::zeros(self.b_home.nrows(), self.b_home.ncols());
         let mut a = a0.clone();
+        let pipe_a = self.a_pipeline();
+        let pipe_b = self.b_pipeline();
         for t in 0..q {
             debug_assert_eq!(out.ncols(), a.ncols(), "panel slice misalignment");
+            // `A` is an input lane (posted early); the `B`-shaped
+            // accumulator is written by the kernel and exchanges after.
+            let next = self.slice_at(t + 1).len();
+            let ship_a = self
+                .route_a
+                .as_ref()
+                .map(|pat| self.forward_input_on(pat, self.gc.u, t));
+            let fly_a = pipe_a.begin_mat(&a, ship_a.as_ref());
             self.gc
                 .row_ring
                 .compute(kern::spmm_flops(s.nnz(), a.ncols()), || {
                     self.local.spmm_t.spmm_csr_t(&mut out, &s, &a)
                 });
-            let next = self.slice_at(t + 1).len();
-            out = match &self.route_b {
-                None => self.shift_b(out, next),
-                Some(pat) => {
-                    self.shift_b_routed(&out, &self.forward_acc_on(pat, self.gc.v, t), next)
-                }
-            };
-            a = match &self.route_a {
-                None => self.shift_a(a, next),
-                Some(pat) => {
-                    self.shift_a_routed(&a, &self.forward_input_on(pat, self.gc.u, t), next)
-                }
-            };
+            let ship_b = self
+                .route_b
+                .as_ref()
+                .map(|pat| self.forward_acc_on(pat, self.gc.v, t));
+            out = Self::check_panel(pipe_b.exchange_mat(out, ship_b.as_ref()), next);
+            a = Self::check_panel(fly_a.wait(), next);
         }
         out
     }

@@ -33,7 +33,7 @@ use dsk_dense::Mat;
 use dsk_kernels as kern;
 use dsk_sparse::CooMatrix;
 
-use crate::common::{block_range, AlgorithmFamily, Elision, ProblemDims, Sampling};
+use crate::common::{block_range, AlgorithmFamily, Elision, ProblemDims, Sampling, ShiftPipeline};
 use crate::global::GlobalProblem;
 use crate::kernel::{DistKernel, KernelId};
 use crate::layout::{repartition_dense, DenseLayout};
@@ -313,11 +313,12 @@ impl SparseShift15 {
         Mat::from_vec(total_rows, w, data)
     }
 
-    /// Shift a traveling COO block (3 words/nonzero) one step around the
-    /// layer ring.
-    fn shift_sparse(&self, blk: CooMatrix) -> CooMatrix {
-        let _ph = self.gc.layer.phase(Phase::Propagation);
-        self.gc.layer.shift(1, TAG_SPARSE, blk)
+    /// The layer-ring pipeline moving traveling COO blocks (3
+    /// words/nonzero) one step per round. Blocks whose values the local
+    /// kernel only reads are posted before the compute (input lane);
+    /// blocks accumulating per-step results exchange after it.
+    fn pipeline(&self) -> ShiftPipeline<'_> {
+        ShiftPipeline::new(&self.gc.layer, 1, TAG_SPARSE)
     }
 
     /// Home slot of the block held at step `t`.
@@ -338,6 +339,7 @@ impl SparseShift15 {
         combine: &CombineSpec,
     ) -> Vec<f64> {
         let q = self.q();
+        let pipe = self.pipeline();
         let mut blk = home.clone();
         blk.vals.fill(0.0);
         let slice = block_range(self.dims.r, q, self.gc.u);
@@ -355,7 +357,9 @@ impl SparseShift15 {
                         .sddmm_coo(&mut vals, &blk, x_full, &y_stat[w], com)
                 });
             blk.vals = vals;
-            blk = self.shift_sparse(blk);
+            // Accumulator lane: the values are not final until this
+            // step's combine has run, so the hop cannot be posted early.
+            blk = pipe.exchange(blk);
         }
         debug_assert_eq!(blk.nnz(), home.nnz(), "block failed to return home");
         blk.vals
@@ -378,14 +382,16 @@ impl SparseShift15 {
             .collect();
         let mut blk = home.clone();
         blk.vals = vals;
+        let pipe = self.pipeline();
         for t in 0..q {
             let w = self.slot(t);
+            let fly = pipe.begin(&blk);
             self.gc
                 .layer
                 .compute(kern::spmm_flops(blk.nnz(), slice_w), || {
                     self.local.spmm_t.spmm_coo_t(&mut outs[w], &blk, x_full)
                 });
-            blk = self.shift_sparse(blk);
+            blk = fly.wait();
         }
         Mat::vstack(&outs)
     }
@@ -575,14 +581,16 @@ impl SparseShift15 {
         let mut t_full = Mat::zeros(self.dims.m, slice.len());
         let mut blk = self.s_home.clone();
         blk.vals = self.r_vals.clone().expect("no R values");
+        let pipe = self.pipeline();
         for t in 0..q {
             let w = self.slot(t);
+            let fly = pipe.begin(&blk);
             self.gc
                 .layer
                 .compute(kern::spmm_flops(blk.nnz(), slice.len()), || {
                     self.local.spmm.spmm_coo(&mut t_full, &blk, &y_stat[w])
                 });
-            blk = self.shift_sparse(blk);
+            blk = fly.wait();
         }
         // Fiber reduce-scatter into the replicate layout rows.
         let _ph = self.gc.fiber.phase(Phase::Replication);

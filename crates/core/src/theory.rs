@@ -354,6 +354,33 @@ pub fn predicted_comp_time(model: &MachineModel, p: usize, dims: ProblemDims, nn
     model.gamma_s_per_flop * flops
 }
 
+/// The α-β model's overlap factor: predicted wall time of a pipelined
+/// execution as a fraction of the serial (blocking) one, mirroring
+/// `AggregateStats::modeled_total_overlapped_s` — under perfect
+/// propagation/computation overlap the total drops from `comm + comp`
+/// to `max(comm, comp)`, so the factor is
+/// `max(comm, comp) / (comm + comp)`, in `(1/2, 1]`. The word/message
+/// formulas themselves are unchanged: pipelining hides time, it never
+/// changes what travels. `None` when `alg` does not admit `routing`;
+/// `1.0` for a degenerate zero-cost point.
+pub fn predicted_overlap_factor(
+    model: &MachineModel,
+    alg: Algorithm,
+    routing: Routing,
+    p: usize,
+    c: usize,
+    dims: ProblemDims,
+    nnz: usize,
+) -> Option<f64> {
+    let comm = predicted_comm_time_for(model, alg, routing, p, c, dims, nnz)?;
+    let comp = predicted_comp_time(model, p, dims, nnz);
+    let total = comm + comp;
+    if total <= 0.0 {
+        return Some(1.0);
+    }
+    Some(comm.max(comp) / total)
+}
+
 /// Outcome of the best-algorithm prediction (Figure 6's "Predicted"
 /// panel).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -408,6 +435,20 @@ mod tests {
 
     fn dims(n: usize, r: usize) -> ProblemDims {
         ProblemDims::new(n, n, r)
+    }
+
+    #[test]
+    fn overlap_factor_is_bounded_and_degenerates_correctly() {
+        let d = dims(1 << 12, 64);
+        let nnz = d.n * 8;
+        let alg = Algorithm::new(DenseShift15, None);
+        let model = dsk_comm::MachineModel::cori_knl();
+        let f = predicted_overlap_factor(&model, alg, Routing::Dense, 64, 4, d, nnz).unwrap();
+        assert!(f > 0.5 && f <= 1.0, "overlap factor out of range: {f}");
+        // γ = 0 ⇒ nothing to hide behind ⇒ factor exactly 1.
+        let bw = dsk_comm::MachineModel::bandwidth_only();
+        let g = predicted_overlap_factor(&bw, alg, Routing::Dense, 64, 4, d, nnz).unwrap();
+        assert_eq!(g, 1.0);
     }
 
     #[test]

@@ -53,7 +53,9 @@ pub use dsk_sparse as sparse;
 /// ```
 pub mod prelude {
     pub use dsk_comm::{BackendKind, Comm, MachineModel, Phase, SimWorld};
-    pub use dsk_core::common::{AlgorithmFamily, Elision, ProblemDims, Routing, Sampling};
+    pub use dsk_core::common::{
+        AlgorithmFamily, Elision, ProblemDims, Routing, Sampling, ShiftMode,
+    };
     pub use dsk_core::global::GlobalProblem;
     pub use dsk_core::kernel::{
         CombineSpec, DistKernel, KernelBuilder, KernelId, KernelPlan, PlannedCandidate,

@@ -354,6 +354,114 @@ fn migration_round_trips_state_across_all_kernels_and_backends() {
     }
 }
 
+/// The PR's pipeline contract: pipelined and blocking shift execution
+/// must be indistinguishable to the byte — identical output bits on
+/// every rank and identical modeled counters — for every kernel, every
+/// conformance backend, and both routings. Only wall/stall clocks may
+/// differ: the pipeline changes *when* blocks move, never what arrives
+/// or what is charged.
+#[test]
+fn pipelined_and_blocking_shifts_agree_bitwise() {
+    use distributed_sparse_kernels::comm::RankStats;
+    use distributed_sparse_kernels::core::ShiftMode;
+
+    fn fingerprint(stats: &RankStats) -> Vec<(u64, u64, u64, u64, u64, u64, u64)> {
+        Phase::ALL
+            .iter()
+            .map(|&ph| {
+                let c = stats.phase(ph);
+                (
+                    c.msgs_sent,
+                    c.words_sent,
+                    c.msgs_recv,
+                    c.words_recv,
+                    c.wire_bytes_sent,
+                    c.flops,
+                    c.modeled_s.to_bits(),
+                )
+            })
+            .collect()
+    }
+
+    let prob = Arc::new(GlobalProblem::erdos_renyi(24, 22, 5, 3, 4007));
+    let staged = Arc::new(StagedProblem::new(Arc::clone(&prob)));
+    // The local-kernel tuner picks by wall clock, and a different
+    // variant reorders float summation — legitimate, but it would make
+    // this bit-level comparison flaky. Pin the variant so the only
+    // degree of freedom between the two runs is the shift mode.
+    staged
+        .local_tuning()
+        .set_pin(Some(distributed_sparse_kernels::kernels::LocalKernel::Naive));
+    let configs: Vec<(&'static str, Option<AlgorithmFamily>, Elision)> = vec![
+        (
+            "1.5D dense shift",
+            Some(AlgorithmFamily::DenseShift15),
+            Elision::LocalKernelFusion,
+        ),
+        (
+            "1.5D sparse shift",
+            Some(AlgorithmFamily::SparseShift15),
+            Elision::ReplicationReuse,
+        ),
+        (
+            "2.5D dense repl",
+            Some(AlgorithmFamily::DenseRepl25),
+            Elision::ReplicationReuse,
+        ),
+        (
+            "2.5D sparse repl",
+            Some(AlgorithmFamily::SparseRepl25),
+            Elision::None,
+        ),
+        ("1D baseline", None, Elision::None),
+    ];
+    for backend in BackendKind::conformance_with_env() {
+        for routing in [Routing::Dense, Routing::Pattern] {
+            for &(name, family, elision) in &configs {
+                if family.is_none() && routing == Routing::Pattern {
+                    // The baseline has no shift schedule to pattern-route.
+                    continue;
+                }
+                let run = |mode: ShiftMode| {
+                    let builder = match family {
+                        Some(f) => KernelBuilder::from_staged(&staged).family(f).replication(2),
+                        None => KernelBuilder::from_staged(&staged).baseline(),
+                    }
+                    .routing(routing);
+                    let world = SimWorld::new(P, MachineModel::bandwidth_only()).backend(backend);
+                    world.run(move |comm| {
+                        let _g = ShiftMode::scoped(mode);
+                        let mut worker = builder.build(comm);
+                        let y = worker.fused_mm_b(None, elision, Sampling::Values);
+                        y.as_slice()
+                            .iter()
+                            .map(|v| v.to_bits())
+                            .collect::<Vec<u64>>()
+                    })
+                };
+                let a = run(ShiftMode::Pipelined);
+                let b = run(ShiftMode::Blocking);
+                for (oa, ob) in a.iter().zip(&b) {
+                    assert_eq!(
+                        oa.value,
+                        ob.value,
+                        "{name} ({}) on {}: output bits diverged between shift modes",
+                        routing.label(),
+                        backend.label()
+                    );
+                    assert_eq!(
+                        fingerprint(&oa.stats),
+                        fingerprint(&ob.stats),
+                        "{name} ({}) on {}: modeled counters diverged between shift modes",
+                        routing.label(),
+                        backend.label()
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// The declared elision support must match what `fused_mm_b` accepts.
 #[test]
 fn supports_reflects_fused_behavior() {
