@@ -56,8 +56,13 @@ impl AppEngine {
     }
 
     fn dot_comms(session: &Session) -> (Comm, Comm) {
-        let k = session.worker().kernel();
         let comm = session.comm();
+        if !session.is_active() {
+            // Spare ranks hold no iterate rows; their row-sharing
+            // groups are trivial (and rebuilt on re-activation).
+            return (comm.dup(), comm.dup());
+        }
+        let k = session.worker().kernel();
         (
             comm.split_by(|g| k.row_group_a(g)),
             comm.split_by(|g| k.row_group_b(g)),
@@ -93,6 +98,19 @@ impl AppEngine {
             self.dots_b = dots_b;
         }
         event
+    }
+
+    /// Resize the wrapped session onto `p_new` active ranks
+    /// ([`Session::resize`]; collective over the session's *world*
+    /// communicator) and rebuild the engine's row-sharing reduction
+    /// groups for the new plan and roster. Returns the plan now in
+    /// force.
+    pub fn resize(&mut self, p_new: usize) -> dsk_core::kernel::KernelPlan {
+        let plan = self.session.resize(p_new);
+        let (dots_a, dots_b) = Self::dot_comms(&self.session);
+        self.dots_a = dots_a;
+        self.dots_b = dots_b;
+        plan
     }
 
     /// The stored `A` operand in the iterate layout.

@@ -103,6 +103,14 @@ pub trait CommBackend: Send + Sync {
     fn frame_overhead(&self) -> u64 {
         0
     }
+
+    /// Transport-failure hook: mark the backend failed so every blocked
+    /// and future receive panics with `msg` immediately instead of
+    /// waiting out the watchdog. The elastic epoch runner
+    /// ([`SimWorld::try_run`](crate::SimWorld::try_run)) uses this to
+    /// fail survivors fast when a rank dies mid-epoch; backends without
+    /// a shared mailbox may ignore it.
+    fn poison(&self, _msg: &str) {}
 }
 
 /// The typed zero-copy in-process backend (the default).
@@ -150,6 +158,10 @@ impl CommBackend for InProcBackend {
 
     fn pending_messages(&self) -> usize {
         self.mailbox.pending_messages()
+    }
+
+    fn poison(&self, msg: &str) {
+        self.mailbox.poison(msg.to_string());
     }
 }
 
@@ -253,6 +265,10 @@ impl CommBackend for WireBackend {
 
     fn pending_messages(&self) -> usize {
         self.mailbox.pending_messages()
+    }
+
+    fn poison(&self, msg: &str) {
+        self.mailbox.poison(msg.to_string());
     }
 }
 

@@ -65,6 +65,15 @@ pub enum FrameKind {
     /// A rank's failure report (panic message / drain failure), routed
     /// to rank 0 so the launcher re-panics with the root cause.
     Error = 5,
+    /// The coordinator's reply to a `Hello`: the membership of the
+    /// epoch that is opening (see [`crate::rendezvous::Roster`]). An
+    /// epoch may open with a different roster than the last — that is
+    /// the elastic join/leave mechanism.
+    Roster = 6,
+    /// The coordinator's verdict that the current epoch failed: payload
+    /// names the dead pool ids. Survivors abandon the epoch and
+    /// re-rendezvous; the pool itself stays alive.
+    Abort = 7,
 }
 
 impl FrameKind {
@@ -76,6 +85,8 @@ impl FrameKind {
             3 => Some(FrameKind::Outcome),
             4 => Some(FrameKind::OutcomeSet),
             5 => Some(FrameKind::Error),
+            6 => Some(FrameKind::Roster),
+            7 => Some(FrameKind::Abort),
             _ => None,
         }
     }
@@ -294,10 +305,14 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> std::io::Result<usize> 
 }
 
 /// The rendezvous handshake payload carried by a [`FrameKind::Hello`]
-/// frame: who is connecting, to which world, at which epoch.
+/// frame: who is connecting, to which world, at which epoch — and
+/// whether the two processes can talk at all (protocol version,
+/// endianness, capabilities; validated by
+/// [`crate::rendezvous::validate_peer`], which rejects mismatches with
+/// a typed, actionable [`crate::rendezvous::HandshakeError`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Hello {
-    /// The connecting process's rank.
+    /// The connecting process's rank (pool id during rendezvous).
     pub rank: u32,
     /// World size the sender expects for this epoch (its own view of
     /// the SPMD program — a mismatch means the processes diverged).
@@ -308,24 +323,41 @@ pub struct Hello {
     /// True for a pool process that is not a member of this world and
     /// only awaits the outcome broadcast.
     pub observer: bool,
+    /// The sender's wire-protocol version
+    /// ([`crate::rendezvous::PROTOCOL_VERSION`]).
+    pub proto_version: u32,
+    /// The sender's native byte order: [`crate::rendezvous::ENDIAN_LE`]
+    /// or [`crate::rendezvous::ENDIAN_BE`]. All frame fields are
+    /// little-endian on the wire, so a big-endian peer must byte-swap —
+    /// this field proves it knows to.
+    pub endian: u8,
+    /// Capability bits ([`crate::rendezvous::CAPS_REQUIRED`] must all
+    /// be set).
+    pub caps: u32,
 }
+
+/// Serialized [`Hello`] payload size in bytes.
+pub const HELLO_PAYLOAD_LEN: usize = 26;
 
 impl Hello {
     /// Serialize as a Hello frame payload.
     pub fn to_payload(self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(17);
+        let mut buf = Vec::with_capacity(HELLO_PAYLOAD_LEN);
         buf.extend_from_slice(&self.rank.to_le_bytes());
         buf.extend_from_slice(&self.world_size.to_le_bytes());
         buf.extend_from_slice(&self.epoch.to_le_bytes());
         buf.push(u8::from(self.observer));
+        buf.extend_from_slice(&self.proto_version.to_le_bytes());
+        buf.push(self.endian);
+        buf.extend_from_slice(&self.caps.to_le_bytes());
         buf
     }
 
     /// Parse a Hello frame payload.
     pub fn from_payload(bytes: &[u8]) -> Result<Hello, DecodeError> {
-        if bytes.len() != 17 {
+        if bytes.len() != HELLO_PAYLOAD_LEN {
             return Err(DecodeError::Truncated {
-                missing: 17usize.saturating_sub(bytes.len()),
+                missing: HELLO_PAYLOAD_LEN.saturating_sub(bytes.len()),
             });
         }
         Ok(Hello {
@@ -333,6 +365,9 @@ impl Hello {
             world_size: u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
             epoch: u64::from_le_bytes(bytes[8..16].try_into().unwrap()),
             observer: bytes[16] != 0,
+            proto_version: u32::from_le_bytes(bytes[17..21].try_into().unwrap()),
+            endian: bytes[21],
+            caps: u32::from_le_bytes(bytes[22..26].try_into().unwrap()),
         })
     }
 }
@@ -358,6 +393,8 @@ mod tests {
             FrameKind::Outcome,
             FrameKind::OutcomeSet,
             FrameKind::Error,
+            FrameKind::Roster,
+            FrameKind::Abort,
         ] {
             let f = Frame::control(kind, 7, b"payload".to_vec());
             let back = read_frame(&mut f.to_bytes().as_slice()).unwrap().unwrap();
@@ -424,8 +461,17 @@ mod tests {
             world_size: 8,
             epoch: 12,
             observer: true,
+            proto_version: 3,
+            endian: 1,
+            caps: 0b101,
         };
-        assert_eq!(Hello::from_payload(&h.to_payload()).unwrap(), h);
+        let p = h.to_payload();
+        assert_eq!(p.len(), HELLO_PAYLOAD_LEN);
+        assert_eq!(Hello::from_payload(&p).unwrap(), h);
         assert!(Hello::from_payload(&[1, 2, 3]).is_err());
+        assert!(
+            Hello::from_payload(&p[..17]).is_err(),
+            "pre-PR-9 short Hello"
+        );
     }
 }

@@ -21,12 +21,15 @@
 //! * a child joins live epochs at `DSK_SPAWN_EPOCH` and replays any
 //!   earlier socket epochs on the in-process backend (word accounting
 //!   is backend-invariant, so the replay reproduces the same values);
-//! * at each epoch the processes rendezvous — every member binds a
-//!   listener (`<base>/r<rank>.sock`, or TCP ports from
-//!   `DSK_SOCKET_ADDR`), connects to all lower ranks, and validates a
-//!   [`Hello`] (rank, world size, epoch) on every connection, so
-//!   diverged or stale processes fail loudly instead of corrupting the
-//!   mesh;
+//! * at each epoch the processes **rendezvous** with the coordinator
+//!   and receive the epoch's [`Roster`] — see [`crate::rendezvous`]
+//!   for the handshake (protocol-version / endianness / capability
+//!   validation with typed rejections) and the roster rules;
+//! * members mesh up pairwise (every member binds a listener at
+//!   `<base>/r<pool_id>.sock`, or TCP ports from `DSK_SOCKET_ADDR`,
+//!   and dials every lower world rank), validating a [`Hello`] (world
+//!   rank, world size, epoch) on every connection, so diverged or
+//!   stale processes fail loudly instead of corrupting the mesh;
 //! * after the closure, ranks run the drain protocol (`Bye` to every
 //!   peer, wait for every peer's `Bye`, then assert an empty mailbox),
 //!   members send their encoded value + [`RankStats`] to rank 0, and
@@ -35,9 +38,30 @@
 //!   lockstep for the next epoch. This is why socket worlds require
 //!   `T: WirePayload`: results genuinely cross process boundaries.
 //!
-//! Pool processes whose rank is not a member of the current world
-//! (worlds may shrink between epochs) join as *observers*: they skip
-//! the closure and only await the outcome broadcast.
+//! Pool processes whose pool id is not on the current roster (worlds
+//! may shrink between epochs) join as *observers*: they skip the
+//! closure and only await the outcome broadcast.
+//!
+//! # Elastic epochs and the dead set
+//!
+//! [`SimWorld::try_run`] runs an **elastic** epoch: a rank dying
+//! mid-epoch aborts the epoch instead of killing the pool. The
+//! coordinator collects a verdict from every member (an `Outcome`, an
+//! `Error`, or the member's process exit), broadcasts an `Abort` frame
+//! naming the dead **pool ids**, and every surviving process returns
+//! the identical [`EpochError`]. Each process keeps a thread-local
+//! *dead set* of pool ids, updated from `Abort` payloads (the
+//! coordinator from `try_wait` verdicts) — so the next epoch's roster,
+//! a pure function of the dead set ([`crate::rendezvous::roster_for`]),
+//! is computed identically everywhere without negotiation.
+//!
+//! Two hard limitations are enforced rather than half-supported: the
+//! coordinator itself (pool id 0 = world rank 0) is not expendable —
+//! its death kills the pool; and the pool cannot **grow** after a
+//! death, because a freshly spawned worker would have to replay the
+//! failed epoch in-process, which is not reproducible (a worker that
+//! died via `process::exit` would kill the replayer). Restart the
+//! program to rebuild a full pool.
 //!
 //! # Failure containment
 //!
@@ -45,15 +69,18 @@
 //! exits non-zero; the launcher re-panics as `rank N panicked: …`,
 //! matching the in-process backend's diagnostics. A child that dies
 //! silently triggers mailbox poison at every peer (milliseconds, not
-//! the 300 s watchdog). If the launcher itself fails mid-epoch, an
-//! epoch guard kills the whole pool before the panic propagates — no
-//! orphaned processes — and children additionally poll their parent pid
-//! while waiting. On success, children simply finish their copy of the
-//! program and exit 0; a reaper thread collects them.
+//! the 300 s watchdog). If the launcher itself fails mid-epoch (outside
+//! `try_run`), an epoch guard kills the whole pool before the panic
+//! propagates — no orphaned processes — and children additionally poll
+//! their parent pid while waiting. On success, children simply finish
+//! their copy of the program and exit 0; a reaper thread collects them.
 //!
 //! [`Hello`]: crate::frame::Hello
+//! [`Roster`]: crate::rendezvous::Roster
+//! [`EpochError`]: crate::world::EpochError
 
 use std::cell::{Cell, RefCell};
+use std::collections::BTreeSet;
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
@@ -65,9 +92,12 @@ use crate::backend::CommBackend;
 use crate::comm::{Comm, RankShared};
 use crate::frame::{read_frame, write_frame, Frame, FrameKind, Hello};
 use crate::payload::{WirePayload, WireReader};
-use crate::socket::{connect_deadline, Endpoint, SocketBackend, SocketListener, SocketStream};
+use crate::rendezvous::{self, Roster};
+use crate::socket::{
+    connect_deadline, Endpoint, EpochVerdict, SocketBackend, SocketListener, SocketStream,
+};
 use crate::stats::RankStats;
-use crate::world::{RankOutcome, SimWorld};
+use crate::world::{EpochError, RankOutcome, SimWorld};
 use crate::BackendKind;
 
 /// Rank of a spawned worker process.
@@ -166,13 +196,18 @@ fn endpoint_for(base: &str, rank: usize) -> Endpoint {
 }
 
 // ---------------------------------------------------------------------
-// Per-thread epoch counter and pools
+// Per-thread epoch counter, dead set, and pools
 // ---------------------------------------------------------------------
 
 thread_local! {
     static EPOCH: Cell<u64> = const { Cell::new(0) };
     static POOL: RefCell<Option<Pool>> = const { RefCell::new(None) };
     static CHILD_LISTENER: RefCell<Option<SocketListener>> = const { RefCell::new(None) };
+    /// Pool ids that died in an aborted elastic epoch. Maintained
+    /// identically in every process (the coordinator from `try_wait`
+    /// verdicts, workers and observers from `Abort` payloads), so the
+    /// roster stays a pure function of replicated state.
+    static DEAD_POOL_IDS: RefCell<BTreeSet<usize>> = const { RefCell::new(BTreeSet::new()) };
 }
 
 fn next_epoch() -> u64 {
@@ -183,9 +218,30 @@ fn next_epoch() -> u64 {
     })
 }
 
+fn dead_ids() -> BTreeSet<usize> {
+    DEAD_POOL_IDS.with(|d| d.borrow().clone())
+}
+
+fn mark_dead(ids: impl IntoIterator<Item = usize>) {
+    DEAD_POOL_IDS.with(|d| d.borrow_mut().extend(ids));
+}
+
+fn clear_dead() {
+    DEAD_POOL_IDS.with(|d| d.borrow_mut().clear());
+}
+
+/// The world rank a live pool id serves, given the dead set: its index
+/// among live pool ids. `None` when it falls beyond the roster
+/// (observer).
+fn world_rank_of(pool_id: usize, dead: &BTreeSet<usize>, n: usize) -> Option<usize> {
+    let pos = pool_id - dead.iter().filter(|&&d| d < pool_id).count();
+    (pos < n).then_some(pos)
+}
+
 struct Pool {
-    /// Children indexed by rank-1.
-    children: Vec<Child>,
+    /// Live children as `(pool id, process)`, pool ids ascending.
+    /// Pool id 0 is the launcher itself and never appears here.
+    children: Vec<(usize, Child)>,
     /// Rank 0's persistent rendezvous listener.
     listener: SocketListener,
     base: String,
@@ -197,7 +253,7 @@ struct Pool {
 impl Pool {
     fn kill_all(&mut self) {
         self.dead = true;
-        for c in &mut self.children {
+        for (_, c) in &mut self.children {
             let _ = c.kill();
             let _ = c.wait();
         }
@@ -220,7 +276,7 @@ impl Drop for Pool {
         let _ = std::thread::Builder::new()
             .name("dsk-pool-reaper".to_string())
             .spawn(move || {
-                for mut c in children {
+                for (_, mut c) in children {
                     let _ = c.wait();
                 }
                 if let Some(dir) = tmp {
@@ -231,7 +287,8 @@ impl Drop for Pool {
 }
 
 /// Kills the pool if an epoch unwinds before completing, so a failing
-/// test never leaves worker processes behind.
+/// test never leaves worker processes behind. Elastic epochs disarm it
+/// on a *handled* abort — the pool survives a rank death.
 struct EpochGuard<'a, 'b> {
     pool: &'a mut std::cell::RefMut<'b, Option<Pool>>,
     armed: bool,
@@ -361,7 +418,22 @@ fn read_hello(stream: &mut SocketStream, deadline: Instant) -> Result<Hello, Str
     Hello::from_payload(&frame.payload).map_err(|e| format!("bad Hello payload: {e}"))
 }
 
+fn read_roster(stream: &mut SocketStream, deadline: Instant) -> Result<Roster, String> {
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    stream
+        .set_read_timeout(Some(remaining.max(Duration::from_millis(10))))
+        .map_err(|e| format!("setting handshake timeout: {e}"))?;
+    let frame = read_frame(stream)
+        .map_err(|e| format!("reading Roster: {e}"))?
+        .ok_or_else(|| "coordinator closed during handshake".to_string())?;
+    if frame.kind != FrameKind::Roster {
+        return Err(format!("expected Roster, got {:?}", frame.kind));
+    }
+    Roster::from_payload(&frame.payload).map_err(|e| format!("bad Roster payload: {e}"))
+}
+
 fn validate_hello(hello: &Hello, epoch: u64, n: usize) -> Result<(), String> {
+    rendezvous::validate_peer(hello).map_err(|e| e.to_string())?;
     if hello.epoch != epoch {
         return Err(format!(
             "rank {} is at epoch {}, this world is epoch {epoch} — \
@@ -379,8 +451,35 @@ fn validate_hello(hello: &Hello, epoch: u64, n: usize) -> Result<(), String> {
     Ok(())
 }
 
+/// Decode an `Abort` payload into the shared [`EpochError`], updating
+/// the local dead set. Every surviving process derives the identical
+/// error from the identical payload — the dead set stays replicated
+/// SPMD state.
+fn epoch_error_from_abort(payload: &[u8], roster: &Roster) -> EpochError {
+    let abort =
+        Roster::from_payload(payload).unwrap_or_else(|e| panic!("undecodable Abort payload: {e}"));
+    let dead_pool: Vec<usize> = abort.members.iter().map(|&m| m as usize).collect();
+    mark_dead(dead_pool.iter().copied());
+    // Dead pool ids → world ranks of the aborted epoch (observers that
+    // died have no world rank and appear only in the dead set).
+    let dead: Vec<usize> = dead_pool
+        .iter()
+        .filter_map(|d| roster.members.iter().position(|&m| m as usize == *d))
+        .collect();
+    let detail = if dead_pool.is_empty() {
+        "a rank failed without dying (see its stderr for the panic)".to_string()
+    } else {
+        format!("pool process(es) {dead_pool:?} died mid-epoch")
+    };
+    EpochError {
+        epoch: abort.epoch,
+        dead,
+        detail,
+    }
+}
+
 // ---------------------------------------------------------------------
-// Entry point
+// Entry points
 // ---------------------------------------------------------------------
 
 /// Run one socket-backed world. Called by [`SimWorld::run`] whenever
@@ -397,23 +496,57 @@ where
         Role::Launcher => run_as_launcher(world, f, epoch),
         Role::Child(info) => {
             let info = info.clone();
-            let on_my_thread = match (&info.test_name, current_test_name()) {
-                (Some(want), Some(have)) => *want == have,
-                (Some(_), None) => false,
-                (None, have) => have.is_none(),
-            };
-            if !on_my_thread || epoch < info.spawn_epoch {
+            if !on_live_thread(&info, epoch) {
                 // Replay: not this worker's live epoch. The in-process
                 // backend reproduces the same values and word counts.
                 return run_inproc_replay(world, f);
             }
-            if info.rank >= world.nranks() {
-                run_as_observer::<T>(world, epoch, &info)
-            } else {
-                run_as_member(world, f, epoch, &info)
+            match world_rank_of(info.rank, &dead_ids(), world.nranks()) {
+                None => run_as_observer::<T>(world, epoch, &info),
+                Some(_) => run_as_member(world, f, epoch, &info),
             }
         }
     }
+}
+
+/// Run one **elastic** socket-backed world ([`SimWorld::try_run`]): a
+/// rank death aborts the epoch with an [`EpochError`] on every
+/// survivor instead of killing the pool.
+pub(crate) fn try_run_socket_world<T>(
+    world: &SimWorld,
+    f: &(dyn Fn(&mut Comm) -> T + Sync),
+) -> Result<Vec<RankOutcome<T>>, EpochError>
+where
+    T: WirePayload,
+{
+    let epoch = next_epoch();
+    match role() {
+        Role::Launcher => try_run_as_launcher(world, f, epoch),
+        Role::Child(info) => {
+            let info = info.clone();
+            if !on_live_thread(&info, epoch) {
+                // Replay reproduces the Ok/Err control flow and the
+                // dead world ranks; the textual detail may differ.
+                return SimWorld::new(world.nranks(), *world.model())
+                    .with_recv_timeout(world.recv_timeout_raw())
+                    .backend(BackendKind::InProc)
+                    .try_run(|c| f(c));
+            }
+            match world_rank_of(info.rank, &dead_ids(), world.nranks()) {
+                None => try_run_as_observer::<T>(world, epoch, &info),
+                Some(_) => try_run_as_member(world, f, epoch, &info),
+            }
+        }
+    }
+}
+
+fn on_live_thread(info: &ChildInfo, epoch: u64) -> bool {
+    let on_my_thread = match (&info.test_name, current_test_name()) {
+        (Some(want), Some(have)) => *want == have,
+        (Some(_), None) => false,
+        (None, have) => have.is_none(),
+    };
+    on_my_thread && epoch >= info.spawn_epoch
 }
 
 fn run_inproc_replay<T>(
@@ -441,6 +574,138 @@ fn panic_text(p: &(dyn std::any::Any + Send)) -> String {
         .to_string()
 }
 
+/// Build or grow the pool for an epoch of `n` ranks. Returns `false`
+/// when no pool exists (single-rank world: peerless backend).
+fn ensure_pool(pool_slot: &mut Option<Pool>, n: usize, epoch: u64) -> bool {
+    let need_fresh = pool_slot.as_ref().is_none_or(|p| p.dead);
+    if need_fresh && n > 1 {
+        *pool_slot = None; // drop (and reap) any dead pool first
+        clear_dead(); // a fresh pool starts with a clean slate
+        static POOL_SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = POOL_SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("dsk-sock-{}-{seq}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create rendezvous dir");
+        let base = dir.to_str().expect("rendezvous dir is UTF-8").to_string();
+        let listener = SocketListener::bind(&endpoint_for(&base, 0)).expect("bind rank 0 listener");
+        let test_name = current_test_name();
+        let children = (1..n)
+            .map(|r| (r, spawn_child(r, epoch, &base, test_name.as_deref())))
+            .collect();
+        *pool_slot = Some(Pool {
+            children,
+            listener,
+            base,
+            tmp_dir: Some(dir),
+            dead: false,
+        });
+    } else if let Some(pool) = pool_slot.as_mut() {
+        // Grow the pool when a later world is wider: new workers replay
+        // earlier epochs in-process and join live here.
+        if pool.children.len() + 1 < n {
+            assert!(
+                dead_ids().is_empty(),
+                "cannot grow a socket world after a rank death: a fresh worker would have \
+                 to replay the aborted epoch in-process, which is not reproducible — \
+                 restart the program to rebuild a full pool"
+            );
+            let test_name = current_test_name();
+            while pool.children.len() + 1 < n {
+                let r = pool.children.last().map_or(1, |(id, _)| id + 1);
+                pool.children
+                    .push((r, spawn_child(r, epoch, &pool.base, test_name.as_deref())));
+            }
+        }
+    }
+    pool_slot.is_some()
+}
+
+/// The coordinator's half of the rendezvous: accept a Hello from every
+/// live pool worker, validate it (compatibility triple, epoch, world
+/// size, roster role), echo the epoch [`Roster`], and hand back the
+/// assembled member backend plus the observer streams (tagged with
+/// their pool ids). Any failure kills the pool and panics — rendezvous
+/// problems are never elastic.
+fn launcher_rendezvous(
+    pool: &mut Pool,
+    world: &SimWorld,
+    epoch: u64,
+    roster: &Roster,
+) -> (Arc<SocketBackend>, Vec<(usize, SocketStream)>) {
+    let n = world.nranks();
+    let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+    let live: BTreeSet<usize> = pool.children.iter().map(|(id, _)| *id).collect();
+    let roster_frame = Frame::control(FrameKind::Roster, 0, roster.to_payload());
+
+    let mut member_streams: Vec<Option<SocketStream>> = (0..n).map(|_| None).collect();
+    let mut observers: Vec<(usize, SocketStream)> = Vec::new();
+    let mut seen: BTreeSet<usize> = BTreeSet::new();
+    while seen.len() < pool.children.len() {
+        let slice = (Instant::now() + Duration::from_millis(200)).min(deadline);
+        match pool.listener.accept_deadline(slice) {
+            Ok(mut stream) => {
+                let hello = read_hello(&mut stream, deadline).unwrap_or_else(|e| {
+                    pool.kill_all();
+                    panic!("socket rendezvous failed: {e}");
+                });
+                let r = hello.rank as usize;
+                let world_rank = roster.members.iter().position(|&m| m as usize == r);
+                let valid = validate_hello(&hello, epoch, n).and_then(|()| {
+                    if r == 0 || !live.contains(&r) || seen.contains(&r) {
+                        Err(format!("unexpected Hello from rank {r}"))
+                    } else if hello.observer != world_rank.is_none() {
+                        Err(format!("rank {r} mis-classified itself"))
+                    } else {
+                        Ok(())
+                    }
+                });
+                if let Err(e) = valid {
+                    pool.kill_all();
+                    panic!("socket rendezvous failed: {e}");
+                }
+                // Echo the authoritative roster (the stream is idle:
+                // the worker reads it before doing anything else).
+                if let Err(e) = write_frame(&mut stream, &roster_frame) {
+                    pool.kill_all();
+                    panic!("socket rendezvous failed: sending Roster to rank {r}: {e}");
+                }
+                seen.insert(r);
+                match world_rank {
+                    Some(w) => member_streams[w] = Some(stream),
+                    None => observers.push((r, stream)),
+                }
+            }
+            Err(e) => {
+                // Timeout slice: check worker liveness, then the global
+                // deadline.
+                let early_exit = pool.children.iter_mut().find_map(|(id, c)| {
+                    if seen.contains(id) {
+                        return None;
+                    }
+                    match c.try_wait() {
+                        Ok(Some(status)) => Some((*id, status)),
+                        _ => None,
+                    }
+                });
+                if let Some((id, status)) = early_exit {
+                    pool.kill_all();
+                    panic!(
+                        "rank {id} exited during rendezvous ({status}) — \
+                         worker process failed before joining epoch {epoch}"
+                    );
+                }
+                if Instant::now() >= deadline {
+                    pool.kill_all();
+                    panic!("socket rendezvous failed: {e}");
+                }
+            }
+        }
+    }
+
+    let backend = SocketBackend::assemble(0, n, world.recv_timeout_raw(), member_streams)
+        .expect("assemble launcher socket backend");
+    (backend, observers)
+}
+
 fn run_as_launcher<T>(
     world: &SimWorld,
     f: &(dyn Fn(&mut Comm) -> T + Sync),
@@ -452,41 +717,7 @@ where
     let n = world.nranks();
     POOL.with(|pool_cell| {
         let mut pool_slot = pool_cell.borrow_mut();
-
-        // (Re)build or grow the worker pool for this epoch.
-        let need_fresh = pool_slot.as_ref().is_none_or(|p| p.dead);
-        if need_fresh && n > 1 {
-            *pool_slot = None; // drop (and reap) any dead pool first
-            static POOL_SEQ: AtomicU64 = AtomicU64::new(0);
-            let seq = POOL_SEQ.fetch_add(1, Ordering::Relaxed);
-            let dir = std::env::temp_dir().join(format!("dsk-sock-{}-{seq}", std::process::id()));
-            std::fs::create_dir_all(&dir).expect("create rendezvous dir");
-            let base = dir.to_str().expect("rendezvous dir is UTF-8").to_string();
-            let listener =
-                SocketListener::bind(&endpoint_for(&base, 0)).expect("bind rank 0 listener");
-            let test_name = current_test_name();
-            let children = (1..n)
-                .map(|r| spawn_child(r, epoch, &base, test_name.as_deref()))
-                .collect();
-            *pool_slot = Some(Pool {
-                children,
-                listener,
-                base,
-                tmp_dir: Some(dir),
-                dead: false,
-            });
-        } else if let Some(pool) = pool_slot.as_mut() {
-            // Grow the pool when a later world is wider: new workers
-            // replay earlier epochs in-process and join live here.
-            let test_name = current_test_name();
-            while pool.children.len() < n - 1 {
-                let r = pool.children.len() + 1;
-                pool.children
-                    .push(spawn_child(r, epoch, &pool.base, test_name.as_deref()));
-            }
-        }
-
-        if pool_slot.is_none() {
+        if !ensure_pool(&mut pool_slot, n, epoch) {
             // Single-rank world with no pool: a peerless socket backend.
             let backend = SocketBackend::assemble(0, 1, world.recv_timeout_raw(), vec![None])
                 .expect("assemble peerless socket backend");
@@ -498,73 +729,48 @@ where
             armed: true,
         };
         let pool = guard.pool.as_mut().unwrap();
-        let pool_size = pool.children.len();
-        let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
-
-        // Rendezvous: every pool worker (member or observer) connects
-        // to rank 0 and identifies itself.
-        let mut member_streams: Vec<Option<SocketStream>> = (0..n).map(|_| None).collect();
-        let mut observers: Vec<SocketStream> = Vec::new();
-        let mut seen = vec![false; pool_size + 1];
-        let mut accounted = 0usize;
-        while accounted < pool_size {
-            let slice = (Instant::now() + Duration::from_millis(200)).min(deadline);
-            match pool.listener.accept_deadline(slice) {
-                Ok(mut stream) => {
-                    let hello = read_hello(&mut stream, deadline).unwrap_or_else(|e| {
-                        pool.kill_all();
-                        panic!("socket rendezvous failed: {e}");
-                    });
-                    let r = hello.rank as usize;
-                    let valid = validate_hello(&hello, epoch, n).and_then(|()| {
-                        if r == 0 || r > pool_size || seen[r] {
-                            Err(format!("unexpected Hello from rank {r}"))
-                        } else if hello.observer != (r >= n) {
-                            Err(format!("rank {r} mis-classified itself"))
-                        } else {
-                            Ok(())
-                        }
-                    });
-                    if let Err(e) = valid {
-                        pool.kill_all();
-                        panic!("socket rendezvous failed: {e}");
-                    }
-                    seen[r] = true;
-                    accounted += 1;
-                    if r < n {
-                        member_streams[r] = Some(stream);
-                    } else {
-                        observers.push(stream);
-                    }
-                }
-                Err(e) => {
-                    // Timeout slice: check worker liveness, then the
-                    // global deadline.
-                    for (i, c) in pool.children.iter_mut().enumerate() {
-                        let r = i + 1;
-                        if !seen[r] {
-                            if let Ok(Some(status)) = c.try_wait() {
-                                pool.kill_all();
-                                panic!(
-                                    "rank {r} exited during rendezvous ({status}) — \
-                                     worker process failed before joining epoch {epoch}"
-                                );
-                            }
-                        }
-                    }
-                    if Instant::now() >= deadline {
-                        pool.kill_all();
-                        panic!("socket rendezvous failed: {e}");
-                    }
-                }
-            }
-        }
-
-        let backend = SocketBackend::assemble(0, n, world.recv_timeout_raw(), member_streams)
-            .expect("assemble launcher socket backend");
+        let mut live = vec![0usize];
+        live.extend(pool.children.iter().map(|(id, _)| *id));
+        let roster = rendezvous::roster_for(epoch, &live, n);
+        let (backend, observers) = launcher_rendezvous(pool, world, epoch, &roster);
         let outcomes = run_rank0_epoch(world, f, backend, observers);
         guard.armed = false;
         outcomes
+    })
+}
+
+fn try_run_as_launcher<T>(
+    world: &SimWorld,
+    f: &(dyn Fn(&mut Comm) -> T + Sync),
+    epoch: u64,
+) -> Result<Vec<RankOutcome<T>>, EpochError>
+where
+    T: WirePayload,
+{
+    let n = world.nranks();
+    POOL.with(|pool_cell| {
+        let mut pool_slot = pool_cell.borrow_mut();
+        if !ensure_pool(&mut pool_slot, n, epoch) {
+            // Single-rank world: the lone rank is the coordinator, whose
+            // death is fatal by contract — nothing elastic to do.
+            let backend = SocketBackend::assemble(0, 1, world.recv_timeout_raw(), vec![None])
+                .expect("assemble peerless socket backend");
+            return Ok(run_rank0_epoch(world, f, backend, Vec::new()));
+        }
+
+        let mut guard = EpochGuard {
+            pool: &mut pool_slot,
+            armed: true,
+        };
+        let pool = guard.pool.as_mut().unwrap();
+        let mut live = vec![0usize];
+        live.extend(pool.children.iter().map(|(id, _)| *id));
+        let roster = rendezvous::roster_for(epoch, &live, n);
+        let (backend, observers) = launcher_rendezvous(pool, world, epoch, &roster);
+        let result = rank0_epoch_elastic(world, f, backend, observers, pool, &roster);
+        // Both outcomes are *handled* — the pool survives an abort.
+        guard.armed = false;
+        result
     })
 }
 
@@ -575,7 +781,7 @@ fn run_rank0_epoch<T>(
     world: &SimWorld,
     f: &(dyn Fn(&mut Comm) -> T + Sync),
     backend: Arc<SocketBackend>,
-    mut observers: Vec<SocketStream>,
+    mut observers: Vec<(usize, SocketStream)>,
 ) -> Vec<RankOutcome<T>>
 where
     T: WirePayload,
@@ -643,7 +849,7 @@ where
             fail(format!("broadcasting outcomes to rank {r} failed: {e}"));
         }
     }
-    for obs in &mut observers {
+    for (_, obs) in &mut observers {
         if obs.write_all_shared(&set_frame_bytes).is_err() {
             fail("an observer process died before the outcome broadcast".to_string());
         }
@@ -668,6 +874,168 @@ where
     out
 }
 
+/// Rank 0's **elastic** epoch body: like [`run_rank0_epoch`], but any
+/// failure enters the abort protocol — collect a verdict from every
+/// member, broadcast the dead pool ids, shrink the pool, and return
+/// the shared [`EpochError`] — instead of killing the pool.
+fn rank0_epoch_elastic<T>(
+    world: &SimWorld,
+    f: &(dyn Fn(&mut Comm) -> T + Sync),
+    backend: Arc<SocketBackend>,
+    mut observers: Vec<(usize, SocketStream)>,
+    pool: &mut Pool,
+    roster: &Roster,
+) -> Result<Vec<RankOutcome<T>>, EpochError>
+where
+    T: WirePayload,
+{
+    let n = world.nranks();
+    let shared = RankShared::new();
+    let mut comm = Comm::world(
+        Arc::clone(&backend) as Arc<dyn CommBackend>,
+        *world.model(),
+        shared,
+        0,
+    );
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut comm)));
+    comm.finish();
+    let my_stats = comm.stats_snapshot();
+
+    let control_deadline = Instant::now() + world.recv_timeout_raw() + CONTROL_SLACK;
+    let mut failure: Option<String> = result.as_ref().err().map(|p| panic_text(&**p));
+    let mut member_outcomes: Vec<Vec<u8>> = Vec::new();
+    if failure.is_none() && n > 1 {
+        let drained = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            backend.bye_all();
+        }));
+        if let Err(p) = drained {
+            failure = Some(panic_text(&*p));
+        } else if let Err(e) = backend.wait_byes(control_deadline) {
+            failure = Some(e);
+        } else {
+            let leaked = backend.pending_messages();
+            if leaked > 0 {
+                failure = Some(format!(
+                    "{leaked} message(s) were sent but never received — protocol bug"
+                ));
+            } else {
+                match backend.wait_outcomes(control_deadline) {
+                    Ok(o) => member_outcomes = o,
+                    Err(e) => failure = Some(e),
+                }
+            }
+        }
+    }
+
+    let Some(root_cause) = failure else {
+        // Clean epoch: identical to the non-elastic broadcast.
+        let value = result.unwrap_or_else(|_| unreachable!());
+        let mut entries: Vec<(Vec<u8>, RankStats)> = Vec::with_capacity(n);
+        entries.push((value.to_wire(), my_stats.clone()));
+        for bytes in member_outcomes.into_iter().skip(1) {
+            entries.push(decode_outcome(&bytes));
+        }
+        let set_frame_bytes =
+            Frame::control(FrameKind::OutcomeSet, 0, encode_outcome_set(&entries)).to_bytes();
+        for r in 1..n {
+            if let Err(e) = backend.write_frame_bytes_sync(r, &set_frame_bytes) {
+                // A member died *after* reporting its outcome: some of
+                // its peers may already hold the broadcast, so an abort
+                // would split the survivors' control flow. Contain.
+                pool.kill_all();
+                panic!("broadcasting outcomes to rank {r} failed: {e}");
+            }
+        }
+        for (_, obs) in &mut observers {
+            // A dead observer cannot split the members' control flow;
+            // its exit is caught at the next rendezvous.
+            let _ = obs.write_all_shared(&set_frame_bytes);
+        }
+        backend.mark_finished();
+        let mut out = Vec::with_capacity(n);
+        out.push(RankOutcome {
+            rank: 0,
+            value,
+            stats: my_stats,
+        });
+        for (rank, (bytes, stats)) in entries.iter().enumerate().skip(1) {
+            out.push(RankOutcome {
+                rank,
+                value: T::from_wire(bytes),
+                stats: stats.clone(),
+            });
+        }
+        return Ok(out);
+    };
+
+    // ----- Abort protocol -----
+    // Nudge survivors blocked in data receives: an Error frame poisons
+    // their mailbox, so they fail over to their own abort path fast
+    // instead of waiting out the watchdog.
+    for w in 1..n {
+        let nudge = format!("epoch aborted: {root_cause}");
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            backend.send_control(w, FrameKind::Error, nudge.into_bytes());
+        }));
+    }
+
+    // Collect a verdict for every member world rank: an Outcome or
+    // Error frame (alive, past its epoch body) or its process's exit
+    // status (dead). Unaccounted members past the deadline mean the
+    // abort cannot complete consistently — contain by killing the pool.
+    let mut dead_pool_ids: BTreeSet<usize> = BTreeSet::new();
+    loop {
+        for (id, c) in pool.children.iter_mut() {
+            if let Ok(Some(_)) = c.try_wait() {
+                dead_pool_ids.insert(*id);
+            }
+        }
+        let checkin = backend.member_checkin();
+        let covered =
+            (1..n).all(|w| checkin[w] || dead_pool_ids.contains(&(roster.members[w] as usize)));
+        if covered {
+            break;
+        }
+        if Instant::now() >= control_deadline {
+            pool.kill_all();
+            panic!(
+                "elastic abort failed: surviving member(s) stayed unresponsive after a \
+                 mid-epoch failure: {root_cause}"
+            );
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Broadcast the verdict: the dead pool ids, Roster-encoded. Members
+    // get it through their writer threads; observer streams are
+    // launcher-owned and idle, so a direct write is safe.
+    let abort_payload = Roster {
+        epoch: roster.epoch,
+        members: dead_pool_ids.iter().map(|&id| id as u32).collect(),
+    }
+    .to_payload();
+    let abort_frame_bytes = Frame::control(FrameKind::Abort, 0, abort_payload.clone()).to_bytes();
+    for w in 1..n {
+        if !dead_pool_ids.contains(&(roster.members[w] as usize)) {
+            let payload = abort_payload.clone();
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                backend.send_control(w, FrameKind::Abort, payload);
+            }));
+        }
+    }
+    for (id, obs) in &mut observers {
+        if !dead_pool_ids.contains(id) {
+            let _ = obs.write_all_shared(&abort_frame_bytes);
+        }
+    }
+    backend.mark_finished();
+
+    // Shrink the pool: the dead children are already reaped (try_wait
+    // returned their status) — drop their handles.
+    pool.children.retain(|(id, _)| !dead_pool_ids.contains(id));
+    Err(epoch_error_from_abort(&abort_payload, roster))
+}
+
 // ---------------------------------------------------------------------
 // Worker processes
 // ---------------------------------------------------------------------
@@ -685,21 +1053,20 @@ fn child_fail(backend: Option<&SocketBackend>, msg: String) -> ! {
     std::process::exit(101);
 }
 
-fn run_as_member<T>(
+/// A member's half of the rendezvous: dial the coordinator (stage 1:
+/// pool-id Hello, read the [`Roster`] echo), then mesh with the other
+/// members (world-rank Hellos), and assemble the backend. Returns the
+/// backend, this process's world rank, and the roster.
+fn member_rendezvous(
     world: &SimWorld,
-    f: &(dyn Fn(&mut Comm) -> T + Sync),
     epoch: u64,
     info: &ChildInfo,
-) -> Vec<RankOutcome<T>>
-where
-    T: WirePayload,
-{
+) -> (Arc<SocketBackend>, usize, Roster) {
     let n = world.nranks();
-    let me = info.rank;
+    let me = info.rank; // pool id
     let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
     let abort = || parent_died(info);
 
-    // Persistent listener, bound on first live epoch.
     CHILD_LISTENER.with(|cell| {
         let mut listener = cell.borrow_mut();
         if listener.is_none() {
@@ -708,26 +1075,75 @@ where
             );
         }
 
-        // Connect to every lower rank (rank 0 included), then accept
-        // every higher member. Backlog queues make the order safe.
+        // Stage 1: dial the coordinator with our pool id and role
+        // guess, and adopt the echoed roster.
+        let mut s0 = match connect_deadline(&endpoint_for(&info.base, 0), deadline, &abort) {
+            Ok(s) => s,
+            Err(e) => child_fail(None, format!("rank {me}: {e}")),
+        };
+        if let Err(e) = send_hello(
+            &mut s0,
+            rendezvous::local_hello(me as u32, n as u32, epoch, false),
+        ) {
+            child_fail(None, format!("rank {me}: {e}"));
+        }
+        let roster = match read_roster(&mut s0, deadline) {
+            Ok(r) => r,
+            Err(e) => child_fail(None, format!("rank {me}: {e}")),
+        };
+        if roster.epoch != epoch {
+            child_fail(
+                None,
+                format!(
+                    "rank {me}: coordinator sent a roster for epoch {}, expected {epoch}",
+                    roster.epoch
+                ),
+            );
+        }
+        let Some(w) = roster.members.iter().position(|&m| m as usize == me) else {
+            child_fail(
+                None,
+                format!(
+                    "rank {me}: the coordinator roster {:?} omits this live member",
+                    roster.members
+                ),
+            );
+        };
+        // Cross-check the pure-function roster against the echo: a
+        // mismatch means the dead set diverged across processes.
+        if world_rank_of(me, &dead_ids(), n) != Some(w) {
+            child_fail(
+                None,
+                format!(
+                    "rank {me}: roster mismatch — coordinator places this pool id at world \
+                     rank {w}, but the local dead set {:?} implies {:?} (dead-set divergence)",
+                    dead_ids(),
+                    world_rank_of(me, &dead_ids(), n)
+                ),
+            );
+        }
+
+        // Mesh: dial every lower member at its pool id's endpoint with
+        // a world-rank Hello, then accept every higher member. Backlog
+        // queues make the order safe.
         let mut streams: Vec<Option<SocketStream>> = (0..n).map(|_| None).collect();
-        for peer in 0..me {
-            let mut s = match connect_deadline(&endpoint_for(&info.base, peer), deadline, &abort) {
-                Ok(s) => s,
-                Err(e) => child_fail(None, format!("rank {me}: {e}")),
-            };
-            let hello = Hello {
-                rank: me as u32,
-                world_size: n as u32,
-                epoch,
-                observer: false,
-            };
-            if let Err(e) = send_hello(&mut s, hello) {
+        streams[0] = Some(s0);
+        for peer_w in 1..w {
+            let peer_pool = roster.members[peer_w] as usize;
+            let mut s =
+                match connect_deadline(&endpoint_for(&info.base, peer_pool), deadline, &abort) {
+                    Ok(s) => s,
+                    Err(e) => child_fail(None, format!("rank {me}: {e}")),
+                };
+            if let Err(e) = send_hello(
+                &mut s,
+                rendezvous::local_hello(w as u32, n as u32, epoch, false),
+            ) {
                 child_fail(None, format!("rank {me}: {e}"));
             }
-            streams[peer] = Some(s);
+            streams[peer_w] = Some(s);
         }
-        let mut missing = n.saturating_sub(me + 1);
+        let mut missing = n.saturating_sub(w + 1);
         while missing > 0 {
             if let Some(why) = abort() {
                 child_fail(None, why);
@@ -747,55 +1163,184 @@ where
             if let Err(e) = validate_hello(&hello, epoch, n) {
                 child_fail(None, format!("rank {me}: {e}"));
             }
-            if r <= me || r >= n || streams[r].is_some() {
+            if r <= w || r >= n || streams[r].is_some() {
                 child_fail(None, format!("rank {me}: unexpected Hello from rank {r}"));
             }
             streams[r] = Some(stream);
             missing -= 1;
         }
 
-        let backend = SocketBackend::assemble(me, n, world.recv_timeout_raw(), streams)
+        let backend = SocketBackend::assemble(w, n, world.recv_timeout_raw(), streams)
             .expect("assemble worker socket backend");
-
-        let shared = RankShared::new();
-        let mut comm = Comm::world(
-            Arc::clone(&backend) as Arc<dyn CommBackend>,
-            *world.model(),
-            shared,
-            me,
-        );
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut comm)));
-        comm.finish();
-        let stats = comm.stats_snapshot();
-        let value = match result {
-            Ok(v) => v,
-            Err(p) => child_fail(Some(backend.as_ref()), panic_text(&*p)),
-        };
-
-        let control_deadline = Instant::now() + world.recv_timeout_raw() + CONTROL_SLACK;
-        backend.bye_all();
-        if let Err(e) = backend.wait_byes(control_deadline) {
-            child_fail(Some(backend.as_ref()), e);
-        }
-        let leaked = backend.pending_messages();
-        if leaked > 0 {
-            child_fail(
-                Some(&backend),
-                format!("{leaked} message(s) were sent but never received — protocol bug"),
-            );
-        }
-        backend.send_control(
-            0,
-            FrameKind::Outcome,
-            encode_outcome(&value.to_wire(), &stats),
-        );
-        let set_bytes = match backend.wait_outcome_set(control_deadline) {
-            Ok(b) => b,
-            Err(e) => child_fail(Some(backend.as_ref()), e),
-        };
-        backend.mark_finished();
-        outcomes_from_set(&decode_outcome_set(&set_bytes))
+        (backend, w, roster)
     })
+}
+
+fn run_as_member<T>(
+    world: &SimWorld,
+    f: &(dyn Fn(&mut Comm) -> T + Sync),
+    epoch: u64,
+    info: &ChildInfo,
+) -> Vec<RankOutcome<T>>
+where
+    T: WirePayload,
+{
+    let (backend, me, _roster) = member_rendezvous(world, epoch, info);
+
+    let shared = RankShared::new();
+    let mut comm = Comm::world(
+        Arc::clone(&backend) as Arc<dyn CommBackend>,
+        *world.model(),
+        shared,
+        me,
+    );
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut comm)));
+    comm.finish();
+    let stats = comm.stats_snapshot();
+    let value = match result {
+        Ok(v) => v,
+        Err(p) => child_fail(Some(backend.as_ref()), panic_text(&*p)),
+    };
+
+    let control_deadline = Instant::now() + world.recv_timeout_raw() + CONTROL_SLACK;
+    backend.bye_all();
+    if let Err(e) = backend.wait_byes(control_deadline) {
+        child_fail(Some(backend.as_ref()), e);
+    }
+    let leaked = backend.pending_messages();
+    if leaked > 0 {
+        child_fail(
+            Some(&backend),
+            format!("{leaked} message(s) were sent but never received — protocol bug"),
+        );
+    }
+    backend.send_control(
+        0,
+        FrameKind::Outcome,
+        encode_outcome(&value.to_wire(), &stats),
+    );
+    let set_bytes = match backend.wait_outcome_set(control_deadline) {
+        Ok(b) => b,
+        Err(e) => child_fail(Some(backend.as_ref()), e),
+    };
+    backend.mark_finished();
+    outcomes_from_set(&decode_outcome_set(&set_bytes))
+}
+
+/// A member's **elastic** epoch body: any local failure is reported to
+/// the coordinator and both paths converge on [`SocketBackend::
+/// wait_verdict`] — the epoch ends in the identical `Ok(outcomes)` or
+/// `Err(EpochError)` on every surviving process.
+fn try_run_as_member<T>(
+    world: &SimWorld,
+    f: &(dyn Fn(&mut Comm) -> T + Sync),
+    epoch: u64,
+    info: &ChildInfo,
+) -> Result<Vec<RankOutcome<T>>, EpochError>
+where
+    T: WirePayload,
+{
+    let (backend, me, roster) = member_rendezvous(world, epoch, info);
+
+    let shared = RankShared::new();
+    let mut comm = Comm::world(
+        Arc::clone(&backend) as Arc<dyn CommBackend>,
+        *world.model(),
+        shared,
+        me,
+    );
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut comm)));
+    comm.finish();
+    let stats = comm.stats_snapshot();
+
+    let control_deadline = Instant::now() + world.recv_timeout_raw() + CONTROL_SLACK;
+    let mut failure: Option<String> = result.as_ref().err().map(|p| panic_text(&**p));
+    if failure.is_none() {
+        let drained = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            backend.bye_all();
+        }));
+        if let Err(p) = drained {
+            failure = Some(panic_text(&*p));
+        } else if let Err(e) = backend.wait_byes(control_deadline) {
+            failure = Some(e);
+        } else {
+            let leaked = backend.pending_messages();
+            if leaked > 0 {
+                failure = Some(format!(
+                    "{leaked} message(s) were sent but never received — protocol bug"
+                ));
+            }
+        }
+    }
+    if let (None, Ok(value)) = (&failure, &result) {
+        let outcome = encode_outcome(&value.to_wire(), &stats);
+        let sent = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            backend.send_control(0, FrameKind::Outcome, outcome);
+        }));
+        if let Err(p) = sent {
+            failure = Some(panic_text(&*p));
+        }
+    }
+    if let Some(msg) = &failure {
+        // Report the root cause; the coordinator counts this as our
+        // check-in and will answer with the verdict.
+        let msg = msg.clone();
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            backend.send_control(0, FrameKind::Error, msg.into_bytes());
+        }));
+    }
+    match backend.wait_verdict(control_deadline) {
+        Ok(EpochVerdict::Outcomes(set)) => {
+            if let Some(msg) = failure {
+                // The coordinator declared success but this rank failed
+                // — the abort machinery diverged; contain loudly.
+                child_fail(
+                    Some(backend.as_ref()),
+                    format!("rank {me}: epoch verdict disagreement after local failure: {msg}"),
+                );
+            }
+            backend.mark_finished();
+            Ok(outcomes_from_set(&decode_outcome_set(&set)))
+        }
+        Ok(EpochVerdict::Aborted(payload)) => {
+            backend.mark_finished();
+            Err(epoch_error_from_abort(&payload, &roster))
+        }
+        Err(e) => child_fail(Some(backend.as_ref()), format!("rank {me}: {e}")),
+    }
+}
+
+/// An observer's stage-1 dial-in: Hello (observer role), Roster echo,
+/// role validation. Returns the coordinator stream.
+fn observer_rendezvous(world: &SimWorld, epoch: u64, info: &ChildInfo) -> SocketStream {
+    let me = info.rank;
+    let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+    let abort = || parent_died(info);
+    let mut stream = match connect_deadline(&endpoint_for(&info.base, 0), deadline, &abort) {
+        Ok(s) => s,
+        Err(e) => child_fail(None, format!("rank {me}: {e}")),
+    };
+    if let Err(e) = send_hello(
+        &mut stream,
+        rendezvous::local_hello(me as u32, world.nranks() as u32, epoch, true),
+    ) {
+        child_fail(None, format!("rank {me}: {e}"));
+    }
+    let roster = match read_roster(&mut stream, deadline) {
+        Ok(r) => r,
+        Err(e) => child_fail(None, format!("rank {me}: {e}")),
+    };
+    if roster.epoch != epoch || roster.members.iter().any(|&m| m as usize == me) {
+        child_fail(
+            None,
+            format!(
+                "rank {me}: coordinator roster {:?} (epoch {}) conflicts with this \
+                 process's observer role at epoch {epoch}",
+                roster.members, roster.epoch
+            ),
+        );
+    }
+    stream
 }
 
 fn run_as_observer<T: WirePayload>(
@@ -804,21 +1349,8 @@ fn run_as_observer<T: WirePayload>(
     info: &ChildInfo,
 ) -> Vec<RankOutcome<T>> {
     let me = info.rank;
-    let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
     let abort = || parent_died(info);
-    let mut stream = match connect_deadline(&endpoint_for(&info.base, 0), deadline, &abort) {
-        Ok(s) => s,
-        Err(e) => child_fail(None, format!("rank {me}: {e}")),
-    };
-    let hello = Hello {
-        rank: me as u32,
-        world_size: world.nranks() as u32,
-        epoch,
-        observer: true,
-    };
-    if let Err(e) = send_hello(&mut stream, hello) {
-        child_fail(None, format!("rank {me}: {e}"));
-    }
+    let mut stream = observer_rendezvous(world, epoch, info);
     // Wait (bounded) for the outcome broadcast, polling parent health.
     let wait_deadline = Instant::now() + world.recv_timeout_raw() + HANDSHAKE_TIMEOUT;
     let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
@@ -845,6 +1377,67 @@ fn run_as_observer<T: WirePayload>(
                     child_fail(
                         None,
                         format!("rank {me}: timed out awaiting the outcome broadcast"),
+                    );
+                }
+            }
+            Err(e) => child_fail(None, format!("rank {me}: {e}")),
+        }
+    }
+}
+
+fn try_run_as_observer<T: WirePayload>(
+    world: &SimWorld,
+    epoch: u64,
+    info: &ChildInfo,
+) -> Result<Vec<RankOutcome<T>>, EpochError> {
+    let me = info.rank;
+    let abort = || parent_died(info);
+    let mut stream = observer_rendezvous(world, epoch, info);
+    // The roster the members run under (observers need it to map dead
+    // pool ids to world ranks in an Abort).
+    let dead = dead_ids();
+    let live_sorted: Vec<u32> = {
+        // Observers don't know the full pool, but the roster is the n
+        // smallest live ids — all smaller than this observer's own id,
+        // so it can enumerate them locally.
+        (0..me)
+            .filter(|id| !dead.contains(id))
+            .take(world.nranks())
+            .map(|id| id as u32)
+            .collect()
+    };
+    let roster = Roster {
+        epoch,
+        members: live_sorted,
+    };
+    let wait_deadline = Instant::now() + world.recv_timeout_raw() + HANDSHAKE_TIMEOUT;
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    loop {
+        if let Some(why) = abort() {
+            child_fail(None, why);
+        }
+        match read_frame(&mut stream) {
+            Ok(Some(frame)) if frame.kind == FrameKind::OutcomeSet => {
+                return Ok(outcomes_from_set(&decode_outcome_set(&frame.payload)));
+            }
+            Ok(Some(frame)) if frame.kind == FrameKind::Abort => {
+                return Err(epoch_error_from_abort(&frame.payload, &roster));
+            }
+            Ok(Some(frame)) => child_fail(
+                None,
+                format!("rank {me}: expected an epoch verdict, got {:?}", frame.kind),
+            ),
+            Ok(None) => child_fail(
+                None,
+                format!("rank {me}: launcher closed before the epoch verdict"),
+            ),
+            Err(crate::frame::DecodeError::Io(e))
+                if e.contains(crate::frame::TIMEOUT_AT_BOUNDARY) =>
+            {
+                if Instant::now() >= wait_deadline {
+                    child_fail(
+                        None,
+                        format!("rank {me}: timed out awaiting the epoch verdict"),
                     );
                 }
             }

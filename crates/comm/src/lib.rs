@@ -81,6 +81,37 @@
 //! Word accounting stays backend-invariant throughout; the primitives
 //! only change *how many* words travel, never how they are counted.
 //!
+//! ## Elastic fleets and multi-host launch
+//!
+//! The socket backend launches a rank *pool* whose size can differ from
+//! — and change between — the worlds it serves. Each `SimWorld::run`
+//! (or [`SimWorld::try_run`]) is one **epoch**: ranks rendezvous with
+//! the coordinator, exchange version/endianness/capability-checked
+//! `Hello` frames (mismatches are rejected with a typed, actionable
+//! [`HandshakeError`]), and receive a world [`rendezvous::Roster`]
+//! before meshing. Epochs may open with a different roster than the
+//! last: growing `nranks` spawns and back-fills new processes, while a
+//! rank that dies mid-epoch is detected by mailbox poisoning, the epoch
+//! aborts with an [`EpochError`] naming the dead ranks, and the next
+//! epoch's roster simply omits them — the pool survives. The full
+//! protocol is documented in [`rendezvous`] and [`launch`].
+//!
+//! Multi-host runs use TCP endpoints: set `DSK_SOCKET_ADDR=ip:port` and
+//! rank `r` listens on `port + r`. For manual SPMD launches across
+//! hosts, write a hostfile (one `ip:port` per rank;
+//! [`rendezvous::parse_hostfile`]) and start one process per line with
+//! `DSK_RANK=r` set. See the repository README for a worked example.
+//!
+//! ## The receive watchdog
+//!
+//! Every blocking receive is bounded by a watchdog (default **300 s**)
+//! so a mismatched communication pattern panics with a diagnostic
+//! instead of deadlocking. The `DSK_WATCHDOG_SECS` environment variable
+//! ([`WATCHDOG_ENV_VAR`]) overrides the default for every world that
+//! does not set an explicit [`SimWorld::with_recv_timeout`]; values are
+//! clamped to at least one second. Lower it in interactive debugging to
+//! fail fast; raise it on heavily oversubscribed CI machines.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -114,6 +145,7 @@ pub mod launch;
 pub mod model;
 pub mod pattern;
 pub mod payload;
+pub mod rendezvous;
 pub mod socket;
 pub mod stats;
 pub mod transport;
@@ -125,5 +157,6 @@ pub use grid::{Grid15, Grid25, GridComms15, GridComms25};
 pub use model::MachineModel;
 pub use pattern::{CommPattern, RowBundle, RowSet};
 pub use payload::{Payload, WirePayload, WireReader};
+pub use rendezvous::HandshakeError;
 pub use stats::{AggregateStats, Phase, PhaseCounters, RankStats, N_PHASES};
-pub use world::{RankOutcome, SimWorld};
+pub use world::{EpochError, RankOutcome, SimWorld, WATCHDOG_ENV_VAR};

@@ -237,7 +237,21 @@ struct CtrlState {
     eofs: Vec<bool>,
     outcomes: Vec<Option<Vec<u8>>>,
     outcome_set: Option<Vec<u8>>,
+    /// Elastic epochs: rank 0's `Abort` broadcast payload (the dead
+    /// pool ids, [`Roster`](crate::rendezvous::Roster)-encoded).
+    abort: Option<Vec<u8>>,
     errors: VecDeque<(usize, String)>,
+}
+
+/// How an elastic epoch ended, from a member's point of view: the
+/// normal [`FrameKind::OutcomeSet`] broadcast, or an [`FrameKind::Abort`]
+/// carrying the dead pool ids.
+#[derive(Debug)]
+pub enum EpochVerdict {
+    /// Every rank finished; payload is the encoded outcome set.
+    Outcomes(Vec<u8>),
+    /// The epoch aborted; payload names the dead pool ids.
+    Aborted(Vec<u8>),
 }
 
 struct Ctrl {
@@ -255,6 +269,7 @@ impl Ctrl {
                 eofs: vec![false; n],
                 outcomes: (0..n).map(|_| None).collect(),
                 outcome_set: None,
+                abort: None,
                 errors: VecDeque::new(),
             }),
             cv: Condvar::new(),
@@ -505,6 +520,55 @@ impl SocketBackend {
         self.ctrl.lock().errors.front().cloned()
     }
 
+    /// Elastic members: wait for rank 0's end-of-epoch verdict — the
+    /// normal `OutcomeSet` broadcast or an `Abort`. Unlike the
+    /// [`wait_ctrl`](Self::wait_outcome_set) family this deliberately
+    /// ignores queued `Error` frames: during an abort they are expected
+    /// traffic, and the verdict frame is the only authority on how the
+    /// epoch ended.
+    pub fn wait_verdict(&self, deadline: Instant) -> Result<EpochVerdict, String> {
+        let mut st = self.ctrl.lock();
+        loop {
+            if let Some(payload) = st.abort.take() {
+                return Ok(EpochVerdict::Aborted(payload));
+            }
+            if let Some(set) = st.outcome_set.take() {
+                return Ok(EpochVerdict::Outcomes(set));
+            }
+            if st.eofs[0] {
+                return Err("rank 0 exited before delivering an epoch verdict".to_string());
+            }
+            if Instant::now() >= deadline {
+                return Err(format!(
+                    "rank {}: timed out waiting for the epoch verdict (socket watchdog)",
+                    self.me
+                ));
+            }
+            let (guard, _) = self
+                .ctrl
+                .cv
+                .wait_timeout(st, Duration::from_millis(50))
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+        }
+    }
+
+    /// Rank 0, elastic abort collection: which member world ranks have
+    /// checked in — an `Outcome`, an `Error`, or a closed stream all
+    /// count, because each proves the member is past (or out of) its
+    /// epoch body.
+    pub fn member_checkin(&self) -> Vec<bool> {
+        let st = self.ctrl.lock();
+        (0..self.nranks)
+            .map(|r| {
+                r == self.me
+                    || st.outcomes[r].is_some()
+                    || st.eofs[r]
+                    || st.errors.iter().any(|(er, _)| *er == r)
+            })
+            .collect()
+    }
+
     /// Mark the epoch complete: subsequent EOFs are normal teardown and
     /// no longer poison the mailbox.
     pub fn mark_finished(&self) {
@@ -559,9 +623,25 @@ fn reader_loop(
                         ctrl.lock().errors.push_back((peer, msg));
                         ctrl.cv.notify_all();
                     }
+                    FrameKind::Abort => {
+                        // Rank 0 aborted the epoch. Stash the payload
+                        // for `wait_verdict` AND poison the mailbox so
+                        // a receive blocked on data that will never
+                        // arrive fails over to the abort path fast.
+                        let mut st = ctrl.lock();
+                        st.abort = Some(frame.payload);
+                        drop(st);
+                        ctrl.cv.notify_all();
+                        mailbox.poison(format!("rank {me}: epoch aborted by the coordinator"));
+                    }
                     FrameKind::Hello => {
                         mailbox.poison(format!(
                             "rank {me}: unexpected mid-epoch Hello from rank {peer}"
+                        ));
+                    }
+                    FrameKind::Roster => {
+                        mailbox.poison(format!(
+                            "rank {me}: unexpected mid-epoch Roster from rank {peer}"
                         ));
                     }
                 }
@@ -645,6 +725,10 @@ impl CommBackend for SocketBackend {
 
     fn frame_overhead(&self) -> u64 {
         FRAME_HEADER_LEN as u64
+    }
+
+    fn poison(&self, msg: &str) {
+        self.mailbox.poison(msg.to_string());
     }
 }
 

@@ -45,13 +45,20 @@ pub enum Phase {
     /// without perturbing any modeled communication or computation
     /// number.
     LocalTuning,
+    /// Elastic-fleet traffic: redistributing live iterates and R values
+    /// when a session changes its *process count* (`dsk-core`'s
+    /// `Session::resize`), as opposed to [`Phase::Migration`], which
+    /// moves state between algorithm families at a fixed `p`. Kept in
+    /// its own bucket so a resize never perturbs any steady-state or
+    /// migration number.
+    Resize,
     /// Anything not meant to be timed (data distribution, verification).
     /// This is the phase a fresh rank starts in.
     Setup,
 }
 
 /// Number of distinct [`Phase`] values (array-backed accounting).
-pub const N_PHASES: usize = 9;
+pub const N_PHASES: usize = 10;
 
 impl Phase {
     /// Dense index for array-backed per-phase counters.
@@ -66,7 +73,8 @@ impl Phase {
             Phase::Migration => 5,
             Phase::PatternExchange => 6,
             Phase::LocalTuning => 7,
-            Phase::Setup => 8,
+            Phase::Resize => 8,
+            Phase::Setup => 9,
         }
     }
 
@@ -80,6 +88,7 @@ impl Phase {
         Phase::Migration,
         Phase::PatternExchange,
         Phase::LocalTuning,
+        Phase::Resize,
         Phase::Setup,
     ];
 
@@ -94,6 +103,7 @@ impl Phase {
             Phase::Migration => "migration",
             Phase::PatternExchange => "pattern-exchange",
             Phase::LocalTuning => "local-tuning",
+            Phase::Resize => "resize",
             Phase::Setup => "setup",
         }
     }
@@ -286,6 +296,7 @@ impl RankStats {
             + self.phase(Phase::OutsideComm).modeled_s
             + self.phase(Phase::Migration).modeled_s
             + self.phase(Phase::PatternExchange).modeled_s
+            + self.phase(Phase::Resize).modeled_s
     }
 
     /// Modeled computation time.
@@ -431,6 +442,7 @@ impl AggregateStats {
             + self.modeled_s(Phase::OutsideComm)
             + self.modeled_s(Phase::Migration)
             + self.modeled_s(Phase::PatternExchange)
+            + self.modeled_s(Phase::Resize)
     }
 
     /// Modeled computation time.
@@ -458,6 +470,7 @@ impl AggregateStats {
             + self.modeled_s(Phase::OutsideCompute)
             + self.modeled_s(Phase::Migration)
             + self.modeled_s(Phase::PatternExchange)
+            + self.modeled_s(Phase::Resize)
     }
 
     /// Total words sent across ranks and non-setup phases.

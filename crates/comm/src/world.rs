@@ -20,6 +20,63 @@ pub struct RankOutcome<T> {
     pub stats: RankStats,
 }
 
+/// Environment variable overriding the default 300 s receive watchdog,
+/// in whole seconds (clamped to ≥ 1). Worlds that call
+/// [`SimWorld::with_recv_timeout`] are unaffected.
+pub const WATCHDOG_ENV_VAR: &str = "DSK_WATCHDOG_SECS";
+
+/// Marker prefix for the poison message the elastic runner injects when
+/// a rank dies: survivors that panic *because of* the abort carry it,
+/// so [`SimWorld::try_run`] can tell original failures from collateral.
+const ABORT_POISON_PREFIX: &str = "epoch aborted:";
+
+/// The watchdog duration for a world that did not set an explicit
+/// timeout: `DSK_WATCHDOG_SECS` if set (clamped to ≥ 1 s), else 300 s.
+fn default_recv_timeout() -> Duration {
+    watchdog_from(std::env::var(WATCHDOG_ENV_VAR).ok().as_deref())
+}
+
+fn watchdog_from(raw: Option<&str>) -> Duration {
+    match raw {
+        None => Duration::from_secs(300),
+        Some(v) => {
+            let secs: u64 = v.trim().parse().unwrap_or_else(|_| {
+                panic!("{WATCHDOG_ENV_VAR}={v:?} is not a whole number of seconds")
+            });
+            Duration::from_secs(secs.max(1))
+        }
+    }
+}
+
+/// How an elastic epoch ([`SimWorld::try_run`]) failed: which ranks of
+/// that epoch's world died, so the caller can rendezvous a fresh epoch
+/// on the survivors and `resize` its session onto the smaller roster.
+///
+/// Every surviving process returns an **identical** `EpochError` — the
+/// dead set is part of the replicated SPMD state, not a local guess.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochError {
+    /// The launcher epoch that aborted (0 under in-memory backends,
+    /// which have no epoch counter).
+    pub epoch: u64,
+    /// World ranks (of the aborted epoch's roster) that died, ascending.
+    pub dead: Vec<usize>,
+    /// Human-readable root cause (first failure observed).
+    pub detail: String,
+}
+
+impl std::fmt::Display for EpochError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "epoch {} aborted (dead ranks {:?}): {}",
+            self.epoch, self.dead, self.detail
+        )
+    }
+}
+
+impl std::error::Error for EpochError {}
+
 /// A simulated distributed-memory machine of `nranks` ranks.
 ///
 /// Each call to [`SimWorld::run`] executes the given closure once per rank
@@ -35,14 +92,15 @@ pub struct SimWorld {
 
 impl SimWorld {
     /// A world of `nranks` ranks with machine model `model`, the
-    /// default 300 s receive watchdog, and the backend selected by the
+    /// default receive watchdog (300 s, overridable via
+    /// [`WATCHDOG_ENV_VAR`]), and the backend selected by the
     /// `DSK_COMM_BACKEND` environment variable (in-process when unset —
     /// see [`BackendKind::from_env`]).
     pub fn new(nranks: usize, model: MachineModel) -> Self {
         SimWorld {
             nranks,
             model,
-            recv_timeout: Duration::from_secs(300),
+            recv_timeout: default_recv_timeout(),
             backend: BackendKind::from_env(),
         }
     }
@@ -148,6 +206,139 @@ impl SimWorld {
         );
         outcomes
     }
+
+    /// Run `f` on every rank like [`run`](Self::run), but survive rank
+    /// deaths: if any rank fails mid-epoch, the remaining ranks are
+    /// unblocked immediately (mailbox poisoning), the epoch is
+    /// abandoned, and every **surviving** caller gets back the same
+    /// [`EpochError`] naming the dead ranks — instead of the whole
+    /// world being torn down.
+    ///
+    /// Under the socket backend the process pool survives the abort:
+    /// the next `run`/`try_run` rendezvouses a fresh epoch whose roster
+    /// omits the dead processes, so a `SimWorld` with `nranks` reduced
+    /// by the dead count continues on the survivors. Under the
+    /// in-memory backends the dead "rank" is just a panicked thread and
+    /// the next world runs as usual. Epoch state (mailbox contents,
+    /// in-flight messages) does **not** survive an abort — programs
+    /// that continue past a failed epoch must restart from state
+    /// carried through an earlier epoch's outcome broadcast (a
+    /// checkpoint), typically restored via `Session::resize`.
+    ///
+    /// # Panics
+    ///
+    /// Unrecoverable situations still panic: a failed rendezvous, the
+    /// death of the coordinator process (world rank 0 under sockets),
+    /// or survivors that stay unresponsive past the watchdog.
+    pub fn try_run<T, F>(&self, f: F) -> Result<Vec<RankOutcome<T>>, EpochError>
+    where
+        T: crate::payload::WirePayload,
+        F: Fn(&mut Comm) -> T + Sync,
+    {
+        if self.backend == BackendKind::Socket {
+            return crate::launch::try_run_socket_world(self, &f);
+        }
+        let backend = self
+            .backend
+            .build(self.nranks, self.recv_timeout, self.model);
+        let model = self.model;
+        let f = &f;
+        let mut results: Vec<Result<(T, RankStats), String>> = Vec::with_capacity(self.nranks);
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.nranks);
+            for rank in 0..self.nranks {
+                let backend = Arc::clone(&backend);
+                handles.push(scope.spawn(move || {
+                    let shared = RankShared::new();
+                    let mut comm =
+                        Comm::world(Arc::clone(&backend), model, Arc::clone(&shared), rank);
+                    let body =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut comm)));
+                    match body {
+                        Ok(value) => {
+                            // finish() drains sub-communicators and can
+                            // itself panic when the epoch is aborting.
+                            let fin =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    comm.finish()
+                                }));
+                            match fin {
+                                Ok(()) => Ok((value, comm.stats_snapshot())),
+                                Err(e) => Err(panic_text(&*e)),
+                            }
+                        }
+                        Err(e) => {
+                            let msg = panic_text(&*e);
+                            // Unblock every peer immediately; the marker
+                            // prefix tags their panics as collateral.
+                            backend.poison(&format!(
+                                "{ABORT_POISON_PREFIX} rank {rank} failed: {msg}"
+                            ));
+                            Err(msg)
+                        }
+                    }
+                }));
+            }
+            for h in handles {
+                results.push(match h.join() {
+                    Ok(r) => r,
+                    Err(e) => Err(panic_text(&*e)),
+                });
+            }
+        });
+
+        if results.iter().all(|r| r.is_ok()) {
+            let leaked = backend.pending_messages();
+            assert_eq!(
+                leaked, 0,
+                "{leaked} message(s) were sent but never received — protocol bug"
+            );
+            return Ok(results
+                .into_iter()
+                .enumerate()
+                .map(|(rank, r)| {
+                    let (value, stats) = r.unwrap_or_else(|_| unreachable!());
+                    RankOutcome { rank, value, stats }
+                })
+                .collect());
+        }
+        // Original failures vs. collateral: a rank whose panic carries
+        // the abort-poison marker only died *because* another did.
+        let mut dead = Vec::new();
+        let mut detail = String::new();
+        for (rank, r) in results.iter().enumerate() {
+            if let Err(msg) = r {
+                if !msg.starts_with(ABORT_POISON_PREFIX) {
+                    dead.push(rank);
+                    if detail.is_empty() {
+                        detail = format!("rank {rank} failed: {msg}");
+                    }
+                }
+            }
+        }
+        if dead.is_empty() {
+            // Every failure was collateral (e.g. a watchdog fired before
+            // the poison landed) — report the first message verbatim.
+            detail = results
+                .iter()
+                .find_map(|r| r.as_ref().err().cloned())
+                .unwrap_or_default();
+        }
+        Err(EpochError {
+            epoch: 0,
+            dead,
+            detail,
+        })
+    }
+}
+
+fn panic_text(e: &(dyn std::any::Any + Send)) -> String {
+    e.downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| e.downcast_ref::<&str>().copied())
+        .unwrap_or("<non-string panic>")
+        .to_string()
 }
 
 #[cfg(test)]
@@ -429,6 +620,79 @@ mod tests {
                 "injected delay should appear in measured wall time"
             );
         }
+    }
+
+    #[test]
+    fn watchdog_env_value_is_parsed_and_clamped() {
+        assert_eq!(watchdog_from(None), Duration::from_secs(300));
+        assert_eq!(watchdog_from(Some("17")), Duration::from_secs(17));
+        assert_eq!(watchdog_from(Some(" 42 ")), Duration::from_secs(42));
+        // Zero would make every receive fail instantly; clamp to 1 s.
+        assert_eq!(watchdog_from(Some("0")), Duration::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a whole number")]
+    fn watchdog_env_rejects_garbage() {
+        let _ = watchdog_from(Some("fast"));
+    }
+
+    #[test]
+    fn try_run_matches_run_on_success() {
+        let w = SimWorld::new(4, MachineModel::bandwidth_only());
+        let out = w.try_run(|c| c.allgather(vec![c.rank() as f64])).unwrap();
+        assert_eq!(out.len(), 4);
+        for o in &out {
+            let got: Vec<f64> = o.value.iter().map(|v| v[0]).collect();
+            assert_eq!(got, vec![0.0, 1.0, 2.0, 3.0]);
+        }
+    }
+
+    /// A rank dying mid-epoch unblocks its peers fast (poison, not
+    /// watchdog), and every survivor gets the same typed `EpochError`
+    /// naming exactly the dead rank. Pinned to the in-memory backend:
+    /// this test documents the panic-classification path (a panicking
+    /// *thread* is the dead rank); the socket backend's process-death
+    /// semantics are pinned end-to-end by `tests/elastic_fleet.rs`.
+    #[test]
+    fn try_run_reports_the_dead_rank_and_unblocks_peers() {
+        let w = SimWorld::new(3, MachineModel::bandwidth_only()).backend(BackendKind::InProc);
+        let err = w
+            .try_run(|c| {
+                if c.rank() == 1 {
+                    panic!("simulated node failure");
+                }
+                // Survivors block on data the dead rank will never send.
+                let v: Vec<f64> = c.recv(1, 7);
+                v
+            })
+            .unwrap_err();
+        assert_eq!(err.dead, vec![1]);
+        assert!(
+            err.detail.contains("simulated node failure"),
+            "{}",
+            err.detail
+        );
+    }
+
+    /// In-flight messages of an aborted epoch are not a protocol bug:
+    /// the leak assert is skipped on the error path. In-memory only —
+    /// the dying rank here is rank 0, which the socket backend's
+    /// coordinator role makes non-expendable by design.
+    #[test]
+    fn try_run_tolerates_leaked_messages_on_abort() {
+        let w = SimWorld::new(2, MachineModel::bandwidth_only()).backend(BackendKind::InProc);
+        let err = w
+            .try_run(|c| {
+                if c.rank() == 0 {
+                    c.send(1, 0, vec![1.0f64]);
+                    panic!("boom after send");
+                }
+                let v: Vec<f64> = c.recv(0, 99); // wrong tag: blocks, then poisoned
+                v
+            })
+            .unwrap_err();
+        assert_eq!(err.dead, vec![0]);
     }
 
     #[test]

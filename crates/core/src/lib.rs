@@ -73,6 +73,7 @@ pub mod ds15;
 pub mod global;
 pub mod kernel;
 pub mod layout;
+pub mod planview;
 pub mod session;
 pub mod sr25;
 pub mod ss15;
@@ -87,6 +88,7 @@ pub use common::{
 };
 pub use global::GlobalProblem;
 pub use kernel::{CombineSpec, DistKernel, KernelBuilder, KernelId, KernelPlan};
+pub use planview::PlanView;
 pub use session::{ReplanEvent, ReplanPolicy, Session, SessionBuilder};
 pub use staged::StagedProblem;
 pub use worker::DistWorker;

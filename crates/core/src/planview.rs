@@ -1,0 +1,260 @@
+//! World-free plan views: the Table II data distributions as pure
+//! functions of `(kernel, c, p, dims)`.
+//!
+//! Every family's iterate layouts and R pattern bounds are grid
+//! arithmetic — they depend on the plan and the problem shape, never on
+//! a live worker or communicator. [`PlanView`] packages that arithmetic
+//! so callers can ask *"where would rank `g` of a `p`-rank world hold
+//! its state under this plan?"* for a world that is not running — the
+//! question elastic resize ([`crate::session::Session::resize`]) must
+//! answer on both sides of a process-count change, including on ranks
+//! that are members of only one of the two worlds.
+//!
+//! The descriptors delegate to the same public per-family helpers the
+//! live kernels use for their own `*_layout_of` methods, so a view of a
+//! running worker's plan agrees with the worker bit for bit.
+
+use std::ops::Range;
+
+use crate::baseline::Baseline1D;
+use crate::common::{block_range, union_range, AlgorithmFamily, ProblemDims};
+use crate::dr25::DenseRepl25;
+use crate::ds15::DenseShift15;
+use crate::kernel::{KernelId, KernelPlan};
+use crate::layout::DenseLayout;
+use crate::sr25::SparseRepl25;
+use crate::ss15::SparseShift15;
+use dsk_comm::Grid25;
+
+/// A plan's data distributions for a hypothetical world of `p` ranks.
+///
+/// Pure and communication-free: all methods are closed-form grid
+/// arithmetic, callable for any rank `g < p` from any process.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanView {
+    id: KernelId,
+    c: usize,
+    p: usize,
+    dims: ProblemDims,
+}
+
+impl PlanView {
+    /// View `plan` as realized on a world of `p` ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the plan's grid cannot be realized at `p` (e.g. a
+    /// 1.5D plan whose `c` does not divide `p`).
+    pub fn new(plan: &KernelPlan, p: usize, dims: ProblemDims) -> Self {
+        assert!(p >= 1, "a plan view needs at least one rank");
+        if let Some(family) = plan.id.family() {
+            assert!(
+                family.valid_c(p, plan.c),
+                "{} cannot realize c = {} on p = {p}",
+                family.label(),
+                plan.c,
+            );
+        }
+        PlanView {
+            id: plan.id,
+            c: plan.c,
+            p,
+            dims,
+        }
+    }
+
+    /// The viewed kernel.
+    pub fn id(&self) -> KernelId {
+        self.id
+    }
+
+    /// The viewed world size.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// The `A`-iterate layout of rank `g` (matches the live kernel's
+    /// `a_iterate_layout_of`).
+    pub fn a_layout_of(&self, g: usize) -> DenseLayout {
+        let (d, p, c) = (self.dims, self.p, self.c);
+        match self.id {
+            KernelId::Family(AlgorithmFamily::DenseShift15) => DenseShift15::a_layout(d, p)(g),
+            KernelId::Family(AlgorithmFamily::SparseShift15) => {
+                SparseShift15::stationary_layout(d.m, d.r, p, c)(g)
+            }
+            KernelId::Family(AlgorithmFamily::DenseRepl25) => {
+                DenseRepl25::travel_layout(d.m, d.r, p, c)(g)
+            }
+            KernelId::Family(AlgorithmFamily::SparseRepl25) => SparseRepl25::a_layout(d, p, c)(g),
+            KernelId::Baseline1D => Baseline1D::layout(d.m, d.r, p)(g),
+        }
+    }
+
+    /// The `B`-iterate layout of rank `g` (matches the live kernel's
+    /// `b_iterate_layout_of`).
+    pub fn b_layout_of(&self, g: usize) -> DenseLayout {
+        let (d, p, c) = (self.dims, self.p, self.c);
+        match self.id {
+            KernelId::Family(AlgorithmFamily::DenseShift15) => DenseShift15::b_layout(d, p)(g),
+            KernelId::Family(AlgorithmFamily::SparseShift15) => {
+                SparseShift15::stationary_layout(d.n, d.r, p, c)(g)
+            }
+            KernelId::Family(AlgorithmFamily::DenseRepl25) => {
+                DenseRepl25::travel_layout(d.n, d.r, p, c)(g)
+            }
+            KernelId::Family(AlgorithmFamily::SparseRepl25) => SparseRepl25::b_layout(d, p, c)(g),
+            KernelId::Baseline1D => Baseline1D::layout(d.n, d.r, p)(g),
+        }
+    }
+
+    /// Global bounding rectangle `(rows, cols)` of rank `g`'s stored-R
+    /// sparsity pattern under this plan (matches the live kernel's
+    /// `r_pattern_bounds_of`).
+    pub fn r_bounds_of(&self, g: usize) -> (Range<usize>, Range<usize>) {
+        let (d, p, c) = (self.dims, self.p, self.c);
+        match self.id {
+            KernelId::Family(AlgorithmFamily::DenseShift15) => {
+                // Rank g holds macro row u = g/c of S at full width.
+                (union_range(d.m, p, (g / c) * c, c), 0..d.n)
+            }
+            KernelId::Family(AlgorithmFamily::SparseShift15) => {
+                // Rank g's home block is column block g of S.
+                (0..d.m, block_range(d.n, p, g))
+            }
+            KernelId::Family(AlgorithmFamily::DenseRepl25) => {
+                // Canonical home block: macro row u, column block
+                // σ₀·c + w of the q·c-way split (σ₀ = (u+v) mod q).
+                let grid = Grid25::new(p, c).expect("invalid 2.5D grid");
+                let (u, v, w) = (grid.row_pos(g), grid.col_pos(g), grid.fiber_pos(g));
+                let sigma0 = (u + v) % grid.q;
+                (
+                    block_range(d.m, grid.q, u),
+                    block_range(d.n, grid.q * c, sigma0 * c + w),
+                )
+            }
+            KernelId::Family(AlgorithmFamily::SparseRepl25) => {
+                // The (u, v) block of the q×q layer grid, identical on
+                // every fiber layer.
+                let grid = Grid25::new(p, c).expect("invalid 2.5D grid");
+                (
+                    block_range(d.m, grid.q, grid.row_pos(g)),
+                    block_range(d.n, grid.q, grid.col_pos(g)),
+                )
+            }
+            KernelId::Baseline1D => (block_range(d.m, p, g), 0..d.n),
+        }
+    }
+}
+
+/// The empty layout: owns no rows and no columns. Ranks outside a
+/// world's active roster use it as their side of a cross-world
+/// [`crate::layout::repartition_dense`] — they contribute and receive
+/// nothing.
+pub fn empty_layout() -> DenseLayout {
+    DenseLayout {
+        row_ranges: Vec::new(),
+        col_range: 0..0,
+    }
+}
+
+/// The empty pattern-bounds rectangle; intersects nothing.
+pub fn empty_bounds() -> (Range<usize>, Range<usize>) {
+    (0..0, 0..0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::Elision;
+    use crate::common::Routing;
+    use crate::global::GlobalProblem;
+    use crate::kernel::KernelBuilder;
+    use dsk_comm::{MachineModel, SimWorld};
+
+    fn plan_for(family: AlgorithmFamily, c: usize) -> KernelPlan {
+        KernelPlan {
+            id: KernelId::Family(family),
+            c,
+            elision: Elision::None,
+            routing: Routing::Dense,
+            predicted_comm_s: None,
+        }
+    }
+
+    #[test]
+    fn views_agree_with_live_kernels() {
+        // For every family, a PlanView of the built plan must reproduce
+        // the live kernel's layout descriptors exactly, for every rank.
+        let prob = std::sync::Arc::new(GlobalProblem::erdos_renyi(24, 24, 6, 3, 9301));
+        let cases = [
+            (AlgorithmFamily::DenseShift15, 2),
+            (AlgorithmFamily::SparseShift15, 2),
+            (AlgorithmFamily::DenseRepl25, 2),
+            (AlgorithmFamily::SparseRepl25, 2),
+        ];
+        for (family, c) in cases {
+            let p = 8;
+            let prob = std::sync::Arc::clone(&prob);
+            let out = SimWorld::new(p, MachineModel::bandwidth_only()).run(move |comm| {
+                let worker = KernelBuilder::from_arc(std::sync::Arc::clone(&prob))
+                    .family(family)
+                    .replication(c)
+                    .build(comm);
+                let view = PlanView::new(&worker.plan(), p, worker.dims());
+                for g in 0..p {
+                    assert_eq!(view.a_layout_of(g), worker.kernel().a_iterate_layout_of(g));
+                    assert_eq!(view.b_layout_of(g), worker.kernel().b_iterate_layout_of(g));
+                    assert_eq!(view.r_bounds_of(g), worker.kernel().r_pattern_bounds_of(g));
+                }
+            });
+            assert_eq!(out.len(), p, "{family:?}");
+        }
+    }
+
+    #[test]
+    fn baseline_view_matches_live_kernel() {
+        let prob = std::sync::Arc::new(GlobalProblem::erdos_renyi(20, 20, 4, 3, 9302));
+        let p = 4;
+        let out = SimWorld::new(p, MachineModel::bandwidth_only()).run(move |comm| {
+            let worker = KernelBuilder::from_arc(std::sync::Arc::clone(&prob))
+                .baseline()
+                .build(comm);
+            let view = PlanView::new(&worker.plan(), p, worker.dims());
+            for g in 0..p {
+                assert_eq!(view.a_layout_of(g), worker.kernel().a_iterate_layout_of(g));
+                assert_eq!(view.b_layout_of(g), worker.kernel().b_iterate_layout_of(g));
+                assert_eq!(view.r_bounds_of(g), worker.kernel().r_pattern_bounds_of(g));
+            }
+        });
+        assert_eq!(out.len(), p);
+    }
+
+    #[test]
+    fn views_exist_for_worlds_not_running() {
+        // The point of a view: interrogate a 6-rank plan from nowhere.
+        let dims = ProblemDims::new(48, 48, 8);
+        let plan = plan_for(AlgorithmFamily::DenseShift15, 2);
+        let view = PlanView::new(&plan, 6, dims);
+        let mut rows = 0;
+        for g in 0..6 {
+            rows += view.a_layout_of(g).local_rows();
+        }
+        assert_eq!(rows, 48, "layouts must tile the matrix exactly");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot realize")]
+    fn invalid_grid_is_rejected() {
+        let dims = ProblemDims::new(48, 48, 8);
+        let plan = plan_for(AlgorithmFamily::DenseShift15, 4);
+        let _ = PlanView::new(&plan, 6, dims); // 4 ∤ 6
+    }
+
+    #[test]
+    fn empty_layout_owns_nothing() {
+        assert_eq!(empty_layout().local_rows(), 0);
+        assert_eq!(empty_layout().width(), 0);
+        let (r, c) = empty_bounds();
+        assert!(r.is_empty() && c.is_empty());
+    }
+}

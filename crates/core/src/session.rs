@@ -48,6 +48,7 @@ use crate::common::{AlgorithmFamily, Elision, Routing, Sampling};
 use crate::global::GlobalProblem;
 use crate::kernel::{CombineSpec, KernelBuilder, KernelId, KernelPlan};
 use crate::layout::repartition_dense;
+use crate::planview::{empty_bounds, empty_layout, PlanView};
 use crate::staged::StagedProblem;
 use crate::theory::{self, Algorithm};
 use crate::worker::DistWorker;
@@ -174,6 +175,7 @@ pub struct SessionBuilder {
     elision: Option<Elision>,
     c_max: usize,
     auto_policy: Option<ReplanPolicy>,
+    active: Option<usize>,
 }
 
 impl SessionBuilder {
@@ -185,6 +187,7 @@ impl SessionBuilder {
             elision: None,
             c_max: 16,
             auto_policy: None,
+            active: None,
         }
     }
 
@@ -255,21 +258,46 @@ impl SessionBuilder {
         self
     }
 
+    /// Build the session on only the lowest `k` ranks of the
+    /// communicator; the remaining ranks become **spares** — they hold
+    /// the session (and its staging) but no worker, and wait for a
+    /// [`Session::resize`] to draft them into the active roster. The
+    /// elastic-fleet entry point: a world can be provisioned wider than
+    /// the problem currently uses.
+    pub fn active_ranks(mut self, k: usize) -> Self {
+        self.active = Some(k);
+        self
+    }
+
     /// Build this rank's session. Must be called by every rank of the
     /// communicator (the plan is deterministic, so all ranks agree
     /// without communication).
     pub fn build(self, comm: &Comm) -> Session {
         let model = self.builder.pinned_model().unwrap_or(*comm.model());
-        let worker = self.builder.build(comm);
-        let elision = self.elision.unwrap_or(worker.plan().elision);
+        let world = comm.dup();
+        let active_p = self.active.unwrap_or(world.size());
         assert!(
-            worker.supports(elision),
-            "{:?} does not support {elision:?}",
-            worker.id()
+            active_p >= 1 && active_p <= world.size(),
+            "active_ranks({active_p}) must be within 1..={}",
+            world.size()
         );
+        // Communication-free split: ranks below the active count share
+        // one sub-communicator, spares another (unused until a resize).
+        let active = world.split_by(|r| u64::from(r >= active_p));
+        let worker = (world.rank() < active_p).then(|| self.builder.build(&active));
+        let elision = match &worker {
+            Some(w) => {
+                let e = self.elision.unwrap_or(w.plan().elision);
+                assert!(w.supports(e), "{:?} does not support {e:?}", w.id());
+                e
+            }
+            None => self.elision.unwrap_or(Elision::None),
+        };
         let last_planned_nnz = self.staged.prob.nnz();
         Session {
-            comm: comm.dup(),
+            world,
+            comm: active,
+            active_p,
             staged: self.staged,
             worker,
             elision,
@@ -287,9 +315,17 @@ impl SessionBuilder {
 /// A stateful, re-plannable application session over one distributed
 /// problem (one per rank). See the module docs for the full story.
 pub struct Session {
+    /// The full epoch communicator — every provisioned rank, active or
+    /// spare. Resizes are collective over this.
+    world: Comm,
+    /// The active-roster sub-communicator (on spares: the spare-group
+    /// sub-communicator, unused). Rebuilt by every resize.
     comm: Comm,
+    /// How many world ranks are active (always the lowest ranks).
+    active_p: usize,
     staged: Arc<StagedProblem>,
-    worker: DistWorker,
+    /// The live kernel — `None` on spare ranks.
+    worker: Option<DistWorker>,
     elision: Elision,
     model: MachineModel,
     c_max: usize,
@@ -327,24 +363,85 @@ impl Session {
     // State access
     // ------------------------------------------------------------------
 
-    /// The session's communicator (duplicated at build; owned).
+    /// The session's *active* communicator (the sub-world the worker
+    /// runs on; on spare ranks, the unused spare-group communicator).
     pub fn comm(&self) -> &Comm {
         &self.comm
     }
 
+    /// The full epoch communicator (actives and spares). Collective
+    /// elastic operations — [`Session::resize`], [`Session::loss`],
+    /// [`Session::stored_loss`] — run over this.
+    pub fn world(&self) -> &Comm {
+        &self.world
+    }
+
+    /// Whether this rank is in the active roster (holds a worker).
+    pub fn is_active(&self) -> bool {
+        self.worker.is_some()
+    }
+
+    /// The current active process count (the `p` the plan targets).
+    pub fn active_p(&self) -> usize {
+        self.active_p
+    }
+
+    /// The full provisioned world size (actives + spares).
+    pub fn world_size(&self) -> usize {
+        self.world.size()
+    }
+
+    fn w(&self) -> &DistWorker {
+        self.worker.as_ref().unwrap_or_else(|| {
+            panic!(
+                "world rank {} is a spare (active_p = {}): only Session::resize, \
+                 loss/stored_loss, and the accessors are valid on spare ranks",
+                self.world.rank(),
+                self.active_p
+            )
+        })
+    }
+
+    fn w_mut(&mut self) -> &mut DistWorker {
+        let (rank, active_p) = (self.world.rank(), self.active_p);
+        self.worker.as_mut().unwrap_or_else(|| {
+            panic!(
+                "world rank {rank} is a spare (active_p = {active_p}): only Session::resize, \
+                 loss/stored_loss, and the accessors are valid on spare ranks"
+            )
+        })
+    }
+
+    /// Split borrow: the worker together with the active communicator.
+    fn w_mut_with_comm(&mut self) -> (&mut DistWorker, &Comm) {
+        let (rank, active_p) = (self.world.rank(), self.active_p);
+        match self.worker.as_mut() {
+            Some(w) => (w, &self.comm),
+            None => panic!(
+                "world rank {rank} is a spare (active_p = {active_p}): only Session::resize, \
+                 loss/stored_loss, and the accessors are valid on spare ranks"
+            ),
+        }
+    }
+
     /// The current worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics on spare ranks (no worker).
     pub fn worker(&self) -> &DistWorker {
-        &self.worker
+        self.w()
     }
 
     /// The current worker, mutably.
     pub fn worker_mut(&mut self) -> &mut DistWorker {
-        &mut self.worker
+        self.w_mut()
     }
 
-    /// The plan currently in force (changes when a replan migrates).
+    /// The plan currently in force (changes when a replan migrates or a
+    /// resize re-plans).
     pub fn plan(&self) -> KernelPlan {
-        self.worker.plan()
+        self.w().plan()
     }
 
     /// The elision strategy used for fused calls.
@@ -386,7 +483,8 @@ impl Session {
         if x.is_none() {
             self.maybe_auto_replan();
         }
-        self.worker.fused_mm_a(x, self.elision, sampling)
+        let elision = self.elision;
+        self.w_mut().fused_mm_a(x, elision, sampling)
     }
 
     /// FusedMMB with the session's elision; counts one call. Same
@@ -396,80 +494,91 @@ impl Session {
         if y.is_none() {
             self.maybe_auto_replan();
         }
-        self.worker.fused_mm_b(y, self.elision, sampling)
+        let elision = self.elision;
+        self.w_mut().fused_mm_b(y, elision, sampling)
     }
 
     /// The stored `A` operand in the iterate layout.
     pub fn a_iterate(&self) -> Mat {
-        self.worker.a_iterate()
+        self.w().a_iterate()
     }
 
     /// The stored `B` operand in the iterate layout.
     pub fn b_iterate(&self) -> Mat {
-        self.worker.b_iterate()
+        self.w().b_iterate()
     }
 
     /// Commit an `A`-iterate as the stored operand.
     pub fn commit_a(&mut self, x: &Mat) {
-        self.worker.set_a(&self.comm, x);
+        let (w, comm) = self.w_mut_with_comm();
+        w.set_a(comm, x);
     }
 
     /// Commit a `B`-iterate as the stored operand.
     pub fn commit_b(&mut self, y: &Mat) {
-        self.worker.set_b(&self.comm, y);
+        let (w, comm) = self.w_mut_with_comm();
+        w.set_b(comm, y);
     }
 
     /// ALS right-hand side for the `A` phase, in the `A`-iterate
     /// layout.
     pub fn rhs_a(&mut self) -> Mat {
-        self.worker.rhs_a(&self.comm)
+        let (w, comm) = self.w_mut_with_comm();
+        w.rhs_a(comm)
     }
 
     /// ALS right-hand side for the `B` phase.
     pub fn rhs_b(&mut self) -> Mat {
-        self.worker.rhs_b(&self.comm)
+        let (w, comm) = self.w_mut_with_comm();
+        w.rhs_b(comm)
     }
 
     /// Generalized SDDMM into the stored R values.
     pub fn sddmm_general(&mut self, combine: &CombineSpec) {
-        self.worker.sddmm_general(combine);
+        self.w_mut().sddmm_general(combine);
     }
 
     /// Map every stored R value in place (pruning writes zeros here —
     /// the observation [`Session::replan`] scores against).
     pub fn map_r(&mut self, f: &mut dyn FnMut(f64) -> f64) {
-        self.worker.map_r(f);
+        self.w_mut().map_r(f);
     }
 
     /// Row sums of the stored R values, reduced over the sharing ranks.
     pub fn r_row_sums(&self, phase: Phase) -> Vec<f64> {
-        self.worker.r_row_sums(&self.comm, phase)
+        self.w().r_row_sums(&self.comm, phase)
     }
 
     /// Scale each stored R row.
     pub fn scale_r_rows(&mut self, scale: &[f64]) {
-        self.worker.scale_r_rows(scale);
+        self.w_mut().scale_r_rows(scale);
     }
 
     /// SpMMA with the stored R values against an explicit operand.
     pub fn spmm_a_with(&self, y: &Mat) -> Mat {
-        self.worker.spmm_a_with(y)
+        self.w().spmm_a_with(y)
     }
 
     /// ALS squared loss `‖C̃ − mask(A·Bᵀ)‖²` over the observed entries
     /// (one generalized SDDMM plus a scalar all-reduce).
     pub fn loss(&mut self) -> f64 {
-        self.worker.sddmm_general(&CombineSpec::Dot);
+        if let Some(w) = &mut self.worker {
+            w.sddmm_general(&CombineSpec::Dot);
+        }
         self.stored_loss()
     }
 
     /// The squared loss of the *currently stored* R values, without
     /// recomputing the SDDMM — the quantity that must be identical
     /// across a migration (loss continuity).
+    ///
+    /// Collective over the **world**: spare ranks contribute `0.0` and
+    /// learn the same value, so lockstep control flow (convergence
+    /// checks, resize decisions) stays coherent across the whole pool.
     pub fn stored_loss(&self) -> f64 {
-        let local = self.worker.sq_loss_local();
-        let _ph = self.comm.phase(Phase::OutsideComm);
-        self.comm.allreduce_scalar(local)
+        let local = self.worker.as_ref().map_or(0.0, |w| w.sq_loss_local());
+        let _ph = self.world.phase(Phase::OutsideComm);
+        self.world.allreduce_scalar(local)
     }
 
     // ------------------------------------------------------------------
@@ -481,7 +590,7 @@ impl Session {
     /// the staged nnz when no SDDMM has run yet. Charged to
     /// [`Phase::Migration`] (one scalar all-reduce).
     pub fn observed_nnz(&self, policy: &ReplanPolicy) -> usize {
-        match self.worker.export_r() {
+        match self.w().export_r() {
             None => self.staged.prob.nnz(),
             Some(local) => {
                 let mine = local
@@ -548,7 +657,7 @@ impl Session {
     /// so all ranks agree). Returns (and logs) the decision.
     pub fn replan(&mut self, policy: &ReplanPolicy) -> ReplanEvent {
         let p = self.comm.size();
-        let dims = self.worker.dims();
+        let dims = self.w().dims();
         let observed_nnz = self.observed_nnz(policy);
         self.last_planned_nnz = observed_nnz;
         let candidates = KernelBuilder::for_shape(dims, observed_nnz)
@@ -557,7 +666,7 @@ impl Session {
             .plan_candidates(p);
         assert!(!candidates.is_empty(), "no admissible replan candidate");
         let best = candidates[0];
-        let from = self.worker.plan();
+        let from = self.w().plan();
         let predicted_from_s = from.algorithm().and_then(|alg| {
             let comm_s = theory::predicted_comm_time_for(
                 &self.model,
@@ -613,7 +722,7 @@ impl Session {
     /// for applications that schedule migrations themselves.
     /// Collective; preserves iterates, R values, and loss.
     pub fn migrate(&mut self, algorithm: Algorithm, c: usize) {
-        let from = self.worker.plan();
+        let from = self.w().plan();
         let plan = KernelPlan {
             id: KernelId::Family(algorithm.family),
             c,
@@ -626,7 +735,7 @@ impl Session {
         let observed_nnz = self.observed_nnz(&ReplanPolicy::default());
         self.last_planned_nnz = observed_nnz;
         self.migrate_to(&plan);
-        let dims = self.worker.dims();
+        let dims = self.w().dims();
         self.replan_log.push(ReplanEvent {
             at_call: self.calls,
             observed_nnz,
@@ -658,10 +767,10 @@ impl Session {
         let mut new_worker = KernelBuilder::from_staged(&self.staged)
             .model(self.model)
             .build_planned(&self.comm, plan);
-        let exported = self.worker.export_r();
+        let exported = self.w().export_r();
         let (a_new, b_new) = {
             let _ph = self.comm.phase(Phase::Migration);
-            let old = self.worker.kernel();
+            let old = self.w().kernel();
             let new = new_worker.kernel();
             let a = old.a_iterate();
             let b = old.b_iterate();
@@ -684,70 +793,354 @@ impl Session {
         if let Some(local) = exported {
             let _ph = self.comm.phase(Phase::Migration);
             let p = self.comm.size();
-            let me = self.comm.rank();
-            // Ownership on both sides is pure grid arithmetic — no
-            // communication to discover it. A peer pair only exchanges a
-            // message when the source's old pattern bounds rectangle-
-            // intersect the destination's new ones, so the alltoallv is
-            // sparse over peers as well as over entries.
             let (old_bounds, new_bounds) = {
-                let old_k = self.worker.kernel();
+                let old_k = self.w().kernel();
                 let new_k = new_worker.kernel();
                 let ob: Vec<_> = (0..p).map(|g| old_k.r_pattern_bounds_of(g)).collect();
                 let nb: Vec<_> = (0..p).map(|g| new_k.r_pattern_bounds_of(g)).collect();
                 (ob, nb)
             };
-            type Bounds = (std::ops::Range<usize>, std::ops::Range<usize>);
-            fn overlaps(a: &Bounds, b: &Bounds) -> bool {
-                a.0.start < b.0.end
-                    && b.0.start < a.0.end
-                    && a.1.start < b.1.end
-                    && b.1.start < a.1.end
-            }
-            type Triplets = (Vec<u32>, Vec<u32>, Vec<f64>);
-            let mut outgoing: Vec<Option<Triplets>> = (0..p)
-                .map(|g| overlaps(&old_bounds[me], &new_bounds[g]).then(Default::default))
-                .collect();
-            for (i, j, v) in local.iter() {
-                debug_assert!(
-                    old_bounds[me].0.contains(&i) && old_bounds[me].1.contains(&j),
-                    "exported triplet outside this rank's pattern bounds"
-                );
-                for (g, slot) in outgoing.iter_mut().enumerate() {
-                    if let Some(t) = slot {
-                        let (rows, cols) = &new_bounds[g];
-                        if rows.contains(&i) && cols.contains(&j) {
-                            t.0.push(i as u32);
-                            t.1.push(j as u32);
-                            t.2.push(v);
-                        }
-                    }
-                }
-            }
-            let expect: Vec<bool> = (0..p)
-                .map(|g| overlaps(&old_bounds[g], &new_bounds[me]))
-                .collect();
-            let incoming = self.comm.sparse_alltoallv(outgoing, &expect);
-            let (m, n) = (self.worker.dims().m, self.worker.dims().n);
-            let mut global = CooMatrix::empty(m, n);
-            for (rows, cols, vals) in incoming.into_iter().flatten() {
-                global.rows.extend_from_slice(&rows);
-                global.cols.extend_from_slice(&cols);
-                global.vals.extend_from_slice(&vals);
-            }
+            let dims = new_worker.dims();
+            let global = redistribute_r(
+                &self.comm,
+                Some(&local),
+                &old_bounds,
+                &new_bounds,
+                dims.m,
+                dims.n,
+            );
             new_worker.import_r(&global);
         }
-        self.worker = new_worker;
+        self.worker = Some(new_worker);
         // The fused-call elision must remain valid on the new kernel;
         // fall back to the plan's recommendation when it is not.
-        if !self.worker.supports(self.elision) {
+        if !self.w().supports(self.elision) {
             self.elision = plan.elision;
-        } else if self.elision != plan.elision && self.worker.supports(plan.elision) {
+        } else if self.elision != plan.elision && self.w().supports(plan.elision) {
             // Prefer the planner's recommendation after a migration —
             // the old override was tuned for the old family.
             self.elision = plan.elision;
         }
     }
+
+    // ------------------------------------------------------------------
+    // Elastic resize
+    // ------------------------------------------------------------------
+
+    /// Re-plan and redistribute the session onto `p_new` active ranks —
+    /// the elastic-fleet primitive: live migration (which preserves the
+    /// loss across a *family* change at fixed `p`) composed with a
+    /// *process-count* change. Grow activates spare ranks, shrink
+    /// retires the highest active ranks; active membership is always
+    /// world ranks `0..p_new`.
+    ///
+    /// Collective over the **world** communicator: every pool rank —
+    /// active or spare — must call with the same `p_new`. The planner
+    /// re-runs [`KernelBuilder::plan_candidates`] at `p_new` against the
+    /// observed nonzero count and installs the predicted-best
+    /// (algorithm, c, routing) for the new world, so growing does not
+    /// merely stretch the old grid — it may well land on a different
+    /// family. Live A/B iterates move with
+    /// [`repartition_dense`] between the two worlds' [`PlanView`]
+    /// layouts and stored R values with an owner-targeted
+    /// `sparse_alltoallv`, all over the world communicator and charged
+    /// to [`Phase::Resize`] — [`Phase::Migration`] keeps meaning
+    /// "family change at fixed `p`", and neither touches the modeled
+    /// per-kernel metrics the bench baseline records. The stored loss
+    /// is bit-identical before and after (resize moves every R value
+    /// exactly once and sums are over the same entries).
+    ///
+    /// Ranks that were never active (no old worker) learn the outgoing
+    /// plan's grid from a world broadcast rooted at rank 0, which is
+    /// active in every roster. Returns the plan now in force;
+    /// previously-active ranks also log a migrated [`ReplanEvent`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p_new` is 0 or exceeds the world size.
+    pub fn resize(&mut self, p_new: usize) -> KernelPlan {
+        assert!(
+            (1..=self.world.size()).contains(&p_new),
+            "resize({p_new}) must be within 1..={}",
+            self.world.size()
+        );
+        let dims = self.staged.prob.dims;
+        let old_p = self.active_p;
+        let from = self.worker.as_ref().map(|w| w.plan());
+        let exported = self.worker.as_ref().and_then(|w| w.export_r());
+
+        // World-agreed observation: does any rank store R values, and
+        // the post-pruning global nonzero count if so (spares
+        // contribute zeros). One 2-word all-reduce.
+        let (has_r, observed_nnz) = {
+            let _ph = self.world.phase(Phase::Resize);
+            let mut buf = [0.0, 0.0];
+            if let Some(local) = &exported {
+                buf[0] = 1.0;
+                buf[1] = local.vals.iter().filter(|v| v.abs() > 0.0).count() as f64;
+            }
+            self.world.allreduce_sum(&mut buf);
+            let has_r = buf[0] > 0.0;
+            let observed = if has_r {
+                buf[1].round() as usize
+            } else {
+                self.staged.prob.nnz()
+            };
+            (has_r, observed)
+        };
+        self.last_planned_nnz = observed_nnz;
+
+        // Every rank needs the *old* plan's grid to compute the source
+        // side of the redistribution, but spares may never have held it
+        // (active-only replans change the plan without them). World
+        // rank 0 — active in every roster — broadcasts the identity.
+        let old_ident = {
+            let _ph = self.world.phase(Phase::Resize);
+            let mine = from.map(|f| {
+                let code = match f.id {
+                    KernelId::Baseline1D => u64::MAX,
+                    KernelId::Family(fam) => AlgorithmFamily::ALL
+                        .iter()
+                        .position(|x| *x == fam)
+                        .expect("every family is in ALL")
+                        as u64,
+                };
+                vec![code, f.c as u64]
+            });
+            self.world.broadcast(0, mine)
+        };
+        // Only (id, c) matter for a PlanView; the rest are placeholders.
+        let old_plan = KernelPlan {
+            id: if old_ident[0] == u64::MAX {
+                KernelId::Baseline1D
+            } else {
+                KernelId::Family(AlgorithmFamily::ALL[old_ident[0] as usize])
+            },
+            c: old_ident[1] as usize,
+            elision: Elision::None,
+            routing: Routing::Dense,
+            predicted_comm_s: None,
+        };
+
+        // Plan for the new world. Deterministic, so every rank agrees.
+        let candidates = KernelBuilder::for_shape(dims, observed_nnz)
+            .model(self.model)
+            .max_replication(self.c_max)
+            .plan_candidates(p_new);
+        assert!(!candidates.is_empty(), "no admissible plan for p = {p_new}");
+        let best = candidates[0];
+        let new_plan = KernelPlan {
+            id: KernelId::Family(best.algorithm.family),
+            c: best.c,
+            elision: best.algorithm.elision,
+            routing: best.routing,
+            predicted_comm_s: Some(best.predicted_comm_s),
+        };
+
+        // The new roster and its worker. Building it exchanges sparsity
+        // patterns and tunes microkernels among the *new* actives only;
+        // that traffic lands in its usual phases, exactly as a fresh
+        // construction would charge it.
+        let new_active = self.world.split_by(|r| u64::from(r >= p_new));
+        let mut new_worker = (self.world.rank() < p_new).then(|| {
+            KernelBuilder::from_staged(&self.staged)
+                .model(self.model)
+                .build_planned(&new_active, &new_plan)
+        });
+
+        // Redistribute the live iterates between the two worlds' grids.
+        // Ranks outside a roster hold the empty layout on that side:
+        // they contribute or receive nothing, but participate in the
+        // world-wide exchange so the pattern stays deterministic.
+        let old_view = PlanView::new(&old_plan, old_p, dims);
+        let new_view = PlanView::new(&new_plan, p_new, dims);
+        let (a_new, b_new) = {
+            let _ph = self.world.phase(Phase::Resize);
+            let empty = Mat::zeros(0, 0);
+            let a = self
+                .worker
+                .as_ref()
+                .map_or(empty.clone(), |w| w.a_iterate());
+            let b = self.worker.as_ref().map_or(empty, |w| w.b_iterate());
+            let a_new = repartition_dense(
+                &self.world,
+                &a,
+                |g| {
+                    if g < old_p {
+                        old_view.a_layout_of(g)
+                    } else {
+                        empty_layout()
+                    }
+                },
+                |g| {
+                    if g < p_new {
+                        new_view.a_layout_of(g)
+                    } else {
+                        empty_layout()
+                    }
+                },
+            );
+            let b_new = repartition_dense(
+                &self.world,
+                &b,
+                |g| {
+                    if g < old_p {
+                        old_view.b_layout_of(g)
+                    } else {
+                        empty_layout()
+                    }
+                },
+                |g| {
+                    if g < p_new {
+                        new_view.b_layout_of(g)
+                    } else {
+                        empty_layout()
+                    }
+                },
+            );
+            (a_new, b_new)
+        };
+        if let Some(w) = &mut new_worker {
+            // Installing the iterates pays the new kernel's usual
+            // distribution shift, charged to Phase::OutsideComm as any
+            // set_a/set_b would be.
+            w.set_a(&new_active, &a_new);
+            w.set_b(&new_active, &b_new);
+        }
+
+        // Redistribute stored R values, owner-targeted over the world.
+        if has_r {
+            assert!(
+                from.is_none() || exported.is_some(),
+                "active ranks disagree on whether R values are stored"
+            );
+            let _ph = self.world.phase(Phase::Resize);
+            let p = self.world.size();
+            let old_bounds: Vec<_> = (0..p)
+                .map(|g| {
+                    if g < old_p {
+                        old_view.r_bounds_of(g)
+                    } else {
+                        empty_bounds()
+                    }
+                })
+                .collect();
+            let new_bounds: Vec<_> = (0..p)
+                .map(|g| {
+                    if g < p_new {
+                        new_view.r_bounds_of(g)
+                    } else {
+                        empty_bounds()
+                    }
+                })
+                .collect();
+            let global = redistribute_r(
+                &self.world,
+                exported.as_ref(),
+                &old_bounds,
+                &new_bounds,
+                dims.m,
+                dims.n,
+            );
+            if let Some(w) = &mut new_worker {
+                w.import_r(&global);
+            }
+        }
+
+        self.worker = new_worker;
+        self.comm = new_active;
+        self.active_p = p_new;
+        match &self.worker {
+            Some(w) => {
+                if !w.supports(self.elision)
+                    || (self.elision != new_plan.elision && w.supports(new_plan.elision))
+                {
+                    self.elision = new_plan.elision;
+                }
+            }
+            // Retired ranks adopt the plan's recommendation so a later
+            // grow re-activates them in a deterministic state.
+            None => self.elision = new_plan.elision,
+        }
+        if let Some(from) = from {
+            self.replan_log.push(ReplanEvent {
+                at_call: self.calls,
+                observed_nnz,
+                observed_phi: dims.phi(observed_nnz),
+                from,
+                to: new_plan,
+                predicted_from_s: None,
+                predicted_to_s: best.predicted_total_s(),
+                migrated: true,
+            });
+        }
+        new_plan
+    }
+}
+
+type Bounds = (std::ops::Range<usize>, std::ops::Range<usize>);
+
+/// Owner-targeted R-value redistribution: route each exported
+/// global-coordinate triplet to exactly the ranks whose destination
+/// pattern bounds contain it, and merge what arrives into one
+/// global-coordinate [`CooMatrix`].
+///
+/// Ownership on both sides is pure grid arithmetic — no communication
+/// discovers it. A peer pair only exchanges a message when the source's
+/// old pattern-bounds rectangle intersects the destination's new one,
+/// so the [`Comm::sparse_alltoallv`] is sparse over peers as well as
+/// over entries — `O(c·nnz)` words total, never the `O(p·nnz)` of an
+/// allgather. Ranks with nothing stored (`local == None`) and ranks
+/// whose bounds are empty on one side participate without sending or
+/// receiving on that side, which is how cross-world resizes reuse this
+/// for roster members and spares alike.
+fn redistribute_r(
+    comm: &Comm,
+    local: Option<&CooMatrix>,
+    old_bounds: &[Bounds],
+    new_bounds: &[Bounds],
+    m: usize,
+    n: usize,
+) -> CooMatrix {
+    let p = comm.size();
+    let me = comm.rank();
+    fn overlaps(a: &Bounds, b: &Bounds) -> bool {
+        a.0.start < b.0.end && b.0.start < a.0.end && a.1.start < b.1.end && b.1.start < a.1.end
+    }
+    type Triplets = (Vec<u32>, Vec<u32>, Vec<f64>);
+    let i_store = local.is_some();
+    let mut outgoing: Vec<Option<Triplets>> = (0..p)
+        .map(|g| (i_store && overlaps(&old_bounds[me], &new_bounds[g])).then(Default::default))
+        .collect();
+    if let Some(local) = local {
+        for (i, j, v) in local.iter() {
+            debug_assert!(
+                old_bounds[me].0.contains(&i) && old_bounds[me].1.contains(&j),
+                "exported triplet outside this rank's pattern bounds"
+            );
+            for (g, slot) in outgoing.iter_mut().enumerate() {
+                if let Some(t) = slot {
+                    let (rows, cols) = &new_bounds[g];
+                    if rows.contains(&i) && cols.contains(&j) {
+                        t.0.push(i as u32);
+                        t.1.push(j as u32);
+                        t.2.push(v);
+                    }
+                }
+            }
+        }
+    }
+    let expect: Vec<bool> = (0..p)
+        .map(|g| overlaps(&old_bounds[g], &new_bounds[me]))
+        .collect();
+    let incoming = comm.sparse_alltoallv(outgoing, &expect);
+    let mut global = CooMatrix::empty(m, n);
+    for (rows, cols, vals) in incoming.into_iter().flatten() {
+        global.rows.extend_from_slice(&rows);
+        global.cols.extend_from_slice(&cols);
+        global.vals.extend_from_slice(&vals);
+    }
+    global
 }
 
 #[cfg(test)]

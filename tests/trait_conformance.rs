@@ -389,9 +389,9 @@ fn pipelined_and_blocking_shifts_agree_bitwise() {
     // variant reorders float summation — legitimate, but it would make
     // this bit-level comparison flaky. Pin the variant so the only
     // degree of freedom between the two runs is the shift mode.
-    staged
-        .local_tuning()
-        .set_pin(Some(distributed_sparse_kernels::kernels::LocalKernel::Naive));
+    staged.local_tuning().set_pin(Some(
+        distributed_sparse_kernels::kernels::LocalKernel::Naive,
+    ));
     let configs: Vec<(&'static str, Option<AlgorithmFamily>, Elision)> = vec![
         (
             "1.5D dense shift",
