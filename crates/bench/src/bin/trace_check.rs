@@ -1,0 +1,214 @@
+//! CI trace gate: validate a `DSK_TRACE` Chrome trace-event export and
+//! (optionally) prove the traced run left every gated bench metric
+//! byte-identical to an untraced baseline.
+//!
+//! ```text
+//! trace_check <TRACE.json> --ranks <N> [--identical <BENCH_a.json> <BENCH_b.json>]
+//! ```
+//!
+//! The trace leg checks that the export parses as JSON, holds a
+//! `traceEvents` array, and lays out **exactly one track per rank**
+//! (`N` distinct `tid`s across non-metadata events, each with a
+//! `thread_name` metadata record). The `--identical` leg parses two
+//! `BenchReport`s and requires every machine-independent field —
+//! candidate identity (family, elision, routing, `c`), `predicted_s`
+//! and `modeled_s` down to the bit, and wire bytes — to match;
+//! wall-clock-derived fields (`wall_s`, `overlap`, and the tuner's
+//! `local_variant` pick, which microbenchmark noise can flip between
+//! any two runs) are measured and exempt, exactly as in the perf gate.
+//! Any violation exits 1.
+
+use dsk_bench::json::{BenchReport, Json};
+
+fn usage() -> ! {
+    eprintln!("usage: trace_check <TRACE.json> --ranks <N> [--identical <a.json> <b.json>]");
+    std::process::exit(2);
+}
+
+fn load_report(path: &str) -> BenchReport {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    BenchReport::parse(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+}
+
+/// Distinct `tid`s over non-metadata events, plus basic event-shape
+/// checks; returns the violations found.
+fn check_trace(root: &Json, want_ranks: u64, violations: &mut Vec<String>) {
+    let Some(events) = root.get("traceEvents").and_then(Json::as_arr) else {
+        violations.push("trace has no traceEvents array".to_string());
+        return;
+    };
+    if events.is_empty() {
+        violations.push("traceEvents is empty".to_string());
+        return;
+    }
+    let mut tids: Vec<u64> = Vec::new();
+    let mut named_tids: Vec<u64> = Vec::new();
+    let mut spans = 0u64;
+    for (i, e) in events.iter().enumerate() {
+        let ph = e.get("ph").and_then(Json::as_str).unwrap_or_default();
+        let Some(tid) = e.get("tid").and_then(Json::as_u64) else {
+            violations.push(format!("event {i} has no integer tid"));
+            continue;
+        };
+        if ph == "M" {
+            if e.get("name").and_then(Json::as_str) == Some("thread_name") {
+                named_tids.push(tid);
+            }
+            continue;
+        }
+        if !tids.contains(&tid) {
+            tids.push(tid);
+        }
+        if e.get("name").and_then(Json::as_str).is_none() {
+            violations.push(format!("event {i} has no name"));
+        }
+        if e.get("ts").and_then(Json::as_f64).is_none() {
+            violations.push(format!("event {i} has no numeric ts"));
+        }
+        if ph == "X" {
+            spans += 1;
+            if e.get("dur").and_then(Json::as_f64).is_none() {
+                violations.push(format!("span event {i} has no numeric dur"));
+            }
+        }
+    }
+    tids.sort_unstable();
+    let want: Vec<u64> = (0..want_ranks).collect();
+    if tids != want {
+        violations.push(format!(
+            "expected one track per rank 0..{want_ranks}, got tids {tids:?}"
+        ));
+    }
+    for t in &tids {
+        if !named_tids.contains(t) {
+            violations.push(format!("tid {t} has no thread_name metadata"));
+        }
+    }
+    if spans == 0 {
+        violations.push("trace holds no duration spans".to_string());
+    }
+    println!(
+        "trace: {} events, {} tracks, {spans} spans",
+        events.len(),
+        tids.len()
+    );
+}
+
+/// Machine-independent equality of two reports: grids, candidate
+/// identity, modeled/predicted seconds (bitwise), and wire bytes.
+/// `wall_s`, `overlap`, and `local_variant` are wall-clock-derived
+/// measurements and exempt.
+fn check_identical(a: &BenchReport, b: &BenchReport, violations: &mut Vec<String>) {
+    if (a.p, a.m, a.c_max, a.calls) != (b.p, b.m, b.c_max, b.calls) {
+        violations.push("reports ran different grids".to_string());
+        return;
+    }
+    if a.points.len() != b.points.len() {
+        violations.push(format!(
+            "point counts differ: {} vs {}",
+            a.points.len(),
+            b.points.len()
+        ));
+        return;
+    }
+    for (pa, pb) in a.points.iter().zip(&b.points) {
+        let at = format!("{} r={} nnz/row={}", pa.backend, pa.r, pa.nnz_row);
+        if (&pa.backend, pa.r, pa.nnz_row) != (&pb.backend, pb.r, pb.nnz_row) {
+            violations.push(format!("point order differs at {at}"));
+            return;
+        }
+        if pa.candidates.len() != pb.candidates.len() {
+            violations.push(format!("candidate counts differ at {at}"));
+            continue;
+        }
+        for (ca, cb) in pa.candidates.iter().zip(&pb.candidates) {
+            let id = format!("{at} {}/{}", ca.family, ca.elision);
+            if (&ca.family, &ca.elision, &ca.routing, ca.c)
+                != (&cb.family, &cb.elision, &cb.routing, cb.c)
+            {
+                violations.push(format!("candidate identity differs at {id}"));
+                continue;
+            }
+            if ca.predicted_s.to_bits() != cb.predicted_s.to_bits() {
+                violations.push(format!(
+                    "predicted_s differs at {id}: {} vs {}",
+                    ca.predicted_s, cb.predicted_s
+                ));
+            }
+            if ca.modeled_s.to_bits() != cb.modeled_s.to_bits() {
+                violations.push(format!(
+                    "modeled_s differs at {id}: {} vs {} — tracing perturbed a modeled counter",
+                    ca.modeled_s, cb.modeled_s
+                ));
+            }
+            if ca.wire_bytes != cb.wire_bytes {
+                violations.push(format!(
+                    "wire_bytes differs at {id}: {} vs {}",
+                    ca.wire_bytes, cb.wire_bytes
+                ));
+            }
+        }
+    }
+    println!(
+        "identical: {} points × gated metrics match bitwise",
+        a.points.len()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut trace_path = None;
+    let mut ranks = None;
+    let mut identical = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--ranks" => {
+                ranks = args.get(i + 1).and_then(|v| v.parse::<u64>().ok());
+                if ranks.is_none() {
+                    usage();
+                }
+                i += 2;
+            }
+            "--identical" => {
+                let (Some(a), Some(b)) = (args.get(i + 1), args.get(i + 2)) else {
+                    usage();
+                };
+                identical = Some((a.clone(), b.clone()));
+                i += 3;
+            }
+            a if a.starts_with("--") => usage(),
+            a => {
+                if trace_path.replace(a.to_string()).is_some() {
+                    usage();
+                }
+                i += 1;
+            }
+        }
+    }
+    let (Some(trace_path), Some(ranks)) = (trace_path, ranks) else {
+        usage();
+    };
+
+    let mut violations = Vec::new();
+    let text = std::fs::read_to_string(&trace_path)
+        .unwrap_or_else(|e| panic!("cannot read {trace_path}: {e}"));
+    match Json::parse(&text) {
+        Ok(root) => check_trace(&root, ranks, &mut violations),
+        Err(e) => violations.push(format!("{trace_path} is not valid JSON: {e}")),
+    }
+    if let Some((a, b)) = identical {
+        let (ra, rb) = (load_report(&a), load_report(&b));
+        check_identical(&ra, &rb, &mut violations);
+    }
+
+    if violations.is_empty() {
+        println!("trace check: PASS");
+        return;
+    }
+    eprintln!("trace check: FAIL");
+    for v in &violations {
+        eprintln!("  ✗ {v}");
+    }
+    std::process::exit(1);
+}

@@ -321,12 +321,25 @@ impl Parser<'_> {
                     }
                 }
                 _ => {
-                    // Re-borrow the full UTF-8 character starting here.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos - 1..])
+                    // Bulk-copy the run up to the next quote, escape, or
+                    // control byte. Those delimiters are all ASCII, so
+                    // the run always ends on a UTF-8 character boundary
+                    // — one validation per run, not per character (a
+                    // per-character re-validation of the remaining input
+                    // is quadratic, which megabyte-scale trace exports
+                    // made very noticeable).
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while let Some(&b) = self.bytes.get(end) {
+                        if b == b'"' || b == b'\\' || b < 0x20 {
+                            break;
+                        }
+                        end += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..end])
                         .map_err(|_| "invalid UTF-8".to_string())?;
-                    let ch = rest.chars().next().unwrap();
-                    s.push(ch);
-                    self.pos += ch.len_utf8() - 1;
+                    s.push_str(run);
+                    self.pos = end;
                 }
             }
         }

@@ -54,6 +54,7 @@ use crate::backend::{CommBackend, Parcel};
 use crate::model::MachineModel;
 use crate::payload::WirePayload;
 use crate::stats::{Phase, RankStats};
+use crate::trace::{self, ArgVal, TraceKind};
 
 /// Reserved tag base for internal collective operations; user tags must be
 /// below this value.
@@ -185,6 +186,7 @@ impl Comm {
     /// Prefer the RAII [`Comm::phase`] guard.
     pub fn set_phase(&self, p: Phase) -> Phase {
         self.flush_wall();
+        trace::phase_transition(p);
         self.shared.stats.lock().unwrap().set_phase(p)
     }
 
@@ -238,6 +240,7 @@ impl Comm {
 
     pub(crate) fn finish(&self) {
         self.flush_wall();
+        trace::phase_flush();
     }
 
     // ------------------------------------------------------------------
@@ -280,6 +283,12 @@ impl Comm {
         let words = value.words() as u64;
         let t = self.model.msg_time(words);
         let bytes = self.post_to(dst, tag, value);
+        trace::mark(TraceKind::Comm, "send.post", || {
+            vec![
+                ("dst".to_string(), ArgVal::Num(dst as f64)),
+                ("words".to_string(), ArgVal::Num(words as f64)),
+            ]
+        });
         let mut stats = self.shared.stats.lock().unwrap();
         stats.record_send(words, t);
         stats.record_wire_bytes(bytes);
@@ -288,8 +297,15 @@ impl Comm {
     /// Blocking receive from communicator rank `src`. Charges
     /// `α + β·words` to the receiver.
     pub fn recv<T: WirePayload>(&self, src: usize, tag: u32) -> T {
+        let start = Instant::now();
         let v = self.recv_uncharged::<T>(src, tag);
         let words = v.words() as u64;
+        trace::complete(TraceKind::Comm, "recv.wait", start, || {
+            vec![
+                ("src".to_string(), ArgVal::Num(src as f64)),
+                ("words".to_string(), ArgVal::Num(words as f64)),
+            ]
+        });
         let t = self.model.msg_time(words);
         self.shared.stats.lock().unwrap().record_recv(words, t);
         v
@@ -323,9 +339,18 @@ impl Comm {
     /// `α + β·max(words_out, words_in)` charged once.
     pub fn sendrecv<T: WirePayload>(&self, dst: usize, src: usize, tag: u32, value: T) -> T {
         let words_out = value.words() as u64;
+        let start = Instant::now();
         let bytes = self.post_to(dst, tag, value);
         let v = self.recv_uncharged::<T>(src, tag);
         let words_in = v.words() as u64;
+        trace::complete(TraceKind::Comm, "sendrecv", start, || {
+            vec![
+                ("dst".to_string(), ArgVal::Num(dst as f64)),
+                ("src".to_string(), ArgVal::Num(src as f64)),
+                ("words_out".to_string(), ArgVal::Num(words_out as f64)),
+                ("words_in".to_string(), ArgVal::Num(words_in as f64)),
+            ]
+        });
         let t = self.model.msg_time(words_out.max(words_in));
         let mut stats = self.shared.stats.lock().unwrap();
         stats.record_send(words_out, 0.0);
@@ -411,6 +436,13 @@ impl Comm {
         let src = (self.rank + p - disp % p) % p;
         let words_out = value.words() as u64;
         let bytes = self.post_to(dst, tag, value);
+        trace::mark(TraceKind::Comm, "shift.post", || {
+            vec![
+                ("disp".to_string(), ArgVal::Num(disp as f64)),
+                ("dst".to_string(), ArgVal::Num(dst as f64)),
+                ("words".to_string(), ArgVal::Num(words_out as f64)),
+            ]
+        });
         {
             let mut stats = self.shared.stats.lock().unwrap();
             stats.record_send(words_out, 0.0);
@@ -578,6 +610,18 @@ impl<T: WirePayload> RecvHandle<'_, T> {
                     .unwrap()
                     .1 += 1;
                 let words_in = v.words() as u64;
+                let name = if self.paired_send_words.is_some() {
+                    "shift.wait"
+                } else {
+                    "recv.wait"
+                };
+                trace::complete(TraceKind::Comm, name, start, || {
+                    vec![
+                        ("src".to_string(), ArgVal::Num(self.src as f64)),
+                        ("words".to_string(), ArgVal::Num(words_in as f64)),
+                        ("stall_s".to_string(), ArgVal::Num(stall)),
+                    ]
+                });
                 let t = match self.paired_send_words {
                     Some(words_out) => comm.model.msg_time(words_out.max(words_in)),
                     None => comm.model.msg_time(words_in),

@@ -97,6 +97,7 @@ use crate::socket::{
     connect_deadline, Endpoint, EpochVerdict, SocketBackend, SocketListener, SocketStream,
 };
 use crate::stats::RankStats;
+use crate::trace::{self, ArgVal, TraceEvent, TraceKind};
 use crate::world::{EpochError, RankOutcome, SimWorld};
 use crate::BackendKind;
 
@@ -339,35 +340,43 @@ fn current_test_name() -> Option<String> {
 // Outcome encoding
 // ---------------------------------------------------------------------
 
-fn encode_outcome(value_bytes: &[u8], stats: &RankStats) -> Vec<u8> {
+/// One rank's epoch outcome on the wire: encoded value, stats, and the
+/// rank's drained trace events (empty when tracing is off — the trace
+/// section rides the `Outcome` **control** frame, so it never enters
+/// word accounting).
+type OutcomeEntry = (Vec<u8>, RankStats, Vec<TraceEvent>);
+
+fn encode_outcome(value_bytes: &[u8], stats: &RankStats, events: &[TraceEvent]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(value_bytes.len() + 64);
     buf.extend_from_slice(&(value_bytes.len() as u64).to_le_bytes());
     buf.extend_from_slice(value_bytes);
     stats.encode(&mut buf);
+    trace::encode_events(events, &mut buf);
     buf
 }
 
-fn decode_outcome(bytes: &[u8]) -> (Vec<u8>, RankStats) {
+fn decode_outcome(bytes: &[u8]) -> OutcomeEntry {
     let mut r = WireReader::new(bytes);
     let n = r.read_len();
     let value = r.bytes(n).to_vec();
     let stats = RankStats::decode(&mut r);
+    let events = trace::decode_events(&mut r);
     assert!(r.is_empty(), "trailing bytes in outcome frame");
-    (value, stats)
+    (value, stats, events)
 }
 
-fn encode_outcome_set(entries: &[(Vec<u8>, RankStats)]) -> Vec<u8> {
+fn encode_outcome_set(entries: &[OutcomeEntry]) -> Vec<u8> {
     let mut buf = Vec::new();
     buf.extend_from_slice(&(entries.len() as u64).to_le_bytes());
-    for (value, stats) in entries {
-        let one = encode_outcome(value, stats);
+    for (value, stats, events) in entries {
+        let one = encode_outcome(value, stats, events);
         buf.extend_from_slice(&(one.len() as u64).to_le_bytes());
         buf.extend_from_slice(&one);
     }
     buf
 }
 
-fn decode_outcome_set(bytes: &[u8]) -> Vec<(Vec<u8>, RankStats)> {
+fn decode_outcome_set(bytes: &[u8]) -> Vec<OutcomeEntry> {
     let mut r = WireReader::new(bytes);
     let n = r.read_len();
     let mut out = Vec::with_capacity(n);
@@ -380,10 +389,10 @@ fn decode_outcome_set(bytes: &[u8]) -> Vec<(Vec<u8>, RankStats)> {
     out
 }
 
-fn outcomes_from_set<T: WirePayload>(set: &[(Vec<u8>, RankStats)]) -> Vec<RankOutcome<T>> {
+fn outcomes_from_set<T: WirePayload>(set: &[OutcomeEntry]) -> Vec<RankOutcome<T>> {
     set.iter()
         .enumerate()
-        .map(|(rank, (value, stats))| RankOutcome {
+        .map(|(rank, (value, stats, _events))| RankOutcome {
             rank,
             value: T::from_wire(value),
             stats: stats.clone(),
@@ -719,6 +728,7 @@ where
         let mut pool_slot = pool_cell.borrow_mut();
         if !ensure_pool(&mut pool_slot, n, epoch) {
             // Single-rank world with no pool: a peerless socket backend.
+            trace::install_and_sync(0);
             let backend = SocketBackend::assemble(0, 1, world.recv_timeout_raw(), vec![None])
                 .expect("assemble peerless socket backend");
             return run_rank0_epoch(world, f, backend, Vec::new());
@@ -732,7 +742,16 @@ where
         let mut live = vec![0usize];
         live.extend(pool.children.iter().map(|(id, _)| *id));
         let roster = rendezvous::roster_for(epoch, &live, n);
+        trace::install(0);
+        let rdv_start = Instant::now();
         let (backend, observers) = launcher_rendezvous(pool, world, epoch, &roster);
+        trace::complete(TraceKind::Epoch, "epoch.rendezvous", rdv_start, || {
+            vec![
+                ("epoch".to_string(), ArgVal::Num(epoch as f64)),
+                ("ranks".to_string(), ArgVal::Num(n as f64)),
+            ]
+        });
+        trace::sync();
         let outcomes = run_rank0_epoch(world, f, backend, observers);
         guard.armed = false;
         outcomes
@@ -753,6 +772,7 @@ where
         if !ensure_pool(&mut pool_slot, n, epoch) {
             // Single-rank world: the lone rank is the coordinator, whose
             // death is fatal by contract — nothing elastic to do.
+            trace::install_and_sync(0);
             let backend = SocketBackend::assemble(0, 1, world.recv_timeout_raw(), vec![None])
                 .expect("assemble peerless socket backend");
             return Ok(run_rank0_epoch(world, f, backend, Vec::new()));
@@ -766,7 +786,16 @@ where
         let mut live = vec![0usize];
         live.extend(pool.children.iter().map(|(id, _)| *id));
         let roster = rendezvous::roster_for(epoch, &live, n);
+        trace::install(0);
+        let rdv_start = Instant::now();
         let (backend, observers) = launcher_rendezvous(pool, world, epoch, &roster);
+        trace::complete(TraceKind::Epoch, "epoch.rendezvous", rdv_start, || {
+            vec![
+                ("epoch".to_string(), ArgVal::Num(epoch as f64)),
+                ("ranks".to_string(), ArgVal::Num(n as f64)),
+            ]
+        });
+        trace::sync();
         let result = rank0_epoch_elastic(world, f, backend, observers, pool, &roster);
         // Both outcomes are *handled* — the pool survives an abort.
         guard.armed = false;
@@ -805,6 +834,7 @@ where
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut comm)));
     comm.finish();
     let my_stats = comm.stats_snapshot();
+    let my_trace = trace::drain();
     let value = match result {
         Ok(v) => v,
         Err(p) => fail(format!("rank 0 panicked: {}", panic_text(&*p))),
@@ -832,8 +862,8 @@ where
         vec![Vec::new()]
     };
 
-    let mut entries: Vec<(Vec<u8>, RankStats)> = Vec::with_capacity(n);
-    entries.push((value.to_wire(), my_stats.clone()));
+    let mut entries: Vec<OutcomeEntry> = Vec::with_capacity(n);
+    entries.push((value.to_wire(), my_stats.clone(), my_trace));
     for bytes in member_outcomes.into_iter().skip(1) {
         entries.push(decode_outcome(&bytes));
     }
@@ -855,6 +885,12 @@ where
         }
     }
     backend.mark_finished();
+    trace::gather_epoch(
+        entries
+            .iter_mut()
+            .map(|e| std::mem::take(&mut e.2))
+            .collect(),
+    );
 
     // Rank 0 keeps its own typed value; members' values decode from
     // their outcome bytes.
@@ -864,7 +900,7 @@ where
         value,
         stats: my_stats,
     });
-    for (rank, (bytes, stats)) in entries.iter().enumerate().skip(1) {
+    for (rank, (bytes, stats, _)) in entries.iter().enumerate().skip(1) {
         out.push(RankOutcome {
             rank,
             value: T::from_wire(bytes),
@@ -930,8 +966,8 @@ where
     let Some(root_cause) = failure else {
         // Clean epoch: identical to the non-elastic broadcast.
         let value = result.unwrap_or_else(|_| unreachable!());
-        let mut entries: Vec<(Vec<u8>, RankStats)> = Vec::with_capacity(n);
-        entries.push((value.to_wire(), my_stats.clone()));
+        let mut entries: Vec<OutcomeEntry> = Vec::with_capacity(n);
+        entries.push((value.to_wire(), my_stats.clone(), trace::drain()));
         for bytes in member_outcomes.into_iter().skip(1) {
             entries.push(decode_outcome(&bytes));
         }
@@ -952,13 +988,19 @@ where
             let _ = obs.write_all_shared(&set_frame_bytes);
         }
         backend.mark_finished();
+        trace::gather_epoch(
+            entries
+                .iter_mut()
+                .map(|e| std::mem::take(&mut e.2))
+                .collect(),
+        );
         let mut out = Vec::with_capacity(n);
         out.push(RankOutcome {
             rank: 0,
             value,
             stats: my_stats,
         });
-        for (rank, (bytes, stats)) in entries.iter().enumerate().skip(1) {
+        for (rank, (bytes, stats, _)) in entries.iter().enumerate().skip(1) {
             out.push(RankOutcome {
                 rank,
                 value: T::from_wire(bytes),
@@ -1029,6 +1071,14 @@ where
         }
     }
     backend.mark_finished();
+
+    // Rank 0's own timeline still reaches the trace file: survivors'
+    // buffers cannot ride Outcome frames through an abort (under the
+    // in-memory backends they do survive — see `SimWorld::try_run`).
+    trace::mark(TraceKind::Epoch, "epoch.abort", || {
+        vec![("detail".to_string(), ArgVal::Str(root_cause.clone()))]
+    });
+    trace::gather_epoch(vec![trace::drain()]);
 
     // Shrink the pool: the dead children are already reaped (try_wait
     // returned their status) — drop their handles.
@@ -1176,6 +1226,25 @@ fn member_rendezvous(
     })
 }
 
+/// Start a member's per-epoch recorder: the rendezvous that just
+/// completed becomes the epoch's first span (its timestamp is negative
+/// — before the clock anchor), and the [`trace::SYNC_EVENT`] mark at
+/// rendezvous-complete is what the launcher aligns all ranks' clocks
+/// on.
+fn member_trace_begin(world_rank: usize, epoch: u64, n: usize, rdv_start: Instant) {
+    if !trace::enabled() {
+        return;
+    }
+    trace::install(world_rank);
+    trace::complete(TraceKind::Epoch, "epoch.rendezvous", rdv_start, || {
+        vec![
+            ("epoch".to_string(), ArgVal::Num(epoch as f64)),
+            ("ranks".to_string(), ArgVal::Num(n as f64)),
+        ]
+    });
+    trace::sync();
+}
+
 fn run_as_member<T>(
     world: &SimWorld,
     f: &(dyn Fn(&mut Comm) -> T + Sync),
@@ -1185,7 +1254,9 @@ fn run_as_member<T>(
 where
     T: WirePayload,
 {
+    let rdv_start = Instant::now();
     let (backend, me, _roster) = member_rendezvous(world, epoch, info);
+    member_trace_begin(me, epoch, world.nranks(), rdv_start);
 
     let shared = RankShared::new();
     let mut comm = Comm::world(
@@ -1197,6 +1268,7 @@ where
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut comm)));
     comm.finish();
     let stats = comm.stats_snapshot();
+    let my_trace = trace::drain();
     let value = match result {
         Ok(v) => v,
         Err(p) => child_fail(Some(backend.as_ref()), panic_text(&*p)),
@@ -1217,7 +1289,7 @@ where
     backend.send_control(
         0,
         FrameKind::Outcome,
-        encode_outcome(&value.to_wire(), &stats),
+        encode_outcome(&value.to_wire(), &stats, &my_trace),
     );
     let set_bytes = match backend.wait_outcome_set(control_deadline) {
         Ok(b) => b,
@@ -1240,7 +1312,9 @@ fn try_run_as_member<T>(
 where
     T: WirePayload,
 {
+    let rdv_start = Instant::now();
     let (backend, me, roster) = member_rendezvous(world, epoch, info);
+    member_trace_begin(me, epoch, world.nranks(), rdv_start);
 
     let shared = RankShared::new();
     let mut comm = Comm::world(
@@ -1252,6 +1326,7 @@ where
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut comm)));
     comm.finish();
     let stats = comm.stats_snapshot();
+    let my_trace = trace::drain();
 
     let control_deadline = Instant::now() + world.recv_timeout_raw() + CONTROL_SLACK;
     let mut failure: Option<String> = result.as_ref().err().map(|p| panic_text(&**p));
@@ -1273,7 +1348,7 @@ where
         }
     }
     if let (None, Ok(value)) = (&failure, &result) {
-        let outcome = encode_outcome(&value.to_wire(), &stats);
+        let outcome = encode_outcome(&value.to_wire(), &stats, &my_trace);
         let sent = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             backend.send_control(0, FrameKind::Outcome, outcome);
         }));

@@ -102,6 +102,32 @@
 //! [`rendezvous::parse_hostfile`]) and start one process per line with
 //! `DSK_RANK=r` set. See the repository README for a worked example.
 //!
+//! ## Tracing: per-rank span timelines
+//!
+//! Setting `DSK_TRACE=path` (or `Session::builder().trace(path)` in
+//! `dsk-core`) turns on the [`trace`] recorder: each rank buffers
+//! `{ts, dur, rank, phase, kind, args}` events against its own
+//! monotonic clock at the existing instrumentation choke points —
+//! phase transitions, send posts, receive waits with stall
+//! attribution, shift-pipeline lanes, epoch rendezvous/abort, session
+//! migration, and tuner microbenches (the full event vocabulary is
+//! tabulated in [`trace`]).
+//!
+//! **Gather-at-broadcast flow.** At epoch end each rank drains its
+//! buffer. In-memory, the world merges the per-thread buffers
+//! directly. Under the socket backend, each member appends its encoded
+//! events to the `Outcome` control frame it already sends to rank 0,
+//! and rank 0 echoes them back inside the `OutcomeSet` broadcast —
+//! control frames never enter word accounting, so the piggyback is
+//! free of modeled cost. The launcher then offset-aligns every rank's
+//! clock at the epoch's [`trace::SYNC_EVENT`] anchor and rewrites the
+//! Chrome trace-event JSON file, loadable in Perfetto with one track
+//! per rank and nested spans per phase. When tracing is off, every
+//! hook is a branch on a cached bool — zero allocations — and tracing
+//! never touches [`RankStats`], so modeled counters are byte-identical
+//! with tracing on or off (asserted like [`Phase::LocalTuning`]'s
+//! zero-traffic invariant).
+//!
 //! ## The receive watchdog
 //!
 //! Every blocking receive is bounded by a watchdog (default **300 s**)
@@ -148,6 +174,7 @@ pub mod payload;
 pub mod rendezvous;
 pub mod socket;
 pub mod stats;
+pub mod trace;
 pub mod transport;
 pub mod world;
 

@@ -11,6 +11,12 @@
 //! tag)` key, control frames (`Bye`, `Outcome`, `OutcomeSet`, `Error`)
 //! into the epoch-control state the launcher drives.
 //!
+//! When tracing is on ([`crate::trace`]), each member's drained trace
+//! events ride as an extra section of its `Outcome` control frame and
+//! come back inside the `OutcomeSet` broadcast. Control frames are
+//! invisible to word accounting, so the piggyback never perturbs a
+//! modeled counter.
+//!
 //! Failure handling is wired to the existing watchdog/drain hooks: a
 //! peer that disconnects mid-epoch or sends an undecodable frame
 //! *poisons* the mailbox, so a blocked receive panics with the root

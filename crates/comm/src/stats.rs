@@ -7,6 +7,11 @@
 //! occurring outside the FusedMM kernels. [`Phase`] mirrors exactly that
 //! taxonomy, and every [`Comm`](crate::Comm) operation charges the
 //! currently-active phase.
+//!
+//! This module answers *how much*; the [`crate::trace`] recorder
+//! answers *when*, mirroring the same phase taxonomy as per-rank span
+//! timelines. Tracing reads the clock but never writes these counters,
+//! so every number here is byte-identical with tracing on or off.
 
 use crate::payload::{Payload, WirePayload, WireReader};
 

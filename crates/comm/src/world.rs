@@ -176,17 +176,22 @@ impl SimWorld {
             for rank in 0..self.nranks {
                 let backend = Arc::clone(&backend);
                 handles.push(scope.spawn(move || {
+                    crate::trace::install_and_sync(rank);
                     let shared = RankShared::new();
                     let mut comm = Comm::world(backend, model, Arc::clone(&shared), rank);
                     let value = f(&mut comm);
                     comm.finish();
                     let stats = comm.stats_snapshot();
-                    (value, stats)
+                    (value, stats, crate::trace::drain())
                 }));
             }
+            let mut traces = Vec::with_capacity(self.nranks);
             for (rank, h) in handles.into_iter().enumerate() {
                 match h.join() {
-                    Ok((value, stats)) => outcomes.push(RankOutcome { rank, value, stats }),
+                    Ok((value, stats, events)) => {
+                        traces.push(events);
+                        outcomes.push(RankOutcome { rank, value, stats });
+                    }
                     Err(e) => {
                         let msg = e
                             .downcast_ref::<String>()
@@ -197,6 +202,7 @@ impl SimWorld {
                     }
                 }
             }
+            crate::trace::gather_epoch(traces);
         });
 
         let leaked = backend.pending_messages();
@@ -250,12 +256,13 @@ impl SimWorld {
             for rank in 0..self.nranks {
                 let backend = Arc::clone(&backend);
                 handles.push(scope.spawn(move || {
+                    crate::trace::install_and_sync(rank);
                     let shared = RankShared::new();
                     let mut comm =
                         Comm::world(Arc::clone(&backend), model, Arc::clone(&shared), rank);
                     let body =
                         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut comm)));
-                    match body {
+                    let result = match body {
                         Ok(value) => {
                             // finish() drains sub-communicators and can
                             // itself panic when the epoch is aborting.
@@ -277,15 +284,33 @@ impl SimWorld {
                             ));
                             Err(msg)
                         }
+                    };
+                    if result.is_err() {
+                        crate::trace::mark(crate::trace::TraceKind::Epoch, "epoch.abort", || {
+                            vec![(
+                                "detail".to_string(),
+                                crate::trace::ArgVal::Str(
+                                    result.as_ref().err().cloned().unwrap_or_default(),
+                                ),
+                            )]
+                        });
                     }
+                    // Thread-local trace state survives the caught unwind,
+                    // so a dead rank's partial timeline is still recovered.
+                    (result, crate::trace::drain())
                 }));
             }
+            let mut traces = Vec::with_capacity(self.nranks);
             for h in handles {
                 results.push(match h.join() {
-                    Ok(r) => r,
+                    Ok((r, events)) => {
+                        traces.push(events);
+                        r
+                    }
                     Err(e) => Err(panic_text(&*e)),
                 });
             }
+            crate::trace::gather_epoch(traces);
         });
 
         if results.iter().all(|r| r.is_ok()) {

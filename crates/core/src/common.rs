@@ -4,6 +4,7 @@
 use std::cell::Cell;
 use std::ops::Range;
 
+use dsk_comm::trace::{self, ArgVal, TraceKind};
 use dsk_comm::{Comm, Phase, RecvHandle, RowBundle, RowSet, WirePayload};
 use dsk_dense::Mat;
 
@@ -324,26 +325,39 @@ impl<'a> ShiftPipeline<'a> {
         match self.mode {
             ShiftMode::Pipelined => {
                 let _ph = self.ring.phase(Phase::Propagation);
+                trace::mark(TraceKind::Shift, "pipeline.post", || {
+                    vec![("tag".to_string(), ArgVal::Num(self.tag as f64))]
+                });
                 InFlight {
                     ring: self.ring,
                     state: InFlightState::Posted(self.ring.shift_begin(self.disp, self.tag, value)),
                 }
             }
-            ShiftMode::Blocking => InFlight {
-                ring: self.ring,
-                state: InFlightState::Staged {
-                    disp: self.disp,
-                    tag: self.tag,
-                    value,
-                },
-            },
+            ShiftMode::Blocking => {
+                trace::mark(TraceKind::Shift, "pipeline.stage", || {
+                    vec![("tag".to_string(), ArgVal::Num(self.tag as f64))]
+                });
+                InFlight {
+                    ring: self.ring,
+                    state: InFlightState::Staged {
+                        disp: self.disp,
+                        tag: self.tag,
+                        value,
+                    },
+                }
+            }
         }
     }
 
     /// Accumulator-lane step: blocking exchange of a finished block.
     pub fn exchange<T: WirePayload>(&self, value: T) -> T {
         let _ph = self.ring.phase(Phase::Propagation);
-        self.ring.shift(self.disp, self.tag, value)
+        let start = std::time::Instant::now();
+        let v = self.ring.shift(self.disp, self.tag, value);
+        trace::complete(TraceKind::Shift, "pipeline.exchange", start, || {
+            vec![("tag".to_string(), ArgVal::Num(self.tag as f64))]
+        });
+        v
     }
 
     /// Input-lane step for a dense panel, optionally pattern-routed:
@@ -399,10 +413,15 @@ impl<T: WirePayload> InFlight<'_, T> {
     pub fn wait(self) -> T {
         let InFlight { ring, state } = self;
         let _ph = ring.phase(Phase::Propagation);
-        match state {
-            InFlightState::Posted(h) => h.wait(),
-            InFlightState::Staged { disp, tag, value } => ring.shift(disp, tag, value),
-        }
+        let start = std::time::Instant::now();
+        let (v, lane) = match state {
+            InFlightState::Posted(h) => (h.wait(), "posted"),
+            InFlightState::Staged { disp, tag, value } => (ring.shift(disp, tag, value), "staged"),
+        };
+        trace::complete(TraceKind::Shift, "pipeline.wait", start, || {
+            vec![("lane".to_string(), ArgVal::Str(lane.to_string()))]
+        });
+        v
     }
 }
 

@@ -40,6 +40,7 @@
 
 use std::sync::Arc;
 
+use dsk_comm::trace::{self, ArgVal, TraceKind};
 use dsk_comm::{Comm, MachineModel, Phase, RankStats};
 use dsk_dense::Mat;
 use dsk_sparse::CooMatrix;
@@ -266,6 +267,18 @@ impl SessionBuilder {
     /// the problem currently uses.
     pub fn active_ranks(mut self, k: usize) -> Self {
         self.active = Some(k);
+        self
+    }
+
+    /// Enable `dsk-trace` span recording for this process and write the
+    /// Chrome trace-event JSON to `path` — the programmatic equivalent
+    /// of setting `DSK_TRACE=path` before launch (the environment
+    /// variable also works and needs no code change). The recorder is
+    /// process-global: it covers every world this process participates
+    /// in from this call on, not just this session. See
+    /// [`dsk_comm::trace`] for the event vocabulary.
+    pub fn trace(self, path: impl Into<std::path::PathBuf>) -> Self {
+        dsk_comm::trace::enable_to(&path.into());
         self
     }
 
@@ -656,6 +669,7 @@ impl Session {
     /// rank must call with the same policy (decisions are deterministic,
     /// so all ranks agree). Returns (and logs) the decision.
     pub fn replan(&mut self, policy: &ReplanPolicy) -> ReplanEvent {
+        let span_start = std::time::Instant::now();
         let p = self.comm.size();
         let dims = self.w().dims();
         let observed_nnz = self.observed_nnz(policy);
@@ -714,6 +728,15 @@ impl Session {
             migrated: migrate,
         };
         self.replan_log.push(event.clone());
+        trace::complete(TraceKind::Session, "session.replan", span_start, || {
+            vec![
+                (
+                    "migrated".to_string(),
+                    ArgVal::Num(u8::from(migrate) as f64),
+                ),
+                ("to".to_string(), ArgVal::Str(format!("{:?}", event.to.id))),
+            ]
+        });
         event
     }
 
@@ -764,6 +787,7 @@ impl Session {
     /// don't intersect, instead of the `O(p·nnz)` allgather this used
     /// to be.
     fn migrate_to(&mut self, plan: &KernelPlan) {
+        let span_start = std::time::Instant::now();
         let mut new_worker = KernelBuilder::from_staged(&self.staged)
             .model(self.model)
             .build_planned(&self.comm, plan);
@@ -821,6 +845,9 @@ impl Session {
             // the old override was tuned for the old family.
             self.elision = plan.elision;
         }
+        trace::complete(TraceKind::Session, "session.migrate", span_start, || {
+            vec![("to".to_string(), ArgVal::Str(format!("{:?}", plan.id)))]
+        });
     }
 
     // ------------------------------------------------------------------
@@ -859,6 +886,7 @@ impl Session {
     ///
     /// Panics when `p_new` is 0 or exceeds the world size.
     pub fn resize(&mut self, p_new: usize) -> KernelPlan {
+        let span_start = std::time::Instant::now();
         assert!(
             (1..=self.world.size()).contains(&p_new),
             "resize({p_new}) must be within 1..={}",
@@ -1074,6 +1102,12 @@ impl Session {
                 migrated: true,
             });
         }
+        trace::complete(TraceKind::Session, "session.resize", span_start, || {
+            vec![
+                ("p_old".to_string(), ArgVal::Num(old_p as f64)),
+                ("p_new".to_string(), ArgVal::Num(p_new as f64)),
+            ]
+        });
         new_plan
     }
 }

@@ -177,7 +177,10 @@ impl LocalTuning {
         let pick = if block.nrows() == 0 || block.nnz() == 0 || req.r == 0 {
             heuristic(req)
         } else {
-            measure_csr(req.op, block, req.r)
+            let start = Instant::now();
+            let pick = measure_csr(req.op, block, req.r);
+            trace_measurement(req, pick, start);
+            pick
         };
         cache.insert(key, pick);
         pick
@@ -196,11 +199,31 @@ impl LocalTuning {
         let pick = if block.nrows == 0 || block.nnz() == 0 || req.r == 0 {
             heuristic(req)
         } else {
-            measure_coo(req.op, block, req.r)
+            let start = Instant::now();
+            let pick = measure_coo(req.op, block, req.r);
+            trace_measurement(req, pick, start);
+            pick
         };
         cache.insert(key, pick);
         pick
     }
+}
+
+/// Record a `tune.measure` span covering one microbenchmark sweep. The
+/// tuner stays communication-free: this reads the clock for the span
+/// but touches no `Comm` state or modeled counters.
+fn trace_measurement(req: TuneRequest, pick: LocalKernel, start: Instant) {
+    use dsk_comm::trace::{self, ArgVal, TraceKind};
+    trace::complete(TraceKind::Tune, "tune.measure", start, || {
+        vec![
+            ("op".to_string(), ArgVal::Str(format!("{:?}", req.op))),
+            (
+                "format".to_string(),
+                ArgVal::Str(format!("{:?}", req.format)),
+            ),
+            ("variant".to_string(), ArgVal::Str(pick.label().to_string())),
+        ]
+    });
 }
 
 /// The measurement-free default pick, used for empty blocks and by

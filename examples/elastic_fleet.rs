@@ -8,7 +8,14 @@
 //! ```text
 //! cargo run --release --example elastic_fleet
 //! DSK_COMM_BACKEND=socket cargo run --release --example elastic_fleet
+//! DSK_TRACE=fleet.json DSK_COMM_BACKEND=socket cargo run --release --example elastic_fleet
 //! ```
+//!
+//! With `DSK_TRACE=<path>` set, every epoch's per-rank span timeline is
+//! gathered at the outcome broadcast and written as a Chrome trace-event
+//! file — load it in Perfetto to see one track per rank with the
+//! rendezvous, shift post/wait (and stall attribution), the mid-epoch
+//! rank death, and the survivor resize laid out on a common clock.
 //!
 //! Under the socket backend every rank is a real OS process and the
 //! victim genuinely dies (`process::exit`): the epoch aborts with a
@@ -204,6 +211,9 @@ fn main() {
             "resize points (4→6, restore, 4→5) agree to 1e-9 relative; \
              all other points are bit-reproducible across backends"
         );
+        if let Some(path) = distributed_sparse_kernels::comm::trace::configured_path() {
+            println!("trace written to {} (open in Perfetto)", path.display());
+        }
         println!("elastic_fleet OK");
     }
 }

@@ -120,6 +120,100 @@ fn modeled_time_is_alpha_beta_consistent() {
 }
 
 #[test]
+fn stall_is_measured_only_and_never_enters_modeled_time() {
+    // stall_s is an overlap diagnostic read off the wall clock; modeled
+    // time is a function of the words alone. A sender that shows up
+    // 25 ms late must move the stall bucket and nothing else.
+    let run = |delay_ms: u64| {
+        let world = SimWorld::new(2, MachineModel::bandwidth_only());
+        world.run(move |comm| {
+            comm.set_phase(Phase::Propagation);
+            if comm.rank() == 0 {
+                let h = comm.recv_begin::<Vec<f64>>(1, 11);
+                let _ = h.wait();
+            } else {
+                std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+                comm.send(0, 11, vec![1.0f64; 64]);
+            }
+        })
+    };
+    let fast = run(0);
+    let slow = run(25);
+    let (f, s) = (
+        fast[0].stats.phase(Phase::Propagation),
+        slow[0].stats.phase(Phase::Propagation),
+    );
+    assert!(
+        s.stall_s >= 0.01,
+        "a 25 ms late sender must surface as measured stall, got {}",
+        s.stall_s
+    );
+    assert!(f.modeled_s > 0.0, "the receive itself carries modeled cost");
+    assert_eq!(
+        f.modeled_s.to_bits(),
+        s.modeled_s.to_bits(),
+        "stall must never leak into modeled time"
+    );
+    assert_eq!(f.words_recv, s.words_recv);
+}
+
+#[test]
+fn local_tuning_bucket_carries_no_traffic_and_no_modeled_cost() {
+    // Every worker build microbenchmarks local variants under
+    // Phase::LocalTuning; the tuner is documented communication-free
+    // and records no modeled flops — only wall time may land there.
+    let prob = Arc::new(GlobalProblem::erdos_renyi(32, 32, 8, 4, 9006));
+    let world = SimWorld::new(8, MachineModel::cori_knl());
+    let out = world.run(move |comm| {
+        use distributed_sparse_kernels::core::{AlgorithmFamily, Elision};
+        let mut w = DistWorker::from_global(comm, AlgorithmFamily::DenseShift15, 2, &prob);
+        let _ = w.fused_mm_b(None, Elision::ReplicationReuse, Sampling::Values);
+    });
+    for o in &out {
+        let t = o.stats.phase(Phase::LocalTuning);
+        assert_eq!(t.words_sent, 0, "tuning must not communicate");
+        assert_eq!(t.words_recv, 0);
+        assert_eq!(t.msgs_sent, 0);
+        assert_eq!(t.flops, 0, "tuning microbenches record no modeled flops");
+        assert_eq!(t.modeled_s, 0.0);
+        let s = o.stats.phase(Phase::Setup);
+        assert_eq!(s.flops, 0, "staging records no modeled flops");
+        assert_eq!(s.modeled_s, 0.0, "setup is never modeled");
+    }
+}
+
+#[test]
+fn resize_traffic_lands_in_the_resize_bucket_only() {
+    // A pure capacity resize redistributes through Phase::Resize;
+    // Phase::Migration keeps meaning same-p kernel migrations and must
+    // stay zero.
+    use distributed_sparse_kernels::core::session::Session;
+    let prob = Arc::new(GlobalProblem::erdos_renyi(32, 32, 8, 4, 9007));
+    let world = SimWorld::new(6, MachineModel::bandwidth_only());
+    let out = world.run(move |comm| {
+        let mut s = Session::builder_arc(Arc::clone(&prob))
+            .baseline()
+            .active_ranks(4)
+            .build(comm);
+        if s.is_active() {
+            s.worker_mut().sddmm();
+        }
+        s.resize(6);
+        s.stats()
+    });
+    let resize_words: u64 = out
+        .iter()
+        .map(|o| o.value.phase(Phase::Resize).words_sent)
+        .sum();
+    let migration_words: u64 = out
+        .iter()
+        .map(|o| o.value.phase(Phase::Migration).words_sent)
+        .sum();
+    assert!(resize_words > 0, "growing 4→6 must move rows over the wire");
+    assert_eq!(migration_words, 0, "a pure resize is not a migration");
+}
+
+#[test]
 fn watchdog_catches_mismatched_protocols() {
     // A rank that receives a message nobody sent must fail loudly, not
     // hang (failure-injection requirement from DESIGN.md).

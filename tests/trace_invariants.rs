@@ -1,0 +1,263 @@
+//! Integration: correctness invariants of the `dsk-trace` recorder —
+//! spans nest, per-rank clocks are offset-aligned at the epoch sync
+//! anchor, a mid-epoch rank death still flushes the survivors' buffers,
+//! and (the load-bearing one) tracing never perturbs a modeled counter.
+//!
+//! Trace state is process-global (thread-local recorders drain into one
+//! sink), so every test serializes on [`LOCK`] and resets the sink
+//! before and after its runs.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use distributed_sparse_kernels::comm::launch::is_worker_process;
+use distributed_sparse_kernels::comm::trace::{self, TraceEvent, TraceKind, SYNC_EVENT};
+use distributed_sparse_kernels::comm::{BackendKind, MachineModel, Phase, RankStats, SimWorld};
+use distributed_sparse_kernels::core::theory::Algorithm;
+use distributed_sparse_kernels::core::worker::DistWorker;
+use distributed_sparse_kernels::core::{AlgorithmFamily, Elision, GlobalProblem, Sampling};
+
+/// Tests in this binary run on parallel threads but the trace sink is
+/// process-global: serialize, tolerating a poisoned lock from an
+/// unrelated assert failure.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn serialized() -> MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn fused_epoch(world: &SimWorld, prob: &Arc<GlobalProblem>) -> Vec<RankStats> {
+    let prob = Arc::clone(prob);
+    let alg = Algorithm::new(AlgorithmFamily::DenseShift15, Elision::ReplicationReuse);
+    let out = world.run(move |comm| {
+        let mut w = DistWorker::from_global(comm, alg.family, 2, &prob);
+        let _ = w.fused_mm_b(None, alg.elision, Sampling::Values);
+    });
+    out.into_iter().map(|o| o.stats).collect()
+}
+
+/// Per-rank phase spans partition the timeline: sorted by start, each
+/// span ends before (or exactly when) the next begins.
+#[test]
+fn phase_spans_partition_each_rank_timeline() {
+    let _g = serialized();
+    trace::reset();
+    trace::set_override(true);
+    let prob = Arc::new(GlobalProblem::erdos_renyi(32, 32, 8, 4, 9101));
+    let world = SimWorld::new(8, MachineModel::bandwidth_only());
+    let _ = fused_epoch(&world, &prob);
+    let events = trace::snapshot();
+    trace::set_override(false);
+    trace::reset();
+    if is_worker_process() {
+        return;
+    }
+    assert!(!events.is_empty(), "an enabled trace must record events");
+    for rank in 0..8u32 {
+        let mut phases: Vec<&TraceEvent> = events
+            .iter()
+            .filter(|e| e.rank == rank && e.kind == TraceKind::Phase)
+            .collect();
+        assert!(!phases.is_empty(), "rank {rank} must have phase spans");
+        phases.sort_by_key(|e| e.ts_ns);
+        for w in phases.windows(2) {
+            assert!(
+                w[0].end_ns() <= w[1].ts_ns,
+                "rank {rank}: phase spans overlap: {:?} then {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+}
+
+/// Point-to-point comm spans nest inside a single phase span of the
+/// same rank, and that span carries the matching phase attribute.
+#[test]
+fn comm_spans_nest_inside_phase_spans() {
+    let _g = serialized();
+    trace::reset();
+    trace::set_override(true);
+    let prob = Arc::new(GlobalProblem::erdos_renyi(32, 32, 8, 4, 9102));
+    let world = SimWorld::new(8, MachineModel::bandwidth_only());
+    let _ = fused_epoch(&world, &prob);
+    let events = trace::snapshot();
+    trace::set_override(false);
+    trace::reset();
+    if is_worker_process() {
+        return;
+    }
+    let comm_spans: Vec<&TraceEvent> = events
+        .iter()
+        .filter(|e| e.kind == TraceKind::Comm && e.dur_ns > 0)
+        .collect();
+    assert!(
+        !comm_spans.is_empty(),
+        "the shift family must record comm wait spans"
+    );
+    for c in comm_spans {
+        let parent = events.iter().find(|p| {
+            p.rank == c.rank
+                && p.kind == TraceKind::Phase
+                && p.ts_ns <= c.ts_ns
+                && c.end_ns() <= p.end_ns()
+        });
+        let parent = parent.unwrap_or_else(|| {
+            panic!("comm span {c:?} must nest inside one phase span of its rank")
+        });
+        assert_eq!(
+            parent.phase, c.phase,
+            "the enclosing phase span must match the span's phase attribute"
+        );
+    }
+}
+
+/// After the gather re-anchors each rank's clock, every rank's
+/// [`SYNC_EVENT`] mark sits at the same instant — the per-process
+/// monotonic clocks are offset-aligned at the epoch rendezvous.
+#[test]
+fn sync_anchors_coincide_across_ranks() {
+    let _g = serialized();
+    trace::reset();
+    trace::set_override(true);
+    let prob = Arc::new(GlobalProblem::erdos_renyi(32, 32, 8, 4, 9103));
+    let world = SimWorld::new(6, MachineModel::bandwidth_only());
+    let _ = fused_epoch(&world, &prob);
+    let events = trace::snapshot();
+    trace::set_override(false);
+    trace::reset();
+    if is_worker_process() {
+        return;
+    }
+    let syncs: Vec<&TraceEvent> = events.iter().filter(|e| e.name == SYNC_EVENT).collect();
+    assert_eq!(syncs.len(), 6, "one sync anchor per rank");
+    let ranks: Vec<u32> = syncs.iter().map(|e| e.rank).collect();
+    for r in 0..6u32 {
+        assert!(ranks.contains(&r), "rank {r} must emit a sync anchor");
+    }
+    let t0 = syncs[0].ts_ns;
+    for s in &syncs {
+        assert_eq!(
+            s.ts_ns, t0,
+            "rank {}'s sync anchor must coincide with rank {}'s",
+            s.rank, syncs[0].rank
+        );
+    }
+}
+
+/// A mid-epoch rank death aborts the epoch with a typed error, but the
+/// trace survives: the survivors' buffers are still flushed into the
+/// sink (in-memory backends recover every rank's partial timeline; the
+/// socket abort path flushes the launcher's own).
+#[test]
+fn rank_death_still_flushes_survivor_buffers() {
+    let _g = serialized();
+    trace::reset();
+    trace::set_override(true);
+    let backend = BackendKind::from_env();
+    let world = SimWorld::new(4, MachineModel::bandwidth_only());
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = world.try_run(move |comm| {
+        comm.set_phase(Phase::Propagation);
+        let v = vec![1.0f64; 8];
+        let next = (comm.rank() + 1) % comm.size();
+        let prev = (comm.rank() + comm.size() - 1) % comm.size();
+        let _: Vec<f64> = comm.sendrecv(next, prev, 7, v);
+        if comm.rank() == 2 {
+            if backend == BackendKind::Socket && is_worker_process() {
+                std::process::exit(3);
+            }
+            panic!("simulated node failure");
+        }
+    });
+    std::panic::set_hook(default_hook);
+    let events = trace::snapshot();
+    trace::set_override(false);
+    trace::reset();
+    if is_worker_process() {
+        return;
+    }
+    let err = result.expect_err("the epoch must abort when a rank dies");
+    assert_eq!(err.dead, vec![2]);
+    assert!(
+        events.iter().any(|e| e.rank == 0),
+        "survivor rank 0's buffer must be flushed despite the abort"
+    );
+    assert!(
+        events.iter().any(|e| e.name == "epoch.abort"),
+        "the abort must leave an epoch.abort mark in the trace"
+    );
+    if backend != BackendKind::Socket {
+        for rank in [0u32, 1, 3] {
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.rank == rank && e.kind == TraceKind::Comm),
+                "survivor rank {rank}'s comm events must be recovered"
+            );
+        }
+    }
+}
+
+/// The tentpole guarantee: tracing is modeled-cost-free. Every modeled
+/// per-phase counter — words, messages, wire bytes, flops, and modeled
+/// seconds down to the bit — is identical with tracing on and off.
+/// Only the measured wall/stall clocks may differ.
+#[test]
+fn tracing_leaves_modeled_counters_byte_identical() {
+    let _g = serialized();
+    trace::reset();
+    let prob = Arc::new(GlobalProblem::erdos_renyi(32, 32, 8, 4, 9104));
+    let world = SimWorld::new(8, MachineModel::cori_knl());
+    trace::set_override(false);
+    let untraced = fused_epoch(&world, &prob);
+    trace::set_override(true);
+    let traced = fused_epoch(&world, &prob);
+    let traced_events = trace::snapshot();
+    trace::set_override(false);
+    trace::reset();
+    if is_worker_process() {
+        return;
+    }
+    assert!(
+        !traced_events.is_empty(),
+        "the traced leg must actually have recorded events"
+    );
+    for (u, t) in untraced.iter().zip(&traced) {
+        for p in Phase::ALL {
+            let (a, b) = (u.phase(p), t.phase(p));
+            assert_eq!(a.msgs_sent, b.msgs_sent, "{p:?} msgs_sent");
+            assert_eq!(a.words_sent, b.words_sent, "{p:?} words_sent");
+            assert_eq!(a.msgs_recv, b.msgs_recv, "{p:?} msgs_recv");
+            assert_eq!(a.words_recv, b.words_recv, "{p:?} words_recv");
+            assert_eq!(a.wire_bytes_sent, b.wire_bytes_sent, "{p:?} wire_bytes");
+            assert_eq!(a.flops, b.flops, "{p:?} flops");
+            assert_eq!(
+                a.modeled_s.to_bits(),
+                b.modeled_s.to_bits(),
+                "{p:?} modeled_s must be byte-identical"
+            );
+        }
+    }
+}
+
+/// With tracing disabled, nothing reaches the sink: the hooks are one
+/// cached-flag branch and record no events.
+#[test]
+fn disabled_tracing_records_nothing() {
+    let _g = serialized();
+    trace::reset();
+    trace::set_override(false);
+    if std::env::var_os(trace::TRACE_ENV_VAR).is_some() {
+        return; // the environment force-enables tracing; nothing to test
+    }
+    let prob = Arc::new(GlobalProblem::erdos_renyi(16, 16, 4, 3, 9105));
+    let world = SimWorld::new(4, MachineModel::bandwidth_only());
+    let _ = fused_epoch(&world, &prob);
+    let events = trace::snapshot();
+    trace::reset();
+    if is_worker_process() {
+        return;
+    }
+    assert!(events.is_empty(), "disabled tracing must record nothing");
+}
